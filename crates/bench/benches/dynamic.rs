@@ -1,0 +1,86 @@
+//! E-dynamic: click-time evaluation latency — naive vs context-seeded vs
+//! look-ahead-cached, per click on a cold engine and across a browse
+//! trail.
+
+use std::time::Duration;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use strudel::schema::dynamic::{DynTarget, DynamicSite, Mode, PageKey};
+
+fn browse(site: &mut DynamicSite<'_>, clicks: usize) {
+    let roots = site.roots("FrontRoot").unwrap();
+    let mut current: PageKey = roots[0].clone();
+    let mut trail = vec![current.clone()];
+    for _ in 0..clicks {
+        let view = site.visit(&current).unwrap();
+        let next = view.edges.iter().find_map(|(_, t)| match t {
+            DynTarget::Page(k) if !trail.contains(k) => Some(k.clone()),
+            _ => None,
+        });
+        current = match next {
+            Some(k) => k,
+            None => roots[0].clone(),
+        };
+        trail.push(current.clone());
+    }
+}
+
+fn bench_browse_trail(c: &mut Criterion) {
+    let site = strudel_bench::paper_news_site(300);
+    let program = site.program.clone();
+    let mut group = c.benchmark_group("dynamic/25-click-trail");
+    group.sample_size(10);
+    for mode in [Mode::Naive, Mode::Context, Mode::ContextLookahead] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{mode:?}")),
+            &mode,
+            |b, &mode| {
+                b.iter(|| {
+                    let mut dynsite = DynamicSite::new(&site.database, &program, mode);
+                    browse(&mut dynsite, 25);
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_single_click(c: &mut Criterion) {
+    let site = strudel_bench::paper_news_site(300);
+    let program = site.program.clone();
+    // One article page key.
+    let article = site
+        .database
+        .graph()
+        .node_by_name("article42.html")
+        .unwrap();
+    let key = PageKey {
+        symbol: "ArticlePage".into(),
+        args: vec![strudel_graph::Value::Node(article)],
+    };
+    let mut group = c.benchmark_group("dynamic/cold-click");
+    group.sample_size(20);
+    for mode in [Mode::Naive, Mode::Context] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{mode:?}")),
+            &mode,
+            |b, &mode| {
+                b.iter(|| {
+                    let mut dynsite = DynamicSite::new(&site.database, &program, mode);
+                    dynsite.visit(&key).unwrap()
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    // Bounded measurement so `cargo bench --workspace` finishes in
+    // minutes; raise for publication-grade confidence intervals.
+    config = Criterion::default()
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(2));
+    targets = bench_browse_trail, bench_single_click
+}
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! E-htmlgen: HTML generation throughput, including ORDER sorting and
+//! EMBED recursion.
+
+use std::time::Duration;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_render(c: &mut Criterion) {
+    let mut group = c.benchmark_group("htmlgen/news-render");
+    group.sample_size(20);
+    for n in [100usize, 300] {
+        let site = strudel_bench::paper_news_site(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &site, |b, site| {
+            b.iter(|| site.render().unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_render_org(c: &mut Criterion) {
+    let site = strudel_bench::paper_org_site(400);
+    let mut group = c.benchmark_group("htmlgen/org-render");
+    group.sample_size(10);
+    group.bench_function("internal", |b| {
+        b.iter(|| site.render().unwrap());
+    });
+    let external = strudel::sites::org_external_templates();
+    group.bench_function("external-templates", |b| {
+        b.iter(|| site.render_with(&external).unwrap());
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    // Bounded measurement so `cargo bench --workspace` finishes in
+    // minutes; raise for publication-grade confidence intervals.
+    config = Criterion::default()
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(2));
+    targets = bench_render, bench_render_org
+}
+criterion_main!(benches);

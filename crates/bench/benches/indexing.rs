@@ -1,0 +1,64 @@
+//! E-index: the repository indexing ablation — selective query latency at
+//! each index level, and index build cost.
+
+use std::time::Duration;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use strudel::repo::{Database, IndexLevel};
+use strudel::struql::{parse, Evaluator};
+use strudel_graph::Graph;
+
+fn corpus_graph(articles: usize) -> Graph {
+    let corpus = strudel_bench::paper_news_corpus(articles);
+    let docs = strudel::wrappers::html::HtmlDoc::from_pairs(&corpus);
+    strudel::wrappers::html::wrap_documents(&docs, "Articles").unwrap()
+}
+
+fn bench_selective_query(c: &mut Criterion) {
+    let g = corpus_graph(1000);
+    let program = parse(
+        r#"
+        where Articles(a), a -> l -> "sports"
+        create P(a)
+        link P(a) -> "hit" -> l
+        collect Out(P(a))
+    "#,
+    )
+    .unwrap();
+    let mut group = c.benchmark_group("indexing/value-lookup");
+    group.sample_size(20);
+    for (name, level) in [
+        ("none", IndexLevel::None),
+        ("extension", IndexLevel::ExtensionOnly),
+        ("full", IndexLevel::Full),
+    ] {
+        let db = Database::from_graph(g.clone(), level);
+        let _ = db.stats();
+        group.bench_with_input(BenchmarkId::from_parameter(name), &db, |b, db| {
+            b.iter(|| Evaluator::new(db).eval(&program).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_index_build(c: &mut Criterion) {
+    let g = corpus_graph(1000);
+    let mut group = c.benchmark_group("indexing/build");
+    group.sample_size(10);
+    for (name, level) in [("none", IndexLevel::None), ("full", IndexLevel::Full)] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &g, |b, g| {
+            b.iter(|| Database::from_graph(g.clone(), level));
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    // Bounded measurement so `cargo bench --workspace` finishes in
+    // minutes; raise for publication-grade confidence intervals.
+    config = Criterion::default()
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(2));
+    targets = bench_selective_query, bench_index_build
+}
+criterion_main!(benches);

@@ -1,0 +1,76 @@
+//! E-mediate: GAV warehousing — initial integration of five sources and
+//! refresh after one source changes (the snapshot cache at work).
+
+use std::time::Duration;
+use criterion::{criterion_group, criterion_main, Criterion};
+use strudel_mediator::{Mediator, Source, SourceFormat};
+use strudel_workload::org;
+
+fn mediator_for(data: &org::OrgData) -> Mediator {
+    let mut m = Mediator::new();
+    m.add_source(Source::new(
+        "people",
+        SourceFormat::Relational(strudel::wrappers::relational::TableOptions::new("People")),
+        &data.people_csv,
+    ));
+    m.add_source(Source::new(
+        "departments",
+        SourceFormat::Relational(strudel::wrappers::relational::TableOptions::new(
+            "Departments",
+        )),
+        &data.departments_csv,
+    ));
+    m.add_source(Source::new(
+        "projects",
+        SourceFormat::Structured(strudel::wrappers::structured::RecordOptions::new("Projects")),
+        &data.projects_rec,
+    ));
+    m.add_source(Source::new(
+        "demos",
+        SourceFormat::Structured(strudel::wrappers::structured::RecordOptions::new("Demos")),
+        &data.demos_rec,
+    ));
+    let docs = strudel::wrappers::html::HtmlDoc::from_pairs(&data .legacy_html);
+    m.add_source(Source::html("legacy", "LegacyDocs", docs));
+    m
+}
+
+fn bench_warehouse(c: &mut Criterion) {
+    let data = org::generate(&org::OrgConfig::default());
+    let mut group = c.benchmark_group("mediate/org-5-sources");
+    group.sample_size(20);
+    group.bench_function("initial-build", |b| {
+        b.iter(|| mediator_for(&data).build().unwrap());
+    });
+    group.bench_function("cached-rebuild", |b| {
+        let mut m = mediator_for(&data);
+        m.build().unwrap();
+        b.iter(|| m.build().unwrap());
+    });
+    group.bench_function("refresh-one-source", |b| {
+        let mut m = mediator_for(&data);
+        m.build().unwrap();
+        let mut flip = false;
+        b.iter(|| {
+            // Alternate content so the fingerprint changes every time.
+            flip = !flip;
+            let extra = if flip { "id: dx\nname: X\n" } else { "id: dy\nname: Y\n" };
+            let mut demos = data.demos_rec.clone();
+            demos.push_str(extra);
+            m.set_content("demos", &demos);
+            m.build().unwrap()
+        });
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    // Bounded measurement so `cargo bench --workspace` finishes in
+    // minutes; raise for publication-grade confidence intervals.
+    config = Criterion::default()
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(2));
+    targets = bench_warehouse
+}
+criterion_main!(benches);

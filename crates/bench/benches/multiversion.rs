@@ -1,0 +1,43 @@
+//! E-multiversion: the marginal cost of a second site version — a new
+//! template rendering of the same site graph, and a derived query over the
+//! same data graph.
+
+use std::time::Duration;
+use criterion::{criterion_group, criterion_main, Criterion};
+use strudel::sites;
+
+fn bench_org_versions(c: &mut Criterion) {
+    let site = strudel_bench::paper_org_site(400);
+    let external = sites::org_external_templates();
+    let mut group = c.benchmark_group("multiversion/org");
+    group.sample_size(10);
+    group.bench_function("internal-render", |b| b.iter(|| site.render().unwrap()));
+    group.bench_function("external-render", |b| {
+        b.iter(|| site.render_with(&external).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_news_versions(c: &mut Criterion) {
+    let corpus = strudel_bench::paper_news_corpus(300);
+    let mut group = c.benchmark_group("multiversion/news");
+    group.sample_size(10);
+    group.bench_function("general-build", |b| {
+        b.iter(|| sites::news_site(&corpus).build().unwrap())
+    });
+    group.bench_function("sports-only-build", |b| {
+        b.iter(|| sites::sports_only_site(&corpus).build().unwrap())
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    // Bounded measurement so `cargo bench --workspace` finishes in
+    // minutes; raise for publication-grade confidence intervals.
+    config = Criterion::default()
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(2));
+    targets = bench_org_versions, bench_news_versions
+}
+criterion_main!(benches);

@@ -1,0 +1,93 @@
+//! E-struql-scale: STRUQL evaluation scaling, regular-path-expression
+//! traversal, and the join-ordering ablation.
+
+use std::time::Duration;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use strudel::repo::{Database, IndexLevel};
+use strudel::struql::{parse, EvalOptions, Evaluator};
+use strudel_workload::bib;
+
+fn bib_db(entries: usize) -> Database {
+    let src = bib::generate(&bib::BibConfig {
+        entries,
+        ..Default::default()
+    });
+    let g = strudel::wrappers::bibtex::wrap(&src).unwrap();
+    Database::from_graph(g, IndexLevel::Full)
+}
+
+fn bench_homepage_query(c: &mut Criterion) {
+    let program = parse(strudel::sites::HOMEPAGE_QUERY).unwrap();
+    let mut group = c.benchmark_group("struql/homepage-query");
+    group.sample_size(20);
+    for entries in [25usize, 100, 400] {
+        let db = bib_db(entries);
+        group.bench_with_input(BenchmarkId::from_parameter(entries), &db, |b, db| {
+            b.iter(|| Evaluator::new(db).eval(&program).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_join_ordering(c: &mut Criterion) {
+    let query = r#"
+        where Publications(x), Publications(y),
+              x -> "year" -> yr, y -> "year" -> yr,
+              x -> "author" -> a, y -> "author" -> a,
+              x != y
+        create CoAuthored(x, y)
+        collect Pairs(CoAuthored(x, y))
+    "#;
+    let program = parse(query).unwrap();
+    let db = bib_db(150);
+    let mut group = c.benchmark_group("struql/join-ordering");
+    group.sample_size(10);
+    group.bench_function("optimized", |b| {
+        b.iter(|| Evaluator::new(&db).eval(&program).unwrap());
+    });
+    group.bench_function("naive-order", |b| {
+        b.iter(|| {
+            Evaluator::with_options(&db, EvalOptions { optimize: false })
+                .eval(&program)
+                .unwrap()
+        });
+    });
+    group.finish();
+}
+
+fn bench_kleene_star(c: &mut Criterion) {
+    let program = parse(
+        r#"
+        where Root(p), p -> * -> q, q -> l -> r, not(isImageFile(r))
+        create New(p), New(q), New(r)
+        link New(q) -> l -> New(r)
+        collect TextOnlyRoot(New(p))
+    "#,
+    )
+    .unwrap();
+    let mut group = c.benchmark_group("struql/kleene-textonly");
+    group.sample_size(10);
+    for n in [50usize, 200] {
+        let corpus = strudel_bench::paper_news_corpus(n);
+        let docs = strudel::wrappers::html::HtmlDoc::from_pairs(&corpus);
+        let mut g = strudel::wrappers::html::wrap_documents(&docs, "Articles").unwrap();
+        let root = g.node_by_name(&format!("article{}.html", n - 1)).unwrap();
+        g.collect_str("Root", root);
+        let db = Database::from_graph(g, IndexLevel::Full);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &db, |b, db| {
+            b.iter(|| Evaluator::new(db).eval(&program).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    // Bounded measurement so `cargo bench --workspace` finishes in
+    // minutes; raise for publication-grade confidence intervals.
+    config = Criterion::default()
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(2));
+    targets = bench_homepage_query, bench_join_ordering, bench_kleene_star
+}
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! F8: generation time across the (data × structural complexity) sweep —
+//! the timing axis of the suitability study (spec sizes and change costs
+//! are printed by `experiments -- suitability`).
+
+use std::time::Duration;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use strudel::repo::{Database, IndexLevel};
+use strudel::struql::Evaluator;
+use strudel_procgen::sweep;
+
+fn bench_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("suitability/generate");
+    group.sample_size(10);
+    for &k in &[2usize, 8] {
+        for &n in &[100usize, 1000] {
+            let entities = sweep::sweep_entities(n, k);
+            let g = strudel_graph::ddl::parse(&sweep::sweep_ddl(&entities)).unwrap();
+            let db = Database::from_graph(g, IndexLevel::Full);
+            let program = strudel::struql::parse(&sweep::strudel_query(k)).unwrap();
+            group.bench_with_input(
+                BenchmarkId::new("strudel", format!("n{n}-k{k}")),
+                &db,
+                |b, db| {
+                    b.iter(|| Evaluator::new(db).eval(&program).unwrap());
+                },
+            );
+            group.bench_with_input(
+                BenchmarkId::new("procedural", format!("n{n}-k{k}")),
+                &entities,
+                |b, entities| {
+                    b.iter(|| sweep::generate_procedural(entities, k));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    // Bounded measurement so `cargo bench --workspace` finishes in
+    // minutes; raise for publication-grade confidence intervals.
+    config = Criterion::default()
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(2));
+    targets = bench_sweep
+}
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! The experiment driver: regenerates every table and figure of the
+//! paper's evaluation on the synthetic corpora.
+//!
+//! ```text
+//! cargo run --release -p strudel-bench --bin experiments            # all
+//! cargo run --release -p strudel-bench --bin experiments -- <ids…>  # some
+//! ```
+//!
+//! Ids: `site-stats` (T1), `suitability` (F8), `multiversion`,
+//! `site-schema`, `verify`, `dynamic`, `incremental`, `indexing`,
+//! `struql-scale`, `htmlgen`, `mediate`, `all`.
+
+use strudel_bench::experiments as e;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let ids: Vec<&str> = if args.is_empty() {
+        vec!["all"]
+    } else {
+        args.iter().map(String::as_str).collect()
+    };
+    for id in ids {
+        match id {
+            "all" => e::run_all(),
+            "site-stats" => e::exp_site_stats(),
+            "suitability" => e::exp_suitability(),
+            "multiversion" => e::exp_multiversion(),
+            "site-schema" => e::exp_site_schema(),
+            "verify" => e::exp_verify(),
+            "dynamic" => e::exp_dynamic(),
+            "incremental" => e::exp_incremental(),
+            "indexing" => e::exp_indexing(),
+            "struql-scale" => e::exp_struql_scale(),
+            "htmlgen" => e::exp_htmlgen(),
+            "mediate" => e::exp_mediate(),
+            other => {
+                eprintln!("unknown experiment '{other}'");
+                eprintln!(
+                    "known: site-stats suitability multiversion site-schema verify dynamic \
+                     incremental indexing struql-scale htmlgen mediate all"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+}

@@ -1,0 +1,671 @@
+//! The experiment suite: one function per table/figure of the paper.
+//!
+//! Every function prints a self-contained table to stdout. Shapes to look
+//! for (absolute numbers depend on the machine; see EXPERIMENTS.md):
+//!
+//! * T1 — declarative specs stay small at paper scale; second versions
+//!   cost ~0 query lines.
+//! * F8 — the procedural/declarative spec-size and change-cost gap grows
+//!   with structural complexity, not with data size.
+//! * E-dynamic — context seeding beats naive re-evaluation per click, and
+//!   look-ahead converts link follows into cache hits.
+//! * E-incremental — small deltas are far cheaper than re-evaluation.
+//! * E-index — the full-indexing win grows with data size.
+
+use std::time::{Duration, Instant};
+use strudel::repo::{Database, IndexLevel};
+use strudel::schema::constraint::{parse_constraint, runtime, verify};
+use strudel::schema::dynamic::{DynTarget, DynamicSite, Mode, PageKey};
+use strudel::schema::incremental::{graphs_equivalent, incremental_update};
+use strudel::schema::SiteSchema;
+use strudel::sites;
+use strudel::struql::{EvalOptions, Evaluator};
+use strudel::template::{HtmlGenerator, TemplateSet};
+use strudel::SiteStats;
+use strudel_graph::{GraphDelta, Oid, Value};
+use strudel_mediator::{Mediator, Source, SourceFormat};
+use strudel_procgen::{news as proc_news, sweep};
+use strudel_workload::{bib, org};
+
+fn time<T>(f: impl FnOnce() -> T) -> (T, Duration) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed())
+}
+
+fn ms(d: Duration) -> String {
+    format!("{:.2}ms", d.as_secs_f64() * 1e3)
+}
+
+/// T1 — the §5.1 site-statistics table for every site of the paper,
+/// rebuilt on synthetic corpora at paper scale.
+pub fn exp_site_stats() {
+    println!("== T1: site statistics (paper §5.1) ==");
+    println!(
+        "paper reference: AT&T internal 115-line query / 17 templates (380 lines) / ~400 home pages;"
+    );
+    println!(
+        "  external +0 query lines, 5 changed templates; mff 48-line query / 13 templates (202 lines);"
+    );
+    println!("  CNN 44-line query / 9 templates / ~300 articles; sports-only +2 predicates.\n");
+    println!("{}", SiteStats::header());
+
+    let homepage = crate::paper_homepage_site(40);
+    println!("{}", homepage.stats_with_render().unwrap().row());
+
+    let org_site = crate::paper_org_site(400);
+    let mut org_stats = org_site.stats_with_render().unwrap();
+    println!("{}", org_stats.row());
+
+    // External org site: same data, same query, external template set.
+    let external = sites::org_external_templates();
+    let ext_render = org_site.render_with(&external).unwrap();
+    org_stats.name = "org-external".into();
+    org_stats.query_lines = 0; // "no new queries were written for that site"
+    org_stats.templates = 5; // changed templates only
+    org_stats.template_lines = 0;
+    org_stats.pages = ext_render.pages.len();
+    println!("{}", org_stats.row());
+
+    let corpus = crate::paper_news_corpus(300);
+    let news_site = sites::news_site(&corpus).build().unwrap();
+    println!("{}", news_site.stats_with_render().unwrap().row());
+
+    let sports = sites::sports_only_site(&corpus).build().unwrap();
+    let mut sports_stats = sports.stats_with_render().unwrap();
+    sports_stats.name = "news-sports".into();
+    println!("{}", sports_stats.row());
+
+    let bilingual = sites::bilingual_site(BILINGUAL_ITEMS).build().unwrap();
+    println!("{}", bilingual.stats_with_render().unwrap().row());
+    println!();
+}
+
+const BILINGUAL_ITEMS: &str = r#"
+object i1 in Items {
+  title-en : "The Strudel project"; title-fr : "Le projet Strudel";
+  body-en  : "Declarative web sites."; body-fr : "Sites web declaratifs.";
+}
+object i2 in Items {
+  title-en : "Publications"; title-fr : "Publications";
+  body-en  : "Papers and reports."; body-fr : "Articles et rapports.";
+}
+object i3 in Items {
+  title-en : "People"; title-fr : "Equipe";
+  body-en  : "Researchers and students.";
+}
+"#;
+
+/// F8 — the tool-suitability study: spec size, change cost, and
+/// generation time across (data size × structural complexity) for Strudel
+/// vs the procedural baseline.
+pub fn exp_suitability() {
+    println!("== F8: suitability study (paper Fig. 8) ==");
+    println!("spec = maintained lines; change = lines touched to add one facet\n");
+    println!(
+        "{:>8} {:>7} | {:>10} {:>10} {:>12} | {:>10} {:>10} {:>12} | winner(spec)",
+        "entities", "facets", "strudel", "proc", "strudel-gen", "strudel-chg", "proc-chg", "proc-gen"
+    );
+    for &k in &[2usize, 8, 24] {
+        for &n in &[20usize, 200, 2000] {
+            let entities = sweep::sweep_entities(n, k);
+            let ddl = sweep::sweep_ddl(&entities);
+            let g = strudel_graph::ddl::parse(&ddl).unwrap();
+            let db = Database::from_graph(g, IndexLevel::Full);
+            let program = strudel::struql::parse(&sweep::strudel_query(k)).unwrap();
+            let mut templates = TemplateSet::new();
+            for (name, src, assign) in sweep::strudel_templates(k) {
+                templates.add_template(&name, &src).unwrap();
+                if assign == "Home" {
+                    templates.assign_object("Home", &name);
+                } else {
+                    templates.assign_collection(&assign, &name);
+                }
+            }
+            let (result, strudel_gen) = time(|| Evaluator::new(&db).eval(&program).unwrap());
+            let roots: Vec<Oid> = result
+                .graph
+                .members_str("Roots")
+                .iter()
+                .filter_map(Value::as_node)
+                .collect();
+            let (_pages, strudel_render) =
+                time(|| HtmlGenerator::new(&result.graph, &templates).generate(&roots).unwrap());
+
+            let (_proc_pages, proc_gen) = time(|| sweep::generate_procedural(&entities, k));
+
+            let s_spec = sweep::strudel_spec_lines(k);
+            let p_spec = sweep::procedural_spec_lines(k);
+            println!(
+                "{:>8} {:>7} | {:>10} {:>10} {:>12} | {:>11} {:>10} {:>12} | {}",
+                n,
+                k,
+                s_spec,
+                p_spec,
+                ms(strudel_gen + strudel_render),
+                sweep::strudel_change_lines(k),
+                sweep::procedural_change_lines(k),
+                ms(proc_gen),
+                if s_spec < p_spec { "strudel" } else { "procedural" }
+            );
+        }
+    }
+    println!("\nsecond-site cost (CNN sports-only): strudel = 2 extra predicates in one clause;");
+    println!(
+        "procedural = {} duplicated generator lines (measured from the baseline's source)\n",
+        proc_news::sports_variant_changed_lines()
+    );
+}
+
+/// E-multiversion — multiple versions from one data/site graph.
+pub fn exp_multiversion() {
+    println!("== E-multiversion: versions from one site graph (paper §1/§5.1/§6.1) ==");
+    let org_site = crate::paper_org_site(400);
+    let (internal, t_int) = time(|| org_site.render().unwrap());
+    let external_templates = sites::org_external_templates();
+    let (external, t_ext) = time(|| org_site.render_with(&external_templates).unwrap());
+    println!(
+        "org internal: {} pages in {}; external (same site graph, 5 changed templates): {} pages in {}",
+        internal.pages.len(),
+        ms(t_int),
+        external.pages.len(),
+        ms(t_ext)
+    );
+
+    let corpus = crate::paper_news_corpus(300);
+    let (general, t_gen) = time(|| sites::news_site(&corpus).build().unwrap());
+    let (sports, t_sports) = time(|| sites::sports_only_site(&corpus).build().unwrap());
+    println!(
+        "news general: {} site nodes in {}; sports-only (+2 predicates, same templates): {} site nodes in {}",
+        general.stats.site_nodes,
+        ms(t_gen),
+        sports.stats.site_nodes,
+        ms(t_sports)
+    );
+    println!();
+}
+
+/// E-schema — the Fig. 7 site schema of the homepage query.
+pub fn exp_site_schema() {
+    println!("== E-schema: site schema extraction (paper §2.5 / Fig. 7) ==");
+    let program = strudel::struql::parse(sites::HOMEPAGE_QUERY).unwrap();
+    let schema = SiteSchema::extract(&program);
+    println!(
+        "homepage query: {} schema nodes, {} edges, {} collects",
+        schema.nodes.len(),
+        schema.edges.len(),
+        schema.collects.len()
+    );
+    for e in &schema.edges {
+        let label = match &e.label {
+            strudel::struql::LabelTerm::Const(s) => s.clone(),
+            strudel::struql::LabelTerm::Var(v) => format!("<{v}>"),
+        };
+        println!(
+            "  {} -[{} | Q: {} cond(s)]-> {}",
+            schema.nodes[e.from].name(),
+            label,
+            e.guard.len(),
+            schema.nodes[e.to].name()
+        );
+    }
+    println!("\ndot rendering:\n{}", schema.to_dot());
+}
+
+/// E-verify — static verification vs runtime checking.
+pub fn exp_verify() {
+    println!("== E-verify: integrity-constraint verification (paper §2.5) ==");
+    let site = crate::paper_homepage_site(40);
+    let constraints = [
+        (
+            "reachability (satisfied by construction)",
+            "forall p in PaperPages : exists a in AbstractPages : a -> \"Paper\" -> p",
+        ),
+        (
+            "root reaches every paper (satisfied)",
+            "forall p in PaperPages : exists r in HomeRoot : r -> * -> p",
+        ),
+        (
+            "every paper page from a year page (data-dependent)",
+            "forall p in PaperPages : exists y in YearPages : y -> \"Paper\" -> p",
+        ),
+        (
+            "every paper has an editor (violated)",
+            "forall p in PaperPages : p -> \"editor\" -> e",
+        ),
+    ];
+    println!(
+        "{:<50} {:>9} {:>12} {:>11} {:>12}",
+        "constraint", "static", "static-time", "runtime", "runtime-time"
+    );
+    for (label, src) in constraints {
+        let c = parse_constraint(src).unwrap();
+        let (verdict, t_static) = time(|| verify::verify(&site.schema, &c));
+        let (check, t_runtime) = time(|| runtime::check(&site.result.graph, &c));
+        println!(
+            "{:<50} {:>9} {:>12} {:>11} {:>12}",
+            label,
+            format!("{verdict:?}"),
+            ms(t_static),
+            if check.holds { "holds" } else { "violated" },
+            ms(t_runtime)
+        );
+    }
+    println!();
+}
+
+/// E-dynamic — click-time evaluation: naive vs context vs look-ahead.
+pub fn exp_dynamic() {
+    println!("== E-dynamic: click-time evaluation (paper §2.5/§7) ==");
+    println!(
+        "{:>9} {:>18} {:>12} {:>12} {:>10} {:>12}",
+        "articles", "mode", "clicks", "rows", "cache-hits", "time"
+    );
+    for &n in &[100usize, 1000, 3000] {
+        let corpus = crate::paper_news_corpus(n);
+        let site = sites::news_site(&corpus).build().unwrap();
+        let program = site.program.clone();
+        let db = &site.database;
+        for mode in [Mode::Naive, Mode::Context, Mode::ContextLookahead] {
+            let mut dynsite = DynamicSite::new(db, &program, mode);
+            let ((), t) = time(|| browse(&mut dynsite, 25));
+            let m = dynsite.metrics();
+            println!(
+                "{:>9} {:>18} {:>12} {:>12} {:>10} {:>12}",
+                n,
+                format!("{mode:?}"),
+                m.clicks,
+                m.rows_produced,
+                m.cache_hits,
+                ms(t)
+            );
+        }
+    }
+    println!();
+}
+
+/// A deterministic browse trail: front page, then repeatedly follow the
+/// first unvisited page link (falling back to the front page).
+fn browse(site: &mut DynamicSite<'_>, clicks: usize) {
+    let roots = site.roots("FrontRoot").unwrap();
+    let mut current: PageKey = roots[0].clone();
+    let mut trail = vec![current.clone()];
+    for _ in 0..clicks {
+        let view = site.visit(&current).unwrap();
+        let next = view.edges.iter().find_map(|(_, t)| match t {
+            DynTarget::Page(k) if !trail.contains(k) => Some(k.clone()),
+            _ => None,
+        });
+        current = match next {
+            Some(k) => k,
+            None => roots[0].clone(),
+        };
+        trail.push(current.clone());
+    }
+}
+
+/// E-incremental — incremental maintenance vs full re-evaluation.
+pub fn exp_incremental() {
+    println!("== E-incremental: site-graph maintenance (paper §7, built as extension) ==");
+    println!(
+        "{:>8} {:>9} | {:>12} {:>12} {:>10} | equivalent",
+        "people", "delta", "incremental", "full-reeval", "rows"
+    );
+    for &people in &[400usize, 1000] {
+        for &delta_people in &[1usize, 10, 50] {
+            let data = org::generate(&org::OrgConfig {
+                people,
+                ..Default::default()
+            });
+            let site = sites::org_site(
+                &data.people_csv,
+                &data.departments_csv,
+                &data.projects_rec,
+                &data.demos_rec,
+                &data.legacy_html,
+            )
+            .build()
+            .unwrap();
+
+            // Delta: add `delta_people` new people.
+            let base = site.database.graph().node_count();
+            let mut delta = GraphDelta::new();
+            for i in 0..delta_people {
+                delta.add_node(Some(&format!("newp{i}")));
+                let oid = Oid::from_index(base + i);
+                delta.add_edge(oid, "id", Value::string(format!("newp{i}")));
+                delta.add_edge(oid, "name", Value::string(format!("New Person {i}")));
+                delta.add_edge(oid, "dept", Value::string("dept0"));
+                delta.collect("People", Value::Node(oid));
+            }
+
+            let old = Evaluator::new(&site.database).eval(&site.program).unwrap();
+            let (inc, t_inc) = time(|| {
+                incremental_update(&site.program, &site.database, &delta, old).unwrap()
+            });
+
+            let (full, t_full) = time(|| {
+                let mut g = site.database.graph().clone();
+                delta.apply(&mut g).unwrap();
+                let db = Database::from_graph(g, IndexLevel::Full);
+                Evaluator::new(&db).eval(&site.program).unwrap()
+            });
+
+            println!(
+                "{:>8} {:>9} | {:>12} {:>12} {:>10} | {}",
+                people,
+                format!("+{delta_people}p"),
+                ms(t_inc),
+                ms(t_full),
+                inc.rows_recomputed,
+                graphs_equivalent(&inc.result.graph, &full.graph)
+            );
+        }
+
+        // Deletion via DRed: remove one person from the People collection.
+        let data = org::generate(&org::OrgConfig {
+            people,
+            ..Default::default()
+        });
+        let site = sites::org_site(
+            &data.people_csv,
+            &data.departments_csv,
+            &data.projects_rec,
+            &data.demos_rec,
+            &data.legacy_html,
+        )
+        .build()
+        .unwrap();
+        let victim = site
+            .database
+            .graph()
+            .node_by_name(&format!("People_{}", data.people_ids[0]))
+            .unwrap();
+        let mut delta = GraphDelta::new();
+        delta.uncollect("People", Value::Node(victim));
+        let old = Evaluator::new(&site.database).eval(&site.program).unwrap();
+        let (inc, t_inc) = time(|| {
+            incremental_update(&site.program, &site.database, &delta, old).unwrap()
+        });
+        let (_, t_full) = time(|| {
+            let mut g = site.database.graph().clone();
+            delta.apply(&mut g).unwrap();
+            let db = Database::from_graph(g, IndexLevel::Full);
+            Evaluator::new(&db).eval(&site.program).unwrap()
+        });
+        println!(
+            "{:>8} {:>9} | {:>12} {:>12} {:>10} | dred={}",
+            people,
+            "-1p",
+            ms(t_inc),
+            ms(t_full),
+            inc.rows_recomputed,
+            !inc.full_reeval
+        );
+    }
+    println!();
+}
+
+/// E-index — what full indexing buys in a schemaless repository.
+pub fn exp_indexing() {
+    println!("== E-index: repository indexing ablation (paper §2.1) ==");
+    println!(
+        "{:>9} {:>15} | {:>12} {:>12} {:>12}",
+        "articles", "query", "none", "ext-only", "full"
+    );
+    for &n in &[100usize, 1000, 3000] {
+        let corpus = crate::paper_news_corpus(n);
+        let docs = strudel::wrappers::html::HtmlDoc::from_pairs(&corpus);
+        let g = strudel::wrappers::html::wrap_documents(&docs, "Articles").unwrap();
+
+        // Two selective queries: a bound-target label step (served by the
+        // inverted extension index) and an arc-variable value lookup
+        // (served only by the global value index — "indexes on atomic
+        // values are global to the graph").
+        let queries = [
+            (
+                "cat+date",
+                r#"
+                where Articles(a), a -> "category" -> "sports", a -> "date" -> d
+                create P(a)
+                link P(a) -> "date" -> d
+                collect Out(P(a))
+            "#,
+            ),
+            (
+                "value-lookup",
+                r#"
+                where Articles(a), a -> l -> "sports"
+                create P(a)
+                link P(a) -> "hit" -> l
+                collect Out(P(a))
+            "#,
+            ),
+        ];
+        for (qname, query) in queries {
+            let program = strudel::struql::parse(query).unwrap();
+            let mut row = format!("{:>9} {:>15} |", n, qname);
+            for level in [IndexLevel::None, IndexLevel::ExtensionOnly, IndexLevel::Full] {
+                let db = Database::from_graph(g.clone(), level);
+                // Warm the stats cache so we time the query, not stats.
+                let _ = db.stats();
+                let (_r, t) = time(|| Evaluator::new(&db).eval(&program).unwrap());
+                row.push_str(&format!(" {:>12}", ms(t)));
+            }
+            println!("{row}");
+        }
+    }
+    // Index build cost.
+    let corpus = crate::paper_news_corpus(3000);
+    let docs = strudel::wrappers::html::HtmlDoc::from_pairs(&corpus);
+    let g = strudel::wrappers::html::wrap_documents(&docs, "Articles").unwrap();
+    let (_, t_full) = time(|| Database::from_graph(g.clone(), IndexLevel::Full));
+    let (_, t_none) = time(|| Database::from_graph(g.clone(), IndexLevel::None));
+    println!(
+        "index build @3000 articles: full = {}, none = {} (maintenance is the price of the wins above)\n",
+        ms(t_full),
+        ms(t_none)
+    );
+}
+
+/// E-struql-scale — evaluation scaling and the join-ordering ablation.
+pub fn exp_struql_scale() {
+    println!("== E-struql-scale: query evaluation scaling (paper §2.2/§6.2) ==");
+    println!(
+        "{:>9} | {:>12} {:>12} | {:>14} {:>14}",
+        "entries", "optimized", "naive-order", "rows(opt)", "rows(naive)"
+    );
+    for &n in &[50usize, 200, 800] {
+        let src = bib::generate(&bib::BibConfig {
+            entries: n,
+            ..Default::default()
+        });
+        let g = strudel::wrappers::bibtex::wrap(&src).unwrap();
+        let db = Database::from_graph(g, IndexLevel::Full);
+        // A join-heavy query: co-author pairs within a year.
+        let query = r#"
+            where Publications(x), Publications(y),
+                  x -> "year" -> yr, y -> "year" -> yr,
+                  x -> "author" -> a, y -> "author" -> a,
+                  x != y
+            create CoAuthored(x, y)
+            collect Pairs(CoAuthored(x, y))
+        "#;
+        let program = strudel::struql::parse(query).unwrap();
+        let (r_opt, t_opt) = time(|| Evaluator::new(&db).eval(&program).unwrap());
+        let (r_naive, t_naive) = time(|| {
+            Evaluator::with_options(&db, EvalOptions { optimize: false })
+                .eval(&program)
+                .unwrap()
+        });
+        println!(
+            "{:>9} | {:>12} {:>12} | {:>14} {:>14}",
+            n,
+            ms(t_opt),
+            ms(t_naive),
+            r_opt.rows_evaluated,
+            r_naive.rows_evaluated
+        );
+    }
+
+    // Kleene-star reachability (the TextOnly copy query of §2.2).
+    println!("\nKleene-star TextOnly copy query (reachability):");
+    for &n in &[100usize, 400] {
+        let corpus = crate::paper_news_corpus(n);
+        let docs = strudel::wrappers::html::HtmlDoc::from_pairs(&corpus);
+        let mut g = strudel::wrappers::html::wrap_documents(&docs, "Articles").unwrap();
+        // Related links point to earlier articles, so the last article
+        // reaches a large backward cone.
+        let root = g.node_by_name(&format!("article{}.html", n - 1)).unwrap();
+        g.collect_str("Root", root);
+        let db = Database::from_graph(g, IndexLevel::Full);
+        let program = strudel::struql::parse(
+            r#"
+            where Root(p), p -> * -> q, q -> l -> r, not(isImageFile(r))
+            create New(p), New(q), New(r)
+            link New(q) -> l -> New(r)
+            collect TextOnlyRoot(New(p))
+        "#,
+        )
+        .unwrap();
+        let (r, t) = time(|| Evaluator::new(&db).eval(&program).unwrap());
+        println!("  {n} articles: copied {} nodes in {}", r.new_nodes.len(), ms(t));
+    }
+    println!();
+}
+
+/// E-htmlgen — HTML generation throughput and incremental regeneration.
+pub fn exp_htmlgen() {
+    println!("== E-htmlgen: HTML generation (paper §2.4) ==");
+    for &n in &[100usize, 300, 1000] {
+        let site = crate::paper_news_site(n);
+        let (out, t) = time(|| site.render().unwrap());
+        let pages_per_sec = out.pages.len() as f64 / t.as_secs_f64();
+        println!(
+            "{:>5} articles: {:>5} pages, {:>8} bytes in {:>10} ({:.0} pages/s)",
+            n,
+            out.pages.len(),
+            out.total_bytes(),
+            ms(t),
+            pages_per_sec
+        );
+    }
+
+    // Incremental regeneration: edit one article, re-render only the pages
+    // that read it ("update a site incrementally when changes occur in the
+    // underlying data", §1).
+    let site = crate::paper_news_site(1000);
+    let previous = site.render().unwrap();
+    let mut graph = site.result.graph.clone();
+    let article = graph.node_by_name("article500.html").unwrap();
+    let changed_page = site
+        .result
+        .skolem_node("ArticlePage", &[Value::Node(article)])
+        .unwrap();
+    graph.add_edge_str(changed_page, "paragraph", Value::string("correction appended"));
+    let generator = HtmlGenerator::new(&graph, &site.templates);
+    let (regen, t_regen) = time(|| generator.regenerate(&previous, &[changed_page]).unwrap());
+    let (full, t_full) = time(|| {
+        let roots: Vec<Oid> = graph
+            .members_str("FrontRoot")
+            .iter()
+            .filter_map(Value::as_node)
+            .collect();
+        generator.generate(&roots).unwrap()
+    });
+    let rerendered = regen
+        .pages
+        .iter()
+        .filter(|p| {
+            previous
+                .page_for(p.oid)
+                .map(|old| old.html != p.html)
+                .unwrap_or(true)
+        })
+        .count();
+    println!(
+        "regenerate after editing 1 of 1000 articles: {} of {} pages re-rendered in {} (full re-render: {}, {} pages)",
+        rerendered,
+        regen.pages.len(),
+        ms(t_regen),
+        ms(t_full),
+        full.pages.len()
+    );
+    println!();
+}
+
+/// E-mediate — GAV warehousing of the five AT&T-style sources, and
+/// refresh after one source changes.
+pub fn exp_mediate() {
+    println!("== E-mediate: warehousing mediator (paper §2.1) ==");
+    let data = org::generate(&org::OrgConfig::default());
+    let mut mediator = Mediator::new();
+    mediator.add_source(Source::new(
+        "people",
+        SourceFormat::Relational(strudel::wrappers::relational::TableOptions::new("People")),
+        &data.people_csv,
+    ));
+    mediator.add_source(Source::new(
+        "departments",
+        SourceFormat::Relational(strudel::wrappers::relational::TableOptions::new(
+            "Departments",
+        )),
+        &data.departments_csv,
+    ));
+    mediator.add_source(Source::new(
+        "projects",
+        SourceFormat::Structured(strudel::wrappers::structured::RecordOptions::new("Projects")),
+        &data.projects_rec,
+    ));
+    mediator.add_source(Source::new(
+        "demos",
+        SourceFormat::Structured(strudel::wrappers::structured::RecordOptions::new("Demos")),
+        &data.demos_rec,
+    ));
+    let docs = strudel::wrappers::html::HtmlDoc::from_pairs(&data .legacy_html);
+    mediator.add_source(Source::html("legacy", "LegacyDocs", docs));
+
+    let (w1, t_initial) = time(|| mediator.build().unwrap());
+    println!(
+        "initial warehouse: {} sources, {} nodes, {} edges in {}",
+        w1.reports.len(),
+        w1.graph.node_count(),
+        w1.graph.edge_count(),
+        ms(t_initial)
+    );
+    let (w2, t_noop) = time(|| mediator.build().unwrap());
+    println!(
+        "no-op rebuild (all cache hits): {} in {}",
+        w2.reports.iter().all(|r| !r.rewrapped),
+        ms(t_noop)
+    );
+    let mut demos2 = data.demos_rec.clone();
+    demos2.push_str("id: demoX\nname: Fresh Demo\nurl: http://demos.example.com/x\n");
+    mediator.set_content("demos", &demos2);
+    let (w3, t_refresh) = time(|| mediator.build().unwrap());
+    let rewrapped: Vec<&str> = w3
+        .reports
+        .iter()
+        .filter(|r| r.rewrapped)
+        .map(|r| r.name.as_str())
+        .collect();
+    println!(
+        "refresh after editing one source: re-wrapped {rewrapped:?} in {}\n",
+        ms(t_refresh)
+    );
+}
+
+/// Runs every experiment in order.
+pub fn run_all() {
+    exp_site_stats();
+    exp_suitability();
+    exp_multiversion();
+    exp_site_schema();
+    exp_verify();
+    exp_dynamic();
+    exp_incremental();
+    exp_indexing();
+    exp_struql_scale();
+    exp_htmlgen();
+    exp_mediate();
+}

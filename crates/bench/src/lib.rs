@@ -1,0 +1,15 @@
+//! # strudel-bench
+//!
+//! Shared harness for the experiment suite. Each public `exp_*` function
+//! regenerates one table or figure of the paper (see DESIGN.md's
+//! experiment index and EXPERIMENTS.md for paper-vs-measured); the
+//! `experiments` binary dispatches on experiment id, and the Criterion
+//! benches reuse the same site builders for timing series.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod sites;
+
+pub use sites::{paper_homepage_site, paper_news_corpus, paper_news_site, paper_org_site};

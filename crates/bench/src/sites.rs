@@ -1,0 +1,67 @@
+//! Paper-scale site construction from the synthetic workloads.
+
+use strudel::sites;
+use strudel::Site;
+use strudel_workload::{bib, news, org};
+
+/// The mff-style homepage site at paper scale (a bibliography of `entries`
+/// publications plus the personal-data file).
+pub fn paper_homepage_site(entries: usize) -> Site {
+    let bib_src = bib::generate(&bib::BibConfig {
+        entries,
+        ..Default::default()
+    });
+    sites::homepage_site(&bib_src, sites::PERSONAL_DDL_EXAMPLE)
+        .build()
+        .expect("homepage site builds")
+}
+
+/// The AT&T-style organization site (≈400 people, 5 sources by default).
+pub fn paper_org_site(people: usize) -> Site {
+    let data = org::generate(&org::OrgConfig {
+        people,
+        ..Default::default()
+    });
+    sites::org_site(
+        &data.people_csv,
+        &data.departments_csv,
+        &data.projects_rec,
+        &data.demos_rec,
+        &data.legacy_html,
+    )
+    .build()
+    .expect("org site builds")
+}
+
+/// The CNN-style article corpus.
+pub fn paper_news_corpus(articles: usize) -> Vec<(String, String)> {
+    news::generate(&news::NewsConfig {
+        articles,
+        ..Default::default()
+    })
+    .pages
+}
+
+/// The CNN-style news site over `articles` generated pages.
+pub fn paper_news_site(articles: usize) -> Site {
+    sites::news_site(&paper_news_corpus(articles))
+        .build()
+        .expect("news site builds")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_scale_sites_build() {
+        // Smaller than paper scale to keep the test quick; the experiment
+        // harness runs the full sizes.
+        let home = paper_homepage_site(10);
+        assert!(home.stats.site_nodes > 20);
+        let org = paper_org_site(40);
+        assert!(org.stats.site_nodes > 50);
+        let news = paper_news_site(30);
+        assert!(news.stats.site_nodes > 30);
+    }
+}

@@ -1,0 +1,360 @@
+//! The `strudel` command-line tool: build browsable web sites from a site
+//! directory, the way a site builder would actually use the system.
+//!
+//! ## Site directory layout
+//!
+//! ```text
+//! mysite/
+//!   site.struql            the site-definition query (STRUQL)
+//!   site.conf              assignments and options, line-based:
+//!                            root <collection>
+//!                            object <ObjectName> <template>
+//!                            collection <CollectionName> <template>
+//!                            default <template>
+//!                            constraint <constraint text>
+//!   templates/<name>.tmpl  HTML templates (name = file stem)
+//!   sources/               data sources, dispatched by extension:
+//!     *.bib                BibTeX        (collection: Publications)
+//!     *.csv                relational    (table = file stem)
+//!     *.rec                record files  (collection = file stem)
+//!     *.ddl                Strudel DDL
+//!     html/*.html          wrapped pages (collection: Pages)
+//! ```
+//!
+//! ## Commands
+//!
+//! ```text
+//! strudel build <dir> [-o <outdir>]   build, verify, render, write pages
+//! strudel check <dir>                 parse + statically check everything
+//! strudel schema <dir>                print the site schema (Graphviz dot)
+//! strudel stats <dir>                 print the site-statistics row
+//! strudel guide <dir>                 print discovered data-graph schemas
+//!                                     (strong DataGuides per collection)
+//! ```
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use strudel::wrappers::html::HtmlDoc;
+use strudel::wrappers::relational::TableOptions;
+use strudel::wrappers::structured::RecordOptions;
+use strudel::{SiteBuilder, Source, SourceFormat};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let usage = "usage: strudel <build|check|schema|stats|guide> <site-dir> [-o <outdir>]";
+    let command = args.first().ok_or(usage)?;
+    let dir = PathBuf::from(args.get(1).ok_or(usage)?);
+    let outdir = match args.iter().position(|a| a == "-o") {
+        Some(i) => PathBuf::from(args.get(i + 1).ok_or("-o needs a directory")?),
+        None => dir.join("out"),
+    };
+
+    let site = load_site(&dir)?;
+    match command.as_str() {
+        "check" => {
+            let built = site.build().map_err(|e| e.to_string())?;
+            println!(
+                "ok: {} sources, {} query lines, {} templates, {} site nodes",
+                built.stats.sources,
+                built.stats.query_lines,
+                built.stats.templates,
+                built.stats.site_nodes
+            );
+            report_verifications(&built);
+            // Structural lint: site nodes a browser cannot reach from the
+            // root pages (§6.2's connectedness constraint, as a warning).
+            let roots = built.roots();
+            let reachable =
+                strudel::graph::traverse::reachable(&built.result.graph, &roots);
+            let unreachable: Vec<_> = built
+                .result
+                .new_nodes
+                .iter()
+                .filter(|o| !reachable.contains(**o))
+                .collect();
+            if unreachable.is_empty() {
+                println!("reachability: every site node is reachable from the roots");
+            } else {
+                println!(
+                    "warning: {} site node(s) unreachable from the roots, e.g. {}",
+                    unreachable.len(),
+                    built
+                        .result
+                        .graph
+                        .node_name(*unreachable[0])
+                        .unwrap_or("<anonymous>")
+                );
+            }
+            Ok(())
+        }
+        "schema" => {
+            let built = site.build().map_err(|e| e.to_string())?;
+            print!("{}", built.schema.to_dot());
+            Ok(())
+        }
+        "stats" => {
+            let built = site.build().map_err(|e| e.to_string())?;
+            println!("{}", strudel::SiteStats::header());
+            println!(
+                "{}",
+                built.stats_with_render().map_err(|e| e.to_string())?.row()
+            );
+            Ok(())
+        }
+        "guide" => {
+            let built = site.build().map_err(|e| e.to_string())?;
+            let data = built.database.graph();
+            for (cid, name) in data.collections() {
+                let roots: Vec<strudel::graph::Oid> = data
+                    .members(cid)
+                    .iter()
+                    .filter_map(strudel::graph::Value::as_node)
+                    .collect();
+                if roots.is_empty() {
+                    continue;
+                }
+                let guide = strudel::repo::DataGuide::build(data, &roots);
+                println!("collection {name} ({} members):", roots.len());
+                for fact in guide.attribute_report(data, &roots) {
+                    let req = if fact.required() { "required" } else { "optional" };
+                    let types: Vec<String> = fact
+                        .value_types
+                        .iter()
+                        .map(|(t, c)| format!("{t}×{c}"))
+                        .collect();
+                    println!(
+                        "  {:<14} {:>4}/{:<4} {req:<8} {}",
+                        fact.name,
+                        fact.carriers,
+                        fact.total,
+                        types.join(", ")
+                    );
+                }
+            }
+            Ok(())
+        }
+        "build" => {
+            let built = site.build().map_err(|e| e.to_string())?;
+            report_verifications(&built);
+            let output = built.render().map_err(|e| e.to_string())?;
+            let broken = output.broken_links();
+            if broken.is_empty() {
+                println!("links: all intra-site links resolve");
+            } else {
+                for (page, href) in &broken {
+                    println!("warning: {page} links to missing {href}");
+                }
+            }
+            output
+                .write_to_dir(&outdir)
+                .map_err(|e| format!("writing {}: {e}", outdir.display()))?;
+            println!(
+                "built '{}': {} pages ({} bytes) -> {}",
+                built.name,
+                output.pages.len(),
+                output.total_bytes(),
+                outdir.display()
+            );
+            Ok(())
+        }
+        other => Err(format!("unknown command '{other}'\n{usage}")),
+    }
+}
+
+fn report_verifications(site: &strudel::Site) {
+    for v in &site.verifications {
+        let runtime = if v.runtime_result.holds {
+            "holds".to_string()
+        } else {
+            // Render counterexample bindings with symbolic node names.
+            let witness = v
+                .runtime_result
+                .counterexample
+                .as_deref()
+                .unwrap_or(&[])
+                .iter()
+                .map(|(var, value)| {
+                    let shown = match value.as_node() {
+                        Some(o) => site
+                            .result
+                            .graph
+                            .node_name(o)
+                            .map(str::to_owned)
+                            .unwrap_or_else(|| o.to_string()),
+                        None => value.display_text().into_owned(),
+                    };
+                    format!("{var} = {shown}")
+                })
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!("VIOLATED ({witness})")
+        };
+        println!(
+            "constraint [{}]: static {:?}, runtime {}",
+            v.constraint.source, v.static_verdict, runtime
+        );
+    }
+}
+
+/// Assembles a `SiteBuilder` from a site directory.
+fn load_site(dir: &Path) -> Result<SiteBuilder, String> {
+    let read = |p: &Path| -> Result<String, String> {
+        std::fs::read_to_string(p).map_err(|e| format!("reading {}: {e}", p.display()))
+    };
+
+    let name = dir
+        .file_name()
+        .map(|n| n.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "site".to_string());
+    let mut builder = SiteBuilder::new(&name).query(&read(&dir.join("site.struql"))?);
+
+    // Sources.
+    let sources_dir = dir.join("sources");
+    if sources_dir.is_dir() {
+        let mut entries: Vec<PathBuf> = std::fs::read_dir(&sources_dir)
+            .map_err(|e| format!("reading {}: {e}", sources_dir.display()))?
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .collect();
+        entries.sort();
+        for path in entries {
+            let stem = path
+                .file_stem()
+                .map(|s| s.to_string_lossy().into_owned())
+                .unwrap_or_default();
+            match path.extension().and_then(|e| e.to_str()) {
+                Some("bib") => {
+                    builder = builder.source(Source::new(
+                        &stem,
+                        SourceFormat::Bibtex,
+                        &read(&path)?,
+                    ));
+                }
+                Some("csv") => {
+                    builder = builder.source(Source::new(
+                        &stem,
+                        SourceFormat::Relational(TableOptions::new(&stem)),
+                        &read(&path)?,
+                    ));
+                }
+                Some("rec") => {
+                    builder = builder.source(Source::new(
+                        &stem,
+                        SourceFormat::Structured(RecordOptions::new(&stem)),
+                        &read(&path)?,
+                    ));
+                }
+                Some("ddl") => {
+                    builder = builder.source(Source::new(&stem, SourceFormat::Ddl, &read(&path)?));
+                }
+                _ if path.is_dir() && stem == "html" => {
+                    let mut docs = Vec::new();
+                    let mut pages: Vec<PathBuf> = std::fs::read_dir(&path)
+                        .map_err(|e| format!("reading {}: {e}", path.display()))?
+                        .filter_map(|e| e.ok().map(|e| e.path()))
+                        .collect();
+                    pages.sort();
+                    for page in pages {
+                        if page.extension().and_then(|e| e.to_str()) == Some("html") {
+                            docs.push(HtmlDoc {
+                                name: page
+                                    .file_name()
+                                    .map(|n| n.to_string_lossy().into_owned())
+                                    .unwrap_or_default(),
+                                html: read(&page)?,
+                            });
+                        }
+                    }
+                    builder = builder.source(Source::html("html", "Pages", docs));
+                }
+                _ => {
+                    return Err(format!(
+                        "unrecognized source {} (expected .bib/.csv/.rec/.ddl or html/)",
+                        path.display()
+                    ))
+                }
+            }
+        }
+    }
+
+    // Templates.
+    let templates_dir = dir.join("templates");
+    if templates_dir.is_dir() {
+        let mut entries: Vec<PathBuf> = std::fs::read_dir(&templates_dir)
+            .map_err(|e| format!("reading {}: {e}", templates_dir.display()))?
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .collect();
+        entries.sort();
+        for path in entries {
+            if path.extension().and_then(|e| e.to_str()) == Some("tmpl") {
+                let stem = path
+                    .file_stem()
+                    .map(|s| s.to_string_lossy().into_owned())
+                    .unwrap_or_default();
+                builder = builder.template(&stem, &read(&path)?);
+            }
+        }
+    }
+
+    // Configuration.
+    let conf = read(&dir.join("site.conf"))?;
+    for (line_no, raw) in conf.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut words = line.splitn(3, char::is_whitespace);
+        let kind = words.next().unwrap_or_default();
+        let err = |msg: &str| format!("site.conf line {}: {msg}", line_no + 1);
+        match kind {
+            "root" => {
+                let coll = words.next().ok_or_else(|| err("root needs a collection"))?;
+                builder = builder.root_collection(coll);
+            }
+            "object" => {
+                let (obj, tmpl) = (
+                    words.next().ok_or_else(|| err("object needs a name"))?,
+                    words.next().ok_or_else(|| err("object needs a template"))?,
+                );
+                builder = builder.assign_object(obj, tmpl.trim());
+            }
+            "collection" => {
+                let (coll, tmpl) = (
+                    words.next().ok_or_else(|| err("collection needs a name"))?,
+                    words
+                        .next()
+                        .ok_or_else(|| err("collection needs a template"))?,
+                );
+                builder = builder.assign_collection(coll, tmpl.trim());
+            }
+            "default" => {
+                let tmpl = words.next().ok_or_else(|| err("default needs a template"))?;
+                builder = builder.default_template(tmpl);
+            }
+            "constraint" => {
+                let rest: String = {
+                    let a = words.next().unwrap_or_default();
+                    let b = words.next().unwrap_or_default();
+                    if b.is_empty() {
+                        a.to_string()
+                    } else {
+                        format!("{a} {b}")
+                    }
+                };
+                builder = builder.constraint(rest.trim());
+            }
+            other => return Err(err(&format!("unknown directive '{other}'"))),
+        }
+    }
+    Ok(builder)
+}

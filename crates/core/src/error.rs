@@ -1,0 +1,56 @@
+//! Top-level error type.
+
+use std::fmt;
+
+/// Any error raised while building or rendering a Strudel site.
+#[derive(Debug)]
+pub enum StrudelError {
+    /// Source wrapping or mediation failed.
+    Mediator(strudel_mediator::MediatorError),
+    /// The site-definition query failed to parse, check, or evaluate.
+    Struql(strudel_struql::StruqlError),
+    /// A template failed to parse or render.
+    Template(strudel_template::TemplateError),
+    /// An integrity constraint failed to parse.
+    Constraint(strudel_schema::constraint::ConstraintError),
+    /// The builder was misconfigured.
+    Config(String),
+}
+
+impl fmt::Display for StrudelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StrudelError::Mediator(e) => write!(f, "{e}"),
+            StrudelError::Struql(e) => write!(f, "{e}"),
+            StrudelError::Template(e) => write!(f, "{e}"),
+            StrudelError::Constraint(e) => write!(f, "{e}"),
+            StrudelError::Config(m) => write!(f, "configuration error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for StrudelError {}
+
+impl From<strudel_mediator::MediatorError> for StrudelError {
+    fn from(e: strudel_mediator::MediatorError) -> Self {
+        StrudelError::Mediator(e)
+    }
+}
+
+impl From<strudel_struql::StruqlError> for StrudelError {
+    fn from(e: strudel_struql::StruqlError) -> Self {
+        StrudelError::Struql(e)
+    }
+}
+
+impl From<strudel_template::TemplateError> for StrudelError {
+    fn from(e: strudel_template::TemplateError) -> Self {
+        StrudelError::Template(e)
+    }
+}
+
+impl From<strudel_schema::constraint::ConstraintError> for StrudelError {
+    fn from(e: strudel_schema::constraint::ConstraintError) -> Self {
+        StrudelError::Constraint(e)
+    }
+}

@@ -1,0 +1,135 @@
+//! The INRIA-Rodin-style bilingual site of §5.1: "the site has two views:
+//! one English and one French. The two views are cross-linked so that each
+//! English page is linked to the equivalent page in the French site and
+//! vice versa. **One STRUQL query defines both views and creates the links
+//! between them.**"
+//!
+//! The data source is a DDL file of items with `title-en`/`title-fr` and
+//! `body-en`/`body-fr` attributes.
+
+use crate::SiteBuilder;
+use strudel_mediator::{Source, SourceFormat};
+
+/// The single query defining both views and their cross-links.
+pub const BILINGUAL_QUERY: &str = r#"
+-- one query, two cross-linked language views
+create EnHome(), FrHome()
+link EnHome() -> "titre" -> "Research Institute",
+     FrHome() -> "titre" -> "Institut de Recherche",
+     EnHome() -> "french" -> FrHome(),
+     FrHome() -> "english" -> EnHome()
+collect Roots(EnHome()), Roots(FrHome())
+
+where Items(x)
+create EnPage(x), FrPage(x)
+link EnHome() -> "item" -> EnPage(x),
+     FrHome() -> "item" -> FrPage(x),
+     EnPage(x) -> "french"  -> FrPage(x),
+     FrPage(x) -> "english" -> EnPage(x)
+collect EnPages(EnPage(x)), FrPages(FrPage(x))
+{ where x -> "title-en" -> t  link EnPage(x) -> "titre" -> t }
+{ where x -> "title-fr" -> t  link FrPage(x) -> "titre" -> t }
+{ where x -> "body-en" -> b   link EnPage(x) -> "body" -> b }
+{ where x -> "body-fr" -> b   link FrPage(x) -> "body" -> b }
+"#;
+
+const EN_TEMPLATE: &str = r#"<html><head><title><SFMT titre></title></head><body>
+<h1><SFMT titre></h1>
+<SIF body><p><SFMT body></p></SIF>
+<SIF item><ul><SFOR i IN item><li><SFMT $i></li></SFOR></ul></SIF>
+<SIF french><p><SFMT french> (en fran&ccedil;ais)</p></SIF>
+</body></html>"#;
+
+const FR_TEMPLATE: &str = r#"<html><head><title><SFMT titre></title></head><body>
+<h1><SFMT titre></h1>
+<SIF body><p><SFMT body></p></SIF>
+<SIF item><ul><SFOR i IN item><li><SFMT $i></li></SFOR></ul></SIF>
+<SIF english><p><SFMT english> (in English)</p></SIF>
+</body></html>"#;
+
+/// Builds the bilingual site from a DDL document declaring an `Items`
+/// collection with per-language attributes.
+pub fn bilingual_site(items_ddl: &str) -> SiteBuilder {
+    SiteBuilder::new("bilingual")
+        .source(Source::new("items", SourceFormat::Ddl, items_ddl))
+        .query(BILINGUAL_QUERY)
+        .template("en", EN_TEMPLATE)
+        .template("fr", FR_TEMPLATE)
+        .assign_object("EnHome", "en")
+        .assign_object("FrHome", "fr")
+        .assign_collection("EnPages", "en")
+        .assign_collection("FrPages", "fr")
+        .root_collection("Roots")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ITEMS: &str = r#"
+        object i1 in Items {
+          title-en : "The Strudel project";
+          title-fr : "Le projet Strudel";
+          body-en  : "Declarative web sites.";
+          body-fr  : "Sites web declaratifs.";
+        }
+        object i2 in Items {
+          title-en : "People";
+          title-fr : "Equipe";
+          body-en  : "Researchers and students.";
+        }
+    "#;
+
+    #[test]
+    fn one_query_builds_both_views() {
+        let site = bilingual_site(ITEMS).build().unwrap();
+        // 2 homes + 2×2 item pages.
+        assert_eq!(site.stats.site_nodes, 6);
+        let out = site.render().unwrap();
+        assert_eq!(out.pages.len(), 6);
+        assert!(out
+            .pages
+            .iter()
+            .any(|p| p.html.contains("Le projet Strudel")));
+        assert!(out
+            .pages
+            .iter()
+            .any(|p| p.html.contains("The Strudel project")));
+    }
+
+    #[test]
+    fn pages_are_cross_linked() {
+        let site = bilingual_site(ITEMS).build().unwrap();
+        let g = &site.result.graph;
+        let i1 = site.database.graph().node_by_name("i1").unwrap();
+        let en = site
+            .result
+            .skolem_node("EnPage", &[strudel_graph::Value::Node(i1)])
+            .unwrap();
+        let fr = site
+            .result
+            .skolem_node("FrPage", &[strudel_graph::Value::Node(i1)])
+            .unwrap();
+        assert_eq!(
+            g.first_attr_str(en, "french"),
+            Some(&strudel_graph::Value::Node(fr))
+        );
+        assert_eq!(
+            g.first_attr_str(fr, "english"),
+            Some(&strudel_graph::Value::Node(en))
+        );
+    }
+
+    #[test]
+    fn missing_translations_are_tolerated() {
+        // i2 has no body-fr: its French page simply lacks the body.
+        let site = bilingual_site(ITEMS).build().unwrap();
+        let out = site.render().unwrap();
+        let fr_people = out
+            .pages
+            .iter()
+            .find(|p| p.html.contains("<h1>Equipe</h1>"))
+            .unwrap();
+        assert!(!fr_people.html.contains("<p>Researchers"));
+    }
+}

@@ -1,0 +1,19 @@
+//! The sites the paper built with the prototype (§5.1), as reusable
+//! specifications: researcher homepages, the AT&T-Labs-style organization
+//! site (internal and external versions), the CNN-style news site (general
+//! and sports-only), and the INRIA-style bilingual site.
+//!
+//! Each function configures a [`SiteBuilder`](crate::SiteBuilder) from raw
+//! source content; the workload crate generates paper-scale synthetic
+//! content for them. These specifications are what the T1 (site
+//! statistics) and E-multiversion experiments measure.
+
+mod bilingual;
+mod homepage;
+mod news;
+mod org;
+
+pub use bilingual::bilingual_site;
+pub use homepage::{homepage_external_templates, homepage_site, HOMEPAGE_QUERY, PERSONAL_DDL_EXAMPLE};
+pub use news::{news_site, sports_only_site, NEWS_QUERY, SPORTS_QUERY};
+pub use org::{org_external_templates, org_site, ORG_QUERY};

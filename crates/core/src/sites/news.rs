@@ -1,0 +1,230 @@
+//! The CNN-style news site of §5.1: ~300 articles wrapped from HTML,
+//! defined by a 44-line query and nine templates; plus the "sports only"
+//! site, whose query "is derived from the original query and only differs
+//! in two extra predicates in one where clause" and which uses the same
+//! templates.
+
+use crate::SiteBuilder;
+use strudel_mediator::Source;
+use strudel_wrappers::html::HtmlDoc;
+
+/// The general news-site query (§5.1: "our version of the CNN site is
+/// defined by a 44-line query and nine templates").
+pub const NEWS_QUERY: &str = r#"
+-- news site: front page, per-category pages, article pages
+create FrontPage()
+collect FrontRoot(FrontPage())
+
+where Articles(a), a -> "category" -> c
+create CategoryPage(c), ArticlePage(a)
+link FrontPage() -> "Section" -> CategoryPage(c),
+     CategoryPage(c) -> "Name" -> c,
+     CategoryPage(c) -> "Story" -> ArticlePage(a),
+     ArticlePage(a) -> "Section" -> CategoryPage(c)
+collect CategoryPages(CategoryPage(c)), ArticlePages(ArticlePage(a))
+{ where a -> "title" -> t
+  link ArticlePage(a) -> "title" -> t,
+       FrontPage() -> "Headline" -> ArticlePage(a) }
+{ where a -> "headline" -> h
+  link ArticlePage(a) -> "headline" -> h }
+{ where a -> "date" -> d
+  link ArticlePage(a) -> "date" -> d }
+{ where a -> "byline" -> b
+  link ArticlePage(a) -> "byline" -> b }
+{ where a -> "paragraph" -> p
+  link ArticlePage(a) -> "paragraph" -> p }
+{ where a -> "image" -> img
+  link ArticlePage(a) -> "image" -> img }
+{ where a -> "link" -> r, Articles(r)
+  link ArticlePage(a) -> "Related" -> ArticlePage(r) }
+{ where a -> "link" -> ext, not(isNode(ext))
+  link ArticlePage(a) -> "External" -> ext }
+"#;
+
+/// The sports-only query: identical except for **two extra predicates in
+/// one where clause** (the §5.1 derivation), restricting articles to the
+/// sports category.
+pub const SPORTS_QUERY: &str = r#"
+-- sports-only news site: two extra predicates in the first where clause
+create FrontPage()
+collect FrontRoot(FrontPage())
+
+where Articles(a), a -> "category" -> c, isString(c), c = "sports"
+create CategoryPage(c), ArticlePage(a)
+link FrontPage() -> "Section" -> CategoryPage(c),
+     CategoryPage(c) -> "Name" -> c,
+     CategoryPage(c) -> "Story" -> ArticlePage(a),
+     ArticlePage(a) -> "Section" -> CategoryPage(c)
+collect CategoryPages(CategoryPage(c)), ArticlePages(ArticlePage(a))
+{ where a -> "title" -> t
+  link ArticlePage(a) -> "title" -> t,
+       FrontPage() -> "Headline" -> ArticlePage(a) }
+{ where a -> "headline" -> h
+  link ArticlePage(a) -> "headline" -> h }
+{ where a -> "date" -> d
+  link ArticlePage(a) -> "date" -> d }
+{ where a -> "byline" -> b
+  link ArticlePage(a) -> "byline" -> b }
+{ where a -> "paragraph" -> p
+  link ArticlePage(a) -> "paragraph" -> p }
+{ where a -> "image" -> img
+  link ArticlePage(a) -> "image" -> img }
+{ where a -> "link" -> r, Articles(r)
+  link ArticlePage(a) -> "Related" -> ArticlePage(r) }
+{ where a -> "link" -> ext, not(isNode(ext))
+  link ArticlePage(a) -> "External" -> ext }
+"#;
+
+/// The nine news templates (shared by the general and sports-only sites:
+/// "both sites use the same templates").
+fn news_templates() -> Vec<(&'static str, &'static str)> {
+    vec![
+        (
+            "front",
+            r#"<html><head><title>News</title></head><body>
+<h1>Today's news</h1>
+<h2>Sections</h2>
+<SFMT Section UL ORDER=ascend KEY=Name>
+<h2>Top stories</h2>
+<SFMT Headline UL ORDER=ascend KEY=title>
+</body></html>"#,
+        ),
+        (
+            "section",
+            r#"<html><head><title><SFMT Name></title></head><body>
+<h1><SFMT Name></h1>
+<SFMT Story UL ORDER=descend KEY=date>
+</body></html>"#,
+        ),
+        (
+            "article",
+            r#"<html><head><title><SFMT title></title></head><body>
+<h1><SFMT headline></h1>
+<SIF byline><p>By <SFMT byline></p></SIF>
+<SIF date><p><SFMT date></p></SIF>
+<SIF image><SFMT image></SIF>
+<SFMT paragraph ENUM DELIM="\n">
+<SIF Related><h3>Related stories</h3><SFMT Related UL></SIF>
+<SIF External><p><SFMT External ENUM DELIM=" | "></p></SIF>
+<p><SFMT Section></p>
+</body></html>"#,
+        ),
+        ("byline", "<p class=\"byline\"><SFMT byline></p>"),
+        ("dateline", "<p class=\"date\"><SFMT date></p>"),
+        ("story-teaser", "<b><SFMT title></b> &mdash; <SFMT date>"),
+        ("related-list", "<SFMT Related UL>"),
+        ("photo", "<SFMT image>"),
+        ("banner", "<hr><p>strudel news network</p>"),
+    ]
+}
+
+/// Builds the general news site from wrapped article pages.
+pub fn news_site(pages: &[(String, String)]) -> SiteBuilder {
+    site_with_query("news", NEWS_QUERY, pages)
+}
+
+/// Builds the sports-only site from the same pages — "to demonstrate
+/// Strudel's ability to generate multiple sites from one database".
+pub fn sports_only_site(pages: &[(String, String)]) -> SiteBuilder {
+    site_with_query("news-sports", SPORTS_QUERY, pages)
+}
+
+fn site_with_query(name: &str, query: &str, pages: &[(String, String)]) -> SiteBuilder {
+    let docs = HtmlDoc::from_pairs(pages);
+    let mut b = SiteBuilder::new(name)
+        .source(Source::html("articles", "Articles", docs))
+        .query(query)
+        .root_collection("FrontRoot");
+    for (tname, src) in news_templates() {
+        b = b.template(tname, src);
+    }
+    b.assign_object("FrontPage", "front")
+        .assign_collection("CategoryPages", "section")
+        .assign_collection("ArticlePages", "article")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pages() -> Vec<(String, String)> {
+        vec![
+            (
+                "a0.html".into(),
+                r#"<title>Big game tonight</title>
+<meta name="category" content="sports"><meta name="date" content="1998-02-01">
+<h1>Big game tonight</h1><p>Sports text.</p>
+<a href="a1.html">related</a>"#
+                    .into(),
+            ),
+            (
+                "a1.html".into(),
+                r#"<title>Storm coming</title>
+<meta name="category" content="weather"><meta name="date" content="1998-02-02">
+<h1>Storm coming</h1><p>Weather text.</p>
+<a href="http://example.com/more">more</a>"#
+                    .into(),
+            ),
+        ]
+    }
+
+    #[test]
+    fn news_site_builds_and_renders() {
+        let site = news_site(&pages()).build().unwrap();
+        // FrontPage + 2 categories + 2 articles.
+        assert_eq!(site.stats.site_nodes, 5);
+        let out = site.render().unwrap();
+        assert_eq!(out.pages.len(), 5);
+        let front = out.page_named("FrontPage.html").unwrap();
+        assert!(front.html.contains("Sections"));
+        let sports_article = out
+            .pages
+            .iter()
+            .find(|p| p.html.contains("<h1>Big game tonight</h1>"))
+            .unwrap();
+        assert!(sports_article.html.contains("Related stories"));
+    }
+
+    #[test]
+    fn sports_site_filters_by_category() {
+        let site = sports_only_site(&pages()).build().unwrap();
+        // FrontPage + sports category + the sports article + a stub page
+        // for the related (non-sports) story it links to: the Related link
+        // clause mints ArticlePage(r), but none of r's content blocks run,
+        // so the stub carries no attributes.
+        assert_eq!(site.stats.site_nodes, 4);
+        let out = site.render().unwrap();
+        assert!(out.pages.iter().all(|p| !p.html.contains("Storm coming")));
+        assert!(out.pages.iter().any(|p| p.html.contains("<h1>Big game tonight</h1>")));
+    }
+
+    #[test]
+    fn queries_differ_by_exactly_the_two_predicates() {
+        // Count differing non-comment lines between the two queries.
+        let a: Vec<&str> = NEWS_QUERY
+            .lines()
+            .map(str::trim)
+            .filter(|l| !l.is_empty() && !l.starts_with("--"))
+            .collect();
+        let b: Vec<&str> = SPORTS_QUERY
+            .lines()
+            .map(str::trim)
+            .filter(|l| !l.is_empty() && !l.starts_with("--"))
+            .collect();
+        assert_eq!(a.len(), b.len());
+        let diffs: Vec<(&&str, &&str)> =
+            a.iter().zip(b.iter()).filter(|(x, y)| x != y).collect();
+        assert_eq!(diffs.len(), 1, "one where clause differs");
+        assert!(diffs[0].1.contains("isString(c)"));
+        assert!(diffs[0].1.contains("c = \"sports\""));
+    }
+
+    #[test]
+    fn both_sites_share_templates() {
+        let general = news_site(&pages()).build().unwrap();
+        let sports = sports_only_site(&pages()).build().unwrap();
+        assert_eq!(general.stats.templates, 9, "paper: nine templates");
+        assert_eq!(general.stats.templates, sports.stats.templates);
+        assert_eq!(general.stats.template_lines, sports.stats.template_lines);
+    }
+}

@@ -1,0 +1,393 @@
+//! The AT&T-Labs-style organization site of §5.1: five data sources
+//! (two relational tables, two structured files, legacy HTML pages),
+//! home pages for ~400 members, department, project, and demo pages.
+//! "The internal site is defined by a 115-line query and 17 HTML
+//! templates (380 lines). … no new queries were written for the external
+//! site"; only a handful of templates differ.
+
+use crate::SiteBuilder;
+use strudel_mediator::{Source, SourceFormat};
+use strudel_template::TemplateSet;
+use strudel_wrappers::html::HtmlDoc;
+use strudel_wrappers::relational::TableOptions;
+use strudel_wrappers::structured::RecordOptions;
+
+/// The organization site-definition query (the paper's internal site was
+/// 115 lines; this one is the same order of magnitude and shape).
+pub const ORG_QUERY: &str = r#"
+-- organization site: home pages, departments, projects, demos, legacy docs
+create OrgHome(), PeopleIndex(), DeptIndex(), ProjectIndex(), DemoIndex()
+link OrgHome() -> "People"      -> PeopleIndex(),
+     OrgHome() -> "Departments" -> DeptIndex(),
+     OrgHome() -> "Projects"    -> ProjectIndex(),
+     OrgHome() -> "Demos"       -> DemoIndex(),
+     OrgHome() -> "title"       -> "Research Labs"
+collect OrgRoot(OrgHome())
+
+-- person home pages: copy every attribute (irregular by design)
+where People(p)
+create PersonPage(p)
+link PeopleIndex() -> "Person" -> PersonPage(p)
+collect PersonPages(PersonPage(p))
+{ where p -> l -> v
+  link PersonPage(p) -> l -> v }
+
+-- department pages with members and director
+where Departments(d), d -> "id" -> did
+create DeptPage(d)
+link DeptIndex() -> "Department" -> DeptPage(d)
+collect DeptPages(DeptPage(d))
+{ where d -> "name" -> n
+  link DeptPage(d) -> "name" -> n }
+{ where d -> "director" -> dir, People(q), q -> "id" -> dir
+  link DeptPage(d) -> "Director" -> PersonPage(q) }
+{ where People(q), q -> "dept" -> did
+  link DeptPage(d) -> "Member" -> PersonPage(q),
+       PersonPage(q) -> "Department" -> DeptPage(d) }
+{ where LegacyDocs(doc), doc -> "dept" -> did
+  link DeptPage(d) -> "About" -> doc }
+
+-- project pages with member links and optional synopsis/sponsor
+where Projects(pr), pr -> "id" -> prid
+create ProjectPage(pr)
+link ProjectIndex() -> "Project" -> ProjectPage(pr)
+collect ProjectPages(ProjectPage(pr))
+{ where pr -> "name" -> n
+  link ProjectPage(pr) -> "name" -> n }
+{ where pr -> "synopsis" -> s
+  link ProjectPage(pr) -> "synopsis" -> s }
+{ where pr -> "sponsor" -> sp
+  link ProjectPage(pr) -> "sponsor" -> sp }
+{ where pr -> "member" -> m, People(q), q -> "id" -> m
+  link ProjectPage(pr) -> "Member" -> PersonPage(q),
+       PersonPage(q) -> "Project" -> ProjectPage(pr) }
+{ where pr -> "dept" -> dd, Departments(d2), d2 -> "id" -> dd
+  link ProjectPage(pr) -> "Department" -> DeptPage(d2),
+       DeptPage(d2) -> "Project" -> ProjectPage(pr) }
+
+-- demo pages linked to their projects
+where Demos(dm)
+create DemoPage(dm)
+link DemoIndex() -> "Demo" -> DemoPage(dm)
+collect DemoPages(DemoPage(dm))
+{ where dm -> "name" -> n
+  link DemoPage(dm) -> "name" -> n }
+{ where dm -> "url" -> u
+  link DemoPage(dm) -> "url" -> u }
+{ where dm -> "project" -> pid, Projects(pr2), pr2 -> "id" -> pid
+  link DemoPage(dm) -> "Project" -> ProjectPage(pr2),
+       ProjectPage(pr2) -> "Demo" -> DemoPage(dm) }
+"#;
+
+/// The seventeen internal templates (the paper: "17 HTML templates (380
+/// lines)").
+fn internal_templates() -> Vec<(&'static str, &'static str)> {
+    vec![
+        (
+            "org-home",
+            r#"<html><head><title><SFMT title></title></head><body>
+<h1><SFMT title></h1>
+<ul>
+<li><SFMT People></li>
+<li><SFMT Departments></li>
+<li><SFMT Projects></li>
+<li><SFMT Demos></li>
+</ul>
+</body></html>"#,
+        ),
+        (
+            "people-index",
+            r#"<html><head><title>People</title></head><body>
+<h1>People</h1>
+<SFMT Person UL ORDER=ascend KEY=name>
+</body></html>"#,
+        ),
+        (
+            "dept-index",
+            r#"<html><head><title>Departments</title></head><body>
+<h1>Departments</h1>
+<SFMT Department UL ORDER=ascend KEY=name>
+</body></html>"#,
+        ),
+        (
+            "project-index",
+            r#"<html><head><title>Projects</title></head><body>
+<h1>Projects</h1>
+<SFMT Project UL ORDER=ascend KEY=name>
+</body></html>"#,
+        ),
+        (
+            "demo-index",
+            r#"<html><head><title>Demos</title></head><body>
+<h1>Demos</h1>
+<SFMT Demo UL ORDER=ascend KEY=name>
+</body></html>"#,
+        ),
+        (
+            "person",
+            r#"<html><head><title><SFMT name></title></head><body>
+<h1><SFMT name></h1>
+<SIF room><p>Room <SFMT room></p></SIF>
+<SIF phone><p>Phone <SFMT phone></p></SIF>
+<SIF homepage><p><SFMT homepage></p></SIF>
+<SIF Department><p>Department: <SFMT Department></p></SIF>
+<SIF Project><h2>Projects</h2><SFMT Project UL></SIF>
+<SIF visibility><p class="vis">(<SFMT visibility>)</p></SIF>
+</body></html>"#,
+        ),
+        (
+            "department",
+            r#"<html><head><title><SFMT name></title></head><body>
+<h1><SFMT name></h1>
+<SIF Director><p>Director: <SFMT Director></p></SIF>
+<SIF About><p><SFMT About></p></SIF>
+<h2>Members</h2>
+<SFMT Member UL ORDER=ascend KEY=name>
+<SIF Project><h2>Projects</h2><SFMT Project UL ORDER=ascend KEY=name></SIF>
+</body></html>"#,
+        ),
+        (
+            "project",
+            r#"<html><head><title><SFMT name></title></head><body>
+<h1><SFMT name></h1>
+<SIF synopsis><p><SFMT synopsis></p></SIF>
+<SIF sponsor><p>Sponsored by <SFMT sponsor></p></SIF>
+<h2>Members</h2>
+<SFMT Member UL ORDER=ascend KEY=name>
+<SIF Demo><h2>Demos</h2><SFMT Demo UL></SIF>
+<SIF Department><p><SFMT Department></p></SIF>
+</body></html>"#,
+        ),
+        (
+            "demo",
+            r#"<html><head><title><SFMT name></title></head><body>
+<h1><SFMT name></h1>
+<SIF url><p>Try it: <SFMT url></p></SIF>
+<SIF Project><p>Project: <SFMT Project></p></SIF>
+</body></html>"#,
+        ),
+        (
+            "legacy-doc",
+            r#"<html><head><title><SFMT title></title></head><body>
+<h1><SFMT title></h1>
+<SFMT paragraph ENUM DELIM="\n">
+</body></html>"#,
+        ),
+        ("person-line", r#"<SFMT name> (<SFMT room>)"#),
+        ("phone-card", r#"<p><SFMT name>: <SFMT phone></p>"#),
+        ("member-list", "<SFMT Member UL>"),
+        ("sponsor-line", "<SIF sponsor><p><SFMT sponsor></p></SIF>"),
+        ("org-nav", r#"<p><a href="OrgHome.html">org home</a></p>"#),
+        ("org-footer", "<hr><p>internal use</p>"),
+        ("org-head", "<head><title><SFMT name></title></head>"),
+    ]
+}
+
+/// Assigns templates shared by the internal and external sets.
+fn assign(ts: &mut TemplateSet) {
+    ts.assign_object("OrgHome", "org-home");
+    ts.assign_object("PeopleIndex", "people-index");
+    ts.assign_object("DeptIndex", "dept-index");
+    ts.assign_object("ProjectIndex", "project-index");
+    ts.assign_object("DemoIndex", "demo-index");
+    ts.assign_collection("PersonPages", "person");
+    ts.assign_collection("DeptPages", "department");
+    ts.assign_collection("ProjectPages", "project");
+    ts.assign_collection("DemoPages", "demo");
+    ts.assign_collection("LegacyDocs", "legacy-doc");
+}
+
+/// Builds the internal organization site from the five sources.
+pub fn org_site(
+    people_csv: &str,
+    departments_csv: &str,
+    projects_rec: &str,
+    demos_rec: &str,
+    legacy_html: &[(String, String)],
+) -> SiteBuilder {
+    let docs = HtmlDoc::from_pairs(legacy_html);
+    let mut b = SiteBuilder::new("org-internal")
+        .source(Source::new(
+            "people",
+            SourceFormat::Relational(TableOptions::new("People")),
+            people_csv,
+        ))
+        .source(Source::new(
+            "departments",
+            SourceFormat::Relational(TableOptions::new("Departments")),
+            departments_csv,
+        ))
+        .source(Source::new(
+            "projects",
+            SourceFormat::Structured(RecordOptions::new("Projects")),
+            projects_rec,
+        ))
+        .source(Source::new(
+            "demos",
+            SourceFormat::Structured(RecordOptions::new("Demos")),
+            demos_rec,
+        ))
+        .source(Source::html("legacy", "LegacyDocs", docs))
+        .query(ORG_QUERY)
+        .root_collection("OrgRoot");
+    for (name, src) in internal_templates() {
+        b = b.template(name, src);
+    }
+    b.assign_object("OrgHome", "org-home")
+        .assign_object("PeopleIndex", "people-index")
+        .assign_object("DeptIndex", "dept-index")
+        .assign_object("ProjectIndex", "project-index")
+        .assign_object("DemoIndex", "demo-index")
+        .assign_collection("PersonPages", "person")
+        .assign_collection("DeptPages", "department")
+        .assign_collection("ProjectPages", "project")
+        .assign_collection("DemoPages", "demo")
+        .assign_collection("LegacyDocs", "legacy-doc")
+}
+
+/// The external template set: the same site graph rendered without
+/// internal details. Exactly five templates differ from the internal set
+/// (§5.1: "only five HTML template files differ for the external site").
+pub fn org_external_templates() -> TemplateSet {
+    let mut ts = TemplateSet::new();
+    for (name, src) in internal_templates() {
+        ts.add_template(name, src).expect("internal templates parse");
+    }
+    // 1. person: no room/phone/visibility.
+    ts.add_template(
+        "person",
+        r#"<html><head><title><SFMT name></title></head><body>
+<h1><SFMT name></h1>
+<SIF homepage><p><SFMT homepage></p></SIF>
+<SIF Department><p>Department: <SFMT Department></p></SIF>
+<SIF Project><h2>Projects</h2><SFMT Project UL></SIF>
+</body></html>"#,
+    )
+    .expect("template parses");
+    // 2. project: no sponsor details.
+    ts.add_template(
+        "project",
+        r#"<html><head><title><SFMT name></title></head><body>
+<h1><SFMT name></h1>
+<SIF synopsis><p><SFMT synopsis></p></SIF>
+<h2>Members</h2>
+<SFMT Member UL ORDER=ascend KEY=name>
+<SIF Demo><h2>Demos</h2><SFMT Demo UL></SIF>
+</body></html>"#,
+    )
+    .expect("template parses");
+    // 3. phone-card: externally, no phone numbers at all.
+    ts.add_template("phone-card", "<p><SFMT name></p>")
+        .expect("template parses");
+    // 4. person-line: no room numbers.
+    ts.add_template("person-line", "<SFMT name>").expect("template parses");
+    // 5. org-footer: public banner.
+    ts.add_template("org-footer", "<hr><p>public site</p>")
+        .expect("template parses");
+    assign(&mut ts);
+    ts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_org() -> (String, String, String, String, Vec<(String, String)>) {
+        let people = "id,name,dept,room:string,phone,homepage:url,visibility\n\
+                      mff,Mary Fernandez,dept0,B-101,5551234,http://x/mff,public\n\
+                      ds,Dan Suciu,dept0,,,,internal\n\
+                      al,Alon Levy,dept1,B-202,5555678,,public\n"
+            .to_string();
+        let depts = "id,name,director\ndept0,Database Research,mff\ndept1,Systems,al\n"
+            .to_string();
+        let projects = "id: strudel\nname: Strudel\ndept: dept0\nmember: mff\nmember: ds\n\
+                        synopsis: Declarative sites.\nsponsor: Web Fund\n\n\
+                        id: tukwila\nname: Tukwila\ndept: dept1\nmember: al\n"
+            .to_string();
+        let demos = "id: d0\nname: Strudel Demo\nproject: strudel\n\
+                     url: http://demos.example.com/d0\n"
+            .to_string();
+        let legacy = vec![(
+            "about_dept0.html".to_string(),
+            "<title>About dept0</title><meta name=\"dept\" content=\"dept0\">\
+             <h1>About dept0</h1><p>History.</p>"
+                .to_string(),
+        )];
+        (people, depts, projects, demos, legacy)
+    }
+
+    #[test]
+    fn org_site_builds_with_five_sources() {
+        let (p, d, pr, dm, lg) = tiny_org();
+        let site = org_site(&p, &d, &pr, &dm, &lg).build().unwrap();
+        assert_eq!(site.stats.sources, 5);
+        assert_eq!(site.stats.templates, 17, "paper: 17 templates");
+        // 5 index pages + 3 people + 2 depts + 2 projects + 1 demo = 13
+        assert_eq!(site.stats.site_nodes, 13);
+        let out = site.render().unwrap();
+        assert!(out.pages.len() >= 13);
+    }
+
+    #[test]
+    fn joins_connect_the_sources() {
+        let (p, d, pr, dm, lg) = tiny_org();
+        let site = org_site(&p, &d, &pr, &dm, &lg).build().unwrap();
+        let out = site.render().unwrap();
+        let mff_page = out
+            .pages
+            .iter()
+            .find(|pg| pg.html.contains("<h1>Mary Fernandez</h1>"))
+            .expect("mff home page");
+        assert!(mff_page.html.contains("Strudel"), "project join");
+        assert!(mff_page.html.contains("Database Research"), "dept join");
+        let dept_page = out
+            .pages
+            .iter()
+            .find(|pg| pg.html.contains("<h1>Database Research</h1>"))
+            .unwrap();
+        assert!(dept_page.html.contains("Director"));
+        assert!(dept_page.html.contains("About dept0"), "legacy HTML joined");
+    }
+
+    #[test]
+    fn external_site_needs_no_new_query_lines() {
+        let (p, d, pr, dm, lg) = tiny_org();
+        let site = org_site(&p, &d, &pr, &dm, &lg).build().unwrap();
+        let internal = site.render().unwrap();
+        let external = site.render_with(&org_external_templates()).unwrap();
+        assert_eq!(internal.pages.len(), external.pages.len(), "same site graph");
+
+        let mff_int = internal
+            .pages
+            .iter()
+            .find(|pg| pg.html.contains("<h1>Mary Fernandez</h1>"))
+            .unwrap();
+        let mff_ext = external
+            .pages
+            .iter()
+            .find(|pg| pg.html.contains("<h1>Mary Fernandez</h1>"))
+            .unwrap();
+        assert!(mff_int.html.contains("Phone"));
+        assert!(!mff_ext.html.contains("Phone"), "external hides phones");
+        assert!(!mff_ext.html.contains("B-101"), "external hides rooms");
+    }
+
+    #[test]
+    fn missing_attributes_render_as_absences() {
+        let (p, d, pr, dm, lg) = tiny_org();
+        let site = org_site(&p, &d, &pr, &dm, &lg).build().unwrap();
+        let out = site.render().unwrap();
+        let ds_page = out
+            .pages
+            .iter()
+            .find(|pg| pg.html.contains("<h1>Dan Suciu</h1>"))
+            .unwrap();
+        assert!(!ds_page.html.contains("Phone"), "ds has no phone");
+        let tukwila = out
+            .pages
+            .iter()
+            .find(|pg| pg.html.contains("<h1>Tukwila</h1>"))
+            .unwrap();
+        assert!(!tukwila.html.contains("Sponsored"), "unsponsored project");
+    }
+}

@@ -1,0 +1,102 @@
+//! Integration tests driving the `strudel` CLI binary against the demo
+//! site directory.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn demo_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../examples/site-demo")
+}
+
+fn strudel(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_strudel"))
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+#[test]
+fn build_writes_the_site() {
+    let out = std::env::temp_dir().join(format!("strudel-cli-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&out);
+    let dir = demo_dir();
+    let result = strudel(&["build", dir.to_str().unwrap(), "-o", out.to_str().unwrap()]);
+    assert!(
+        result.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&result.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&result.stdout);
+    assert!(stdout.contains("static Proved"), "{stdout}");
+    assert!(stdout.contains("5 pages"), "{stdout}");
+    assert!(out.join("HomePage.html").exists());
+    let home = std::fs::read_to_string(out.join("HomePage.html")).unwrap();
+    assert!(home.contains("YearPage_1998_.html"));
+    std::fs::remove_dir_all(&out).unwrap();
+}
+
+#[test]
+fn check_reports_statistics() {
+    let dir = demo_dir();
+    let result = strudel(&["check", dir.to_str().unwrap()]);
+    assert!(result.status.success());
+    let stdout = String::from_utf8_lossy(&result.stdout);
+    assert!(stdout.contains("ok: 1 sources"), "{stdout}");
+}
+
+#[test]
+fn schema_emits_dot() {
+    let dir = demo_dir();
+    let result = strudel(&["schema", dir.to_str().unwrap()]);
+    assert!(result.status.success());
+    let stdout = String::from_utf8_lossy(&result.stdout);
+    assert!(stdout.contains("digraph site_schema"));
+    assert!(stdout.contains("YearPage"));
+}
+
+#[test]
+fn stats_prints_the_t1_row() {
+    let dir = demo_dir();
+    let result = strudel(&["stats", dir.to_str().unwrap()]);
+    assert!(result.status.success());
+    let stdout = String::from_utf8_lossy(&result.stdout);
+    assert!(stdout.contains("query-lines"));
+    assert!(stdout.contains("site-demo"));
+}
+
+#[test]
+fn check_reports_reachability() {
+    let dir = demo_dir();
+    let result = strudel(&["check", dir.to_str().unwrap()]);
+    let stdout = String::from_utf8_lossy(&result.stdout);
+    assert!(stdout.contains("every site node is reachable"), "{stdout}");
+}
+
+#[test]
+fn guide_reports_discovered_schema() {
+    let dir = demo_dir();
+    let result = strudel(&["guide", dir.to_str().unwrap()]);
+    assert!(result.status.success());
+    let stdout = String::from_utf8_lossy(&result.stdout);
+    assert!(stdout.contains("collection Publications"), "{stdout}");
+    // booktitle appears on one of the two entries only.
+    assert!(stdout.contains("booktitle"), "{stdout}");
+    assert!(stdout.contains("optional"), "{stdout}");
+}
+
+#[test]
+fn unknown_command_fails_with_usage() {
+    let dir = demo_dir();
+    let result = strudel(&["frobnicate", dir.to_str().unwrap()]);
+    assert!(!result.status.success());
+    let stderr = String::from_utf8_lossy(&result.stderr);
+    assert!(stderr.contains("usage"), "{stderr}");
+}
+
+#[test]
+fn missing_site_dir_fails_cleanly() {
+    let result = strudel(&["build", "/nonexistent/site"]);
+    assert!(!result.status.success());
+    let stderr = String::from_utf8_lossy(&result.stderr);
+    assert!(stderr.contains("site.struql"), "{stderr}");
+}

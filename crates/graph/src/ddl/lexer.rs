@@ -1,0 +1,326 @@
+//! Tokenizer for the DDL.
+
+use super::DdlError;
+
+/// What a token is.
+#[derive(Clone, Debug, PartialEq)]
+pub enum TokenKind {
+    /// An identifier or keyword (`object`, `collection`, attribute names…).
+    Ident(String),
+    /// A double-quoted string literal, unescaped.
+    Str(String),
+    /// An integer literal.
+    Int(i64),
+    /// A float literal.
+    Float(f64),
+    /// `&name` — a reference to a named object.
+    Ref(String),
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `:`
+    Colon,
+    /// `;`
+    Semi,
+    /// `,`
+    Comma,
+    /// End of input.
+    Eof,
+}
+
+/// A token with its source position.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Token {
+    /// The token payload.
+    pub kind: TokenKind,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+}
+
+/// Tokenizes a DDL document. The final token is always `Eof`.
+pub fn lex(src: &str) -> Result<Vec<Token>, DdlError> {
+    let mut tokens = Vec::new();
+    let bytes = src.as_bytes();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let mut col = 1u32;
+
+    macro_rules! bump {
+        () => {{
+            if bytes[i] == b'\n' {
+                line += 1;
+                col = 1;
+            } else {
+                col += 1;
+            }
+            i += 1;
+        }};
+    }
+
+    while i < bytes.len() {
+        let c = bytes[i];
+        let (tl, tc) = (line, col);
+        match c {
+            b' ' | b'\t' | b'\r' | b'\n' => bump!(),
+            b'#' => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    bump!();
+                }
+            }
+            b'/' if i + 1 < bytes.len() && bytes[i + 1] == b'/' => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    bump!();
+                }
+            }
+            b'{' => {
+                tokens.push(Token { kind: TokenKind::LBrace, line: tl, col: tc });
+                bump!();
+            }
+            b'}' => {
+                tokens.push(Token { kind: TokenKind::RBrace, line: tl, col: tc });
+                bump!();
+            }
+            b'(' => {
+                tokens.push(Token { kind: TokenKind::LParen, line: tl, col: tc });
+                bump!();
+            }
+            b')' => {
+                tokens.push(Token { kind: TokenKind::RParen, line: tl, col: tc });
+                bump!();
+            }
+            b':' => {
+                tokens.push(Token { kind: TokenKind::Colon, line: tl, col: tc });
+                bump!();
+            }
+            b';' => {
+                tokens.push(Token { kind: TokenKind::Semi, line: tl, col: tc });
+                bump!();
+            }
+            b',' => {
+                tokens.push(Token { kind: TokenKind::Comma, line: tl, col: tc });
+                bump!();
+            }
+            b'"' => {
+                bump!();
+                let mut s = String::new();
+                loop {
+                    if i >= bytes.len() || bytes[i] == b'\n' {
+                        return Err(DdlError::new(tl, tc, "unterminated string literal"));
+                    }
+                    match bytes[i] {
+                        b'"' => {
+                            bump!();
+                            break;
+                        }
+                        b'\\' => {
+                            bump!();
+                            if i >= bytes.len() {
+                                return Err(DdlError::new(tl, tc, "unterminated string literal"));
+                            }
+                            let esc = bytes[i];
+                            s.push(match esc {
+                                b'n' => '\n',
+                                b't' => '\t',
+                                b'"' => '"',
+                                b'\\' => '\\',
+                                other => {
+                                    return Err(DdlError::new(
+                                        line,
+                                        col,
+                                        format!("unknown escape '\\{}'", other as char),
+                                    ))
+                                }
+                            });
+                            bump!();
+                        }
+                        _ => {
+                            // Consume one UTF-8 scalar, not one byte.
+                            let rest = &src[i..];
+                            let ch = rest.chars().next().expect("in-bounds char");
+                            s.push(ch);
+                            for _ in 0..ch.len_utf8() {
+                                bump!();
+                            }
+                        }
+                    }
+                }
+                tokens.push(Token { kind: TokenKind::Str(s), line: tl, col: tc });
+            }
+            b'&' => {
+                bump!();
+                let start = i;
+                while i < bytes.len() && is_ident_byte(bytes[i]) {
+                    bump!();
+                }
+                if start == i {
+                    return Err(DdlError::new(tl, tc, "expected object name after '&'"));
+                }
+                tokens.push(Token {
+                    kind: TokenKind::Ref(src[start..i].to_string()),
+                    line: tl,
+                    col: tc,
+                });
+            }
+            b'0'..=b'9' | b'-' | b'+' => {
+                let start = i;
+                bump!();
+                let mut is_float = false;
+                while i < bytes.len() {
+                    match bytes[i] {
+                        b'0'..=b'9' => bump!(),
+                        b'.' | b'e' | b'E' => {
+                            is_float = true;
+                            bump!();
+                            if i < bytes.len() && (bytes[i] == b'+' || bytes[i] == b'-') {
+                                bump!();
+                            }
+                        }
+                        _ => break,
+                    }
+                }
+                let text = &src[start..i];
+                let kind = if is_float {
+                    TokenKind::Float(text.parse().map_err(|_| {
+                        DdlError::new(tl, tc, format!("invalid float literal '{text}'"))
+                    })?)
+                } else {
+                    TokenKind::Int(text.parse().map_err(|_| {
+                        DdlError::new(tl, tc, format!("invalid integer literal '{text}'"))
+                    })?)
+                };
+                tokens.push(Token { kind, line: tl, col: tc });
+            }
+            c if is_ident_start(c) => {
+                let start = i;
+                while i < bytes.len() && is_ident_byte(bytes[i]) {
+                    bump!();
+                }
+                tokens.push(Token {
+                    kind: TokenKind::Ident(src[start..i].to_string()),
+                    line: tl,
+                    col: tc,
+                });
+            }
+            other => {
+                return Err(DdlError::new(
+                    tl,
+                    tc,
+                    format!("unexpected character '{}'", other as char),
+                ))
+            }
+        }
+    }
+    tokens.push(Token { kind: TokenKind::Eof, line, col });
+    Ok(tokens)
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_'
+}
+
+fn is_ident_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b == b'-' || b == b'.'
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_punctuation_and_idents() {
+        use TokenKind::*;
+        assert_eq!(
+            kinds("object a { t : 1; }"),
+            vec![
+                Ident("object".into()),
+                Ident("a".into()),
+                LBrace,
+                Ident("t".into()),
+                Colon,
+                Int(1),
+                Semi,
+                RBrace,
+                Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        assert_eq!(
+            kinds("# whole line\nx // trailing\ny"),
+            vec![
+                TokenKind::Ident("x".into()),
+                TokenKind::Ident("y".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn string_escapes() {
+        assert_eq!(
+            kinds(r#""a\"b\\c\nd\te""#),
+            vec![TokenKind::Str("a\"b\\c\nd\te".into()), TokenKind::Eof]
+        );
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(
+            kinds("12 -3 4.5 -1.5e3"),
+            vec![
+                TokenKind::Int(12),
+                TokenKind::Int(-3),
+                TokenKind::Float(4.5),
+                TokenKind::Float(-1500.0),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn refs() {
+        assert_eq!(
+            kinds("&pub1"),
+            vec![TokenKind::Ref("pub1".into()), TokenKind::Eof]
+        );
+    }
+
+    #[test]
+    fn positions_track_lines() {
+        let toks = lex("a\n  b").unwrap();
+        assert_eq!((toks[0].line, toks[0].col), (1, 1));
+        assert_eq!((toks[1].line, toks[1].col), (2, 3));
+    }
+
+    #[test]
+    fn bad_escape_errors() {
+        assert!(lex(r#""\q""#).is_err());
+    }
+
+    #[test]
+    fn unicode_in_strings() {
+        assert_eq!(
+            kinds("\"caf\u{e9} \u{1F980}\""),
+            vec![TokenKind::Str("caf\u{e9} \u{1F980}".into()), TokenKind::Eof]
+        );
+    }
+
+    #[test]
+    fn unexpected_character_errors_with_position() {
+        let err = lex("a @").unwrap_err();
+        assert_eq!((err.line, err.col), (1, 3));
+    }
+}

@@ -1,0 +1,269 @@
+//! The Strudel data-definition language.
+//!
+//! Wrappers and the repository exchange graphs in a textual format "in the
+//! style of OEM's data definition language" (§2.1). Our concrete syntax:
+//!
+//! ```text
+//! # Declare per-collection default value kinds (§2.3: "the collection
+//! # directive specifies the default types of attribute values that would
+//! # otherwise be interpreted as strings"). Not constraints — an explicit
+//! # typed value in the input overrides them.
+//! collection Publications {
+//!   default abstract   : text;
+//!   default postscript : postscript;
+//!   default homepage   : url;
+//! }
+//!
+//! object pub1 in Publications {
+//!   title     : "Catching the Boat with Strudel";
+//!   year      : 1998;
+//!   author    : "Mary Fernandez";
+//!   author    : "Dan Suciu";
+//!   abstract  : "abstracts/pub1.txt";      # string, typed text by default
+//!   slides    : image("slides/pub1.gif");  # explicitly typed
+//!   cites     : &pub2;                     # reference to a named object
+//!   address   : {                          # nested anonymous object
+//!     city : "Florham Park";
+//!     zip  : 07932;
+//!   };
+//! }
+//!
+//! collect Publications(pub2, pub3);        # membership without attributes
+//! ```
+//!
+//! Values: double-quoted strings (with `\"`, `\\`, `\n`, `\t` escapes),
+//! integers, floats, `true`/`false`, `url("…")`, `text|image|postscript|
+//! html("…")` files, `&name` references (forward references allowed), and
+//! `{ … }` nested anonymous objects. Comments run from `#` or `//` to end
+//! of line.
+//!
+//! [`parse`] reads a DDL document into a fresh
+//! [`Graph`](crate::Graph); [`parse_into`] merges a document into an
+//! existing graph (multi-file sites). [`print()`](fn@print) renders a graph
+//! back to DDL; `parse(print(g))` is graph-isomorphic to `g`.
+
+mod lexer;
+mod parser;
+mod printer;
+
+pub use lexer::{Token, TokenKind};
+pub use parser::{parse, parse_into};
+pub use printer::print;
+
+use std::fmt;
+
+/// A DDL syntax or semantic error with source position.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DdlError {
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl DdlError {
+    pub(crate) fn new(line: u32, col: u32, message: impl Into<String>) -> Self {
+        DdlError {
+            line,
+            col,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for DdlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ddl error at {}:{}: {}", self.line, self.col, self.message)
+    }
+}
+
+impl std::error::Error for DdlError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{FileKind, Value};
+
+    const SAMPLE: &str = r#"
+        # A fragment of the Fig. 2 data graph.
+        collection Publications {
+          default abstract   : text;
+          default postscript : postscript;
+        }
+
+        object pub1 in Publications {
+          title    : "Real-world data: the good, the bad";
+          year     : 1997;
+          month    : "June";
+          author   : "Mary Fernandez";
+          abstract : "abstracts/pub1.txt";
+          cites    : &pub2;
+        }
+
+        object pub2 in Publications {
+          title     : "Managing semistructured data";
+          year      : 1998;
+          booktitle : "SIGMOD";
+          postscript: "papers/pub2.ps";
+        }
+    "#;
+
+    #[test]
+    fn parse_sample_builds_expected_graph() {
+        let g = parse(SAMPLE).unwrap();
+        assert_eq!(g.members_str("Publications").len(), 2);
+        let p1 = g.node_by_name("pub1").unwrap();
+        let p2 = g.node_by_name("pub2").unwrap();
+        assert_eq!(g.first_attr_str(p1, "year"), Some(&Value::Int(1997)));
+        assert_eq!(g.first_attr_str(p1, "cites"), Some(&Value::Node(p2)));
+        // defaults typed the bare strings
+        assert!(g
+            .first_attr_str(p1, "abstract")
+            .unwrap()
+            .is_file_kind(FileKind::Text));
+        assert!(g
+            .first_attr_str(p2, "postscript")
+            .unwrap()
+            .is_file_kind(FileKind::PostScript));
+        // irregular schema: month on pub1 only, booktitle on pub2 only
+        assert_eq!(g.attr_str(p2, "month").count(), 0);
+        assert_eq!(g.attr_str(p1, "booktitle").count(), 0);
+    }
+
+    #[test]
+    fn explicit_types_override_defaults() {
+        let src = r#"
+            collection C { default a : text; }
+            object x in C { a : image("pic.gif"); b : "plain"; }
+        "#;
+        let g = parse(src).unwrap();
+        let x = g.node_by_name("x").unwrap();
+        assert!(g.first_attr_str(x, "a").unwrap().is_file_kind(FileKind::Image));
+        assert_eq!(g.first_attr_str(x, "b").unwrap().as_str(), Some("plain"));
+    }
+
+    #[test]
+    fn nested_objects_become_anonymous_nodes() {
+        let src = r#"
+            object p {
+              name    : "Mary";
+              address : { city : "Florham Park"; zip : 07932; };
+            }
+        "#;
+        let g = parse(src).unwrap();
+        let p = g.node_by_name("p").unwrap();
+        let addr = g.first_attr_str(p, "address").unwrap().as_node().unwrap();
+        assert_eq!(
+            g.first_attr_str(addr, "city").unwrap().as_str(),
+            Some("Florham Park")
+        );
+        assert_eq!(g.first_attr_str(addr, "zip"), Some(&Value::Int(7932)));
+    }
+
+    #[test]
+    fn forward_references_resolve() {
+        let src = r#"
+            object a { friend : &b; }
+            object b { name : "B"; }
+        "#;
+        let g = parse(src).unwrap();
+        let a = g.node_by_name("a").unwrap();
+        let b = g.node_by_name("b").unwrap();
+        assert_eq!(g.first_attr_str(a, "friend"), Some(&Value::Node(b)));
+    }
+
+    #[test]
+    fn collect_statement_adds_membership() {
+        let src = r#"
+            object a {}
+            object b {}
+            collect Things(a, b);
+        "#;
+        let g = parse(src).unwrap();
+        assert_eq!(g.members_str("Things").len(), 2);
+    }
+
+    #[test]
+    fn round_trip_print_parse() {
+        let g = parse(SAMPLE).unwrap();
+        let text = print(&g);
+        let g2 = parse(&text).unwrap();
+        assert_eq!(g2.node_count(), g.node_count());
+        assert_eq!(g2.edge_count(), g.edge_count());
+        assert_eq!(
+            g2.members_str("Publications").len(),
+            g.members_str("Publications").len()
+        );
+        let p1 = g2.node_by_name("pub1").unwrap();
+        assert!(g2
+            .first_attr_str(p1, "abstract")
+            .unwrap()
+            .is_file_kind(FileKind::Text));
+        assert_eq!(
+            g2.first_attr_str(p1, "cites"),
+            Some(&Value::Node(g2.node_by_name("pub2").unwrap()))
+        );
+    }
+
+    #[test]
+    fn errors_carry_positions() {
+        let err = parse("object {").unwrap_err();
+        assert_eq!(err.line, 1);
+        assert!(err.message.contains("expected"), "{}", err.message);
+    }
+
+    #[test]
+    fn unterminated_string_is_an_error() {
+        let err = parse("object a { t: \"oops }").unwrap_err();
+        assert!(err.message.contains("unterminated"), "{}", err.message);
+    }
+
+    #[test]
+    fn unknown_reference_is_an_error() {
+        let err = parse("object a { x : &ghost; }").unwrap_err();
+        assert!(err.message.contains("ghost"), "{}", err.message);
+    }
+
+    #[test]
+    fn parse_into_merges_documents() {
+        let mut g = parse("object a { v : 1; }").unwrap();
+        parse_into("object a { w : 2; } object b { v : 3; }", &mut g).unwrap();
+        let a = g.node_by_name("a").unwrap();
+        assert_eq!(g.attr_str(a, "v").count(), 1);
+        assert_eq!(g.attr_str(a, "w").count(), 1);
+        assert!(g.node_by_name("b").is_some());
+    }
+
+    #[test]
+    fn string_escapes_round_trip() {
+        let src = "object a { s : \"line\\nbreak \\\"quoted\\\" back\\\\slash\"; }";
+        let g = parse(src).unwrap();
+        let a = g.node_by_name("a").unwrap();
+        assert_eq!(
+            g.first_attr_str(a, "s").unwrap().as_str(),
+            Some("line\nbreak \"quoted\" back\\slash")
+        );
+        let g2 = parse(&print(&g)).unwrap();
+        let a2 = g2.node_by_name("a").unwrap();
+        assert_eq!(
+            g2.first_attr_str(a2, "s").unwrap().as_str(),
+            Some("line\nbreak \"quoted\" back\\slash")
+        );
+    }
+
+    #[test]
+    fn url_default_coerces_strings() {
+        let src = r#"
+            collection People { default homepage : url; }
+            object m in People { homepage : "http://example.org/m"; }
+        "#;
+        let g = parse(src).unwrap();
+        let m = g.node_by_name("m").unwrap();
+        assert!(matches!(
+            g.first_attr_str(m, "homepage"),
+            Some(Value::Url(u)) if u.as_ref() == "http://example.org/m"
+        ));
+    }
+}

@@ -1,0 +1,365 @@
+//! Recursive-descent parser for the DDL.
+
+use super::lexer::{lex, Token, TokenKind};
+use super::DdlError;
+use crate::{FileKind, Graph, Oid, Value};
+use std::collections::HashSet;
+
+/// Parses a DDL document into a fresh graph.
+pub fn parse(src: &str) -> Result<Graph, DdlError> {
+    let mut g = Graph::new();
+    parse_into(src, &mut g)?;
+    Ok(g)
+}
+
+/// Parses a DDL document, merging its contents into `graph`.
+///
+/// Objects named in `graph` before the call count as defined, so a
+/// multi-file site may reference objects across files in any order.
+pub fn parse_into(src: &str, graph: &mut Graph) -> Result<(), DdlError> {
+    let tokens = lex(src)?;
+    let mut p = Parser {
+        tokens,
+        pos: 0,
+        graph,
+        defined: HashSet::new(),
+        referenced: Vec::new(),
+        defaults: Vec::new(),
+    };
+    p.document()
+}
+
+/// A `default attr : kind` directive, pending application.
+struct Default {
+    collection: String,
+    attr: String,
+    kind: DefaultKind,
+}
+
+enum DefaultKind {
+    File(FileKind),
+    Url,
+}
+
+struct Parser<'g> {
+    tokens: Vec<Token>,
+    pos: usize,
+    graph: &'g mut Graph,
+    defined: HashSet<String>,
+    referenced: Vec<(String, u32, u32)>,
+    defaults: Vec<Default>,
+}
+
+impl<'g> Parser<'g> {
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos]
+    }
+
+    fn advance(&mut self) -> Token {
+        let t = self.tokens[self.pos].clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err_here(&self, msg: impl Into<String>) -> DdlError {
+        let t = self.peek();
+        DdlError::new(t.line, t.col, msg)
+    }
+
+    fn expect_kind(&mut self, kind: &TokenKind, what: &str) -> Result<Token, DdlError> {
+        if std::mem::discriminant(&self.peek().kind) == std::mem::discriminant(kind) {
+            Ok(self.advance())
+        } else {
+            Err(self.err_here(format!("expected {what}, found {:?}", self.peek().kind)))
+        }
+    }
+
+    fn expect_ident(&mut self, what: &str) -> Result<String, DdlError> {
+        match &self.peek().kind {
+            TokenKind::Ident(_) => {
+                if let TokenKind::Ident(s) = self.advance().kind {
+                    Ok(s)
+                } else {
+                    unreachable!()
+                }
+            }
+            _ => Err(self.err_here(format!("expected {what}, found {:?}", self.peek().kind))),
+        }
+    }
+
+    fn document(&mut self) -> Result<(), DdlError> {
+        // Pre-existing named nodes count as defined.
+        let preexisting: Vec<String> = self
+            .graph
+            .node_oids()
+            .filter_map(|o| self.graph.node_name(o).map(str::to_owned))
+            .collect();
+        self.defined.extend(preexisting);
+
+        while self.peek().kind != TokenKind::Eof {
+            let kw = self.expect_ident("'object', 'collection', or 'collect'")?;
+            match kw.as_str() {
+                "object" => self.object_stmt()?,
+                "collection" => self.collection_stmt()?,
+                "collect" => self.collect_stmt()?,
+                other => {
+                    return Err(self.err_here(format!(
+                        "expected 'object', 'collection', or 'collect', found '{other}'"
+                    )))
+                }
+            }
+        }
+        self.check_references()?;
+        self.apply_defaults();
+        Ok(())
+    }
+
+    fn object_stmt(&mut self) -> Result<(), DdlError> {
+        let name = self.expect_ident("object name")?;
+        let oid = self.graph.add_named_node(&name);
+        self.defined.insert(name);
+        if matches!(&self.peek().kind, TokenKind::Ident(k) if k == "in") {
+            self.advance();
+            loop {
+                let coll = self.expect_ident("collection name")?;
+                let cid = self.graph.intern_collection(&coll);
+                self.graph.collect(cid, Value::Node(oid));
+                if self.peek().kind == TokenKind::Comma {
+                    self.advance();
+                } else {
+                    break;
+                }
+            }
+        }
+        self.expect_kind(&TokenKind::LBrace, "'{'")?;
+        self.attr_block(oid)?;
+        Ok(())
+    }
+
+    /// Parses `attr : value ; …` up to and including the closing `}`.
+    fn attr_block(&mut self, oid: Oid) -> Result<(), DdlError> {
+        loop {
+            match &self.peek().kind {
+                TokenKind::RBrace => {
+                    self.advance();
+                    return Ok(());
+                }
+                TokenKind::Ident(_) => {
+                    let attr = self.expect_ident("attribute name")?;
+                    self.expect_kind(&TokenKind::Colon, "':'")?;
+                    let value = self.value()?;
+                    self.graph.add_edge_str(oid, &attr, value);
+                    self.expect_kind(&TokenKind::Semi, "';'")?;
+                }
+                _ => return Err(self.err_here("expected attribute name or '}'")),
+            }
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, DdlError> {
+        let tok = self.peek().clone();
+        match tok.kind {
+            TokenKind::Str(s) => {
+                self.advance();
+                Ok(Value::string(s))
+            }
+            TokenKind::Int(i) => {
+                self.advance();
+                Ok(Value::Int(i))
+            }
+            TokenKind::Float(x) => {
+                self.advance();
+                Ok(Value::Float(x))
+            }
+            TokenKind::Ref(name) => {
+                self.advance();
+                self.referenced.push((name.clone(), tok.line, tok.col));
+                Ok(Value::Node(self.graph.add_named_node(&name)))
+            }
+            TokenKind::LBrace => {
+                self.advance();
+                let anon = self.graph.add_node();
+                self.attr_block(anon)?;
+                Ok(Value::Node(anon))
+            }
+            TokenKind::Ident(word) => {
+                self.advance();
+                match word.as_str() {
+                    "true" => return Ok(Value::Bool(true)),
+                    "false" => return Ok(Value::Bool(false)),
+                    _ => {}
+                }
+                // `kind("path")` or `url("…")`
+                self.expect_kind(&TokenKind::LParen, "'(' after typed-value keyword")?;
+                let lit = match self.advance().kind {
+                    TokenKind::Str(s) => s,
+                    other => {
+                        return Err(DdlError::new(
+                            tok.line,
+                            tok.col,
+                            format!("expected string inside {word}(…), found {other:?}"),
+                        ))
+                    }
+                };
+                self.expect_kind(&TokenKind::RParen, "')'")?;
+                if word == "url" {
+                    Ok(Value::url(lit))
+                } else if let Some(kind) = FileKind::from_keyword(&word) {
+                    Ok(Value::file(kind, lit))
+                } else {
+                    Err(DdlError::new(
+                        tok.line,
+                        tok.col,
+                        format!("unknown value type '{word}' (expected url, text, image, postscript, or html)"),
+                    ))
+                }
+            }
+            other => Err(self.err_here(format!("expected a value, found {other:?}"))),
+        }
+    }
+
+    fn collection_stmt(&mut self) -> Result<(), DdlError> {
+        let name = self.expect_ident("collection name")?;
+        self.graph.intern_collection(&name);
+        self.expect_kind(&TokenKind::LBrace, "'{'")?;
+        loop {
+            match &self.peek().kind {
+                TokenKind::RBrace => {
+                    self.advance();
+                    return Ok(());
+                }
+                TokenKind::Ident(kw) if kw == "default" => {
+                    self.advance();
+                    let attr = self.expect_ident("attribute name")?;
+                    self.expect_kind(&TokenKind::Colon, "':'")?;
+                    let kw_tok = self.peek().clone();
+                    let kind_word = self.expect_ident("value kind")?;
+                    let kind = if kind_word == "url" {
+                        DefaultKind::Url
+                    } else if let Some(k) = FileKind::from_keyword(&kind_word) {
+                        DefaultKind::File(k)
+                    } else {
+                        return Err(DdlError::new(
+                            kw_tok.line,
+                            kw_tok.col,
+                            format!("unknown default kind '{kind_word}'"),
+                        ));
+                    };
+                    self.expect_kind(&TokenKind::Semi, "';'")?;
+                    self.defaults.push(Default {
+                        collection: name.clone(),
+                        attr,
+                        kind,
+                    });
+                }
+                _ => return Err(self.err_here("expected 'default' directive or '}'")),
+            }
+        }
+    }
+
+    fn collect_stmt(&mut self) -> Result<(), DdlError> {
+        let name = self.expect_ident("collection name")?;
+        let cid = self.graph.intern_collection(&name);
+        self.expect_kind(&TokenKind::LParen, "'('")?;
+        loop {
+            let tok = self.peek().clone();
+            let member = match tok.kind {
+                TokenKind::Ident(obj) => {
+                    self.advance();
+                    self.referenced.push((obj.clone(), tok.line, tok.col));
+                    Value::Node(self.graph.add_named_node(&obj))
+                }
+                TokenKind::Ref(obj) => {
+                    self.advance();
+                    self.referenced.push((obj.clone(), tok.line, tok.col));
+                    Value::Node(self.graph.add_named_node(&obj))
+                }
+                TokenKind::Str(s) => {
+                    self.advance();
+                    Value::string(s)
+                }
+                TokenKind::Int(i) => {
+                    self.advance();
+                    Value::Int(i)
+                }
+                TokenKind::Float(x) => {
+                    self.advance();
+                    Value::Float(x)
+                }
+                other => {
+                    return Err(self.err_here(format!(
+                        "expected collection member, found {other:?}"
+                    )))
+                }
+            };
+            self.graph.collect(cid, member);
+            match self.peek().kind {
+                TokenKind::Comma => {
+                    self.advance();
+                }
+                TokenKind::RParen => {
+                    self.advance();
+                    break;
+                }
+                _ => return Err(self.err_here("expected ',' or ')'")),
+            }
+        }
+        self.expect_kind(&TokenKind::Semi, "';'")?;
+        Ok(())
+    }
+
+    fn check_references(&self) -> Result<(), DdlError> {
+        for (name, line, col) in &self.referenced {
+            if !self.defined.contains(name) {
+                return Err(DdlError::new(
+                    *line,
+                    *col,
+                    format!("reference to undefined object '{name}'"),
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Retypes bare-string attribute values on collection members per the
+    /// `default` directives. Explicit typed values are untouched — the
+    /// directives "are not constraints and can be overridden".
+    fn apply_defaults(&mut self) {
+        for d in &self.defaults {
+            let Some(cid) = self.graph.collection_id(&d.collection) else {
+                continue;
+            };
+            let Some(label) = self.graph.label(&d.attr) else {
+                continue;
+            };
+            let members: Vec<Oid> = self
+                .graph
+                .members(cid)
+                .iter()
+                .filter_map(Value::as_node)
+                .collect();
+            for oid in members {
+                let retyped: Vec<(Value, Value)> = self
+                    .graph
+                    .attr(oid, label)
+                    .filter_map(|v| match v {
+                        Value::Str(s) => {
+                            let new = match &d.kind {
+                                DefaultKind::Url => Value::url(s.clone()),
+                                DefaultKind::File(k) => Value::file(*k, s.clone()),
+                            };
+                            Some((v.clone(), new))
+                        }
+                        _ => None,
+                    })
+                    .collect();
+                for (old, new) in retyped {
+                    self.graph.remove_edge(oid, label, &old);
+                    self.graph.add_edge(oid, label, new);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,69 @@
+//! Object identifiers.
+
+use std::fmt;
+
+/// A unique object identifier for an internal node of a [`Graph`].
+///
+/// Oids are dense `u32` indexes assigned by the graph in creation order,
+/// which keeps per-node storage in flat vectors and makes oid sets cheap to
+/// represent as bitsets during traversal. An oid is only meaningful relative
+/// to the graph that issued it.
+///
+/// [`Graph`]: crate::Graph
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Oid(pub(crate) u32);
+
+impl Oid {
+    /// Returns the dense index backing this oid.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Reconstructs an oid from a dense index.
+    ///
+    /// The caller is responsible for only using indexes previously obtained
+    /// from [`Oid::index`] on the same graph; a fabricated oid makes graph
+    /// accessors panic or return empty results.
+    #[inline]
+    pub fn from_index(index: usize) -> Self {
+        debug_assert!(index <= u32::MAX as usize, "oid index overflow");
+        Oid(index as u32)
+    }
+}
+
+impl fmt::Debug for Oid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "&{}", self.0)
+    }
+}
+
+impl fmt::Display for Oid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "&{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn oid_round_trips_through_index() {
+        let oid = Oid::from_index(42);
+        assert_eq!(oid.index(), 42);
+        assert_eq!(Oid::from_index(oid.index()), oid);
+    }
+
+    #[test]
+    fn oid_display_uses_ampersand() {
+        assert_eq!(Oid(7).to_string(), "&7");
+        assert_eq!(format!("{:?}", Oid(7)), "&7");
+    }
+
+    #[test]
+    fn oid_ordering_follows_index() {
+        assert!(Oid(1) < Oid(2));
+        assert_eq!(Oid(3), Oid(3));
+    }
+}

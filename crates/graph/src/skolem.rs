@@ -1,0 +1,212 @@
+//! Deterministic Skolem-function object creation.
+//!
+//! STRUQL's `create` clause names new objects with Skolem terms like
+//! `AbstractPage(x)`. *By definition, a Skolem function applied to the same
+//! inputs produces the same node oid* (§2.2) — this is what makes the
+//! construction stage declarative: the same `create` executed for two
+//! where-clause rows with equal arguments yields one object, and separate
+//! `link` clauses can address the same object from different parts of a
+//! query. [`SkolemTable`] is that function: a memo table from
+//! `(symbol, argument values)` to the oid it minted.
+
+use crate::{Graph, Oid, Value};
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// The key of one Skolem application: the function symbol plus its fully
+/// evaluated arguments.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct SkolemKey {
+    /// The function symbol, e.g. `AbstractPage`.
+    pub symbol: Arc<str>,
+    /// The argument tuple. Zero-ary symbols (e.g. `RootPage()`) have an
+    /// empty tuple.
+    pub args: Box<[Value]>,
+}
+
+impl fmt::Debug for SkolemKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(", self.symbol)?;
+        for (i, a) in self.args.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            write!(f, "{a}")?;
+        }
+        f.write_str(")")
+    }
+}
+
+/// A memo table realizing Skolem functions over a [`Graph`].
+///
+/// One table is scoped to one query evaluation (or to one composed pipeline
+/// of queries when later queries must address objects created by earlier
+/// ones, as in the suciu navigation-bar example of §5.1).
+#[derive(Default, Debug, Clone)]
+pub struct SkolemTable {
+    map: HashMap<SkolemKey, Oid>,
+}
+
+impl SkolemTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Applies the Skolem function `symbol` to `args`, minting a node in
+    /// `graph` on first application and returning the memoized oid on every
+    /// later one. The second component reports whether the node is new.
+    ///
+    /// Freshly minted nodes receive a symbolic name of the form
+    /// `Symbol(arg,…)` when that name is still free in the graph — a
+    /// debugging and HTML-naming aid, not part of the semantics.
+    pub fn apply(&mut self, graph: &mut Graph, symbol: &str, args: &[Value]) -> (Oid, bool) {
+        let key = SkolemKey {
+            symbol: symbol.into(),
+            args: args.into(),
+        };
+        if let Some(&oid) = self.map.get(&key) {
+            return (oid, false);
+        }
+        let oid = graph.add_node();
+        graph.name_node(oid, &display_name(graph, &key));
+        self.map.insert(key, oid);
+        (oid, true)
+    }
+
+    /// The oid previously minted for `symbol(args)`, if any.
+    pub fn lookup(&self, symbol: &str, args: &[Value]) -> Option<Oid> {
+        // Avoid allocating a key for the common miss path only if cheap; a
+        // HashMap lookup needs an owned key here, and lookups are rare
+        // relative to `apply`.
+        let key = SkolemKey {
+            symbol: symbol.into(),
+            args: args.into(),
+        };
+        self.map.get(&key).copied()
+    }
+
+    /// Number of distinct applications so far.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether no applications have happened.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Iterates over all `(key, oid)` applications in arbitrary order.
+    pub fn iter(&self) -> impl Iterator<Item = (&SkolemKey, Oid)> + '_ {
+        self.map.iter().map(|(k, &o)| (k, o))
+    }
+}
+
+/// A human-readable name for a Skolem node: `Symbol(arg,…)`, with
+/// node-valued arguments rendered by their own symbolic names when present.
+fn display_name(graph: &Graph, key: &SkolemKey) -> String {
+    use std::fmt::Write;
+    let mut s = String::with_capacity(key.symbol.len() + 8 * key.args.len());
+    s.push_str(&key.symbol);
+    if !key.args.is_empty() {
+        s.push('(');
+        for (i, a) in key.args.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            match a {
+                Value::Node(o) => match graph.node_name(*o) {
+                    Some(n) => s.push_str(n),
+                    None => {
+                        let _ = write!(s, "{o}");
+                    }
+                },
+                other => s.push_str(&other.display_text()),
+            }
+        }
+        s.push(')');
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_inputs_same_oid() {
+        let mut g = Graph::new();
+        let mut t = SkolemTable::new();
+        let x = g.add_named_node("pub1");
+        let (a, new_a) = t.apply(&mut g, "AbstractPage", &[Value::Node(x)]);
+        let (b, new_b) = t.apply(&mut g, "AbstractPage", &[Value::Node(x)]);
+        assert_eq!(a, b);
+        assert!(new_a);
+        assert!(!new_b);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn different_args_different_oids() {
+        let mut g = Graph::new();
+        let mut t = SkolemTable::new();
+        let (a, _) = t.apply(&mut g, "YearPage", &[Value::Int(1997)]);
+        let (b, _) = t.apply(&mut g, "YearPage", &[Value::Int(1998)]);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn different_symbols_different_oids() {
+        let mut g = Graph::new();
+        let mut t = SkolemTable::new();
+        let (a, _) = t.apply(&mut g, "RootPage", &[]);
+        let (b, _) = t.apply(&mut g, "AbstractsPage", &[]);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn lookup_does_not_create() {
+        let mut g = Graph::new();
+        let mut t = SkolemTable::new();
+        assert_eq!(t.lookup("RootPage", &[]), None);
+        assert_eq!(g.node_count(), 0);
+        let (a, _) = t.apply(&mut g, "RootPage", &[]);
+        assert_eq!(t.lookup("RootPage", &[]), Some(a));
+    }
+
+    #[test]
+    fn minted_nodes_get_readable_names() {
+        let mut g = Graph::new();
+        let mut t = SkolemTable::new();
+        let x = g.add_named_node("pub1");
+        let (page, _) = t.apply(&mut g, "AbstractPage", &[Value::Node(x)]);
+        assert_eq!(g.node_name(page), Some("AbstractPage(pub1)"));
+        let (yp, _) = t.apply(&mut g, "YearPage", &[Value::Int(1998)]);
+        assert_eq!(g.node_name(yp), Some("YearPage(1998)"));
+        let (root, _) = t.apply(&mut g, "RootPage", &[]);
+        assert_eq!(g.node_name(root), Some("RootPage"));
+    }
+
+    #[test]
+    fn name_clash_leaves_node_anonymous_but_distinct() {
+        let mut g = Graph::new();
+        g.add_named_node("RootPage"); // squat on the name
+        let mut t = SkolemTable::new();
+        let (root, new) = t.apply(&mut g, "RootPage", &[]);
+        assert!(new);
+        assert_eq!(g.node_name(root), None);
+        assert_ne!(g.node_by_name("RootPage"), Some(root));
+    }
+
+    #[test]
+    fn iter_reports_all_applications() {
+        let mut g = Graph::new();
+        let mut t = SkolemTable::new();
+        t.apply(&mut g, "A", &[Value::Int(1)]);
+        t.apply(&mut g, "A", &[Value::Int(2)]);
+        t.apply(&mut g, "B", &[]);
+        assert_eq!(t.iter().count(), 3);
+        assert!(!t.is_empty());
+    }
+}

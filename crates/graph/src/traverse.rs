@@ -1,0 +1,213 @@
+//! Graph traversal utilities.
+//!
+//! Reachability over node-valued edges is what site-level integrity
+//! constraints talk about ("all pages are reachable from the site's root",
+//! §6.2), what the TextOnly copy query of §2.2 computes, and what the
+//! dynamic-evaluation engine walks at click time. These helpers share one
+//! efficient implementation: a BFS over a dense `Vec<bool>` visited set
+//! keyed by oid index.
+
+use crate::{Graph, Label, Oid, Value};
+
+/// A dense set of nodes keyed by oid index, produced by traversals.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct NodeSet {
+    bits: Vec<bool>,
+    len: usize,
+}
+
+impl NodeSet {
+    /// An empty set sized for `graph`.
+    pub fn new(graph: &Graph) -> Self {
+        NodeSet {
+            bits: vec![false; graph.node_count()],
+            len: 0,
+        }
+    }
+
+    /// Inserts a node; returns whether it was newly inserted.
+    pub fn insert(&mut self, oid: Oid) -> bool {
+        let slot = &mut self.bits[oid.index()];
+        if *slot {
+            false
+        } else {
+            *slot = true;
+            self.len += 1;
+            true
+        }
+    }
+
+    /// Whether the set contains `oid`. Oids beyond the set's capacity (from
+    /// nodes created after the set) are reported absent.
+    pub fn contains(&self, oid: Oid) -> bool {
+        self.bits.get(oid.index()).copied().unwrap_or(false)
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Iterates members in oid order.
+    pub fn iter(&self) -> impl Iterator<Item = Oid> + '_ {
+        self.bits
+            .iter()
+            .enumerate()
+            .filter(|(_, &b)| b)
+            .map(|(i, _)| Oid::from_index(i))
+    }
+}
+
+/// The set of nodes reachable from `roots` by following node-valued edges
+/// (any label), including the roots themselves.
+pub fn reachable(graph: &Graph, roots: &[Oid]) -> NodeSet {
+    reachable_by(graph, roots, |_| true)
+}
+
+/// Reachability restricted to edges whose label satisfies `follow`.
+pub fn reachable_by(graph: &Graph, roots: &[Oid], follow: impl Fn(Label) -> bool) -> NodeSet {
+    let mut seen = NodeSet::new(graph);
+    let mut queue: Vec<Oid> = Vec::with_capacity(roots.len());
+    for &r in roots {
+        if seen.insert(r) {
+            queue.push(r);
+        }
+    }
+    while let Some(n) = queue.pop() {
+        for e in graph.edges(n) {
+            if let Value::Node(m) = e.to {
+                if follow(e.label) && seen.insert(m) {
+                    queue.push(m);
+                }
+            }
+        }
+    }
+    seen
+}
+
+/// Nodes of the graph *not* reachable from `roots`.
+pub fn unreachable_nodes(graph: &Graph, roots: &[Oid]) -> Vec<Oid> {
+    let seen = reachable(graph, roots);
+    graph.node_oids().filter(|o| !seen.contains(*o)).collect()
+}
+
+/// Edges whose target node has no out-edges and no atomic content — the
+/// "dangling page" check used by site verification. Returns
+/// `(from, label, to)` triples.
+pub fn dangling_edges(graph: &Graph) -> Vec<(Oid, Label, Oid)> {
+    let mut out = Vec::new();
+    for from in graph.node_oids() {
+        for e in graph.edges(from) {
+            if let Value::Node(to) = e.to {
+                if graph.edges(to).is_empty() {
+                    out.push((from, e.label, to));
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chain() -> (Graph, Vec<Oid>) {
+        // a -> b -> c, d isolated
+        let mut g = Graph::new();
+        let a = g.add_named_node("a");
+        let b = g.add_named_node("b");
+        let c = g.add_named_node("c");
+        let d = g.add_named_node("d");
+        g.add_edge_str(a, "next", Value::Node(b));
+        g.add_edge_str(b, "next", Value::Node(c));
+        g.add_edge_str(c, "label", Value::string("leaf"));
+        (g, vec![a, b, c, d])
+    }
+
+    #[test]
+    fn reachable_includes_roots_and_descendants() {
+        let (g, ns) = chain();
+        let r = reachable(&g, &[ns[0]]);
+        assert!(r.contains(ns[0]));
+        assert!(r.contains(ns[1]));
+        assert!(r.contains(ns[2]));
+        assert!(!r.contains(ns[3]));
+        assert_eq!(r.len(), 3);
+    }
+
+    #[test]
+    fn unreachable_detects_isolated_nodes() {
+        let (g, ns) = chain();
+        assert_eq!(unreachable_nodes(&g, &[ns[0]]), vec![ns[3]]);
+        assert!(unreachable_nodes(&g, &[ns[0], ns[3]]).is_empty());
+    }
+
+    #[test]
+    fn reachable_handles_cycles() {
+        let mut g = Graph::new();
+        let a = g.add_node();
+        let b = g.add_node();
+        g.add_edge_str(a, "x", Value::Node(b));
+        g.add_edge_str(b, "x", Value::Node(a));
+        let r = reachable(&g, &[a]);
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn reachable_by_filters_labels() {
+        let mut g = Graph::new();
+        let a = g.add_node();
+        let b = g.add_node();
+        let c = g.add_node();
+        let public = g.intern_label("public");
+        let private = g.intern_label("private");
+        g.add_edge(a, public, Value::Node(b));
+        g.add_edge(a, private, Value::Node(c));
+        let r = reachable_by(&g, &[a], |l| l == public);
+        assert!(r.contains(b));
+        assert!(!r.contains(c));
+    }
+
+    #[test]
+    fn multiple_roots_union() {
+        let (g, ns) = chain();
+        let r = reachable(&g, &[ns[2], ns[3]]);
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn dangling_edges_finds_contentless_targets() {
+        let mut g = Graph::new();
+        let a = g.add_node();
+        let empty = g.add_node();
+        let full = g.add_node();
+        g.add_edge_str(full, "t", Value::Int(1));
+        g.add_edge_str(a, "to-empty", Value::Node(empty));
+        g.add_edge_str(a, "to-full", Value::Node(full));
+        let d = dangling_edges(&g);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].2, empty);
+    }
+
+    #[test]
+    fn node_set_iter_in_oid_order() {
+        let (g, ns) = chain();
+        let r = reachable(&g, &[ns[0]]);
+        let got: Vec<Oid> = r.iter().collect();
+        assert_eq!(got, vec![ns[0], ns[1], ns[2]]);
+    }
+
+    #[test]
+    fn node_set_tolerates_later_nodes() {
+        let (mut g, ns) = chain();
+        let r = reachable(&g, &[ns[0]]);
+        let late = g.add_node();
+        assert!(!r.contains(late));
+    }
+}

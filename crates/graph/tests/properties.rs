@@ -1,0 +1,201 @@
+//! Property-based tests for the core graph data structures.
+
+use proptest::prelude::*;
+use strudel_graph::ddl;
+use strudel_graph::{coerce, FileKind, Graph, GraphDelta, Oid, SkolemTable, Value};
+
+/// An arbitrary atomic (non-node) value.
+fn atomic_value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        any::<i64>().prop_map(Value::Int),
+        any::<bool>().prop_map(Value::Bool),
+        // Finite floats: NaN deliberately breaks coercing comparability.
+        (-1e12f64..1e12).prop_map(Value::Float),
+        "[a-zA-Z0-9 _./:-]{0,24}".prop_map(Value::string),
+        "[a-z0-9./:-]{1,24}".prop_map(Value::url),
+        ("[a-z0-9./-]{1,16}", 0usize..4).prop_map(|(p, k)| {
+            let kind = [
+                FileKind::Text,
+                FileKind::Image,
+                FileKind::PostScript,
+                FileKind::Html,
+            ][k];
+            Value::file(kind, p)
+        }),
+    ]
+}
+
+/// A recipe for building a random graph: node count plus edge endpoints.
+#[derive(Debug, Clone)]
+struct GraphRecipe {
+    nodes: usize,
+    edges: Vec<(usize, String, EdgeTarget)>,
+    collections: Vec<(String, usize)>,
+}
+
+#[derive(Debug, Clone)]
+enum EdgeTarget {
+    Node(usize),
+    Atomic(Value),
+}
+
+fn graph_recipe() -> impl Strategy<Value = GraphRecipe> {
+    (1usize..20).prop_flat_map(|nodes| {
+        let edge = (
+            0..nodes,
+            "[a-z]{1,6}",
+            prop_oneof![
+                (0..nodes).prop_map(EdgeTarget::Node),
+                atomic_value().prop_map(EdgeTarget::Atomic),
+            ],
+        );
+        let coll = ("[A-Z][a-z]{0,5}", 0..nodes);
+        (
+            Just(nodes),
+            prop::collection::vec(edge, 0..40),
+            prop::collection::vec(coll, 0..10),
+        )
+            .prop_map(|(nodes, edges, collections)| GraphRecipe {
+                nodes,
+                edges,
+                collections,
+            })
+    })
+}
+
+fn build(recipe: &GraphRecipe) -> Graph {
+    let mut g = Graph::new();
+    let oids: Vec<Oid> = (0..recipe.nodes)
+        .map(|i| g.add_named_node(&format!("n{i}")))
+        .collect();
+    for (from, label, target) in &recipe.edges {
+        let to = match target {
+            EdgeTarget::Node(i) => Value::Node(oids[*i]),
+            EdgeTarget::Atomic(v) => v.clone(),
+        };
+        g.add_edge_str(oids[*from], label, to);
+    }
+    for (name, member) in &recipe.collections {
+        g.collect_str(name.as_str(), oids[*member]);
+    }
+    g
+}
+
+proptest! {
+    /// print ∘ parse is the identity up to graph isomorphism: node, edge,
+    /// and membership counts and per-node attribute multisets survive.
+    #[test]
+    fn ddl_round_trip(recipe in graph_recipe()) {
+        let g = build(&recipe);
+        let text = ddl::print(&g);
+        let g2 = ddl::parse(&text).unwrap();
+        prop_assert_eq!(g2.node_count(), g.node_count());
+        prop_assert_eq!(g2.edge_count(), g.edge_count());
+        prop_assert_eq!(g2.collection_count(), g.collection_count());
+        for oid in g.node_oids() {
+            let name = g.node_name(oid).unwrap();
+            let oid2 = g2.node_by_name(name).unwrap();
+            prop_assert_eq!(g.edges(oid).len(), g2.edges(oid2).len());
+            // Atomic attribute values survive exactly (node targets get
+            // remapped oids, so compare only atomics).
+            let mut atoms: Vec<(String, Value)> = g
+                .edges(oid)
+                .iter()
+                .filter(|e| e.to.is_atomic())
+                .map(|e| (g.label_name(e.label).to_owned(), e.to.clone()))
+                .collect();
+            let mut atoms2: Vec<(String, Value)> = g2
+                .edges(oid2)
+                .iter()
+                .filter(|e| e.to.is_atomic())
+                .map(|e| (g2.label_name(e.label).to_owned(), e.to.clone()))
+                .collect();
+            atoms.sort();
+            atoms2.sort();
+            prop_assert_eq!(atoms, atoms2);
+        }
+    }
+
+    /// Importing a graph into an empty graph preserves structure.
+    #[test]
+    fn import_preserves_counts(recipe in graph_recipe()) {
+        let g = build(&recipe);
+        let mut dst = Graph::new();
+        let map = dst.import_graph(&g);
+        prop_assert_eq!(dst.node_count(), g.node_count());
+        prop_assert_eq!(dst.edge_count(), g.edge_count());
+        prop_assert_eq!(map.len(), g.node_count());
+        for oid in g.node_oids() {
+            prop_assert_eq!(g.edges(oid).len(), dst.edges(map[&oid]).len());
+        }
+    }
+
+    /// Coercing comparison is antisymmetric and eq is reflexive on
+    /// comparable values.
+    #[test]
+    fn coerce_antisymmetric(a in atomic_value(), b in atomic_value()) {
+        let ab = coerce::compare(&a, &b);
+        let ba = coerce::compare(&b, &a);
+        prop_assert_eq!(ab.map(std::cmp::Ordering::reverse), ba);
+        prop_assert!(coerce::eq(&a, &a));
+    }
+
+    /// Structural Ord on Value is a total order consistent with Eq/Hash.
+    #[test]
+    fn value_total_order(mut vs in prop::collection::vec(atomic_value(), 1..12)) {
+        vs.sort();
+        for w in vs.windows(2) {
+            prop_assert!(w[0] <= w[1]);
+        }
+    }
+
+    /// Skolem functions are functions: equal argument vectors always map
+    /// to the oid minted first, distinct vectors to distinct oids.
+    #[test]
+    fn skolem_is_functional(args in prop::collection::vec(atomic_value(), 0..4)) {
+        let mut g = Graph::new();
+        let mut t = SkolemTable::new();
+        let (a, first) = t.apply(&mut g, "F", &args);
+        prop_assert!(first);
+        let (b, again) = t.apply(&mut g, "F", &args);
+        prop_assert_eq!(a, b);
+        prop_assert!(!again);
+        let (c, _) = t.apply(&mut g, "G", &args);
+        prop_assert_ne!(a, c);
+    }
+
+    /// A recorded delta replays into an empty graph deterministically.
+    #[test]
+    fn delta_replay_is_deterministic(recipe in graph_recipe()) {
+        let mut d = GraphDelta::new();
+        for i in 0..recipe.nodes {
+            d.add_node(Some(&format!("n{i}")));
+        }
+        for (from, label, target) in &recipe.edges {
+            let to = match target {
+                EdgeTarget::Node(i) => Value::Node(Oid::from_index(*i)),
+                EdgeTarget::Atomic(v) => v.clone(),
+            };
+            d.add_edge(Oid::from_index(*from), label, to);
+        }
+        let mut g1 = Graph::new();
+        let mut g2 = Graph::new();
+        d.apply(&mut g1).unwrap();
+        d.apply(&mut g2).unwrap();
+        prop_assert_eq!(g1.node_count(), g2.node_count());
+        prop_assert_eq!(g1.edge_count(), g2.edge_count());
+        for oid in g1.node_oids() {
+            prop_assert_eq!(g1.edges(oid), g2.edges(oid));
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The DDL parser never panics on arbitrary input.
+    #[test]
+    fn ddl_parser_total(s in "\\PC{0,200}") {
+        let _ = ddl::parse(&s);
+    }
+}

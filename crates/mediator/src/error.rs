@@ -1,0 +1,47 @@
+//! Mediator errors.
+
+use std::fmt;
+
+/// An error while wrapping a source or applying its GAV mapping.
+#[derive(Debug)]
+pub enum MediatorError {
+    /// A wrapper rejected its input.
+    Wrap {
+        /// Source name.
+        source: String,
+        /// The wrapper's error.
+        error: strudel_wrappers::WrapError,
+    },
+    /// A DDL source failed to parse.
+    Ddl {
+        /// Source name.
+        source: String,
+        /// The DDL error.
+        error: strudel_graph::ddl::DdlError,
+    },
+    /// A GAV mapping failed to parse or evaluate.
+    Mapping {
+        /// Source name.
+        source: String,
+        /// The STRUQL error.
+        error: strudel_struql::StruqlError,
+    },
+}
+
+impl fmt::Display for MediatorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MediatorError::Wrap { source, error } => {
+                write!(f, "source '{source}': {error}")
+            }
+            MediatorError::Ddl { source, error } => {
+                write!(f, "source '{source}': {error}")
+            }
+            MediatorError::Mapping { source, error } => {
+                write!(f, "mapping for source '{source}': {error}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MediatorError {}

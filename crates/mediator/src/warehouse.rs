@@ -1,0 +1,294 @@
+//! Warehouse construction and refresh.
+
+use crate::{MediatorError, Source, SourceFormat};
+use std::collections::HashMap;
+use strudel_graph::Graph;
+use strudel_repo::{Database, IndexLevel};
+use strudel_struql::Evaluator;
+use strudel_wrappers::{bibtex, html, relational, structured};
+
+/// Per-source statistics from the last build.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SourceReport {
+    /// Source name.
+    pub name: String,
+    /// Nodes contributed.
+    pub nodes: usize,
+    /// Edges contributed.
+    pub edges: usize,
+    /// Whether this build re-wrapped the source (false = cache hit).
+    pub rewrapped: bool,
+}
+
+/// The materialized integrated view.
+#[derive(Clone, Debug)]
+pub struct Warehouse {
+    /// The integrated data graph.
+    pub graph: Graph,
+    /// Per-source contributions, in registration order.
+    pub reports: Vec<SourceReport>,
+}
+
+/// The warehousing mediator: registered sources plus a per-source snapshot
+/// cache keyed by content fingerprint.
+#[derive(Debug, Default)]
+pub struct Mediator {
+    sources: Vec<Source>,
+    cache: HashMap<String, (u64, Graph)>,
+}
+
+impl Mediator {
+    /// An empty mediator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a source. A source with the same name replaces the old
+    /// one (its cache entry stays valid only if the content fingerprint
+    /// matches).
+    pub fn add_source(&mut self, source: Source) {
+        if let Some(existing) = self.sources.iter_mut().find(|s| s.name == source.name) {
+            *existing = source;
+        } else {
+            self.sources.push(source);
+        }
+    }
+
+    /// Updates a source's content in place. Returns `false` when no source
+    /// has that name.
+    pub fn set_content(&mut self, name: &str, content: &str) -> bool {
+        match self.sources.iter_mut().find(|s| s.name == name) {
+            Some(s) => {
+                s.content = content.to_owned();
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Number of registered sources.
+    pub fn source_count(&self) -> usize {
+        self.sources.len()
+    }
+
+    /// Builds (or rebuilds) the warehouse. Unchanged sources are served
+    /// from the snapshot cache; changed ones are re-wrapped and re-mapped.
+    pub fn build(&mut self) -> Result<Warehouse, MediatorError> {
+        let mut graph = Graph::new();
+        let mut reports = Vec::with_capacity(self.sources.len());
+        for source in &self.sources {
+            let fp = source.fingerprint();
+            let (snapshot, rewrapped) = match self.cache.get(&source.name) {
+                Some((cached_fp, g)) if *cached_fp == fp => (g.clone(), false),
+                _ => {
+                    let g = materialize(source)?;
+                    self.cache.insert(source.name.clone(), (fp, g.clone()));
+                    (g, true)
+                }
+            };
+            let before_nodes = graph.node_count();
+            let before_edges = graph.edge_count();
+            graph.import_graph(&snapshot);
+            reports.push(SourceReport {
+                name: source.name.clone(),
+                nodes: graph.node_count() - before_nodes,
+                edges: graph.edge_count() - before_edges,
+                rewrapped,
+            });
+        }
+        Ok(Warehouse { graph, reports })
+    }
+}
+
+/// Wraps one source and applies its GAV mapping.
+fn materialize(source: &Source) -> Result<Graph, MediatorError> {
+    let wrap_err = |error| MediatorError::Wrap {
+        source: source.name.clone(),
+        error,
+    };
+    let wrapped = match &source.format {
+        SourceFormat::Bibtex => bibtex::wrap(&source.content).map_err(wrap_err)?,
+        SourceFormat::BibtexWith(opts) => {
+            bibtex::wrap_with(&source.content, opts).map_err(wrap_err)?
+        }
+        SourceFormat::Relational(opts) => {
+            relational::wrap(&source.content, opts).map_err(wrap_err)?
+        }
+        SourceFormat::Structured(opts) => {
+            structured::wrap(&source.content, opts).map_err(wrap_err)?
+        }
+        SourceFormat::Html { collection } => {
+            html::wrap_documents(&source.html_docs, collection).map_err(wrap_err)?
+        }
+        SourceFormat::Ddl => {
+            strudel_graph::ddl::parse(&source.content).map_err(|error| MediatorError::Ddl {
+                source: source.name.clone(),
+                error,
+            })?
+        }
+    };
+    match &source.mapping {
+        None => Ok(wrapped),
+        Some(mapping) => {
+            let program =
+                strudel_struql::parse(mapping).map_err(|error| MediatorError::Mapping {
+                    source: source.name.clone(),
+                    error,
+                })?;
+            let db = Database::from_graph(wrapped, IndexLevel::ExtensionOnly);
+            let result = Evaluator::new(&db)
+                .eval(&program)
+                .map_err(|error| MediatorError::Mapping {
+                    source: source.name.clone(),
+                    error,
+                })?;
+            Ok(result.graph)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn people_source() -> Source {
+        Source::new(
+            "people",
+            SourceFormat::Relational(relational::TableOptions::new("PeopleRows")),
+            "id,name,dept\nmff,Mary Fernandez,db\nsuciu,Dan Suciu,db\n",
+        )
+    }
+
+    #[test]
+    fn integrates_multiple_sources() {
+        let mut m = Mediator::new();
+        m.add_source(people_source());
+        m.add_source(Source::new(
+            "bib",
+            SourceFormat::Bibtex,
+            "@article{p1, title={T1}, author={Mary Fernandez}, year=1997}",
+        ));
+        m.add_source(Source::new(
+            "projects",
+            SourceFormat::Structured(structured::RecordOptions::new("Projects")),
+            "id: strudel\nname: Strudel\nmember: mff\n",
+        ));
+        let w = m.build().unwrap();
+        assert_eq!(w.reports.len(), 3);
+        assert_eq!(w.graph.members_str("PeopleRows").len(), 2);
+        assert_eq!(w.graph.members_str("Publications").len(), 1);
+        assert_eq!(w.graph.members_str("Projects").len(), 1);
+        assert!(w.reports.iter().all(|r| r.rewrapped));
+    }
+
+    #[test]
+    fn gav_mapping_reshapes_a_source() {
+        let mut m = Mediator::new();
+        // Mediated schema wants a People collection of Person(x) objects
+        // with a uniform `fullname` attribute.
+        m.add_source(people_source().with_mapping(
+            r#"
+            where PeopleRows(x), x -> "name" -> n
+            create Person(x)
+            link Person(x) -> "fullname" -> n
+            collect People(Person(x))
+        "#,
+        ));
+        let w = m.build().unwrap();
+        let people = w.graph.members_str("People");
+        assert_eq!(people.len(), 2);
+        let p = people[0].as_node().unwrap();
+        assert_eq!(w.graph.attr_str(p, "fullname").count(), 1);
+    }
+
+    #[test]
+    fn rebuild_uses_cache_for_unchanged_sources() {
+        let mut m = Mediator::new();
+        m.add_source(people_source());
+        m.add_source(Source::new(
+            "bib",
+            SourceFormat::Bibtex,
+            "@article{p1, title={T}, year=1998}",
+        ));
+        let w1 = m.build().unwrap();
+        assert!(w1.reports.iter().all(|r| r.rewrapped));
+
+        let w2 = m.build().unwrap();
+        assert!(w2.reports.iter().all(|r| !r.rewrapped), "all cache hits");
+        assert_eq!(w2.graph.node_count(), w1.graph.node_count());
+
+        m.set_content("bib", "@article{p2, title={T2}, year=1999}");
+        let w3 = m.build().unwrap();
+        assert!(!w3.reports[0].rewrapped, "people unchanged");
+        assert!(w3.reports[1].rewrapped, "bib changed");
+        assert!(w3.graph.node_by_name("p2").is_some());
+        assert!(w3.graph.node_by_name("p1").is_none());
+    }
+
+    #[test]
+    fn replacing_a_source_by_name() {
+        let mut m = Mediator::new();
+        m.add_source(people_source());
+        m.add_source(Source::new(
+            "people",
+            SourceFormat::Relational(relational::TableOptions::new("PeopleRows")),
+            "id,name\nx,Someone New\n",
+        ));
+        assert_eq!(m.source_count(), 1);
+        let w = m.build().unwrap();
+        assert_eq!(w.graph.members_str("PeopleRows").len(), 1);
+    }
+
+    #[test]
+    fn wrap_errors_carry_source_name() {
+        let mut m = Mediator::new();
+        m.add_source(Source::new(
+            "badbib",
+            SourceFormat::Bibtex,
+            "@article{broken, title = {unclosed",
+        ));
+        let err = m.build().unwrap_err();
+        assert!(err.to_string().contains("badbib"));
+    }
+
+    #[test]
+    fn mapping_errors_carry_source_name() {
+        let mut m = Mediator::new();
+        m.add_source(people_source().with_mapping("where ( create"));
+        let err = m.build().unwrap_err();
+        assert!(err.to_string().contains("people"));
+    }
+
+    #[test]
+    fn ddl_sources_import_directly() {
+        let mut m = Mediator::new();
+        m.add_source(Source::new(
+            "extra",
+            SourceFormat::Ddl,
+            r#"object mff in People { phone : 5551234; }"#,
+        ));
+        let w = m.build().unwrap();
+        assert_eq!(w.graph.members_str("People").len(), 1);
+    }
+
+    #[test]
+    fn html_sources_wrap_documents() {
+        let mut m = Mediator::new();
+        m.add_source(Source::html(
+            "cnn",
+            "Articles",
+            vec![
+                html::HtmlDoc {
+                    name: "a.html".into(),
+                    html: "<title>A</title><a href=\"b.html\">b</a>".into(),
+                },
+                html::HtmlDoc {
+                    name: "b.html".into(),
+                    html: "<title>B</title>".into(),
+                },
+            ],
+        ));
+        let w = m.build().unwrap();
+        assert_eq!(w.graph.members_str("Articles").len(), 2);
+    }
+}

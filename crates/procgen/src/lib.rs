@@ -1,0 +1,58 @@
+//! # strudel-procgen
+//!
+//! The **baseline** for the Fig. 8 suitability study: procedural,
+//! "CGI-script-style" site generators, the way sites were built before
+//! Strudel ("In current practice, an analogous measure of site complexity
+//! is the number of CGI-BIN scripts required to generate a site", §6.1).
+//!
+//! Two baselines:
+//!
+//! * [`news`] — an imperative generator for the CNN-shaped site,
+//!   comparable to `strudel::sites::news_site`; its maintained
+//!   specification is the Rust between the `BEGIN-SPEC`/`END-SPEC`
+//!   markers, counted by [`news::spec_lines`].
+//! * [`sweep`] — a parametric family of sites over (data size ×
+//!   structural complexity), where structural complexity is the number of
+//!   *facets* the site indexes its entities by (≈ link clauses in the
+//!   STRUQL formulation, ≈ CGI scripts in the procedural one). Both the
+//!   procedural scripts and the equivalent STRUQL queries are generated
+//!   and *executed*, and their sizes and single-change diffs measured —
+//!   the inputs to the F8 experiment.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod news;
+pub mod sweep;
+
+/// Counts the lines between `// BEGIN-SPEC` and `// END-SPEC` markers in a
+/// source file — the "maintained specification" size of a procedural
+/// generator.
+pub fn marked_spec_lines(source: &str) -> usize {
+    let mut counting = false;
+    let mut lines = 0usize;
+    for line in source.lines() {
+        let t = line.trim();
+        if t.starts_with("// BEGIN-SPEC") {
+            counting = true;
+            continue;
+        }
+        if t.starts_with("// END-SPEC") {
+            counting = false;
+            continue;
+        }
+        if counting && !t.is_empty() && !t.starts_with("//") {
+            lines += 1;
+        }
+    }
+    lines
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn marker_counting() {
+        let src = "x\n// BEGIN-SPEC\na\n\n// comment\nb\n// END-SPEC\ny\n";
+        assert_eq!(super::marked_spec_lines(src), 2);
+    }
+}

@@ -1,0 +1,312 @@
+//! The parametric site family behind the Fig. 8 suitability study.
+//!
+//! A *sweep site* publishes `n` entities indexed by `k` **facets**
+//! (year-like, category-like, department-like groupings). `k` is the
+//! structural-complexity axis of Fig. 8 — each facet adds link clauses to
+//! the STRUQL formulation and a page-generating script to the procedural
+//! one; `n` is the data axis.
+//!
+//! Both formulations are *generated* and *executed*:
+//!
+//! * [`strudel_query`]/[`strudel_templates`] produce a real STRUQL query
+//!   (with `3 + 3k` link clauses) and templates over [`sweep_ddl`] data;
+//! * [`generate_procedural`] emits the same pages imperatively, and
+//!   [`procedural_script`] renders the per-facet CGI-style script text a
+//!   maintainer would own (the paper's complexity proxy is "the number of
+//!   CGI-BIN scripts").
+//!
+//! The experiment compares specification sizes ([`strudel_spec_lines`] vs
+//! [`procedural_spec_lines`]), the cost of one structural change
+//! ([`strudel_change_lines`] vs [`procedural_change_lines`]), and
+//! generation wall time.
+
+use std::fmt::Write;
+
+/// One entity of the sweep workload.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SweepEntity {
+    /// Identifier (`e0`, `e1`, …).
+    pub id: String,
+    /// Display title.
+    pub title: String,
+    /// One value per facet.
+    pub facet_values: Vec<String>,
+}
+
+/// Deterministic entity corpus: `n` entities × `k` facets, with facet `j`
+/// drawing from a domain of `4 + (j % 3)` values.
+pub fn sweep_entities(n: usize, k: usize) -> Vec<SweepEntity> {
+    (0..n)
+        .map(|i| SweepEntity {
+            id: format!("e{i}"),
+            title: format!("Entity {i}"),
+            facet_values: (0..k)
+                .map(|j| format!("f{j}v{}", (i * 31 + j * 7) % (4 + j % 3)))
+                .collect(),
+        })
+        .collect()
+}
+
+/// Renders the corpus as Strudel DDL (an `Entities` collection).
+pub fn sweep_ddl(entities: &[SweepEntity]) -> String {
+    let mut out = String::with_capacity(entities.len() * 96);
+    for e in entities {
+        writeln!(out, "object {} in Entities {{", e.id).unwrap();
+        writeln!(out, "  title : \"{}\";", e.title).unwrap();
+        for (j, v) in e.facet_values.iter().enumerate() {
+            writeln!(out, "  facet{j} : \"{v}\";").unwrap();
+        }
+        out.push_str("}\n");
+    }
+    out
+}
+
+/// The STRUQL site-definition query for `k` facets.
+pub fn strudel_query(k: usize) -> String {
+    let mut q = String::from(
+        "create Home()\nlink Home() -> \"title\" -> \"Sweep site\"\ncollect Roots(Home())\n\n\
+         where Entities(x)\ncreate EntityPage(x)\n\
+         link Home() -> \"entity\" -> EntityPage(x)\n\
+         collect EntityPages(EntityPage(x))\n\
+         { where x -> \"title\" -> t\n  link EntityPage(x) -> \"title\" -> t }\n",
+    );
+    for j in 0..k {
+        writeln!(
+            q,
+            "{{ where x -> \"facet{j}\" -> v{j}\n  create Facet{j}Page(v{j})\n  \
+             link Facet{j}Page(v{j}) -> \"value\" -> v{j},\n       \
+             Facet{j}Page(v{j}) -> \"entity\" -> EntityPage(x),\n       \
+             Home() -> \"facet{j}\" -> Facet{j}Page(v{j})\n  \
+             collect Facet{j}Pages(Facet{j}Page(v{j})) }}"
+        )
+        .unwrap();
+    }
+    q
+}
+
+/// Template set sources for the sweep site: `(name, source, assignment)`
+/// where the assignment is a collection name (or `Home` for the root).
+pub fn strudel_templates(k: usize) -> Vec<(String, String, String)> {
+    let mut facet_links = String::new();
+    for j in 0..k {
+        writeln!(facet_links, "<h2>By facet{j}</h2>\n<SFMT facet{j} UL ORDER=ascend KEY=value>")
+            .unwrap();
+    }
+    let mut out = vec![
+        (
+            "home".to_string(),
+            format!(
+                "<html><head><title><SFMT title></title></head><body>\n<h1><SFMT title></h1>\n\
+                 {facet_links}<h2>All entities</h2>\n<SFMT entity UL ORDER=ascend KEY=title>\n\
+                 </body></html>"
+            ),
+            "Home".to_string(),
+        ),
+        (
+            "entity".to_string(),
+            "<html><body><h1><SFMT title></h1></body></html>".to_string(),
+            "EntityPages".to_string(),
+        ),
+    ];
+    for j in 0..k {
+        out.push((
+            format!("facet{j}"),
+            "<html><body><h1><SFMT value></h1><SFMT entity UL ORDER=ascend KEY=title></body></html>"
+                .to_string(),
+            format!("Facet{j}Pages"),
+        ));
+    }
+    out
+}
+
+/// Strudel spec size: query lines plus template lines.
+pub fn strudel_spec_lines(k: usize) -> usize {
+    let q = strudel_query(k);
+    let t: usize = strudel_templates(k)
+        .iter()
+        .map(|(_, src, _)| src.lines().filter(|l| !l.trim().is_empty()).count())
+        .sum();
+    q.lines().filter(|l| !l.trim().is_empty()).count() + t
+}
+
+/// Lines changed in the Strudel spec when facet `k` is added (k → k+1).
+pub fn strudel_change_lines(k: usize) -> usize {
+    diff_lines(&full_strudel_spec(k), &full_strudel_spec(k + 1))
+}
+
+fn full_strudel_spec(k: usize) -> String {
+    let mut s = strudel_query(k);
+    for (_, src, _) in strudel_templates(k) {
+        s.push_str(&src);
+        s.push('\n');
+    }
+    s
+}
+
+/// The CGI-style script text a maintainer of the procedural site owns:
+/// a driver plus one script per facet. This is the text whose size and
+/// diffs the experiment reports; [`generate_procedural`] is its runnable
+/// equivalent.
+pub fn procedural_script(k: usize) -> String {
+    let mut s = String::from(
+        "#!/bin/sh\n# driver: regenerate the whole site\n\
+         ./gen_home.cgi > site/index.html\n\
+         for e in $(cut -d, -f1 entities.csv); do\n\
+         \t./gen_entity.cgi $e > site/$e.html\ndone\n",
+    );
+    for j in 0..k {
+        writeln!(s, "./gen_facet{j}.cgi || exit 1").unwrap();
+        writeln!(
+            s,
+            "# --- gen_facet{j}.cgi ---------------------------------------\n\
+             # enumerate distinct facet{j} values\n\
+             VALUES=$(cut -d, -f{col} entities.csv | sort -u)\n\
+             for v in $VALUES; do\n\
+             \techo '<html><body><h1>'$v'</h1><ul>' > site/facet{j}_$v.html\n\
+             \tawk -F, -v v=$v '${col}==v {{print \"<li><a href=\"$1\".html>\"$2\"</a></li>\"}}' \\\n\
+             \t    entities.csv >> site/facet{j}_$v.html\n\
+             \techo '</ul></body></html>' >> site/facet{j}_$v.html\n\
+             \tln_home=\"<a href=facet{j}_$v.html>facet{j} $v</a>\"\n\
+             \techo $ln_home >> site/index.html\ndone",
+            col = j + 3
+        )
+        .unwrap();
+    }
+    s
+}
+
+/// Procedural spec size: lines of the generated script text.
+pub fn procedural_spec_lines(k: usize) -> usize {
+    procedural_script(k)
+        .lines()
+        .filter(|l| !l.trim().is_empty())
+        .count()
+}
+
+/// Lines changed in the procedural spec when facet `k` is added.
+pub fn procedural_change_lines(k: usize) -> usize {
+    diff_lines(&procedural_script(k), &procedural_script(k + 1))
+}
+
+/// Runs the procedural generator: the executable equivalent of the
+/// scripts, producing the same page inventory as the Strudel site.
+pub fn generate_procedural(entities: &[SweepEntity], k: usize) -> Vec<(String, String)> {
+    let mut pages = Vec::new();
+    let mut home = String::from("<html><head><title>Sweep site</title></head><body>\n");
+    home.push_str("<h1>Sweep site</h1>\n");
+    for j in 0..k {
+        let mut values: Vec<&str> = entities
+            .iter()
+            .filter_map(|e| e.facet_values.get(j).map(String::as_str))
+            .collect();
+        values.sort_unstable();
+        values.dedup();
+        home.push_str(&format!("<h2>By facet{j}</h2>\n<ul>\n"));
+        for v in &values {
+            home.push_str(&format!("<li><a href=\"facet{j}_{v}.html\">{v}</a></li>\n"));
+            let mut page = format!("<html><body><h1>{v}</h1>\n<ul>\n");
+            for e in entities {
+                if e.facet_values.get(j).map(String::as_str) == Some(*v) {
+                    page.push_str(&format!(
+                        "<li><a href=\"{}.html\">{}</a></li>\n",
+                        e.id, e.title
+                    ));
+                }
+            }
+            page.push_str("</ul></body></html>\n");
+            pages.push((format!("facet{j}_{v}.html"), page));
+        }
+        home.push_str("</ul>\n");
+    }
+    home.push_str("<h2>All entities</h2>\n<ul>\n");
+    for e in entities {
+        home.push_str(&format!("<li><a href=\"{}.html\">{}</a></li>\n", e.id, e.title));
+        pages.push((
+            format!("{}.html", e.id),
+            format!("<html><body><h1>{}</h1></body></html>\n", e.title),
+        ));
+    }
+    home.push_str("</ul>\n</body></html>\n");
+    pages.insert(0, ("index.html".to_string(), home));
+    pages
+}
+
+/// Line-set diff size (added + removed), order-insensitive — a simple,
+/// symmetric measure of edit cost.
+fn diff_lines(a: &str, b: &str) -> usize {
+    use std::collections::HashMap;
+    let mut counts: HashMap<&str, i64> = HashMap::new();
+    for l in a.lines().filter(|l| !l.trim().is_empty()) {
+        *counts.entry(l).or_insert(0) += 1;
+    }
+    for l in b.lines().filter(|l| !l.trim().is_empty()) {
+        *counts.entry(l).or_insert(0) -= 1;
+    }
+    counts.values().map(|c| c.unsigned_abs() as usize).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn entities_are_deterministic() {
+        assert_eq!(sweep_entities(10, 3), sweep_entities(10, 3));
+        let e = sweep_entities(5, 2);
+        assert_eq!(e.len(), 5);
+        assert_eq!(e[0].facet_values.len(), 2);
+    }
+
+    #[test]
+    fn ddl_parses_and_strudel_query_runs() {
+        let entities = sweep_entities(20, 3);
+        let g = strudel_graph::ddl::parse(&sweep_ddl(&entities)).unwrap();
+        assert_eq!(g.members_str("Entities").len(), 20);
+        let db = strudel_repo::Database::from_graph(g, strudel_repo::IndexLevel::Full);
+        let program = strudel_struql::parse(&strudel_query(3)).unwrap();
+        let result = strudel_struql::Evaluator::new(&db).eval(&program).unwrap();
+        // Home + 20 entity pages + facet pages.
+        assert!(result.new_nodes.len() > 21);
+        assert_eq!(program.link_clause_count(), 3 + 3 * 3);
+    }
+
+    #[test]
+    fn procedural_and_strudel_agree_on_page_inventory() {
+        let k = 2;
+        let entities = sweep_entities(15, k);
+        let proc_pages = generate_procedural(&entities, k);
+
+        let g = strudel_graph::ddl::parse(&sweep_ddl(&entities)).unwrap();
+        let db = strudel_repo::Database::from_graph(g, strudel_repo::IndexLevel::Full);
+        let program = strudel_struql::parse(&strudel_query(k)).unwrap();
+        let result = strudel_struql::Evaluator::new(&db).eval(&program).unwrap();
+        // Pages: Home + entities + distinct facet values per facet.
+        assert_eq!(proc_pages.len(), result.new_nodes.len());
+    }
+
+    #[test]
+    fn spec_sizes_scale_differently() {
+        // Strudel adds ~9 lines per facet (6 query + 3 template); the
+        // procedural spec adds a whole script.
+        let s_delta = strudel_spec_lines(6) - strudel_spec_lines(5);
+        let p_delta = procedural_spec_lines(6) - procedural_spec_lines(5);
+        assert!(s_delta < p_delta, "strudel {s_delta} vs procedural {p_delta}");
+    }
+
+    #[test]
+    fn change_costs_favor_strudel() {
+        for k in [1, 4, 8] {
+            assert!(
+                strudel_change_lines(k) < procedural_change_lines(k),
+                "k = {k}"
+            );
+        }
+    }
+
+    #[test]
+    fn templates_parse() {
+        for (_, src, _) in strudel_templates(4) {
+            strudel_template::parse_template(&src).unwrap();
+        }
+    }
+}

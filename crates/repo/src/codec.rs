@@ -1,0 +1,216 @@
+//! Binary encoding shared by snapshots and the WAL.
+//!
+//! Little-endian LEB128 varints for integers, length-prefixed UTF-8 for
+//! strings, a one-byte tag for values. The format is deliberately simple
+//! and versioned by the magic header in each file type.
+
+use crate::RepoError;
+use std::io::{Read, Write};
+use strudel_graph::{FileKind, Oid, Value};
+
+pub fn write_varint(w: &mut impl Write, mut v: u64) -> std::io::Result<()> {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            return w.write_all(&[byte]);
+        }
+        w.write_all(&[byte | 0x80])?;
+    }
+}
+
+pub fn read_varint(r: &mut impl Read, offset: &mut u64) -> Result<u64, RepoError> {
+    let mut v: u64 = 0;
+    let mut shift = 0u32;
+    loop {
+        let mut b = [0u8; 1];
+        r.read_exact(&mut b)?;
+        *offset += 1;
+        v |= u64::from(b[0] & 0x7f) << shift;
+        if b[0] & 0x80 == 0 {
+            return Ok(v);
+        }
+        shift += 7;
+        if shift >= 64 {
+            return Err(corrupt(*offset, "varint overflow"));
+        }
+    }
+}
+
+/// ZigZag-encode an i64 so small negatives stay short.
+pub fn write_varint_i64(w: &mut impl Write, v: i64) -> std::io::Result<()> {
+    write_varint(w, ((v << 1) ^ (v >> 63)) as u64)
+}
+
+pub fn read_varint_i64(r: &mut impl Read, offset: &mut u64) -> Result<i64, RepoError> {
+    let z = read_varint(r, offset)?;
+    Ok(((z >> 1) as i64) ^ -((z & 1) as i64))
+}
+
+pub fn write_str(w: &mut impl Write, s: &str) -> std::io::Result<()> {
+    write_varint(w, s.len() as u64)?;
+    w.write_all(s.as_bytes())
+}
+
+pub fn read_str(r: &mut impl Read, offset: &mut u64) -> Result<String, RepoError> {
+    let len = read_varint(r, offset)? as usize;
+    if len > 1 << 30 {
+        return Err(corrupt(*offset, "string length too large"));
+    }
+    let mut buf = vec![0u8; len];
+    r.read_exact(&mut buf)?;
+    *offset += len as u64;
+    String::from_utf8(buf).map_err(|_| corrupt(*offset, "invalid utf-8 in string"))
+}
+
+const TAG_NODE: u8 = 0;
+const TAG_INT: u8 = 1;
+const TAG_FLOAT: u8 = 2;
+const TAG_BOOL_FALSE: u8 = 3;
+const TAG_BOOL_TRUE: u8 = 4;
+const TAG_STR: u8 = 5;
+const TAG_URL: u8 = 6;
+const TAG_FILE_TEXT: u8 = 7;
+const TAG_FILE_PS: u8 = 8;
+const TAG_FILE_IMAGE: u8 = 9;
+const TAG_FILE_HTML: u8 = 10;
+
+pub fn write_value(w: &mut impl Write, v: &Value) -> std::io::Result<()> {
+    match v {
+        Value::Node(o) => {
+            w.write_all(&[TAG_NODE])?;
+            write_varint(w, o.index() as u64)
+        }
+        Value::Int(i) => {
+            w.write_all(&[TAG_INT])?;
+            write_varint_i64(w, *i)
+        }
+        Value::Float(x) => {
+            w.write_all(&[TAG_FLOAT])?;
+            w.write_all(&x.to_bits().to_le_bytes())
+        }
+        Value::Bool(false) => w.write_all(&[TAG_BOOL_FALSE]),
+        Value::Bool(true) => w.write_all(&[TAG_BOOL_TRUE]),
+        Value::Str(s) => {
+            w.write_all(&[TAG_STR])?;
+            write_str(w, s)
+        }
+        Value::Url(u) => {
+            w.write_all(&[TAG_URL])?;
+            write_str(w, u)
+        }
+        Value::File(f) => {
+            let tag = match f.kind {
+                FileKind::Text => TAG_FILE_TEXT,
+                FileKind::PostScript => TAG_FILE_PS,
+                FileKind::Image => TAG_FILE_IMAGE,
+                FileKind::Html => TAG_FILE_HTML,
+            };
+            w.write_all(&[tag])?;
+            write_str(w, &f.path)
+        }
+    }
+}
+
+pub fn read_value(r: &mut impl Read, offset: &mut u64) -> Result<Value, RepoError> {
+    let mut tag = [0u8; 1];
+    r.read_exact(&mut tag)?;
+    *offset += 1;
+    Ok(match tag[0] {
+        TAG_NODE => Value::Node(Oid::from_index(read_varint(r, offset)? as usize)),
+        TAG_INT => Value::Int(read_varint_i64(r, offset)?),
+        TAG_FLOAT => {
+            let mut b = [0u8; 8];
+            r.read_exact(&mut b)?;
+            *offset += 8;
+            Value::Float(f64::from_bits(u64::from_le_bytes(b)))
+        }
+        TAG_BOOL_FALSE => Value::Bool(false),
+        TAG_BOOL_TRUE => Value::Bool(true),
+        TAG_STR => Value::string(read_str(r, offset)?),
+        TAG_URL => Value::url(read_str(r, offset)?),
+        TAG_FILE_TEXT => Value::file(FileKind::Text, read_str(r, offset)?),
+        TAG_FILE_PS => Value::file(FileKind::PostScript, read_str(r, offset)?),
+        TAG_FILE_IMAGE => Value::file(FileKind::Image, read_str(r, offset)?),
+        TAG_FILE_HTML => Value::file(FileKind::Html, read_str(r, offset)?),
+        other => return Err(corrupt(*offset, format!("unknown value tag {other}"))),
+    })
+}
+
+pub fn corrupt(offset: u64, message: impl Into<String>) -> RepoError {
+    RepoError::Corrupt {
+        what: "encoded data",
+        offset,
+        message: message.into(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip_value(v: &Value) -> Value {
+        let mut buf = Vec::new();
+        write_value(&mut buf, v).unwrap();
+        let mut offset = 0;
+        read_value(&mut &buf[..], &mut offset).unwrap()
+    }
+
+    #[test]
+    fn varint_round_trip() {
+        for v in [0u64, 1, 127, 128, 300, u32::MAX as u64, u64::MAX] {
+            let mut buf = Vec::new();
+            write_varint(&mut buf, v).unwrap();
+            let mut offset = 0;
+            assert_eq!(read_varint(&mut &buf[..], &mut offset).unwrap(), v);
+            assert_eq!(offset, buf.len() as u64);
+        }
+    }
+
+    #[test]
+    fn signed_varint_round_trip() {
+        for v in [0i64, 1, -1, 63, -64, i64::MAX, i64::MIN] {
+            let mut buf = Vec::new();
+            write_varint_i64(&mut buf, v).unwrap();
+            let mut offset = 0;
+            assert_eq!(read_varint_i64(&mut &buf[..], &mut offset).unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn values_round_trip() {
+        let vals = [
+            Value::Node(Oid::from_index(9)),
+            Value::Int(-42),
+            Value::Float(2.5),
+            Value::Bool(true),
+            Value::Bool(false),
+            Value::string("héllo"),
+            Value::url("http://x"),
+            Value::file(FileKind::Image, "a/b.png"),
+            Value::file(FileKind::PostScript, "p.ps"),
+        ];
+        for v in &vals {
+            assert_eq!(&round_trip_value(v), v);
+        }
+    }
+
+    #[test]
+    fn truncated_input_errors() {
+        let mut buf = Vec::new();
+        write_value(&mut buf, &Value::string("hello world")).unwrap();
+        buf.truncate(buf.len() - 3);
+        let mut offset = 0;
+        assert!(read_value(&mut &buf[..], &mut offset).is_err());
+    }
+
+    #[test]
+    fn unknown_tag_errors() {
+        let buf = [0xfeu8];
+        let mut offset = 0;
+        assert!(matches!(
+            read_value(&mut &buf[..], &mut offset),
+            Err(RepoError::Corrupt { .. })
+        ));
+    }
+}

@@ -1,0 +1,600 @@
+//! The repository façade: an indexed, optionally persistent graph store.
+
+use crate::index::{ExtensionIndex, IndexSet, SchemaIndex, ValueIndex};
+use crate::stats::Stats;
+use crate::wal::{self, Wal};
+use crate::{snapshot, RepoError};
+use std::cell::RefCell;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use strudel_graph::{DeltaOp, Graph, GraphDelta, Label, Oid, Value};
+
+/// How much indexing the repository maintains.
+///
+/// The paper's prototype always indexes fully; this knob exists for the
+/// E-index ablation (what do the indexes buy in a schemaless store?).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum IndexLevel {
+    /// No indexes: every lookup is a graph scan.
+    None,
+    /// Schema + per-attribute extension indexes, no global value index.
+    ExtensionOnly,
+    /// Everything, the paper's configuration.
+    #[default]
+    Full,
+}
+
+/// An indexed graph database with optional snapshot + WAL persistence.
+///
+/// All mutation goes through `Database` methods so the indexes stay
+/// consistent with the graph; reads hand out `&Graph` freely.
+#[derive(Debug)]
+pub struct Database {
+    graph: Graph,
+    level: IndexLevel,
+    indexes: IndexSet,
+    stats: RefCell<Option<Arc<Stats>>>,
+    wal: Option<Wal>,
+    dir: Option<PathBuf>,
+}
+
+impl Default for Database {
+    fn default() -> Self {
+        Self::new(IndexLevel::Full)
+    }
+}
+
+impl Database {
+    /// An empty in-memory database at the given index level.
+    pub fn new(level: IndexLevel) -> Self {
+        Self::from_graph(Graph::new(), level)
+    }
+
+    /// Wraps an existing graph, building indexes for it.
+    pub fn from_graph(graph: Graph, level: IndexLevel) -> Self {
+        let indexes = build_indexes(&graph, level);
+        Database {
+            graph,
+            level,
+            indexes,
+            stats: RefCell::new(None),
+            wal: None,
+            dir: None,
+        }
+    }
+
+    /// Opens (or creates) a persistent database in directory `dir`: loads
+    /// `snapshot.bin` if present, replays `wal.log`, and keeps the WAL open
+    /// for appending.
+    pub fn open(dir: &Path, level: IndexLevel) -> Result<Self, RepoError> {
+        std::fs::create_dir_all(dir)?;
+        let snap_path = dir.join("snapshot.bin");
+        let wal_path = dir.join("wal.log");
+        let mut graph = if snap_path.exists() {
+            snapshot::load_from_path(&snap_path)?
+        } else {
+            Graph::new()
+        };
+        for delta in wal::replay(&wal_path)? {
+            delta.apply(&mut graph)?;
+        }
+        let mut db = Self::from_graph(graph, level);
+        db.wal = Some(Wal::open_append(&wal_path)?);
+        db.dir = Some(dir.to_owned());
+        Ok(db)
+    }
+
+    /// Writes a fresh snapshot and truncates the WAL.
+    pub fn checkpoint(&mut self) -> Result<(), RepoError> {
+        let Some(dir) = self.dir.clone() else {
+            return Ok(()); // in-memory databases checkpoint trivially
+        };
+        if let Some(w) = &mut self.wal {
+            w.sync()?;
+        }
+        snapshot::save_to_path(&self.graph, &dir.join("snapshot.bin"))?;
+        self.wal = Some(Wal::create(&dir.join("wal.log"))?);
+        Ok(())
+    }
+
+    // ----- reads ---------------------------------------------------------
+
+    /// The underlying graph (read-only).
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// Consumes the database, returning its graph.
+    pub fn into_graph(self) -> Graph {
+        self.graph
+    }
+
+    /// The configured index level.
+    pub fn level(&self) -> IndexLevel {
+        self.level
+    }
+
+    /// The extension of attribute `label` — all `(source, target)` pairs —
+    /// when extension indexes are maintained.
+    pub fn extension(&self, label: Label) -> Option<&[(Oid, Value)]> {
+        self.indexes.extension.as_ref().map(|x| x.extension(label))
+    }
+
+    /// The sources of edges `x --label--> to`, when extension indexes are
+    /// maintained.
+    pub fn sources(&self, label: Label, to: &Value) -> Option<&[Oid]> {
+        self.indexes.extension.as_ref().map(|x| x.sources(label, to))
+    }
+
+    /// Every `(node, label)` location of the atomic value `v`, when the
+    /// global value index is maintained.
+    pub fn value_locations(&self, v: &Value) -> Option<&[(Oid, Label)]> {
+        self.indexes.value.as_ref().map(|x| x.locations(v))
+    }
+
+    /// The schema index, when maintained.
+    pub fn schema_index(&self) -> Option<&SchemaIndex> {
+        self.indexes.schema.as_ref()
+    }
+
+    /// Builds a [`DataGuide`](crate::DataGuide) over the node members of
+    /// a collection — the discovered schema of that collection's objects.
+    /// `None` when the collection is missing or has no node members.
+    pub fn dataguide(&self, collection: &str) -> Option<crate::DataGuide> {
+        let cid = self.graph.collection_id(collection)?;
+        let roots: Vec<Oid> = self
+            .graph
+            .members(cid)
+            .iter()
+            .filter_map(Value::as_node)
+            .collect();
+        if roots.is_empty() {
+            return None;
+        }
+        Some(crate::DataGuide::build(&self.graph, &roots))
+    }
+
+    /// A statistics snapshot for the optimizer, computed lazily and cached
+    /// until the next mutation.
+    pub fn stats(&self) -> Arc<Stats> {
+        let mut slot = self.stats.borrow_mut();
+        if let Some(s) = slot.as_ref() {
+            return Arc::clone(s);
+        }
+        let s = Arc::new(Stats::compute(&self.graph));
+        *slot = Some(Arc::clone(&s));
+        s
+    }
+
+    // ----- mutations -----------------------------------------------------
+
+    /// Creates an anonymous node.
+    pub fn add_node(&mut self) -> Result<Oid, RepoError> {
+        self.log_one(DeltaOp::AddNode { name: None })?;
+        self.invalidate();
+        Ok(self.graph.add_node())
+    }
+
+    /// Creates (or fetches) a named node.
+    pub fn add_named_node(&mut self, name: &str) -> Result<Oid, RepoError> {
+        if let Some(oid) = self.graph.node_by_name(name) {
+            return Ok(oid); // no-op, nothing to log
+        }
+        self.log_one(DeltaOp::AddNode {
+            name: Some(name.into()),
+        })?;
+        self.invalidate();
+        Ok(self.graph.add_named_node(name))
+    }
+
+    /// Adds an edge, maintaining all indexes.
+    pub fn add_edge(&mut self, from: Oid, label: &str, to: Value) -> Result<(), RepoError> {
+        self.log_one(DeltaOp::AddEdge {
+            from,
+            label: label.into(),
+            to: to.clone(),
+        })?;
+        self.apply_add_edge(from, label, to);
+        Ok(())
+    }
+
+    /// Removes one occurrence of an edge. Returns whether it existed.
+    pub fn remove_edge(&mut self, from: Oid, label: &str, to: &Value) -> Result<bool, RepoError> {
+        let Some(l) = self.graph.label(label) else {
+            return Ok(false);
+        };
+        if !self.graph.has_edge(from, l, to) {
+            return Ok(false);
+        }
+        self.log_one(DeltaOp::RemoveEdge {
+            from,
+            label: label.into(),
+            to: to.clone(),
+        })?;
+        self.apply_remove_edge(from, l, to);
+        Ok(true)
+    }
+
+    /// Adds `member` to a named collection.
+    pub fn collect(&mut self, collection: &str, member: Value) -> Result<bool, RepoError> {
+        let cid = self.graph.intern_collection(collection);
+        if self.graph.in_collection(cid, &member) {
+            return Ok(false);
+        }
+        self.log_one(DeltaOp::Collect {
+            collection: collection.into(),
+            member: member.clone(),
+        })?;
+        self.invalidate();
+        if let Some(s) = &mut self.indexes.schema {
+            s.note_member(collection, 1);
+        }
+        Ok(self.graph.collect(cid, member))
+    }
+
+    /// Removes `member` from a named collection.
+    pub fn uncollect(&mut self, collection: &str, member: &Value) -> Result<bool, RepoError> {
+        let Some(cid) = self.graph.collection_id(collection) else {
+            return Ok(false);
+        };
+        if !self.graph.in_collection(cid, member) {
+            return Ok(false);
+        }
+        self.log_one(DeltaOp::Uncollect {
+            collection: collection.into(),
+            member: member.clone(),
+        })?;
+        self.invalidate();
+        if let Some(s) = &mut self.indexes.schema {
+            s.note_member(collection, -1);
+        }
+        Ok(self.graph.uncollect(cid, member))
+    }
+
+    /// Applies a whole delta atomically with respect to the WAL (one
+    /// record) and keeps indexes in sync.
+    pub fn apply_delta(&mut self, delta: &GraphDelta) -> Result<Vec<Oid>, RepoError> {
+        if let Some(wal) = &mut self.wal {
+            wal.append(delta)?;
+        }
+        let mut created = Vec::new();
+        for op in delta.ops() {
+            match op {
+                DeltaOp::AddNode { name } => {
+                    let oid = match name {
+                        Some(n) => self.graph.add_named_node(n),
+                        None => self.graph.add_node(),
+                    };
+                    created.push(oid);
+                }
+                DeltaOp::AddEdge { from, label, to } => {
+                    if !self.graph.contains_node(*from) {
+                        return Err(strudel_graph::DeltaError::UnknownNode(*from).into());
+                    }
+                    self.apply_add_edge(*from, label, to.clone());
+                }
+                DeltaOp::RemoveEdge { from, label, to } => {
+                    let l = self.graph.label(label).ok_or_else(|| {
+                        RepoError::Delta(strudel_graph::DeltaError::MissingEdge {
+                            from: *from,
+                            label: label.clone(),
+                        })
+                    })?;
+                    if !self.graph.has_edge(*from, l, to) {
+                        return Err(strudel_graph::DeltaError::MissingEdge {
+                            from: *from,
+                            label: label.clone(),
+                        }
+                        .into());
+                    }
+                    self.apply_remove_edge(*from, l, to);
+                }
+                DeltaOp::Collect { collection, member } => {
+                    let cid = self.graph.intern_collection(collection);
+                    if self.graph.collect(cid, member.clone()) {
+                        if let Some(s) = &mut self.indexes.schema {
+                            s.note_member(collection, 1);
+                        }
+                    }
+                }
+                DeltaOp::Uncollect { collection, member } => {
+                    let cid = self.graph.collection_id(collection).ok_or_else(|| {
+                        RepoError::Delta(strudel_graph::DeltaError::MissingMember {
+                            collection: collection.clone(),
+                        })
+                    })?;
+                    if self.graph.uncollect(cid, member) {
+                        if let Some(s) = &mut self.indexes.schema {
+                            s.note_member(collection, -1);
+                        }
+                    }
+                }
+            }
+        }
+        self.invalidate();
+        Ok(created)
+    }
+
+    /// Rebuilds all indexes from scratch (used after bulk graph surgery
+    /// and by tests to cross-check incremental maintenance).
+    pub fn rebuild_indexes(&mut self) {
+        self.indexes = build_indexes(&self.graph, self.level);
+        self.invalidate();
+    }
+
+    // ----- internals ------------------------------------------------------
+
+    fn apply_add_edge(&mut self, from: Oid, label: &str, to: Value) {
+        let l = self.graph.intern_label(label);
+        if let Some(s) = &mut self.indexes.schema {
+            s.note_edge(l, &to);
+        }
+        if let Some(x) = &mut self.indexes.extension {
+            x.note_edge(from, l, &to);
+        }
+        if let Some(v) = &mut self.indexes.value {
+            v.note_edge(from, l, &to);
+        }
+        self.graph.add_edge(from, l, to);
+        self.invalidate();
+    }
+
+    fn apply_remove_edge(&mut self, from: Oid, l: Label, to: &Value) {
+        if let Some(s) = &mut self.indexes.schema {
+            s.forget_edge(l, to);
+        }
+        if let Some(x) = &mut self.indexes.extension {
+            x.forget_edge(from, l, to);
+        }
+        if let Some(v) = &mut self.indexes.value {
+            v.forget_edge(from, l, to);
+        }
+        self.graph.remove_edge(from, l, to);
+        self.invalidate();
+    }
+
+    fn log_one(&mut self, op: DeltaOp) -> Result<(), RepoError> {
+        if let Some(wal) = &mut self.wal {
+            let mut d = GraphDelta::new();
+            d.push(op);
+            wal.append(&d)?;
+        }
+        Ok(())
+    }
+
+    fn invalidate(&mut self) {
+        *self.stats.borrow_mut() = None;
+    }
+}
+
+fn build_indexes(graph: &Graph, level: IndexLevel) -> IndexSet {
+    match level {
+        IndexLevel::None => IndexSet::default(),
+        IndexLevel::ExtensionOnly => IndexSet {
+            schema: Some(SchemaIndex::build(graph)),
+            extension: Some(ExtensionIndex::build(graph)),
+            value: None,
+        },
+        IndexLevel::Full => IndexSet {
+            schema: Some(SchemaIndex::build(graph)),
+            extension: Some(ExtensionIndex::build(graph)),
+            value: Some(ValueIndex::build(graph)),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("strudel-db-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        d
+    }
+
+    #[test]
+    fn mutations_keep_indexes_in_sync() {
+        let mut db = Database::new(IndexLevel::Full);
+        let a = db.add_named_node("a").unwrap();
+        db.add_edge(a, "year", Value::Int(1998)).unwrap();
+        db.add_edge(a, "year", Value::Int(1997)).unwrap();
+        let year = db.graph().label("year").unwrap();
+        assert_eq!(db.extension(year).unwrap().len(), 2);
+        assert_eq!(db.sources(year, &Value::Int(1998)).unwrap().len(), 1);
+        assert_eq!(db.value_locations(&Value::Int(1998)).unwrap().len(), 1);
+
+        db.remove_edge(a, "year", &Value::Int(1998)).unwrap();
+        assert_eq!(db.extension(year).unwrap().len(), 1);
+        assert_eq!(db.sources(year, &Value::Int(1998)).unwrap().len(), 0);
+        assert_eq!(db.value_locations(&Value::Int(1998)).unwrap().len(), 0);
+    }
+
+    #[test]
+    fn index_level_none_disables_indexes() {
+        let mut db = Database::new(IndexLevel::None);
+        let a = db.add_node().unwrap();
+        db.add_edge(a, "x", Value::Int(1)).unwrap();
+        let x = db.graph().label("x").unwrap();
+        assert!(db.extension(x).is_none());
+        assert!(db.value_locations(&Value::Int(1)).is_none());
+        assert!(db.schema_index().is_none());
+    }
+
+    #[test]
+    fn extension_only_omits_value_index() {
+        let mut db = Database::new(IndexLevel::ExtensionOnly);
+        let a = db.add_node().unwrap();
+        db.add_edge(a, "x", Value::Int(1)).unwrap();
+        let x = db.graph().label("x").unwrap();
+        assert!(db.extension(x).is_some());
+        assert!(db.value_locations(&Value::Int(1)).is_none());
+    }
+
+    #[test]
+    fn stats_cache_invalidates_on_mutation() {
+        let mut db = Database::new(IndexLevel::Full);
+        let a = db.add_node().unwrap();
+        let s1 = db.stats();
+        assert_eq!(s1.edges, 0);
+        db.add_edge(a, "x", Value::Int(1)).unwrap();
+        let s2 = db.stats();
+        assert_eq!(s2.edges, 1);
+    }
+
+    #[test]
+    fn incremental_indexes_match_rebuilt_indexes() {
+        let mut db = Database::new(IndexLevel::Full);
+        let a = db.add_named_node("a").unwrap();
+        let b = db.add_named_node("b").unwrap();
+        db.add_edge(a, "p", Value::Node(b)).unwrap();
+        db.add_edge(a, "q", Value::string("s")).unwrap();
+        db.add_edge(b, "q", Value::string("s")).unwrap();
+        db.remove_edge(a, "q", &Value::string("s")).unwrap();
+        db.collect("C", Value::Node(a)).unwrap();
+
+        let q = db.graph().label("q").unwrap();
+        let incr_ext: Vec<_> = db.extension(q).unwrap().to_vec();
+        let incr_locs = db.value_locations(&Value::string("s")).unwrap().len();
+        let incr_coll = db.schema_index().unwrap().collection_size("C");
+
+        db.rebuild_indexes();
+        assert_eq!(db.extension(q).unwrap().to_vec(), incr_ext);
+        assert_eq!(
+            db.value_locations(&Value::string("s")).unwrap().len(),
+            incr_locs
+        );
+        assert_eq!(db.schema_index().unwrap().collection_size("C"), incr_coll);
+    }
+
+    #[test]
+    fn persistence_round_trip() {
+        let dir = tmpdir("persist");
+        {
+            let mut db = Database::open(&dir, IndexLevel::Full).unwrap();
+            let a = db.add_named_node("a").unwrap();
+            db.add_edge(a, "title", Value::string("Strudel")).unwrap();
+            db.collect("Pubs", Value::Node(a)).unwrap();
+        } // drop without checkpoint: state lives in the WAL
+        {
+            let db = Database::open(&dir, IndexLevel::Full).unwrap();
+            let a = db.graph().node_by_name("a").unwrap();
+            assert_eq!(
+                db.graph().first_attr_str(a, "title").unwrap().as_str(),
+                Some("Strudel")
+            );
+            assert_eq!(db.graph().members_str("Pubs").len(), 1);
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn checkpoint_compacts_wal() {
+        let dir = tmpdir("ckpt");
+        {
+            let mut db = Database::open(&dir, IndexLevel::Full).unwrap();
+            let a = db.add_named_node("a").unwrap();
+            db.add_edge(a, "v", Value::Int(1)).unwrap();
+            db.checkpoint().unwrap();
+            // WAL should now be just the magic header.
+            let wal_len = std::fs::metadata(dir.join("wal.log")).unwrap().len();
+            assert_eq!(wal_len, 8);
+            db.add_edge(a, "v", Value::Int(2)).unwrap();
+        }
+        {
+            let db = Database::open(&dir, IndexLevel::Full).unwrap();
+            let a = db.graph().node_by_name("a").unwrap();
+            assert_eq!(db.graph().attr_str(a, "v").count(), 2);
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn named_node_is_idempotent_without_duplicate_log() {
+        let dir = tmpdir("idem");
+        {
+            let mut db = Database::open(&dir, IndexLevel::Full).unwrap();
+            let a1 = db.add_named_node("a").unwrap();
+            let a2 = db.add_named_node("a").unwrap();
+            assert_eq!(a1, a2);
+        }
+        {
+            let db = Database::open(&dir, IndexLevel::Full).unwrap();
+            assert_eq!(db.graph().node_count(), 1);
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn apply_delta_is_one_wal_record() {
+        let dir = tmpdir("delta");
+        let mut d = GraphDelta::new();
+        d.add_node(Some("x"));
+        d.add_edge(Oid::from_index(0), "v", Value::Int(1));
+        {
+            let mut db = Database::open(&dir, IndexLevel::Full).unwrap();
+            db.apply_delta(&d).unwrap();
+        }
+        let records = wal::replay(&dir.join("wal.log")).unwrap();
+        assert_eq!(records.len(), 1);
+        assert_eq!(records[0].len(), 2);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn dataguide_over_a_collection() {
+        let mut db = Database::new(IndexLevel::Full);
+        let a = db.add_named_node("a").unwrap();
+        db.add_edge(a, "title", Value::string("T")).unwrap();
+        db.collect("Pubs", Value::Node(a)).unwrap();
+        let guide = db.dataguide("Pubs").unwrap();
+        assert_eq!(guide.nodes[0].cardinality, 1);
+        assert!(db.dataguide("Ghost").is_none());
+        db.collect("Atoms", Value::Int(1)).unwrap();
+        assert!(db.dataguide("Atoms").is_none(), "no node members");
+    }
+
+    #[test]
+    fn open_rejects_corrupt_snapshot() {
+        let dir = tmpdir("corrupt-snap");
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("snapshot.bin"), b"not a snapshot").unwrap();
+        assert!(matches!(
+            Database::open(&dir, IndexLevel::Full),
+            Err(RepoError::Corrupt { .. }) | Err(RepoError::Io(_))
+        ));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn open_discards_torn_wal_tail() {
+        let dir = tmpdir("torn-tail");
+        {
+            let mut db = Database::open(&dir, IndexLevel::Full).unwrap();
+            let a = db.add_named_node("a").unwrap();
+            db.add_edge(a, "v", Value::Int(1)).unwrap();
+            db.add_edge(a, "v", Value::Int(2)).unwrap();
+        }
+        // Simulate a crash mid-append: chop bytes off the log.
+        let wal_path = dir.join("wal.log");
+        let bytes = std::fs::read(&wal_path).unwrap();
+        std::fs::write(&wal_path, &bytes[..bytes.len() - 3]).unwrap();
+        let db = Database::open(&dir, IndexLevel::Full).unwrap();
+        let a = db.graph().node_by_name("a").unwrap();
+        // The first committed edge survives; the torn one is discarded.
+        assert_eq!(db.graph().attr_str(a, "v").count(), 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn collect_uncollect_updates_schema_index() {
+        let mut db = Database::new(IndexLevel::Full);
+        let a = db.add_node().unwrap();
+        db.collect("C", Value::Node(a)).unwrap();
+        assert_eq!(db.schema_index().unwrap().collection_size("C"), 1);
+        assert!(!db.collect("C", Value::Node(a)).unwrap(), "duplicate");
+        assert_eq!(db.schema_index().unwrap().collection_size("C"), 1);
+        db.uncollect("C", &Value::Node(a)).unwrap();
+        assert_eq!(db.schema_index().unwrap().collection_size("C"), 0);
+    }
+}

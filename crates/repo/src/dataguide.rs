@@ -1,0 +1,358 @@
+//! DataGuide summaries: discovered schemas for schemaless graphs.
+//!
+//! The paper's §7: *"Traditional database systems rely heavily on schema
+//! information … An important problem is developing analogous techniques
+//! for semistructured data in which schema information is missing or
+//! changes frequently."* The classic answer from the Lore project
+//! (Goldman & Widom, VLDB 1997) is the **strong DataGuide**: a concise
+//! summary graph in which every distinct label path of the source graph
+//! appears exactly once. It is built by the powerset construction over
+//! target sets — the same determinization idea as NFA→DFA.
+//!
+//! The guide answers the questions iterative site design keeps asking
+//! (§6.3's "we discovered similarities between pages that were not
+//! explicit"): what attributes exist under a collection, which are
+//! optional, what types they carry — without any declared schema.
+
+use std::collections::{BTreeSet, HashMap};
+use strudel_graph::{Graph, Label, Oid, Value};
+
+/// One node of the DataGuide: a distinct label path's target set summary.
+#[derive(Clone, Debug)]
+pub struct GuideNode {
+    /// Out-edges: label → guide node index.
+    pub children: Vec<(Label, usize)>,
+    /// How many source objects this path reaches.
+    pub cardinality: usize,
+    /// Names of atomic value types observed at this path, with counts.
+    pub value_types: Vec<(&'static str, usize)>,
+}
+
+/// A strong DataGuide over a graph, rooted at a set of source objects.
+#[derive(Clone, Debug)]
+pub struct DataGuide {
+    /// Guide nodes; index 0 is the root (the source set itself).
+    pub nodes: Vec<GuideNode>,
+}
+
+impl DataGuide {
+    /// Builds the strong DataGuide of the subgraph reachable from `roots`.
+    ///
+    /// Runs the powerset construction: each guide node corresponds to the
+    /// *set* of source nodes reachable by one label path, and equal sets
+    /// are shared — so every distinct label path appears exactly once.
+    /// Worst-case exponential in pathological graphs (a known property of
+    /// strong DataGuides); linear-ish on the tree-like data graphs web
+    /// sites have.
+    pub fn build(graph: &Graph, roots: &[Oid]) -> DataGuide {
+        let root_set: BTreeSet<Oid> = roots.iter().copied().collect();
+        let mut nodes: Vec<GuideNode> = Vec::new();
+        let mut index: HashMap<BTreeSet<Oid>, usize> = HashMap::new();
+        let mut queue: Vec<BTreeSet<Oid>> = Vec::new();
+
+        let intern = |set: BTreeSet<Oid>,
+                          nodes: &mut Vec<GuideNode>,
+                          queue: &mut Vec<BTreeSet<Oid>>,
+                          index: &mut HashMap<BTreeSet<Oid>, usize>|
+         -> usize {
+            if let Some(&i) = index.get(&set) {
+                return i;
+            }
+            let i = nodes.len();
+            nodes.push(GuideNode {
+                children: Vec::new(),
+                cardinality: set.len(),
+                value_types: Vec::new(),
+            });
+            index.insert(set.clone(), i);
+            queue.push(set);
+            i
+        };
+
+        intern(root_set, &mut nodes, &mut queue, &mut index);
+        let mut cursor = 0usize;
+        while cursor < queue.len() {
+            let set = queue[cursor].clone();
+            let node_idx = index[&set];
+            cursor += 1;
+
+            // Group targets by label across the whole set.
+            let mut by_label: HashMap<Label, (BTreeSet<Oid>, HashMap<&'static str, usize>)> =
+                HashMap::new();
+            for &o in &set {
+                for e in graph.edges(o) {
+                    let entry = by_label.entry(e.label).or_default();
+                    match &e.to {
+                        Value::Node(m) => {
+                            entry.0.insert(*m);
+                        }
+                        atomic => {
+                            *entry.1.entry(atomic.type_name()).or_insert(0) += 1;
+                        }
+                    }
+                }
+            }
+            let mut labels: Vec<Label> = by_label.keys().copied().collect();
+            labels.sort();
+            for label in labels {
+                let (targets, types) = by_label.remove(&label).expect("present");
+                if !targets.is_empty() {
+                    let child = intern(targets, &mut nodes, &mut queue, &mut index);
+                    nodes[node_idx].children.push((label, child));
+                }
+                if !types.is_empty() {
+                    // Atomic values at this path: record on the child if it
+                    // exists, else on a leaf child.
+                    let child = match nodes[node_idx]
+                        .children
+                        .iter()
+                        .find(|(l, _)| *l == label)
+                    {
+                        Some(&(_, c)) => c,
+                        None => {
+                            let c = nodes.len();
+                            nodes.push(GuideNode {
+                                children: Vec::new(),
+                                cardinality: 0,
+                                value_types: Vec::new(),
+                            });
+                            nodes[node_idx].children.push((label, c));
+                            c
+                        }
+                    };
+                    let mut tv: Vec<(&'static str, usize)> = types.into_iter().collect();
+                    tv.sort();
+                    merge_types(&mut nodes[child].value_types, &tv);
+                }
+            }
+        }
+        DataGuide { nodes }
+    }
+
+    /// The guide node reached by a label path from the root, if that path
+    /// exists in the data.
+    pub fn lookup(&self, graph: &Graph, path: &[&str]) -> Option<&GuideNode> {
+        let mut current = 0usize;
+        for name in path {
+            let label = graph.label(name)?;
+            let &(_, next) = self.nodes[current]
+                .children
+                .iter()
+                .find(|(l, _)| *l == label)?;
+            current = next;
+        }
+        Some(&self.nodes[current])
+    }
+
+    /// Every distinct label path (up to `max_depth`), with the number of
+    /// objects it reaches — the "discovered schema" listing.
+    pub fn paths(&self, graph: &Graph, max_depth: usize) -> Vec<(String, usize)> {
+        let mut out = Vec::new();
+        let mut stack: Vec<(usize, String, usize)> = vec![(0, String::new(), 0)];
+        while let Some((node, path, depth)) = stack.pop() {
+            if depth >= max_depth {
+                continue;
+            }
+            for &(label, child) in &self.nodes[node].children {
+                let name = graph.label_name(label);
+                let p = if path.is_empty() {
+                    name.to_owned()
+                } else {
+                    format!("{path}.{name}")
+                };
+                let reach = self.nodes[child].cardinality.max(
+                    self.nodes[child]
+                        .value_types
+                        .iter()
+                        .map(|(_, c)| *c)
+                        .sum(),
+                );
+                out.push((p.clone(), reach));
+                stack.push((child, p, depth + 1));
+            }
+        }
+        out.sort();
+        out
+    }
+
+    /// Attribute report for the root set: label name, how many of the root
+    /// objects carry it, and the value types observed — the §6.3 question
+    /// "which attributes are optional?".
+    pub fn attribute_report<'g>(
+        &self,
+        graph: &'g Graph,
+        roots: &[Oid],
+    ) -> Vec<AttributeFact<'g>> {
+        let mut out = Vec::new();
+        for &(label, child) in &self.nodes[0].children {
+            let name = graph.label_name(label);
+            let l = label;
+            let carriers = roots
+                .iter()
+                .filter(|&&o| graph.attr(o, l).next().is_some())
+                .count();
+            out.push(AttributeFact {
+                name,
+                carriers,
+                total: roots.len(),
+                value_types: self.nodes[child].value_types.clone(),
+            });
+        }
+        out.sort_by_key(|f| f.name);
+        out
+    }
+}
+
+fn merge_types(into: &mut Vec<(&'static str, usize)>, add: &[(&'static str, usize)]) {
+    for &(t, c) in add {
+        match into.iter_mut().find(|(x, _)| *x == t) {
+            Some((_, n)) => *n += c,
+            None => into.push((t, c)),
+        }
+    }
+    into.sort();
+}
+
+/// One row of [`DataGuide::attribute_report`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AttributeFact<'g> {
+    /// Attribute name.
+    pub name: &'g str,
+    /// How many root objects carry it.
+    pub carriers: usize,
+    /// Number of root objects.
+    pub total: usize,
+    /// Atomic value types observed at the attribute, with counts.
+    pub value_types: Vec<(&'static str, usize)>,
+}
+
+impl AttributeFact<'_> {
+    /// Whether every root object carries this attribute.
+    pub fn required(&self) -> bool {
+        self.carriers == self.total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use strudel_graph::FileKind;
+
+    fn irregular_pubs() -> (Graph, Vec<Oid>) {
+        let mut g = Graph::new();
+        let p1 = g.add_named_node("p1");
+        g.add_edge_str(p1, "title", Value::string("A"));
+        g.add_edge_str(p1, "year", Value::Int(1997));
+        g.add_edge_str(p1, "month", Value::string("June"));
+        let p2 = g.add_named_node("p2");
+        g.add_edge_str(p2, "title", Value::string("B"));
+        g.add_edge_str(p2, "year", Value::Int(1998));
+        g.add_edge_str(p2, "abstract", Value::file(FileKind::Text, "b.txt"));
+        // Nested structure on p2 only.
+        let addr = g.add_node();
+        g.add_edge_str(addr, "city", Value::string("NYC"));
+        g.add_edge_str(p2, "address", Value::Node(addr));
+        (g, vec![p1, p2])
+    }
+
+    #[test]
+    fn every_distinct_path_appears_once() {
+        let (g, roots) = irregular_pubs();
+        let guide = DataGuide::build(&g, &roots);
+        let paths = guide.paths(&g, 3);
+        let names: Vec<&str> = paths.iter().map(|(p, _)| p.as_str()).collect();
+        assert_eq!(
+            names,
+            [
+                "abstract",
+                "address",
+                "address.city",
+                "month",
+                "title",
+                "year"
+            ]
+        );
+        // No duplicates by construction.
+        let mut sorted = names.clone();
+        sorted.dedup();
+        assert_eq!(sorted.len(), names.len());
+    }
+
+    #[test]
+    fn cardinalities_reflect_reach() {
+        let (g, roots) = irregular_pubs();
+        let guide = DataGuide::build(&g, &roots);
+        let paths = guide.paths(&g, 2);
+        let by_name: std::collections::HashMap<&str, usize> =
+            paths.iter().map(|(p, c)| (p.as_str(), *c)).collect();
+        assert_eq!(by_name["title"], 2, "both publications have titles");
+        assert_eq!(by_name["month"], 1, "only p1 has a month");
+        assert_eq!(by_name["address"], 1);
+    }
+
+    #[test]
+    fn lookup_navigates_paths() {
+        let (g, roots) = irregular_pubs();
+        let guide = DataGuide::build(&g, &roots);
+        assert!(guide.lookup(&g, &["address", "city"]).is_some());
+        assert!(guide.lookup(&g, &["address", "zip"]).is_none());
+        assert!(guide.lookup(&g, &["no-such"]).is_none());
+    }
+
+    #[test]
+    fn attribute_report_flags_optional_attributes() {
+        let (g, roots) = irregular_pubs();
+        let guide = DataGuide::build(&g, &roots);
+        let report = guide.attribute_report(&g, &roots);
+        let title = report.iter().find(|f| f.name == "title").unwrap();
+        assert!(title.required());
+        assert_eq!(title.value_types, vec![("string", 2)]);
+        let month = report.iter().find(|f| f.name == "month").unwrap();
+        assert!(!month.required());
+        assert_eq!(month.carriers, 1);
+        let abs = report.iter().find(|f| f.name == "abstract").unwrap();
+        assert_eq!(abs.value_types, vec![("text", 1)]);
+    }
+
+    #[test]
+    fn shared_target_sets_are_merged() {
+        // Two roots pointing at the same child via the same label: the
+        // guide has one child node.
+        let mut g = Graph::new();
+        let a = g.add_node();
+        let b = g.add_node();
+        let shared = g.add_node();
+        g.add_edge_str(shared, "v", Value::Int(1));
+        g.add_edge_str(a, "child", Value::Node(shared));
+        g.add_edge_str(b, "child", Value::Node(shared));
+        let guide = DataGuide::build(&g, &[a, b]);
+        // Root + {shared} + the leaf for v's value types.
+        assert_eq!(guide.nodes.len(), 3);
+    }
+
+    #[test]
+    fn cycles_terminate() {
+        let mut g = Graph::new();
+        let a = g.add_node();
+        let b = g.add_node();
+        g.add_edge_str(a, "next", Value::Node(b));
+        g.add_edge_str(b, "next", Value::Node(a));
+        let guide = DataGuide::build(&g, &[a]);
+        assert!(guide.nodes.len() <= 4);
+        // Paths at depth 3 exist but reuse guide nodes.
+        assert!(guide.lookup(&g, &["next", "next", "next"]).is_some());
+    }
+
+    #[test]
+    fn mixed_value_types_are_reported() {
+        let mut g = Graph::new();
+        let a = g.add_node();
+        let b = g.add_node();
+        g.add_edge_str(a, "year", Value::Int(1998));
+        g.add_edge_str(b, "year", Value::string("1997"));
+        let guide = DataGuide::build(&g, &[a, b]);
+        let report = guide.attribute_report(&g, &[a, b]);
+        let year = &report[0];
+        assert_eq!(year.value_types, vec![("int", 1), ("string", 1)]);
+    }
+}

@@ -1,0 +1,42 @@
+//! # strudel-repo
+//!
+//! The Strudel data repository: storage and indexing for semistructured
+//! graphs.
+//!
+//! Unlike a relational or object-oriented store, the repository cannot rely
+//! on schema information to organize data on disk — there is no schema. The
+//! paper's answer (§2.1) is to **fully index both the schema and the
+//! data**:
+//!
+//! * a *schema index* over the names of all collections and attributes in
+//!   the graph (STRUQL can query the schema through arc variables);
+//! * *extension indexes* for each collection and each attribute;
+//! * *value indexes* that are **global** to the graph, not per collection
+//!   or attribute.
+//!
+//! "Obviously, maintaining these indexes is expensive, but they provide
+//! many benefits to our query language." The [`Database`] type maintains
+//! all of them incrementally under mutation; [`IndexLevel`] lets the
+//! indexing ablation experiment (E-index) dial them down.
+//!
+//! Persistence is a binary [`snapshot`] plus a write-ahead log ([`wal`]) of
+//! [`GraphDelta`](strudel_graph::GraphDelta)s; [`Database::open`] replays
+//! the log over the latest snapshot and [`Database::checkpoint`] compacts.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub(crate) mod codec;
+pub mod dataguide;
+mod database;
+mod error;
+mod index;
+pub mod snapshot;
+mod stats;
+pub mod wal;
+
+pub use database::{Database, IndexLevel};
+pub use dataguide::{AttributeFact, DataGuide, GuideNode};
+pub use error::RepoError;
+pub use index::{ExtensionIndex, IndexSet, SchemaIndex, ValueIndex};
+pub use stats::{LabelStats, Stats};

@@ -1,0 +1,154 @@
+//! Cardinality statistics for the query optimizer.
+//!
+//! The traditional way to pick join orders is schema-derived statistics;
+//! with no schema, Strudel derives them from the indexes. [`Stats`] is the
+//! read-only summary the STRUQL planner consumes: per-attribute edge
+//! counts, distinct source/target counts (for selectivity), collection
+//! cardinalities, and graph totals.
+
+use std::collections::{HashMap, HashSet};
+use strudel_graph::{Graph, Label, Value};
+
+/// Statistics for one attribute label.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct LabelStats {
+    /// Total edges with this label.
+    pub edges: usize,
+    /// Distinct source nodes.
+    pub distinct_sources: usize,
+    /// Distinct target values.
+    pub distinct_targets: usize,
+}
+
+impl LabelStats {
+    /// Expected number of targets per bound source (fan-out), at least 1.
+    pub fn fanout(&self) -> f64 {
+        if self.distinct_sources == 0 {
+            0.0
+        } else {
+            self.edges as f64 / self.distinct_sources as f64
+        }
+    }
+
+    /// Expected number of sources per bound target (fan-in), at least 1.
+    pub fn fanin(&self) -> f64 {
+        if self.distinct_targets == 0 {
+            0.0
+        } else {
+            self.edges as f64 / self.distinct_targets as f64
+        }
+    }
+}
+
+/// Graph-wide statistics snapshot.
+#[derive(Clone, Debug, Default)]
+pub struct Stats {
+    labels: HashMap<Label, LabelStats>,
+    collections: HashMap<String, usize>,
+    /// Total node count.
+    pub nodes: usize,
+    /// Total edge count.
+    pub edges: usize,
+}
+
+impl Stats {
+    /// Computes statistics by scanning `graph`.
+    pub fn compute(graph: &Graph) -> Self {
+        let mut per_label: HashMap<Label, (usize, HashSet<u32>, HashSet<Value>)> = HashMap::new();
+        for oid in graph.node_oids() {
+            for e in graph.edges(oid) {
+                let entry = per_label.entry(e.label).or_default();
+                entry.0 += 1;
+                entry.1.insert(oid.index() as u32);
+                entry.2.insert(e.to.clone());
+            }
+        }
+        let labels = per_label
+            .into_iter()
+            .map(|(l, (edges, srcs, tgts))| {
+                (
+                    l,
+                    LabelStats {
+                        edges,
+                        distinct_sources: srcs.len(),
+                        distinct_targets: tgts.len(),
+                    },
+                )
+            })
+            .collect();
+        let collections = graph
+            .collections()
+            .map(|(cid, name)| (name.to_owned(), graph.members(cid).len()))
+            .collect();
+        Stats {
+            labels,
+            collections,
+            nodes: graph.node_count(),
+            edges: graph.edge_count(),
+        }
+    }
+
+    /// Statistics for one label; zeros when the label is unused.
+    pub fn label(&self, label: Label) -> LabelStats {
+        self.labels.get(&label).cloned().unwrap_or_default()
+    }
+
+    /// Cardinality of a collection by name.
+    pub fn collection_size(&self, name: &str) -> usize {
+        self.collections.get(name).copied().unwrap_or(0)
+    }
+
+    /// Average out-degree of nodes in the graph, at least a small epsilon.
+    pub fn avg_degree(&self) -> f64 {
+        if self.nodes == 0 {
+            0.0
+        } else {
+            self.edges as f64 / self.nodes as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn computes_per_label_stats() {
+        let mut g = Graph::new();
+        let a = g.add_node();
+        let b = g.add_node();
+        g.add_edge_str(a, "year", Value::Int(1998));
+        g.add_edge_str(b, "year", Value::Int(1998));
+        g.add_edge_str(b, "year", Value::Int(1997));
+        let s = Stats::compute(&g);
+        let year = g.label("year").unwrap();
+        let ls = s.label(year);
+        assert_eq!(ls.edges, 3);
+        assert_eq!(ls.distinct_sources, 2);
+        assert_eq!(ls.distinct_targets, 2);
+        assert!((ls.fanout() - 1.5).abs() < 1e-9);
+        assert!((ls.fanin() - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn collection_sizes_and_totals() {
+        let mut g = Graph::new();
+        let a = g.add_node();
+        g.collect_str("C", a);
+        let s = Stats::compute(&g);
+        assert_eq!(s.collection_size("C"), 1);
+        assert_eq!(s.collection_size("D"), 0);
+        assert_eq!(s.nodes, 1);
+        assert_eq!(s.edges, 0);
+        assert_eq!(s.avg_degree(), 0.0);
+    }
+
+    #[test]
+    fn unused_label_reports_zeros() {
+        let mut g = Graph::new();
+        let l = g.intern_label("ghost");
+        let s = Stats::compute(&g);
+        assert_eq!(s.label(l), LabelStats::default());
+        assert_eq!(s.label(l).fanout(), 0.0);
+    }
+}

@@ -1,0 +1,305 @@
+//! Write-ahead log of graph deltas.
+//!
+//! Each committed [`GraphDelta`] is one length-prefixed record:
+//!
+//! ```text
+//! file   := MAGIC record*
+//! record := len:u32le payload[len]
+//! payload := op_count:varint op*
+//! ```
+//!
+//! Replay stops cleanly at a torn tail record (a crash mid-append), which
+//! is the standard WAL recovery contract: committed records are whole,
+//! the last record may be partial and is discarded.
+
+use crate::codec::{read_str, read_value, read_varint, write_str, write_value, write_varint};
+use crate::RepoError;
+use std::fs::{File, OpenOptions};
+use std::io::{BufWriter, Read, Write};
+use std::path::Path;
+use strudel_graph::{DeltaOp, GraphDelta, Oid};
+
+const MAGIC: &[u8; 8] = b"STRUWAL1";
+
+const OP_ADD_NODE: u8 = 0;
+const OP_ADD_NODE_NAMED: u8 = 1;
+const OP_ADD_EDGE: u8 = 2;
+const OP_REMOVE_EDGE: u8 = 3;
+const OP_COLLECT: u8 = 4;
+const OP_UNCOLLECT: u8 = 5;
+
+/// An open, appendable write-ahead log.
+#[derive(Debug)]
+pub struct Wal {
+    writer: BufWriter<File>,
+}
+
+impl Wal {
+    /// Creates a new WAL file at `path`, truncating any existing one.
+    pub fn create(path: &Path) -> Result<Self, RepoError> {
+        let mut file = File::create(path)?;
+        file.write_all(MAGIC)?;
+        file.sync_all()?;
+        Ok(Wal {
+            writer: BufWriter::new(file),
+        })
+    }
+
+    /// Opens an existing WAL for appending (creating it when missing).
+    pub fn open_append(path: &Path) -> Result<Self, RepoError> {
+        if !path.exists() {
+            return Self::create(path);
+        }
+        let file = OpenOptions::new().append(true).open(path)?;
+        Ok(Wal {
+            writer: BufWriter::new(file),
+        })
+    }
+
+    /// Appends one delta as a single committed record and flushes it to the
+    /// OS. Durability against power loss would additionally require
+    /// `sync_data`; we flush per record and sync on checkpoint, a standard
+    /// group-commit compromise.
+    pub fn append(&mut self, delta: &GraphDelta) -> Result<(), RepoError> {
+        let mut payload = Vec::with_capacity(16 * delta.len() + 4);
+        write_varint(&mut payload, delta.len() as u64)?;
+        for op in delta.ops() {
+            encode_op(&mut payload, op)?;
+        }
+        self.writer
+            .write_all(&(payload.len() as u32).to_le_bytes())?;
+        self.writer.write_all(&payload)?;
+        self.writer.flush()?;
+        Ok(())
+    }
+
+    /// Forces everything to stable storage.
+    pub fn sync(&mut self) -> Result<(), RepoError> {
+        self.writer.flush()?;
+        self.writer.get_ref().sync_data()?;
+        Ok(())
+    }
+}
+
+fn encode_op(w: &mut Vec<u8>, op: &DeltaOp) -> Result<(), RepoError> {
+    match op {
+        DeltaOp::AddNode { name: None } => w.push(OP_ADD_NODE),
+        DeltaOp::AddNode { name: Some(n) } => {
+            w.push(OP_ADD_NODE_NAMED);
+            write_str(w, n)?;
+        }
+        DeltaOp::AddEdge { from, label, to } => {
+            w.push(OP_ADD_EDGE);
+            write_varint(w, from.index() as u64)?;
+            write_str(w, label)?;
+            write_value(w, to)?;
+        }
+        DeltaOp::RemoveEdge { from, label, to } => {
+            w.push(OP_REMOVE_EDGE);
+            write_varint(w, from.index() as u64)?;
+            write_str(w, label)?;
+            write_value(w, to)?;
+        }
+        DeltaOp::Collect { collection, member } => {
+            w.push(OP_COLLECT);
+            write_str(w, collection)?;
+            write_value(w, member)?;
+        }
+        DeltaOp::Uncollect { collection, member } => {
+            w.push(OP_UNCOLLECT);
+            write_str(w, collection)?;
+            write_value(w, member)?;
+        }
+    }
+    Ok(())
+}
+
+fn decode_op(r: &mut impl Read, offset: &mut u64) -> Result<DeltaOp, RepoError> {
+    let mut tag = [0u8; 1];
+    r.read_exact(&mut tag)?;
+    *offset += 1;
+    Ok(match tag[0] {
+        OP_ADD_NODE => DeltaOp::AddNode { name: None },
+        OP_ADD_NODE_NAMED => DeltaOp::AddNode {
+            name: Some(read_str(r, offset)?.into()),
+        },
+        OP_ADD_EDGE => DeltaOp::AddEdge {
+            from: Oid::from_index(read_varint(r, offset)? as usize),
+            label: read_str(r, offset)?.into(),
+            to: read_value(r, offset)?,
+        },
+        OP_REMOVE_EDGE => DeltaOp::RemoveEdge {
+            from: Oid::from_index(read_varint(r, offset)? as usize),
+            label: read_str(r, offset)?.into(),
+            to: read_value(r, offset)?,
+        },
+        OP_COLLECT => DeltaOp::Collect {
+            collection: read_str(r, offset)?.into(),
+            member: read_value(r, offset)?,
+        },
+        OP_UNCOLLECT => DeltaOp::Uncollect {
+            collection: read_str(r, offset)?.into(),
+            member: read_value(r, offset)?,
+        },
+        other => {
+            return Err(RepoError::Corrupt {
+                what: "wal",
+                offset: *offset,
+                message: format!("unknown op tag {other}"),
+            })
+        }
+    })
+}
+
+/// Replays all whole records of the WAL at `path`. A torn tail record is
+/// silently discarded; a structurally corrupt *whole* record is an error.
+/// Returns the committed deltas in order. A missing file replays to
+/// nothing.
+pub fn replay(path: &Path) -> Result<Vec<GraphDelta>, RepoError> {
+    let bytes = match std::fs::read(path) {
+        Ok(b) => b,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) => return Err(e.into()),
+    };
+    if bytes.len() < MAGIC.len() || &bytes[..MAGIC.len()] != MAGIC {
+        return Err(RepoError::Corrupt {
+            what: "wal",
+            offset: 0,
+            message: "bad wal magic".into(),
+        });
+    }
+    let mut deltas = Vec::new();
+    let mut pos = MAGIC.len();
+    while pos < bytes.len() {
+        if pos + 4 > bytes.len() {
+            break; // torn length prefix
+        }
+        let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().unwrap()) as usize;
+        if pos + 4 + len > bytes.len() {
+            break; // torn record body
+        }
+        let payload = &bytes[pos + 4..pos + 4 + len];
+        let mut r = payload;
+        let mut offset = pos as u64 + 4;
+        let op_count = read_varint(&mut r, &mut offset)? as usize;
+        let mut delta = GraphDelta::new();
+        for _ in 0..op_count {
+            delta.push(decode_op(&mut r, &mut offset)?);
+        }
+        deltas.push(delta);
+        pos += 4 + len;
+    }
+    Ok(deltas)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use strudel_graph::{Graph, Value};
+
+    fn tmpdir(tag: &str) -> std::path::PathBuf {
+        let d = std::env::temp_dir().join(format!("strudel-wal-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    fn sample_delta() -> GraphDelta {
+        let mut d = GraphDelta::new();
+        d.add_node(Some("a"));
+        d.add_node(None);
+        d.add_edge(Oid::from_index(0), "title", Value::string("Strudel"));
+        d.add_edge(Oid::from_index(0), "next", Value::Node(Oid::from_index(1)));
+        d.collect("Pubs", Value::Node(Oid::from_index(0)));
+        d
+    }
+
+    #[test]
+    fn append_and_replay_round_trip() {
+        let dir = tmpdir("rt");
+        let path = dir.join("wal.log");
+        let d1 = sample_delta();
+        let mut d2 = GraphDelta::new();
+        d2.remove_edge(Oid::from_index(0), "title", Value::string("Strudel"));
+        d2.uncollect("Pubs", Value::Node(Oid::from_index(0)));
+        {
+            let mut wal = Wal::create(&path).unwrap();
+            wal.append(&d1).unwrap();
+            wal.append(&d2).unwrap();
+            wal.sync().unwrap();
+        }
+        let replayed = replay(&path).unwrap();
+        assert_eq!(replayed, vec![d1.clone(), d2.clone()]);
+
+        // The replayed log rebuilds the same graph.
+        let mut g = Graph::new();
+        for d in &replayed {
+            d.apply(&mut g).unwrap();
+        }
+        assert_eq!(g.node_count(), 2);
+        let a = g.node_by_name("a").unwrap();
+        assert_eq!(g.attr_str(a, "title").count(), 0);
+        assert_eq!(g.members_str("Pubs").len(), 0);
+    }
+
+    #[test]
+    fn torn_tail_is_discarded() {
+        let dir = tmpdir("torn");
+        let path = dir.join("wal.log");
+        {
+            let mut wal = Wal::create(&path).unwrap();
+            wal.append(&sample_delta()).unwrap();
+            wal.append(&sample_delta()).unwrap();
+            wal.sync().unwrap();
+        }
+        let full = std::fs::read(&path).unwrap();
+        // Chop mid-way through the second record.
+        std::fs::write(&path, &full[..full.len() - 5]).unwrap();
+        let replayed = replay(&path).unwrap();
+        assert_eq!(replayed.len(), 1);
+    }
+
+    #[test]
+    fn missing_file_replays_empty() {
+        let dir = tmpdir("missing");
+        assert!(replay(&dir.join("nope.log")).unwrap().is_empty());
+    }
+
+    #[test]
+    fn bad_magic_errors() {
+        let dir = tmpdir("magic");
+        let path = dir.join("wal.log");
+        std::fs::write(&path, b"GARBAGE!").unwrap();
+        assert!(matches!(replay(&path), Err(RepoError::Corrupt { .. })));
+    }
+
+    #[test]
+    fn open_append_continues_log() {
+        let dir = tmpdir("append");
+        let path = dir.join("wal.log");
+        {
+            let mut wal = Wal::create(&path).unwrap();
+            wal.append(&sample_delta()).unwrap();
+        }
+        {
+            let mut wal = Wal::open_append(&path).unwrap();
+            wal.append(&sample_delta()).unwrap();
+        }
+        assert_eq!(replay(&path).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn corrupt_whole_record_is_an_error() {
+        let dir = tmpdir("corrupt");
+        let path = dir.join("wal.log");
+        {
+            let mut wal = Wal::create(&path).unwrap();
+            wal.append(&sample_delta()).unwrap();
+        }
+        let mut bytes = std::fs::read(&path).unwrap();
+        // Flip the op tag of the first op (magic 8 + len 4 + varint 1).
+        bytes[13] = 0xee;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(replay(&path).is_err());
+    }
+}

@@ -1,0 +1,367 @@
+//! Integrity constraints on Strudel-generated sites.
+//!
+//! The paper (§2.5): *"Integrity constraints are logical sentences built
+//! from expressions of the form `C(X)` and `X -> R -> Y` using logical
+//! connectives and quantifiers"*, e.g. "all paper presentation pages are
+//! reachable from a category page":
+//!
+//! ```text
+//! forall p in PaperPages : exists c in CategoryPages : c -> * -> p
+//! ```
+//!
+//! The concrete syntax accepted by [`parse_constraint`]:
+//!
+//! ```text
+//! constraint := quantifier* body
+//! quantifier := ('forall' | 'exists') var 'in' Collection ':'
+//! body       := atom ('and' atom)*
+//! atom       := var '->' R '->' term        -- R: STRUQL path regex
+//!             | var 'in' Collection
+//! term       := var | "string" | integer
+//! ```
+//!
+//! Free variables in path-atom target position are implicitly
+//! existentially quantified ("the page has *a* title").
+//!
+//! Two checkers share this AST:
+//!
+//! * [`runtime::check`] — complete, over a materialized graph;
+//! * [`verify::verify`] — sound static proof against the site schema,
+//!   deciding `Proved` without materializing any site, or `Unknown`.
+
+pub mod runtime;
+pub mod verify;
+
+use std::fmt;
+use strudel_graph::Value;
+use strudel_struql::{parse_path_regex, PathRegex};
+
+/// Quantifier kind.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Quant {
+    /// Universal.
+    Forall,
+    /// Existential.
+    Exists,
+}
+
+/// One quantifier: `forall v in Coll`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Quantifier {
+    /// Kind.
+    pub quant: Quant,
+    /// Bound variable.
+    pub var: String,
+    /// The collection the variable ranges over.
+    pub collection: String,
+}
+
+/// A term in atom target position.
+#[derive(Clone, Debug, PartialEq)]
+pub enum CTerm {
+    /// A variable (quantified or free-existential).
+    Var(String),
+    /// A constant.
+    Const(Value),
+}
+
+/// One atom of the body conjunction.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Atom {
+    /// `src -> R -> dst`.
+    Path {
+        /// Source variable.
+        src: String,
+        /// The path regex.
+        regex: PathRegex,
+        /// Target term.
+        dst: CTerm,
+    },
+    /// `var in Collection`.
+    InCollection {
+        /// The variable.
+        var: String,
+        /// The collection.
+        collection: String,
+    },
+}
+
+/// A parsed constraint: a quantifier prefix over a conjunction of atoms.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Constraint {
+    /// Quantifier prefix, outermost first.
+    pub quantifiers: Vec<Quantifier>,
+    /// Body conjunction.
+    pub atoms: Vec<Atom>,
+    /// The original source text (for reports).
+    pub source: String,
+}
+
+/// A constraint syntax error.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ConstraintError {
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ConstraintError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "constraint error: {}", self.message)
+    }
+}
+
+impl std::error::Error for ConstraintError {}
+
+fn err(message: impl Into<String>) -> ConstraintError {
+    ConstraintError {
+        message: message.into(),
+    }
+}
+
+/// Parses a constraint.
+pub fn parse_constraint(src: &str) -> Result<Constraint, ConstraintError> {
+    let mut quantifiers = Vec::new();
+    let mut rest = src.trim();
+
+    loop {
+        let word = first_word(rest);
+        let quant = match word {
+            "forall" => Quant::Forall,
+            "exists" => Quant::Exists,
+            _ => break,
+        };
+        rest = rest[word.len()..].trim_start();
+        let var = first_word(rest);
+        if var.is_empty() {
+            return Err(err("expected a variable after the quantifier"));
+        }
+        rest = rest[var.len()..].trim_start();
+        let kw = first_word(rest);
+        if kw != "in" {
+            return Err(err(format!("expected 'in' after '{var}', found '{kw}'")));
+        }
+        rest = rest[2..].trim_start();
+        let coll = first_word(rest);
+        if coll.is_empty() {
+            return Err(err("expected a collection name after 'in'"));
+        }
+        rest = rest[coll.len()..].trim_start();
+        if !rest.starts_with(':') {
+            return Err(err(format!("expected ':' after 'in {coll}'")));
+        }
+        rest = rest[1..].trim_start();
+        quantifiers.push(Quantifier {
+            quant,
+            var: var.to_owned(),
+            collection: coll.to_owned(),
+        });
+    }
+
+    let mut atoms = Vec::new();
+    for part in split_top_level_and(rest) {
+        atoms.push(parse_atom(part.trim())?);
+    }
+    if atoms.is_empty() {
+        return Err(err("constraint body is empty"));
+    }
+
+    // Scope sanity: path sources must be quantified variables.
+    for a in &atoms {
+        if let Atom::Path { src, .. } = a {
+            if !quantifiers.iter().any(|q| &q.var == src) {
+                return Err(err(format!(
+                    "path source '{src}' is not a quantified variable"
+                )));
+            }
+        }
+        if let Atom::InCollection { var, .. } = a {
+            if !quantifiers.iter().any(|q| &q.var == var) {
+                return Err(err(format!(
+                    "membership variable '{var}' is not a quantified variable"
+                )));
+            }
+        }
+    }
+
+    Ok(Constraint {
+        quantifiers,
+        atoms,
+        source: src.trim().to_owned(),
+    })
+}
+
+fn first_word(s: &str) -> &str {
+    let end = s
+        .find(|c: char| !(c.is_ascii_alphanumeric() || c == '_' || c == '\''))
+        .unwrap_or(s.len());
+    &s[..end]
+}
+
+/// Splits on the keyword `and` at top level (outside quotes/parens).
+fn split_top_level_and(s: &str) -> Vec<&str> {
+    let bytes = s.as_bytes();
+    let mut parts = Vec::new();
+    let mut depth = 0i32;
+    let mut in_quotes = false;
+    let mut start = 0usize;
+    let mut i = 0usize;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'"' => in_quotes = !in_quotes,
+            b'(' if !in_quotes => depth += 1,
+            b')' if !in_quotes => depth -= 1,
+            b'a' if !in_quotes
+                && depth == 0
+                && s[i..].starts_with("and")
+                && (i == 0 || bytes[i - 1].is_ascii_whitespace())
+                && (i + 3 >= bytes.len() || bytes[i + 3].is_ascii_whitespace()) =>
+            {
+                parts.push(&s[start..i]);
+                start = i + 3;
+                i += 3;
+                continue;
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    parts.push(&s[start..]);
+    parts
+}
+
+fn parse_atom(src: &str) -> Result<Atom, ConstraintError> {
+    if let Some(arrow) = src.find("->") {
+        let var = src[..arrow].trim();
+        if var.is_empty() || !var.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '\'') {
+            return Err(err(format!("bad path source '{var}'")));
+        }
+        let rest = &src[arrow + 2..];
+        let Some(arrow2) = rest.rfind("->") else {
+            return Err(err(format!("path atom needs two '->': '{src}'")));
+        };
+        let regex_src = rest[..arrow2].trim();
+        let regex = parse_path_regex(regex_src)
+            .map_err(|e| err(format!("bad path expression '{regex_src}': {e}")))?;
+        let dst_src = rest[arrow2 + 2..].trim();
+        let dst = parse_cterm(dst_src)?;
+        return Ok(Atom::Path {
+            src: var.to_owned(),
+            regex,
+            dst,
+        });
+    }
+    // Membership: `var in Coll`.
+    let mut it = src.split_whitespace();
+    let (Some(var), Some(kw), Some(coll), None) = (it.next(), it.next(), it.next(), it.next())
+    else {
+        return Err(err(format!("unrecognized atom '{src}'")));
+    };
+    if kw != "in" {
+        return Err(err(format!("unrecognized atom '{src}'")));
+    }
+    Ok(Atom::InCollection {
+        var: var.to_owned(),
+        collection: coll.to_owned(),
+    })
+}
+
+fn parse_cterm(src: &str) -> Result<CTerm, ConstraintError> {
+    if src.is_empty() {
+        return Err(err("empty path target"));
+    }
+    if src.starts_with('"') && src.ends_with('"') && src.len() >= 2 {
+        return Ok(CTerm::Const(Value::string(&src[1..src.len() - 1])));
+    }
+    if let Ok(i) = src.parse::<i64>() {
+        return Ok(CTerm::Const(Value::Int(i)));
+    }
+    if src.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '\'') {
+        return Ok(CTerm::Var(src.to_owned()));
+    }
+    Err(err(format!("bad path target '{src}'")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_reachability_constraint() {
+        let c = parse_constraint(
+            "forall p in PaperPages : exists c in CategoryPages : c -> * -> p",
+        )
+        .unwrap();
+        assert_eq!(c.quantifiers.len(), 2);
+        assert_eq!(c.quantifiers[0].quant, Quant::Forall);
+        assert_eq!(c.quantifiers[1].quant, Quant::Exists);
+        assert_eq!(c.atoms.len(), 1);
+        let Atom::Path { src, dst, .. } = &c.atoms[0] else {
+            panic!()
+        };
+        assert_eq!(src, "c");
+        assert_eq!(dst, &CTerm::Var("p".into()));
+    }
+
+    #[test]
+    fn parses_attribute_existence() {
+        let c = parse_constraint(r#"forall p in Pages : p -> "title" -> t"#).unwrap();
+        assert_eq!(c.atoms.len(), 1);
+    }
+
+    #[test]
+    fn parses_conjunction() {
+        let c = parse_constraint(
+            r#"forall p in Pages : p -> "title" -> t and p -> "year" -> y"#,
+        )
+        .unwrap();
+        assert_eq!(c.atoms.len(), 2);
+    }
+
+    #[test]
+    fn parses_membership_atom() {
+        let c = parse_constraint("forall p in Pages : p in Reachable").unwrap();
+        assert!(matches!(&c.atoms[0], Atom::InCollection { .. }));
+    }
+
+    #[test]
+    fn parses_constant_target() {
+        let c = parse_constraint(r#"forall p in Pages : p -> "lang" -> "en""#).unwrap();
+        let Atom::Path { dst, .. } = &c.atoms[0] else {
+            panic!()
+        };
+        assert_eq!(dst, &CTerm::Const(Value::string("en")));
+    }
+
+    #[test]
+    fn parses_complex_regex() {
+        let c = parse_constraint(
+            r#"forall p in Pages : p -> ("next" | "prev")* . "home" -> h"#,
+        )
+        .unwrap();
+        assert_eq!(c.atoms.len(), 1);
+    }
+
+    #[test]
+    fn rejects_unquantified_source() {
+        let e = parse_constraint("forall p in Pages : q -> * -> p").unwrap_err();
+        assert!(e.message.contains("'q'"));
+    }
+
+    #[test]
+    fn rejects_malformed_prefix() {
+        assert!(parse_constraint("forall p Pages : p -> * -> q").is_err());
+        assert!(parse_constraint("forall in Pages : x -> * -> y").is_err());
+        assert!(parse_constraint("forall p in Pages p -> * -> q").is_err());
+    }
+
+    #[test]
+    fn rejects_empty_body() {
+        assert!(parse_constraint("forall p in Pages :").is_err());
+    }
+
+    #[test]
+    fn and_inside_quotes_does_not_split() {
+        let c = parse_constraint(r#"forall p in Pages : p -> "black and white" -> v"#).unwrap();
+        assert_eq!(c.atoms.len(), 1);
+    }
+}

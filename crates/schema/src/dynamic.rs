@@ -1,0 +1,525 @@
+//! Dynamic ("click-time") site evaluation.
+//!
+//! The prototype of the paper materializes whole site graphs up front,
+//! which "is infeasible for sites that are updated frequently" (§2.5).
+//! Site schemas are the fix: they "specify, for each node in the site
+//! graph, the queries that must be evaluated to compute the node's
+//! contents, i.e. its outgoing edges". [`DynamicSite`] is that engine: it
+//! materializes one page's out-edges when the page is first visited.
+//!
+//! Three evaluation modes reproduce the paper's optimization story:
+//!
+//! * [`Mode::Naive`] — each click evaluates every relevant edge guard from
+//!   scratch and filters the result to the visited page. "Naive evaluation
+//!   of these queries is costly, because they often recompute information
+//!   derived for already browsed pages."
+//! * [`Mode::Context`] — the visited page's Skolem arguments seed the
+//!   guard evaluation ("we can optimize its incremental query using
+//!   contexts derived from the paths that reach the node"), so the planner
+//!   starts from bound variables and touches only the relevant slice of
+//!   the data.
+//! * [`Mode::ContextLookahead`] — additionally "precompute look-ahead
+//!   results for queries of reachable nodes": visiting a page prefetches
+//!   its children into the cache, so following a link is usually a cache
+//!   hit.
+
+use crate::{SchemaNode, SiteSchema};
+use std::collections::HashMap;
+use strudel_graph::Value;
+use strudel_repo::Database;
+use strudel_struql::{
+    Condition, Evaluator, LabelTerm, Program, StruqlError, StruqlResult, Term,
+};
+
+/// Evaluation strategy.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Mode {
+    /// Full guard evaluation per click, filtered to the visited page.
+    Naive,
+    /// Seed guard evaluation with the page's Skolem arguments.
+    Context,
+    /// Context seeding plus one level of child prefetch.
+    ContextLookahead,
+}
+
+/// Identifies a dynamic page: a Skolem symbol applied to data values.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct PageKey {
+    /// Skolem symbol.
+    pub symbol: String,
+    /// Fully evaluated arguments (data-graph values).
+    pub args: Vec<Value>,
+}
+
+/// A link target on a dynamic page.
+#[derive(Clone, Debug, PartialEq)]
+pub enum DynTarget {
+    /// Another dynamic page.
+    Page(PageKey),
+    /// A data value (possibly a data-graph node).
+    Data(Value),
+}
+
+/// One materialized page: its outgoing labeled edges.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct PageView {
+    /// `(label, target)` pairs in derivation order, deduplicated.
+    pub edges: Vec<(String, DynTarget)>,
+}
+
+/// Work counters across the browsing session.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Metrics {
+    /// Pages served (including cache hits).
+    pub clicks: usize,
+    /// Guard evaluations run.
+    pub queries_run: usize,
+    /// Bindings rows produced by those evaluations.
+    pub rows_produced: usize,
+    /// Pages served straight from the cache.
+    pub cache_hits: usize,
+}
+
+/// A dynamically evaluated site over a live database.
+pub struct DynamicSite<'db> {
+    db: &'db Database,
+    schema: SiteSchema,
+    mode: Mode,
+    cache: HashMap<PageKey, PageView>,
+    metrics: Metrics,
+}
+
+impl<'db> DynamicSite<'db> {
+    /// Builds the engine for `program` over `db`.
+    pub fn new(db: &'db Database, program: &Program, mode: Mode) -> Self {
+        DynamicSite {
+            db,
+            schema: SiteSchema::extract(program),
+            mode,
+            cache: HashMap::new(),
+            metrics: Metrics::default(),
+        }
+    }
+
+    /// Work counters so far.
+    pub fn metrics(&self) -> Metrics {
+        self.metrics
+    }
+
+    /// Number of pages currently materialized in the cache.
+    pub fn cached_pages(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// The site's entry points: every page collected by the query, by
+    /// collection name.
+    pub fn roots(&mut self, collection: &str) -> StruqlResult<Vec<PageKey>> {
+        let ev = Evaluator::new(self.db);
+        let mut out = Vec::new();
+        for (collect, guard) in &self.schema.collects {
+            if collect.collection != collection {
+                continue;
+            }
+            let Term::Skolem { symbol, args } = &collect.arg else {
+                continue;
+            };
+            let (vars, rows) = ev.eval_where_bindings(guard, &[])?;
+            // Disjoint-field update: `schema` is borrowed by the loop.
+            self.metrics.queries_run += 1;
+            self.metrics.rows_produced += rows.len();
+            for row in &rows {
+                let key = PageKey {
+                    symbol: symbol.clone(),
+                    args: eval_args(args, &vars, row)?,
+                };
+                if !out.contains(&key) {
+                    out.push(key);
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Serves one click: the out-edges of `page`, computed on demand.
+    pub fn visit(&mut self, page: &PageKey) -> StruqlResult<PageView> {
+        self.metrics.clicks += 1;
+        if let Some(v) = self.cache.get(page) {
+            self.metrics.cache_hits += 1;
+            return Ok(v.clone());
+        }
+        let view = self.compute(page)?;
+        self.cache.insert(page.clone(), view.clone());
+        if self.mode == Mode::ContextLookahead {
+            // One level of look-ahead: materialize children now, while
+            // their guards' context is warm.
+            let children: Vec<PageKey> = view
+                .edges
+                .iter()
+                .filter_map(|(_, t)| match t {
+                    DynTarget::Page(k) if !self.cache.contains_key(k) => Some(k.clone()),
+                    _ => None,
+                })
+                .collect();
+            for child in children {
+                if !self.cache.contains_key(&child) {
+                    let v = self.compute(&child)?;
+                    self.cache.insert(child, v);
+                }
+            }
+        }
+        Ok(view)
+    }
+
+    /// Evaluates the incremental queries for one page.
+    fn compute(&mut self, page: &PageKey) -> StruqlResult<PageView> {
+        let Some(node) = self.schema.node_index(&page.symbol) else {
+            return Err(StruqlError::Eval {
+                message: format!("unknown page symbol '{}'", page.symbol),
+            });
+        };
+        let ev = Evaluator::new(self.db);
+        let mut view = PageView::default();
+        let edges: Vec<_> = self.schema.out_edges(node).cloned().collect();
+        for edge in edges {
+            // Seed the guard with the page's Skolem arguments (Context
+            // modes); Naive evaluates unseeded and filters afterwards.
+            let mut seeds: Vec<(String, Value)> = Vec::new();
+            let mut consts_ok = true;
+            if self.mode != Mode::Naive {
+                for (term, value) in edge.src_args.iter().zip(&page.args) {
+                    match term {
+                        Term::Var(v) => {
+                            if let Some((_, prev)) =
+                                seeds.iter().find(|(name, _)| name == v)
+                            {
+                                if prev != value {
+                                    consts_ok = false;
+                                }
+                            } else {
+                                seeds.push((v.clone(), value.clone()));
+                            }
+                        }
+                        Term::Const(c) => {
+                            if c != value {
+                                consts_ok = false;
+                            }
+                        }
+                        Term::Skolem { .. } => consts_ok = false, // nested pages: unsupported seed
+                    }
+                }
+            }
+            if !consts_ok {
+                continue;
+            }
+            let (vars, rows) = ev.eval_where_bindings(&edge.guard, &seeds)?;
+            self.metrics_queries(&rows);
+            for row in &rows {
+                // In Naive mode (or with nested-Skolem args) filter rows to
+                // the visited page.
+                let src_vals = eval_args(&edge.src_args, &vars, row)?;
+                if src_vals != page.args {
+                    continue;
+                }
+                let label = match &edge.label {
+                    LabelTerm::Const(s) => s.clone(),
+                    LabelTerm::Var(v) => {
+                        let idx = vars.iter().position(|x| x == v).ok_or_else(|| {
+                            StruqlError::Eval {
+                                message: format!("arc variable '{v}' missing"),
+                            }
+                        })?;
+                        match &row[idx] {
+                            Some(Value::Str(s)) => s.to_string(),
+                            other => {
+                                return Err(StruqlError::Eval {
+                                    message: format!(
+                                        "arc variable '{v}' bound to {other:?}, not a label"
+                                    ),
+                                })
+                            }
+                        }
+                    }
+                };
+                let target = match &self.schema.nodes[edge.to] {
+                    SchemaNode::Skolem(sym) => DynTarget::Page(PageKey {
+                        symbol: sym.clone(),
+                        args: eval_args(&edge.dst_args, &vars, row)?,
+                    }),
+                    SchemaNode::Ns => {
+                        let vals = eval_args(&edge.dst_args, &vars, row)?;
+                        DynTarget::Data(vals.into_iter().next().expect("one NS target"))
+                    }
+                };
+                let entry = (label, target);
+                if !view.edges.contains(&entry) {
+                    view.edges.push(entry);
+                }
+            }
+        }
+        Ok(view)
+    }
+
+    fn metrics_queries(&mut self, rows: &[Vec<Option<Value>>]) {
+        self.metrics.queries_run += 1;
+        self.metrics.rows_produced += rows.len();
+    }
+}
+
+/// Evaluates Skolem argument terms against a bindings row.
+fn eval_args(
+    args: &[Term],
+    vars: &[String],
+    row: &[Option<Value>],
+) -> StruqlResult<Vec<Value>> {
+    args.iter()
+        .map(|t| match t {
+            Term::Var(v) => {
+                let idx = vars.iter().position(|x| x == v).ok_or_else(|| {
+                    StruqlError::Eval {
+                        message: format!("argument variable '{v}' missing"),
+                    }
+                })?;
+                row[idx].clone().ok_or_else(|| StruqlError::Eval {
+                    message: format!("argument variable '{v}' unbound"),
+                })
+            }
+            Term::Const(c) => Ok(c.clone()),
+            Term::Skolem { .. } => Err(StruqlError::Eval {
+                message: "nested Skolem arguments are not supported dynamically".into(),
+            }),
+        })
+        .collect()
+}
+
+/// A list of guards usable to estimate per-click work; exposed for tests.
+pub fn edge_guards(schema: &SiteSchema) -> Vec<&[Condition]> {
+    schema.edges.iter().map(|e| e.guard.as_slice()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use strudel_graph::ddl;
+    use strudel_repo::IndexLevel;
+    use strudel_struql::parse;
+
+    const QUERY: &str = r#"
+        create RootPage()
+        where Publications(x)
+        create PaperPage(x)
+        link RootPage() -> "paper" -> PaperPage(x),
+             PaperPage(x) -> "home" -> RootPage()
+        collect Roots(RootPage())
+        { where x -> "title" -> t
+          link PaperPage(x) -> "title" -> t }
+        { where x -> "year" -> y
+          create YearPage(y)
+          link PaperPage(x) -> "year" -> YearPage(y),
+               YearPage(y) -> "label" -> y }
+    "#;
+
+    fn db() -> Database {
+        let g = ddl::parse(
+            r#"
+            object p1 in Publications { title : "Alpha"; year : 1997; }
+            object p2 in Publications { title : "Beta"; year : 1998; }
+            object p3 in Publications { title : "Gamma"; year : 1997; }
+        "#,
+        )
+        .unwrap();
+        Database::from_graph(g, IndexLevel::Full)
+    }
+
+    fn root() -> PageKey {
+        PageKey {
+            symbol: "RootPage".into(),
+            args: vec![],
+        }
+    }
+
+    #[test]
+    fn roots_enumerate_collected_pages() {
+        let db = db();
+        let mut site = DynamicSite::new(&db, &parse(QUERY).unwrap(), Mode::Context);
+        let roots = site.roots("Roots").unwrap();
+        assert_eq!(roots, vec![root()]);
+    }
+
+    #[test]
+    fn visiting_root_lists_papers() {
+        let db = db();
+        let mut site = DynamicSite::new(&db, &parse(QUERY).unwrap(), Mode::Context);
+        let view = site.visit(&root()).unwrap();
+        let papers: Vec<_> = view
+            .edges
+            .iter()
+            .filter(|(l, _)| l == "paper")
+            .collect();
+        assert_eq!(papers.len(), 3);
+    }
+
+    #[test]
+    fn visiting_a_paper_shows_its_attributes_only() {
+        let db = db();
+        let p1 = Value::Node(db.graph().node_by_name("p1").unwrap());
+        let mut site = DynamicSite::new(&db, &parse(QUERY).unwrap(), Mode::Context);
+        let view = site
+            .visit(&PageKey {
+                symbol: "PaperPage".into(),
+                args: vec![p1],
+            })
+            .unwrap();
+        let titles: Vec<_> = view
+            .edges
+            .iter()
+            .filter_map(|(l, t)| (l == "title").then_some(t))
+            .collect();
+        assert_eq!(
+            titles,
+            vec![&DynTarget::Data(Value::string("Alpha"))],
+            "only p1's title, not every paper's"
+        );
+        assert!(view
+            .edges
+            .iter()
+            .any(|(l, t)| l == "year"
+                && matches!(t, DynTarget::Page(k) if k.symbol == "YearPage"
+                    && k.args == vec![Value::Int(1997)])));
+    }
+
+    #[test]
+    fn all_modes_agree_on_content() {
+        let db = db();
+        let program = parse(QUERY).unwrap();
+        let p2 = Value::Node(db.graph().node_by_name("p2").unwrap());
+        let key = PageKey {
+            symbol: "PaperPage".into(),
+            args: vec![p2],
+        };
+        let mut views = Vec::new();
+        for mode in [Mode::Naive, Mode::Context, Mode::ContextLookahead] {
+            let mut site = DynamicSite::new(&db, &program, mode);
+            let mut view = site.visit(&key).unwrap();
+            view.edges.sort_by(|a, b| format!("{a:?}").cmp(&format!("{b:?}")));
+            views.push(view);
+        }
+        assert_eq!(views[0], views[1]);
+        assert_eq!(views[1], views[2]);
+    }
+
+    #[test]
+    fn context_mode_produces_fewer_rows_than_naive() {
+        let db = db();
+        let program = parse(QUERY).unwrap();
+        let p1 = Value::Node(db.graph().node_by_name("p1").unwrap());
+        let key = PageKey {
+            symbol: "PaperPage".into(),
+            args: vec![p1],
+        };
+        let mut naive = DynamicSite::new(&db, &program, Mode::Naive);
+        naive.visit(&key).unwrap();
+        let mut ctx = DynamicSite::new(&db, &program, Mode::Context);
+        ctx.visit(&key).unwrap();
+        assert!(
+            ctx.metrics().rows_produced < naive.metrics().rows_produced,
+            "context {} vs naive {}",
+            ctx.metrics().rows_produced,
+            naive.metrics().rows_produced
+        );
+    }
+
+    #[test]
+    fn lookahead_turns_follows_into_cache_hits() {
+        let db = db();
+        let program = parse(QUERY).unwrap();
+        let mut site = DynamicSite::new(&db, &program, Mode::ContextLookahead);
+        let view = site.visit(&root()).unwrap();
+        assert!(site.cached_pages() >= 4, "root + 3 prefetched papers");
+        // Follow the first paper link: a cache hit.
+        let DynTarget::Page(first) = &view.edges[0].1 else {
+            panic!()
+        };
+        let before = site.metrics().cache_hits;
+        site.visit(first).unwrap();
+        assert_eq!(site.metrics().cache_hits, before + 1);
+    }
+
+    #[test]
+    fn repeat_visits_hit_cache_in_every_mode() {
+        let db = db();
+        let program = parse(QUERY).unwrap();
+        for mode in [Mode::Naive, Mode::Context] {
+            let mut site = DynamicSite::new(&db, &program, mode);
+            site.visit(&root()).unwrap();
+            let q1 = site.metrics().queries_run;
+            site.visit(&root()).unwrap();
+            assert_eq!(site.metrics().queries_run, q1, "no new queries");
+            assert_eq!(site.metrics().cache_hits, 1);
+        }
+    }
+
+    #[test]
+    fn dynamic_matches_static_materialization() {
+        // The pages the dynamic engine serves must agree with the
+        // statically evaluated site graph.
+        let db = db();
+        let program = parse(QUERY).unwrap();
+        let static_site = Evaluator::new(&db).eval(&program).unwrap();
+
+        let mut site = DynamicSite::new(&db, &program, Mode::Context);
+        let root_view = site.visit(&root()).unwrap();
+        let static_root = static_site.skolem_node("RootPage", &[]).unwrap();
+        assert_eq!(
+            root_view
+                .edges
+                .iter()
+                .filter(|(l, _)| l == "paper")
+                .count(),
+            static_site.graph.attr_str(static_root, "paper").count()
+        );
+    }
+
+    #[test]
+    fn int_keyed_pages_resolve() {
+        let db = db();
+        let mut site = DynamicSite::new(&db, &parse(QUERY).unwrap(), Mode::Context);
+        let view = site
+            .visit(&PageKey {
+                symbol: "YearPage".into(),
+                args: vec![Value::Int(1997)],
+            })
+            .unwrap();
+        // 1997 has its label edge; papers link *to* year pages, not from.
+        assert!(view
+            .edges
+            .iter()
+            .any(|(l, t)| l == "label" && *t == DynTarget::Data(Value::Int(1997))));
+    }
+
+    #[test]
+    fn nonexistent_page_instance_is_empty_not_error() {
+        // YearPage(1890) was never derivable: its incremental queries
+        // return no rows, so the page is simply empty.
+        let db = db();
+        let mut site = DynamicSite::new(&db, &parse(QUERY).unwrap(), Mode::Context);
+        let view = site
+            .visit(&PageKey {
+                symbol: "YearPage".into(),
+                args: vec![Value::Int(1890)],
+            })
+            .unwrap();
+        assert!(view.edges.is_empty());
+    }
+
+    #[test]
+    fn unknown_symbol_is_an_error() {
+        let db = db();
+        let mut site = DynamicSite::new(&db, &parse(QUERY).unwrap(), Mode::Context);
+        assert!(site
+            .visit(&PageKey {
+                symbol: "Ghost".into(),
+                args: vec![]
+            })
+            .is_err());
+    }
+}

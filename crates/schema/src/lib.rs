@@ -1,0 +1,38 @@
+//! # strudel-schema
+//!
+//! Site schemas and the machinery built on them (§2.5 of the paper).
+//!
+//! A **site schema** is an equivalent reformulation of a STRUQL
+//! site-definition query as a labeled graph: one node per Skolem function
+//! symbol plus a special `NS` node for non-Skolem targets, and one edge per
+//! `link` expression, labeled with the link's label and the conjunction of
+//! where clauses governing it (for a link inside nested blocks, the
+//! conjunction `Q1 ∧ Q2` of the enclosing clauses — exactly the edge
+//! labels of Fig. 7).
+//!
+//! Site schemas serve three purposes here, as in the paper:
+//!
+//! * **Visualization** — [`SiteSchema::to_dot`] renders the site's
+//!   abstract structure for inspection during iterative design.
+//! * **Integrity-constraint verification** ([`constraint`]) — site-graph
+//!   constraints like "every PaperPresentation is reachable from a
+//!   CategoryPage" are checked *statically* against the schema (a sound
+//!   proof procedure based on query-implication between edge guards), with
+//!   a runtime checker over materialized graphs as the complete fallback.
+//! * **Dynamic evaluation** ([`dynamic`]) — the schema decomposes one
+//!   site-definition query into per-node incremental queries evaluated at
+//!   "click time", with path-context seeding and look-ahead caching.
+//!
+//! [`incremental`] adds the paper's future-work item: incremental
+//! maintenance of a materialized site graph under insert-only data-graph
+//! deltas.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod constraint;
+pub mod dynamic;
+pub mod incremental;
+mod site_schema;
+
+pub use site_schema::{SchemaEdge, SchemaNode, SiteSchema};

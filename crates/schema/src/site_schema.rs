@@ -1,0 +1,394 @@
+//! Site-schema extraction from STRUQL programs.
+
+use std::collections::HashMap;
+use strudel_struql::{Block, CollectExpr, Condition, LabelTerm, Program, Term};
+
+/// A node of the site schema.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SchemaNode {
+    /// One per Skolem function symbol in the query.
+    Skolem(String),
+    /// The special node standing for all non-Skolem link targets
+    /// (variables and constants — data values copied into the site).
+    Ns,
+}
+
+impl SchemaNode {
+    /// Display name.
+    pub fn name(&self) -> &str {
+        match self {
+            SchemaNode::Skolem(s) => s,
+            SchemaNode::Ns => "NS",
+        }
+    }
+}
+
+/// One edge of the site schema, corresponding to one `link` expression.
+///
+/// Per §2.5: an edge for `F(X̄) -> L -> G(Ȳ)` is labeled `(Q, L, X̄, Ȳ)`
+/// where `Q` is the conjunction of the where clauses of the blocks
+/// enclosing the link expression.
+#[derive(Clone, Debug)]
+pub struct SchemaEdge {
+    /// Index of the source schema node.
+    pub from: usize,
+    /// Index of the target schema node.
+    pub to: usize,
+    /// The link's label (constant or arc variable).
+    pub label: LabelTerm,
+    /// The governing conjunction: all conditions of the enclosing where
+    /// clauses, outermost first.
+    pub guard: Vec<Condition>,
+    /// The source Skolem term's argument tuple X̄.
+    pub src_args: Vec<Term>,
+    /// The target term: the Skolem argument tuple Ȳ, or for an NS edge,
+    /// the single variable/constant `[V]`.
+    pub dst_args: Vec<Term>,
+}
+
+/// A site schema: the abstract structure of every site the query can
+/// generate.
+#[derive(Clone, Debug, Default)]
+pub struct SiteSchema {
+    /// Schema nodes; the `NS` node, when present, is last.
+    pub nodes: Vec<SchemaNode>,
+    /// Schema edges in source order.
+    pub edges: Vec<SchemaEdge>,
+    /// Collect expressions with their governing conjunctions — needed by
+    /// the verifier (collections are how constraints range over site
+    /// objects) and to recover the query.
+    pub collects: Vec<(CollectExpr, Vec<Condition>)>,
+    /// Create terms with their governing conjunctions (for query
+    /// recovery).
+    pub creates: Vec<(Term, Vec<Condition>)>,
+}
+
+impl SiteSchema {
+    /// Extracts the site schema of `program`.
+    pub fn extract(program: &Program) -> SiteSchema {
+        let mut schema = SiteSchema::default();
+        let mut index: HashMap<String, usize> = HashMap::new();
+
+        // One node per Skolem symbol, in first-appearance order.
+        for symbol in program.skolem_symbols() {
+            let idx = schema.nodes.len();
+            schema.nodes.push(SchemaNode::Skolem(symbol.to_owned()));
+            index.insert(symbol.to_owned(), idx);
+        }
+
+        let mut ns: Option<usize> = None;
+        let mut guard: Vec<Condition> = Vec::new();
+        for block in &program.blocks {
+            walk(block, &mut guard, &mut schema, &index, &mut ns);
+        }
+        schema
+    }
+
+    /// The index of a Skolem symbol's node.
+    pub fn node_index(&self, symbol: &str) -> Option<usize> {
+        self.nodes
+            .iter()
+            .position(|n| matches!(n, SchemaNode::Skolem(s) if s == symbol))
+    }
+
+    /// The index of the `NS` node, if any link targets data values.
+    pub fn ns_index(&self) -> Option<usize> {
+        self.nodes.iter().position(|n| matches!(n, SchemaNode::Ns))
+    }
+
+    /// Out-edges of a schema node.
+    pub fn out_edges(&self, node: usize) -> impl Iterator<Item = &SchemaEdge> + '_ {
+        self.edges.iter().filter(move |e| e.from == node)
+    }
+
+    /// Renders the schema in Graphviz dot format — the paper's "visual
+    /// summary of the site graph" used during iterative design.
+    pub fn to_dot(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::from("digraph site_schema {\n  rankdir=LR;\n");
+        for (i, n) in self.nodes.iter().enumerate() {
+            let shape = match n {
+                SchemaNode::Skolem(_) => "box",
+                SchemaNode::Ns => "ellipse",
+            };
+            writeln!(out, "  n{i} [label=\"{}\", shape={shape}];", n.name()).unwrap();
+        }
+        for e in &self.edges {
+            let label = match &e.label {
+                LabelTerm::Const(s) => s.clone(),
+                LabelTerm::Var(v) => format!("<{v}>"),
+            };
+            let guard = if e.guard.is_empty() {
+                String::new()
+            } else {
+                format!("\\nQ: {} cond(s)", e.guard.len())
+            };
+            writeln!(
+                out,
+                "  n{} -> n{} [label=\"{}{}\"];",
+                e.from, e.to, escape_dot(&label), guard
+            )
+            .unwrap();
+        }
+        out.push_str("}\n");
+        out
+    }
+
+    /// Recovers an equivalent STRUQL program from the schema ("the site
+    /// schema is equivalent to the original query", §2.5): one block per
+    /// edge/create/collect carrying its full guard.
+    pub fn to_program(&self) -> Program {
+        let mut blocks = Vec::new();
+        for (term, guard) in &self.creates {
+            blocks.push(Block {
+                where_: guard.clone(),
+                create: vec![term.clone()],
+                ..Block::default()
+            });
+        }
+        for e in &self.edges {
+            let src = Term::Skolem {
+                symbol: self.nodes[e.from].name().to_owned(),
+                args: e.src_args.clone(),
+            };
+            let dst = match &self.nodes[e.to] {
+                SchemaNode::Skolem(sym) => Term::Skolem {
+                    symbol: sym.clone(),
+                    args: e.dst_args.clone(),
+                },
+                SchemaNode::Ns => e.dst_args[0].clone(),
+            };
+            // `create` clauses for the endpoints keep the recovered
+            // program safe under the "linked Skolems must be created"
+            // rule.
+            let mut create = vec![src.clone()];
+            if let Term::Skolem { .. } = &dst {
+                create.push(dst.clone());
+            }
+            blocks.push(Block {
+                where_: e.guard.clone(),
+                create,
+                link: vec![strudel_struql::LinkExpr {
+                    src,
+                    label: e.label.clone(),
+                    dst,
+                    span: strudel_struql::Span::default(),
+                }],
+                ..Block::default()
+            });
+        }
+        for (collect, guard) in &self.collects {
+            let mut create = Vec::new();
+            if let Term::Skolem { .. } = &collect.arg {
+                create.push(collect.arg.clone());
+            }
+            blocks.push(Block {
+                where_: guard.clone(),
+                create,
+                collect: vec![collect.clone()],
+                ..Block::default()
+            });
+        }
+        Program { blocks }
+    }
+}
+
+fn walk(
+    block: &Block,
+    guard: &mut Vec<Condition>,
+    schema: &mut SiteSchema,
+    index: &HashMap<String, usize>,
+    ns: &mut Option<usize>,
+) {
+    let before = guard.len();
+    guard.extend(block.where_.iter().cloned());
+
+    for t in &block.create {
+        schema.creates.push((t.clone(), guard.clone()));
+    }
+    for l in &block.link {
+        let Term::Skolem { symbol, args } = &l.src else {
+            continue; // rejected by analysis; defensive
+        };
+        let from = index[symbol.as_str()];
+        let (to, dst_args) = match &l.dst {
+            Term::Skolem { symbol, args } => (index[symbol.as_str()], args.clone()),
+            other => {
+                let to = *ns.get_or_insert_with(|| {
+                    schema.nodes.push(SchemaNode::Ns);
+                    schema.nodes.len() - 1
+                });
+                (to, vec![other.clone()])
+            }
+        };
+        schema.edges.push(SchemaEdge {
+            from,
+            to,
+            label: l.label.clone(),
+            guard: guard.clone(),
+            src_args: args.clone(),
+            dst_args,
+        });
+    }
+    for c in &block.collect {
+        schema.collects.push((c.clone(), guard.clone()));
+    }
+    for nested in &block.nested {
+        walk(nested, guard, schema, index, ns);
+    }
+    guard.truncate(before);
+}
+
+fn escape_dot(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use strudel_graph::ddl;
+    use strudel_repo::{Database, IndexLevel};
+    use strudel_struql::{parse, Evaluator};
+
+    /// The Fig. 3 homepage query (abbreviated to years only).
+    const QUERY: &str = r#"
+        create RootPage(), AbstractsPage()
+        link RootPage() -> "Abstracts" -> AbstractsPage()
+
+        where Publications(x)
+        create AbstractPage(x), PaperPresentation(x)
+        link AbstractsPage() -> "Abstract" -> AbstractPage(x),
+             AbstractPage(x) -> "Paper" -> PaperPresentation(x)
+        { where x -> l -> v
+          link PaperPresentation(x) -> l -> v }
+        { where x -> "year" -> y
+          create YearPage(y)
+          link YearPage(y) -> "Year" -> y,
+               YearPage(y) -> "Paper" -> PaperPresentation(x),
+               RootPage() -> "YearPage" -> YearPage(y) }
+        collect SitePages(PaperPresentation(x))
+    "#;
+
+    #[test]
+    fn extracts_fig7_structure() {
+        let program = parse(QUERY).unwrap();
+        let schema = SiteSchema::extract(&program);
+
+        // Nodes: RootPage, AbstractsPage, AbstractPage, PaperPresentation,
+        // YearPage + NS.
+        assert_eq!(schema.nodes.len(), 6);
+        assert!(schema.ns_index().is_some());
+        let root = schema.node_index("RootPage").unwrap();
+        let year = schema.node_index("YearPage").unwrap();
+        let pres = schema.node_index("PaperPresentation").unwrap();
+
+        // The YearPage -"Paper"-> PaperPresentation edge is guarded by the
+        // conjunction Q1 ∧ Q2 (Publications(x) ∧ x->year->y) — Fig. 7's
+        // edge label.
+        let e = schema
+            .edges
+            .iter()
+            .find(|e| e.from == year && e.to == pres)
+            .expect("YearPage -> PaperPresentation edge");
+        assert_eq!(e.guard.len(), 2, "outer + nested where conjoined");
+        assert!(matches!(&e.label, LabelTerm::Const(s) if s == "Paper"));
+
+        // RootPage -"Abstracts"-> AbstractsPage has an empty guard (no
+        // where clause in the first block).
+        let abstracts = schema.node_index("AbstractsPage").unwrap();
+        let e0 = schema
+            .edges
+            .iter()
+            .find(|e| e.from == root && e.to == abstracts)
+            .unwrap();
+        assert!(e0.guard.is_empty());
+
+        // The arc-variable copy edge goes to NS.
+        let ns = schema.ns_index().unwrap();
+        let copy = schema
+            .edges
+            .iter()
+            .find(|e| e.from == pres && e.to == ns)
+            .expect("PaperPresentation -> NS copy edge");
+        assert!(matches!(&copy.label, LabelTerm::Var(v) if v == "l"));
+        assert_eq!(copy.guard.len(), 2);
+
+        // YearPage -"Year"-> NS (y is a variable).
+        assert!(schema.edges.iter().any(|e| e.from == year && e.to == ns));
+
+        // Collect recorded with its guard.
+        assert_eq!(schema.collects.len(), 1);
+        assert_eq!(schema.collects[0].1.len(), 1);
+    }
+
+    #[test]
+    fn guards_do_not_leak_across_siblings() {
+        let program = parse(
+            r#"
+            where C(x)
+            create P(x)
+            { where x -> "a" -> y create A(y) link A(y) -> "p" -> P(x) }
+            { where x -> "b" -> z create B(z) link B(z) -> "p" -> P(x) }
+        "#,
+        )
+        .unwrap();
+        let schema = SiteSchema::extract(&program);
+        for e in &schema.edges {
+            assert_eq!(e.guard.len(), 2, "outer + own nested clause only");
+        }
+        // The two nested guards differ in their second condition.
+        assert_ne!(schema.edges[0].guard[1], schema.edges[1].guard[1]);
+    }
+
+    #[test]
+    fn to_dot_renders_every_node_and_edge() {
+        let program = parse(QUERY).unwrap();
+        let schema = SiteSchema::extract(&program);
+        let dot = schema.to_dot();
+        assert!(dot.contains("RootPage"));
+        assert!(dot.contains("NS"));
+        assert!(dot.contains("\"Paper"));
+        assert_eq!(dot.matches(" -> ").count(), schema.edges.len());
+    }
+
+    #[test]
+    fn recovered_program_is_equivalent_on_data() {
+        let g = ddl::parse(
+            r#"
+            object p1 in Publications { title : "A"; year : 1997; }
+            object p2 in Publications { title : "B"; year : 1998; }
+        "#,
+        )
+        .unwrap();
+        let db = Database::from_graph(g, IndexLevel::Full);
+        let program = parse(QUERY).unwrap();
+        let schema = SiteSchema::extract(&program);
+        let recovered = schema.to_program();
+
+        let r1 = Evaluator::new(&db).eval(&program).unwrap();
+        let r2 = Evaluator::new(&db).eval(&recovered).unwrap();
+        assert_eq!(r1.new_nodes.len(), r2.new_nodes.len());
+        assert_eq!(r1.graph.edge_count(), r2.graph.edge_count());
+        assert_eq!(
+            r1.graph.members_str("SitePages").len(),
+            r2.graph.members_str("SitePages").len()
+        );
+        // Same Skolem applications on both sides.
+        let y97 = r1
+            .skolem_node("YearPage", &[strudel_graph::Value::Int(1997)])
+            .is_some();
+        let y97b = r2
+            .skolem_node("YearPage", &[strudel_graph::Value::Int(1997)])
+            .is_some();
+        assert_eq!(y97, y97b);
+    }
+
+    #[test]
+    fn out_edges_iterates_per_node() {
+        let program = parse(QUERY).unwrap();
+        let schema = SiteSchema::extract(&program);
+        let root = schema.node_index("RootPage").unwrap();
+        // RootPage links: Abstracts + YearPage.
+        assert_eq!(schema.out_edges(root).count(), 2);
+    }
+}

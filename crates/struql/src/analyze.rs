@@ -1,0 +1,439 @@
+//! Static analysis of STRUQL programs.
+//!
+//! STRUQL is declarative: conditions in a `where` clause are unordered, so
+//! safety is defined against the clause as a whole. The checks are:
+//!
+//! * **Range restriction** — every variable used in a filter (`not`,
+//!   comparison, built-in predicate) or in the construction stage must be
+//!   bound by a *positive* atom (collection membership or path atom) of the
+//!   same `where` clause or an enclosing one.
+//! * **Immutability of existing nodes** (§2.2) — the source of every
+//!   `link` must be a Skolem term; "edges are added from new nodes to new
+//!   or existing nodes".
+//! * **Skolem discipline** — every Skolem symbol used in `link` or
+//!   `collect` must appear in some `create` clause of the program, and a
+//!   symbol must be used with one arity everywhere.
+//! * **Groundedness of path sources** — a path cannot start at a constant
+//!   (constants are atomic; only nodes have out-edges).
+
+use crate::ast::*;
+use crate::error::{StruqlError, StruqlResult};
+use crate::token::Span;
+use std::collections::{HashMap, HashSet};
+
+/// Checks a program, returning the first violation found.
+pub fn check(program: &Program) -> StruqlResult<()> {
+    // Pass 1: collect created Skolem symbols and check arity consistency.
+    let mut arities: HashMap<&str, (usize, Span)> = HashMap::new();
+    let mut created: HashSet<&str> = HashSet::new();
+
+    fn walk_skolems<'a>(
+        t: &'a Term,
+        span: Span,
+        arities: &mut HashMap<&'a str, (usize, Span)>,
+    ) -> StruqlResult<()> {
+        if let Term::Skolem { symbol, args } = t {
+            match arities.get(symbol.as_str()) {
+                Some((n, first)) if *n != args.len() => {
+                    return Err(StruqlError::analyze(
+                        span,
+                        format!(
+                            "Skolem symbol '{symbol}' used with arity {} here but arity {n} at {first}",
+                            args.len()
+                        ),
+                    ));
+                }
+                Some(_) => {}
+                None => {
+                    arities.insert(symbol, (args.len(), span));
+                }
+            }
+            for a in args {
+                walk_skolems(a, span, arities)?;
+            }
+        }
+        Ok(())
+    }
+
+    for block in program.blocks_preorder() {
+        for t in &block.create {
+            walk_skolems(t, block.span, &mut arities)?;
+            if let Term::Skolem { symbol, .. } = t {
+                created.insert(symbol);
+            }
+        }
+        for l in &block.link {
+            walk_skolems(&l.src, l.span, &mut arities)?;
+            walk_skolems(&l.dst, l.span, &mut arities)?;
+        }
+        for c in &block.collect {
+            walk_skolems(&c.arg, c.span, &mut arities)?;
+        }
+    }
+
+    // Pass 2: per-block scoping and structural rules.
+    let scope = HashSet::new();
+    for block in &program.blocks {
+        check_block(block, &scope, &created)?;
+    }
+    Ok(())
+}
+
+fn check_block(
+    block: &Block,
+    parent_scope: &HashSet<String>,
+    created: &HashSet<&str>,
+) -> StruqlResult<()> {
+    // Positive atoms of this where clause bind variables.
+    let mut scope = parent_scope.clone();
+    for cond in &block.where_ {
+        bind_positive(cond, &mut scope);
+    }
+
+    // Filters must be fully bound.
+    for cond in &block.where_ {
+        check_condition(cond, &scope)?;
+    }
+
+    // Construction terms must be bound; link sources must be Skolem terms
+    // whose symbols are created somewhere.
+    for t in &block.create {
+        check_construct_term(t, &scope, block.span)?;
+    }
+    for l in &block.link {
+        match &l.src {
+            Term::Skolem { symbol, .. } => {
+                if !created.contains(symbol.as_str()) {
+                    return Err(StruqlError::analyze(
+                        l.span,
+                        format!("link source '{symbol}(…)' never appears in a create clause"),
+                    ));
+                }
+            }
+            _ => {
+                return Err(StruqlError::analyze(
+                    l.span,
+                    "link source must be a Skolem term: existing nodes are immutable",
+                ));
+            }
+        }
+        check_construct_term(&l.src, &scope, l.span)?;
+        check_construct_term(&l.dst, &scope, l.span)?;
+        if let Term::Skolem { symbol, .. } = &l.dst {
+            if !created.contains(symbol.as_str()) {
+                return Err(StruqlError::analyze(
+                    l.span,
+                    format!("link target '{symbol}(…)' never appears in a create clause"),
+                ));
+            }
+        }
+        if let LabelTerm::Var(v) = &l.label {
+            if !scope.contains(v) {
+                return Err(StruqlError::analyze(
+                    l.span,
+                    format!("arc variable '{v}' in link label is not bound in any where clause"),
+                ));
+            }
+        }
+    }
+    for c in &block.collect {
+        check_construct_term(&c.arg, &scope, c.span)?;
+        if let Term::Skolem { symbol, .. } = &c.arg {
+            if !created.contains(symbol.as_str()) {
+                return Err(StruqlError::analyze(
+                    c.span,
+                    format!("collected term '{symbol}(…)' never appears in a create clause"),
+                ));
+            }
+        }
+    }
+
+    // Nested blocks see this block's bindings.
+    for nested in &block.nested {
+        check_block(nested, &scope, created)?;
+    }
+    Ok(())
+}
+
+/// Adds variables bound by positive atoms to `scope`.
+fn bind_positive(cond: &Condition, scope: &mut HashSet<String>) {
+    match cond {
+        Condition::Collection { arg, .. } => {
+            if let Term::Var(v) = arg {
+                scope.insert(v.clone());
+            }
+        }
+        Condition::Path { src, path, dst, .. } => {
+            if let Term::Var(v) = src {
+                scope.insert(v.clone());
+            }
+            if let Term::Var(v) = dst {
+                scope.insert(v.clone());
+            }
+            if let PathSpec::ArcVar(l) = path {
+                scope.insert(l.clone());
+            }
+        }
+        // Filters bind nothing.
+        Condition::Compare { .. } | Condition::Builtin { .. } | Condition::Not(..) => {}
+    }
+}
+
+fn check_condition(cond: &Condition, scope: &HashSet<String>) -> StruqlResult<()> {
+    match cond {
+        Condition::Collection { .. } => Ok(()),
+        Condition::Path { src, span, .. } => {
+            if matches!(src, Term::Const(_)) {
+                return Err(StruqlError::analyze(
+                    *span,
+                    "a path cannot start at a constant: only nodes have out-edges",
+                ));
+            }
+            Ok(())
+        }
+        Condition::Compare { lhs, rhs, span, .. } => {
+            require_bound(lhs, scope, *span, "comparison")?;
+            require_bound(rhs, scope, *span, "comparison")
+        }
+        Condition::Builtin { arg, span, pred } => {
+            require_bound(arg, scope, *span, pred.name())
+        }
+        Condition::Not(inner, span) => {
+            // Negation as failure. Variables inside a negated *positive*
+            // atom (collection or path) that are not bound outside act as
+            // local existentials: `not(x -> "month" -> m)` means "x has no
+            // month edge". Negated filters cannot generate bindings, so
+            // their variables must be bound outside.
+            match inner.as_ref() {
+                Condition::Collection { .. } | Condition::Path { .. } => {
+                    check_condition(inner, scope)
+                }
+                _ => {
+                    let mut inner_vars = Vec::new();
+                    condition_vars(inner, &mut inner_vars);
+                    for v in inner_vars {
+                        if !scope.contains(v) {
+                            return Err(StruqlError::analyze(
+                                *span,
+                                format!(
+                                    "variable '{v}' inside not(…) is not bound by a positive condition"
+                                ),
+                            ));
+                        }
+                    }
+                    check_condition(inner, scope)
+                }
+            }
+        }
+    }
+}
+
+fn condition_vars<'a>(cond: &'a Condition, out: &mut Vec<&'a str>) {
+    match cond {
+        Condition::Collection { arg, .. } => arg.vars_str(out),
+        Condition::Path { src, path, dst, .. } => {
+            src.vars_str(out);
+            dst.vars_str(out);
+            if let PathSpec::ArcVar(l) = path {
+                out.push(l);
+            }
+        }
+        Condition::Compare { lhs, rhs, .. } => {
+            lhs.vars_str(out);
+            rhs.vars_str(out);
+        }
+        Condition::Builtin { arg, .. } => arg.vars_str(out),
+        Condition::Not(inner, _) => condition_vars(inner, out),
+    }
+}
+
+impl Term {
+    fn vars_str<'a>(&'a self, out: &mut Vec<&'a str>) {
+        match self {
+            Term::Var(v) => out.push(v),
+            Term::Const(_) => {}
+            Term::Skolem { args, .. } => {
+                for a in args {
+                    a.vars_str(out);
+                }
+            }
+        }
+    }
+}
+
+fn require_bound(
+    term: &Term,
+    scope: &HashSet<String>,
+    span: Span,
+    context: &str,
+) -> StruqlResult<()> {
+    let mut vars = Vec::new();
+    term.vars_str(&mut vars);
+    for v in vars {
+        if !scope.contains(v) {
+            return Err(StruqlError::analyze(
+                span,
+                format!("variable '{v}' in {context} is not bound by a positive condition"),
+            ));
+        }
+    }
+    Ok(())
+}
+
+fn check_construct_term(
+    term: &Term,
+    scope: &HashSet<String>,
+    span: Span,
+) -> StruqlResult<()> {
+    match term {
+        Term::Var(v) => {
+            if !scope.contains(v) {
+                return Err(StruqlError::analyze(
+                    span,
+                    format!("variable '{v}' used in construction is not bound in any where clause"),
+                ));
+            }
+            Ok(())
+        }
+        Term::Const(_) => Ok(()),
+        Term::Skolem { args, .. } => {
+            for a in args {
+                check_construct_term(a, scope, span)?;
+            }
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::parser::parse_unchecked;
+
+    fn check_src(src: &str) -> Result<(), String> {
+        let prog = parse_unchecked(src).map_err(|e| format!("parse: {e}"))?;
+        super::check(&prog).map_err(|e| e.to_string())
+    }
+
+    #[test]
+    fn valid_textonly_passes() {
+        check_src(
+            r#"
+            where Root(p), p -> * -> q, q -> l -> r, not(isImageFile(r))
+            create New(p), New(q), New(r)
+            link   New(q) -> l -> New(r)
+            collect TextOnlyRoot(New(p))
+        "#,
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn unbound_var_in_create_is_rejected() {
+        let err = check_src("where C(x) create P(y)").unwrap_err();
+        assert!(err.contains("'y'"), "{err}");
+    }
+
+    #[test]
+    fn unbound_var_in_comparison_is_rejected() {
+        let err = check_src("where C(x), y = 1 create P(x)").unwrap_err();
+        assert!(err.contains("'y'"), "{err}");
+    }
+
+    #[test]
+    fn binding_is_order_independent() {
+        // y is bound by a later positive atom: legal, STRUQL is declarative.
+        check_src(r#"where y >= 1997, C(x), x -> "year" -> y create P(x)"#).unwrap();
+    }
+
+    #[test]
+    fn link_from_variable_is_rejected() {
+        let err = check_src("where C(x) create P(x) link x -> \"a\" -> P(x)").unwrap_err();
+        assert!(err.contains("immutable"), "{err}");
+    }
+
+    #[test]
+    fn link_source_must_be_created() {
+        let err = check_src("where C(x) create P(x) link Q(x) -> \"a\" -> P(x)").unwrap_err();
+        assert!(err.contains("never appears in a create"), "{err}");
+    }
+
+    #[test]
+    fn link_target_skolem_must_be_created() {
+        let err = check_src("where C(x) create P(x) link P(x) -> \"a\" -> R(x)").unwrap_err();
+        assert!(err.contains("'R(…)'"), "{err}");
+    }
+
+    #[test]
+    fn created_in_sibling_block_is_visible() {
+        check_src(
+            r#"
+            create RootPage()
+            where C(x) create P(x) link RootPage() -> "p" -> P(x)
+        "#,
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn arc_var_in_link_must_be_bound() {
+        let err = check_src("where C(x) create P(x) link P(x) -> l -> x").unwrap_err();
+        assert!(err.contains("arc variable 'l'"), "{err}");
+    }
+
+    #[test]
+    fn skolem_arity_must_be_consistent() {
+        let err = check_src("where C(x) create P(x) link P(x) -> \"a\" -> P(x, x)").unwrap_err();
+        assert!(err.contains("arity"), "{err}");
+    }
+
+    #[test]
+    fn unbound_var_in_not_is_rejected() {
+        let err = check_src("where C(x), not(isImageFile(z)) create P(x)").unwrap_err();
+        assert!(err.contains("'z'"), "{err}");
+    }
+
+    #[test]
+    fn path_from_constant_is_rejected() {
+        let err = check_src(r#"where "lit" -> "a" -> y create P(y)"#).unwrap_err();
+        assert!(err.contains("constant"), "{err}");
+    }
+
+    #[test]
+    fn nested_blocks_inherit_scope() {
+        check_src(
+            r#"
+            where C(x)
+            create P(x)
+            { where x -> "year" -> y
+              create Y(y)
+              link Y(y) -> "paper" -> P(x) }
+        "#,
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn nested_binding_does_not_leak_to_siblings() {
+        let err = check_src(
+            r#"
+            where C(x)
+            create P(x)
+            { where x -> "year" -> y create Y(y) }
+            { create Z(y) }
+        "#,
+        )
+        .unwrap_err();
+        assert!(err.contains("'y'"), "{err}");
+    }
+
+    #[test]
+    fn collected_skolem_must_be_created() {
+        let err = check_src("where C(x) create P(x) collect Out(Q(x))").unwrap_err();
+        assert!(err.contains("'Q(…)'"), "{err}");
+    }
+
+    #[test]
+    fn not_over_bound_path_is_allowed() {
+        check_src(r#"where C(x), C(y), not(x -> "cites" -> y) create P(x)"#).unwrap();
+    }
+}

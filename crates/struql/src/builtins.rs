@@ -1,0 +1,50 @@
+//! Evaluation of built-in type predicates.
+
+use crate::ast::BuiltinPred;
+use strudel_graph::{FileKind, Value};
+
+/// Evaluates a built-in predicate against a run-time value.
+pub fn eval_builtin(pred: BuiltinPred, v: &Value) -> bool {
+    match pred {
+        BuiltinPred::IsImageFile => v.is_file_kind(FileKind::Image),
+        BuiltinPred::IsPostScript => v.is_file_kind(FileKind::PostScript),
+        BuiltinPred::IsTextFile => v.is_file_kind(FileKind::Text),
+        BuiltinPred::IsHtmlFile => v.is_file_kind(FileKind::Html),
+        BuiltinPred::IsUrl => matches!(v, Value::Url(_)),
+        BuiltinPred::IsInt => matches!(v, Value::Int(_)),
+        BuiltinPred::IsString => matches!(v, Value::Str(_)),
+        BuiltinPred::IsNode => matches!(v, Value::Node(_)),
+        BuiltinPred::IsAtomic => v.is_atomic(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use strudel_graph::Oid;
+
+    #[test]
+    fn predicates_dispatch_on_type() {
+        let img = Value::file(FileKind::Image, "x.gif");
+        assert!(eval_builtin(BuiltinPred::IsImageFile, &img));
+        assert!(!eval_builtin(BuiltinPred::IsPostScript, &img));
+        assert!(eval_builtin(BuiltinPred::IsAtomic, &img));
+        assert!(!eval_builtin(BuiltinPred::IsNode, &img));
+
+        let node = Value::Node(Oid::from_index(0));
+        assert!(eval_builtin(BuiltinPred::IsNode, &node));
+        assert!(!eval_builtin(BuiltinPred::IsAtomic, &node));
+
+        assert!(eval_builtin(BuiltinPred::IsInt, &Value::Int(1)));
+        assert!(eval_builtin(BuiltinPred::IsString, &Value::string("s")));
+        assert!(eval_builtin(BuiltinPred::IsUrl, &Value::url("u")));
+        assert!(eval_builtin(
+            BuiltinPred::IsTextFile,
+            &Value::file(FileKind::Text, "t")
+        ));
+        assert!(eval_builtin(
+            BuiltinPred::IsHtmlFile,
+            &Value::file(FileKind::Html, "h")
+        ));
+    }
+}

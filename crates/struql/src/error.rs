@@ -1,0 +1,78 @@
+//! STRUQL error types.
+
+use crate::token::Span;
+use std::fmt;
+
+/// Result alias for STRUQL operations.
+pub type StruqlResult<T> = Result<T, StruqlError>;
+
+/// An error from parsing, analyzing, or evaluating a STRUQL program.
+#[derive(Clone, Debug, PartialEq)]
+pub enum StruqlError {
+    /// Syntax error.
+    Parse {
+        /// Where.
+        span: Span,
+        /// What.
+        message: String,
+    },
+    /// Static analysis rejection (unbound variable, immutable source, …).
+    Analyze {
+        /// Where.
+        span: Span,
+        /// What.
+        message: String,
+    },
+    /// Run-time evaluation failure.
+    Eval {
+        /// What.
+        message: String,
+    },
+}
+
+impl StruqlError {
+    pub(crate) fn parse(span: Span, message: impl Into<String>) -> Self {
+        StruqlError::Parse {
+            span,
+            message: message.into(),
+        }
+    }
+
+    pub(crate) fn analyze(span: Span, message: impl Into<String>) -> Self {
+        StruqlError::Analyze {
+            span,
+            message: message.into(),
+        }
+    }
+
+    pub(crate) fn eval(message: impl Into<String>) -> Self {
+        StruqlError::Eval {
+            message: message.into(),
+        }
+    }
+
+    /// The error message without position information.
+    pub fn message(&self) -> &str {
+        match self {
+            StruqlError::Parse { message, .. }
+            | StruqlError::Analyze { message, .. }
+            | StruqlError::Eval { message } => message,
+        }
+    }
+}
+
+impl fmt::Display for StruqlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StruqlError::Parse { span, message } => {
+                write!(f, "struql parse error at {span}: {message}")
+            }
+            StruqlError::Analyze { span, message } => {
+                write!(f, "struql analysis error at {span}: {message}")
+            }
+            StruqlError::Eval { message } => write!(f, "struql evaluation error: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for StruqlError {}

@@ -1,0 +1,498 @@
+//! Evaluation of individual where-clause conditions over a bindings
+//! relation.
+
+use super::{var_slot, Evaluator, Row};
+use crate::ast::{Condition, PathSpec, Term};
+use crate::builtins::eval_builtin;
+use crate::error::{StruqlError, StruqlResult};
+use crate::rpe::{Nfa, StepPred};
+use strudel_graph::{coerce, Graph, Value};
+
+/// Appends variables this condition can bind (positive binders only) that
+/// are not yet in scope.
+pub(crate) fn introduce_vars(cond: &Condition, vars: &mut Vec<String>) {
+    let mut add = |name: &str| {
+        if !vars.iter().any(|v| v == name) {
+            vars.push(name.to_owned());
+        }
+    };
+    match cond {
+        Condition::Collection { arg, .. } => {
+            if let Term::Var(v) = arg {
+                add(v);
+            }
+        }
+        Condition::Path { src, path, dst, .. } => {
+            if let Term::Var(v) = src {
+                add(v);
+            }
+            if let PathSpec::ArcVar(l) = path {
+                add(l);
+            }
+            if let Term::Var(v) = dst {
+                add(v);
+            }
+        }
+        Condition::Compare { .. } | Condition::Builtin { .. } => {}
+        // Local existentials inside not(…) need slots so the inner
+        // existence test can enumerate them.
+        Condition::Not(inner, _) => introduce_vars(inner, vars),
+    }
+}
+
+/// How a term participates in matching: a constant, a bound slot, or an
+/// unbound slot to fill.
+enum Pos {
+    Const(Value),
+    Slot(usize),
+}
+
+fn term_pos(t: &Term, vars: &[String]) -> StruqlResult<Pos> {
+    match t {
+        Term::Const(v) => Ok(Pos::Const(v.clone())),
+        Term::Var(v) => var_slot(v, vars)
+            .map(Pos::Slot)
+            .ok_or_else(|| StruqlError::eval(format!("variable '{v}' has no slot"))),
+        Term::Skolem { .. } => Err(StruqlError::eval(
+            "Skolem terms cannot appear in the where stage",
+        )),
+    }
+}
+
+impl Pos {
+    /// The value this position holds in `row`, if any.
+    fn value<'r>(&'r self, row: &'r Row) -> Option<&'r Value> {
+        match self {
+            Pos::Const(v) => Some(v),
+            Pos::Slot(i) => row[*i].as_ref(),
+        }
+    }
+
+    /// Unifies the position with `v` in `row`: if already bound, the values
+    /// must agree under dynamic coercion; if unbound, the slot is filled.
+    fn unify(&self, row: &mut Row, v: &Value) -> bool {
+        match self {
+            Pos::Const(c) => coerce::eq(c, v),
+            Pos::Slot(i) => match &row[*i] {
+                Some(existing) => coerce::eq(existing, v),
+                None => {
+                    row[*i] = Some(v.clone());
+                    true
+                }
+            },
+        }
+    }
+}
+
+/// Applies one condition to the relation, producing the extended relation.
+pub(crate) fn apply(
+    ev: &Evaluator<'_>,
+    cond: &Condition,
+    rows: Vec<Row>,
+    vars: &[String],
+) -> StruqlResult<Vec<Row>> {
+    let graph = ev.db().graph();
+    match cond {
+        Condition::Collection { name, arg, .. } => {
+            let pos = term_pos(arg, vars)?;
+            let members: &[Value] = graph.members_str(name);
+            let cid = graph.collection_id(name);
+            let mut out = Vec::with_capacity(rows.len());
+            for row in rows {
+                match pos.value(&row) {
+                    Some(v) => {
+                        let is_member = match cid {
+                            Some(c) => graph.in_collection(c, v),
+                            None => false,
+                        };
+                        if is_member {
+                            out.push(row);
+                        }
+                    }
+                    None => {
+                        for m in members {
+                            let mut r = row.clone();
+                            if pos.unify(&mut r, m) {
+                                out.push(r);
+                            }
+                        }
+                    }
+                }
+            }
+            Ok(out)
+        }
+
+        Condition::Path { src, path, dst, .. } => {
+            let spos = term_pos(src, vars)?;
+            let dpos = term_pos(dst, vars)?;
+            match path {
+                PathSpec::ArcVar(l) => {
+                    let lslot = var_slot(l, vars)
+                        .ok_or_else(|| StruqlError::eval(format!("arc variable '{l}' lost")))?;
+                    apply_arc_var(ev, graph, rows, &spos, lslot, &dpos)
+                }
+                PathSpec::Regex(r) => match r.as_single_step() {
+                    Some(StepPred::Label(name)) => {
+                        apply_label_step(ev, graph, rows, &spos, &name, &dpos)
+                    }
+                    Some(StepPred::Any) => apply_any_step(graph, rows, &spos, &dpos),
+                    None => {
+                        let nfa = Nfa::compile(r, graph);
+                        apply_regex(graph, rows, &spos, &nfa, &dpos)
+                    }
+                },
+            }
+        }
+
+        Condition::Compare { op, lhs, rhs, .. } => {
+            let lp = term_pos(lhs, vars)?;
+            let rp = term_pos(rhs, vars)?;
+            let mut out = Vec::with_capacity(rows.len());
+            for row in rows {
+                let (Some(a), Some(b)) = (lp.value(&row), rp.value(&row)) else {
+                    return Err(StruqlError::eval("comparison over unbound variable"));
+                };
+                use crate::ast::CmpOp::*;
+                let keep = match op {
+                    Eq => coerce::eq(a, b),
+                    Ne => {
+                        // Comparable-and-different; incomparable values are
+                        // neither equal nor unequal.
+                        matches!(
+                            coerce::compare(a, b),
+                            Some(std::cmp::Ordering::Less | std::cmp::Ordering::Greater)
+                        )
+                    }
+                    Lt => coerce::lt(a, b),
+                    Le => coerce::le(a, b),
+                    Gt => coerce::lt(b, a),
+                    Ge => coerce::le(b, a),
+                };
+                if keep {
+                    out.push(row);
+                }
+            }
+            Ok(out)
+        }
+
+        Condition::Builtin { pred, arg, .. } => {
+            let pos = term_pos(arg, vars)?;
+            let mut out = Vec::with_capacity(rows.len());
+            for row in rows {
+                let Some(v) = pos.value(&row) else {
+                    return Err(StruqlError::eval("builtin predicate over unbound variable"));
+                };
+                if eval_builtin(*pred, v) {
+                    out.push(row);
+                }
+            }
+            Ok(out)
+        }
+
+        Condition::Not(inner, _) => {
+            // All inner variables are bound (checked statically), so the
+            // inner condition acts as a per-row existence test.
+            let mut out = Vec::with_capacity(rows.len());
+            for row in rows {
+                let survives = apply(ev, inner, vec![row.clone()], vars)?;
+                if survives.is_empty() {
+                    out.push(row);
+                }
+            }
+            Ok(out)
+        }
+    }
+}
+
+
+/// The finite set of structurally distinct values that are
+/// coercion-equal to `v` — the keys an *exact-match* index must be probed
+/// with so that indexed lookups agree with coercing scans.
+///
+/// Numeric values return `None`: infinitely many string spellings coerce
+/// to the same number ("7", "07", " 7"), so no finite key set is complete
+/// and the caller must fall back to a scanning plan. Strings, URLs,
+/// files, booleans, and nodes have complete finite sets.
+fn coercion_candidates(v: &Value) -> Option<Vec<Value>> {
+    use strudel_graph::FileKind;
+    Some(match v {
+        Value::Node(_) => vec![v.clone()], // nodes coerce only with equal nodes
+        Value::Int(_) | Value::Float(_) => return None,
+        Value::Bool(b) => vec![
+            v.clone(),
+            Value::string(if *b { "true" } else { "false" }),
+        ],
+        Value::File(f) => vec![v.clone(), Value::string(f.path.clone())],
+        Value::Str(s) | Value::Url(s) => {
+            let mut out = vec![Value::string(s.clone()), Value::url(s.clone())];
+            if matches!(v, Value::Str(_)) {
+                for kind in [
+                    FileKind::Text,
+                    FileKind::Image,
+                    FileKind::PostScript,
+                    FileKind::Html,
+                ] {
+                    out.push(Value::file(kind, s.clone()));
+                }
+                match s.as_ref() {
+                    "true" => out.push(Value::Bool(true)),
+                    "false" => out.push(Value::Bool(false)),
+                    _ => {}
+                }
+            }
+            let t = s.trim();
+            if let Ok(i) = t.parse::<i64>() {
+                out.push(Value::Int(i));
+                out.push(Value::Float(i as f64));
+            } else if let Ok(f) = t.parse::<f64>() {
+                out.push(Value::Float(f));
+                if f.fract() == 0.0 && f.abs() < 9e15 {
+                    out.push(Value::Int(f as i64));
+                }
+            }
+            out
+        }
+    })
+}
+
+/// `src -> l -> dst` with `l` an arc variable: any single edge, binding the
+/// label name.
+fn apply_arc_var(
+    ev: &Evaluator<'_>,
+    graph: &Graph,
+    rows: Vec<Row>,
+    spos: &Pos,
+    lslot: usize,
+    dpos: &Pos,
+) -> StruqlResult<Vec<Row>> {
+    let mut out = Vec::new();
+    for row in rows {
+        match spos.value(&row).cloned() {
+            Some(Value::Node(o)) => {
+                for e in graph.edges(o) {
+                    let lname = Value::string(graph.label_name(e.label));
+                    let mut r = row.clone();
+                    let lab_ok = match &r[lslot] {
+                        Some(existing) => coerce::eq(existing, &lname),
+                        None => {
+                            r[lslot] = Some(lname);
+                            true
+                        }
+                    };
+                    if lab_ok && dpos.unify(&mut r, &e.to) {
+                        out.push(r);
+                    }
+                }
+            }
+            Some(_) => {} // atomic source: no out-edges
+            None => {
+                // Unbound source: enumerate all edges. With a bound atomic
+                // destination and a full value index, invert through it —
+                // probing every coercion-equal key so the indexed path
+                // agrees with the coercing scan below (numeric targets
+                // have no finite key set and take the scan).
+                let indexed = dpos.value(&row).cloned().and_then(|dv| {
+                    if !dv.is_atomic() || ev.db().value_locations(&dv).is_none() {
+                        return None;
+                    }
+                    coercion_candidates(&dv).map(|cands| (dv, cands))
+                });
+                if let Some((dv, cands)) = indexed {
+                    for cand in &cands {
+                        let locs = ev
+                            .db()
+                            .value_locations(cand)
+                            .expect("index present per the guard above");
+                        for (o, lab) in locs.iter() {
+                            let mut r = row.clone();
+                            let lname = Value::string(graph.label_name(*lab));
+                            let lab_ok = match &r[lslot] {
+                                Some(existing) => coerce::eq(existing, &lname),
+                                None => {
+                                    r[lslot] = Some(lname);
+                                    true
+                                }
+                            };
+                            if lab_ok
+                                && spos.unify(&mut r, &Value::Node(*o))
+                                && dpos.unify(&mut r, &dv)
+                            {
+                                out.push(r);
+                            }
+                        }
+                    }
+                    continue;
+                }
+                for o in graph.node_oids() {
+                    for e in graph.edges(o) {
+                        let mut r = row.clone();
+                        if !spos.unify(&mut r, &Value::Node(o)) {
+                            continue;
+                        }
+                        let lname = Value::string(graph.label_name(e.label));
+                        let lab_ok = match &r[lslot] {
+                            Some(existing) => coerce::eq(existing, &lname),
+                            None => {
+                                r[lslot] = Some(lname);
+                                true
+                            }
+                        };
+                        if lab_ok && dpos.unify(&mut r, &e.to) {
+                            out.push(r);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// `src -> "label" -> dst`: one edge with a fixed label. This is the hot
+/// atom; it is served from the extension indexes whenever possible.
+fn apply_label_step(
+    ev: &Evaluator<'_>,
+    graph: &Graph,
+    rows: Vec<Row>,
+    spos: &Pos,
+    label_name: &str,
+    dpos: &Pos,
+) -> StruqlResult<Vec<Row>> {
+    let Some(label) = graph.label(label_name) else {
+        return Ok(Vec::new()); // label never interned: no such edges
+    };
+    let mut out = Vec::new();
+    for row in rows {
+        match spos.value(&row).cloned() {
+            Some(Value::Node(o)) => {
+                for v in graph.attr(o, label) {
+                    let mut r = row.clone();
+                    if dpos.unify(&mut r, v) {
+                        out.push(r);
+                    }
+                }
+            }
+            Some(_) => {}
+            None => {
+                // Unbound source. Prefer the inverted index when the
+                // destination is bound — probing every coercion-equal key,
+                // since the index is exact-match but unification coerces;
+                // numeric targets (no finite key set) fall through to the
+                // coercing extension scan.
+                let dbound = dpos.value(&row).cloned();
+                if let Some(dv) = &dbound {
+                    let usable = ev.db().sources(label, dv).is_some();
+                    if usable {
+                        if let Some(cands) = coercion_candidates(dv) {
+                            for cand in &cands {
+                                let sources = ev
+                                    .db()
+                                    .sources(label, cand)
+                                    .expect("index present per the guard above");
+                                for &o in sources {
+                                    let mut r = row.clone();
+                                    if spos.unify(&mut r, &Value::Node(o))
+                                        && dpos.unify(&mut r, dv)
+                                    {
+                                        out.push(r);
+                                    }
+                                }
+                            }
+                            continue;
+                        }
+                    }
+                }
+                if let Some(ext) = ev.db().extension(label) {
+                    for (o, v) in ext {
+                        let mut r = row.clone();
+                        if spos.unify(&mut r, &Value::Node(*o)) && dpos.unify(&mut r, v) {
+                            out.push(r);
+                        }
+                    }
+                } else {
+                    for o in graph.node_oids() {
+                        for v in graph.attr(o, label) {
+                            let mut r = row.clone();
+                            if spos.unify(&mut r, &Value::Node(o)) && dpos.unify(&mut r, v) {
+                                out.push(r);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// `src -> true -> dst`: one edge with any label.
+fn apply_any_step(
+    graph: &Graph,
+    rows: Vec<Row>,
+    spos: &Pos,
+    dpos: &Pos,
+) -> StruqlResult<Vec<Row>> {
+    let mut out = Vec::new();
+    for row in rows {
+        match spos.value(&row).cloned() {
+            Some(Value::Node(o)) => {
+                for e in graph.edges(o) {
+                    let mut r = row.clone();
+                    if dpos.unify(&mut r, &e.to) {
+                        out.push(r);
+                    }
+                }
+            }
+            Some(_) => {}
+            None => {
+                for o in graph.node_oids() {
+                    for e in graph.edges(o) {
+                        let mut r = row.clone();
+                        if spos.unify(&mut r, &Value::Node(o)) && dpos.unify(&mut r, &e.to) {
+                            out.push(r);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// A general regular path expression.
+fn apply_regex(
+    graph: &Graph,
+    rows: Vec<Row>,
+    spos: &Pos,
+    nfa: &Nfa,
+    dpos: &Pos,
+) -> StruqlResult<Vec<Row>> {
+    let mut out = Vec::new();
+    for row in rows {
+        match spos.value(&row).cloned() {
+            Some(start) => {
+                for v in nfa.eval_from(graph, &start) {
+                    let mut r = row.clone();
+                    if dpos.unify(&mut r, &v) {
+                        out.push(r);
+                    }
+                }
+            }
+            None => {
+                // Unbound source: traverse from every node. The planner
+                // prices this pessimistically, so it only runs when
+                // unavoidable.
+                for o in graph.node_oids() {
+                    let start = Value::Node(o);
+                    for v in nfa.eval_from(graph, &start) {
+                        let mut r = row.clone();
+                        if spos.unify(&mut r, &start) && dpos.unify(&mut r, &v) {
+                            out.push(r);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Ok(out)
+}

@@ -1,0 +1,384 @@
+//! STRUQL program evaluation.
+//!
+//! Evaluation follows the two-stage active-domain semantics of §2.2:
+//!
+//! 1. **Query stage** — each block's `where` clause is evaluated against
+//!    the *input* graph into a bindings relation: one row per assignment of
+//!    variables to oids/labels/values satisfying every condition. Nested
+//!    blocks conjoin with the enclosing clause — their relations extend the
+//!    parent rows.
+//! 2. **Construction stage** — for each row, `create` mints Skolem nodes
+//!    (same arguments ⇒ same node, via [`SkolemTable`]), `link` adds edges
+//!    (with set semantics — the relation is a set of assignments), and
+//!    `collect` populates output collections.
+//!
+//! The output graph starts as a clone of the input graph, so data-graph
+//! leaves referenced by `link` targets (titles, abstracts, embedded data
+//! nodes) are present in the site graph — "the site graph represents both
+//! the site's content and structure". Created nodes are tracked in
+//! [`EvalResult::new_nodes`]; only they may be link sources (existing nodes
+//! are immutable).
+
+mod atoms;
+
+use crate::ast::{Block, LabelTerm, Program, Term};
+use crate::error::{StruqlError, StruqlResult};
+use crate::plan;
+use std::collections::HashSet;
+use strudel_graph::{Graph, Oid, SkolemTable, Value};
+use strudel_repo::Database;
+
+/// Evaluation options.
+#[derive(Clone, Copy, Debug)]
+pub struct EvalOptions {
+    /// Use cost-based condition ordering (default). `false` keeps the
+    /// textual order — the join-ordering ablation baseline.
+    pub optimize: bool,
+}
+
+impl Default for EvalOptions {
+    fn default() -> Self {
+        EvalOptions { optimize: true }
+    }
+}
+
+/// The result of evaluating a program.
+#[derive(Debug)]
+pub struct EvalResult {
+    /// The output graph: the input graph plus everything the program
+    /// constructed.
+    pub graph: Graph,
+    /// Oids of nodes the program created, in creation order. These are the
+    /// "site nodes" when the program is a site-definition query.
+    pub new_nodes: Vec<Oid>,
+    /// The Skolem table, for addressing created nodes by term (used by
+    /// composed query pipelines and by the HTML generator).
+    pub skolem: SkolemTable,
+    /// Total rows produced across all where-stage expansions —
+    /// instrumentation for the optimizer ablation.
+    pub rows_evaluated: usize,
+}
+
+impl EvalResult {
+    /// Looks up the node a Skolem application produced, e.g.
+    /// `result.skolem_node("YearPage", &[Value::Int(1998)])`.
+    pub fn skolem_node(&self, symbol: &str, args: &[Value]) -> Option<Oid> {
+        self.skolem.lookup(symbol, args)
+    }
+}
+
+/// Evaluates STRUQL programs against a database.
+#[derive(Debug)]
+pub struct Evaluator<'db> {
+    db: &'db Database,
+    opts: EvalOptions,
+}
+
+/// One bindings row: a slot per variable in scope, `None` until bound.
+pub(crate) type Row = Vec<Option<Value>>;
+
+/// Mutable evaluation context threaded through blocks.
+#[derive(Debug)]
+struct Ctx {
+    out: Graph,
+    skolem: SkolemTable,
+    new_nodes: Vec<Oid>,
+    created: HashSet<Oid>,
+    rows_evaluated: usize,
+}
+
+impl<'db> Evaluator<'db> {
+    /// An evaluator with default options.
+    pub fn new(db: &'db Database) -> Self {
+        Evaluator {
+            db,
+            opts: EvalOptions::default(),
+        }
+    }
+
+    /// An evaluator with explicit options.
+    pub fn with_options(db: &'db Database, opts: EvalOptions) -> Self {
+        Evaluator { db, opts }
+    }
+
+    /// Evaluates a checked program. Blocks run in order, sharing one
+    /// Skolem table and one output graph.
+    pub fn eval(&self, program: &Program) -> StruqlResult<EvalResult> {
+        crate::analyze::check(program)?;
+        let mut ctx = Ctx {
+            out: self.db.graph().clone(),
+            skolem: SkolemTable::new(),
+            new_nodes: Vec::new(),
+            created: HashSet::new(),
+            rows_evaluated: 0,
+        };
+        for block in &program.blocks {
+            let mut vars: Vec<String> = Vec::new();
+            let seed: Vec<Row> = vec![Vec::new()];
+            self.eval_block(block, &mut vars, &seed, &mut ctx)?;
+        }
+        Ok(EvalResult {
+            graph: ctx.out,
+            new_nodes: ctx.new_nodes,
+            skolem: ctx.skolem,
+            rows_evaluated: ctx.rows_evaluated,
+        })
+    }
+
+    /// Evaluates one block: extend the variable table with this block's new
+    /// variables, run the where stage over the incoming rows, construct,
+    /// then recurse into nested blocks.
+    fn eval_block(
+        &self,
+        block: &Block,
+        vars: &mut Vec<String>,
+        in_rows: &[Row],
+        ctx: &mut Ctx,
+    ) -> StruqlResult<()> {
+        let base_len = vars.len();
+        for cond in &block.where_ {
+            atoms::introduce_vars(cond, vars);
+        }
+        let width = vars.len();
+
+        let mut rows: Vec<Row> = in_rows
+            .iter()
+            .map(|r| {
+                let mut row = r.clone();
+                row.resize(width, None);
+                row
+            })
+            .collect();
+
+        let bound: HashSet<String> = vars[..base_len].iter().cloned().collect();
+        let plan = plan::plan(&block.where_, &bound, self.db, self.opts.optimize);
+        for &idx in &plan.order {
+            rows = atoms::apply(self, &block.where_[idx], rows, vars)?;
+            ctx.rows_evaluated += rows.len();
+            if rows.is_empty() {
+                break;
+            }
+        }
+
+        if !rows.is_empty() {
+            for row in &rows {
+                construct_into(block, row, vars, ctx)?;
+            }
+            for nested in &block.nested {
+                self.eval_block(nested, vars, &rows, ctx)?;
+            }
+        }
+        vars.truncate(base_len);
+        Ok(())
+    }
+
+    pub(crate) fn db(&self) -> &Database {
+        self.db
+    }
+}
+
+/// Applies the construction stage of `block` for one row.
+fn construct_into(block: &Block, row: &Row, vars: &[String], ctx: &mut Ctx) -> StruqlResult<()> {
+    for t in &block.create {
+        eval_term_into(t, row, vars, ctx)?;
+    }
+    for l in &block.link {
+        let src = eval_term_into(&l.src, row, vars, ctx)?;
+        let Some(src_oid) = src.as_node() else {
+            return Err(StruqlError::eval("link source is not a node"));
+        };
+        if !ctx.created.contains(&src_oid) {
+            return Err(StruqlError::eval(format!(
+                "link source {src_oid} is an existing node; existing nodes are immutable"
+            )));
+        }
+        let label: String = match &l.label {
+            LabelTerm::Const(s) => s.clone(),
+            LabelTerm::Var(v) => {
+                let val = lookup_var(v, row, vars)?;
+                match val {
+                    Value::Str(s) => s.to_string(),
+                    other => {
+                        return Err(StruqlError::eval(format!(
+                            "arc variable '{v}' is bound to {other}, not a label"
+                        )))
+                    }
+                }
+            }
+        };
+        let dst = eval_term_into(&l.dst, row, vars, ctx)?;
+        // Set semantics: the bindings relation is a set of assignments,
+        // so identical links from different derivations collapse.
+        let lab = ctx.out.intern_label(&label);
+        if !ctx.out.has_edge(src_oid, lab, &dst) {
+            ctx.out.add_edge(src_oid, lab, dst);
+        }
+    }
+    for c in &block.collect {
+        let member = eval_term_into(&c.arg, row, vars, ctx)?;
+        ctx.out.collect_str(&c.collection, member);
+    }
+    Ok(())
+}
+
+/// Evaluates a construction term to a value.
+fn eval_term_into(term: &Term, row: &Row, vars: &[String], ctx: &mut Ctx) -> StruqlResult<Value> {
+    match term {
+        Term::Var(v) => lookup_var(v, row, vars).cloned(),
+        Term::Const(v) => Ok(v.clone()),
+        Term::Skolem { symbol, args } => {
+            let mut arg_vals = Vec::with_capacity(args.len());
+            for a in args {
+                arg_vals.push(eval_term_into(a, row, vars, ctx)?);
+            }
+            let (oid, new) = ctx.skolem.apply(&mut ctx.out, symbol, &arg_vals);
+            if new {
+                ctx.new_nodes.push(oid);
+                ctx.created.insert(oid);
+            }
+            Ok(Value::Node(oid))
+        }
+    }
+}
+
+impl<'db> Evaluator<'db> {
+    /// Evaluates a bare condition list — the building block for dynamic
+    /// (click-time) and incremental evaluation, where the schema crate
+    /// runs fragments of a site-definition query with some variables
+    /// pre-bound.
+    ///
+    /// `seed` pre-binds variables; the result is the list of variables in
+    /// slot order (seeds first) and all satisfying rows. Conditions are
+    /// planned with the same cost model as full evaluation.
+    pub fn eval_where_bindings(
+        &self,
+        conds: &[crate::ast::Condition],
+        seed: &[(String, Value)],
+    ) -> StruqlResult<(Vec<String>, Vec<Row>)> {
+        let mut vars: Vec<String> = seed.iter().map(|(n, _)| n.clone()).collect();
+        for cond in conds {
+            atoms::introduce_vars(cond, &mut vars);
+        }
+        let width = vars.len();
+        let mut row: Row = vec![None; width];
+        for (i, (_, v)) in seed.iter().enumerate() {
+            row[i] = Some(v.clone());
+        }
+        let mut rows = vec![row];
+
+        let bound: HashSet<String> = seed.iter().map(|(n, _)| n.clone()).collect();
+        let plan = plan::plan(conds, &bound, self.db, self.opts.optimize);
+        for &idx in &plan.order {
+            rows = atoms::apply(self, &conds[idx], rows, &vars)?;
+            if rows.is_empty() {
+                break;
+            }
+        }
+        Ok((vars, rows))
+    }
+}
+
+/// A construction sink: applies the construction stage of blocks to a
+/// graph, maintaining the Skolem table across calls.
+///
+/// This is [`Evaluator::eval`]'s construction machinery exposed for the
+/// dynamic and incremental engines: they compute bindings rows themselves
+/// (seeded, partial, or delta-derived) and push construction through a
+/// `Constructor` that *resumes* a previous evaluation's Skolem state, so
+/// newly derived links attach to the already-materialized site nodes.
+#[derive(Debug)]
+pub struct Constructor {
+    ctx: Ctx,
+}
+
+impl Constructor {
+    /// A fresh constructor over `graph` (usually a clone of the input
+    /// graph).
+    pub fn new(graph: Graph) -> Self {
+        Constructor {
+            ctx: Ctx {
+                out: graph,
+                skolem: SkolemTable::new(),
+                new_nodes: Vec::new(),
+                created: HashSet::new(),
+                rows_evaluated: 0,
+            },
+        }
+    }
+
+    /// Resumes construction from a previous evaluation's output.
+    pub fn resume(result: EvalResult) -> Self {
+        let created: HashSet<Oid> = result.new_nodes.iter().copied().collect();
+        Constructor {
+            ctx: Ctx {
+                out: result.graph,
+                skolem: result.skolem,
+                new_nodes: result.new_nodes,
+                created,
+                rows_evaluated: result.rows_evaluated,
+            },
+        }
+    }
+
+    /// Applies one block's `create`/`link`/`collect` (not its nested
+    /// blocks) for every row. `vars` gives the slot names of `rows`.
+    pub fn apply_block(
+        &mut self,
+        block: &Block,
+        vars: &[String],
+        rows: &[Row],
+    ) -> StruqlResult<()> {
+        for row in rows {
+            construct_into(block, row, vars, &mut self.ctx)?;
+        }
+        Ok(())
+    }
+
+    /// Evaluates a construction term against a row, minting Skolem nodes
+    /// as needed.
+    pub fn eval_term(
+        &mut self,
+        term: &Term,
+        vars: &[String],
+        row: &Row,
+    ) -> StruqlResult<Value> {
+        eval_term_into(term, row, vars, &mut self.ctx)
+    }
+
+    /// Read access to the graph under construction.
+    pub fn graph(&self) -> &Graph {
+        &self.ctx.out
+    }
+
+    /// The node previously minted for `symbol(args)`, if any.
+    pub fn skolem_node(&self, symbol: &str, args: &[Value]) -> Option<Oid> {
+        self.ctx.skolem.lookup(symbol, args)
+    }
+
+    /// Finishes construction, returning an [`EvalResult`].
+    pub fn finish(self) -> EvalResult {
+        EvalResult {
+            graph: self.ctx.out,
+            new_nodes: self.ctx.new_nodes,
+            skolem: self.ctx.skolem,
+            rows_evaluated: self.ctx.rows_evaluated,
+        }
+    }
+}
+
+fn lookup_var<'r>(name: &str, row: &'r Row, vars: &[String]) -> StruqlResult<&'r Value> {
+    let slot = vars
+        .iter()
+        .position(|v| v == name)
+        .ok_or_else(|| StruqlError::eval(format!("variable '{name}' has no slot")))?;
+    row.get(slot)
+        .and_then(Option::as_ref)
+        .ok_or_else(|| StruqlError::eval(format!("variable '{name}' is unbound at use")))
+}
+
+pub(crate) fn var_slot(name: &str, vars: &[String]) -> Option<usize> {
+    vars.iter().position(|v| v == name)
+}
+
+#[cfg(test)]
+mod tests;

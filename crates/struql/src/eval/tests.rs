@@ -1,0 +1,590 @@
+//! Evaluator tests built around the paper's own examples.
+
+use crate::eval::{EvalOptions, Evaluator};
+use crate::parser::parse;
+use strudel_graph::{ddl, FileKind, Graph, Value};
+use strudel_repo::{Database, IndexLevel};
+
+/// The Fig. 2 data graph fragment: two publications with irregular
+/// attributes.
+fn bib_db() -> Database {
+    let g = ddl::parse(
+        r#"
+        collection Publications {
+          default abstract   : text;
+          default postscript : postscript;
+        }
+        object pub1 in Publications {
+          title    : "Real-world data";
+          year     : 1997;
+          month    : "June";
+          author   : "Mary Fernandez";
+          author   : "Dan Suciu";
+          category : "semistructured";
+          abstract : "abs/pub1.txt";
+        }
+        object pub2 in Publications {
+          title     : "Managing the web";
+          year      : 1998;
+          booktitle : "SIGMOD";
+          author    : "Alon Levy";
+          category  : "web";
+          postscript: "ps/pub2.ps";
+        }
+    "#,
+    )
+    .unwrap();
+    Database::from_graph(g, IndexLevel::Full)
+}
+
+/// The Fig. 3 site-definition query (homepage site).
+const HOMEPAGE_QUERY: &str = r#"
+    create RootPage(), AbstractsPage()
+    link RootPage() -> "Abstracts" -> AbstractsPage()
+
+    where Publications(x)
+    create AbstractPage(x), PaperPresentation(x)
+    link AbstractsPage() -> "Abstract" -> AbstractPage(x),
+         AbstractPage(x) -> "Paper" -> PaperPresentation(x)
+    { where x -> l -> v
+      link PaperPresentation(x) -> l -> v }
+    { where x -> "year" -> y
+      create YearPage(y)
+      link YearPage(y) -> "Year" -> y,
+           YearPage(y) -> "Paper" -> PaperPresentation(x),
+           RootPage() -> "YearPage" -> YearPage(y) }
+    { where x -> "category" -> c
+      create CategoryPage(c)
+      link CategoryPage(c) -> "Category" -> c,
+           CategoryPage(c) -> "Paper" -> PaperPresentation(x),
+           RootPage() -> "CategoryPage" -> CategoryPage(c) }
+    collect SitePages(AbstractPage(x)), SitePages(PaperPresentation(x))
+"#;
+
+#[test]
+fn homepage_query_builds_fig4_site_graph() {
+    let db = bib_db();
+    let program = parse(HOMEPAGE_QUERY).unwrap();
+    let result = Evaluator::new(&db).eval(&program).unwrap();
+    let g = &result.graph;
+
+    let root = result.skolem_node("RootPage", &[]).unwrap();
+    let abstracts = result.skolem_node("AbstractsPage", &[]).unwrap();
+    assert!(g.has_edge(root, g.label("Abstracts").unwrap(), &Value::Node(abstracts)));
+
+    // One YearPage per distinct year, one CategoryPage per category.
+    let y97 = result.skolem_node("YearPage", &[Value::Int(1997)]).unwrap();
+    let y98 = result.skolem_node("YearPage", &[Value::Int(1998)]).unwrap();
+    assert_ne!(y97, y98);
+    assert!(result
+        .skolem_node("CategoryPage", &[Value::string("web")])
+        .is_some());
+
+    // The PaperPresentation copies *all* attributes, whatever they are —
+    // arc variables carry irregularity into the site graph (§6.2).
+    let pub1 = db.graph().node_by_name("pub1").unwrap();
+    let pres1 = result
+        .skolem_node("PaperPresentation", &[Value::Node(pub1)])
+        .unwrap();
+    let month = g.label("month").unwrap();
+    assert_eq!(
+        g.first_attr(pres1, month).unwrap().as_str(),
+        Some("June"),
+        "pub1's month copied"
+    );
+    assert_eq!(g.attr_str(pres1, "author").count(), 2);
+    let pub2 = db.graph().node_by_name("pub2").unwrap();
+    let pres2 = result
+        .skolem_node("PaperPresentation", &[Value::Node(pub2)])
+        .unwrap();
+    assert_eq!(g.attr(pres2, month).count(), 0, "pub2 has no month");
+    assert_eq!(
+        g.first_attr_str(pres2, "booktitle").unwrap().as_str(),
+        Some("SIGMOD")
+    );
+
+    // Year pages link to the presentations of their year.
+    let paper = g.label("Paper").unwrap();
+    assert!(g.has_edge(y97, paper, &Value::Node(pres1)));
+    assert!(g.has_edge(y98, paper, &Value::Node(pres2)));
+    assert!(!g.has_edge(y97, paper, &Value::Node(pres2)));
+
+    // Root links to both year pages.
+    let yp = g.label("YearPage").unwrap();
+    assert!(g.has_edge(root, yp, &Value::Node(y97)));
+    assert!(g.has_edge(root, yp, &Value::Node(y98)));
+
+    // collect gathered the per-publication pages.
+    assert_eq!(g.members_str("SitePages").len(), 4);
+
+    // New nodes: RootPage, AbstractsPage, 2×AbstractPage,
+    // 2×PaperPresentation, 2×YearPage, 2×CategoryPage.
+    assert_eq!(result.new_nodes.len(), 10);
+}
+
+#[test]
+fn skolem_terms_deduplicate_across_rows_and_blocks() {
+    let db = bib_db();
+    let program = parse(
+        r#"
+        where Publications(x), x -> "year" -> y
+        create YearPage(y)
+        link YearPage(y) -> "Year" -> y
+
+        where Publications(x), x -> "year" -> y
+        create YearPage(y)
+        collect Years(YearPage(y))
+    "#,
+    )
+    .unwrap();
+    let result = Evaluator::new(&db).eval(&program).unwrap();
+    // Two distinct years → two pages, shared across the two blocks.
+    assert_eq!(result.new_nodes.len(), 2);
+    assert_eq!(result.graph.members_str("Years").len(), 2);
+}
+
+#[test]
+fn textonly_query_copies_non_image_structure() {
+    let g = ddl::parse(
+        r#"
+        object home in Root {
+          title : "Home";
+          pic   : image("me.gif");
+          child : &sub;
+        }
+        object sub {
+          title : "Sub";
+          shot  : image("x.gif");
+        }
+    "#,
+    )
+    .unwrap();
+    let db = Database::from_graph(g, IndexLevel::Full);
+    let program = parse(
+        r#"
+        where Root(p), p -> * -> q, q -> l -> r, not(isImageFile(r))
+        create New(p), New(q), New(r)
+        link   New(q) -> l -> New(r)
+        collect TextOnlyRoot(New(p))
+    "#,
+    )
+    .unwrap();
+    let result = Evaluator::new(&db).eval(&program).unwrap();
+    let g2 = &result.graph;
+
+    let roots = g2.members_str("TextOnlyRoot");
+    assert_eq!(roots.len(), 1);
+    let new_home = roots[0].as_node().unwrap();
+
+    // The copy has title and child edges but no pic edge.
+    assert_eq!(g2.attr_str(new_home, "title").count(), 1);
+    assert_eq!(g2.attr_str(new_home, "child").count(), 1);
+    assert_eq!(g2.attr_str(new_home, "pic").count(), 0);
+
+    // The child copy exists and lost its image too.
+    let new_sub = g2
+        .first_attr_str(new_home, "child")
+        .unwrap()
+        .as_node()
+        .unwrap();
+    assert_eq!(g2.attr_str(new_sub, "shot").count(), 0);
+    assert_eq!(g2.attr_str(new_sub, "title").count(), 1);
+
+    // Copied titles wrap the original atomic values… as New(atomic) nodes?
+    // No: New(r) for atomic r creates a node per distinct atomic value.
+    // The original strings hang under the copies via their labels.
+    let title_target = g2.first_attr_str(new_home, "title").unwrap();
+    assert!(title_target.as_node().is_some(), "New(\"Home\") is a node");
+}
+
+#[test]
+fn comparisons_coerce_at_runtime() {
+    let db = bib_db();
+    let program = parse(
+        r#"
+        where Publications(x), x -> "year" -> y, y >= "1998"
+        create Recent(x)
+        collect RecentPubs(Recent(x))
+    "#,
+    )
+    .unwrap();
+    let result = Evaluator::new(&db).eval(&program).unwrap();
+    assert_eq!(result.graph.members_str("RecentPubs").len(), 1);
+}
+
+#[test]
+fn constants_in_path_targets_select() {
+    let db = bib_db();
+    let program = parse(
+        r#"
+        where Publications(x), x -> "year" -> 1997
+        create P(x)
+        collect Out(P(x))
+    "#,
+    )
+    .unwrap();
+    let result = Evaluator::new(&db).eval(&program).unwrap();
+    assert_eq!(result.graph.members_str("Out").len(), 1);
+}
+
+#[test]
+fn builtin_predicates_filter() {
+    let db = bib_db();
+    let program = parse(
+        r#"
+        where Publications(x), x -> l -> v, isPostScript(v)
+        create P(x)
+        collect HasPs(P(x))
+    "#,
+    )
+    .unwrap();
+    let result = Evaluator::new(&db).eval(&program).unwrap();
+    assert_eq!(result.graph.members_str("HasPs").len(), 1);
+}
+
+#[test]
+fn negated_path_condition() {
+    let db = bib_db();
+    // Publications with no month attribute.
+    let program = parse(
+        r#"
+        where Publications(x), not(x -> "month" -> m)
+        create P(x)
+        collect NoMonth(P(x))
+    "#,
+    )
+    .unwrap();
+    let result = Evaluator::new(&db).eval(&program).unwrap();
+    assert_eq!(result.graph.members_str("NoMonth").len(), 1);
+}
+
+#[test]
+fn arc_variables_join_on_label_equality() {
+    let mut g = Graph::new();
+    let a = g.add_named_node("a");
+    let b = g.add_named_node("b");
+    g.add_edge_str(a, "shared", Value::Int(1));
+    g.add_edge_str(b, "shared", Value::Int(2));
+    g.add_edge_str(a, "only_a", Value::Int(3));
+    g.collect_str("L", a);
+    g.collect_str("R", b);
+    let db = Database::from_graph(g, IndexLevel::Full);
+
+    // Labels appearing on members of both L and R.
+    let program = parse(
+        r#"
+        where L(x), R(y), x -> l -> v, y -> l -> w
+        create Common(l)
+        collect CommonLabels(Common(l))
+    "#,
+    )
+    .unwrap();
+    let result = Evaluator::new(&db).eval(&program).unwrap();
+    assert_eq!(result.graph.members_str("CommonLabels").len(), 1);
+    let node = result
+        .skolem_node("Common", &[Value::string("shared")])
+        .unwrap();
+    assert!(result.graph.node_name(node).is_some());
+}
+
+#[test]
+fn link_with_arc_variable_copies_labels() {
+    let db = bib_db();
+    let program = parse(
+        r#"
+        where Publications(x), x -> l -> v
+        create P(x)
+        link P(x) -> l -> v
+    "#,
+    )
+    .unwrap();
+    let result = Evaluator::new(&db).eval(&program).unwrap();
+    let pub1 = db.graph().node_by_name("pub1").unwrap();
+    let p1 = result.skolem_node("P", &[Value::Node(pub1)]).unwrap();
+    assert_eq!(
+        result.graph.edges(p1).len(),
+        db.graph().edges(pub1).len(),
+        "every attribute copied exactly once"
+    );
+}
+
+#[test]
+fn output_edges_have_set_semantics() {
+    // Duplicate edges in the input multigraph must not duplicate output
+    // links: the bindings relation is a set of assignments.
+    let mut g = Graph::new();
+    let a = g.add_named_node("a");
+    g.add_edge_str(a, "t", Value::Int(1));
+    g.add_edge_str(a, "t", Value::Int(1)); // duplicate edge
+    g.collect_str("C", a);
+    let db = Database::from_graph(g, IndexLevel::Full);
+    let program = parse(
+        r#"
+        where C(x), x -> "t" -> v
+        create P(x)
+        link P(x) -> "t" -> v
+    "#,
+    )
+    .unwrap();
+    let result = Evaluator::new(&db).eval(&program).unwrap();
+    let p = result
+        .skolem_node("P", &[Value::Node(db.graph().node_by_name("a").unwrap())])
+        .unwrap();
+    assert_eq!(result.graph.attr_str(p, "t").count(), 1);
+}
+
+#[test]
+fn empty_collection_yields_empty_result() {
+    let db = bib_db();
+    let program = parse("where Ghost(x) create P(x) collect Out(P(x))").unwrap();
+    let result = Evaluator::new(&db).eval(&program).unwrap();
+    assert_eq!(result.new_nodes.len(), 0);
+    assert_eq!(result.graph.members_str("Out").len(), 0);
+}
+
+#[test]
+fn unoptimized_and_optimized_agree() {
+    let db = bib_db();
+    let program = parse(HOMEPAGE_QUERY).unwrap();
+    let opt = Evaluator::new(&db).eval(&program).unwrap();
+    let naive = Evaluator::with_options(&db, EvalOptions { optimize: false })
+        .eval(&program)
+        .unwrap();
+    assert_eq!(opt.new_nodes.len(), naive.new_nodes.len());
+    assert_eq!(opt.graph.edge_count(), naive.graph.edge_count());
+    assert_eq!(
+        opt.graph.members_str("SitePages").len(),
+        naive.graph.members_str("SitePages").len()
+    );
+}
+
+#[test]
+fn index_levels_do_not_change_results() {
+    let g = bib_db().into_graph();
+    let program = parse(HOMEPAGE_QUERY).unwrap();
+    let mut edge_counts = Vec::new();
+    for level in [IndexLevel::None, IndexLevel::ExtensionOnly, IndexLevel::Full] {
+        let db = Database::from_graph(g.clone(), level);
+        let result = Evaluator::new(&db).eval(&program).unwrap();
+        edge_counts.push((result.graph.edge_count(), result.new_nodes.len()));
+    }
+    assert_eq!(edge_counts[0], edge_counts[1]);
+    assert_eq!(edge_counts[1], edge_counts[2]);
+}
+
+#[test]
+fn query_composition_pipelines() {
+    // Stage 1: build a small site. Stage 2 (applied to stage 1's output):
+    // copy the site and add a navigation bar to each page — the suciu
+    // example of §5.1.
+    let db = bib_db();
+    let stage1 = parse(
+        r#"
+        where Publications(x)
+        create Page(x)
+        link Page(x) -> "title" -> x
+        collect Pages(Page(x))
+    "#,
+    )
+    .unwrap();
+    let r1 = Evaluator::new(&db).eval(&stage1).unwrap();
+
+    let db2 = Database::from_graph(r1.graph, IndexLevel::Full);
+    let stage2 = parse(
+        r#"
+        create NavBar()
+        link NavBar() -> "home" -> "index.html"
+
+        where Pages(p)
+        create Wrapped(p)
+        link Wrapped(p) -> "content" -> p,
+             Wrapped(p) -> "nav" -> NavBar()
+        collect WrappedPages(Wrapped(p))
+    "#,
+    )
+    .unwrap();
+    let r2 = Evaluator::new(&db2).eval(&stage2).unwrap();
+    assert_eq!(r2.graph.members_str("WrappedPages").len(), 2);
+    let nav = r2.skolem_node("NavBar", &[]).unwrap();
+    for p in r2.graph.members_str("WrappedPages") {
+        let w = p.as_node().unwrap();
+        assert_eq!(
+            r2.graph.first_attr_str(w, "nav"),
+            Some(&Value::Node(nav)),
+            "every page shares the same nav bar"
+        );
+    }
+}
+
+#[test]
+fn immutability_is_enforced_at_runtime() {
+    // Craft a program that passes static checks (link source symbol appears
+    // in a create clause) but whose source resolves to an existing node at
+    // run time — impossible through the public API, so simulate by linking
+    // from a Skolem of an existing node and checking the *target* instead.
+    // Here we assert the static analyzer already rejects the direct form.
+    let err = parse("where Publications(x) link x -> \"a\" -> x").unwrap_err();
+    assert!(err.message().contains("immutable"));
+}
+
+#[test]
+fn rows_evaluated_is_reported() {
+    let db = bib_db();
+    let program = parse(HOMEPAGE_QUERY).unwrap();
+    let result = Evaluator::new(&db).eval(&program).unwrap();
+    assert!(result.rows_evaluated > 0);
+}
+
+#[test]
+fn files_survive_into_site_graph() {
+    let db = bib_db();
+    let program = parse(
+        r#"
+        where Publications(x), x -> "abstract" -> a
+        create P(x)
+        link P(x) -> "abstract" -> a
+    "#,
+    )
+    .unwrap();
+    let result = Evaluator::new(&db).eval(&program).unwrap();
+    let pub1 = db.graph().node_by_name("pub1").unwrap();
+    let p = result.skolem_node("P", &[Value::Node(pub1)]).unwrap();
+    assert!(result
+        .graph
+        .first_attr_str(p, "abstract")
+        .unwrap()
+        .is_file_kind(FileKind::Text));
+}
+
+#[test]
+fn eval_where_bindings_with_seeds() {
+    let db = bib_db();
+    let ev = Evaluator::new(&db);
+    let conds = parse(
+        r#"where Publications(x), x -> "year" -> y create P(x)"#,
+    )
+    .unwrap()
+    .blocks[0]
+        .where_
+        .clone();
+
+    // Unseeded: one row per (publication, year).
+    let (vars, rows) = ev.eval_where_bindings(&conds, &[]).unwrap();
+    assert_eq!(rows.len(), 2);
+    assert!(vars.contains(&"x".to_string()));
+    assert!(vars.contains(&"y".to_string()));
+
+    // Seeded with a year: only the 1998 publication matches.
+    let (vars, rows) = ev
+        .eval_where_bindings(&conds, &[("y".to_string(), Value::Int(1998))])
+        .unwrap();
+    assert_eq!(rows.len(), 1);
+    let x_slot = vars.iter().position(|v| v == "x").unwrap();
+    let x = rows[0][x_slot].as_ref().unwrap().as_node().unwrap();
+    assert_eq!(db.graph().node_name(x), Some("pub2"));
+
+    // Seeded with an impossible value: empty.
+    let (_, rows) = ev
+        .eval_where_bindings(&conds, &[("y".to_string(), Value::Int(1890))])
+        .unwrap();
+    assert!(rows.is_empty());
+}
+
+#[test]
+fn comparison_operators_cover_all_cases() {
+    let db = bib_db();
+    let run = |cond: &str| -> usize {
+        let q = format!(
+            r#"where Publications(x), x -> "year" -> y, {cond} create P(x) collect Out(P(x))"#
+        );
+        let program = parse(&q).unwrap();
+        Evaluator::new(&db)
+            .eval(&program)
+            .unwrap()
+            .graph
+            .members_str("Out")
+            .len()
+    };
+    assert_eq!(run("y = 1997"), 1);
+    assert_eq!(run("y != 1997"), 1);
+    assert_eq!(run("y < 1998"), 1);
+    assert_eq!(run("y <= 1998"), 2);
+    assert_eq!(run("y > 1997"), 1);
+    assert_eq!(run("y >= 1997"), 2);
+    // Incomparable pair: a year never equals (or un-equals) a non-numeric
+    // string — both the predicate and its negation-of-equality are false.
+    assert_eq!(run(r#"y = "next year""#), 0);
+    assert_eq!(run(r#"y != "next year""#), 0);
+}
+
+#[test]
+fn constructor_resume_builds_on_prior_results() {
+    use crate::Constructor;
+    let db = bib_db();
+    let program = parse(
+        r#"where Publications(x) create P(x) link P(x) -> "src" -> x collect Out(P(x))"#,
+    )
+    .unwrap();
+    let first = Evaluator::new(&db).eval(&program).unwrap();
+    let pub1 = db.graph().node_by_name("pub1").unwrap();
+    let page = first.skolem_node("P", &[Value::Node(pub1)]).unwrap();
+
+    let mut c = Constructor::resume(first);
+    // Re-applying the same construction row is a no-op (set semantics).
+    let block = &program.blocks[0];
+    let vars = vec!["x".to_string()];
+    let rows = vec![vec![Some(Value::Node(pub1))]];
+    let before = c.graph().edge_count();
+    c.apply_block(block, &vars, &rows).unwrap();
+    assert_eq!(c.graph().edge_count(), before);
+    assert_eq!(c.skolem_node("P", &[Value::Node(pub1)]), Some(page));
+    let done = c.finish();
+    assert_eq!(done.graph.members_str("Out").len(), 2);
+}
+
+#[test]
+fn indexed_lookups_respect_dynamic_coercion() {
+    // Data stores years under mixed types; queries bind targets with the
+    // "other" type. Indexed fast paths (inverted extension index, global
+    // value index) must agree with coercing scans at every index level.
+    let mut g = Graph::new();
+    let a = g.add_named_node("a");
+    let b = g.add_named_node("b");
+    let c = g.add_named_node("c");
+    g.add_edge_str(a, "year", Value::Int(1998));
+    g.add_edge_str(b, "year", Value::string("1998"));
+    g.add_edge_str(c, "year", Value::string("07"));
+    g.collect_str("Pubs", a);
+    g.collect_str("Pubs", b);
+    g.collect_str("Pubs", c);
+
+    let queries = [
+        // Bound string constant vs Int data (label step).
+        r#"where Pubs(x), x -> "year" -> "1998" create P(x) collect Out(P(x))"#,
+        // Bound int constant vs Str data, including a nonstandard numeral.
+        r#"where Pubs(x), x -> "year" -> 1998 create P(x) collect Out(P(x))"#,
+        r#"where Pubs(x), x -> "year" -> 7 create P(x) collect Out(P(x))"#,
+        // Arc-variable value lookup (global value index path).
+        r#"where x -> l -> "1998" create P(x) collect Out(P(x))"#,
+        r#"where x -> l -> 1998 create P(x) collect Out(P(x))"#,
+    ];
+    for q in queries {
+        let program = parse(q).unwrap();
+        let mut counts = Vec::new();
+        for level in [IndexLevel::None, IndexLevel::ExtensionOnly, IndexLevel::Full] {
+            let db = Database::from_graph(g.clone(), level);
+            let r = Evaluator::new(&db).eval(&program).unwrap();
+            counts.push(r.graph.members_str("Out").len());
+        }
+        assert!(
+            counts.windows(2).all(|w| w[0] == w[1]),
+            "index level changed results for {q}: {counts:?}"
+        );
+        assert!(counts[0] > 0, "query should match something: {q}");
+    }
+    // Spot value: the string-constant query matches both 1998 holders.
+    let db = Database::from_graph(g.clone(), IndexLevel::Full);
+    let program = parse(queries[0]).unwrap();
+    let r = Evaluator::new(&db).eval(&program).unwrap();
+    assert_eq!(r.graph.members_str("Out").len(), 2);
+}

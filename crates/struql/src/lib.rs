@@ -1,0 +1,78 @@
+//! # strudel-struql
+//!
+//! STRUQL, the declarative query and restructuring language for
+//! semistructured graphs at the heart of the Strudel web-site management
+//! system (§2.2 of the paper).
+//!
+//! A STRUQL *program* is a sequence of blocks; each block has the shape
+//!
+//! ```text
+//! where   C1, …, Ck          -- query stage
+//! create  N1, …, Nn          -- construction stage
+//! link    S -> "label" -> T, …
+//! collect Coll(T), …
+//! { nested block }*          -- conjoins with the enclosing where
+//! ```
+//!
+//! The **query stage** (`where`) produces a bindings relation: all
+//! assignments of variables to oids and labels of the data graph that
+//! satisfy every condition. Conditions are collection membership
+//! (`Publications(x)`), edge and path atoms (`x -> R -> y` for a regular
+//! path expression `R`, or `x -> l -> y` binding the *arc variable* `l` to
+//! edge labels — STRUQL can query the schema), built-in predicates
+//! (`isImageFile(q)`), comparisons with dynamic coercion, and `not(…)` over
+//! fully bound conditions.
+//!
+//! The **construction stage** (`create`/`link`/`collect`) builds a new
+//! graph using Skolem terms: `AbstractPage(x)` denotes the *same* node for
+//! the same binding of `x` wherever it appears. Edges may only originate at
+//! nodes created by the program — existing nodes are immutable (§2.2).
+//!
+//! ## Example: the TextOnly site (§2.2)
+//!
+//! ```
+//! use strudel_repo::{Database, IndexLevel};
+//! use strudel_struql::{parse, Evaluator};
+//!
+//! let g = strudel_graph::ddl::parse(r#"
+//!     object home in Root { label : "welcome"; child : &pics; }
+//!     object pics { shot : image("p.gif"); caption : "me"; }
+//! "#).unwrap();
+//! let db = Database::from_graph(g, IndexLevel::Full);
+//!
+//! let program = parse(r#"
+//!     where Root(p), p -> * -> q, q -> l -> qq, not(isImageFile(qq))
+//!     create New(p), New(q), New(qq)
+//!     link   New(q) -> l -> New(qq)
+//!     collect TextOnlyRoot(New(p))
+//! "#).unwrap();
+//!
+//! let result = Evaluator::new(&db).eval(&program).unwrap();
+//! assert_eq!(result.graph.members_str("TextOnlyRoot").len(), 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analyze;
+pub mod ast;
+pub mod builder;
+mod builtins;
+mod error;
+pub mod eval;
+mod lexer;
+mod parser;
+pub mod plan;
+mod pretty;
+pub mod rpe;
+mod token;
+
+pub use ast::{
+    Block, BuiltinPred, CmpOp, CollectExpr, Condition, LabelTerm, LinkExpr, PathRegex, PathSpec,
+    Program, Term,
+};
+pub use error::{StruqlError, StruqlResult};
+pub use eval::{Constructor, EvalOptions, EvalResult, Evaluator};
+pub use parser::{parse, parse_path_regex};
+pub use pretty::pretty;
+pub use token::Span;

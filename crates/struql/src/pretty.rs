@@ -1,0 +1,266 @@
+//! Pretty-printing of STRUQL programs.
+//!
+//! `parse(pretty(p))` reproduces `p` (round-trip property tested in the
+//! crate's integration tests). The printer is also what the experiment
+//! harness uses to count "query lines" the way the paper reports them.
+
+use crate::ast::*;
+use std::fmt::Write;
+
+/// Renders a program in canonical form.
+pub fn pretty(program: &Program) -> String {
+    let mut out = String::new();
+    for (i, b) in program.blocks.iter().enumerate() {
+        if i > 0 {
+            out.push('\n');
+        }
+        block(b, 0, &mut out);
+    }
+    out
+}
+
+fn indent(level: usize, out: &mut String) {
+    for _ in 0..level {
+        out.push_str("  ");
+    }
+}
+
+fn block(b: &Block, level: usize, out: &mut String) {
+    if !b.where_.is_empty() {
+        indent(level, out);
+        out.push_str("where ");
+        for (i, c) in b.where_.iter().enumerate() {
+            if i > 0 {
+                out.push_str(",\n");
+                indent(level, out);
+                out.push_str("      ");
+            }
+            condition(c, out);
+        }
+        out.push('\n');
+    }
+    if !b.create.is_empty() {
+        indent(level, out);
+        out.push_str("create ");
+        for (i, t) in b.create.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            term(t, out);
+        }
+        out.push('\n');
+    }
+    if !b.link.is_empty() {
+        indent(level, out);
+        out.push_str("link ");
+        for (i, l) in b.link.iter().enumerate() {
+            if i > 0 {
+                out.push_str(",\n");
+                indent(level, out);
+                out.push_str("     ");
+            }
+            term(&l.src, out);
+            out.push_str(" -> ");
+            match &l.label {
+                LabelTerm::Const(s) => string_lit(s, out),
+                LabelTerm::Var(v) => out.push_str(v),
+            }
+            out.push_str(" -> ");
+            term(&l.dst, out);
+        }
+        out.push('\n');
+    }
+    if !b.collect.is_empty() {
+        indent(level, out);
+        out.push_str("collect ");
+        for (i, c) in b.collect.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&c.collection);
+            out.push('(');
+            term(&c.arg, out);
+            out.push(')');
+        }
+        out.push('\n');
+    }
+    for n in &b.nested {
+        indent(level, out);
+        out.push_str("{\n");
+        block(n, level + 1, out);
+        indent(level, out);
+        out.push_str("}\n");
+    }
+}
+
+fn condition(c: &Condition, out: &mut String) {
+    match c {
+        Condition::Collection { name, arg, .. } => {
+            out.push_str(name);
+            out.push('(');
+            term(arg, out);
+            out.push(')');
+        }
+        Condition::Path { src, path, dst, .. } => {
+            term(src, out);
+            out.push_str(" -> ");
+            match path {
+                PathSpec::ArcVar(l) => out.push_str(l),
+                PathSpec::Regex(r) => regex(r, out, 0),
+            }
+            out.push_str(" -> ");
+            term(dst, out);
+        }
+        Condition::Compare { op, lhs, rhs, .. } => {
+            term(lhs, out);
+            write!(out, " {} ", op.symbol()).unwrap();
+            term(rhs, out);
+        }
+        Condition::Builtin { pred, arg, .. } => {
+            out.push_str(pred.name());
+            out.push('(');
+            term(arg, out);
+            out.push(')');
+        }
+        Condition::Not(inner, _) => {
+            out.push_str("not(");
+            condition(inner, out);
+            out.push(')');
+        }
+    }
+}
+
+/// Precedence levels: 0 = alternation, 1 = sequence, 2 = postfix/primary.
+fn regex(r: &PathRegex, out: &mut String, prec: u8) {
+    let level = match r {
+        PathRegex::Alt(..) => 0,
+        PathRegex::Seq(..) => 1,
+        _ => 2,
+    };
+    let paren = level < prec;
+    if paren {
+        out.push('(');
+    }
+    match r {
+        PathRegex::Label(l) => string_lit(l, out),
+        PathRegex::Any => out.push_str("true"),
+        PathRegex::Seq(a, b) => {
+            regex(a, out, 1);
+            out.push_str(" . ");
+            regex(b, out, 1);
+        }
+        PathRegex::Alt(a, b) => {
+            regex(a, out, 0);
+            out.push_str(" | ");
+            regex(b, out, 0);
+        }
+        PathRegex::Star(inner) => {
+            regex(inner, out, 2);
+            out.push('*');
+        }
+        PathRegex::Plus(inner) => {
+            regex(inner, out, 2);
+            out.push('+');
+        }
+        PathRegex::Opt(inner) => {
+            regex(inner, out, 2);
+            out.push('?');
+        }
+    }
+    if paren {
+        out.push(')');
+    }
+}
+
+fn term(t: &Term, out: &mut String) {
+    match t {
+        Term::Var(v) => out.push_str(v),
+        Term::Const(v) => match v {
+            strudel_graph::Value::Str(s) => string_lit(s, out),
+            other => write!(out, "{other}").unwrap(),
+        },
+        Term::Skolem { symbol, args } => {
+            out.push_str(symbol);
+            out.push('(');
+            for (i, a) in args.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                term(a, out);
+            }
+            out.push(')');
+        }
+    }
+}
+
+fn string_lit(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            other => out.push(other),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::parser::parse_unchecked;
+    use crate::pretty;
+
+    fn round_trip(src: &str) {
+        let p1 = parse_unchecked(src).unwrap();
+        let text = pretty(&p1);
+        let p2 = parse_unchecked(&text)
+            .unwrap_or_else(|e| panic!("re-parse failed: {e}\n--- printed ---\n{text}"));
+        // Spans differ; compare the canonical rendering instead.
+        assert_eq!(pretty(&p2), text);
+        assert_eq!(p2.blocks.len(), p1.blocks.len());
+        assert_eq!(p2.link_clause_count(), p1.link_clause_count());
+    }
+
+    #[test]
+    fn round_trips_the_paper_queries() {
+        round_trip(
+            r#"
+            where Root(p), p -> * -> q, q -> l -> r, not(isImageFile(r))
+            create New(p), New(q), New(r)
+            link   New(q) -> l -> New(r)
+            collect TextOnlyRoot(New(p))
+        "#,
+        );
+        round_trip(
+            r#"
+            create RootPage(), AbstractsPage()
+            link RootPage() -> "Abstracts" -> AbstractsPage()
+            where Publications(x)
+            create AbstractPage(x), PaperPresentation(x)
+            { where x -> l -> v link PaperPresentation(x) -> l -> v }
+            { where x -> "year" -> y
+              create YearPage(y)
+              link YearPage(y) -> "Paper" -> PaperPresentation(x) }
+        "#,
+        );
+    }
+
+    #[test]
+    fn round_trips_regex_precedence() {
+        round_trip(r#"where x -> ("a" | "b") . "c"* -> y create P(x)"#);
+        round_trip(r#"where x -> "a" | "b" . "c" -> y create P(x)"#);
+        round_trip(r#"where x -> ("a" . "b")+ . "d"? -> y create P(x)"#);
+    }
+
+    #[test]
+    fn round_trips_comparisons_and_constants() {
+        round_trip(r#"where C(x), x -> "year" -> y, y >= 1997, y != 2000 create P(x, "tag", 3)"#);
+    }
+
+    #[test]
+    fn escapes_strings() {
+        round_trip(r#"where x -> "we\"ird\\label" -> y create P(y)"#);
+    }
+}

@@ -1,0 +1,387 @@
+//! Regular path expression compilation and evaluation.
+//!
+//! A [`PathRegex`] is compiled by Thompson construction into a small NFA
+//! over edge predicates, then evaluated as a product BFS over
+//! `(node, state)` pairs. Zero-length paths are supported (`*` includes
+//! the start node itself: "finds all nodes q reachable from the root p,
+//! including p itself", §2.2), and a path may *end* at an atomic value —
+//! only intermediate stops must be nodes, since atomic values have no
+//! out-edges.
+
+use crate::ast::PathRegex;
+use std::collections::HashSet;
+use strudel_graph::{Graph, Label, Oid, Value};
+
+/// A single-step predicate, for path atoms the planner can serve straight
+/// from the extension indexes without touching the NFA machinery.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum StepPred {
+    /// Any label (`true`).
+    Any,
+    /// One specific label.
+    Label(String),
+}
+
+impl PathRegex {
+    /// If this regex matches exactly one edge with a simple predicate,
+    /// return that predicate.
+    pub fn as_single_step(&self) -> Option<StepPred> {
+        match self {
+            PathRegex::Label(l) => Some(StepPred::Label(l.clone())),
+            PathRegex::Any => Some(StepPred::Any),
+            _ => None,
+        }
+    }
+}
+
+/// An edge predicate on a compiled transition. Labels are resolved against
+/// a concrete graph: a label name the graph never interned can never match.
+#[derive(Clone, Debug)]
+enum CompiledPred {
+    Any,
+    Label(Option<Label>),
+}
+
+impl CompiledPred {
+    #[inline]
+    fn matches(&self, label: Label) -> bool {
+        match self {
+            CompiledPred::Any => true,
+            CompiledPred::Label(l) => *l == Some(label),
+        }
+    }
+}
+
+/// A compiled NFA, specialized to one graph's label interner.
+#[derive(Clone, Debug)]
+pub struct Nfa {
+    /// Labeled transitions per state.
+    trans: Vec<Vec<(CompiledPred, usize)>>,
+    /// Epsilon transitions per state.
+    eps: Vec<Vec<usize>>,
+    start: usize,
+    accept: usize,
+}
+
+impl Nfa {
+    /// Compiles `regex` against `graph`'s label interner.
+    pub fn compile(regex: &PathRegex, graph: &Graph) -> Nfa {
+        let mut b = Builder {
+            trans: Vec::new(),
+            eps: Vec::new(),
+        };
+        let start = b.state();
+        let accept = b.state();
+        b.build(regex, graph, start, accept);
+        Nfa {
+            trans: b.trans,
+            eps: b.eps,
+            start,
+            accept,
+        }
+    }
+
+    /// Number of NFA states (for tests and plan costing).
+    pub fn state_count(&self) -> usize {
+        self.trans.len()
+    }
+
+    /// Epsilon closure of a set of states, pushed into `out` (deduplicated
+    /// via `mark`).
+    fn closure(&self, seed: usize, out: &mut Vec<usize>, mark: &mut [bool]) {
+        let mut stack = vec![seed];
+        while let Some(s) = stack.pop() {
+            if mark[s] {
+                continue;
+            }
+            mark[s] = true;
+            out.push(s);
+            for &t in &self.eps[s] {
+                stack.push(t);
+            }
+        }
+    }
+
+    /// All values reachable from `start` along paths matching the regex.
+    ///
+    /// The result preserves first-discovery order (BFS order), which makes
+    /// query results deterministic.
+    pub fn eval_from(&self, graph: &Graph, start: &Value) -> Vec<Value> {
+        let mut results: Vec<Value> = Vec::new();
+        let mut seen_results: HashSet<Value> = HashSet::new();
+        let emit = |v: Value, results: &mut Vec<Value>, seen: &mut HashSet<Value>| {
+            if seen.insert(v.clone()) {
+                results.push(v);
+            }
+        };
+
+        let mut mark = vec![false; self.trans.len()];
+        let mut start_states = Vec::new();
+        self.closure(self.start, &mut start_states, &mut mark);
+
+        let Some(o) = start.as_node() else {
+            // An atomic start can only satisfy a zero-length path.
+            if start_states.contains(&self.accept) {
+                emit(start.clone(), &mut results, &mut seen_results);
+            }
+            return results;
+        };
+
+        // visited[(node, state)] as a flat bitset when small, else a set.
+        let mut visited: HashSet<(Oid, usize)> = HashSet::new();
+        let mut queue: std::collections::VecDeque<(Oid, usize)> = Default::default();
+        for &s in &start_states {
+            if visited.insert((o, s)) {
+                queue.push_back((o, s));
+            }
+        }
+
+        let mut closure_buf = Vec::new();
+        while let Some((n, s)) = queue.pop_front() {
+            if s == self.accept {
+                emit(Value::Node(n), &mut results, &mut seen_results);
+            }
+            if self.trans[s].is_empty() {
+                continue;
+            }
+            for e in graph.edges(n) {
+                for (pred, t) in &self.trans[s] {
+                    if !pred.matches(e.label) {
+                        continue;
+                    }
+                    closure_buf.clear();
+                    mark.iter_mut().for_each(|m| *m = false);
+                    self.closure(*t, &mut closure_buf, &mut mark);
+                    match &e.to {
+                        Value::Node(m) => {
+                            for &u in &closure_buf {
+                                if visited.insert((*m, u)) {
+                                    queue.push_back((*m, u));
+                                }
+                            }
+                        }
+                        atomic => {
+                            if closure_buf.contains(&self.accept) {
+                                emit(atomic.clone(), &mut results, &mut seen_results);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        results
+    }
+
+    /// Whether a path matching the regex leads from `from` to `to`.
+    pub fn connects(&self, graph: &Graph, from: &Value, to: &Value) -> bool {
+        // Simple and correct; evaluation is bounded by reachable size. A
+        // bidirectional search would be faster but this is only used for
+        // bound-bound checks, which are rare.
+        self.eval_from(graph, from).iter().any(|v| v == to)
+    }
+}
+
+struct Builder {
+    trans: Vec<Vec<(CompiledPred, usize)>>,
+    eps: Vec<Vec<usize>>,
+}
+
+impl Builder {
+    fn state(&mut self) -> usize {
+        self.trans.push(Vec::new());
+        self.eps.push(Vec::new());
+        self.trans.len() - 1
+    }
+
+    /// Thompson construction of `regex` between `from` and `to`.
+    fn build(&mut self, regex: &PathRegex, graph: &Graph, from: usize, to: usize) {
+        match regex {
+            PathRegex::Label(name) => {
+                let pred = CompiledPred::Label(graph.label(name));
+                self.trans[from].push((pred, to));
+            }
+            PathRegex::Any => {
+                self.trans[from].push((CompiledPred::Any, to));
+            }
+            PathRegex::Seq(a, b) => {
+                let mid = self.state();
+                self.build(a, graph, from, mid);
+                self.build(b, graph, mid, to);
+            }
+            PathRegex::Alt(a, b) => {
+                self.build(a, graph, from, to);
+                self.build(b, graph, from, to);
+            }
+            PathRegex::Star(inner) => {
+                let hub = self.state();
+                self.eps[from].push(hub);
+                self.eps[hub].push(to);
+                self.build(inner, graph, hub, hub);
+            }
+            PathRegex::Plus(inner) => {
+                // R+ = R . R*
+                let mid = self.state();
+                self.build(inner, graph, from, mid);
+                self.build(&PathRegex::Star(inner.clone()), graph, mid, to);
+            }
+            PathRegex::Opt(inner) => {
+                self.eps[from].push(to);
+                self.build(inner, graph, from, to);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use strudel_graph::FileKind;
+
+    /// root -a-> mid -b-> leaf("end"), root -c-> img(image file),
+    /// cycle: mid -a-> root
+    fn sample() -> Graph {
+        let mut g = Graph::new();
+        let root = g.add_named_node("root");
+        let mid = g.add_named_node("mid");
+        let leaf = g.add_named_node("leaf");
+        g.add_edge_str(root, "a", Value::Node(mid));
+        g.add_edge_str(mid, "b", Value::Node(leaf));
+        g.add_edge_str(leaf, "val", Value::string("end"));
+        g.add_edge_str(root, "c", Value::file(FileKind::Image, "x.gif"));
+        g.add_edge_str(mid, "a", Value::Node(root));
+        g
+    }
+
+    fn eval(g: &Graph, r: &PathRegex, from: &str) -> Vec<Value> {
+        let nfa = Nfa::compile(r, g);
+        let start = Value::Node(g.node_by_name(from).unwrap());
+        nfa.eval_from(g, &start)
+    }
+
+    fn node(g: &Graph, name: &str) -> Value {
+        Value::Node(g.node_by_name(name).unwrap())
+    }
+
+    #[test]
+    fn single_label_step() {
+        let g = sample();
+        let r = PathRegex::Label("a".into());
+        assert_eq!(eval(&g, &r, "root"), vec![node(&g, "mid")]);
+    }
+
+    #[test]
+    fn any_step_reaches_atomic_values() {
+        let g = sample();
+        let r = PathRegex::Any;
+        let out = eval(&g, &r, "root");
+        assert!(out.contains(&node(&g, "mid")));
+        assert!(out.contains(&Value::file(FileKind::Image, "x.gif")));
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn star_includes_start_and_handles_cycles() {
+        let g = sample();
+        let r = PathRegex::Star(Box::new(PathRegex::Any));
+        let out = eval(&g, &r, "root");
+        assert!(out.contains(&node(&g, "root")), "zero-length path");
+        assert!(out.contains(&node(&g, "mid")));
+        assert!(out.contains(&node(&g, "leaf")));
+        assert!(out.contains(&Value::string("end")));
+        assert!(out.contains(&Value::file(FileKind::Image, "x.gif")));
+        assert_eq!(out.len(), 5);
+    }
+
+    #[test]
+    fn seq_concatenates() {
+        let g = sample();
+        let r = PathRegex::Seq(
+            Box::new(PathRegex::Label("a".into())),
+            Box::new(PathRegex::Label("b".into())),
+        );
+        assert_eq!(eval(&g, &r, "root"), vec![node(&g, "leaf")]);
+    }
+
+    #[test]
+    fn alt_unions() {
+        let g = sample();
+        let r = PathRegex::Alt(
+            Box::new(PathRegex::Label("a".into())),
+            Box::new(PathRegex::Label("c".into())),
+        );
+        let out = eval(&g, &r, "root");
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn plus_requires_at_least_one() {
+        let g = sample();
+        let r = PathRegex::Plus(Box::new(PathRegex::Label("a".into())));
+        let out = eval(&g, &r, "root");
+        // a, aa, aaa… cycles root->mid->root->…
+        assert!(out.contains(&node(&g, "mid")));
+        assert!(out.contains(&node(&g, "root")));
+        assert_eq!(out.len(), 2);
+        // but not zero-length only: from leaf (no 'a' edges) nothing.
+        assert!(eval(&g, &r, "leaf").is_empty());
+    }
+
+    #[test]
+    fn opt_is_zero_or_one() {
+        let g = sample();
+        let r = PathRegex::Opt(Box::new(PathRegex::Label("a".into())));
+        let out = eval(&g, &r, "root");
+        assert!(out.contains(&node(&g, "root")));
+        assert!(out.contains(&node(&g, "mid")));
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn unknown_label_matches_nothing() {
+        let g = sample();
+        let r = PathRegex::Label("never-interned".into());
+        assert!(eval(&g, &r, "root").is_empty());
+    }
+
+    #[test]
+    fn atomic_start_only_matches_zero_length() {
+        let g = sample();
+        let star = Nfa::compile(&PathRegex::Star(Box::new(PathRegex::Any)), &g);
+        let v = Value::string("atom");
+        assert_eq!(star.eval_from(&g, &v), vec![v.clone()]);
+        let one = Nfa::compile(&PathRegex::Any, &g);
+        assert!(one.eval_from(&g, &v).is_empty());
+    }
+
+    #[test]
+    fn connects_checks_pairs() {
+        let g = sample();
+        let star = Nfa::compile(&PathRegex::Star(Box::new(PathRegex::Any)), &g);
+        assert!(star.connects(&g, &node(&g, "root"), &Value::string("end")));
+        assert!(!star.connects(&g, &node(&g, "leaf"), &node(&g, "root")));
+    }
+
+    #[test]
+    fn single_step_detection() {
+        assert_eq!(
+            PathRegex::Label("a".into()).as_single_step(),
+            Some(StepPred::Label("a".into()))
+        );
+        assert_eq!(PathRegex::Any.as_single_step(), Some(StepPred::Any));
+        assert_eq!(
+            PathRegex::Star(Box::new(PathRegex::Any)).as_single_step(),
+            None
+        );
+    }
+
+    #[test]
+    fn nested_star_terminates() {
+        let g = sample();
+        let r = PathRegex::Star(Box::new(PathRegex::Star(Box::new(PathRegex::Label(
+            "a".into(),
+        )))));
+        let out = eval(&g, &r, "root");
+        assert!(out.contains(&node(&g, "root")));
+        assert!(out.contains(&node(&g, "mid")));
+    }
+}

@@ -1,0 +1,33 @@
+//! Template errors.
+
+use std::fmt;
+
+/// A template parse or generation error.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TemplateError {
+    /// 1-based line in the template source (0 for generation errors).
+    pub line: u32,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl TemplateError {
+    pub(crate) fn new(line: u32, message: impl Into<String>) -> Self {
+        TemplateError {
+            line,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for TemplateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line > 0 {
+            write!(f, "template error at line {}: {}", self.line, self.message)
+        } else {
+            write!(f, "template error: {}", self.message)
+        }
+    }
+}
+
+impl std::error::Error for TemplateError {}

@@ -1,0 +1,44 @@
+//! HTML escaping.
+
+/// Escapes text for inclusion in HTML element content or attribute values.
+pub fn escape_html(s: &str) -> String {
+    // Fast path: nothing to escape.
+    if !s.bytes().any(|b| matches!(b, b'&' | b'<' | b'>' | b'"' | b'\'')) {
+        return s.to_owned();
+    }
+    let mut out = String::with_capacity(s.len() + 8);
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            '\'' => out.push_str("&#39;"),
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_special_characters() {
+        assert_eq!(
+            escape_html(r#"<a href="x">&'</a>"#),
+            "&lt;a href=&quot;x&quot;&gt;&amp;&#39;&lt;/a&gt;"
+        );
+    }
+
+    #[test]
+    fn plain_text_is_unchanged() {
+        assert_eq!(escape_html("plain text"), "plain text");
+    }
+
+    #[test]
+    fn unicode_passes_through() {
+        assert_eq!(escape_html("café 🦀"), "café 🦀");
+    }
+}

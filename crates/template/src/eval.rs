@@ -1,0 +1,258 @@
+//! Template evaluation: renders template nodes for one object into HTML.
+
+use crate::ast::*;
+use crate::error::TemplateError;
+use crate::escape::escape_html;
+use crate::generate::GenCtx;
+use strudel_graph::{coerce, FileKind, Graph, Oid, Value};
+
+/// The evaluation environment for one render: the current object and the
+/// enclosing `<SFOR>` bindings.
+pub(crate) struct Env {
+    pub current: Oid,
+    pub loops: Vec<(String, Value)>,
+}
+
+impl Env {
+    fn lookup(&self, var: &str) -> Option<&Value> {
+        self.loops
+            .iter()
+            .rev()
+            .find(|(name, _)| name == var)
+            .map(|(_, v)| v)
+    }
+}
+
+/// Renders a node list into `out`.
+pub(crate) fn render_nodes(
+    nodes: &[Node],
+    env: &mut Env,
+    graph: &Graph,
+    ctx: &mut GenCtx<'_>,
+    out: &mut String,
+) -> Result<(), TemplateError> {
+    for node in nodes {
+        match node {
+            Node::Text(t) => out.push_str(t),
+            Node::Fmt { expr, directives } => {
+                let mut values = eval_attr_expr(expr, env, graph, ctx)?;
+                if let Some(dir) = directives.order {
+                    if directives.key.is_some() {
+                        for v in &values {
+                            if let Value::Node(o) = v {
+                                ctx.note_dep(*o);
+                            }
+                        }
+                    }
+                    sort_values(&mut values, dir, directives.key.as_deref(), graph);
+                }
+                if directives.multi() {
+                    match directives.list {
+                        Some(kind) => {
+                            let (open, close) = match kind {
+                                ListKind::Unordered => ("<ul>\n", "</ul>\n"),
+                                ListKind::Ordered => ("<ol>\n", "</ol>\n"),
+                            };
+                            out.push_str(open);
+                            for v in &values {
+                                out.push_str("<li>");
+                                render_value(v, directives.embed, graph, ctx, out)?;
+                                out.push_str("</li>\n");
+                            }
+                            out.push_str(close);
+                        }
+                        None => {
+                            let delim = directives.delim.as_deref().unwrap_or("");
+                            for (i, v) in values.iter().enumerate() {
+                                if i > 0 {
+                                    out.push_str(delim);
+                                }
+                                render_value(v, directives.embed, graph, ctx, out)?;
+                            }
+                        }
+                    }
+                } else if let Some(v) = values.first() {
+                    render_value(v, directives.embed, graph, ctx, out)?;
+                }
+            }
+            Node::If { cond, then, else_ } => {
+                let values = eval_attr_expr(cond, env, graph, ctx)?;
+                let branch = if values.is_empty() { else_ } else { then };
+                render_nodes(branch, env, graph, ctx, out)?;
+            }
+            Node::For {
+                var,
+                expr,
+                delim,
+                order,
+                key,
+                body,
+            } => {
+                let mut values = eval_attr_expr(expr, env, graph, ctx)?;
+                if let Some(dir) = order {
+                    if key.is_some() {
+                        for v in &values {
+                            if let Value::Node(o) = v {
+                                ctx.note_dep(*o);
+                            }
+                        }
+                    }
+                    sort_values(&mut values, *dir, key.as_deref(), graph);
+                }
+                for (i, v) in values.into_iter().enumerate() {
+                    if i > 0 {
+                        if let Some(d) = delim {
+                            out.push_str(d);
+                        }
+                    }
+                    env.loops.push((var.clone(), v));
+                    let r = render_nodes(body, env, graph, ctx, out);
+                    env.loops.pop();
+                    r?;
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Evaluates an attribute expression to its list of values, in edge order.
+/// Every node whose attributes are read is recorded as a dependency of the
+/// page under construction.
+pub(crate) fn eval_attr_expr(
+    expr: &AttrExpr,
+    env: &Env,
+    graph: &Graph,
+    ctx: &mut GenCtx<'_>,
+) -> Result<Vec<Value>, TemplateError> {
+    let mut values: Vec<Value> = match &expr.base {
+        Base::CurrentObject => vec![Value::Node(env.current)],
+        Base::LoopVar(v) => {
+            let val = env.lookup(v).ok_or_else(|| {
+                TemplateError::new(0, format!("loop variable '${v}' is not in scope"))
+            })?;
+            vec![val.clone()]
+        }
+    };
+    for attr in &expr.path {
+        let mut next = Vec::new();
+        for v in &values {
+            if let Value::Node(o) = v {
+                ctx.note_dep(*o);
+                next.extend(graph.attr_str(*o, attr).cloned());
+            }
+        }
+        values = next;
+    }
+    Ok(values)
+}
+
+/// Sorts values for ORDER=: by a KEY attribute when the values are objects,
+/// else by the values themselves, with dynamic coercion and a structural
+/// fallback so the order is total and deterministic.
+fn sort_values(values: &mut [Value], dir: OrderDir, key: Option<&str>, graph: &Graph) {
+    let sort_key = |v: &Value| -> Value {
+        match (key, v) {
+            (Some(k), Value::Node(o)) => graph
+                .first_attr_str(*o, k)
+                .cloned()
+                .unwrap_or_else(|| v.clone()),
+            _ => v.clone(),
+        }
+    };
+    values.sort_by(|a, b| {
+        let (ka, kb) = (sort_key(a), sort_key(b));
+        let ord = coerce::compare(&ka, &kb).unwrap_or_else(|| ka.cmp(&kb));
+        match dir {
+            OrderDir::Ascend => ord,
+            OrderDir::Descend => ord.reverse(),
+        }
+    });
+}
+
+/// Renders one value: atomic values inline, objects as links or (with
+/// EMBED) inline renderings of their own templates.
+fn render_value(
+    v: &Value,
+    embed: bool,
+    graph: &Graph,
+    ctx: &mut GenCtx<'_>,
+    out: &mut String,
+) -> Result<(), TemplateError> {
+    match v {
+        Value::Node(o) => {
+            ctx.note_dep(*o);
+            if embed && !ctx.embedding(*o) {
+                ctx.render_embedded(*o, graph, out)
+            } else {
+                let href = ctx.realize(*o, graph);
+                let text = link_text(graph, *o);
+                out.push_str("<a href=\"");
+                out.push_str(&escape_html(&href));
+                out.push_str("\">");
+                out.push_str(&escape_html(&text));
+                out.push_str("</a>");
+                Ok(())
+            }
+        }
+        Value::Url(u) => {
+            out.push_str("<a href=\"");
+            out.push_str(&escape_html(u));
+            out.push_str("\">");
+            out.push_str(&escape_html(u));
+            out.push_str("</a>");
+            Ok(())
+        }
+        Value::File(f) if f.kind == FileKind::Image => {
+            out.push_str("<img src=\"");
+            out.push_str(&escape_html(&f.path));
+            out.push_str("\" alt=\"");
+            out.push_str(&escape_html(&f.path));
+            out.push_str("\">");
+            Ok(())
+        }
+        Value::File(f) => {
+            if embed {
+                match ctx.resolve_file(&f.path) {
+                    Some(contents) => {
+                        out.push_str("<blockquote>");
+                        out.push_str(&escape_html(&contents));
+                        out.push_str("</blockquote>");
+                    }
+                    None => {
+                        out.push_str("<blockquote data-src=\"");
+                        out.push_str(&escape_html(&f.path));
+                        out.push_str("\"></blockquote>");
+                    }
+                }
+            } else {
+                out.push_str("<a href=\"");
+                out.push_str(&escape_html(&f.path));
+                out.push_str("\">");
+                out.push_str(&escape_html(&f.path));
+                out.push_str("</a>");
+            }
+            Ok(())
+        }
+        atomic => {
+            out.push_str(&escape_html(&atomic.display_text()));
+            Ok(())
+        }
+    }
+}
+
+/// Human-readable link text for an object: its `title`, `name`, or `label`
+/// attribute, else its symbolic name, else its oid.
+pub(crate) fn link_text(graph: &Graph, oid: Oid) -> String {
+    for attr in ["title", "name", "label"] {
+        if let Some(v) = graph.first_attr_str(oid, attr) {
+            if v.is_atomic() {
+                return v.display_text().into_owned();
+            }
+        }
+    }
+    match graph.node_name(oid) {
+        Some(n) => n.to_owned(),
+        None => oid.to_string(),
+    }
+}

@@ -1,0 +1,854 @@
+//! The site HTML generator.
+//!
+//! Takes a site graph, a [`TemplateSet`], and a set of root objects, and
+//! produces the browsable web site: one HTML page per *realized* object.
+//! Realization is decided during generation (§2.4): the roots are pages,
+//! and every object rendered by a format expression *without* `EMBED`
+//! becomes a page too, reached by a hyperlink. Objects rendered with
+//! `EMBED` stay page components.
+
+use crate::ast::Template;
+use crate::error::TemplateError;
+use crate::eval::{link_text, render_nodes, Env};
+use crate::parser::parse_template;
+use std::collections::{HashMap, HashSet, VecDeque};
+use strudel_graph::{Graph, Oid, Value};
+
+/// A registry of named templates plus the selection rules of §2.4.
+///
+/// Selection order for an object:
+/// 1. a template assigned to the object by name
+///    ([`TemplateSet::assign_object`]);
+/// 2. the template named by the object's `html-template` attribute;
+/// 3. the template assigned to a collection the object belongs to (first
+///    collection in declaration order wins);
+/// 4. the default template, if set;
+/// 5. a built-in attribute listing.
+#[derive(Clone, Debug, Default)]
+pub struct TemplateSet {
+    templates: HashMap<String, Template>,
+    object_assignments: HashMap<String, String>,
+    collection_assignments: HashMap<String, String>,
+    default: Option<String>,
+}
+
+impl TemplateSet {
+    /// An empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Parses and registers a named template.
+    pub fn add_template(&mut self, name: &str, src: &str) -> Result<(), TemplateError> {
+        let t = parse_template(src)?;
+        self.templates.insert(name.to_owned(), t);
+        Ok(())
+    }
+
+    /// Assigns a registered template to an object (by the object's
+    /// symbolic name).
+    pub fn assign_object(&mut self, object_name: &str, template: &str) {
+        self.object_assignments
+            .insert(object_name.to_owned(), template.to_owned());
+    }
+
+    /// Assigns a registered template to every member of a collection.
+    pub fn assign_collection(&mut self, collection: &str, template: &str) {
+        self.collection_assignments
+            .insert(collection.to_owned(), template.to_owned());
+    }
+
+    /// Sets the fallback template.
+    pub fn set_default(&mut self, template: &str) {
+        self.default = Some(template.to_owned());
+    }
+
+    /// Number of registered templates (a T1 site statistic).
+    pub fn template_count(&self) -> usize {
+        self.templates.len()
+    }
+
+    /// Total source lines across registered templates (a T1 site
+    /// statistic).
+    pub fn total_line_count(&self) -> usize {
+        self.templates.values().map(|t| t.line_count).sum()
+    }
+
+    /// Selects the template for `oid`, per the §2.4 rules. `None` means
+    /// "use the built-in default rendering".
+    fn select<'s>(
+        &'s self,
+        graph: &Graph,
+        oid: Oid,
+    ) -> Result<Option<&'s Template>, TemplateError> {
+        let by_name = |name: &str| -> Result<&'s Template, TemplateError> {
+            self.templates.get(name).ok_or_else(|| {
+                TemplateError::new(0, format!("no template named '{name}' is registered"))
+            })
+        };
+        if let Some(obj_name) = graph.node_name(oid) {
+            if let Some(t) = self.object_assignments.get(obj_name) {
+                return by_name(t).map(Some);
+            }
+        }
+        if let Some(Value::Str(name)) = graph.first_attr_str(oid, "html-template") {
+            return by_name(name).map(Some);
+        }
+        for (cid, cname) in graph.collections() {
+            if !self.collection_assignments.contains_key(cname) {
+                continue;
+            }
+            if graph.in_collection(cid, &Value::Node(oid)) {
+                return by_name(&self.collection_assignments[cname]).map(Some);
+            }
+        }
+        if let Some(d) = &self.default {
+            return by_name(d).map(Some);
+        }
+        Ok(None)
+    }
+}
+
+/// One generated page.
+#[derive(Clone, Debug)]
+pub struct Page {
+    /// The realized object.
+    pub oid: Oid,
+    /// The page's file name, e.g. `YearPage_1998.html`.
+    pub name: String,
+    /// The page's HTML.
+    pub html: String,
+    /// Every object whose content this page read while rendering — the
+    /// dependency set driving incremental regeneration.
+    pub deps: Vec<Oid>,
+}
+
+/// The generated site.
+#[derive(Clone, Debug, Default)]
+pub struct SiteOutput {
+    /// Pages in realization order (roots first).
+    pub pages: Vec<Page>,
+}
+
+impl SiteOutput {
+    /// The page realizing `oid`, if any.
+    pub fn page_for(&self, oid: Oid) -> Option<&Page> {
+        self.pages.iter().find(|p| p.oid == oid)
+    }
+
+    /// A page by file name.
+    pub fn page_named(&self, name: &str) -> Option<&Page> {
+        self.pages.iter().find(|p| p.name == name)
+    }
+
+    /// Total HTML bytes.
+    pub fn total_bytes(&self) -> usize {
+        self.pages.iter().map(|p| p.html.len()).sum()
+    }
+
+    /// Pages whose dependency sets intersect `changed` — the pages an
+    /// incremental regeneration must re-render.
+    pub fn affected_pages(&self, changed: &[Oid]) -> Vec<Oid> {
+        self.pages
+            .iter()
+            .filter(|p| changed.iter().any(|c| p.deps.contains(c)))
+            .map(|p| p.oid)
+            .collect()
+    }
+
+    /// Checks every intra-site link: returns `(page, href)` pairs whose
+    /// `href` names a generated page that does not exist. External links
+    /// (containing `://`) and non-`.html` targets are skipped. An empty
+    /// result is the §6.2 connectedness story at the HTML level.
+    pub fn broken_links(&self) -> Vec<(String, String)> {
+        let known: std::collections::HashSet<&str> =
+            self.pages.iter().map(|p| p.name.as_str()).collect();
+        let mut out = Vec::new();
+        for p in &self.pages {
+            let mut rest = p.html.as_str();
+            while let Some(i) = rest.find("href=\"") {
+                rest = &rest[i + 6..];
+                let Some(end) = rest.find('"') else { break };
+                let href = &rest[..end];
+                if href.ends_with(".html")
+                    && !href.contains("://")
+                    && !known.contains(href)
+                {
+                    out.push((p.name.clone(), href.to_owned()));
+                }
+                rest = &rest[end..];
+            }
+        }
+        out
+    }
+
+    /// Writes every page into `dir` (created if missing).
+    pub fn write_to_dir(&self, dir: &std::path::Path) -> std::io::Result<()> {
+        std::fs::create_dir_all(dir)?;
+        for p in &self.pages {
+            std::fs::write(dir.join(&p.name), &p.html)?;
+        }
+        Ok(())
+    }
+}
+
+/// Resolves external file references for `EMBED` of text files.
+pub type FileResolver<'a> = dyn Fn(&str) -> Option<String> + 'a;
+
+/// The HTML generator.
+pub struct HtmlGenerator<'g> {
+    graph: &'g Graph,
+    templates: &'g TemplateSet,
+    file_resolver: Option<&'g FileResolver<'g>>,
+}
+
+impl<'g> HtmlGenerator<'g> {
+    /// A generator over `graph` using `templates`.
+    pub fn new(graph: &'g Graph, templates: &'g TemplateSet) -> Self {
+        HtmlGenerator {
+            graph,
+            templates,
+            file_resolver: None,
+        }
+    }
+
+    /// Supplies a resolver used to inline the contents of text files on
+    /// `EMBED` (e.g. paper abstracts).
+    pub fn with_file_resolver(mut self, resolver: &'g FileResolver<'g>) -> Self {
+        self.file_resolver = Some(resolver);
+        self
+    }
+
+    /// Generates the site starting from `roots`.
+    pub fn generate(&self, roots: &[Oid]) -> Result<SiteOutput, TemplateError> {
+        self.generate_inner(roots, None, &[])
+    }
+
+    /// Incrementally regenerates `previous` after the objects in `changed`
+    /// were modified: only pages whose dependency sets intersect `changed`
+    /// (plus any newly reachable pages) are re-rendered; the rest are
+    /// carried over verbatim, with stable page names.
+    ///
+    /// This is the §1 promise "to update a site incrementally when changes
+    /// occur in the underlying data", applied to the presentation stage;
+    /// pair it with [`incremental_update`] in the schema crate for the
+    /// site-graph stage.
+    ///
+    /// [`incremental_update`]: ../strudel_schema/incremental/fn.incremental_update.html
+    pub fn regenerate(
+        &self,
+        previous: &SiteOutput,
+        changed: &[Oid],
+    ) -> Result<SiteOutput, TemplateError> {
+        let dirty: HashSet<Oid> = previous.affected_pages(changed).into_iter().collect();
+        let roots: Vec<Oid> = previous.pages.iter().map(|p| p.oid).collect();
+        self.generate_inner(&roots, Some(previous), &dirty.into_iter().collect::<Vec<_>>())
+    }
+
+    fn generate_inner(
+        &self,
+        roots: &[Oid],
+        previous: Option<&SiteOutput>,
+        dirty: &[Oid],
+    ) -> Result<SiteOutput, TemplateError> {
+        let mut ctx = GenCtx {
+            templates: self.templates,
+            file_resolver: self.file_resolver,
+            page_names: HashMap::new(),
+            used_names: HashSet::new(),
+            worklist: VecDeque::new(),
+            embed_stack: Vec::new(),
+            current_deps: HashSet::new(),
+            skip: HashSet::new(),
+        };
+        if let Some(prev) = previous {
+            // Keep page names stable, carry clean pages over, and enqueue
+            // everything (realize() short-circuits on known names, so the
+            // previous inventory is enqueued explicitly).
+            for p in &prev.pages {
+                ctx.page_names.insert(p.oid, p.name.clone());
+                ctx.used_names.insert(p.name.clone());
+                ctx.worklist.push_back(p.oid);
+                if !dirty.contains(&p.oid) {
+                    ctx.skip.insert(p.oid);
+                }
+            }
+        }
+        for &r in roots {
+            ctx.realize(r, self.graph);
+        }
+        let mut out = SiteOutput::default();
+        let mut done: HashSet<Oid> = HashSet::new();
+        while let Some(oid) = ctx.worklist.pop_front() {
+            if !done.insert(oid) {
+                continue;
+            }
+            if ctx.skip.contains(&oid) {
+                let prev_page = previous
+                    .and_then(|p| p.page_for(oid))
+                    .expect("skipped pages come from the previous output");
+                out.pages.push(prev_page.clone());
+                continue;
+            }
+            let name = ctx.page_names[&oid].clone();
+            ctx.current_deps.clear();
+            let html = ctx.render_page(oid, self.graph)?;
+            let mut deps: Vec<Oid> = ctx.current_deps.iter().copied().collect();
+            deps.sort_unstable();
+            out.pages.push(Page { oid, name, html, deps });
+        }
+        Ok(out)
+    }
+}
+
+/// Mutable generation state shared across pages; crate-internal, used by
+/// the evaluator to realize links and render embeds.
+pub(crate) struct GenCtx<'g> {
+    templates: &'g TemplateSet,
+    file_resolver: Option<&'g FileResolver<'g>>,
+    page_names: HashMap<Oid, String>,
+    used_names: HashSet<String>,
+    worklist: VecDeque<Oid>,
+    embed_stack: Vec<Oid>,
+    /// Objects read while rendering the current page.
+    current_deps: HashSet<Oid>,
+    /// Pages already rendered (by a previous run) that need no re-render.
+    skip: HashSet<Oid>,
+}
+
+impl<'g> GenCtx<'g> {
+    /// Marks `oid` as realized (a page) and returns its file name.
+    pub(crate) fn realize(&mut self, oid: Oid, graph: &Graph) -> String {
+        if let Some(n) = self.page_names.get(&oid) {
+            return n.clone();
+        }
+        let base = match graph.node_name(oid) {
+            Some(n) => sanitize(n),
+            None => format!("object_{}", oid.index()),
+        };
+        let mut name = format!("{base}.html");
+        let mut counter = 1;
+        while !self.used_names.insert(name.clone()) {
+            name = format!("{base}_{counter}.html");
+            counter += 1;
+        }
+        self.page_names.insert(oid, name.clone());
+        self.worklist.push_back(oid);
+        name
+    }
+
+    /// Whether `oid` is already being embedded (cycle guard).
+    pub(crate) fn embedding(&self, oid: Oid) -> bool {
+        self.embed_stack.contains(&oid)
+    }
+
+    /// Records that the current page read `oid`'s content.
+    pub(crate) fn note_dep(&mut self, oid: Oid) {
+        self.current_deps.insert(oid);
+    }
+
+    pub(crate) fn resolve_file(&self, path: &str) -> Option<String> {
+        self.file_resolver.and_then(|f| f(path))
+    }
+
+    /// Renders `oid` inline (EMBED).
+    pub(crate) fn render_embedded(
+        &mut self,
+        oid: Oid,
+        graph: &Graph,
+        out: &mut String,
+    ) -> Result<(), TemplateError> {
+        self.embed_stack.push(oid);
+        let r = self.render_body(oid, graph, out);
+        self.embed_stack.pop();
+        r
+    }
+
+    /// Renders a full page for `oid`. The page's own object joins the
+    /// embed stack so a template that (transitively) embeds its own page
+    /// degrades to a link instead of recursing.
+    fn render_page(&mut self, oid: Oid, graph: &Graph) -> Result<String, TemplateError> {
+        let mut out = String::with_capacity(512);
+        self.embed_stack.push(oid);
+        let r = self.render_body(oid, graph, &mut out);
+        self.embed_stack.pop();
+        r?;
+        Ok(out)
+    }
+
+    fn render_body(
+        &mut self,
+        oid: Oid,
+        graph: &Graph,
+        out: &mut String,
+    ) -> Result<(), TemplateError> {
+        self.note_dep(oid);
+        match self.templates.select(graph, oid)? {
+            Some(template) => {
+                // Clone the node list handle: rendering needs &mut self
+                // while the template borrows the set. Templates are shared
+                // and immutable, so a shallow clone of the Vec is the
+                // simplest sound option and template bodies are small.
+                let nodes = template.nodes.clone();
+                let mut env = Env {
+                    current: oid,
+                    loops: Vec::new(),
+                };
+                render_nodes(&nodes, &mut env, graph, self, out)
+            }
+            None => {
+                self.render_default(oid, graph, out);
+                Ok(())
+            }
+        }
+    }
+
+    /// The built-in default rendering: a definition list of the object's
+    /// attributes.
+    fn render_default(&mut self, oid: Oid, graph: &Graph, out: &mut String) {
+        use crate::escape::escape_html;
+        let title = link_text(graph, oid);
+        out.push_str("<html><head><title>");
+        out.push_str(&escape_html(&title));
+        out.push_str("</title></head><body><h1>");
+        out.push_str(&escape_html(&title));
+        out.push_str("</h1>\n<dl>\n");
+        for e in graph.edges(oid) {
+            out.push_str("<dt>");
+            out.push_str(&escape_html(graph.label_name(e.label)));
+            out.push_str("</dt><dd>");
+            match &e.to {
+                Value::Node(o) => {
+                    self.note_dep(*o);
+                    let href = self.realize(*o, graph);
+                    let text = link_text(graph, *o);
+                    out.push_str("<a href=\"");
+                    out.push_str(&escape_html(&href));
+                    out.push_str("\">");
+                    out.push_str(&escape_html(&text));
+                    out.push_str("</a>");
+                }
+                atomic => out.push_str(&escape_html(&atomic.display_text())),
+            }
+            out.push_str("</dd>\n");
+        }
+        out.push_str("</dl></body></html>\n");
+    }
+}
+
+fn sanitize(name: &str) -> String {
+    let mut out: String = name
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect();
+    if out.is_empty() {
+        out.push('p');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use strudel_graph::{FileKind, Graph};
+
+    /// A tiny two-publication site graph shaped like Fig. 4.
+    fn site() -> (Graph, Oid) {
+        let mut g = Graph::new();
+        let root = g.add_named_node("RootPage");
+        let pres1 = g.add_named_node("Pres_p1");
+        let pres2 = g.add_named_node("Pres_p2");
+        g.add_edge_str(root, "title", Value::string("Home"));
+        g.add_edge_str(root, "Paper", Value::Node(pres1));
+        g.add_edge_str(root, "Paper", Value::Node(pres2));
+        g.add_edge_str(pres1, "title", Value::string("First <paper>"));
+        g.add_edge_str(pres1, "year", Value::Int(1998));
+        g.add_edge_str(pres1, "author", Value::string("Mary"));
+        g.add_edge_str(pres1, "author", Value::string("Dan"));
+        g.add_edge_str(pres1, "abstract", Value::file(FileKind::Text, "abs/p1.txt"));
+        g.add_edge_str(pres2, "title", Value::string("Second"));
+        g.add_edge_str(pres2, "year", Value::Int(1997));
+        g.collect_str("Presentations", pres1);
+        g.collect_str("Presentations", pres2);
+        g.collect_str("Roots", root);
+        (g, root)
+    }
+
+    #[test]
+    fn generates_pages_for_linked_objects() {
+        let (g, root) = site();
+        let mut ts = TemplateSet::new();
+        ts.add_template(
+            "root",
+            "<html><h1><SFMT title></h1><SFMT Paper ENUM DELIM=\", \"></html>",
+        )
+        .unwrap();
+        ts.add_template("pres", "<h2><SFMT title></h2>Year: <SFMT year>")
+            .unwrap();
+        ts.assign_object("RootPage", "root");
+        ts.assign_collection("Presentations", "pres");
+
+        let out = HtmlGenerator::new(&g, &ts).generate(&[root]).unwrap();
+        assert_eq!(out.pages.len(), 3, "root + two linked presentations");
+        let root_page = out.page_for(root).unwrap();
+        assert!(root_page.html.contains("<h1>Home</h1>"));
+        // Links use escaped titles and .html names.
+        assert!(root_page.html.contains("First &lt;paper&gt;"));
+        assert!(root_page.html.contains("Pres_p1.html"));
+        let p1 = out.page_named("Pres_p1.html").unwrap();
+        assert!(p1.html.contains("Year: 1998"));
+    }
+
+    #[test]
+    fn embed_inlines_instead_of_linking() {
+        let (g, root) = site();
+        let mut ts = TemplateSet::new();
+        ts.add_template("root", "<SFMT Paper ENUM EMBED>").unwrap();
+        ts.add_template("pres", "[<SFMT title>]").unwrap();
+        ts.assign_object("RootPage", "root");
+        ts.assign_collection("Presentations", "pres");
+
+        let out = HtmlGenerator::new(&g, &ts).generate(&[root]).unwrap();
+        assert_eq!(out.pages.len(), 1, "embedded objects are not pages");
+        assert!(out.pages[0].html.contains("[First &lt;paper&gt;][Second]"));
+    }
+
+    #[test]
+    fn html_template_attribute_selects() {
+        let (mut g, root) = site();
+        g.add_edge_str(root, "html-template", Value::string("special"));
+        let mut ts = TemplateSet::new();
+        ts.add_template("special", "SPECIAL <SFMT title>").unwrap();
+        let out = HtmlGenerator::new(&g, &ts).generate(&[root]).unwrap();
+        assert!(out.page_for(root).unwrap().html.starts_with("SPECIAL"));
+    }
+
+    #[test]
+    fn object_assignment_beats_collection_assignment() {
+        let (g, root) = site();
+        let mut ts = TemplateSet::new();
+        ts.add_template("obj", "OBJ").unwrap();
+        ts.add_template("coll", "COLL").unwrap();
+        ts.assign_object("RootPage", "obj");
+        ts.assign_collection("Roots", "coll");
+        let out = HtmlGenerator::new(&g, &ts).generate(&[root]).unwrap();
+        assert_eq!(out.page_for(root).unwrap().html, "OBJ");
+    }
+
+    #[test]
+    fn default_rendering_lists_attributes() {
+        let (g, root) = site();
+        let ts = TemplateSet::new();
+        let out = HtmlGenerator::new(&g, &ts).generate(&[root]).unwrap();
+        let html = &out.page_for(root).unwrap().html;
+        assert!(html.contains("<dt>Paper</dt>"));
+        assert!(html.contains("<dt>title</dt>"));
+        // Default rendering realizes node targets as pages too.
+        assert_eq!(out.pages.len(), 3);
+    }
+
+    #[test]
+    fn missing_template_is_an_error() {
+        let (g, root) = site();
+        let mut ts = TemplateSet::new();
+        ts.assign_object("RootPage", "ghost");
+        assert!(HtmlGenerator::new(&g, &ts).generate(&[root]).is_err());
+    }
+
+    #[test]
+    fn sfor_enumerates_with_delims() {
+        let (g, _root) = site();
+        let p1 = g.node_by_name("Pres_p1").unwrap();
+        let mut ts = TemplateSet::new();
+        ts.add_template("pres", r#"<SFOR a IN author DELIM="; ">(<SFMT $a>)</SFOR>"#)
+            .unwrap();
+        ts.assign_collection("Presentations", "pres");
+        let out = HtmlGenerator::new(&g, &ts).generate(&[p1]).unwrap();
+        assert!(out.pages[0].html.contains("(Mary); (Dan)"));
+    }
+
+    #[test]
+    fn sif_takes_else_branch_when_empty() {
+        let (g, _) = site();
+        let p2 = g.node_by_name("Pres_p2").unwrap();
+        let mut ts = TemplateSet::new();
+        ts.add_template(
+            "pres",
+            "<SIF abstract>has abstract<SELSE>no abstract</SIF>",
+        )
+        .unwrap();
+        ts.assign_collection("Presentations", "pres");
+        let out = HtmlGenerator::new(&g, &ts).generate(&[p2]).unwrap();
+        assert!(out.pages[0].html.contains("no abstract"));
+        let p1 = g.node_by_name("Pres_p1").unwrap();
+        let out = HtmlGenerator::new(&g, &ts).generate(&[p1]).unwrap();
+        assert!(out.pages[0].html.contains("has abstract"));
+    }
+
+    #[test]
+    fn order_sorts_by_key() {
+        let (g, root) = site();
+        let mut ts = TemplateSet::new();
+        ts.add_template("root", "<SFMT Paper UL ORDER=ascend KEY=year>")
+            .unwrap();
+        ts.add_template("pres", "x").unwrap();
+        ts.assign_object("RootPage", "root");
+        ts.assign_collection("Presentations", "pres");
+        let out = HtmlGenerator::new(&g, &ts).generate(&[root]).unwrap();
+        let html = &out.page_for(root).unwrap().html;
+        let pos_97 = html.find("Second").unwrap();
+        let pos_98 = html.find("First").unwrap();
+        assert!(pos_97 < pos_98, "1997 paper sorts before 1998: {html}");
+        assert!(html.contains("<ul>"));
+        assert!(html.contains("<li>"));
+    }
+
+    #[test]
+    fn order_descend_reverses() {
+        let (g, root) = site();
+        let mut ts = TemplateSet::new();
+        ts.add_template("root", "<SFMT Paper ENUM ORDER=descend KEY=year DELIM=\"|\">")
+            .unwrap();
+        ts.add_template("pres", "x").unwrap();
+        ts.assign_object("RootPage", "root");
+        ts.assign_collection("Presentations", "pres");
+        let out = HtmlGenerator::new(&g, &ts).generate(&[root]).unwrap();
+        let html = &out.page_for(root).unwrap().html;
+        assert!(html.find("First").unwrap() < html.find("Second").unwrap());
+    }
+
+    #[test]
+    fn embed_cycles_degrade_to_links() {
+        let mut g = Graph::new();
+        let a = g.add_named_node("a");
+        let b = g.add_named_node("b");
+        g.add_edge_str(a, "next", Value::Node(b));
+        g.add_edge_str(b, "next", Value::Node(a));
+        let mut ts = TemplateSet::new();
+        ts.add_template("t", "(<SFMT next EMBED>)").unwrap();
+        ts.set_default("t");
+        let out = HtmlGenerator::new(&g, &ts).generate(&[a]).unwrap();
+        let html = &out.page_for(a).unwrap().html;
+        // a embeds b, which would embed a again → link instead.
+        assert!(html.contains("a.html"), "{html}");
+    }
+
+    #[test]
+    fn file_resolver_inlines_text_files() {
+        let (g, _) = site();
+        let p1 = g.node_by_name("Pres_p1").unwrap();
+        let mut ts = TemplateSet::new();
+        ts.add_template("pres", "<SFMT abstract EMBED>").unwrap();
+        ts.assign_collection("Presentations", "pres");
+        let resolver = |path: &str| {
+            if path == "abs/p1.txt" {
+                Some("the abstract text".to_string())
+            } else {
+                None
+            }
+        };
+        let out = HtmlGenerator::new(&g, &ts)
+            .with_file_resolver(&resolver)
+            .generate(&[p1])
+            .unwrap();
+        assert!(out.pages[0]
+            .html
+            .contains("<blockquote>the abstract text</blockquote>"));
+    }
+
+    #[test]
+    fn images_render_as_img_tags() {
+        let mut g = Graph::new();
+        let n = g.add_named_node("n");
+        g.add_edge_str(n, "pic", Value::file(FileKind::Image, "me.gif"));
+        let mut ts = TemplateSet::new();
+        ts.add_template("t", "<SFMT pic>").unwrap();
+        ts.set_default("t");
+        let out = HtmlGenerator::new(&g, &ts).generate(&[n]).unwrap();
+        assert!(out.pages[0].html.contains("<img src=\"me.gif\""));
+    }
+
+    #[test]
+    fn urls_render_as_anchors() {
+        let mut g = Graph::new();
+        let n = g.add_named_node("n");
+        g.add_edge_str(n, "home", Value::url("http://example.org"));
+        let mut ts = TemplateSet::new();
+        ts.add_template("t", "<SFMT home>").unwrap();
+        ts.set_default("t");
+        let out = HtmlGenerator::new(&g, &ts).generate(&[n]).unwrap();
+        assert!(out.pages[0]
+            .html
+            .contains("<a href=\"http://example.org\">http://example.org</a>"));
+    }
+
+    #[test]
+    fn page_names_deduplicate() {
+        let mut g = Graph::new();
+        let a = g.add_node(); // anonymous
+        let b = g.add_node();
+        g.add_edge_str(a, "x", Value::Int(1));
+        g.add_edge_str(b, "x", Value::Int(2));
+        let ts = TemplateSet::new();
+        let out = HtmlGenerator::new(&g, &ts).generate(&[a, b]).unwrap();
+        let names: HashSet<&str> = out.pages.iter().map(|p| p.name.as_str()).collect();
+        assert_eq!(names.len(), 2);
+    }
+
+    #[test]
+    fn attribute_paths_navigate() {
+        let (g, root) = site();
+        let mut ts = TemplateSet::new();
+        ts.add_template("root", "<SFMT Paper.title ENUM DELIM=\"/\">")
+            .unwrap();
+        ts.assign_object("RootPage", "root");
+        ts.add_template("x", "x").unwrap();
+        ts.assign_collection("Presentations", "x");
+        let out = HtmlGenerator::new(&g, &ts).generate(&[root]).unwrap();
+        let html = &out.page_for(root).unwrap().html;
+        assert!(html.contains("First &lt;paper&gt;/Second"));
+    }
+
+    #[test]
+    fn write_to_dir_round_trips(){
+        let (g, root) = site();
+        let ts = TemplateSet::new();
+        let out = HtmlGenerator::new(&g, &ts).generate(&[root]).unwrap();
+        let dir = std::env::temp_dir().join(format!("strudel-gen-{}", std::process::id()));
+        out.write_to_dir(&dir).unwrap();
+        let on_disk = std::fs::read_to_string(dir.join(&out.pages[0].name)).unwrap();
+        assert_eq!(on_disk, out.pages[0].html);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn regenerate_rerenders_only_affected_pages() {
+        let (mut g, root) = site();
+        let mut ts = TemplateSet::new();
+        ts.add_template(
+            "root",
+            "<html><h1><SFMT title></h1><SFMT Paper ENUM DELIM=\", \"></html>",
+        )
+        .unwrap();
+        ts.add_template("pres", "<h2><SFMT title></h2>Year: <SFMT year>")
+            .unwrap();
+        ts.assign_object("RootPage", "root");
+        ts.assign_collection("Presentations", "pres");
+
+        let first = HtmlGenerator::new(&g, &ts).generate(&[root]).unwrap();
+        assert_eq!(first.pages.len(), 3);
+
+        // Change pres2's year; only its own page and the root (which links
+        // to it and reads its title) can be affected.
+        let p2 = g.node_by_name("Pres_p2").unwrap();
+        let year = g.label("year").unwrap();
+        g.remove_edge(p2, year, &Value::Int(1997));
+        g.add_edge(p2, year, Value::Int(1999));
+
+        let affected = first.affected_pages(&[p2]);
+        assert!(affected.contains(&p2));
+
+        let second = HtmlGenerator::new(&g, &ts)
+            .regenerate(&first, &[p2])
+            .unwrap();
+        assert_eq!(second.pages.len(), 3);
+        // The untouched paper's page is carried over byte-identical; the
+        // changed paper re-rendered.
+        let p1 = g.node_by_name("Pres_p1").unwrap();
+        assert_eq!(
+            first.page_for(p1).unwrap().html,
+            second.page_for(p1).unwrap().html
+        );
+        assert!(second.page_for(p2).unwrap().html.contains("Year: 1999"));
+        assert!(first.page_for(p2).unwrap().html.contains("Year: 1997"));
+
+        // Regeneration equals a full re-render.
+        let full = HtmlGenerator::new(&g, &ts).generate(&[root]).unwrap();
+        for p in &full.pages {
+            assert_eq!(
+                p.html,
+                second.page_for(p.oid).unwrap().html,
+                "page {} diverged",
+                p.name
+            );
+        }
+    }
+
+    #[test]
+    fn regenerate_keeps_page_names_stable() {
+        let (g, root) = site();
+        let ts = TemplateSet::new();
+        let first = HtmlGenerator::new(&g, &ts).generate(&[root]).unwrap();
+        let second = HtmlGenerator::new(&g, &ts)
+            .regenerate(&first, &[root])
+            .unwrap();
+        for p in &first.pages {
+            assert_eq!(
+                second.page_for(p.oid).unwrap().name,
+                p.name,
+                "names must not shift between runs"
+            );
+        }
+    }
+
+    #[test]
+    fn deps_include_embedded_and_keyed_objects() {
+        let (g, root) = site();
+        let mut ts = TemplateSet::new();
+        ts.add_template("root", "<SFMT Paper UL ORDER=ascend KEY=year>")
+            .unwrap();
+        ts.add_template("pres", "x").unwrap();
+        ts.assign_object("RootPage", "root");
+        ts.assign_collection("Presentations", "pres");
+        let out = HtmlGenerator::new(&g, &ts).generate(&[root]).unwrap();
+        let root_page = out.page_for(root).unwrap();
+        let p1 = g.node_by_name("Pres_p1").unwrap();
+        let p2 = g.node_by_name("Pres_p2").unwrap();
+        assert!(root_page.deps.contains(&root));
+        assert!(root_page.deps.contains(&p1), "KEY read p1's year");
+        assert!(root_page.deps.contains(&p2));
+    }
+
+    #[test]
+    fn nested_sfor_shadows_loop_variables() {
+        let mut g = Graph::new();
+        let n = g.add_named_node("n");
+        g.add_edge_str(n, "x", Value::string("outer"));
+        let inner = g.add_node();
+        g.add_edge_str(inner, "x", Value::string("inner"));
+        g.add_edge_str(n, "child", Value::Node(inner));
+        let mut ts = TemplateSet::new();
+        // The inner loop rebinds $v; after it closes, $v is the outer
+        // binding again.
+        ts.add_template(
+            "t",
+            "<SFOR v IN x>[<SFMT $v>]<SFOR v IN child><SFOR v IN $v.x>(<SFMT $v>)</SFOR></SFOR>{<SFMT $v>}</SFOR>",
+        )
+        .unwrap();
+        ts.set_default("t");
+        let out = HtmlGenerator::new(&g, &ts).generate(&[n]).unwrap();
+        assert_eq!(out.pages[0].html, "[outer](inner){outer}");
+    }
+
+    #[test]
+    fn broken_links_detection() {
+        let (g, root) = site();
+        let ts = TemplateSet::new();
+        let mut out = HtmlGenerator::new(&g, &ts).generate(&[root]).unwrap();
+        assert!(out.broken_links().is_empty(), "{:?}", out.broken_links());
+        // Break it: drop a linked page.
+        out.pages.retain(|p| !p.name.starts_with("Pres_p1"));
+        let broken = out.broken_links();
+        assert_eq!(broken.len(), 1);
+        assert_eq!(broken[0].1, "Pres_p1.html");
+    }
+
+    #[test]
+    fn template_set_statistics() {
+        let mut ts = TemplateSet::new();
+        ts.add_template("a", "one\ntwo\nthree").unwrap();
+        ts.add_template("b", "one line").unwrap();
+        assert_eq!(ts.template_count(), 2);
+        assert_eq!(ts.total_line_count(), 4);
+    }
+}

@@ -1,0 +1,146 @@
+//! Synthetic BibTeX bibliographies.
+//!
+//! Shaped like the Fig. 2 data: irregular entries where `month`,
+//! `abstract`, `postscript`, and `url` may be missing, `booktitle` and
+//! `journal` are mutually exclusive per entry kind, and authors come in
+//! ordered lists of 1–4.
+
+use crate::text;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::fmt::Write;
+
+/// Generation parameters.
+#[derive(Clone, Debug)]
+pub struct BibConfig {
+    /// Number of entries.
+    pub entries: usize,
+    /// RNG seed.
+    pub seed: u64,
+    /// Distinct publication categories.
+    pub categories: usize,
+    /// Year range (inclusive).
+    pub years: (i64, i64),
+}
+
+impl Default for BibConfig {
+    fn default() -> Self {
+        BibConfig {
+            entries: 40,
+            seed: 1998,
+            categories: 5,
+            years: (1993, 1998),
+        }
+    }
+}
+
+const MONTHS: &[&str] = &[
+    "January", "February", "March", "April", "May", "June", "July", "August", "September",
+    "October", "November", "December",
+];
+
+/// Generates a BibTeX document.
+pub fn generate(cfg: &BibConfig) -> String {
+    let mut rng = SmallRng::seed_from_u64(cfg.seed);
+    let mut out = String::with_capacity(cfg.entries * 320);
+    out.push_str("% synthetic bibliography (strudel-workload)\n");
+    out.push_str("@string{sigmod = \"SIGMOD Conference\"}\n");
+    out.push_str("@string{vldb = \"VLDB Conference\"}\n\n");
+
+    let categories: Vec<String> = (0..cfg.categories.max(1))
+        .map(|_| text::word(&mut rng).to_owned())
+        .collect();
+
+    for i in 0..cfg.entries {
+        let key = format!("pub{i}");
+        let kind = match rng.gen_range(0..10) {
+            0..=5 => "inproceedings",
+            6..=8 => "article",
+            _ => "techreport",
+        };
+        writeln!(out, "@{kind}{{{key},").unwrap();
+        let title_len = rng.gen_range(3..9);
+        writeln!(out, "  title = {{{}}},", text::title(&mut rng, title_len)).unwrap();
+        let author_count = rng.gen_range(1..=4usize);
+        let authors: Vec<String> = (0..author_count)
+            .map(|_| text::person_name(&mut rng))
+            .collect();
+        writeln!(out, "  author = {{{}}},", authors.join(" and ")).unwrap();
+        let year = rng.gen_range(cfg.years.0..=cfg.years.1);
+        writeln!(out, "  year = {year},").unwrap();
+        match kind {
+            "inproceedings" => {
+                let venue = if rng.gen_bool(0.5) { "sigmod" } else { "vldb" };
+                writeln!(out, "  booktitle = {venue},").unwrap();
+            }
+            "article" => {
+                writeln!(out, "  journal = {{{} Journal}},", text::title(&mut rng, 2)).unwrap();
+            }
+            _ => {
+                writeln!(out, "  institution = {{AT\\&T Labs}},").unwrap();
+            }
+        }
+        if rng.gen_bool(0.5) {
+            writeln!(out, "  month = {{{}}},", MONTHS[rng.gen_range(0..12)]).unwrap();
+        }
+        if rng.gen_bool(0.7) {
+            writeln!(out, "  abstract = {{abstracts/{key}.txt}},").unwrap();
+        }
+        if rng.gen_bool(0.5) {
+            writeln!(out, "  postscript = {{papers/{key}.ps}},").unwrap();
+        }
+        if rng.gen_bool(0.3) {
+            writeln!(out, "  url = {{http://www.research.att.com/papers/{key}}},").unwrap();
+        }
+        writeln!(
+            out,
+            "  category = {{{}}}",
+            categories[rng.gen_range(0..categories.len())]
+        )
+        .unwrap();
+        out.push_str("}\n\n");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_requested_entry_count() {
+        let cfg = BibConfig {
+            entries: 25,
+            ..Default::default()
+        };
+        let src = generate(&cfg);
+        assert_eq!(src.matches("@inproceedings").count()
+            + src.matches("@article").count()
+            + src.matches("@techreport").count(), 25);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let cfg = BibConfig::default();
+        assert_eq!(generate(&cfg), generate(&cfg));
+        let other = BibConfig {
+            seed: 7,
+            ..Default::default()
+        };
+        assert_ne!(generate(&cfg), generate(&other));
+    }
+
+    #[test]
+    fn exhibits_irregularity() {
+        let cfg = BibConfig {
+            entries: 60,
+            ..Default::default()
+        };
+        let src = generate(&cfg);
+        // Some entries carry month, some do not; both venue styles occur.
+        let months = src.matches("  month").count();
+        assert!(months > 5 && months < 55, "months = {months}");
+        assert!(src.contains("booktitle"));
+        assert!(src.contains("journal"));
+    }
+}

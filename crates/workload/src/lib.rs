@@ -1,0 +1,26 @@
+//! # strudel-workload
+//!
+//! Deterministic synthetic corpora standing in for the paper's proprietary
+//! data sources (see DESIGN.md, "Substitutions"):
+//!
+//! * [`bib`] — BibTeX bibliographies (the authors' publication lists
+//!   behind the homepage sites of §2.3/§5.1);
+//! * [`org`] — an AT&T-Labs-shaped organization: ~400 people, departments,
+//!   projects, and demos across **five** sources in three formats
+//!   (relational CSV, structured record files, legacy HTML), matching
+//!   "the AT&T Research site integrated five data sources" (§6.1);
+//! * [`news`] — a CNN-shaped corpus of HTML article pages with categories,
+//!   related-story links, and images (§5.1 wrapped ~300 articles).
+//!
+//! Everything is generated from a seed (`SmallRng::seed_from_u64`), so
+//! experiments are reproducible run to run; irregularity rates (missing
+//! attributes, extra attributes, mixed types) follow §6.3's taxonomy of
+//! real-world irregularity.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bib;
+pub mod news;
+pub mod org;
+pub mod text;

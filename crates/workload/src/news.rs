@@ -1,0 +1,172 @@
+//! A synthetic CNN-shaped news corpus: HTML article pages.
+//!
+//! The paper's CNN demonstration mapped "about 300 articles" from existing
+//! HTML pages into a data graph; each article "appears in various formats
+//! on multiple pages" and is "linked to many other pages" — complex but
+//! *uniform* disposition, the sweet spot of Fig. 8. The generator emits
+//! article pages with category/date metadata, body paragraphs, an optional
+//! image, and related-story links inside and across categories.
+
+use crate::text;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::fmt::Write;
+
+/// Generation parameters.
+#[derive(Clone, Debug)]
+pub struct NewsConfig {
+    /// Number of articles (the paper's corpus was ~300).
+    pub articles: usize,
+    /// Number of categories (news, sports, weather, …).
+    pub categories: usize,
+    /// Body paragraphs per article.
+    pub paragraphs: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for NewsConfig {
+    fn default() -> Self {
+        NewsConfig {
+            articles: 300,
+            categories: 8,
+            paragraphs: 4,
+            seed: 217,
+        }
+    }
+}
+
+/// Canonical category names, cycled when more are requested.
+pub const CATEGORY_NAMES: &[&str] = &[
+    "world", "us", "sports", "weather", "sci-tech", "showbiz", "travel", "health", "style",
+    "local",
+];
+
+/// The generated corpus.
+#[derive(Clone, Debug)]
+pub struct NewsData {
+    /// `(file name, html)` article pages.
+    pub pages: Vec<(String, String)>,
+    /// Category names used.
+    pub categories: Vec<String>,
+}
+
+/// Generates the corpus.
+pub fn generate(cfg: &NewsConfig) -> NewsData {
+    let mut rng = SmallRng::seed_from_u64(cfg.seed);
+    let categories: Vec<String> = (0..cfg.categories.max(1))
+        .map(|i| {
+            let base = CATEGORY_NAMES[i % CATEGORY_NAMES.len()];
+            if i < CATEGORY_NAMES.len() {
+                base.to_owned()
+            } else {
+                format!("{base}{}", i / CATEGORY_NAMES.len())
+            }
+        })
+        .collect();
+
+    let names: Vec<String> = (0..cfg.articles)
+        .map(|i| format!("article{i}.html"))
+        .collect();
+    let mut pages = Vec::with_capacity(cfg.articles);
+    for (i, name) in names.iter().enumerate() {
+        let category = &categories[rng.gen_range(0..categories.len())];
+        let headline_len = rng.gen_range(4..9);
+        let headline = text::title(&mut rng, headline_len);
+        let day = rng.gen_range(1..29);
+        let month = rng.gen_range(1..13);
+        let mut html = String::with_capacity(1024);
+        writeln!(html, "<html><head><title>{headline}</title>").unwrap();
+        writeln!(html, "<meta name=\"category\" content=\"{category}\">").unwrap();
+        writeln!(
+            html,
+            "<meta name=\"date\" content=\"1998-{month:02}-{day:02}\">"
+        )
+        .unwrap();
+        writeln!(html, "<meta name=\"byline\" content=\"{}\">", text::person_name(&mut rng))
+            .unwrap();
+        writeln!(html, "</head><body>").unwrap();
+        writeln!(html, "<h1>{headline}</h1>").unwrap();
+        if rng.gen_bool(0.6) {
+            writeln!(html, "<img src=\"images/article{i}.jpg\" alt=\"photo\">").unwrap();
+        }
+        for _ in 0..cfg.paragraphs {
+            let plen = rng.gen_range(14..30);
+            writeln!(html, "<p>{}</p>", text::sentence(&mut rng, plen)).unwrap();
+        }
+        // Related stories: mostly earlier articles so links resolve within
+        // the corpus; one external link.
+        let related = rng.gen_range(1..4usize);
+        for _ in 0..related {
+            if i > 0 {
+                let j = rng.gen_range(0..i);
+                writeln!(
+                    html,
+                    "<p>Related: <a href=\"{}\">{}</a></p>",
+                    names[j],
+                    text::title(&mut rng, 4)
+                )
+                .unwrap();
+            }
+        }
+        writeln!(
+            html,
+            "<p><a href=\"http://www.example.com/{category}\">More {category} news</a></p>"
+        )
+        .unwrap();
+        writeln!(html, "</body></html>").unwrap();
+        pages.push((name.clone(), html));
+    }
+    NewsData { pages, categories }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_scale_default() {
+        let d = generate(&NewsConfig::default());
+        assert_eq!(d.pages.len(), 300);
+        assert_eq!(d.categories.len(), 8);
+    }
+
+    #[test]
+    fn deterministic() {
+        let cfg = NewsConfig {
+            articles: 20,
+            ..Default::default()
+        };
+        assert_eq!(generate(&cfg).pages, generate(&cfg).pages);
+    }
+
+    #[test]
+    fn pages_carry_article_structure() {
+        let d = generate(&NewsConfig {
+            articles: 30,
+            ..Default::default()
+        });
+        let (_, html) = &d.pages[10];
+        assert!(html.contains("<title>"));
+        assert!(html.contains("meta name=\"category\""));
+        assert!(html.contains("<h1>"));
+        assert!(html.contains("<p>"));
+        // Internal related links resolve within the corpus.
+        assert!(d
+            .pages
+            .iter()
+            .skip(1)
+            .any(|(_, h)| h.contains("<a href=\"article")));
+    }
+
+    #[test]
+    fn extra_categories_get_suffixed_names() {
+        let d = generate(&NewsConfig {
+            articles: 1,
+            categories: 12,
+            ..Default::default()
+        });
+        assert_eq!(d.categories.len(), 12);
+        assert!(d.categories.contains(&"world1".to_string()));
+    }
+}

@@ -1,0 +1,250 @@
+//! A synthetic AT&T-Labs-shaped organization, as **five sources** in three
+//! formats (the AT&T Research site "integrated five data sources", §6.1):
+//!
+//! 1. `people.csv` — relational: id, name, dept, room, phone, homepage
+//!    (phone/room/homepage irregularly missing);
+//! 2. `departments.csv` — relational: id, name, director (a people id);
+//! 3. `projects.rec` — structured records: members, synopsis (sometimes
+//!    omitted — the paper's exact example), sponsor (not all projects are
+//!    sponsored — also the paper's example);
+//! 4. `demos.rec` — structured records: demos linked to projects;
+//! 5. legacy HTML pages — one hand-written-style page per department.
+//!
+//! A fraction of people are `internal-only` (proprietary visibility), the
+//! hook for the internal/external site versions of §5.1.
+
+use crate::text;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::fmt::Write;
+
+/// Generation parameters.
+#[derive(Clone, Debug)]
+pub struct OrgConfig {
+    /// Number of organization members (the paper's internal site served
+    /// "approximately 400 users").
+    pub people: usize,
+    /// Number of departments.
+    pub departments: usize,
+    /// Number of projects.
+    pub projects: usize,
+    /// Number of demos.
+    pub demos: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for OrgConfig {
+    fn default() -> Self {
+        OrgConfig {
+            people: 400,
+            departments: 8,
+            projects: 40,
+            demos: 20,
+            seed: 42,
+        }
+    }
+}
+
+/// The five generated sources.
+#[derive(Clone, Debug)]
+pub struct OrgData {
+    /// Source 1: people table (CSV).
+    pub people_csv: String,
+    /// Source 2: departments table (CSV).
+    pub departments_csv: String,
+    /// Source 3: project record file.
+    pub projects_rec: String,
+    /// Source 4: demo record file.
+    pub demos_rec: String,
+    /// Source 5: legacy department HTML pages as `(file name, html)`.
+    pub legacy_html: Vec<(String, String)>,
+    /// All people ids, in order.
+    pub people_ids: Vec<String>,
+    /// All department ids.
+    pub department_ids: Vec<String>,
+    /// All project ids.
+    pub project_ids: Vec<String>,
+}
+
+/// Generates the organization.
+pub fn generate(cfg: &OrgConfig) -> OrgData {
+    let mut rng = SmallRng::seed_from_u64(cfg.seed);
+    let departments = cfg.departments.max(1);
+
+    let department_ids: Vec<String> = (0..departments).map(|i| format!("dept{i}")).collect();
+
+    // People.
+    let mut people_csv =
+        String::from("id,name,dept,room:string,phone,homepage:url,visibility\n");
+    let mut people_ids = Vec::with_capacity(cfg.people);
+    let mut people_names = Vec::with_capacity(cfg.people);
+    for i in 0..cfg.people {
+        let name = text::person_name(&mut rng);
+        let id = text::login(&name, i);
+        let dept = &department_ids[rng.gen_range(0..departments)];
+        let room = if rng.gen_bool(0.9) {
+            format!("B-{}", rng.gen_range(100..400))
+        } else {
+            String::new()
+        };
+        let phone = if rng.gen_bool(0.8) {
+            format!("{}", rng.gen_range(5_550_000..5_559_999))
+        } else {
+            String::new()
+        };
+        let homepage = if rng.gen_bool(0.6) {
+            format!("http://www.research.example.com/~{id}")
+        } else {
+            String::new()
+        };
+        let visibility = if rng.gen_bool(0.15) { "internal" } else { "public" };
+        writeln!(
+            people_csv,
+            "{id},{name},{dept},{room},{phone},{homepage},{visibility}"
+        )
+        .unwrap();
+        people_ids.push(id);
+        people_names.push(name);
+    }
+
+    // Departments.
+    let mut departments_csv = String::from("id,name,director\n");
+    for d in &department_ids {
+        let director = &people_ids[rng.gen_range(0..people_ids.len())];
+        writeln!(
+            departments_csv,
+            "{d},{} Research,{director}",
+            text::title(&mut rng, 1)
+        )
+        .unwrap();
+    }
+
+    // Projects.
+    let mut projects_rec = String::from("# synthetic projects\n");
+    let mut project_ids = Vec::with_capacity(cfg.projects);
+    for i in 0..cfg.projects {
+        let id = format!("proj{i}");
+        writeln!(projects_rec, "id: {id}").unwrap();
+        writeln!(projects_rec, "name: {}", text::title(&mut rng, 2)).unwrap();
+        writeln!(
+            projects_rec,
+            "dept: {}",
+            department_ids[rng.gen_range(0..departments)]
+        )
+        .unwrap();
+        for _ in 0..rng.gen_range(1..6usize) {
+            writeln!(
+                projects_rec,
+                "member: {}",
+                people_ids[rng.gen_range(0..people_ids.len())]
+            )
+            .unwrap();
+        }
+        if rng.gen_bool(0.75) {
+            // "some projects omitted the synopsis attribute" (§6.3)
+            writeln!(projects_rec, "synopsis: {}", text::sentence(&mut rng, 12)).unwrap();
+        }
+        if rng.gen_bool(0.4) {
+            // "not all projects in AT&T are sponsored" (§6.3)
+            writeln!(projects_rec, "sponsor: {} Fund", text::title(&mut rng, 1)).unwrap();
+        }
+        projects_rec.push('\n');
+        project_ids.push(id);
+    }
+
+    // Demos.
+    let mut demos_rec = String::from("# synthetic demos\n");
+    for i in 0..cfg.demos {
+        writeln!(demos_rec, "id: demo{i}").unwrap();
+        writeln!(demos_rec, "name: {} Demo", text::title(&mut rng, 2)).unwrap();
+        if !project_ids.is_empty() {
+            writeln!(
+                demos_rec,
+                "project: {}",
+                project_ids[rng.gen_range(0..project_ids.len())]
+            )
+            .unwrap();
+        }
+        writeln!(demos_rec, "url: http://demos.example.com/demo{i}").unwrap();
+        demos_rec.push('\n');
+    }
+
+    // Legacy HTML, one page per department.
+    let legacy_html: Vec<(String, String)> = department_ids
+        .iter()
+        .map(|d| {
+            let mut html = String::new();
+            writeln!(html, "<html><head><title>About {d}</title>").unwrap();
+            writeln!(html, "<meta name=\"dept\" content=\"{d}\"></head><body>").unwrap();
+            writeln!(html, "<h1>About {d}</h1>").unwrap();
+            for _ in 0..3 {
+                writeln!(html, "<p>{}</p>", text::sentence(&mut rng, 18)).unwrap();
+            }
+            writeln!(html, "</body></html>").unwrap();
+            (format!("about_{d}.html"), html)
+        })
+        .collect();
+
+    OrgData {
+        people_csv,
+        departments_csv,
+        projects_rec,
+        demos_rec,
+        legacy_html,
+        people_ids,
+        department_ids,
+        project_ids,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_scale_default() {
+        let d = generate(&OrgConfig::default());
+        assert_eq!(d.people_ids.len(), 400);
+        assert_eq!(d.department_ids.len(), 8);
+        assert_eq!(d.legacy_html.len(), 8);
+        // Header + 400 rows.
+        assert_eq!(d.people_csv.lines().count(), 401);
+    }
+
+    #[test]
+    fn deterministic() {
+        let cfg = OrgConfig {
+            people: 30,
+            seed: 9,
+            ..Default::default()
+        };
+        let a = generate(&cfg);
+        let b = generate(&cfg);
+        assert_eq!(a.people_csv, b.people_csv);
+        assert_eq!(a.projects_rec, b.projects_rec);
+    }
+
+    #[test]
+    fn irregular_fields_occur() {
+        let d = generate(&OrgConfig::default());
+        // Some rows have an empty phone cell (two adjacent commas).
+        assert!(d.people_csv.lines().skip(1).any(|l| l.contains(",,")));
+        // Some projects have no synopsis.
+        let blocks: Vec<&str> = d.projects_rec.split("\n\n").collect();
+        assert!(blocks.iter().any(|b| !b.contains("synopsis:") && b.contains("id:")));
+        assert!(blocks.iter().any(|b| b.contains("sponsor:")));
+        assert!(blocks.iter().any(|b| !b.contains("sponsor:") && b.contains("id:")));
+    }
+
+    #[test]
+    fn internal_visibility_fraction() {
+        let d = generate(&OrgConfig::default());
+        let internal = d
+            .people_csv
+            .lines()
+            .filter(|l| l.ends_with(",internal"))
+            .count();
+        assert!(internal > 20 && internal < 120, "internal = {internal}");
+    }
+}

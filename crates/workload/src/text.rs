@@ -1,0 +1,123 @@
+//! Deterministic filler-text generation.
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+const WORDS: &[&str] = &[
+    "data", "graph", "query", "site", "web", "page", "link", "view", "node", "edge", "schema",
+    "label", "value", "model", "index", "semi", "structured", "declarative", "management",
+    "system", "language", "template", "object", "collection", "attribute", "path", "expression",
+    "integration", "mediator", "wrapper", "repository", "evaluation", "optimizer", "constraint",
+    "incremental", "dynamic", "static", "browse", "article", "report", "research", "project",
+    "network", "protocol", "storage", "engine", "analysis", "update", "version",
+];
+
+const FIRST_NAMES: &[&str] = &[
+    "Mary", "Daniela", "Jaewoo", "Alon", "Dan", "Ada", "Grace", "Alan", "Edsger", "Barbara",
+    "Donald", "Leslie", "Tony", "John", "Edgar", "Jim", "Michael", "Hector", "Jennifer", "David",
+    "Serge", "Victor", "Moshe", "Ron", "Rakesh", "Jeff", "Pat", "Raghu", "Joe", "Christos",
+];
+
+const LAST_NAMES: &[&str] = &[
+    "Fernandez", "Florescu", "Kang", "Levy", "Suciu", "Lovelace", "Hopper", "Turing", "Liskov",
+    "Knuth", "Lamport", "Hoare", "Codd", "Gray", "Stonebraker", "Garcia-Molina", "Widom",
+    "DeWitt", "Abiteboul", "Vianu", "Vardi", "Fagin", "Agrawal", "Ullman", "Selinger",
+    "Ramakrishnan", "Hellerstein", "Papadimitriou", "Bernstein", "Naughton",
+];
+
+/// A random dictionary word.
+pub fn word(rng: &mut SmallRng) -> &'static str {
+    WORDS[rng.gen_range(0..WORDS.len())]
+}
+
+/// `n` space-separated words.
+pub fn words(rng: &mut SmallRng, n: usize) -> String {
+    let mut out = String::with_capacity(n * 8);
+    for i in 0..n {
+        if i > 0 {
+            out.push(' ');
+        }
+        out.push_str(word(rng));
+    }
+    out
+}
+
+/// A title-cased phrase of `n` words.
+pub fn title(rng: &mut SmallRng, n: usize) -> String {
+    let mut out = String::with_capacity(n * 8);
+    for i in 0..n {
+        if i > 0 {
+            out.push(' ');
+        }
+        let w = word(rng);
+        let mut chars = w.chars();
+        if let Some(c) = chars.next() {
+            out.extend(c.to_uppercase());
+            out.push_str(chars.as_str());
+        }
+    }
+    out
+}
+
+/// A sentence of `n` words with a capital and a period.
+pub fn sentence(rng: &mut SmallRng, n: usize) -> String {
+    let mut s = title(rng, 1);
+    if n > 1 {
+        s.push(' ');
+        s.push_str(&words(rng, n - 1));
+    }
+    s.push('.');
+    s
+}
+
+/// A person name, `First Last`.
+pub fn person_name(rng: &mut SmallRng) -> String {
+    format!(
+        "{} {}",
+        FIRST_NAMES[rng.gen_range(0..FIRST_NAMES.len())],
+        LAST_NAMES[rng.gen_range(0..LAST_NAMES.len())]
+    )
+}
+
+/// A short lowercase identifier like `mff` derived from a name plus an
+/// index for uniqueness.
+pub fn login(name: &str, index: usize) -> String {
+    let initials: String = name
+        .split_whitespace()
+        .filter_map(|w| w.chars().next())
+        .flat_map(|c| c.to_lowercase())
+        .collect();
+    format!("{initials}{index}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn deterministic_for_a_seed() {
+        let mut a = SmallRng::seed_from_u64(7);
+        let mut b = SmallRng::seed_from_u64(7);
+        assert_eq!(words(&mut a, 10), words(&mut b, 10));
+        assert_eq!(person_name(&mut a), person_name(&mut b));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = SmallRng::seed_from_u64(1);
+        let mut b = SmallRng::seed_from_u64(2);
+        assert_ne!(words(&mut a, 20), words(&mut b, 20));
+    }
+
+    #[test]
+    fn shapes() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        assert_eq!(words(&mut rng, 5).split(' ').count(), 5);
+        let t = title(&mut rng, 3);
+        assert!(t.chars().next().unwrap().is_uppercase());
+        let s = sentence(&mut rng, 6);
+        assert!(s.ends_with('.'));
+        assert_eq!(login("Mary Fernandez", 3), "mf3");
+    }
+}

@@ -1,0 +1,40 @@
+//! Wrapper errors.
+
+use std::fmt;
+
+/// An error translating an external source into a data graph.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WrapError {
+    /// Which wrapper failed.
+    pub wrapper: &'static str,
+    /// 1-based line in the source input (0 when not applicable).
+    pub line: u32,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl WrapError {
+    pub(crate) fn new(wrapper: &'static str, line: u32, message: impl Into<String>) -> Self {
+        WrapError {
+            wrapper,
+            line,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for WrapError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line > 0 {
+            write!(
+                f,
+                "{} wrapper error at line {}: {}",
+                self.wrapper, self.line, self.message
+            )
+        } else {
+            write!(f, "{} wrapper error: {}", self.wrapper, self.message)
+        }
+    }
+}
+
+impl std::error::Error for WrapError {}

@@ -1,0 +1,425 @@
+//! HTML wrapper: existing web pages → data graph.
+//!
+//! The CNN demonstration site (§5.1) was built by mapping ~300 existing
+//! HTML article pages into a data graph. This wrapper extracts the
+//! article-shaped structure of a page:
+//!
+//! * `<title>` → `title` attribute (falling back to the first `<h1>`);
+//! * `<h1>` → `headline`;
+//! * `<meta name="X" content="Y">` → attribute `X = Y` (CNN-style
+//!   category/date metadata);
+//! * `<p>` text → one `paragraph` edge per paragraph, in order;
+//! * `<img src>` → `image` file attributes;
+//! * `<a href>` → `link` edges: to the wrapped node of another document
+//!   when the href names one, else to a URL value.
+//!
+//! [`wrap_documents`] wraps a batch of named documents into one graph and
+//! resolves inter-document links in a second pass, which is exactly what a
+//! crawl of a site section needs.
+
+use crate::WrapError;
+use std::collections::HashMap;
+use strudel_graph::{FileKind, Graph, Oid, Value};
+
+/// One input document: a file name (used to resolve `href`s) and its HTML.
+#[derive(Clone, Debug)]
+pub struct HtmlDoc {
+    /// Document name, e.g. `world/article17.html`.
+    pub name: String,
+    /// The page's HTML text.
+    pub html: String,
+}
+
+impl HtmlDoc {
+    /// Converts `(name, html)` pairs — the shape corpus generators emit —
+    /// into documents.
+    pub fn from_pairs(pairs: &[(String, String)]) -> Vec<HtmlDoc> {
+        pairs
+            .iter()
+            .map(|(name, html)| HtmlDoc {
+                name: name.clone(),
+                html: html.clone(),
+            })
+            .collect()
+    }
+}
+
+/// Wraps a batch of HTML documents into a fresh graph. Each document
+/// becomes one object in `collection`; links between wrapped documents
+/// become node-valued `link` edges.
+pub fn wrap_documents(docs: &[HtmlDoc], collection: &str) -> Result<Graph, WrapError> {
+    let mut g = Graph::new();
+    let cid = g.intern_collection(collection);
+
+    // Pass 1: create a node per document so links can resolve.
+    let mut by_name: HashMap<&str, Oid> = HashMap::new();
+    for d in docs {
+        let node = g.add_named_node(&d.name);
+        g.collect(cid, Value::Node(node));
+        by_name.insert(d.name.as_str(), node);
+    }
+
+    // Pass 2: extract content.
+    for d in docs {
+        let node = by_name[d.name.as_str()];
+        let extracted = extract(&d.html);
+        if let Some(t) = &extracted.title {
+            g.add_edge_str(node, "title", Value::string(t.as_str()));
+        }
+        if let Some(h) = &extracted.headline {
+            g.add_edge_str(node, "headline", Value::string(h.as_str()));
+        }
+        for (k, v) in &extracted.meta {
+            g.add_edge_str(node, k, Value::string(v.as_str()));
+        }
+        for p in &extracted.paragraphs {
+            g.add_edge_str(node, "paragraph", Value::string(p.as_str()));
+        }
+        for img in &extracted.images {
+            g.add_edge_str(node, "image", Value::file(FileKind::Image, img.as_str()));
+        }
+        for href in &extracted.links {
+            match by_name.get(href.as_str()) {
+                Some(&target) => g.add_edge_str(node, "link", Value::Node(target)),
+                None => g.add_edge_str(node, "link", Value::url(href.as_str())),
+            }
+        }
+    }
+    Ok(g)
+}
+
+/// What [`extract`] pulls out of one page.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Extracted {
+    /// `<title>` text (or the first `<h1>` when absent).
+    pub title: Option<String>,
+    /// First `<h1>` text.
+    pub headline: Option<String>,
+    /// `<meta name content>` pairs in order.
+    pub meta: Vec<(String, String)>,
+    /// `<p>` texts in order.
+    pub paragraphs: Vec<String>,
+    /// `<img src>` values in order.
+    pub images: Vec<String>,
+    /// `<a href>` values in order.
+    pub links: Vec<String>,
+}
+
+/// Extracts article structure from HTML text. This is a pragmatic
+/// tokenizer, not a conforming HTML parser: tags and text are scanned
+/// left-to-right, entities `&amp; &lt; &gt; &quot; &#39;` are decoded,
+/// script/style contents are skipped.
+pub fn extract(html: &str) -> Extracted {
+    let mut out = Extracted::default();
+    let mut tok = Tokenizer { src: html, pos: 0 };
+    let mut text_sink: Option<Sink> = None;
+    let mut buffer = String::new();
+
+    while let Some(token) = tok.next_token() {
+        match token {
+            Token::Text(t) => {
+                if text_sink.is_some() {
+                    buffer.push_str(&decode_entities(&t));
+                }
+            }
+            Token::Open(name, attrs) => match name.as_str() {
+                "title" => text_sink = Some(Sink::Title),
+                "h1" => text_sink = Some(Sink::Headline),
+                "p" => text_sink = Some(Sink::Paragraph),
+                "meta" => {
+                    let mut n = None;
+                    let mut c = None;
+                    for (k, v) in &attrs {
+                        if k == "name" {
+                            n = Some(v.clone());
+                        }
+                        if k == "content" {
+                            c = Some(v.clone());
+                        }
+                    }
+                    if let (Some(n), Some(c)) = (n, c) {
+                        out.meta.push((n, decode_entities(&c)));
+                    }
+                }
+                "img" => {
+                    if let Some((_, v)) = attrs.iter().find(|(k, _)| k == "src") {
+                        out.images.push(v.clone());
+                    }
+                }
+                "a" => {
+                    if let Some((_, v)) = attrs.iter().find(|(k, _)| k == "href") {
+                        out.links.push(v.clone());
+                    }
+                }
+                "script" | "style" => tok.skip_until_close(&name),
+                _ => {}
+            },
+            Token::Close(name) => {
+                let matches_sink = matches!(
+                    (&text_sink, name.as_str()),
+                    (Some(Sink::Title), "title")
+                        | (Some(Sink::Headline), "h1")
+                        | (Some(Sink::Paragraph), "p")
+                );
+                if matches_sink {
+                    let text = normalize(&buffer);
+                    buffer.clear();
+                    match text_sink.take().expect("sink set") {
+                        Sink::Title => out.title = Some(text),
+                        Sink::Headline => out.headline = Some(text),
+                        Sink::Paragraph => {
+                            if !text.is_empty() {
+                                out.paragraphs.push(text);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    if out.title.is_none() {
+        out.title = out.headline.clone();
+    }
+    out
+}
+
+enum Sink {
+    Title,
+    Headline,
+    Paragraph,
+}
+
+enum Token {
+    Text(String),
+    Open(String, Vec<(String, String)>),
+    Close(String),
+}
+
+struct Tokenizer<'s> {
+    src: &'s str,
+    pos: usize,
+}
+
+impl<'s> Tokenizer<'s> {
+    fn next_token(&mut self) -> Option<Token> {
+        if self.pos >= self.src.len() {
+            return None;
+        }
+        let rest = &self.src[self.pos..];
+        if let Some(after) = rest.strip_prefix("<!--") {
+            match after.find("-->") {
+                Some(end) => {
+                    self.pos += 4 + end + 3;
+                    return self.next_token();
+                }
+                None => {
+                    self.pos = self.src.len();
+                    return None;
+                }
+            }
+        }
+        if rest.starts_with('<') {
+            let Some(end) = rest.find('>') else {
+                self.pos = self.src.len();
+                return None;
+            };
+            let inner = &rest[1..end];
+            self.pos += end + 1;
+            if let Some(name) = inner.strip_prefix('/') {
+                return Some(Token::Close(name.trim().to_ascii_lowercase()));
+            }
+            if inner.starts_with('!') || inner.starts_with('?') {
+                return self.next_token(); // doctype / processing instruction
+            }
+            let inner = inner.trim_end_matches('/');
+            let mut parts = inner.splitn(2, char::is_whitespace);
+            let name = parts.next().unwrap_or("").to_ascii_lowercase();
+            let attrs = parts.next().map(parse_attrs).unwrap_or_default();
+            Some(Token::Open(name, attrs))
+        } else {
+            let end = rest.find('<').unwrap_or(rest.len());
+            let text = rest[..end].to_owned();
+            self.pos += end;
+            Some(Token::Text(text))
+        }
+    }
+
+    /// Skips content up to and including `</name>` (for script/style).
+    fn skip_until_close(&mut self, name: &str) {
+        let closing = format!("</{name}");
+        let rest = &self.src[self.pos..];
+        let lower = rest.to_ascii_lowercase();
+        match lower.find(&closing) {
+            Some(i) => {
+                let after = &rest[i..];
+                match after.find('>') {
+                    Some(j) => self.pos += i + j + 1,
+                    None => self.pos = self.src.len(),
+                }
+            }
+            None => self.pos = self.src.len(),
+        }
+    }
+}
+
+fn parse_attrs(s: &str) -> Vec<(String, String)> {
+    let mut out = Vec::new();
+    let bytes = s.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        while i < bytes.len() && bytes[i].is_ascii_whitespace() {
+            i += 1;
+        }
+        let name_start = i;
+        while i < bytes.len() && !bytes[i].is_ascii_whitespace() && bytes[i] != b'=' {
+            i += 1;
+        }
+        if name_start == i {
+            break;
+        }
+        let name = s[name_start..i].to_ascii_lowercase();
+        while i < bytes.len() && bytes[i].is_ascii_whitespace() {
+            i += 1;
+        }
+        if i < bytes.len() && bytes[i] == b'=' {
+            i += 1;
+            while i < bytes.len() && bytes[i].is_ascii_whitespace() {
+                i += 1;
+            }
+            if i < bytes.len() && (bytes[i] == b'"' || bytes[i] == b'\'') {
+                let quote = bytes[i];
+                i += 1;
+                let val_start = i;
+                while i < bytes.len() && bytes[i] != quote {
+                    i += 1;
+                }
+                out.push((name, s[val_start..i].to_owned()));
+                i += 1; // closing quote
+            } else {
+                let val_start = i;
+                while i < bytes.len() && !bytes[i].is_ascii_whitespace() {
+                    i += 1;
+                }
+                out.push((name, s[val_start..i].to_owned()));
+            }
+        } else {
+            out.push((name, String::new()));
+        }
+    }
+    out
+}
+
+fn decode_entities(s: &str) -> String {
+    if !s.contains('&') {
+        return s.to_owned();
+    }
+    s.replace("&lt;", "<")
+        .replace("&gt;", ">")
+        .replace("&quot;", "\"")
+        .replace("&#39;", "'")
+        .replace("&nbsp;", " ")
+        .replace("&amp;", "&")
+}
+
+fn normalize(s: &str) -> String {
+    s.split_whitespace().collect::<Vec<_>>().join(" ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ARTICLE: &str = r#"<!DOCTYPE html>
+<html>
+<head>
+  <title>Flood waters rise &amp; recede</title>
+  <meta name="category" content="weather">
+  <meta name="date" content="1998-02-17">
+  <script>var x = "<p>not a paragraph</p>";</script>
+</head>
+<body>
+  <h1>Flood waters rise</h1>
+  <img src="images/flood.jpg" alt="flood">
+  <p>First  paragraph
+     spans lines.</p>
+  <p>Second paragraph with a <a href="related2.html">related story</a>.</p>
+  <!-- <p>commented out</p> -->
+  <p></p>
+  <a href="http://cnn.com/weather">section</a>
+</body>
+</html>"#;
+
+    #[test]
+    fn extracts_article_structure() {
+        let e = extract(ARTICLE);
+        assert_eq!(e.title.as_deref(), Some("Flood waters rise & recede"));
+        assert_eq!(e.headline.as_deref(), Some("Flood waters rise"));
+        assert_eq!(
+            e.meta,
+            vec![
+                ("category".to_string(), "weather".to_string()),
+                ("date".to_string(), "1998-02-17".to_string())
+            ]
+        );
+        assert_eq!(e.paragraphs.len(), 2, "empty paragraph dropped");
+        assert_eq!(e.paragraphs[0], "First paragraph spans lines.");
+        assert_eq!(e.images, vec!["images/flood.jpg"]);
+        assert_eq!(e.links, vec!["related2.html", "http://cnn.com/weather"]);
+    }
+
+    #[test]
+    fn script_content_is_skipped() {
+        let e = extract(ARTICLE);
+        assert!(e.paragraphs.iter().all(|p| !p.contains("not a paragraph")));
+    }
+
+    #[test]
+    fn title_falls_back_to_h1() {
+        let e = extract("<h1>Only headline</h1>");
+        assert_eq!(e.title.as_deref(), Some("Only headline"));
+    }
+
+    #[test]
+    fn wrap_documents_resolves_internal_links() {
+        let docs = vec![
+            HtmlDoc {
+                name: "a.html".into(),
+                html: "<title>A</title><p>x</p><a href=\"b.html\">b</a>".into(),
+            },
+            HtmlDoc {
+                name: "b.html".into(),
+                html: "<title>B</title><a href=\"http://other.example\">ext</a>".into(),
+            },
+        ];
+        let g = wrap_documents(&docs, "Articles").unwrap();
+        assert_eq!(g.members_str("Articles").len(), 2);
+        let a = g.node_by_name("a.html").unwrap();
+        let b = g.node_by_name("b.html").unwrap();
+        assert_eq!(g.first_attr_str(a, "link"), Some(&Value::Node(b)));
+        assert!(matches!(
+            g.first_attr_str(b, "link"),
+            Some(Value::Url(_))
+        ));
+        assert_eq!(g.first_attr_str(a, "title").unwrap().as_str(), Some("A"));
+    }
+
+    #[test]
+    fn unquoted_and_single_quoted_attrs() {
+        let e = extract("<img src=pic.gif><a href='x.html'>t</a>");
+        assert_eq!(e.images, vec!["pic.gif"]);
+        assert_eq!(e.links, vec!["x.html"]);
+    }
+
+    #[test]
+    fn malformed_html_does_not_panic() {
+        for bad in ["<", "<p", "<a href=\"unclosed", "</", "<!-- unclosed", "<p>text"] {
+            let _ = extract(bad);
+        }
+    }
+
+    #[test]
+    fn meta_without_name_or_content_is_ignored() {
+        let e = extract(r#"<meta charset="utf-8"><meta name="x"><meta content="y">"#);
+        assert!(e.meta.is_empty());
+    }
+}

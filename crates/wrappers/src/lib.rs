@@ -1,0 +1,31 @@
+//! # strudel-wrappers
+//!
+//! Source wrappers: translate external data representations into Strudel
+//! data graphs (§2.1). The paper's sites drew on four kinds of sources,
+//! each reproduced here:
+//!
+//! * [`bibtex`] — BibTeX bibliographies (the homepage sites of §2.3/§5.1).
+//!   A real BibTeX parser: entries, `@string` macros, brace/quote values,
+//!   `#` concatenation; authors split on `and` with integer order keys
+//!   (the §6.3 answer to ordering in an order-free model).
+//! * [`relational`] — relational tables as CSV (the personnel and
+//!   organization databases of the AT&T site). Empty cells produce *no*
+//!   edge: missing attributes are the semistructured way.
+//! * [`structured`] — key/value record files (the project files the paper
+//!   wrapped "with simple AWK programs").
+//! * [`html`] — existing HTML pages (the CNN demonstration site was built
+//!   by wrapping ~300 article pages).
+//!
+//! Every wrapper produces a [`Graph`](strudel_graph::Graph); the mediator
+//! imports wrapped graphs into the warehouse.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bibtex;
+mod error;
+pub mod html;
+pub mod relational;
+pub mod structured;
+
+pub use error::WrapError;

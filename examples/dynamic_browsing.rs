@@ -1,0 +1,69 @@
+//! Dynamic ("click-time") site evaluation (§2.5/§7): instead of
+//! materializing the whole site, serve each page's out-edges on demand
+//! from per-node incremental queries derived from the site schema —
+//! comparing the naive, context-seeded, and look-ahead strategies.
+//!
+//! ```text
+//! cargo run --release -p strudel-core --example dynamic_browsing
+//! ```
+
+use strudel::schema::dynamic::{DynTarget, DynamicSite, Mode, PageKey};
+use strudel::sites::news_site;
+use strudel_workload::news::{generate, NewsConfig};
+
+fn main() {
+    let corpus = generate(&NewsConfig {
+        articles: 500,
+        ..Default::default()
+    });
+    let site = news_site(&corpus.pages).build().expect("site builds");
+    let program = site.program.clone();
+
+    for mode in [Mode::Naive, Mode::Context, Mode::ContextLookahead] {
+        let mut engine = DynamicSite::new(&site.database, &program, mode);
+        let roots = engine.roots("FrontRoot").expect("roots");
+        let mut current: PageKey = roots[0].clone();
+        let mut visited = vec![current.clone()];
+
+        let start = std::time::Instant::now();
+        for _ in 0..20 {
+            let view = engine.visit(&current).expect("click");
+            // Follow the first link to an unvisited page, else jump home.
+            current = view
+                .edges
+                .iter()
+                .find_map(|(_, t)| match t {
+                    DynTarget::Page(k) if !visited.contains(k) => Some(k.clone()),
+                    _ => None,
+                })
+                .unwrap_or_else(|| roots[0].clone());
+            visited.push(current.clone());
+        }
+        let elapsed = start.elapsed();
+        let m = engine.metrics();
+        println!(
+            "{mode:?}: 20 clicks in {:.2}ms — {} guard evaluations, {} rows, {} cache hits, {} pages cached",
+            elapsed.as_secs_f64() * 1e3,
+            m.queries_run,
+            m.rows_produced,
+            m.cache_hits,
+            engine.cached_pages()
+        );
+    }
+
+    // Show one dynamically computed page.
+    let mut engine = DynamicSite::new(&site.database, &program, Mode::Context);
+    let article = site.database.graph().node_by_name("article7.html").unwrap();
+    let key = PageKey {
+        symbol: "ArticlePage".into(),
+        args: vec![strudel::graph::Value::Node(article)],
+    };
+    let view = engine.visit(&key).expect("click");
+    println!("\nArticlePage(article7.html) computed at click time:");
+    for (label, target) in view.edges.iter().take(8) {
+        match target {
+            DynTarget::Page(k) => println!("  {label} -> page {}({} args)", k.symbol, k.args.len()),
+            DynTarget::Data(v) => println!("  {label} -> {v}"),
+        }
+    }
+}

@@ -1,0 +1,258 @@
+//! Cross-crate property tests: randomized data graphs and queries flowing
+//! through the whole stack.
+
+use proptest::prelude::*;
+use strudel::repo::{Database, IndexLevel};
+use strudel::struql::{EvalOptions, Evaluator};
+use strudel_graph::{Graph, Value};
+
+/// A random Publications-like graph: `n` nodes, each with a random subset
+/// of attributes (the irregularity the system exists for).
+fn pub_graph() -> impl Strategy<Value = Graph> {
+    (
+        1usize..25,
+        prop::collection::vec(
+            (
+                prop::bool::ANY, // has year
+                1990i64..2000,
+                prop::bool::ANY, // has month
+                0usize..12,
+                prop::bool::ANY, // has category
+                0usize..4,
+                1usize..4, // authors
+            ),
+            1..25,
+        ),
+    )
+        .prop_map(|(_, rows)| {
+            let mut g = Graph::new();
+            const MONTHS: [&str; 12] = [
+                "Jan", "Feb", "Mar", "Apr", "May", "Jun", "Jul", "Aug", "Sep", "Oct", "Nov",
+                "Dec",
+            ];
+            const CATS: [&str; 4] = ["web", "db", "systems", "theory"];
+            for (i, (has_y, y, has_m, m, has_c, c, n_auth)) in rows.iter().enumerate() {
+                let node = g.add_named_node(&format!("p{i}"));
+                g.add_edge_str(node, "title", Value::string(format!("Title {i}")));
+                if *has_y {
+                    g.add_edge_str(node, "year", Value::Int(*y));
+                }
+                if *has_m {
+                    g.add_edge_str(node, "month", Value::string(MONTHS[*m]));
+                }
+                if *has_c {
+                    g.add_edge_str(node, "category", Value::string(CATS[*c]));
+                }
+                for a in 0..*n_auth {
+                    g.add_edge_str(node, "author", Value::string(format!("Author {a}")));
+                }
+                g.collect_str("Publications", node);
+            }
+            g
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The Fig. 3 query never fails on irregular data, and its output obeys
+    /// the structural invariants: one presentation per publication, one
+    /// year page per distinct year, presentations copy exactly their
+    /// publication's edges.
+    #[test]
+    fn homepage_query_invariants(g in pub_graph()) {
+        let db = Database::from_graph(g, IndexLevel::Full);
+        let program = strudel::struql::parse(strudel::sites::HOMEPAGE_QUERY).unwrap();
+        let r = Evaluator::new(&db).eval(&program).unwrap();
+
+        let pubs = db.graph().members_str("Publications").to_vec();
+        prop_assert_eq!(r.graph.members_str("PaperPages").len(), pubs.len());
+
+        let mut years = std::collections::HashSet::new();
+        for m in &pubs {
+            let o = m.as_node().unwrap();
+            for v in db.graph().attr_str(o, "year") {
+                years.insert(v.clone());
+            }
+            let pres = r.skolem_node("PaperPresentation", std::slice::from_ref(m)).unwrap();
+            prop_assert_eq!(r.graph.edges(pres).len(), db.graph().edges(o).len());
+        }
+        prop_assert_eq!(r.graph.members_str("YearPages").len(), years.len());
+    }
+
+    /// Optimized and unoptimized evaluation agree on arbitrary irregular
+    /// graphs, at every index level.
+    #[test]
+    fn plan_and_index_transparency(g in pub_graph()) {
+        let program = strudel::struql::parse(
+            r#"
+            where Publications(x), x -> "year" -> y, y >= 1995
+            create P(x), Y(y)
+            link Y(y) -> "paper" -> P(x)
+            collect Out(P(x))
+        "#,
+        )
+        .unwrap();
+        let mut results = Vec::new();
+        for level in [IndexLevel::None, IndexLevel::Full] {
+            for optimize in [false, true] {
+                let db = Database::from_graph(g.clone(), level);
+                let r = Evaluator::with_options(&db, EvalOptions { optimize })
+                    .eval(&program)
+                    .unwrap();
+                results.push((r.new_nodes.len(), r.graph.members_str("Out").len()));
+            }
+        }
+        prop_assert!(results.windows(2).all(|w| w[0] == w[1]), "{:?}", results);
+    }
+
+    /// Incremental maintenance equals full re-evaluation for arbitrary
+    /// single-publication inserts.
+    #[test]
+    fn incremental_equals_full(g in pub_graph(), year in 1990i64..2000) {
+        use strudel::schema::incremental::{graphs_equivalent, incremental_update};
+        let db = Database::from_graph(g, IndexLevel::Full);
+        let program = strudel::struql::parse(strudel::sites::HOMEPAGE_QUERY).unwrap();
+        let old = Evaluator::new(&db).eval(&program).unwrap();
+
+        let base = db.graph().node_count();
+        let mut delta = strudel_graph::GraphDelta::new();
+        delta.add_node(Some("fresh"));
+        let oid = strudel_graph::Oid::from_index(base);
+        delta.add_edge(oid, "title", Value::string("Fresh"));
+        delta.add_edge(oid, "year", Value::Int(year));
+        delta.collect("Publications", Value::Node(oid));
+
+        let inc = incremental_update(&program, &db, &delta, old).unwrap();
+        prop_assert!(!inc.full_reeval);
+
+        let mut g2 = db.graph().clone();
+        delta.apply(&mut g2).unwrap();
+        let db2 = Database::from_graph(g2, IndexLevel::Full);
+        let full = Evaluator::new(&db2).eval(&program).unwrap();
+        prop_assert!(graphs_equivalent(&inc.result.graph, &full.graph));
+    }
+
+    /// DRed deletions agree with full re-evaluation: for every Skolem key
+    /// the full evaluation produces, the incrementally maintained site has
+    /// the same out-edges; orphaned pages (keys absent from the full
+    /// evaluation) carry no derived content.
+    #[test]
+    fn dred_deletions_match_full(g in pub_graph(), victim in 0usize..25) {
+        use strudel::schema::incremental::incremental_update;
+        let pubs = g.members_str("Publications").to_vec();
+        let victim = &pubs[victim % pubs.len()];
+        let victim_oid = victim.as_node().unwrap();
+
+        let db = Database::from_graph(g.clone(), IndexLevel::Full);
+        let program = strudel::struql::parse(strudel::sites::HOMEPAGE_QUERY).unwrap();
+        let old = Evaluator::new(&db).eval(&program).unwrap();
+
+        // Delete either the membership or the year edge (when present).
+        let mut delta = strudel_graph::GraphDelta::new();
+        match db.graph().first_attr_str(victim_oid, "year").cloned() {
+            Some(y) => delta.remove_edge(victim_oid, "year", y),
+            None => delta.uncollect("Publications", victim.clone()),
+        }
+
+        let inc = incremental_update(&program, &db, &delta, old).unwrap();
+        prop_assert!(!inc.full_reeval);
+
+        let mut g2 = db.graph().clone();
+        delta.apply(&mut g2).unwrap();
+        let db2 = Database::from_graph(g2, IndexLevel::Full);
+        let full = Evaluator::new(&db2).eval(&program).unwrap();
+
+        // Compare per-Skolem-key edge multisets. Node targets are compared
+        // through the key correspondence.
+        let full_keys: Vec<(String, Vec<Value>)> = full
+            .skolem
+            .iter()
+            .map(|(k, _)| (k.symbol.to_string(), k.args.to_vec()))
+            .collect();
+        for (symbol, args) in &full_keys {
+            let f_oid = full.skolem_node(symbol, args).unwrap();
+            let i_oid = inc
+                .result
+                .skolem_node(symbol, args)
+                .expect("incremental site has every live page");
+            let mut f_edges: Vec<(String, String)> = full
+                .graph
+                .edges(f_oid)
+                .iter()
+                .map(|e| {
+                    let target = match &e.to {
+                        Value::Node(o) => full
+                            .graph
+                            .node_name(*o)
+                            .map(str::to_owned)
+                            .unwrap_or_else(|| format!("{o}")),
+                        other => format!("{other}"),
+                    };
+                    (full.graph.label_name(e.label).to_owned(), target)
+                })
+                .collect();
+            let mut i_edges: Vec<(String, String)> = inc
+                .result
+                .graph
+                .edges(i_oid)
+                .iter()
+                .map(|e| {
+                    let target = match &e.to {
+                        Value::Node(o) => inc
+                            .result
+                            .graph
+                            .node_name(*o)
+                            .map(str::to_owned)
+                            .unwrap_or_else(|| format!("{o}")),
+                        other => format!("{other}"),
+                    };
+                    (inc.result.graph.label_name(e.label).to_owned(), target)
+                })
+                .collect();
+            f_edges.sort();
+            i_edges.sort();
+            prop_assert_eq!(&f_edges, &i_edges, "{}({:?}) diverged", symbol, args);
+        }
+        // Orphans: keys the full evaluation no longer creates must be bare.
+        for (key, oid) in inc.result.skolem.iter() {
+            let alive = full
+                .skolem_node(&key.symbol, &key.args)
+                .is_some();
+            if !alive {
+                prop_assert_eq!(
+                    inc.result.graph.edges(oid).len(),
+                    0,
+                    "orphan {:?} kept content",
+                    key
+                );
+            }
+        }
+    }
+
+    /// The HTML generator never panics and always escapes markup from
+    /// data: rendered pages contain no raw `<script` coming from titles.
+    #[test]
+    fn rendering_is_safe_for_hostile_titles(n in 1usize..8) {
+        let mut g = Graph::new();
+        let root = g.add_named_node("Root");
+        for i in 0..n {
+            let p = g.add_named_node(&format!("p{i}"));
+            g.add_edge_str(
+                p,
+                "title",
+                Value::string(format!("<script>alert({i})</script>")),
+            );
+            g.add_edge_str(root, "child", Value::Node(p));
+        }
+        let mut ts = strudel::template::TemplateSet::new();
+        ts.add_template("t", "<h1><SFMT title></h1><SFMT child UL>").unwrap();
+        ts.set_default("t");
+        let out = strudel::template::HtmlGenerator::new(&g, &ts)
+            .generate(&[root])
+            .unwrap();
+        for p in &out.pages {
+            prop_assert!(!p.html.contains("<script>alert"));
+        }
+    }
+}
