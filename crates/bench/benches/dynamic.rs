@@ -3,10 +3,10 @@
 //! trail.
 
 use std::time::Duration;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use strudel_bench::microbench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use strudel::schema::dynamic::{DynTarget, DynamicSite, Mode, PageKey};
 
-fn browse(site: &mut DynamicSite<'_>, clicks: usize) {
+fn browse(site: &DynamicSite, clicks: usize) {
     let roots = site.roots("FrontRoot").unwrap();
     let mut current: PageKey = roots[0].clone();
     let mut trail = vec![current.clone()];
@@ -35,8 +35,8 @@ fn bench_browse_trail(c: &mut Criterion) {
             &mode,
             |b, &mode| {
                 b.iter(|| {
-                    let mut dynsite = DynamicSite::new(&site.database, &program, mode);
-                    browse(&mut dynsite, 25);
+                    let dynsite = DynamicSite::new(site.database.clone(), &program, mode);
+                    browse(&dynsite, 25);
                 });
             },
         );
@@ -65,7 +65,7 @@ fn bench_single_click(c: &mut Criterion) {
             &mode,
             |b, &mode| {
                 b.iter(|| {
-                    let mut dynsite = DynamicSite::new(&site.database, &program, mode);
+                    let dynsite = DynamicSite::new(site.database.clone(), &program, mode);
                     dynsite.visit(&key).unwrap()
                 });
             },

@@ -2,7 +2,7 @@
 //! EMBED recursion.
 
 use std::time::Duration;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use strudel_bench::microbench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn bench_render(c: &mut Criterion) {
     let mut group = c.benchmark_group("htmlgen/news-render");

@@ -2,7 +2,7 @@
 //! re-evaluation, across delta sizes.
 
 use std::time::Duration;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use strudel_bench::microbench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use strudel::repo::{Database, IndexLevel};
 use strudel::schema::incremental::incremental_update;
 use strudel::struql::Evaluator;

@@ -2,7 +2,7 @@
 //! each index level, and index build cost.
 
 use std::time::Duration;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use strudel_bench::microbench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use strudel::repo::{Database, IndexLevel};
 use strudel::struql::{parse, Evaluator};
 use strudel_graph::Graph;

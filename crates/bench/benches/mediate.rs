@@ -2,7 +2,7 @@
 //! refresh after one source changes (the snapshot cache at work).
 
 use std::time::Duration;
-use criterion::{criterion_group, criterion_main, Criterion};
+use strudel_bench::microbench::{criterion_group, criterion_main, Criterion};
 use strudel_mediator::{Mediator, Source, SourceFormat};
 use strudel_workload::org;
 

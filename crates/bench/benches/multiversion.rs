@@ -3,7 +3,7 @@
 //! same data graph.
 
 use std::time::Duration;
-use criterion::{criterion_group, criterion_main, Criterion};
+use strudel_bench::microbench::{criterion_group, criterion_main, Criterion};
 use strudel::sites;
 
 fn bench_org_versions(c: &mut Criterion) {

@@ -1,0 +1,139 @@
+//! E-serve: click-time serving throughput — pages/sec vs worker count,
+//! cold vs warm cache, and re-serve cost after a 1% data delta.
+//!
+//! Each configuration starts a real `strudel-serve` HTTP server on an
+//! ephemeral port with a fresh (cold) page cache and hammers it with 8
+//! concurrent client threads over the full crawl of the news site:
+//!
+//! * **cold** — first pass, every page rendered at click time;
+//! * **warm** — three more passes served from the rendered-page cache;
+//! * **after 1% delta** — edit 1% of the articles through a `GraphDelta`
+//!   (evicting exactly the dirtied renditions) and re-fetch everything.
+//!
+//! Wall-clock timing with `std::time::Instant`; `harness = false`.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use strudel::graph::{GraphDelta, Value};
+use strudel::schema::dynamic::{DynTarget, Mode, PageKey};
+use strudel_serve::{serve, ServerConfig, SiteService};
+
+const ARTICLES: usize = 300;
+const CLIENTS: usize = 8;
+const WARM_PASSES: usize = 3;
+
+fn get(addr: SocketAddr, path: &str) -> usize {
+    let mut s = TcpStream::connect(addr).expect("connect");
+    write!(s, "GET {path} HTTP/1.1\r\nHost: bench\r\n\r\n").unwrap();
+    let mut out = Vec::new();
+    s.read_to_end(&mut out).unwrap();
+    assert!(out.starts_with(b"HTTP/1.1 200"), "{path}");
+    out.len()
+}
+
+/// Every page URL in the site, by BFS over the page graph.
+fn crawl_urls(service: &SiteService) -> Vec<String> {
+    let engine = service.engine();
+    let mut seen: Vec<PageKey> = engine.roots(service.root_collection()).unwrap();
+    let mut queue = seen.clone();
+    while let Some(key) = queue.pop() {
+        for (_, target) in &engine.visit(&key).unwrap().edges {
+            if let DynTarget::Page(child) = target {
+                if !seen.contains(child) {
+                    seen.push(child.clone());
+                    queue.push(child.clone());
+                }
+            }
+        }
+    }
+    seen.iter().map(|k| service.url_of(k)).collect()
+}
+
+/// Fetches `urls` `passes` times with `CLIENTS` threads sharing a single
+/// work queue; returns pages per second.
+fn hammer(addr: SocketAddr, urls: &Arc<Vec<String>>, passes: usize) -> f64 {
+    let total = urls.len() * passes;
+    let next = Arc::new(AtomicUsize::new(0));
+    let start = Instant::now();
+    let threads: Vec<_> = (0..CLIENTS)
+        .map(|_| {
+            let urls = Arc::clone(urls);
+            let next = Arc::clone(&next);
+            std::thread::spawn(move || loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= total {
+                    break;
+                }
+                get(addr, &urls[i % urls.len()]);
+            })
+        })
+        .collect();
+    for t in threads {
+        t.join().unwrap();
+    }
+    total as f64 / start.elapsed().as_secs_f64()
+}
+
+/// Retitles 1% of the articles in one delta; returns how many cached
+/// renditions that evicted.
+fn one_percent_delta(service: &SiteService) -> usize {
+    let db = service.engine().database();
+    let victims: Vec<_> = (0..ARTICLES)
+        .step_by(100)
+        .filter_map(|i| {
+            let oid = db.graph().node_by_name(&format!("article{i}.html"))?;
+            let old = db.graph().first_attr_str(oid, "title")?.clone();
+            Some((oid, old))
+        })
+        .collect();
+    drop(db);
+    assert!(!victims.is_empty());
+    let mut delta = GraphDelta::new();
+    for (oid, old) in &victims {
+        delta.remove_edge(*oid, "title", old.clone());
+        delta.add_edge(*oid, "title", Value::string("retitled by the 1% delta"));
+    }
+    service.apply_delta(&delta).unwrap().html_evicted
+}
+
+fn main() {
+    let site = strudel_bench::paper_news_site(ARTICLES);
+    println!(
+        "serve: {ARTICLES}-article news site, {CLIENTS} client threads, \
+         {WARM_PASSES} warm passes\n"
+    );
+    println!("workers   pages  cold pg/s   warm pg/s   after-1%-delta pg/s   evicted");
+    for workers in [1usize, 2, 4, 8] {
+        let service = Arc::new(SiteService::new(&site, Mode::ContextLookahead));
+        let urls = Arc::new(crawl_urls(&service));
+        let server = serve(
+            Arc::clone(&service),
+            ServerConfig {
+                addr: "127.0.0.1:0".into(),
+                workers,
+                ..Default::default()
+            },
+        )
+        .expect("bind");
+        let addr = server.addr();
+
+        let cold = hammer(addr, &urls, 1);
+        let warm = hammer(addr, &urls, WARM_PASSES);
+        let evicted = one_percent_delta(&service);
+        let after_delta = hammer(addr, &urls, 1);
+
+        let stats = service.stats();
+        println!(
+            "{workers:>7}   {:>5}  {cold:>9.0}   {warm:>9.0}   {after_delta:>19.0}   {evicted:>7}",
+            urls.len()
+        );
+        assert!(stats.html_cache.hits > 0 && stats.html_cache.misses > 0);
+        server.shutdown();
+    }
+    println!("\n(cold = every page rendered at click time; warm = rendered-page cache;");
+    println!(" the 1% delta evicts only the dirtied renditions before the last pass)");
+}

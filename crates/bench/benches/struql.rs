@@ -2,7 +2,7 @@
 //! traversal, and the join-ordering ablation.
 
 use std::time::Duration;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use strudel_bench::microbench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use strudel::repo::{Database, IndexLevel};
 use strudel::struql::{parse, EvalOptions, Evaluator};
 use strudel_workload::bib;

@@ -3,7 +3,7 @@
 //! are printed by `experiments -- suitability`).
 
 use std::time::Duration;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use strudel_bench::microbench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use strudel::repo::{Database, IndexLevel};
 use strudel::struql::Evaluator;
 use strudel_procgen::sweep;

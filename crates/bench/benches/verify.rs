@@ -2,7 +2,7 @@
 //! runtime checking on materialized graphs of growing size.
 
 use std::time::Duration;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use strudel_bench::microbench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use strudel::schema::constraint::{parse_constraint, runtime, verify};
 
 fn bench_static_vs_runtime(c: &mut Criterion) {

@@ -265,10 +265,10 @@ pub fn exp_dynamic() {
         let corpus = crate::paper_news_corpus(n);
         let site = sites::news_site(&corpus).build().unwrap();
         let program = site.program.clone();
-        let db = &site.database;
+        let db = site.database.clone();
         for mode in [Mode::Naive, Mode::Context, Mode::ContextLookahead] {
-            let mut dynsite = DynamicSite::new(db, &program, mode);
-            let ((), t) = time(|| browse(&mut dynsite, 25));
+            let dynsite = DynamicSite::new(db.clone(), &program, mode);
+            let ((), t) = time(|| browse(&dynsite, 25));
             let m = dynsite.metrics();
             println!(
                 "{:>9} {:>18} {:>12} {:>12} {:>10} {:>12}",
@@ -286,7 +286,7 @@ pub fn exp_dynamic() {
 
 /// A deterministic browse trail: front page, then repeatedly follow the
 /// first unvisited page link (falling back to the front page).
-fn browse(site: &mut DynamicSite<'_>, clicks: usize) {
+fn browse(site: &DynamicSite, clicks: usize) {
     let roots = site.roots("FrontRoot").unwrap();
     let mut current: PageKey = roots[0].clone();
     let mut trail = vec![current.clone()];

@@ -10,6 +10,7 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod microbench;
 pub mod sites;
 
 pub use sites::{paper_homepage_site, paper_news_corpus, paper_news_site, paper_org_site};

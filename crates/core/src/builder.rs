@@ -10,6 +10,7 @@ use strudel_schema::constraint::verify::{self, Verdict};
 use strudel_schema::constraint::{parse_constraint, Constraint};
 use strudel_schema::SiteSchema;
 use strudel_struql::{EvalOptions, EvalResult, Evaluator, Program};
+use std::sync::Arc;
 use strudel_template::{HtmlGenerator, SiteOutput, TemplateSet};
 
 /// Declarative description of a site, built fluently and materialized by
@@ -120,10 +121,10 @@ impl SiteBuilder {
             mediator.add_source(s);
         }
         let warehouse = mediator.build()?;
-        let database = Database::from_graph(
+        let database = Arc::new(Database::from_graph(
             warehouse.graph,
             self.index_level.unwrap_or(IndexLevel::Full),
-        );
+        ));
 
         let program = strudel_struql::parse(&self.query)?;
         let result = Evaluator::with_options(
@@ -208,8 +209,9 @@ pub struct Verification {
 pub struct Site {
     /// Site name.
     pub name: String,
-    /// The warehoused, indexed data graph.
-    pub database: Database,
+    /// The warehoused, indexed data graph, shareable across threads
+    /// (the click-time server hands it to a whole worker pool).
+    pub database: Arc<Database>,
     /// The parsed site-definition query.
     pub program: Program,
     /// The evaluation result (site graph + Skolem table).
@@ -276,7 +278,10 @@ impl Site {
         query: &str,
         root_collection: &str,
     ) -> Result<Site, StrudelError> {
-        let database = Database::from_graph(self.result.graph.clone(), IndexLevel::Full);
+        let database = Arc::new(Database::from_graph(
+            self.result.graph.clone(),
+            IndexLevel::Full,
+        ));
         let program = strudel_struql::parse(query)?;
         let result = Evaluator::new(&database).eval(&program)?;
         let schema = SiteSchema::extract(&program);

@@ -1,28 +1,47 @@
-//! Property-based tests for the core graph data structures.
+//! Property-based tests for the core graph data structures, driven by a
+//! deterministic seeded PRNG (every case is reproducible from its seed).
 
-use proptest::prelude::*;
 use strudel_graph::ddl;
 use strudel_graph::{coerce, FileKind, Graph, GraphDelta, Oid, SkolemTable, Value};
+use strudel_prng::{Rng, SeedableRng, SmallRng};
+
+/// A random string drawn from an alphabet, length in `[lo, hi)`.
+fn rand_string(rng: &mut SmallRng, alphabet: &[char], lo: usize, hi: usize) -> String {
+    let len = rng.gen_range(lo..hi.max(lo + 1));
+    (0..len)
+        .map(|_| alphabet[rng.gen_range(0..alphabet.len())])
+        .collect()
+}
+
+fn ident_alphabet() -> Vec<char> {
+    ('a'..='z').collect()
+}
+
+fn text_alphabet() -> Vec<char> {
+    let mut a: Vec<char> = ('a'..='z').chain('A'..='Z').chain('0'..='9').collect();
+    a.extend([' ', '_', '.', '/', ':', '-']);
+    a
+}
 
 /// An arbitrary atomic (non-node) value.
-fn atomic_value() -> impl Strategy<Value = Value> {
-    prop_oneof![
-        any::<i64>().prop_map(Value::Int),
-        any::<bool>().prop_map(Value::Bool),
+fn atomic_value(rng: &mut SmallRng) -> Value {
+    match rng.gen_range(0..6) {
+        0 => Value::Int(rng.next_u64() as i64),
+        1 => Value::Bool(rng.gen_bool(0.5)),
         // Finite floats: NaN deliberately breaks coercing comparability.
-        (-1e12f64..1e12).prop_map(Value::Float),
-        "[a-zA-Z0-9 _./:-]{0,24}".prop_map(Value::string),
-        "[a-z0-9./:-]{1,24}".prop_map(Value::url),
-        ("[a-z0-9./-]{1,16}", 0usize..4).prop_map(|(p, k)| {
+        2 => Value::Float(rng.gen_range(-1e12f64..1e12)),
+        3 => Value::string(rand_string(rng, &text_alphabet(), 0, 24)),
+        4 => Value::url(rand_string(rng, &ident_alphabet(), 1, 24)),
+        _ => {
             let kind = [
                 FileKind::Text,
                 FileKind::Image,
                 FileKind::PostScript,
                 FileKind::Html,
-            ][k];
-            Value::file(kind, p)
-        }),
-    ]
+            ][rng.gen_range(0..4usize)];
+            Value::file(kind, rand_string(rng, &ident_alphabet(), 1, 16))
+        }
+    }
 }
 
 /// A recipe for building a random graph: node count plus edge endpoints.
@@ -39,28 +58,34 @@ enum EdgeTarget {
     Atomic(Value),
 }
 
-fn graph_recipe() -> impl Strategy<Value = GraphRecipe> {
-    (1usize..20).prop_flat_map(|nodes| {
-        let edge = (
-            0..nodes,
-            "[a-z]{1,6}",
-            prop_oneof![
-                (0..nodes).prop_map(EdgeTarget::Node),
-                atomic_value().prop_map(EdgeTarget::Atomic),
-            ],
-        );
-        let coll = ("[A-Z][a-z]{0,5}", 0..nodes);
-        (
-            Just(nodes),
-            prop::collection::vec(edge, 0..40),
-            prop::collection::vec(coll, 0..10),
-        )
-            .prop_map(|(nodes, edges, collections)| GraphRecipe {
-                nodes,
-                edges,
-                collections,
-            })
-    })
+fn graph_recipe(rng: &mut SmallRng) -> GraphRecipe {
+    let nodes = rng.gen_range(1..20usize);
+    let n_edges = rng.gen_range(0..40usize);
+    let edges = (0..n_edges)
+        .map(|_| {
+            let from = rng.gen_range(0..nodes);
+            let label = rand_string(rng, &ident_alphabet(), 1, 6);
+            let target = if rng.gen_bool(0.5) {
+                EdgeTarget::Node(rng.gen_range(0..nodes))
+            } else {
+                EdgeTarget::Atomic(atomic_value(rng))
+            };
+            (from, label, target)
+        })
+        .collect();
+    let n_colls = rng.gen_range(0..10usize);
+    let collections = (0..n_colls)
+        .map(|_| {
+            let mut name = rand_string(rng, &ident_alphabet(), 1, 6);
+            name[..1].make_ascii_uppercase();
+            (name, rng.gen_range(0..nodes))
+        })
+        .collect();
+    GraphRecipe {
+        nodes,
+        edges,
+        collections,
+    }
 }
 
 fn build(recipe: &GraphRecipe) -> Graph {
@@ -81,21 +106,25 @@ fn build(recipe: &GraphRecipe) -> Graph {
     g
 }
 
-proptest! {
-    /// print ∘ parse is the identity up to graph isomorphism: node, edge,
-    /// and membership counts and per-node attribute multisets survive.
-    #[test]
-    fn ddl_round_trip(recipe in graph_recipe()) {
+const CASES: u64 = 64;
+
+/// print ∘ parse is the identity up to graph isomorphism: node, edge,
+/// and membership counts and per-node attribute multisets survive.
+#[test]
+fn ddl_round_trip() {
+    for seed in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let recipe = graph_recipe(&mut rng);
         let g = build(&recipe);
         let text = ddl::print(&g);
         let g2 = ddl::parse(&text).unwrap();
-        prop_assert_eq!(g2.node_count(), g.node_count());
-        prop_assert_eq!(g2.edge_count(), g.edge_count());
-        prop_assert_eq!(g2.collection_count(), g.collection_count());
+        assert_eq!(g2.node_count(), g.node_count(), "seed {seed}");
+        assert_eq!(g2.edge_count(), g.edge_count(), "seed {seed}");
+        assert_eq!(g2.collection_count(), g.collection_count(), "seed {seed}");
         for oid in g.node_oids() {
             let name = g.node_name(oid).unwrap();
             let oid2 = g2.node_by_name(name).unwrap();
-            prop_assert_eq!(g.edges(oid).len(), g2.edges(oid2).len());
+            assert_eq!(g.edges(oid).len(), g2.edges(oid2).len(), "seed {seed}");
             // Atomic attribute values survive exactly (node targets get
             // remapped oids, so compare only atomics).
             let mut atoms: Vec<(String, Value)> = g
@@ -112,61 +141,88 @@ proptest! {
                 .collect();
             atoms.sort();
             atoms2.sort();
-            prop_assert_eq!(atoms, atoms2);
+            assert_eq!(atoms, atoms2, "seed {seed}");
         }
     }
+}
 
-    /// Importing a graph into an empty graph preserves structure.
-    #[test]
-    fn import_preserves_counts(recipe in graph_recipe()) {
+/// Importing a graph into an empty graph preserves structure.
+#[test]
+fn import_preserves_counts() {
+    for seed in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let recipe = graph_recipe(&mut rng);
         let g = build(&recipe);
         let mut dst = Graph::new();
         let map = dst.import_graph(&g);
-        prop_assert_eq!(dst.node_count(), g.node_count());
-        prop_assert_eq!(dst.edge_count(), g.edge_count());
-        prop_assert_eq!(map.len(), g.node_count());
+        assert_eq!(dst.node_count(), g.node_count(), "seed {seed}");
+        assert_eq!(dst.edge_count(), g.edge_count(), "seed {seed}");
+        assert_eq!(map.len(), g.node_count(), "seed {seed}");
         for oid in g.node_oids() {
-            prop_assert_eq!(g.edges(oid).len(), dst.edges(map[&oid]).len());
+            assert_eq!(g.edges(oid).len(), dst.edges(map[&oid]).len(), "seed {seed}");
         }
     }
+}
 
-    /// Coercing comparison is antisymmetric and eq is reflexive on
-    /// comparable values.
-    #[test]
-    fn coerce_antisymmetric(a in atomic_value(), b in atomic_value()) {
+/// Coercing comparison is antisymmetric and eq is reflexive on
+/// comparable values.
+#[test]
+fn coerce_antisymmetric() {
+    for seed in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(1_000 + seed);
+        let a = atomic_value(&mut rng);
+        let b = atomic_value(&mut rng);
         let ab = coerce::compare(&a, &b);
         let ba = coerce::compare(&b, &a);
-        prop_assert_eq!(ab.map(std::cmp::Ordering::reverse), ba);
-        prop_assert!(coerce::eq(&a, &a));
+        assert_eq!(
+            ab.map(std::cmp::Ordering::reverse),
+            ba,
+            "seed {seed}: {a:?} vs {b:?}"
+        );
+        assert!(coerce::eq(&a, &a), "seed {seed}: {a:?}");
     }
+}
 
-    /// Structural Ord on Value is a total order consistent with Eq/Hash.
-    #[test]
-    fn value_total_order(mut vs in prop::collection::vec(atomic_value(), 1..12)) {
+/// Structural Ord on Value is a total order consistent with Eq/Hash.
+#[test]
+fn value_total_order() {
+    for seed in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(2_000 + seed);
+        let n = rng.gen_range(1..12usize);
+        let mut vs: Vec<Value> = (0..n).map(|_| atomic_value(&mut rng)).collect();
         vs.sort();
         for w in vs.windows(2) {
-            prop_assert!(w[0] <= w[1]);
+            assert!(w[0] <= w[1], "seed {seed}");
         }
     }
+}
 
-    /// Skolem functions are functions: equal argument vectors always map
-    /// to the oid minted first, distinct vectors to distinct oids.
-    #[test]
-    fn skolem_is_functional(args in prop::collection::vec(atomic_value(), 0..4)) {
+/// Skolem functions are functions: equal argument vectors always map
+/// to the oid minted first, distinct vectors to distinct oids.
+#[test]
+fn skolem_is_functional() {
+    for seed in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(3_000 + seed);
+        let n = rng.gen_range(0..4usize);
+        let args: Vec<Value> = (0..n).map(|_| atomic_value(&mut rng)).collect();
         let mut g = Graph::new();
         let mut t = SkolemTable::new();
         let (a, first) = t.apply(&mut g, "F", &args);
-        prop_assert!(first);
+        assert!(first, "seed {seed}");
         let (b, again) = t.apply(&mut g, "F", &args);
-        prop_assert_eq!(a, b);
-        prop_assert!(!again);
+        assert_eq!(a, b, "seed {seed}");
+        assert!(!again, "seed {seed}");
         let (c, _) = t.apply(&mut g, "G", &args);
-        prop_assert_ne!(a, c);
+        assert_ne!(a, c, "seed {seed}");
     }
+}
 
-    /// A recorded delta replays into an empty graph deterministically.
-    #[test]
-    fn delta_replay_is_deterministic(recipe in graph_recipe()) {
+/// A recorded delta replays into an empty graph deterministically.
+#[test]
+fn delta_replay_is_deterministic() {
+    for seed in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(4_000 + seed);
+        let recipe = graph_recipe(&mut rng);
         let mut d = GraphDelta::new();
         for i in 0..recipe.nodes {
             d.add_node(Some(&format!("n{i}")));
@@ -182,20 +238,23 @@ proptest! {
         let mut g2 = Graph::new();
         d.apply(&mut g1).unwrap();
         d.apply(&mut g2).unwrap();
-        prop_assert_eq!(g1.node_count(), g2.node_count());
-        prop_assert_eq!(g1.edge_count(), g2.edge_count());
+        assert_eq!(g1.node_count(), g2.node_count(), "seed {seed}");
+        assert_eq!(g1.edge_count(), g2.edge_count(), "seed {seed}");
         for oid in g1.node_oids() {
-            prop_assert_eq!(g1.edges(oid), g2.edges(oid));
+            assert_eq!(g1.edges(oid), g2.edges(oid), "seed {seed}");
         }
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    /// The DDL parser never panics on arbitrary input.
-    #[test]
-    fn ddl_parser_total(s in "\\PC{0,200}") {
+/// The DDL parser never panics on arbitrary input.
+#[test]
+fn ddl_parser_total() {
+    // A hostile alphabet: printable ASCII plus syntax-adjacent unicode.
+    let mut alphabet: Vec<char> = (' '..='~').collect();
+    alphabet.extend(['\n', '\t', 'é', 'λ', '→', '\u{1F600}', '"', '\\']);
+    for seed in 0..256u64 {
+        let mut rng = SmallRng::seed_from_u64(5_000 + seed);
+        let s = rand_string(&mut rng, &alphabet, 0, 200);
         let _ = ddl::parse(&s);
     }
 }

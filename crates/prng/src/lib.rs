@@ -1,0 +1,223 @@
+//! A small, deterministic, dependency-free PRNG for workload generation,
+//! property tests, and benchmarks.
+//!
+//! The generator is xoshiro256++ seeded through splitmix64 — the standard
+//! pairing recommended by the xoshiro authors so that low-entropy seeds
+//! (0, 1, 2, ...) still produce well-mixed streams. The API mirrors the
+//! small slice of `rand` the workspace used (`SmallRng::seed_from_u64`,
+//! `gen_range` over integer ranges, `gen_bool`), so call sites only swap
+//! their import line. Determinism per seed is a feature here: generated
+//! corpora and property-test cases must be reproducible across runs and
+//! machines.
+
+use std::ops::{Range, RangeInclusive};
+
+pub mod rngs {
+    pub use super::SmallRng;
+}
+
+/// Seedable generators. Mirror of the `rand` trait of the same name for
+/// the one constructor the workspace uses.
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// xoshiro256++ state.
+#[derive(Debug, Clone)]
+pub struct SmallRng {
+    s: [u64; 4],
+}
+
+impl SeedableRng for SmallRng {
+    /// Expands a 64-bit seed into the full 256-bit state via splitmix64.
+    fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let mut next = || {
+            sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        SmallRng {
+            s: [next(), next(), next(), next()],
+        }
+    }
+}
+
+impl SmallRng {
+    /// The raw 64-bit output of xoshiro256++.
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0]
+            .wrapping_add(s[3])
+            .rotate_left(23)
+            .wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform in `[0, bound)` via Lemire-style rejection (bound > 0).
+    fn bounded(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        // Rejection zone keeps the distribution exactly uniform.
+        let zone = bound.wrapping_neg() % bound; // = 2^64 mod bound
+        loop {
+            let x = self.next_u64();
+            let (hi, lo) = {
+                let wide = (x as u128) * (bound as u128);
+                ((wide >> 64) as u64, wide as u64)
+            };
+            if lo >= zone {
+                return hi;
+            }
+        }
+    }
+}
+
+/// The user-facing sampling methods, rand-style.
+pub trait Rng {
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>;
+    fn gen_bool(&mut self, p: f64) -> bool;
+    /// A uniform f64 in `[0, 1)`.
+    fn gen_f64(&mut self) -> f64;
+}
+
+impl Rng for SmallRng {
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+    {
+        range.sample(self)
+    }
+
+    fn gen_bool(&mut self, p: f64) -> bool {
+        self.gen_f64() < p
+    }
+
+    fn gen_f64(&mut self) -> f64 {
+        // 53 random bits into the mantissa: uniform over [0, 1).
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Ranges a value of type `T` can be drawn from.
+pub trait SampleRange<T> {
+    fn sample(self, rng: &mut SmallRng) -> T;
+}
+
+macro_rules! impl_sample_int {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample(self, rng: &mut SmallRng) -> $t {
+                assert!(self.start < self.end, "empty range in gen_range");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.bounded(span) as i128) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample(self, rng: &mut SmallRng) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "empty range in gen_range");
+                let span = (end as i128 - start as i128) as u128 + 1;
+                if span > u64::MAX as u128 {
+                    // Full-width range: any u64 reinterpreted fits.
+                    return rng.next_u64() as $t;
+                }
+                (start as i128 + rng.bounded(span as u64) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_int!(i32, i64, u32, u64, usize, u8, u16, i8, i16);
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample(self, rng: &mut SmallRng) -> f64 {
+        assert!(self.start < self.end, "empty range in gen_range");
+        self.start + rng.gen_f64() * (self.end - self.start)
+    }
+}
+
+/// Convenience: a uniformly chosen element of a non-empty slice.
+pub fn choose<'a, T>(rng: &mut SmallRng, items: &'a [T]) -> &'a T {
+    &items[rng.gen_range(0..items.len())]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = SmallRng::seed_from_u64(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let x = rng.gen_range(10..20);
+            assert!((10..20).contains(&x));
+            let y: i64 = rng.gen_range(-5i64..=5);
+            assert!((-5..=5).contains(&y));
+            let z: usize = rng.gen_range(0..3usize);
+            assert!(z < 3);
+        }
+    }
+
+    #[test]
+    fn gen_range_hits_every_bucket() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        let mut counts = [0usize; 8];
+        for _ in 0..8_000 {
+            counts[rng.gen_range(0..8usize)] += 1;
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            assert!(c > 500, "bucket {i} starved: {c}");
+        }
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((2_000..3_000).contains(&hits), "p=0.25 gave {hits}/10000");
+        assert!(!rng.gen_bool(0.0));
+        assert!(rng.gen_bool(1.0));
+    }
+
+    #[test]
+    fn float_range_in_bounds() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        for _ in 0..1_000 {
+            let x = rng.gen_range(-1.5f64..2.5);
+            assert!((-1.5..2.5).contains(&x));
+        }
+    }
+
+    #[test]
+    fn choose_covers_slice() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        let items = ["a", "b", "c"];
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..100 {
+            seen.insert(*choose(&mut rng, &items));
+        }
+        assert_eq!(seen.len(), 3);
+    }
+}

@@ -4,9 +4,8 @@ use crate::index::{ExtensionIndex, IndexSet, SchemaIndex, ValueIndex};
 use crate::stats::Stats;
 use crate::wal::{self, Wal};
 use crate::{snapshot, RepoError};
-use std::cell::RefCell;
 use std::path::{Path, PathBuf};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use strudel_graph::{DeltaOp, Graph, GraphDelta, Label, Oid, Value};
 
 /// How much indexing the repository maintains.
@@ -33,7 +32,9 @@ pub struct Database {
     graph: Graph,
     level: IndexLevel,
     indexes: IndexSet,
-    stats: RefCell<Option<Arc<Stats>>>,
+    // Mutex (not RefCell) so a read-only Database shares across threads:
+    // the click-time server hands `Arc<Database>` to its whole pool.
+    stats: Mutex<Option<Arc<Stats>>>,
     wal: Option<Wal>,
     dir: Option<PathBuf>,
 }
@@ -57,7 +58,7 @@ impl Database {
             graph,
             level,
             indexes,
-            stats: RefCell::new(None),
+            stats: Mutex::new(None),
             wal: None,
             dir: None,
         }
@@ -157,7 +158,7 @@ impl Database {
     /// A statistics snapshot for the optimizer, computed lazily and cached
     /// until the next mutation.
     pub fn stats(&self) -> Arc<Stats> {
-        let mut slot = self.stats.borrow_mut();
+        let mut slot = self.stats.lock().unwrap();
         if let Some(s) = slot.as_ref() {
             return Arc::clone(s);
         }
@@ -363,7 +364,7 @@ impl Database {
     }
 
     fn invalidate(&mut self) {
-        *self.stats.borrow_mut() = None;
+        *self.stats.lock().unwrap() = None;
     }
 }
 

@@ -22,10 +22,27 @@
 //!   results for queries of reachable nodes": visiting a page prefetches
 //!   its children into the cache, so following a link is usually a cache
 //!   hit.
+//!
+//! ## Concurrency
+//!
+//! The engine is shared: [`DynamicSite::visit`] takes `&self`, so one
+//! engine serves a whole worker pool. The page cache lives in sharded
+//! read/write locks keyed by [`PageKey`]; the database is a swappable
+//! `Arc` snapshot so [`DynamicSite::apply_delta`] can install an updated
+//! database and evict precisely the dirtied pages while readers keep
+//! serving. An epoch counter fences the race between a visit computed
+//! against the old snapshot and a concurrent delta: cache inserts carry
+//! the epoch they were computed under and are dropped if a delta landed
+//! in between.
 
+use crate::invalidate::{self, DirtySet};
 use crate::{SchemaNode, SiteSchema};
+use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
-use strudel_graph::Value;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, RwLock};
+use strudel_graph::{GraphDelta, Value};
 use strudel_repo::Database;
 use strudel_struql::{
     Condition, Evaluator, LabelTerm, Program, StruqlError, StruqlResult, Term,
@@ -67,7 +84,8 @@ pub struct PageView {
     pub edges: Vec<(String, DynTarget)>,
 }
 
-/// Work counters across the browsing session.
+/// Work counters across the browsing session (a consistent-enough
+/// snapshot of the engine's atomic counters).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct Metrics {
     /// Pages served (including cache hits).
@@ -78,43 +96,111 @@ pub struct Metrics {
     pub rows_produced: usize,
     /// Pages served straight from the cache.
     pub cache_hits: usize,
+    /// Pages evicted by delta invalidation.
+    pub evictions: usize,
 }
 
-/// A dynamically evaluated site over a live database.
-pub struct DynamicSite<'db> {
-    db: &'db Database,
+/// The result of applying a data delta to a live engine.
+#[derive(Clone, Debug, Default)]
+pub struct InvalidationOutcome {
+    /// What the delta dirtied (exact pages + wholesale symbols).
+    pub dirty: DirtySet,
+    /// How many cached page views were actually evicted.
+    pub evicted: usize,
+}
+
+/// Number of cache shards; a small power of two is plenty — contention
+/// is per-key and guard evaluation dominates hold times.
+const SHARDS: usize = 16;
+
+/// A dynamically evaluated site over a live database, shareable across
+/// threads (`visit` takes `&self`).
+pub struct DynamicSite {
+    db: RwLock<Arc<Database>>,
     schema: SiteSchema,
     mode: Mode,
-    cache: HashMap<PageKey, PageView>,
-    metrics: Metrics,
+    shards: Vec<RwLock<HashMap<PageKey, PageView>>>,
+    /// Bumped by every applied delta; fences stale cache inserts.
+    epoch: AtomicU64,
+    clicks: AtomicUsize,
+    queries_run: AtomicUsize,
+    rows_produced: AtomicUsize,
+    cache_hits: AtomicUsize,
+    evictions: AtomicUsize,
 }
 
-impl<'db> DynamicSite<'db> {
+impl DynamicSite {
     /// Builds the engine for `program` over `db`.
-    pub fn new(db: &'db Database, program: &Program, mode: Mode) -> Self {
+    pub fn new(db: Arc<Database>, program: &Program, mode: Mode) -> Self {
         DynamicSite {
-            db,
+            db: RwLock::new(db),
             schema: SiteSchema::extract(program),
             mode,
-            cache: HashMap::new(),
-            metrics: Metrics::default(),
+            shards: (0..SHARDS).map(|_| RwLock::new(HashMap::new())).collect(),
+            epoch: AtomicU64::new(0),
+            clicks: AtomicUsize::new(0),
+            queries_run: AtomicUsize::new(0),
+            rows_produced: AtomicUsize::new(0),
+            cache_hits: AtomicUsize::new(0),
+            evictions: AtomicUsize::new(0),
         }
     }
 
     /// Work counters so far.
     pub fn metrics(&self) -> Metrics {
-        self.metrics
+        Metrics {
+            clicks: self.clicks.load(Ordering::Relaxed),
+            queries_run: self.queries_run.load(Ordering::Relaxed),
+            rows_produced: self.rows_produced.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+        }
     }
 
     /// Number of pages currently materialized in the cache.
     pub fn cached_pages(&self) -> usize {
-        self.cache.len()
+        self.shards.iter().map(|s| s.read().unwrap().len()).sum()
+    }
+
+    /// The current database snapshot.
+    pub fn database(&self) -> Arc<Database> {
+        self.db.read().unwrap().clone()
+    }
+
+    /// The extracted site schema.
+    pub fn schema(&self) -> &SiteSchema {
+        &self.schema
+    }
+
+    /// The evaluation mode this engine was built with.
+    pub fn mode(&self) -> Mode {
+        self.mode
+    }
+
+    /// The delta epoch: how many deltas have been applied.
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+
+    fn shard_of(&self, key: &PageKey) -> &RwLock<HashMap<PageKey, PageView>> {
+        let mut h = DefaultHasher::new();
+        key.hash(&mut h);
+        &self.shards[(h.finish() as usize) % SHARDS]
+    }
+
+    /// Inserts a computed view unless a delta landed since `epoch`.
+    fn insert_if_current(&self, epoch: u64, key: PageKey, view: PageView) {
+        let mut shard = self.shard_of(&key).write().unwrap();
+        if self.epoch.load(Ordering::Acquire) == epoch {
+            shard.insert(key, view);
+        }
     }
 
     /// The site's entry points: every page collected by the query, by
     /// collection name.
-    pub fn roots(&mut self, collection: &str) -> StruqlResult<Vec<PageKey>> {
-        let ev = Evaluator::new(self.db);
+    pub fn roots(&self, collection: &str) -> StruqlResult<Vec<PageKey>> {
+        let db = self.database();
+        let ev = Evaluator::new(&db);
         let mut out = Vec::new();
         for (collect, guard) in &self.schema.collects {
             if collect.collection != collection {
@@ -124,9 +210,8 @@ impl<'db> DynamicSite<'db> {
                 continue;
             };
             let (vars, rows) = ev.eval_where_bindings(guard, &[])?;
-            // Disjoint-field update: `schema` is borrowed by the loop.
-            self.metrics.queries_run += 1;
-            self.metrics.rows_produced += rows.len();
+            self.queries_run.fetch_add(1, Ordering::Relaxed);
+            self.rows_produced.fetch_add(rows.len(), Ordering::Relaxed);
             for row in &rows {
                 let key = PageKey {
                     symbol: symbol.clone(),
@@ -141,14 +226,19 @@ impl<'db> DynamicSite<'db> {
     }
 
     /// Serves one click: the out-edges of `page`, computed on demand.
-    pub fn visit(&mut self, page: &PageKey) -> StruqlResult<PageView> {
-        self.metrics.clicks += 1;
-        if let Some(v) = self.cache.get(page) {
-            self.metrics.cache_hits += 1;
+    /// Safe to call concurrently from any number of threads.
+    pub fn visit(&self, page: &PageKey) -> StruqlResult<PageView> {
+        self.clicks.fetch_add(1, Ordering::Relaxed);
+        if let Some(v) = self.shard_of(page).read().unwrap().get(page) {
+            self.cache_hits.fetch_add(1, Ordering::Relaxed);
             return Ok(v.clone());
         }
-        let view = self.compute(page)?;
-        self.cache.insert(page.clone(), view.clone());
+        // Read the epoch *before* the database snapshot: if a delta lands
+        // between compute and insert, the epoch check drops the insert.
+        let epoch = self.epoch.load(Ordering::Acquire);
+        let db = self.database();
+        let view = self.compute(&db, page)?;
+        self.insert_if_current(epoch, page.clone(), view.clone());
         if self.mode == Mode::ContextLookahead {
             // One level of look-ahead: materialize children now, while
             // their guards' context is warm.
@@ -156,31 +246,75 @@ impl<'db> DynamicSite<'db> {
                 .edges
                 .iter()
                 .filter_map(|(_, t)| match t {
-                    DynTarget::Page(k) if !self.cache.contains_key(k) => Some(k.clone()),
+                    DynTarget::Page(k) => Some(k.clone()),
                     _ => None,
                 })
                 .collect();
             for child in children {
-                if !self.cache.contains_key(&child) {
-                    let v = self.compute(&child)?;
-                    self.cache.insert(child, v);
+                if self.shard_of(&child).read().unwrap().contains_key(&child) {
+                    continue;
                 }
+                let v = self.compute(&db, &child)?;
+                self.insert_if_current(epoch, child, v);
             }
         }
         Ok(view)
     }
 
-    /// Evaluates the incremental queries for one page.
-    fn compute(&mut self, page: &PageKey) -> StruqlResult<PageView> {
+    /// Applies a data-graph delta: rebuilds the database snapshot, swaps
+    /// it in, and evicts exactly the pages the delta dirtied. Concurrent
+    /// `visit`s keep serving throughout (from the old snapshot until the
+    /// swap, from the new one after).
+    pub fn apply_delta(&self, delta: &GraphDelta) -> StruqlResult<InvalidationOutcome> {
+        let old_db = self.database();
+        let mut graph = old_db.graph().clone();
+        delta.apply(&mut graph).map_err(|e| StruqlError::Eval {
+            message: format!("delta does not apply: {e}"),
+        })?;
+        let new_db = Arc::new(Database::from_graph(graph, old_db.level()));
+        let dirty = invalidate::dirty_pages(&self.schema, &old_db, &new_db, delta)?;
+
+        // Install the new snapshot; the epoch bump (under the same write
+        // lock) invalidates in-flight computations against the old one.
+        {
+            let mut db = self.db.write().unwrap();
+            self.epoch.fetch_add(1, Ordering::AcqRel);
+            *db = new_db;
+        }
+
+        let mut evicted = 0;
+        for shard in &self.shards {
+            let mut map = shard.write().unwrap();
+            let before = map.len();
+            map.retain(|key, _| !dirty.contains(key));
+            evicted += before - map.len();
+        }
+        self.evictions.fetch_add(evicted, Ordering::Relaxed);
+        Ok(InvalidationOutcome { dirty, evicted })
+    }
+
+    /// Drops every cached page (e.g. after out-of-band database surgery).
+    pub fn clear_cache(&self) {
+        let mut evicted = 0;
+        for shard in &self.shards {
+            let mut map = shard.write().unwrap();
+            evicted += map.len();
+            map.clear();
+        }
+        self.epoch.fetch_add(1, Ordering::AcqRel);
+        self.evictions.fetch_add(evicted, Ordering::Relaxed);
+    }
+
+    /// Evaluates the incremental queries for one page against `db`.
+    fn compute(&self, db: &Database, page: &PageKey) -> StruqlResult<PageView> {
         let Some(node) = self.schema.node_index(&page.symbol) else {
             return Err(StruqlError::Eval {
                 message: format!("unknown page symbol '{}'", page.symbol),
             });
         };
-        let ev = Evaluator::new(self.db);
+        let ev = Evaluator::new(db);
         let mut view = PageView::default();
-        let edges: Vec<_> = self.schema.out_edges(node).cloned().collect();
-        for edge in edges {
+        for edge in self.schema.out_edges(node) {
             // Seed the guard with the page's Skolem arguments (Context
             // modes); Naive evaluates unseeded and filters afterwards.
             let mut seeds: Vec<(String, Value)> = Vec::new();
@@ -212,7 +346,8 @@ impl<'db> DynamicSite<'db> {
                 continue;
             }
             let (vars, rows) = ev.eval_where_bindings(&edge.guard, &seeds)?;
-            self.metrics_queries(&rows);
+            self.queries_run.fetch_add(1, Ordering::Relaxed);
+            self.rows_produced.fetch_add(rows.len(), Ordering::Relaxed);
             for row in &rows {
                 // In Naive mode (or with nested-Skolem args) filter rows to
                 // the visited page.
@@ -258,15 +393,10 @@ impl<'db> DynamicSite<'db> {
         }
         Ok(view)
     }
-
-    fn metrics_queries(&mut self, rows: &[Vec<Option<Value>>]) {
-        self.metrics.queries_run += 1;
-        self.metrics.rows_produced += rows.len();
-    }
 }
 
 /// Evaluates Skolem argument terms against a bindings row.
-fn eval_args(
+pub(crate) fn eval_args(
     args: &[Term],
     vars: &[String],
     row: &[Option<Value>],
@@ -318,7 +448,7 @@ mod tests {
                YearPage(y) -> "label" -> y }
     "#;
 
-    fn db() -> Database {
+    fn db() -> Arc<Database> {
         let g = ddl::parse(
             r#"
             object p1 in Publications { title : "Alpha"; year : 1997; }
@@ -327,7 +457,7 @@ mod tests {
         "#,
         )
         .unwrap();
-        Database::from_graph(g, IndexLevel::Full)
+        Arc::new(Database::from_graph(g, IndexLevel::Full))
     }
 
     fn root() -> PageKey {
@@ -339,16 +469,14 @@ mod tests {
 
     #[test]
     fn roots_enumerate_collected_pages() {
-        let db = db();
-        let mut site = DynamicSite::new(&db, &parse(QUERY).unwrap(), Mode::Context);
+        let site = DynamicSite::new(db(), &parse(QUERY).unwrap(), Mode::Context);
         let roots = site.roots("Roots").unwrap();
         assert_eq!(roots, vec![root()]);
     }
 
     #[test]
     fn visiting_root_lists_papers() {
-        let db = db();
-        let mut site = DynamicSite::new(&db, &parse(QUERY).unwrap(), Mode::Context);
+        let site = DynamicSite::new(db(), &parse(QUERY).unwrap(), Mode::Context);
         let view = site.visit(&root()).unwrap();
         let papers: Vec<_> = view
             .edges
@@ -362,7 +490,7 @@ mod tests {
     fn visiting_a_paper_shows_its_attributes_only() {
         let db = db();
         let p1 = Value::Node(db.graph().node_by_name("p1").unwrap());
-        let mut site = DynamicSite::new(&db, &parse(QUERY).unwrap(), Mode::Context);
+        let site = DynamicSite::new(db, &parse(QUERY).unwrap(), Mode::Context);
         let view = site
             .visit(&PageKey {
                 symbol: "PaperPage".into(),
@@ -398,7 +526,7 @@ mod tests {
         };
         let mut views = Vec::new();
         for mode in [Mode::Naive, Mode::Context, Mode::ContextLookahead] {
-            let mut site = DynamicSite::new(&db, &program, mode);
+            let site = DynamicSite::new(db.clone(), &program, mode);
             let mut view = site.visit(&key).unwrap();
             view.edges.sort_by(|a, b| format!("{a:?}").cmp(&format!("{b:?}")));
             views.push(view);
@@ -416,9 +544,9 @@ mod tests {
             symbol: "PaperPage".into(),
             args: vec![p1],
         };
-        let mut naive = DynamicSite::new(&db, &program, Mode::Naive);
+        let naive = DynamicSite::new(db.clone(), &program, Mode::Naive);
         naive.visit(&key).unwrap();
-        let mut ctx = DynamicSite::new(&db, &program, Mode::Context);
+        let ctx = DynamicSite::new(db, &program, Mode::Context);
         ctx.visit(&key).unwrap();
         assert!(
             ctx.metrics().rows_produced < naive.metrics().rows_produced,
@@ -430,9 +558,8 @@ mod tests {
 
     #[test]
     fn lookahead_turns_follows_into_cache_hits() {
-        let db = db();
         let program = parse(QUERY).unwrap();
-        let mut site = DynamicSite::new(&db, &program, Mode::ContextLookahead);
+        let site = DynamicSite::new(db(), &program, Mode::ContextLookahead);
         let view = site.visit(&root()).unwrap();
         assert!(site.cached_pages() >= 4, "root + 3 prefetched papers");
         // Follow the first paper link: a cache hit.
@@ -449,7 +576,7 @@ mod tests {
         let db = db();
         let program = parse(QUERY).unwrap();
         for mode in [Mode::Naive, Mode::Context] {
-            let mut site = DynamicSite::new(&db, &program, mode);
+            let site = DynamicSite::new(db.clone(), &program, mode);
             site.visit(&root()).unwrap();
             let q1 = site.metrics().queries_run;
             site.visit(&root()).unwrap();
@@ -466,7 +593,7 @@ mod tests {
         let program = parse(QUERY).unwrap();
         let static_site = Evaluator::new(&db).eval(&program).unwrap();
 
-        let mut site = DynamicSite::new(&db, &program, Mode::Context);
+        let site = DynamicSite::new(db.clone(), &program, Mode::Context);
         let root_view = site.visit(&root()).unwrap();
         let static_root = static_site.skolem_node("RootPage", &[]).unwrap();
         assert_eq!(
@@ -481,8 +608,7 @@ mod tests {
 
     #[test]
     fn int_keyed_pages_resolve() {
-        let db = db();
-        let mut site = DynamicSite::new(&db, &parse(QUERY).unwrap(), Mode::Context);
+        let site = DynamicSite::new(db(), &parse(QUERY).unwrap(), Mode::Context);
         let view = site
             .visit(&PageKey {
                 symbol: "YearPage".into(),
@@ -500,8 +626,7 @@ mod tests {
     fn nonexistent_page_instance_is_empty_not_error() {
         // YearPage(1890) was never derivable: its incremental queries
         // return no rows, so the page is simply empty.
-        let db = db();
-        let mut site = DynamicSite::new(&db, &parse(QUERY).unwrap(), Mode::Context);
+        let site = DynamicSite::new(db(), &parse(QUERY).unwrap(), Mode::Context);
         let view = site
             .visit(&PageKey {
                 symbol: "YearPage".into(),
@@ -513,13 +638,125 @@ mod tests {
 
     #[test]
     fn unknown_symbol_is_an_error() {
-        let db = db();
-        let mut site = DynamicSite::new(&db, &parse(QUERY).unwrap(), Mode::Context);
+        let site = DynamicSite::new(db(), &parse(QUERY).unwrap(), Mode::Context);
         assert!(site
             .visit(&PageKey {
                 symbol: "Ghost".into(),
                 args: vec![]
             })
             .is_err());
+    }
+
+    #[test]
+    fn concurrent_visits_share_one_engine() {
+        // ≥ 4 threads hammer one engine through `&self`; every thread
+        // sees identical content and the cache converges to one copy.
+        let program = parse(QUERY).unwrap();
+        let site = Arc::new(DynamicSite::new(db(), &program, Mode::Context));
+        let mut expected = site.visit(&root()).unwrap();
+        expected
+            .edges
+            .sort_by(|a, b| format!("{a:?}").cmp(&format!("{b:?}")));
+
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let site = Arc::clone(&site);
+            let expected = expected.clone();
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..50 {
+                    let mut v = site.visit(&root()).unwrap();
+                    v.edges.sort_by(|a, b| format!("{a:?}").cmp(&format!("{b:?}")));
+                    assert_eq!(v, expected);
+                    // Also fan out to every paper page.
+                    for (_, t) in &expected.edges {
+                        if let DynTarget::Page(k) = t {
+                            site.visit(k).unwrap();
+                        }
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let m = site.metrics();
+        assert!(m.cache_hits > 0, "warm visits hit the cache: {m:?}");
+    }
+
+    #[test]
+    fn apply_delta_evicts_only_dirty_pages() {
+        let db = db();
+        let p1 = db.graph().node_by_name("p1").unwrap();
+        let p2 = Value::Node(db.graph().node_by_name("p2").unwrap());
+        let program = parse(QUERY).unwrap();
+        let site = DynamicSite::new(db, &program, Mode::Context);
+
+        let p1_key = PageKey {
+            symbol: "PaperPage".into(),
+            args: vec![Value::Node(p1)],
+        };
+        let p2_key = PageKey {
+            symbol: "PaperPage".into(),
+            args: vec![p2],
+        };
+        let before = site.visit(&p1_key).unwrap();
+        site.visit(&p2_key).unwrap();
+        assert_eq!(site.cached_pages(), 2);
+
+        let mut delta = GraphDelta::new();
+        delta.remove_edge(p1, "title", Value::string("Alpha"));
+        delta.add_edge(p1, "title", Value::string("Alpha (rev)"));
+        let outcome = site.apply_delta(&delta).unwrap();
+        assert_eq!(outcome.evicted, 1, "{:?}", outcome.dirty);
+        assert_eq!(site.cached_pages(), 1, "p2 stays cached");
+
+        // Revisit p1: recomputed against the new snapshot.
+        let hits_before = site.metrics().cache_hits;
+        let after = site.visit(&p1_key).unwrap();
+        assert_eq!(site.metrics().cache_hits, hits_before, "p1 was a miss");
+        assert_ne!(before, after);
+        assert!(after.edges.iter().any(|(l, t)| l == "title"
+            && *t == DynTarget::Data(Value::string("Alpha (rev)"))));
+
+        // Revisit p2: still served from cache.
+        site.visit(&p2_key).unwrap();
+        assert_eq!(site.metrics().cache_hits, hits_before + 1);
+    }
+
+    #[test]
+    fn delta_visible_to_subsequent_visits() {
+        let db = db();
+        let program = parse(QUERY).unwrap();
+        let site = DynamicSite::new(db.clone(), &program, Mode::Context);
+        let n_before = site.visit(&root()).unwrap().edges.len();
+
+        // Add a brand-new publication.
+        let mut delta = GraphDelta::new();
+        delta.add_node(Some("p4"));
+        let oid = strudel_graph::Oid::from_index(db.graph().node_count());
+        delta.add_edge(oid, "title", Value::string("Delta"));
+        delta.collect("Publications", Value::Node(oid));
+        let outcome = site.apply_delta(&delta).unwrap();
+        assert!(outcome.dirty.contains(&root()));
+
+        let view = site.visit(&root()).unwrap();
+        assert_eq!(
+            view.edges.iter().filter(|(l, _)| l == "paper").count(),
+            4,
+            "new paper listed"
+        );
+        assert!(view.edges.len() > n_before);
+        assert_eq!(site.epoch(), 1);
+    }
+
+    #[test]
+    fn clear_cache_counts_evictions() {
+        let site = DynamicSite::new(db(), &parse(QUERY).unwrap(), Mode::ContextLookahead);
+        site.visit(&root()).unwrap();
+        let cached = site.cached_pages();
+        assert!(cached >= 4);
+        site.clear_cache();
+        assert_eq!(site.cached_pages(), 0);
+        assert_eq!(site.metrics().evictions, cached);
     }
 }

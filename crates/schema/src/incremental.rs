@@ -53,9 +53,16 @@ pub struct IncrementalOutcome {
 
 /// One inserted or deleted fact.
 #[derive(Clone, Debug)]
-enum Fact {
-    Edge { from: Oid, label: String, to: Value },
-    Member { collection: String, member: Value },
+pub(crate) enum Fact {
+    Edge {
+        from: Oid,
+        label: String,
+        to: Value,
+    },
+    Member {
+        collection: String,
+        member: Value,
+    },
 }
 
 /// Applies `delta` (in data-graph space) to a previously evaluated site.
@@ -314,7 +321,7 @@ fn flatten(program: &Program) -> Vec<Chain> {
     out
 }
 
-fn collect_facts(delta: &GraphDelta) -> Vec<Fact> {
+pub(crate) fn collect_facts(delta: &GraphDelta) -> Vec<Fact> {
     delta
         .ops()
         .iter()
@@ -333,7 +340,7 @@ fn collect_facts(delta: &GraphDelta) -> Vec<Fact> {
         .collect()
 }
 
-fn collect_delete_facts(delta: &GraphDelta) -> Vec<Fact> {
+pub(crate) fn collect_delete_facts(delta: &GraphDelta) -> Vec<Fact> {
     delta
         .ops()
         .iter()
@@ -491,7 +498,7 @@ fn push_seed(seeds: &mut Vec<(String, Value)>, var: &str, value: Value) -> Optio
 
 /// Tries to unify a condition atom with an inserted fact, producing seed
 /// bindings. `None` = this atom cannot match this fact.
-fn unify(cond: &Condition, fact: &Fact) -> Option<Vec<(String, Value)>> {
+pub(crate) fn unify(cond: &Condition, fact: &Fact) -> Option<Vec<(String, Value)>> {
     let mut seeds: Vec<(String, Value)> = Vec::new();
     let bind = |term: &Term, value: &Value, seeds: &mut Vec<(String, Value)>| -> bool {
         match term {

@@ -1,0 +1,268 @@
+//! Delta-driven page invalidation for the click-time engine.
+//!
+//! Given a data-graph delta, compute exactly which dynamic pages
+//! ([`PageKey`]s) could have changed content — the set a page cache must
+//! evict. The technique mirrors the incremental-maintenance delta rules:
+//! every changed fact is unified against each condition atom of each
+//! schema edge's guard; matching atoms seed a re-evaluation of the guard
+//! whose result rows name the affected source pages. Deleted facts are
+//! evaluated against the *pre*-delta database (the bindings that used to
+//! hold), inserted facts against the *post*-delta database.
+//!
+//! Out-of-fragment guards are handled conservatively rather than by
+//! falling back to whole-cache flushes: a guard using `not(…)` or a
+//! multi-step regular path expression dirties its source symbol
+//! *wholesale* (every cached page of that symbol), leaving all other
+//! symbols' pages untouched.
+
+use crate::dynamic::{eval_args, PageKey};
+use crate::incremental::{collect_delete_facts, collect_facts, unify, Fact};
+use crate::SiteSchema;
+use std::collections::HashSet;
+use strudel_graph::GraphDelta;
+use strudel_repo::Database;
+use strudel_struql::rpe::StepPred;
+use strudel_struql::{Condition, Evaluator, PathSpec, StruqlResult, Term};
+
+/// The pages a delta dirties: exact keys plus wholesale-dirty symbols.
+#[derive(Clone, Debug, Default)]
+pub struct DirtySet {
+    /// Exactly identified dirty pages.
+    pub pages: HashSet<PageKey>,
+    /// Symbols whose *every* page must be considered dirty (non-monotone
+    /// or non-localizable guards).
+    pub symbols: HashSet<String>,
+}
+
+impl DirtySet {
+    /// Whether a given page is dirtied by this set.
+    pub fn contains(&self, key: &PageKey) -> bool {
+        self.symbols.contains(&key.symbol) || self.pages.contains(key)
+    }
+
+    /// Whether nothing was dirtied.
+    pub fn is_empty(&self) -> bool {
+        self.pages.is_empty() && self.symbols.is_empty()
+    }
+}
+
+/// Does `cond` (or any condition nested under a `not`) unify with `fact`
+/// only through a negation or an un-seedable path? Returns:
+/// `Some(true)` — matches monotonically, seeds in hand;
+/// `Some(false)` — no relation to the fact at all.
+fn fact_touches_negation(cond: &Condition, fact: &Fact) -> bool {
+    match cond {
+        Condition::Not(inner, _) => {
+            unify(inner, fact).is_some() || fact_touches_negation(inner, fact)
+        }
+        _ => false,
+    }
+}
+
+/// A path condition whose regex cannot be localized to a single edge
+/// step, yet could involve the edge label of `fact`.
+fn fact_touches_regex_fallback(cond: &Condition, fact: &Fact) -> bool {
+    let (Condition::Path { path, .. }, Fact::Edge { .. }) = (cond, fact) else {
+        return false;
+    };
+    match path {
+        PathSpec::ArcVar(_) => false,
+        PathSpec::Regex(r) => !matches!(
+            r.as_single_step(),
+            Some(StepPred::Label(_)) | Some(StepPred::Any)
+        ),
+    }
+}
+
+/// Computes the set of dynamic pages whose content may differ after
+/// `delta`. `old_db` is the database before the delta, `new_db` after.
+pub fn dirty_pages(
+    schema: &SiteSchema,
+    old_db: &Database,
+    new_db: &Database,
+    delta: &GraphDelta,
+) -> StruqlResult<DirtySet> {
+    let mut dirty = DirtySet::default();
+    let inserts = collect_facts(delta);
+    let deletes = collect_delete_facts(delta);
+
+    for edge in &schema.edges {
+        let src_symbol = match &schema.nodes[edge.from] {
+            crate::SchemaNode::Skolem(sym) => sym.clone(),
+            _ => continue,
+        };
+        // Nested-Skolem source args can't be reconstructed from bindings
+        // rows; treat any matching fact as wholesale dirt.
+        let args_invertible = edge
+            .src_args
+            .iter()
+            .all(|t| matches!(t, Term::Var(_) | Term::Const(_)));
+
+        for (facts, db) in [(&inserts, new_db), (&deletes, old_db)] {
+            let ev = Evaluator::new(db);
+            for fact in facts.iter() {
+                for cond in &edge.guard {
+                    if fact_touches_negation(cond, fact)
+                        || fact_touches_regex_fallback(cond, fact)
+                    {
+                        dirty.symbols.insert(src_symbol.clone());
+                        continue;
+                    }
+                    let Some(seeds) = unify(cond, fact) else {
+                        continue;
+                    };
+                    if !args_invertible {
+                        dirty.symbols.insert(src_symbol.clone());
+                        continue;
+                    }
+                    let (vars, rows) = ev.eval_where_bindings(&edge.guard, &seeds)?;
+                    for row in &rows {
+                        let args = eval_args(&edge.src_args, &vars, row)?;
+                        dirty.pages.insert(PageKey {
+                            symbol: src_symbol.clone(),
+                            args,
+                        });
+                    }
+                }
+            }
+        }
+    }
+    Ok(dirty)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use strudel_graph::{ddl, Value};
+    use strudel_repo::IndexLevel;
+    use strudel_struql::parse;
+
+    const QUERY: &str = r#"
+        create RootPage()
+        where Publications(x)
+        create PaperPage(x)
+        link RootPage() -> "paper" -> PaperPage(x)
+        collect Roots(RootPage())
+        { where x -> "title" -> t
+          link PaperPage(x) -> "title" -> t }
+        { where x -> "year" -> y
+          create YearPage(y)
+          link PaperPage(x) -> "year" -> YearPage(y),
+               YearPage(y) -> "label" -> y }
+    "#;
+
+    fn db() -> Database {
+        let g = ddl::parse(
+            r#"
+            object p1 in Publications { title : "Alpha"; year : 1997; }
+            object p2 in Publications { title : "Beta"; year : 1998; }
+        "#,
+        )
+        .unwrap();
+        Database::from_graph(g, IndexLevel::Full)
+    }
+
+    fn after(db: &Database, delta: &GraphDelta) -> Database {
+        let mut g = db.graph().clone();
+        delta.apply(&mut g).unwrap();
+        Database::from_graph(g, IndexLevel::Full)
+    }
+
+    #[test]
+    fn title_edit_dirties_only_that_paper() {
+        let db = db();
+        let schema = SiteSchema::extract(&parse(QUERY).unwrap());
+        let p1 = db.graph().node_by_name("p1").unwrap();
+        let mut delta = GraphDelta::new();
+        delta.remove_edge(p1, "title", Value::string("Alpha"));
+        delta.add_edge(p1, "title", Value::string("Alpha v2"));
+        let new_db = after(&db, &delta);
+        let dirty = dirty_pages(&schema, &db, &new_db, &delta).unwrap();
+        let p1_key = PageKey {
+            symbol: "PaperPage".into(),
+            args: vec![Value::Node(p1)],
+        };
+        let p2_key = PageKey {
+            symbol: "PaperPage".into(),
+            args: vec![Value::Node(db.graph().node_by_name("p2").unwrap())],
+        };
+        assert!(dirty.contains(&p1_key));
+        assert!(!dirty.contains(&p2_key), "p2 untouched: {dirty:?}");
+        assert!(dirty.symbols.is_empty());
+    }
+
+    #[test]
+    fn new_publication_dirties_root() {
+        let db = db();
+        let schema = SiteSchema::extract(&parse(QUERY).unwrap());
+        let mut delta = GraphDelta::new();
+        delta.add_node(Some("p3"));
+        let oid = strudel_graph::Oid::from_index(db.graph().node_count());
+        delta.add_edge(oid, "title", Value::string("Gamma"));
+        delta.collect("Publications", Value::Node(oid));
+        let new_db = after(&db, &delta);
+        let dirty = dirty_pages(&schema, &db, &new_db, &delta).unwrap();
+        assert!(dirty.contains(&PageKey {
+            symbol: "RootPage".into(),
+            args: vec![],
+        }));
+        // The new paper's own page is dirty too (it now has content).
+        assert!(dirty.contains(&PageKey {
+            symbol: "PaperPage".into(),
+            args: vec![Value::Node(oid)],
+        }));
+    }
+
+    #[test]
+    fn year_retraction_dirties_paper_and_year_pages() {
+        let db = db();
+        let schema = SiteSchema::extract(&parse(QUERY).unwrap());
+        let p1 = db.graph().node_by_name("p1").unwrap();
+        let mut delta = GraphDelta::new();
+        delta.remove_edge(p1, "year", Value::Int(1997));
+        let new_db = after(&db, &delta);
+        let dirty = dirty_pages(&schema, &db, &new_db, &delta).unwrap();
+        assert!(dirty.contains(&PageKey {
+            symbol: "PaperPage".into(),
+            args: vec![Value::Node(p1)],
+        }));
+        assert!(dirty.contains(&PageKey {
+            symbol: "YearPage".into(),
+            args: vec![Value::Int(1997)],
+        }));
+        assert!(!dirty.contains(&PageKey {
+            symbol: "YearPage".into(),
+            args: vec![Value::Int(1998)],
+        }));
+    }
+
+    #[test]
+    fn negated_guard_dirties_symbol_wholesale() {
+        let query = r#"
+            where Publications(x), not(x -> "hidden" -> h)
+            create PubPage(x)
+            link PubPage(x) -> "self" -> x
+            collect Roots(PubPage(x))
+        "#;
+        let db = db();
+        let schema = SiteSchema::extract(&parse(query).unwrap());
+        let p1 = db.graph().node_by_name("p1").unwrap();
+        let mut delta = GraphDelta::new();
+        delta.add_edge(p1, "hidden", Value::Bool(true));
+        let new_db = after(&db, &delta);
+        let dirty = dirty_pages(&schema, &db, &new_db, &delta).unwrap();
+        assert!(dirty.symbols.contains("PubPage"), "{dirty:?}");
+    }
+
+    #[test]
+    fn unrelated_edit_dirties_nothing() {
+        let db = db();
+        let schema = SiteSchema::extract(&parse(QUERY).unwrap());
+        let p1 = db.graph().node_by_name("p1").unwrap();
+        let mut delta = GraphDelta::new();
+        delta.add_edge(p1, "internal-note", Value::string("draft"));
+        let new_db = after(&db, &delta);
+        let dirty = dirty_pages(&schema, &db, &new_db, &delta).unwrap();
+        assert!(dirty.is_empty(), "{dirty:?}");
+    }
+}

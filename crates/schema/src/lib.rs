@@ -33,6 +33,7 @@
 pub mod constraint;
 pub mod dynamic;
 pub mod incremental;
+pub mod invalidate;
 mod site_schema;
 
 pub use site_schema::{SchemaEdge, SchemaNode, SiteSchema};

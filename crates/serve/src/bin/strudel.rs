@@ -30,6 +30,11 @@
 //! strudel stats <dir>                 print the site-statistics row
 //! strudel guide <dir>                 print discovered data-graph schemas
 //!                                     (strong DataGuides per collection)
+//! strudel serve <dir> [--addr A] [--workers N] [--mode M]
+//!                                     serve the site at click time:
+//!                                     pages computed on demand, cached,
+//!                                     metrics on /metrics
+//!                                     (M: naive|context|lookahead)
 //! ```
 
 use std::path::{Path, PathBuf};
@@ -52,7 +57,9 @@ fn main() -> ExitCode {
 }
 
 fn run(args: &[String]) -> Result<(), String> {
-    let usage = "usage: strudel <build|check|schema|stats|guide> <site-dir> [-o <outdir>]";
+    let usage =
+        "usage: strudel <build|check|schema|stats|guide|serve> <site-dir> [-o <outdir>] \
+         [--addr <ip:port>] [--workers <n>] [--mode <naive|context|lookahead>]";
     let command = args.first().ok_or(usage)?;
     let dir = PathBuf::from(args.get(1).ok_or(usage)?);
     let outdir = match args.iter().position(|a| a == "-o") {
@@ -167,6 +174,47 @@ fn run(args: &[String]) -> Result<(), String> {
                 outdir.display()
             );
             Ok(())
+        }
+        "serve" => {
+            let built = site.build().map_err(|e| e.to_string())?;
+            report_verifications(&built);
+            let flag = |name: &str| {
+                args.iter()
+                    .position(|a| a == name)
+                    .and_then(|i| args.get(i + 1).cloned())
+            };
+            let addr = flag("--addr").unwrap_or_else(|| "127.0.0.1:8080".into());
+            let workers: usize = match flag("--workers") {
+                Some(w) => w.parse().map_err(|_| "--workers needs a number")?,
+                None => 4,
+            };
+            let mode = match flag("--mode").as_deref() {
+                None | Some("context") => strudel::schema::dynamic::Mode::Context,
+                Some("naive") => strudel::schema::dynamic::Mode::Naive,
+                Some("lookahead") => strudel::schema::dynamic::Mode::ContextLookahead,
+                Some(other) => {
+                    return Err(format!("unknown mode '{other}' (naive|context|lookahead)"))
+                }
+            };
+            let service =
+                std::sync::Arc::new(strudel_serve::SiteService::new(&built, mode));
+            let server = strudel_serve::serve(
+                service,
+                strudel_serve::ServerConfig {
+                    addr,
+                    workers,
+                    ..Default::default()
+                },
+            )
+            .map_err(|e| format!("binding server: {e}"))?;
+            println!(
+                "serving '{}' at http://{}/ ({workers} workers, {mode:?} evaluation; ^C stops)",
+                built.name,
+                server.addr()
+            );
+            loop {
+                std::thread::park();
+            }
         }
         other => Err(format!("unknown command '{other}'\n{usage}")),
     }

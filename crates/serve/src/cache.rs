@@ -1,0 +1,213 @@
+//! The rendered-page cache: sharded, epoch-fenced, delta-invalidated.
+//!
+//! Keys are [`PageKey`]s; values are finished HTML plus the page's
+//! *dependency set* — the other pages whose content was read while
+//! rendering (link text and sort keys come from child pages). Delta
+//! invalidation therefore evicts a page when the delta dirtied **it or
+//! any of its dependencies**: editing an article's title must evict the
+//! section page whose story list shows that title, even though the
+//! section's own incremental queries are untouched.
+//!
+//! Inserts carry the engine epoch they were rendered under and are
+//! dropped if a delta landed in between (same fencing protocol as the
+//! engine's page-view cache).
+
+use crate::metrics::CacheSnapshot;
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+use strudel_schema::dynamic::PageKey;
+use strudel_schema::invalidate::DirtySet;
+
+/// One cached rendition.
+#[derive(Clone, Debug)]
+pub struct CachedPage {
+    /// The finished HTML.
+    pub html: Arc<str>,
+    /// Pages whose content this rendition read (children shown by link
+    /// text or sort key).
+    pub deps: Arc<[PageKey]>,
+}
+
+const SHARDS: usize = 16;
+
+/// A concurrent rendered-HTML cache.
+#[derive(Debug)]
+pub struct HtmlCache {
+    shards: Vec<RwLock<HashMap<PageKey, CachedPage>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl Default for HtmlCache {
+    fn default() -> Self {
+        HtmlCache {
+            shards: (0..SHARDS).map(|_| RwLock::new(HashMap::new())).collect(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+}
+
+impl HtmlCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn shard_of(&self, key: &PageKey) -> &RwLock<HashMap<PageKey, CachedPage>> {
+        let mut h = DefaultHasher::new();
+        key.hash(&mut h);
+        &self.shards[(h.finish() as usize) % SHARDS]
+    }
+
+    /// Looks `key` up, counting the hit or miss.
+    pub fn get(&self, key: &PageKey) -> Option<CachedPage> {
+        match self.shard_of(key).read().unwrap().get(key) {
+            Some(p) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(p.clone())
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Inserts a rendition unless `still_current` reports that a delta
+    /// landed since it was computed (checked under the shard lock).
+    pub fn insert_if(
+        &self,
+        key: PageKey,
+        page: CachedPage,
+        still_current: impl FnOnce() -> bool,
+    ) {
+        let mut shard = self.shard_of(&key).write().unwrap();
+        if still_current() {
+            shard.insert(key, page);
+        }
+    }
+
+    /// Evicts every page the delta dirtied, directly or through its
+    /// dependency set. Returns the eviction count.
+    pub fn invalidate(&self, dirty: &DirtySet) -> usize {
+        if dirty.is_empty() {
+            return 0;
+        }
+        let mut evicted = 0;
+        for shard in &self.shards {
+            let mut map = shard.write().unwrap();
+            let before = map.len();
+            map.retain(|key, page| {
+                !dirty.contains(key) && !page.deps.iter().any(|d| dirty.contains(d))
+            });
+            evicted += before - map.len();
+        }
+        self.evictions.fetch_add(evicted as u64, Ordering::Relaxed);
+        evicted
+    }
+
+    /// Drops everything.
+    pub fn clear(&self) -> usize {
+        let mut evicted = 0;
+        for shard in &self.shards {
+            let mut map = shard.write().unwrap();
+            evicted += map.len();
+            map.clear();
+        }
+        self.evictions.fetch_add(evicted as u64, Ordering::Relaxed);
+        evicted
+    }
+
+    /// Number of cached pages.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.read().unwrap().len()).sum()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Counter snapshot for `/metrics`.
+    pub fn stats(&self) -> CacheSnapshot {
+        CacheSnapshot {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            entries: self.len() as u64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(sym: &str) -> PageKey {
+        PageKey {
+            symbol: sym.into(),
+            args: vec![],
+        }
+    }
+
+    fn page(deps: Vec<PageKey>) -> CachedPage {
+        CachedPage {
+            html: "<html/>".into(),
+            deps: deps.into(),
+        }
+    }
+
+    #[test]
+    fn get_counts_hits_and_misses() {
+        let c = HtmlCache::new();
+        assert!(c.get(&key("A")).is_none());
+        c.insert_if(key("A"), page(vec![]), || true);
+        assert!(c.get(&key("A")).is_some());
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses, s.entries), (1, 1, 1));
+    }
+
+    #[test]
+    fn stale_insert_is_dropped() {
+        let c = HtmlCache::new();
+        c.insert_if(key("A"), page(vec![]), || false);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn invalidate_follows_dependencies() {
+        let c = HtmlCache::new();
+        // Section depends on article; front depends on section.
+        c.insert_if(key("Article"), page(vec![]), || true);
+        c.insert_if(key("Section"), page(vec![key("Article")]), || true);
+        c.insert_if(key("Other"), page(vec![]), || true);
+        let mut dirty = DirtySet::default();
+        dirty.pages.insert(key("Article"));
+        let evicted = c.invalidate(&dirty);
+        assert_eq!(evicted, 2, "article + dependent section");
+        assert!(c.get(&key("Other")).is_some(), "untouched page survives");
+        assert_eq!(c.stats().evictions, 2);
+    }
+
+    #[test]
+    fn wholesale_symbol_dirt_evicts_dependents_too() {
+        let c = HtmlCache::new();
+        c.insert_if(
+            key("Front"),
+            page(vec![PageKey {
+                symbol: "Article".into(),
+                args: vec![],
+            }]),
+            || true,
+        );
+        let mut dirty = DirtySet::default();
+        dirty.symbols.insert("Article".into());
+        assert_eq!(c.invalidate(&dirty), 1);
+    }
+}

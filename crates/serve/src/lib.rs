@@ -1,0 +1,310 @@
+//! # strudel-serve
+//!
+//! A concurrent click-time site server — the §7 future-work direction
+//! ("compute pages dynamically at click time") built on the site-schema
+//! engine of `strudel-schema`.
+//!
+//! The static pipeline materializes a whole site up front; this crate
+//! serves the *same pages* on demand instead. One shared
+//! [`DynamicSite`] engine answers every worker thread; the rendered
+//! HTML sits in an epoch-fenced [`HtmlCache`] keyed by stable,
+//! restart-surviving URLs ([`router`]); a data delta applied through
+//! [`SiteService::apply_delta`] evicts exactly the dirtied pages —
+//! everything else keeps serving from cache. Request counters and
+//! latency histograms are exposed on `/metrics` ([`metrics`]).
+//!
+//! Routes:
+//!
+//! ```text
+//! /                 index of root pages
+//! /page/<Sym>/<a>…  one dynamic page (see router for segment syntax)
+//! /data/<n:…|o:…>   raw data-graph object view
+//! /metrics          Prometheus-style counters
+//! ```
+//!
+//! [`DynamicSite`]: strudel_schema::dynamic::DynamicSite
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod metrics;
+pub mod render;
+pub mod router;
+pub mod server;
+
+use std::fmt;
+use std::sync::Arc;
+use std::time::Instant;
+
+pub use cache::{CachedPage, HtmlCache};
+pub use metrics::{CacheSnapshot, RouteSnapshot, ServerMetrics, ServerStats};
+pub use render::RenderedPage;
+pub use server::{serve, ServerConfig, ServerHandle};
+
+use strudel_graph::GraphDelta;
+use strudel_repo::Database;
+use strudel_schema::dynamic::{DynamicSite, InvalidationOutcome, Mode, PageKey};
+use strudel_struql::{Program, StruqlError};
+use strudel_template::{TemplateError, TemplateSet};
+
+/// Anything that can go wrong while serving.
+#[derive(Debug)]
+pub enum ServeError {
+    /// Query evaluation failed.
+    Struql(StruqlError),
+    /// Template rendering failed.
+    Template(TemplateError),
+    /// Socket-level failure.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Struql(e) => write!(f, "query evaluation: {e}"),
+            ServeError::Template(e) => write!(f, "template rendering: {e}"),
+            ServeError::Io(e) => write!(f, "i/o: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<StruqlError> for ServeError {
+    fn from(e: StruqlError) -> Self {
+        ServeError::Struql(e)
+    }
+}
+
+impl From<TemplateError> for ServeError {
+    fn from(e: TemplateError) -> Self {
+        ServeError::Template(e)
+    }
+}
+
+impl From<std::io::Error> for ServeError {
+    fn from(e: std::io::Error) -> Self {
+        ServeError::Io(e)
+    }
+}
+
+/// One HTTP response, transport-agnostic.
+#[derive(Clone, Debug)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// `Content-Type` header value.
+    pub content_type: &'static str,
+    /// Response body.
+    pub body: String,
+}
+
+impl Response {
+    fn html(body: String) -> Self {
+        Response {
+            status: 200,
+            content_type: "text/html; charset=utf-8",
+            body,
+        }
+    }
+
+    fn text(body: String) -> Self {
+        Response {
+            status: 200,
+            content_type: "text/plain; charset=utf-8",
+            body,
+        }
+    }
+
+    fn not_found(path: &str) -> Self {
+        Response {
+            status: 404,
+            content_type: "text/html; charset=utf-8",
+            body: format!(
+                "<html><body><h1>404</h1><p>no page at {}</p></body></html>\n",
+                strudel_template::escape_html(path)
+            ),
+        }
+    }
+
+    fn error(e: &ServeError) -> Self {
+        Response {
+            status: 500,
+            content_type: "text/html; charset=utf-8",
+            body: format!(
+                "<html><body><h1>500</h1><pre>{}</pre></body></html>\n",
+                strudel_template::escape_html(&e.to_string())
+            ),
+        }
+    }
+}
+
+/// The result of applying a delta to a live service.
+#[derive(Clone, Debug)]
+pub struct ServiceInvalidation {
+    /// The engine-level outcome (dirty set, evicted page views).
+    pub engine: InvalidationOutcome,
+    /// Rendered-HTML cache entries evicted (direct + dependents).
+    pub html_evicted: usize,
+}
+
+/// A servable site: the shared click-time engine, the site's templates,
+/// the rendered-page cache, and the metric registry. All methods take
+/// `&self`; wrap it in an [`Arc`] and hand it to any number of workers.
+pub struct SiteService {
+    engine: DynamicSite,
+    templates: TemplateSet,
+    root_collection: String,
+    cache: HtmlCache,
+    metrics: ServerMetrics,
+}
+
+impl SiteService {
+    /// Builds a service from loose parts (database snapshot, parsed
+    /// site-definition query, templates, root collection).
+    pub fn from_parts(
+        db: Arc<Database>,
+        program: &Program,
+        templates: TemplateSet,
+        root_collection: &str,
+        mode: Mode,
+    ) -> Self {
+        SiteService {
+            engine: DynamicSite::new(db, program, mode),
+            templates,
+            root_collection: root_collection.to_owned(),
+            cache: HtmlCache::new(),
+            metrics: ServerMetrics::new(),
+        }
+    }
+
+    /// Builds a service from a built [`strudel::Site`].
+    pub fn new(site: &strudel::Site, mode: Mode) -> Self {
+        Self::from_parts(
+            site.database.clone(),
+            &site.program,
+            site.templates.clone(),
+            &site.root_collection,
+            mode,
+        )
+    }
+
+    /// The shared click-time engine.
+    pub fn engine(&self) -> &DynamicSite {
+        &self.engine
+    }
+
+    /// The rendered-HTML cache.
+    pub fn cache(&self) -> &HtmlCache {
+        &self.cache
+    }
+
+    /// The collection naming the site's root pages.
+    pub fn root_collection(&self) -> &str {
+        &self.root_collection
+    }
+
+    /// The stable URL of a page (for crawlers and tests).
+    pub fn url_of(&self, key: &PageKey) -> String {
+        router::page_path(key, self.engine.database().graph())
+    }
+
+    /// Serves one request path, recording route metrics. Never panics on
+    /// hostile paths: malformed URLs are 404s, render failures 500s.
+    pub fn handle(&self, path: &str) -> Response {
+        let start = Instant::now();
+        // Strip any query string; routing is path-only.
+        let path = path.split('?').next().unwrap_or(path);
+        let (route, response) = self.dispatch(path);
+        let us = start.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
+        self.metrics.record(&route, us);
+        response
+    }
+
+    fn dispatch(&self, path: &str) -> (String, Response) {
+        if path == "/" {
+            let r = match render::render_roots_index(&self.engine, &self.root_collection) {
+                Ok(html) => Response::html(html),
+                Err(e) => Response::error(&e),
+            };
+            return ("front".into(), r);
+        }
+        if path == "/metrics" {
+            return ("metrics".into(), Response::text(self.stats().to_text()));
+        }
+        if path.starts_with("/page/") {
+            let db = self.engine.database();
+            let key = router::parse_page_path(path, db.graph());
+            drop(db);
+            let Some(key) = key else {
+                return ("not_found".into(), Response::not_found(path));
+            };
+            if self.engine.schema().node_index(&key.symbol).is_none() {
+                return ("not_found".into(), Response::not_found(path));
+            }
+            let route = format!("page/{}", key.symbol);
+            return (route, self.serve_page(&key));
+        }
+        if path.starts_with("/data/") {
+            let db = self.engine.database();
+            let Some(oid) = router::parse_data_path(path, db.graph()) else {
+                return ("not_found".into(), Response::not_found(path));
+            };
+            let r = match render::render_data_node(db.graph(), oid) {
+                Ok(html) => Response::html(html),
+                Err(e) => Response::error(&e),
+            };
+            return ("data".into(), r);
+        }
+        ("not_found".into(), Response::not_found(path))
+    }
+
+    fn serve_page(&self, key: &PageKey) -> Response {
+        if let Some(cached) = self.cache.get(key) {
+            return Response::html(cached.html.to_string());
+        }
+        // Epoch read *before* rendering: if a delta lands mid-render the
+        // insert is dropped and the next request re-renders fresh.
+        let epoch = self.engine.epoch();
+        match render::render_page(&self.engine, &self.templates, key) {
+            Ok(page) => {
+                let body = page.html.clone();
+                self.cache.insert_if(
+                    key.clone(),
+                    CachedPage {
+                        html: page.html.into(),
+                        deps: page.deps.into(),
+                    },
+                    || self.engine.epoch() == epoch,
+                );
+                Response::html(body)
+            }
+            Err(e) => Response::error(&e),
+        }
+    }
+
+    /// Applies a data-graph delta: swaps the engine's database snapshot
+    /// and evicts exactly the dirtied pages from both caches (the HTML
+    /// cache also follows rendition dependencies). Concurrent requests
+    /// keep serving throughout.
+    pub fn apply_delta(&self, delta: &GraphDelta) -> Result<ServiceInvalidation, ServeError> {
+        let engine = self.engine.apply_delta(delta)?;
+        let html_evicted = self.cache.invalidate(&engine.dirty);
+        Ok(ServiceInvalidation {
+            engine,
+            html_evicted,
+        })
+    }
+
+    /// Everything `/metrics` reports, as a struct.
+    pub fn stats(&self) -> ServerStats {
+        ServerStats {
+            total: self.metrics.totals(),
+            routes: self.metrics.snapshot(),
+            html_cache: self.cache.stats(),
+            engine: self.engine.metrics(),
+            epoch: self.engine.epoch(),
+        }
+    }
+}

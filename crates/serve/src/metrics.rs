@@ -1,0 +1,335 @@
+//! Request observability: per-route counters, latency histograms, and the
+//! `/metrics` text rendition.
+//!
+//! Everything is lock-free on the hot path: a request records one atomic
+//! add into its route's counter and one into a fixed-bucket latency
+//! histogram. Quantiles are read from the bucket counts on demand, so
+//! `p50`/`p99` are upper bounds at bucket resolution — plenty for
+//! operational visibility, free of per-request allocation.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+/// Histogram bucket upper bounds, in microseconds: a 1–2–5 ladder from
+/// 1 µs to 10 s, plus an overflow bucket.
+const BOUNDS_US: [u64; 22] = [
+    1, 2, 5, 10, 20, 50, 100, 200, 500, 1_000, 2_000, 5_000, 10_000, 20_000, 50_000, 100_000,
+    200_000, 500_000, 1_000_000, 2_000_000, 5_000_000, 10_000_000,
+];
+
+/// A fixed-bucket latency histogram over microseconds.
+#[derive(Debug, Default)]
+pub struct Histogram {
+    buckets: [AtomicU64; BOUNDS_US.len() + 1],
+    count: AtomicU64,
+    sum_us: AtomicU64,
+}
+
+impl Histogram {
+    /// Records one observation.
+    pub fn record(&self, us: u64) {
+        let idx = BOUNDS_US
+            .iter()
+            .position(|&b| us <= b)
+            .unwrap_or(BOUNDS_US.len());
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_us.fetch_add(us, Ordering::Relaxed);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Mean observation in microseconds (0 when empty).
+    pub fn mean_us(&self) -> u64 {
+        self.sum_us
+            .load(Ordering::Relaxed)
+            .checked_div(self.count())
+            .unwrap_or(0)
+    }
+
+    /// The `q`-quantile in microseconds, as the upper bound of the bucket
+    /// containing it (0 when empty). `q` is clamped to `[0, 1]`.
+    pub fn quantile_us(&self, q: f64) -> u64 {
+        let n = self.count();
+        if n == 0 {
+            return 0;
+        }
+        let target = ((q.clamp(0.0, 1.0) * n as f64).ceil() as u64).max(1);
+        let mut seen = 0;
+        for (i, bucket) in self.buckets.iter().enumerate() {
+            seen += bucket.load(Ordering::Relaxed);
+            if seen >= target {
+                return BOUNDS_US.get(i).copied().unwrap_or(u64::MAX);
+            }
+        }
+        u64::MAX
+    }
+}
+
+/// Counters for one route class (e.g. `page/ArticlePage`, `metrics`).
+#[derive(Debug, Default)]
+pub struct RouteStats {
+    /// Requests served on this route.
+    pub requests: AtomicU64,
+    /// Request latency distribution.
+    pub latency: Histogram,
+}
+
+/// The server's metric registry.
+#[derive(Debug, Default)]
+pub struct ServerMetrics {
+    routes: RwLock<HashMap<String, Arc<RouteStats>>>,
+    total: RouteStats,
+}
+
+impl ServerMetrics {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one served request on `route` taking `us` microseconds.
+    pub fn record(&self, route: &str, us: u64) {
+        self.total.requests.fetch_add(1, Ordering::Relaxed);
+        self.total.latency.record(us);
+        if let Some(r) = self.routes.read().unwrap().get(route) {
+            r.requests.fetch_add(1, Ordering::Relaxed);
+            r.latency.record(us);
+            return;
+        }
+        let r = self
+            .routes
+            .write()
+            .unwrap()
+            .entry(route.to_owned())
+            .or_default()
+            .clone();
+        r.requests.fetch_add(1, Ordering::Relaxed);
+        r.latency.record(us);
+    }
+
+    /// A point-in-time snapshot of every route.
+    pub fn snapshot(&self) -> Vec<RouteSnapshot> {
+        let mut routes: Vec<RouteSnapshot> = self
+            .routes
+            .read()
+            .unwrap()
+            .iter()
+            .map(|(name, r)| RouteSnapshot {
+                route: name.clone(),
+                requests: r.requests.load(Ordering::Relaxed),
+                p50_us: r.latency.quantile_us(0.5),
+                p99_us: r.latency.quantile_us(0.99),
+                mean_us: r.latency.mean_us(),
+            })
+            .collect();
+        routes.sort_by(|a, b| a.route.cmp(&b.route));
+        routes
+    }
+
+    /// Totals across all routes.
+    pub fn totals(&self) -> RouteSnapshot {
+        RouteSnapshot {
+            route: "total".into(),
+            requests: self.total.requests.load(Ordering::Relaxed),
+            p50_us: self.total.latency.quantile_us(0.5),
+            p99_us: self.total.latency.quantile_us(0.99),
+            mean_us: self.total.latency.mean_us(),
+        }
+    }
+}
+
+/// One route's counters, frozen for reporting.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RouteSnapshot {
+    /// Route class (page symbol, `front`, `data`, `metrics`, `not_found`).
+    pub route: String,
+    /// Requests served.
+    pub requests: u64,
+    /// Median latency (bucket upper bound), microseconds.
+    pub p50_us: u64,
+    /// 99th-percentile latency (bucket upper bound), microseconds.
+    pub p99_us: u64,
+    /// Mean latency, microseconds.
+    pub mean_us: u64,
+}
+
+/// Rendered-HTML cache counters, frozen for reporting.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheSnapshot {
+    /// Requests answered from the cache.
+    pub hits: u64,
+    /// Requests that had to render.
+    pub misses: u64,
+    /// Entries evicted by delta invalidation or explicit clears.
+    pub evictions: u64,
+    /// Entries currently cached.
+    pub entries: u64,
+}
+
+impl CacheSnapshot {
+    /// Fraction of lookups served from cache (0 when no lookups yet).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// Everything the `/metrics` endpoint reports, as one struct.
+#[derive(Clone, Debug)]
+pub struct ServerStats {
+    /// Totals across all routes.
+    pub total: RouteSnapshot,
+    /// Per-route breakdown, sorted by route name.
+    pub routes: Vec<RouteSnapshot>,
+    /// Rendered-HTML cache counters.
+    pub html_cache: CacheSnapshot,
+    /// The click-time engine's own counters (page-view cache, guard
+    /// evaluations).
+    pub engine: strudel_schema::dynamic::Metrics,
+    /// Number of applied data deltas.
+    pub epoch: u64,
+}
+
+impl ServerStats {
+    /// Renders the stats in the Prometheus text exposition format.
+    pub fn to_text(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::with_capacity(1024);
+        let mut line = |s: String| {
+            out.push_str(&s);
+            out.push('\n');
+        };
+        line(format!("strudel_requests_total {}", self.total.requests));
+        for (q, v) in [("0.5", self.total.p50_us), ("0.99", self.total.p99_us)] {
+            line(format!(
+                "strudel_request_latency_us{{quantile=\"{q}\"}} {v}"
+            ));
+        }
+        line(format!(
+            "strudel_request_latency_us_mean {}",
+            self.total.mean_us
+        ));
+        for r in &self.routes {
+            line(format!(
+                "strudel_route_requests_total{{route=\"{}\"}} {}",
+                r.route, r.requests
+            ));
+            line(format!(
+                "strudel_route_latency_us{{route=\"{}\",quantile=\"0.5\"}} {}",
+                r.route, r.p50_us
+            ));
+            line(format!(
+                "strudel_route_latency_us{{route=\"{}\",quantile=\"0.99\"}} {}",
+                r.route, r.p99_us
+            ));
+        }
+        line(format!("strudel_html_cache_hits_total {}", self.html_cache.hits));
+        line(format!(
+            "strudel_html_cache_misses_total {}",
+            self.html_cache.misses
+        ));
+        line(format!(
+            "strudel_html_cache_evictions_total {}",
+            self.html_cache.evictions
+        ));
+        line(format!("strudel_html_cache_entries {}", self.html_cache.entries));
+        let mut rate = String::new();
+        write!(rate, "{:.4}", self.html_cache.hit_rate()).unwrap();
+        line(format!("strudel_html_cache_hit_rate {rate}"));
+        line(format!("strudel_engine_clicks_total {}", self.engine.clicks));
+        line(format!(
+            "strudel_engine_queries_total {}",
+            self.engine.queries_run
+        ));
+        line(format!(
+            "strudel_engine_rows_produced_total {}",
+            self.engine.rows_produced
+        ));
+        line(format!(
+            "strudel_engine_view_cache_hits_total {}",
+            self.engine.cache_hits
+        ));
+        line(format!(
+            "strudel_engine_view_evictions_total {}",
+            self.engine.evictions
+        ));
+        line(format!("strudel_delta_epoch {}", self.epoch));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_quantiles_are_bucket_upper_bounds() {
+        let h = Histogram::default();
+        for us in [3, 3, 3, 3, 3, 3, 3, 3, 3, 700] {
+            h.record(us);
+        }
+        assert_eq!(h.count(), 10);
+        assert_eq!(h.quantile_us(0.5), 5, "3 µs falls in the (2,5] bucket");
+        assert_eq!(h.quantile_us(0.99), 1_000, "700 µs falls in (500,1000]");
+        assert_eq!(h.mean_us(), (9 * 3 + 700) / 10);
+    }
+
+    #[test]
+    fn empty_histogram_reports_zero() {
+        let h = Histogram::default();
+        assert_eq!(h.quantile_us(0.5), 0);
+        assert_eq!(h.mean_us(), 0);
+    }
+
+    #[test]
+    fn overflow_bucket_catches_huge_latencies() {
+        let h = Histogram::default();
+        h.record(u64::MAX);
+        assert_eq!(h.quantile_us(0.5), u64::MAX);
+    }
+
+    #[test]
+    fn routes_accumulate_independently() {
+        let m = ServerMetrics::new();
+        m.record("front", 10);
+        m.record("front", 20);
+        m.record("page/ArticlePage", 100);
+        let snap = m.snapshot();
+        assert_eq!(snap.len(), 2);
+        let front = snap.iter().find(|r| r.route == "front").unwrap();
+        assert_eq!(front.requests, 2);
+        assert_eq!(m.totals().requests, 3);
+    }
+
+    #[test]
+    fn stats_render_prometheus_text() {
+        let m = ServerMetrics::new();
+        m.record("front", 42);
+        let stats = ServerStats {
+            total: m.totals(),
+            routes: m.snapshot(),
+            html_cache: CacheSnapshot {
+                hits: 3,
+                misses: 1,
+                evictions: 0,
+                entries: 1,
+            },
+            engine: Default::default(),
+            epoch: 0,
+        };
+        let text = stats.to_text();
+        assert!(text.contains("strudel_requests_total 1"));
+        assert!(text.contains("strudel_route_requests_total{route=\"front\"} 1"));
+        assert!(text.contains("strudel_html_cache_hit_rate 0.7500"));
+        assert!(text.contains("strudel_request_latency_us{quantile=\"0.5\"} 50"));
+    }
+}

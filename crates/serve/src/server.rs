@@ -1,0 +1,207 @@
+//! The HTTP front end: a plain-`std::net` thread pool over one shared
+//! [`SiteService`].
+//!
+//! One accept thread feeds accepted connections into an `mpsc` channel;
+//! `workers` threads drain it, each parsing a minimal `GET` request,
+//! dispatching into the service, and writing the response. Per-request
+//! socket timeouts bound how long a slow or stalled client can hold a
+//! worker. Shutdown is graceful: a flag flips, a self-connection wakes
+//! the accept loop, the channel closes, and every worker drains its
+//! in-flight request before exiting.
+
+use crate::{Response, SiteService};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Server knobs.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Bind address; use port 0 for an ephemeral port.
+    pub addr: String,
+    /// Worker threads handling requests.
+    pub workers: usize,
+    /// Per-request socket read/write timeout.
+    pub timeout: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 4,
+            timeout: Duration::from_secs(10),
+        }
+    }
+}
+
+/// A running server; dropping it shuts the server down.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (resolves ephemeral ports).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting, drains in-flight requests, joins every thread.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        if !self.stop.swap(true, Ordering::SeqCst) {
+            // Wake the blocking accept with a throwaway connection.
+            let _ = TcpStream::connect(self.addr);
+        }
+        if let Some(t) = self.accept.take() {
+            let _ = t.join();
+        }
+        for t in self.workers.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+/// Starts serving `service` per `config`. Returns once the socket is
+/// bound and the worker pool is up.
+pub fn serve(service: Arc<SiteService>, config: ServerConfig) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(&config.addr)?;
+    let addr = listener.local_addr()?;
+    let stop = Arc::new(AtomicBool::new(false));
+
+    let (tx, rx) = mpsc::channel::<TcpStream>();
+    let rx = Arc::new(Mutex::new(rx));
+
+    let mut workers = Vec::with_capacity(config.workers.max(1));
+    for i in 0..config.workers.max(1) {
+        let rx = Arc::clone(&rx);
+        let service = Arc::clone(&service);
+        let timeout = config.timeout;
+        workers.push(
+            std::thread::Builder::new()
+                .name(format!("strudel-serve-worker-{i}"))
+                .spawn(move || loop {
+                    // Hold the receiver lock only for the dequeue, never
+                    // across a request.
+                    let stream = rx.lock().unwrap().recv();
+                    match stream {
+                        Ok(stream) => handle_connection(stream, &service, timeout),
+                        Err(_) => break, // channel closed: shutting down
+                    }
+                })?,
+        );
+    }
+
+    let accept_stop = Arc::clone(&stop);
+    let accept = std::thread::Builder::new()
+        .name("strudel-serve-accept".into())
+        .spawn(move || {
+            for stream in listener.incoming() {
+                if accept_stop.load(Ordering::SeqCst) {
+                    break;
+                }
+                if let Ok(stream) = stream {
+                    if tx.send(stream).is_err() {
+                        break;
+                    }
+                }
+            }
+            // tx drops here; workers drain the queue and exit.
+        })?;
+
+    Ok(ServerHandle {
+        addr,
+        stop,
+        accept: Some(accept),
+        workers,
+    })
+}
+
+/// Parses one `GET` request and writes the service's response. Errors are
+/// answered with a 400 where possible and otherwise dropped — a broken
+/// client must never take a worker down.
+fn handle_connection(stream: TcpStream, service: &SiteService, timeout: Duration) {
+    let _ = stream.set_read_timeout(Some(timeout));
+    let _ = stream.set_write_timeout(Some(timeout));
+    let mut reader = BufReader::new(match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    });
+    let mut request_line = String::new();
+    if reader.read_line(&mut request_line).is_err() {
+        return;
+    }
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().unwrap_or("");
+    let path = parts.next().unwrap_or("");
+    // Drain headers up to the blank line; bodies are not supported.
+    let mut line = String::new();
+    loop {
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(n) if n > 2 => continue,
+            _ => break,
+        }
+    }
+    let response = if method != "GET" && method != "HEAD" {
+        Response {
+            status: 405,
+            content_type: "text/plain; charset=utf-8",
+            body: "only GET is supported\n".into(),
+        }
+    } else if path.is_empty() {
+        Response {
+            status: 400,
+            content_type: "text/plain; charset=utf-8",
+            body: "malformed request line\n".into(),
+        }
+    } else {
+        service.handle(path)
+    };
+    let _ = write_response(stream, &response, method == "HEAD");
+}
+
+fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        500 => "Internal Server Error",
+        _ => "",
+    }
+}
+
+fn write_response(
+    mut stream: TcpStream,
+    response: &Response,
+    head_only: bool,
+) -> std::io::Result<()> {
+    write!(
+        stream,
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        response.status,
+        reason(response.status),
+        response.content_type,
+        response.body.len()
+    )?;
+    if !head_only {
+        stream.write_all(response.body.as_bytes())?;
+    }
+    stream.flush()
+}

@@ -1,0 +1,182 @@
+//! End-to-end HTTP: a real server on an ephemeral port, hammered by
+//! concurrent client threads, checked for identical bodies, correct
+//! status codes, live metrics, and a graceful shutdown that drains
+//! in-flight requests.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+
+use strudel::sites::news_site;
+use strudel_schema::dynamic::Mode;
+use strudel_serve::{serve, ServerConfig, SiteService};
+use strudel_workload::news::{generate, NewsConfig};
+
+fn start(workers: usize) -> (Arc<SiteService>, strudel_serve::ServerHandle) {
+    let corpus = generate(&NewsConfig {
+        articles: 30,
+        ..Default::default()
+    });
+    let site = news_site(&corpus.pages).build().unwrap();
+    let service = Arc::new(SiteService::new(&site, Mode::Context));
+    let server = serve(
+        service.clone(),
+        ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            workers,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    (service, server)
+}
+
+fn request(addr: SocketAddr, line: &str) -> String {
+    let mut s = TcpStream::connect(addr).unwrap();
+    write!(s, "{line}\r\nHost: localhost\r\n\r\n").unwrap();
+    let mut out = String::new();
+    s.read_to_string(&mut out).unwrap();
+    out
+}
+
+fn get(addr: SocketAddr, path: &str) -> String {
+    request(addr, &format!("GET {path} HTTP/1.1"))
+}
+
+fn body_of(response: &str) -> &str {
+    response.split("\r\n\r\n").nth(1).unwrap_or("")
+}
+
+/// Every `/page/…` href reachable from the index, breadth-first.
+fn crawl_urls(addr: SocketAddr, limit: usize) -> Vec<String> {
+    let mut urls = vec!["/".to_string()];
+    let mut i = 0;
+    while i < urls.len() && urls.len() < limit {
+        let html = get(addr, &urls[i]);
+        for part in html.split("href=\"").skip(1) {
+            if let Some(end) = part.find('"') {
+                let href = &part[..end];
+                if href.starts_with("/page/") && !urls.iter().any(|u| u == href) {
+                    urls.push(href.to_string());
+                }
+            }
+        }
+        i += 1;
+    }
+    urls
+}
+
+#[test]
+fn concurrent_clients_get_identical_pages() {
+    let (service, server) = start(4);
+    let addr = server.addr();
+    let urls = Arc::new(crawl_urls(addr, 24));
+    assert!(urls.len() >= 10, "crawl found pages: {}", urls.len());
+
+    // Reference bodies fetched serially.
+    let reference: Arc<Vec<String>> = Arc::new(
+        urls.iter()
+            .map(|u| {
+                let response = get(addr, u);
+                assert!(response.starts_with("HTTP/1.1 200"), "{u}: {response}");
+                body_of(&response).to_string()
+            })
+            .collect(),
+    );
+
+    // Eight client threads re-fetch every URL; all bodies must match the
+    // serial reference byte for byte (shared engine + cache, ≥4 workers).
+    let threads: Vec<_> = (0..8)
+        .map(|t| {
+            let urls = Arc::clone(&urls);
+            let reference = Arc::clone(&reference);
+            std::thread::spawn(move || {
+                for (i, u) in urls.iter().enumerate() {
+                    let response = get(addr, u);
+                    assert!(response.starts_with("HTTP/1.1 200"), "thread {t}: {u}");
+                    assert_eq!(body_of(&response), reference[i], "thread {t}: {u}");
+                }
+            })
+        })
+        .collect();
+    for t in threads {
+        t.join().unwrap();
+    }
+
+    let stats = service.stats();
+    // 1 serial pass + 8 threads = 9 fetches per URL, plus the crawl.
+    assert!(
+        stats.total.requests >= (urls.len() * 9) as u64,
+        "all requests counted: {}",
+        stats.total.requests
+    );
+    assert!(stats.html_cache.hits > 0, "warm fetches hit the cache");
+    server.shutdown();
+}
+
+#[test]
+fn metrics_endpoint_speaks_prometheus() {
+    let (_service, server) = start(2);
+    let addr = server.addr();
+    get(addr, "/");
+    let metrics = get(addr, "/metrics");
+    assert!(metrics.starts_with("HTTP/1.1 200"));
+    assert!(metrics.contains("text/plain"));
+    let body = body_of(&metrics);
+    for needle in [
+        "strudel_requests_total",
+        "strudel_request_latency_us{quantile=\"0.5\"}",
+        "strudel_request_latency_us{quantile=\"0.99\"}",
+        "strudel_html_cache_hits_total",
+        "strudel_html_cache_hit_rate",
+        "strudel_delta_epoch",
+    ] {
+        assert!(body.contains(needle), "missing {needle} in:\n{body}");
+    }
+    server.shutdown();
+}
+
+#[test]
+fn bad_requests_get_errors_not_crashes() {
+    let (_service, server) = start(2);
+    let addr = server.addr();
+
+    assert!(get(addr, "/no/such/route").starts_with("HTTP/1.1 404"));
+    assert!(get(addr, "/page/NoSuchSymbol").starts_with("HTTP/1.1 404"));
+    assert!(get(addr, "/page/%zz%bad%escape").starts_with("HTTP/1.1 404"));
+    assert!(get(addr, "/data/o:999999").starts_with("HTTP/1.1 404"));
+    assert!(request(addr, "POST / HTTP/1.1").starts_with("HTTP/1.1 405"));
+
+    // HEAD gets headers (with the true length) and no body.
+    let head = request(addr, "HEAD / HTTP/1.1");
+    assert!(head.starts_with("HTTP/1.1 200"));
+    assert_eq!(body_of(&head), "");
+    assert!(!head.contains("Content-Length: 0"));
+
+    // A garbage request line must not take a worker down.
+    let mut s = TcpStream::connect(addr).unwrap();
+    s.write_all(b"\x00\xffgarbage\r\n\r\n").unwrap();
+    drop(s);
+
+    // The server still answers afterwards.
+    assert!(get(addr, "/").starts_with("HTTP/1.1 200"));
+    server.shutdown();
+}
+
+#[test]
+fn shutdown_joins_all_threads() {
+    let (_service, server) = start(4);
+    let addr = server.addr();
+    assert!(get(addr, "/").starts_with("HTTP/1.1 200"));
+    server.shutdown(); // joins accept + workers; must not hang or panic
+    assert!(
+        TcpStream::connect(addr).map(|mut s| {
+            let _ = write!(s, "GET / HTTP/1.1\r\n\r\n");
+            let mut out = String::new();
+            let _ = s.read_to_string(&mut out);
+            out.is_empty()
+        })
+        .unwrap_or(true),
+        "no responses after shutdown"
+    );
+}

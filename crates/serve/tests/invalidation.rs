@@ -1,0 +1,166 @@
+//! Delta-driven cache invalidation at the service level: editing article
+//! X evicts X's rendition (and the pages whose link text shows X), while
+//! untouched pages keep serving straight from the rendered-HTML cache —
+//! asserted through the cache hit/miss counters.
+
+use std::sync::Arc;
+use strudel_graph::{ddl, GraphDelta, Value};
+use strudel_repo::{Database, IndexLevel};
+use strudel_schema::dynamic::{Mode, PageKey};
+use strudel_serve::SiteService;
+use strudel_template::TemplateSet;
+
+const QUERY: &str = r#"
+    create RootPage()
+    where Articles(x)
+    create ArticlePage(x)
+    link RootPage() -> "story" -> ArticlePage(x)
+    collect Roots(RootPage()), ArticlePages(ArticlePage(x))
+    { where x -> "title" -> t
+      link ArticlePage(x) -> "title" -> t }
+    { where x -> "body" -> b
+      link ArticlePage(x) -> "body" -> b }
+"#;
+
+fn service() -> SiteService {
+    let g = ddl::parse(
+        r#"
+        object a1 in Articles { title : "First post"; body : "alpha"; }
+        object a2 in Articles { title : "Second post"; body : "beta"; }
+        object a3 in Articles { title : "Third post"; body : "gamma"; }
+    "#,
+    )
+    .unwrap();
+    let db = Arc::new(Database::from_graph(g, IndexLevel::Full));
+    let program = strudel_struql::parse(QUERY).unwrap();
+    let mut templates = TemplateSet::new();
+    templates
+        .add_template("article", "<html><h1><SFMT title></h1><p><SFMT body></p></html>")
+        .unwrap();
+    templates
+        .add_template("root", "<html><SFMT story UL ORDER=ascend KEY=title></html>")
+        .unwrap();
+    templates.assign_object("RootPage", "root");
+    templates.assign_collection("ArticlePages", "article");
+    SiteService::from_parts(db, &program, templates, "Roots", Mode::Context)
+}
+
+fn article_key(service: &SiteService, name: &str) -> PageKey {
+    let db = service.engine().database();
+    PageKey {
+        symbol: "ArticlePage".into(),
+        args: vec![Value::Node(db.graph().node_by_name(name).unwrap())],
+    }
+}
+
+#[test]
+fn delta_evicts_dirty_article_but_not_neighbors() {
+    let service = service();
+    let x = article_key(&service, "a1");
+    let y = article_key(&service, "a2");
+    let x_url = service.url_of(&x);
+    let y_url = service.url_of(&y);
+
+    // Cold: both render and cache.
+    let x_before = service.handle(&x_url);
+    assert_eq!(x_before.status, 200);
+    assert!(x_before.body.contains("<h1>First post</h1>"), "{}", x_before.body);
+    assert_eq!(service.handle(&y_url).status, 200);
+    let warm = service.cache().stats();
+    assert_eq!((warm.hits, warm.misses, warm.entries), (0, 2, 2));
+
+    // Warm: second fetches are pure cache hits.
+    service.handle(&x_url);
+    service.handle(&y_url);
+    assert_eq!(service.cache().stats().hits, 2);
+
+    // Edit X's title through a delta.
+    let db = service.engine().database();
+    let a1 = db.graph().node_by_name("a1").unwrap();
+    drop(db);
+    let mut delta = GraphDelta::new();
+    delta.remove_edge(a1, "title", Value::string("First post"));
+    delta.add_edge(a1, "title", Value::string("First post, revised"));
+    let outcome = service.apply_delta(&delta).unwrap();
+    assert!(outcome.engine.dirty.contains(&x), "{:?}", outcome.engine.dirty);
+    assert!(!outcome.engine.dirty.contains(&y));
+    // X evicted; the root's rendition shows X's title (KEY + link text),
+    // so it would have been evicted too had it been cached — here only X
+    // and Y are cached, so exactly one rendition goes.
+    assert_eq!(outcome.html_evicted, 1);
+    assert_eq!(service.cache().len(), 1);
+
+    // X re-renders with the new content (a miss)...
+    let stats = service.cache().stats();
+    let x_after = service.handle(&x_url);
+    assert!(x_after.body.contains("First post, revised"), "{}", x_after.body);
+    assert_eq!(service.cache().stats().misses, stats.misses + 1);
+    assert_eq!(service.cache().stats().hits, stats.hits);
+
+    // ...while untouched Y still serves from cache (a hit).
+    let y_after = service.handle(&y_url);
+    assert!(y_after.body.contains("Second post"));
+    assert_eq!(service.cache().stats().hits, stats.hits + 1);
+}
+
+#[test]
+fn root_rendition_depends_on_listed_articles() {
+    let service = service();
+    let root = PageKey {
+        symbol: "RootPage".into(),
+        args: vec![],
+    };
+    let root_url = service.url_of(&root);
+    let first = service.handle(&root_url);
+    assert_eq!(first.status, 200);
+    assert!(first.body.contains("First post"), "link text: {}", first.body);
+
+    // Editing a1's title dirties ArticlePage(a1); the root page *listed*
+    // that title, so its rendition must go too (dependency eviction).
+    let db = service.engine().database();
+    let a1 = db.graph().node_by_name("a1").unwrap();
+    drop(db);
+    let mut delta = GraphDelta::new();
+    delta.remove_edge(a1, "title", Value::string("First post"));
+    delta.add_edge(a1, "title", Value::string("Zeroth post"));
+    let outcome = service.apply_delta(&delta).unwrap();
+    assert!(outcome.html_evicted >= 1, "root rendition evicted");
+
+    let second = service.handle(&root_url);
+    assert!(second.body.contains("Zeroth post"), "{}", second.body);
+    assert!(!second.body.contains("First post"));
+}
+
+#[test]
+fn unrelated_delta_keeps_everything_cached() {
+    let service = service();
+    let x_url = service.url_of(&article_key(&service, "a1"));
+    service.handle(&x_url);
+
+    let db = service.engine().database();
+    let a1 = db.graph().node_by_name("a1").unwrap();
+    drop(db);
+    let mut delta = GraphDelta::new();
+    delta.add_edge(a1, "internal-note", Value::string("draft"));
+    let outcome = service.apply_delta(&delta).unwrap();
+    assert!(outcome.engine.dirty.is_empty());
+    assert_eq!(outcome.html_evicted, 0);
+
+    let before = service.cache().stats().hits;
+    service.handle(&x_url);
+    assert_eq!(service.cache().stats().hits, before + 1, "still cached");
+}
+
+#[test]
+fn metrics_report_epoch_and_hit_rate() {
+    let service = service();
+    let x_url = service.url_of(&article_key(&service, "a1"));
+    service.handle(&x_url);
+    service.handle(&x_url);
+    service.handle("/metrics");
+    let stats = service.stats();
+    assert_eq!(stats.epoch, 0);
+    assert!((stats.html_cache.hit_rate() - 0.5).abs() < 1e-9);
+    let text = stats.to_text();
+    assert!(text.contains("strudel_route_requests_total{route=\"page/ArticlePage\"} 2"));
+}

@@ -1,48 +1,59 @@
 //! Property-based tests for STRUQL: printer/parser round trips over
 //! generated ASTs, and NFA path evaluation checked against a brute-force
-//! reference matcher.
+//! reference matcher. Cases are generated from a deterministic seeded
+//! PRNG so every failure is reproducible from its seed.
 
-use proptest::prelude::*;
 use strudel_graph::{Graph, Value};
+use strudel_prng::{Rng, SeedableRng, SmallRng};
 use strudel_struql::rpe::Nfa;
-use strudel_struql::{parse_path_regex, pretty, Block, CollectExpr, Condition, LinkExpr, PathRegex, PathSpec, Program, Span, Term};
+use strudel_struql::{
+    parse_path_regex, pretty, Block, CollectExpr, Condition, LinkExpr, PathRegex, PathSpec,
+    Program, Span, Term,
+};
 
 // ---------- generated regexes vs a reference matcher -----------------------
 
-fn arb_regex() -> impl Strategy<Value = PathRegex> {
-    let leaf = prop_oneof![
-        prop::sample::select(vec!["a", "b", "c"])
-            .prop_map(|l| PathRegex::Label(l.to_string())),
-        Just(PathRegex::Any),
-    ];
-    leaf.prop_recursive(3, 16, 2, |inner| {
-        prop_oneof![
-            (inner.clone(), inner.clone())
-                .prop_map(|(x, y)| PathRegex::Seq(Box::new(x), Box::new(y))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(x, y)| PathRegex::Alt(Box::new(x), Box::new(y))),
-            inner.clone().prop_map(|x| PathRegex::Star(Box::new(x))),
-            inner.clone().prop_map(|x| PathRegex::Plus(Box::new(x))),
-            inner.prop_map(|x| PathRegex::Opt(Box::new(x))),
-        ]
-    })
+/// A random path regex over labels {a, b, c}, bounded depth.
+fn arb_regex(rng: &mut SmallRng, depth: usize) -> PathRegex {
+    let leaf = depth == 0 || rng.gen_bool(0.3);
+    if leaf {
+        if rng.gen_bool(0.75) {
+            let l = ["a", "b", "c"][rng.gen_range(0..3usize)];
+            PathRegex::Label(l.to_string())
+        } else {
+            PathRegex::Any
+        }
+    } else {
+        match rng.gen_range(0..5) {
+            0 => PathRegex::Seq(
+                Box::new(arb_regex(rng, depth - 1)),
+                Box::new(arb_regex(rng, depth - 1)),
+            ),
+            1 => PathRegex::Alt(
+                Box::new(arb_regex(rng, depth - 1)),
+                Box::new(arb_regex(rng, depth - 1)),
+            ),
+            2 => PathRegex::Star(Box::new(arb_regex(rng, depth - 1))),
+            3 => PathRegex::Plus(Box::new(arb_regex(rng, depth - 1))),
+            _ => PathRegex::Opt(Box::new(arb_regex(rng, depth - 1))),
+        }
+    }
 }
 
 /// A small random graph over labels {a, b, c}.
-fn arb_graph() -> impl Strategy<Value = Graph> {
-    (2usize..7, prop::collection::vec((0usize..6, 0usize..3, 0usize..6), 0..15)).prop_map(
-        |(nodes, edges)| {
-            let mut g = Graph::new();
-            let oids: Vec<_> = (0..nodes).map(|_| g.add_node()).collect();
-            for (from, label, to) in edges {
-                if from < nodes && to < nodes {
-                    let l = ["a", "b", "c"][label];
-                    g.add_edge_str(oids[from], l, Value::Node(oids[to]));
-                }
-            }
-            g
-        },
-    )
+fn arb_graph(rng: &mut SmallRng) -> Graph {
+    let nodes = rng.gen_range(2..7usize);
+    let mut g = Graph::new();
+    let oids: Vec<_> = (0..nodes).map(|_| g.add_node()).collect();
+    for _ in 0..rng.gen_range(0..15usize) {
+        let from = rng.gen_range(0..6usize);
+        let to = rng.gen_range(0..6usize);
+        if from < nodes && to < nodes {
+            let l = ["a", "b", "c"][rng.gen_range(0..3usize)];
+            g.add_edge_str(oids[from], l, Value::Node(oids[to]));
+        }
+    }
+    g
 }
 
 /// Reference: does `regex` match the label word `word`? Classical
@@ -51,20 +62,21 @@ fn matches_word(regex: &PathRegex, word: &[&str]) -> bool {
     match regex {
         PathRegex::Label(l) => word.len() == 1 && word[0] == l,
         PathRegex::Any => word.len() == 1,
-        PathRegex::Seq(a, b) => (0..=word.len())
-            .any(|i| matches_word(a, &word[..i]) && matches_word(b, &word[i..])),
+        PathRegex::Seq(a, b) => {
+            (0..=word.len()).any(|i| matches_word(a, &word[..i]) && matches_word(b, &word[i..]))
+        }
         PathRegex::Alt(a, b) => matches_word(a, word) || matches_word(b, word),
         PathRegex::Star(inner) => {
             word.is_empty()
-                || (1..=word.len()).any(|i| {
-                    matches_word(inner, &word[..i]) && matches_word(regex, &word[i..])
-                })
+                || (1..=word.len())
+                    .any(|i| matches_word(inner, &word[..i]) && matches_word(regex, &word[i..]))
         }
-        PathRegex::Plus(inner) => (1..=word.len())
-            .any(|i| matches_word(inner, &word[..i]) && {
+        PathRegex::Plus(inner) => (1..=word.len()).any(|i| {
+            matches_word(inner, &word[..i]) && {
                 let rest = &word[i..];
                 rest.is_empty() || matches_word(&PathRegex::Plus(inner.clone()), rest)
-            }),
+            }
+        }),
         PathRegex::Opt(inner) => word.is_empty() || matches_word(inner, word),
     }
 }
@@ -104,110 +116,99 @@ fn reference_reachable(g: &Graph, regex: &PathRegex, start: strudel_graph::Oid) 
     out
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+/// Wraps a path regex in the one-condition skeleton used for round trips.
+fn skeleton(regex: PathRegex) -> Program {
+    Program {
+        blocks: vec![Block {
+            where_: vec![Condition::Path {
+                src: Term::Var("x".into()),
+                path: PathSpec::Regex(regex),
+                dst: Term::Var("y".into()),
+                span: Span::default(),
+            }],
+            create: vec![Term::Skolem {
+                symbol: "P".into(),
+                args: vec![Term::Var("x".into())],
+            }],
+            link: vec![],
+            collect: vec![],
+            nested: vec![],
+            span: Span::default(),
+        }],
+    }
+}
 
-    /// The Thompson NFA agrees with the brute-force matcher on every
-    /// reachable value (for acyclic-bounded words: we compare only
-    /// values the reference can see within its path bound; every one of
-    /// them must be in the NFA result, and every NFA result reachable
-    /// within the bound must be found by the reference).
-    #[test]
-    fn nfa_agrees_with_reference(regex in arb_regex(), g in arb_graph()) {
+/// The Thompson NFA agrees with the brute-force matcher on every
+/// reachable value (for acyclic-bounded words: we compare only
+/// values the reference can see within its path bound; every one of
+/// them must be in the NFA result).
+#[test]
+fn nfa_agrees_with_reference() {
+    for seed in 0..64u64 {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let regex = arb_regex(&mut rng, 3);
+        let g = arb_graph(&mut rng);
         let nfa = Nfa::compile(&regex, &g);
         let start = strudel_graph::Oid::from_index(0);
         let nfa_result = nfa.eval_from(&g, &Value::Node(start));
         let reference = reference_reachable(&g, &regex, start);
         // Reference ⊆ NFA (the NFA has no length bound).
         for v in &reference {
-            prop_assert!(
+            assert!(
                 nfa_result.contains(v),
-                "reference found {v:?} but the NFA missed it"
+                "seed {seed}: reference found {v:?} but the NFA missed it"
             );
         }
     }
+}
 
-    /// Printer/parser round trip over generated path regexes.
-    #[test]
-    fn regex_pretty_parse_round_trip(regex in arb_regex()) {
-        let program = Program {
-            blocks: vec![Block {
-                where_: vec![Condition::Path {
-                    src: Term::Var("x".into()),
-                    path: PathSpec::Regex(regex.clone()),
-                    dst: Term::Var("y".into()),
-                    span: Span::default(),
-                }],
-                create: vec![Term::Skolem { symbol: "P".into(), args: vec![Term::Var("x".into())] }],
-                link: vec![],
-                collect: vec![],
-                nested: vec![],
-                span: Span::default(),
-            }],
-        };
+/// Printer/parser round trip over generated path regexes.
+#[test]
+fn regex_pretty_parse_round_trip() {
+    for seed in 0..64u64 {
+        let mut rng = SmallRng::seed_from_u64(100 + seed);
+        let program = skeleton(arb_regex(&mut rng, 3));
         let text = pretty(&program);
         let reparsed = strudel_struql::parse(&text).unwrap();
-        prop_assert_eq!(pretty(&reparsed), text);
+        assert_eq!(pretty(&reparsed), text, "seed {seed}");
     }
+}
 
-    /// Standalone path-regex parsing round-trips through the printer too.
-    #[test]
-    fn standalone_regex_round_trip(regex in arb_regex()) {
+/// Standalone path-regex parsing round-trips through the printer too.
+#[test]
+fn standalone_regex_round_trip() {
+    for seed in 0..64u64 {
+        let mut rng = SmallRng::seed_from_u64(200 + seed);
         // Render via a throwaway program, extract the regex text between
         // the arrows, and reparse it with parse_path_regex.
-        let program = Program {
-            blocks: vec![Block {
-                where_: vec![Condition::Path {
-                    src: Term::Var("x".into()),
-                    path: PathSpec::Regex(regex),
-                    dst: Term::Var("y".into()),
-                    span: Span::default(),
-                }],
-                create: vec![Term::Skolem { symbol: "P".into(), args: vec![Term::Var("x".into())] }],
-                link: vec![],
-                collect: vec![],
-                nested: vec![],
-                span: Span::default(),
-            }],
-        };
-        let text = pretty(&program);
+        let text = pretty(&skeleton(arb_regex(&mut rng, 3)));
         let start = text.find("-> ").unwrap() + 3;
         let end = text.rfind(" -> y").unwrap();
         let regex_text = &text[start..end];
         let reparsed = parse_path_regex(regex_text).unwrap();
         // Compare by re-printing inside the same skeleton.
-        let program2 = Program {
-            blocks: vec![Block {
-                where_: vec![Condition::Path {
-                    src: Term::Var("x".into()),
-                    path: PathSpec::Regex(reparsed),
-                    dst: Term::Var("y".into()),
-                    span: Span::default(),
-                }],
-                create: vec![Term::Skolem { symbol: "P".into(), args: vec![Term::Var("x".into())] }],
-                link: vec![],
-                collect: vec![],
-                nested: vec![],
-                span: Span::default(),
-            }],
-        };
-        prop_assert_eq!(pretty(&program2), text);
+        assert_eq!(pretty(&skeleton(reparsed)), text, "seed {seed}");
     }
+}
 
-    /// Full-program round trip: builder-shaped random programs survive
-    /// pretty → parse → pretty.
-    #[test]
-    fn program_round_trip(
-        n_blocks in 1usize..4,
-        links_per_block in 1usize..4,
-    ) {
+/// Full-program round trip: builder-shaped random programs survive
+/// pretty → parse → pretty.
+#[test]
+fn program_round_trip() {
+    for seed in 0..64u64 {
+        let mut rng = SmallRng::seed_from_u64(300 + seed);
+        let n_blocks = rng.gen_range(1..4usize);
+        let links_per_block = rng.gen_range(1..4usize);
         let mut blocks = Vec::new();
         for b in 0..n_blocks {
             let var = format!("x{b}");
             let sym = format!("Page{b}");
             let links = (0..links_per_block)
                 .map(|i| LinkExpr {
-                    src: Term::Skolem { symbol: sym.clone(), args: vec![Term::Var(var.clone())] },
+                    src: Term::Skolem {
+                        symbol: sym.clone(),
+                        args: vec![Term::Var(var.clone())],
+                    },
                     label: strudel_struql::LabelTerm::Const(format!("l{i}")),
                     dst: Term::Var(var.clone()),
                     span: Span::default(),
@@ -219,11 +220,17 @@ proptest! {
                     arg: Term::Var(var.clone()),
                     span: Span::default(),
                 }],
-                create: vec![Term::Skolem { symbol: sym.clone(), args: vec![Term::Var(var.clone())] }],
+                create: vec![Term::Skolem {
+                    symbol: sym.clone(),
+                    args: vec![Term::Var(var.clone())],
+                }],
                 link: links,
                 collect: vec![CollectExpr {
                     collection: format!("Out{b}"),
-                    arg: Term::Skolem { symbol: sym, args: vec![Term::Var(var)] },
+                    arg: Term::Skolem {
+                        symbol: sym,
+                        args: vec![Term::Var(var)],
+                    },
                     span: Span::default(),
                 }],
                 nested: vec![],
@@ -233,36 +240,47 @@ proptest! {
         let program = Program { blocks };
         let text = pretty(&program);
         let reparsed = strudel_struql::parse(&text).unwrap();
-        prop_assert_eq!(pretty(&reparsed), text);
-        prop_assert_eq!(reparsed.link_clause_count(), program.link_clause_count());
+        assert_eq!(pretty(&reparsed), text, "seed {seed}");
+        assert_eq!(
+            reparsed.link_clause_count(),
+            program.link_clause_count(),
+            "seed {seed}"
+        );
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    /// The parser never panics on arbitrary input — it returns a
-    /// positioned error or a program.
-    #[test]
-    fn parser_total_on_arbitrary_text(s in "\\PC{0,200}") {
+/// The parser never panics on arbitrary input — it returns a
+/// positioned error or a program.
+#[test]
+fn parser_total_on_arbitrary_text() {
+    let mut alphabet: Vec<char> = (' '..='~').collect();
+    alphabet.extend(['\n', '\t', 'é', 'λ', '→', '\u{1F600}', '"', '\\']);
+    for seed in 0..256u64 {
+        let mut rng = SmallRng::seed_from_u64(400 + seed);
+        let len = rng.gen_range(0..200usize);
+        let s: String = (0..len)
+            .map(|_| alphabet[rng.gen_range(0..alphabet.len())])
+            .collect();
         let _ = strudel_struql::parse(&s);
     }
+}
 
-    /// Nor on inputs assembled from the language's own token vocabulary
-    /// (much likelier to reach deep parser states than raw noise).
-    #[test]
-    fn parser_total_on_token_soup(
-        toks in prop::collection::vec(
-            prop::sample::select(vec![
-                "where", "create", "link", "collect", "not", "true", "false",
-                "->", "(", ")", "{", "}", ",", "*", "+", "?", "|", ".",
-                "=", "!=", "<", "<=", ">", ">=", "x", "y", "P", "Coll",
-                "\"label\"", "42", "3.5",
-            ]),
-            0..40,
-        )
-    ) {
-        let s = toks.join(" ");
+/// Nor on inputs assembled from the language's own token vocabulary
+/// (much likelier to reach deep parser states than raw noise).
+#[test]
+fn parser_total_on_token_soup() {
+    const TOKENS: [&str; 31] = [
+        "where", "create", "link", "collect", "not", "true", "false", "->", "(", ")", "{", "}",
+        ",", "*", "+", "?", "|", ".", "=", "!=", "<", "<=", ">", ">=", "x", "y", "P", "Coll",
+        "\"label\"", "42", "3.5",
+    ];
+    for seed in 0..256u64 {
+        let mut rng = SmallRng::seed_from_u64(700 + seed);
+        let n = rng.gen_range(0..40usize);
+        let s = (0..n)
+            .map(|_| TOKENS[rng.gen_range(0..TOKENS.len())])
+            .collect::<Vec<_>>()
+            .join(" ");
         let _ = strudel_struql::parse(&s);
     }
 }

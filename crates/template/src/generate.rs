@@ -195,6 +195,11 @@ impl SiteOutput {
 /// Resolves external file references for `EMBED` of text files.
 pub type FileResolver<'a> = dyn Fn(&str) -> Option<String> + 'a;
 
+/// Maps a realized object to an externally chosen URL (e.g. a click-time
+/// server route). Returning `None` falls back to the generated `.html`
+/// page name.
+pub type PageNamer<'a> = dyn Fn(Oid) -> Option<String> + 'a;
+
 /// The HTML generator.
 pub struct HtmlGenerator<'g> {
     graph: &'g Graph,
@@ -245,6 +250,32 @@ impl<'g> HtmlGenerator<'g> {
         self.generate_inner(&roots, Some(previous), &dirty.into_iter().collect::<Vec<_>>())
     }
 
+    /// Renders the single page for `oid` without materializing the rest of
+    /// the site — the click-time entry point. Hyperlinks to other objects
+    /// are resolved through `namer` (mapping objects to server URLs);
+    /// objects the namer declines get generated `.html` names, but are
+    /// *not* rendered. The returned [`Page`] carries the dependency set of
+    /// every object whose content the render read.
+    pub fn render_one(&self, oid: Oid, namer: &PageNamer<'_>) -> Result<Page, TemplateError> {
+        let mut ctx = GenCtx {
+            templates: self.templates,
+            file_resolver: self.file_resolver,
+            namer: Some(namer),
+            page_names: HashMap::new(),
+            used_names: HashSet::new(),
+            worklist: VecDeque::new(),
+            embed_stack: Vec::new(),
+            current_deps: HashSet::new(),
+            skip: HashSet::new(),
+        };
+        let name = ctx.realize(oid, self.graph);
+        ctx.current_deps.clear();
+        let html = ctx.render_page(oid, self.graph)?;
+        let mut deps: Vec<Oid> = ctx.current_deps.iter().copied().collect();
+        deps.sort_unstable();
+        Ok(Page { oid, name, html, deps })
+    }
+
     fn generate_inner(
         &self,
         roots: &[Oid],
@@ -254,6 +285,7 @@ impl<'g> HtmlGenerator<'g> {
         let mut ctx = GenCtx {
             templates: self.templates,
             file_resolver: self.file_resolver,
+            namer: None,
             page_names: HashMap::new(),
             used_names: HashSet::new(),
             worklist: VecDeque::new(),
@@ -306,6 +338,8 @@ impl<'g> HtmlGenerator<'g> {
 pub(crate) struct GenCtx<'g> {
     templates: &'g TemplateSet,
     file_resolver: Option<&'g FileResolver<'g>>,
+    /// External URL assignment for single-page (click-time) rendering.
+    namer: Option<&'g PageNamer<'g>>,
     page_names: HashMap<Oid, String>,
     used_names: HashSet<String>,
     worklist: VecDeque<Oid>,
@@ -321,6 +355,12 @@ impl<'g> GenCtx<'g> {
     pub(crate) fn realize(&mut self, oid: Oid, graph: &Graph) -> String {
         if let Some(n) = self.page_names.get(&oid) {
             return n.clone();
+        }
+        if let Some(namer) = self.namer {
+            if let Some(url) = namer(oid) {
+                self.page_names.insert(oid, url.clone());
+                return url;
+            }
         }
         let base = match graph.node_name(oid) {
             Some(n) => sanitize(n),
@@ -841,6 +881,41 @@ mod tests {
         let broken = out.broken_links();
         assert_eq!(broken.len(), 1);
         assert_eq!(broken[0].1, "Pres_p1.html");
+    }
+
+    #[test]
+    fn render_one_uses_namer_urls_and_renders_nothing_else() {
+        let (g, root) = site();
+        let mut ts = TemplateSet::new();
+        ts.add_template(
+            "root",
+            "<html><h1><SFMT title></h1><SFMT Paper UL ORDER=ascend KEY=year></html>",
+        )
+        .unwrap();
+        ts.add_template("pres", "unused here").unwrap();
+        ts.assign_object("RootPage", "root");
+        ts.assign_collection("Presentations", "pres");
+
+        let namer = |oid: Oid| {
+            g.node_name(oid).map(|n| format!("/page/{n}"))
+        };
+        let page = HtmlGenerator::new(&g, &ts).render_one(root, &namer).unwrap();
+        assert_eq!(page.name, "/page/RootPage");
+        assert!(page.html.contains("href=\"/page/Pres_p1\""), "{}", page.html);
+        assert!(page.html.contains("href=\"/page/Pres_p2\""));
+        // KEY= reads were recorded as dependencies.
+        let p1 = g.node_by_name("Pres_p1").unwrap();
+        assert!(page.deps.contains(&p1));
+    }
+
+    #[test]
+    fn render_one_falls_back_to_html_names_when_namer_declines() {
+        let (g, root) = site();
+        let ts = TemplateSet::new();
+        let namer = |_| None;
+        let page = HtmlGenerator::new(&g, &ts).render_one(root, &namer).unwrap();
+        assert_eq!(page.name, "RootPage.html");
+        assert!(page.html.contains("Pres_p1.html"));
     }
 
     #[test]

@@ -42,5 +42,5 @@ mod parser;
 pub use ast::{AttrExpr, Base, Directives, ListKind, Node, OrderDir, Template};
 pub use error::TemplateError;
 pub use escape::escape_html;
-pub use generate::{HtmlGenerator, Page, SiteOutput, TemplateSet};
+pub use generate::{FileResolver, HtmlGenerator, Page, PageNamer, SiteOutput, TemplateSet};
 pub use parser::parse_template;

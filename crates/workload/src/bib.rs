@@ -6,8 +6,8 @@
 //! ordered lists of 1–4.
 
 use crate::text;
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use strudel_prng::rngs::SmallRng;
+use strudel_prng::{Rng, SeedableRng};
 use std::fmt::Write;
 
 /// Generation parameters.
@@ -81,7 +81,7 @@ pub fn generate(cfg: &BibConfig) -> String {
             }
         }
         if rng.gen_bool(0.5) {
-            writeln!(out, "  month = {{{}}},", MONTHS[rng.gen_range(0..12)]).unwrap();
+            writeln!(out, "  month = {{{}}},", MONTHS[rng.gen_range(0..12usize)]).unwrap();
         }
         if rng.gen_bool(0.7) {
             writeln!(out, "  abstract = {{abstracts/{key}.txt}},").unwrap();

@@ -8,8 +8,8 @@
 //! image, and related-story links inside and across categories.
 
 use crate::text;
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use strudel_prng::rngs::SmallRng;
+use strudel_prng::{Rng, SeedableRng};
 use std::fmt::Write;
 
 /// Generation parameters.

@@ -14,8 +14,8 @@
 //! hook for the internal/external site versions of §5.1.
 
 use crate::text;
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use strudel_prng::rngs::SmallRng;
+use strudel_prng::{Rng, SeedableRng};
 use std::fmt::Write;
 
 /// Generation parameters.

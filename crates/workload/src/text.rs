@@ -1,7 +1,7 @@
 //! Deterministic filler-text generation.
 
-use rand::rngs::SmallRng;
-use rand::Rng;
+use strudel_prng::rngs::SmallRng;
+use strudel_prng::Rng;
 
 const WORDS: &[&str] = &[
     "data", "graph", "query", "site", "web", "page", "link", "view", "node", "edge", "schema",
@@ -93,7 +93,7 @@ pub fn login(name: &str, index: usize) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
+    use strudel_prng::SeedableRng;
 
     #[test]
     fn deterministic_for_a_seed() {

@@ -20,7 +20,7 @@ fn main() {
     let program = site.program.clone();
 
     for mode in [Mode::Naive, Mode::Context, Mode::ContextLookahead] {
-        let mut engine = DynamicSite::new(&site.database, &program, mode);
+        let engine = DynamicSite::new(site.database.clone(), &program, mode);
         let roots = engine.roots("FrontRoot").expect("roots");
         let mut current: PageKey = roots[0].clone();
         let mut visited = vec![current.clone()];
@@ -52,7 +52,7 @@ fn main() {
     }
 
     // Show one dynamically computed page.
-    let mut engine = DynamicSite::new(&site.database, &program, Mode::Context);
+    let engine = DynamicSite::new(site.database.clone(), &program, Mode::Context);
     let article = site.database.graph().node_by_name("article7.html").unwrap();
     let key = PageKey {
         symbol: "ArticlePage".into(),

@@ -1,112 +1,28 @@
-//! A dynamic web server over a Strudel site — pages are computed at
-//! "click time" from the site schema's incremental queries (§2.5/§7),
-//! never materialized up front. Plain `std::net`, no dependencies.
+//! A dynamic web site served at "click time" by `strudel-serve` — pages
+//! are computed on demand from the site schema's incremental queries
+//! (§2.5/§7), rendered with the site's real templates, cached, and
+//! invalidated precisely when the data changes. Plain `std::net`, no
+//! dependencies.
 //!
-//! The example starts the server on an ephemeral port, issues a few HTTP
-//! requests against itself (front page → section → article), prints what
-//! it got, and exits — so it doubles as an end-to-end check. Pass
-//! `--serve` to keep it running and browse it yourself.
+//! The example starts the server on an ephemeral port with a small worker
+//! pool, crawls itself over HTTP (front page → section → article), edits
+//! one article through a data delta to show precise cache invalidation,
+//! prints the server stats, and exits — so it doubles as an end-to-end
+//! check. Pass `--serve` to keep it running and browse it yourself.
 //!
 //! ```text
-//! cargo run --release -p strudel-core --example serve_dynamic            # self-test
-//! cargo run --release -p strudel-core --example serve_dynamic -- --serve # interactive
+//! cargo run --release -p strudel-serve --example serve_dynamic            # self-test
+//! cargo run --release -p strudel-serve --example serve_dynamic -- --serve # interactive
 //! ```
 
-use std::collections::HashMap;
-use std::io::{BufRead, BufReader, Read, Write};
-use std::net::{TcpListener, TcpStream};
-use std::sync::{Arc, Mutex};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
 
-use strudel::schema::dynamic::{DynTarget, DynamicSite, Mode, PageKey};
 use strudel::sites::news_site;
+use strudel_schema::dynamic::Mode;
+use strudel_serve::{serve, ServerConfig, SiteService};
 use strudel_workload::news::{generate, NewsConfig};
-
-/// Maps URL paths to page keys (and back) for the session.
-#[derive(Default)]
-struct Router {
-    by_id: Vec<PageKey>,
-    ids: HashMap<PageKey, usize>,
-}
-
-impl Router {
-    fn url_for(&mut self, key: &PageKey) -> String {
-        let id = *self.ids.entry(key.clone()).or_insert_with(|| {
-            self.by_id.push(key.clone());
-            self.by_id.len() - 1
-        });
-        format!("/p/{id}")
-    }
-
-    fn key_for(&self, path: &str) -> Option<PageKey> {
-        let id: usize = path.strip_prefix("/p/")?.parse().ok()?;
-        self.by_id.get(id).cloned()
-    }
-}
-
-fn render_page(
-    engine: &mut DynamicSite<'_>,
-    router: &mut Router,
-    key: &PageKey,
-) -> Result<String, String> {
-    let view = engine.visit(key).map_err(|e| e.to_string())?;
-    let mut html = format!(
-        "<html><head><title>{}</title></head><body><h1>{}</h1>\n<dl>\n",
-        key.symbol, key.symbol
-    );
-    for (label, target) in &view.edges {
-        html.push_str("<dt>");
-        html.push_str(label);
-        html.push_str("</dt><dd>");
-        match target {
-            DynTarget::Page(k) => {
-                let url = router.url_for(k);
-                html.push_str(&format!("<a href=\"{url}\">{}</a>", k.symbol));
-            }
-            DynTarget::Data(v) => {
-                html.push_str(&strudel::template::escape_html(&v.display_text()));
-            }
-        }
-        html.push_str("</dd>\n");
-    }
-    html.push_str("</dl>\n<p><a href=\"/\">front page</a></p></body></html>\n");
-    Ok(html)
-}
-
-fn handle(
-    stream: &mut TcpStream,
-    engine: &mut DynamicSite<'_>,
-    router: &mut Router,
-    front: &PageKey,
-) -> std::io::Result<()> {
-    let mut reader = BufReader::new(stream.try_clone()?);
-    let mut request_line = String::new();
-    reader.read_line(&mut request_line)?;
-    let path = request_line.split_whitespace().nth(1).unwrap_or("/").to_string();
-    // Drain headers.
-    let mut line = String::new();
-    while reader.read_line(&mut line)? > 2 {
-        line.clear();
-    }
-
-    let key = if path == "/" {
-        Some(front.clone())
-    } else {
-        router.key_for(&path)
-    };
-    let (status, body) = match key {
-        Some(k) => match render_page(engine, router, &k) {
-            Ok(html) => ("200 OK", html),
-            Err(e) => ("500 Internal Server Error", format!("<pre>{e}</pre>")),
-        },
-        None => ("404 Not Found", "<h1>404</h1>".to_string()),
-    };
-    write!(
-        stream,
-        "HTTP/1.1 {status}\r\nContent-Type: text/html; charset=utf-8\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
-        body.len()
-    )?;
-    stream.flush()
-}
 
 fn fetch(addr: std::net::SocketAddr, path: &str) -> String {
     let mut s = TcpStream::connect(addr).expect("connect");
@@ -114,6 +30,17 @@ fn fetch(addr: std::net::SocketAddr, path: &str) -> String {
     let mut out = String::new();
     s.read_to_string(&mut out).unwrap();
     out
+}
+
+/// First `/page/…` href in `html` that differs from `not_this`.
+fn first_page_link(html: &str, not_this: &str) -> Option<String> {
+    html.split("href=\"")
+        .skip(1)
+        .filter_map(|rest| {
+            let href = &rest[..rest.find('"')?];
+            href.starts_with("/page/").then(|| href.to_string())
+        })
+        .find(|href| href != not_this)
 }
 
 fn main() {
@@ -124,67 +51,97 @@ fn main() {
         ..Default::default()
     });
     let site = news_site(&corpus.pages).build().expect("site builds");
-    let program = site.program.clone();
+    let service = Arc::new(SiteService::new(&site, Mode::ContextLookahead));
 
-    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
-    let addr = listener.local_addr().unwrap();
+    let server = serve(
+        service.clone(),
+        ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 4,
+            ..Default::default()
+        },
+    )
+    .expect("bind");
+    let addr = server.addr();
     println!("dynamic Strudel site at http://{addr}/ (click-time evaluation, nothing pre-rendered)");
 
-    let served = Arc::new(Mutex::new(0usize));
-    let served_clone = Arc::clone(&served);
-
-    std::thread::scope(|scope| {
-        scope.spawn(move || {
-            let mut engine = DynamicSite::new(&site.database, &program, Mode::Context);
-            let mut router = Router::default();
-            let front = engine.roots("FrontRoot").expect("roots")[0].clone();
-            for stream in listener.incoming() {
-                let Ok(mut stream) = stream else { continue };
-                let _ = handle(&mut stream, &mut engine, &mut router, &front);
-                let mut count = served_clone.lock().unwrap();
-                *count += 1;
-                if !serve_forever && *count >= 3 {
-                    let m = engine.metrics();
-                    println!(
-                        "\nserver stats: {} clicks, {} guard evaluations, {} rows, {} cached pages",
-                        m.clicks,
-                        m.queries_run,
-                        m.rows_produced,
-                        engine.cached_pages()
-                    );
-                    break;
-                }
-            }
-        });
-
-        if !serve_forever {
-            // Self-test: front page → first section → first story.
-            let front_html = fetch(addr, "/");
-            assert!(front_html.starts_with("HTTP/1.1 200"), "front page serves");
-            println!("\nGET / -> {} bytes", front_html.len());
-
-            let section_path = front_html
-                .split("href=\"")
-                .find_map(|s| s.strip_prefix("/p/").map(|r| {
-                    format!("/p/{}", &r[..r.find('"').unwrap()])
-                }))
-                .expect("front page links to a section");
-            let section_html = fetch(addr, &section_path);
-            assert!(section_html.starts_with("HTTP/1.1 200"));
-            println!("GET {section_path} -> {} bytes", section_html.len());
-
-            let article_path = section_html
-                .split("href=\"")
-                .filter_map(|s| {
-                    s.strip_prefix("/p/")
-                        .map(|r| format!("/p/{}", &r[..r.find('"').unwrap()]))
-                })
-                .find(|p| p != &section_path)
-                .expect("section links to stories");
-            let article_html = fetch(addr, &article_path);
-            assert!(article_html.starts_with("HTTP/1.1 200"));
-            println!("GET {article_path} -> {} bytes", article_html.len());
-            println!("\nself-test passed: three pages served at click time");
+    if serve_forever {
+        // Park forever; ^C exits.
+        loop {
+            std::thread::park();
         }
-    });
+    }
+
+    // Self-test: front page → first section → first story, over HTTP.
+    let index = fetch(addr, "/");
+    assert!(index.starts_with("HTTP/1.1 200"), "index serves");
+    let front_path = first_page_link(&index, "").expect("index links the front page");
+    let front = fetch(addr, &front_path);
+    assert!(front.starts_with("HTTP/1.1 200"), "front page serves");
+    println!("\nGET {front_path} -> {} bytes", front.len());
+
+    let section_path = first_page_link(&front, &front_path).expect("front links a section");
+    let section = fetch(addr, &section_path);
+    assert!(section.starts_with("HTTP/1.1 200"));
+    println!("GET {section_path} -> {} bytes", section.len());
+
+    let article_path = section
+        .split("href=\"")
+        .skip(1)
+        .filter_map(|rest| {
+            let href = &rest[..rest.find('"')?];
+            href.starts_with("/page/ArticlePage").then(|| href.to_string())
+        })
+        .next()
+        .expect("section links its stories");
+    let article = fetch(addr, &article_path);
+    assert!(article.starts_with("HTTP/1.1 200"));
+    println!("GET {article_path} -> {} bytes", article.len());
+
+    // Edit one article through a delta: its page (and the pages listing
+    // it) re-render; everything else keeps serving from cache.
+    let db = service.engine().database();
+    let key = strudel_serve::router::parse_page_path(&article_path, db.graph())
+        .expect("article URL round-trips");
+    let strudel::graph::Value::Node(article_oid) = key.args[0].clone() else {
+        panic!("article pages are keyed by their data node");
+    };
+    let old_title = db
+        .graph()
+        .first_attr_str(article_oid, "title")
+        .expect("articles have titles")
+        .clone();
+    drop(db);
+    let mut delta = strudel::graph::GraphDelta::new();
+    delta.remove_edge(article_oid, "title", old_title);
+    delta.add_edge(
+        article_oid,
+        "title",
+        strudel::graph::Value::string("BREAKING: delta applied"),
+    );
+    let outcome = service.apply_delta(&delta).expect("delta applies");
+    println!(
+        "\ndelta: {} page views evicted, {} cached renditions evicted",
+        outcome.engine.evicted, outcome.html_evicted
+    );
+    let re_fetched = fetch(addr, &article_path);
+    assert!(
+        re_fetched.contains("BREAKING: delta applied"),
+        "edited article re-renders with the new title"
+    );
+
+    let metrics = fetch(addr, "/metrics");
+    assert!(metrics.contains("strudel_requests_total"));
+    let stats = service.stats();
+    println!(
+        "\nserver stats: {} requests (p50 {} µs, p99 {} µs), html cache {:.0}% hit, {} engine queries",
+        stats.total.requests,
+        stats.total.p50_us,
+        stats.total.p99_us,
+        stats.html_cache.hit_rate() * 100.0,
+        stats.engine.queries_run,
+    );
+
+    server.shutdown();
+    println!("\nself-test passed: pages served at click time, delta invalidation precise");
 }

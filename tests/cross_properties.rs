@@ -1,72 +1,63 @@
 //! Cross-crate property tests: randomized data graphs and queries flowing
-//! through the whole stack.
+//! through the whole stack, generated from a deterministic seeded PRNG.
 
-use proptest::prelude::*;
 use strudel::repo::{Database, IndexLevel};
 use strudel::struql::{EvalOptions, Evaluator};
 use strudel_graph::{Graph, Value};
+use strudel_prng::{Rng, SeedableRng, SmallRng};
 
-/// A random Publications-like graph: `n` nodes, each with a random subset
-/// of attributes (the irregularity the system exists for).
-fn pub_graph() -> impl Strategy<Value = Graph> {
-    (
-        1usize..25,
-        prop::collection::vec(
-            (
-                prop::bool::ANY, // has year
-                1990i64..2000,
-                prop::bool::ANY, // has month
-                0usize..12,
-                prop::bool::ANY, // has category
-                0usize..4,
-                1usize..4, // authors
-            ),
-            1..25,
-        ),
-    )
-        .prop_map(|(_, rows)| {
-            let mut g = Graph::new();
-            const MONTHS: [&str; 12] = [
-                "Jan", "Feb", "Mar", "Apr", "May", "Jun", "Jul", "Aug", "Sep", "Oct", "Nov",
-                "Dec",
-            ];
-            const CATS: [&str; 4] = ["web", "db", "systems", "theory"];
-            for (i, (has_y, y, has_m, m, has_c, c, n_auth)) in rows.iter().enumerate() {
-                let node = g.add_named_node(&format!("p{i}"));
-                g.add_edge_str(node, "title", Value::string(format!("Title {i}")));
-                if *has_y {
-                    g.add_edge_str(node, "year", Value::Int(*y));
-                }
-                if *has_m {
-                    g.add_edge_str(node, "month", Value::string(MONTHS[*m]));
-                }
-                if *has_c {
-                    g.add_edge_str(node, "category", Value::string(CATS[*c]));
-                }
-                for a in 0..*n_auth {
-                    g.add_edge_str(node, "author", Value::string(format!("Author {a}")));
-                }
-                g.collect_str("Publications", node);
-            }
-            g
-        })
+/// A random Publications-like graph: nodes with a random subset of
+/// attributes (the irregularity the system exists for).
+fn pub_graph(rng: &mut SmallRng) -> Graph {
+    const MONTHS: [&str; 12] = [
+        "Jan", "Feb", "Mar", "Apr", "May", "Jun", "Jul", "Aug", "Sep", "Oct", "Nov", "Dec",
+    ];
+    const CATS: [&str; 4] = ["web", "db", "systems", "theory"];
+    let rows = rng.gen_range(1..25usize);
+    let mut g = Graph::new();
+    for i in 0..rows {
+        let node = g.add_named_node(&format!("p{i}"));
+        g.add_edge_str(node, "title", Value::string(format!("Title {i}")));
+        if rng.gen_bool(0.5) {
+            g.add_edge_str(node, "year", Value::Int(rng.gen_range(1990i64..2000)));
+        }
+        if rng.gen_bool(0.5) {
+            let m = rng.gen_range(0..12usize);
+            g.add_edge_str(node, "month", Value::string(MONTHS[m]));
+        }
+        if rng.gen_bool(0.5) {
+            let c = rng.gen_range(0..4usize);
+            g.add_edge_str(node, "category", Value::string(CATS[c]));
+        }
+        for a in 0..rng.gen_range(1..4usize) {
+            g.add_edge_str(node, "author", Value::string(format!("Author {a}")));
+        }
+        g.collect_str("Publications", node);
+    }
+    g
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
+const CASES: u64 = 32;
 
-    /// The Fig. 3 query never fails on irregular data, and its output obeys
-    /// the structural invariants: one presentation per publication, one
-    /// year page per distinct year, presentations copy exactly their
-    /// publication's edges.
-    #[test]
-    fn homepage_query_invariants(g in pub_graph()) {
+/// The Fig. 3 query never fails on irregular data, and its output obeys
+/// the structural invariants: one presentation per publication, one
+/// year page per distinct year, presentations copy exactly their
+/// publication's edges.
+#[test]
+fn homepage_query_invariants() {
+    for seed in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let g = pub_graph(&mut rng);
         let db = Database::from_graph(g, IndexLevel::Full);
         let program = strudel::struql::parse(strudel::sites::HOMEPAGE_QUERY).unwrap();
         let r = Evaluator::new(&db).eval(&program).unwrap();
 
         let pubs = db.graph().members_str("Publications").to_vec();
-        prop_assert_eq!(r.graph.members_str("PaperPages").len(), pubs.len());
+        assert_eq!(
+            r.graph.members_str("PaperPages").len(),
+            pubs.len(),
+            "seed {seed}"
+        );
 
         let mut years = std::collections::HashSet::new();
         for m in &pubs {
@@ -74,16 +65,26 @@ proptest! {
             for v in db.graph().attr_str(o, "year") {
                 years.insert(v.clone());
             }
-            let pres = r.skolem_node("PaperPresentation", std::slice::from_ref(m)).unwrap();
-            prop_assert_eq!(r.graph.edges(pres).len(), db.graph().edges(o).len());
+            let pres = r
+                .skolem_node("PaperPresentation", std::slice::from_ref(m))
+                .unwrap();
+            assert_eq!(
+                r.graph.edges(pres).len(),
+                db.graph().edges(o).len(),
+                "seed {seed}"
+            );
         }
-        prop_assert_eq!(r.graph.members_str("YearPages").len(), years.len());
+        assert_eq!(r.graph.members_str("YearPages").len(), years.len(), "seed {seed}");
     }
+}
 
-    /// Optimized and unoptimized evaluation agree on arbitrary irregular
-    /// graphs, at every index level.
-    #[test]
-    fn plan_and_index_transparency(g in pub_graph()) {
+/// Optimized and unoptimized evaluation agree on arbitrary irregular
+/// graphs, at every index level.
+#[test]
+fn plan_and_index_transparency() {
+    for seed in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(100 + seed);
+        let g = pub_graph(&mut rng);
         let program = strudel::struql::parse(
             r#"
             where Publications(x), x -> "year" -> y, y >= 1995
@@ -103,14 +104,22 @@ proptest! {
                 results.push((r.new_nodes.len(), r.graph.members_str("Out").len()));
             }
         }
-        prop_assert!(results.windows(2).all(|w| w[0] == w[1]), "{:?}", results);
+        assert!(
+            results.windows(2).all(|w| w[0] == w[1]),
+            "seed {seed}: {results:?}"
+        );
     }
+}
 
-    /// Incremental maintenance equals full re-evaluation for arbitrary
-    /// single-publication inserts.
-    #[test]
-    fn incremental_equals_full(g in pub_graph(), year in 1990i64..2000) {
-        use strudel::schema::incremental::{graphs_equivalent, incremental_update};
+/// Incremental maintenance equals full re-evaluation for arbitrary
+/// single-publication inserts.
+#[test]
+fn incremental_equals_full() {
+    use strudel::schema::incremental::{graphs_equivalent, incremental_update};
+    for seed in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(200 + seed);
+        let g = pub_graph(&mut rng);
+        let year = rng.gen_range(1990i64..2000);
         let db = Database::from_graph(g, IndexLevel::Full);
         let program = strudel::struql::parse(strudel::sites::HOMEPAGE_QUERY).unwrap();
         let old = Evaluator::new(&db).eval(&program).unwrap();
@@ -124,24 +133,32 @@ proptest! {
         delta.collect("Publications", Value::Node(oid));
 
         let inc = incremental_update(&program, &db, &delta, old).unwrap();
-        prop_assert!(!inc.full_reeval);
+        assert!(!inc.full_reeval, "seed {seed}");
 
         let mut g2 = db.graph().clone();
         delta.apply(&mut g2).unwrap();
         let db2 = Database::from_graph(g2, IndexLevel::Full);
         let full = Evaluator::new(&db2).eval(&program).unwrap();
-        prop_assert!(graphs_equivalent(&inc.result.graph, &full.graph));
+        assert!(
+            graphs_equivalent(&inc.result.graph, &full.graph),
+            "seed {seed}"
+        );
     }
+}
 
-    /// DRed deletions agree with full re-evaluation: for every Skolem key
-    /// the full evaluation produces, the incrementally maintained site has
-    /// the same out-edges; orphaned pages (keys absent from the full
-    /// evaluation) carry no derived content.
-    #[test]
-    fn dred_deletions_match_full(g in pub_graph(), victim in 0usize..25) {
-        use strudel::schema::incremental::incremental_update;
+/// DRed deletions agree with full re-evaluation: for every Skolem key
+/// the full evaluation produces, the incrementally maintained site has
+/// the same out-edges; orphaned pages (keys absent from the full
+/// evaluation) carry no derived content.
+#[test]
+fn dred_deletions_match_full() {
+    use strudel::schema::incremental::incremental_update;
+    for seed in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(300 + seed);
+        let g = pub_graph(&mut rng);
+        let victim_idx = rng.gen_range(0..25usize);
         let pubs = g.members_str("Publications").to_vec();
-        let victim = &pubs[victim % pubs.len()];
+        let victim = &pubs[victim_idx % pubs.len()];
         let victim_oid = victim.as_node().unwrap();
 
         let db = Database::from_graph(g.clone(), IndexLevel::Full);
@@ -156,7 +173,7 @@ proptest! {
         }
 
         let inc = incremental_update(&program, &db, &delta, old).unwrap();
-        prop_assert!(!inc.full_reeval);
+        assert!(!inc.full_reeval, "seed {seed}");
 
         let mut g2 = db.graph().clone();
         delta.apply(&mut g2).unwrap();
@@ -212,28 +229,32 @@ proptest! {
                 .collect();
             f_edges.sort();
             i_edges.sort();
-            prop_assert_eq!(&f_edges, &i_edges, "{}({:?}) diverged", symbol, args);
+            assert_eq!(
+                &f_edges, &i_edges,
+                "seed {seed}: {symbol}({args:?}) diverged"
+            );
         }
         // Orphans: keys the full evaluation no longer creates must be bare.
         for (key, oid) in inc.result.skolem.iter() {
-            let alive = full
-                .skolem_node(&key.symbol, &key.args)
-                .is_some();
+            let alive = full.skolem_node(&key.symbol, &key.args).is_some();
             if !alive {
-                prop_assert_eq!(
+                assert_eq!(
                     inc.result.graph.edges(oid).len(),
                     0,
-                    "orphan {:?} kept content",
-                    key
+                    "seed {seed}: orphan {key:?} kept content"
                 );
             }
         }
     }
+}
 
-    /// The HTML generator never panics and always escapes markup from
-    /// data: rendered pages contain no raw `<script` coming from titles.
-    #[test]
-    fn rendering_is_safe_for_hostile_titles(n in 1usize..8) {
+/// The HTML generator never panics and always escapes markup from
+/// data: rendered pages contain no raw `<script` coming from titles.
+#[test]
+fn rendering_is_safe_for_hostile_titles() {
+    for seed in 0..8u64 {
+        let mut rng = SmallRng::seed_from_u64(400 + seed);
+        let n = rng.gen_range(1..8usize);
         let mut g = Graph::new();
         let root = g.add_named_node("Root");
         for i in 0..n {
@@ -246,13 +267,14 @@ proptest! {
             g.add_edge_str(root, "child", Value::Node(p));
         }
         let mut ts = strudel::template::TemplateSet::new();
-        ts.add_template("t", "<h1><SFMT title></h1><SFMT child UL>").unwrap();
+        ts.add_template("t", "<h1><SFMT title></h1><SFMT child UL>")
+            .unwrap();
         ts.set_default("t");
         let out = strudel::template::HtmlGenerator::new(&g, &ts)
             .generate(&[root])
             .unwrap();
         for p in &out.pages {
-            prop_assert!(!p.html.contains("<script>alert"));
+            assert!(!p.html.contains("<script>alert"), "seed {seed}");
         }
     }
 }

@@ -64,7 +64,7 @@ fn news_pipeline_cross_checks_with_dynamic_engine() {
     let site = strudel::sites::news_site(&corpus).build().unwrap();
     let static_result = &site.result;
 
-    let mut engine = DynamicSite::new(&site.database, &site.program, Mode::Context);
+    let engine = DynamicSite::new(site.database.clone(), &site.program, Mode::Context);
     let roots = engine.roots("FrontRoot").unwrap();
     assert_eq!(roots.len(), 1);
     let front = engine.visit(&roots[0]).unwrap();
