@@ -1,0 +1,116 @@
+//! E-parallel: deterministic parallel where-stage evaluation at 1/2/4/8
+//! workers, and cold-cache warmup (sequential vs parallel pre-render).
+//! The parallel results are byte-identical to sequential — these benches
+//! measure what that determinism costs (or buys) in wall-clock time.
+
+use std::sync::Arc;
+use std::time::Duration;
+use strudel::repo::{Database, IndexLevel};
+use strudel::struql::{parse, EvalOptions, Evaluator, Parallelism};
+use strudel_bench::microbench::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use strudel_schema::dynamic::Mode;
+use strudel_serve::SiteService;
+use strudel_workload::bib;
+use strudel_workload::news::{generate, NewsConfig};
+
+fn bib_db(entries: usize) -> Database {
+    let src = bib::generate(&bib::BibConfig {
+        entries,
+        ..Default::default()
+    });
+    let g = strudel::wrappers::bibtex::wrap(&src).unwrap();
+    Database::from_graph(g, IndexLevel::Full)
+}
+
+fn opts(workers: usize) -> EvalOptions {
+    EvalOptions {
+        parallelism: if workers <= 1 {
+            Parallelism::Sequential
+        } else {
+            Parallelism::Threads(workers)
+        },
+        ..Default::default()
+    }
+}
+
+/// The self-join co-author query: the where stage dominates, so this is
+/// where partitioned evaluation should show its scaling.
+fn bench_parallel_join(c: &mut Criterion) {
+    let query = r#"
+        where Publications(x), Publications(y),
+              x -> "year" -> yr, y -> "year" -> yr,
+              x -> "author" -> a, y -> "author" -> a,
+              x != y
+        create CoAuthored(x, y)
+        collect Pairs(CoAuthored(x, y))
+    "#;
+    let program = parse(query).unwrap();
+    let db = bib_db(400);
+    let mut group = c.benchmark_group("parallel/coauthor-join");
+    group.sample_size(10);
+    for workers in [1usize, 2, 4, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(workers), &workers, |b, &w| {
+            b.iter(|| {
+                Evaluator::with_options(&db, opts(w))
+                    .eval(&program)
+                    .unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+/// The homepage site-definition query over a large bibliography — the
+/// end-to-end build path the SiteBuilder `parallelism` knob feeds.
+fn bench_parallel_homepage(c: &mut Criterion) {
+    let program = parse(strudel::sites::HOMEPAGE_QUERY).unwrap();
+    let db = bib_db(800);
+    let mut group = c.benchmark_group("parallel/homepage-query");
+    group.sample_size(10);
+    for workers in [1usize, 2, 4, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(workers), &workers, |b, &w| {
+            b.iter(|| {
+                Evaluator::with_options(&db, opts(w))
+                    .eval(&program)
+                    .unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+/// Cold-cache warmup of the news site: pre-rendering every reachable page
+/// sequentially vs across workers.
+fn bench_parallel_warmup(c: &mut Criterion) {
+    let corpus = generate(&NewsConfig {
+        articles: 60,
+        ..Default::default()
+    });
+    let site = Arc::new(strudel::sites::news_site(&corpus.pages).build().unwrap());
+    let mut group = c.benchmark_group("parallel/warmup");
+    group.sample_size(10);
+    for workers in [1usize, 2, 4, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(workers), &workers, |b, &w| {
+            b.iter(|| {
+                // A fresh service per iteration: warmup is a cold-cache op.
+                let svc = SiteService::new(&site, Mode::Context);
+                svc.warm(if w <= 1 {
+                    Parallelism::Sequential
+                } else {
+                    Parallelism::Threads(w)
+                })
+                .unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(2));
+    targets = bench_parallel_join, bench_parallel_homepage, bench_parallel_warmup
+}
+criterion_main!(benches);

@@ -47,7 +47,7 @@ fn bench_join_ordering(c: &mut Criterion) {
     });
     group.bench_function("naive-order", |b| {
         b.iter(|| {
-            Evaluator::with_options(&db, EvalOptions { optimize: false })
+            Evaluator::with_options(&db, EvalOptions { optimize: false, ..Default::default() })
                 .eval(&program)
                 .unwrap()
         });

@@ -494,7 +494,7 @@ pub fn exp_struql_scale() {
         let program = strudel::struql::parse(query).unwrap();
         let (r_opt, t_opt) = time(|| Evaluator::new(&db).eval(&program).unwrap());
         let (r_naive, t_naive) = time(|| {
-            Evaluator::with_options(&db, EvalOptions { optimize: false })
+            Evaluator::with_options(&db, EvalOptions { optimize: false, ..Default::default() })
                 .eval(&program)
                 .unwrap()
         });

@@ -1,0 +1,79 @@
+//! Parallel site builds are *byte-identical* to sequential ones: the same
+//! DDL printout, the same Skolem oids in the same creation order — the
+//! whole point of the partition-order merge in `strudel_struql::par`.
+
+use strudel::sites::{news_site, org_site};
+use strudel::SiteBuilder;
+use strudel_graph::ddl;
+use strudel_struql::Parallelism;
+use strudel_workload::{news, org};
+
+fn assert_builds_identical(make: impl Fn() -> SiteBuilder) {
+    let sequential = make()
+        .parallelism(Parallelism::Sequential)
+        .build()
+        .unwrap();
+    let reference_ddl = ddl::print(&sequential.result.graph);
+    for workers in [2usize, 4, 8] {
+        let parallel = make()
+            .parallelism(Parallelism::Threads(workers))
+            .build()
+            .unwrap();
+        assert_eq!(
+            ddl::print(&parallel.result.graph),
+            reference_ddl,
+            "{workers}-worker build diverged from sequential"
+        );
+        assert_eq!(parallel.result.new_nodes, sequential.result.new_nodes);
+        assert_eq!(
+            parallel.result.rows_evaluated,
+            sequential.result.rows_evaluated
+        );
+        for root in sequential.roots() {
+            assert!(parallel.roots().contains(&root));
+        }
+    }
+}
+
+#[test]
+fn news_site_builds_identically_at_any_worker_count() {
+    let corpus = news::generate(&news::NewsConfig {
+        articles: 60,
+        ..Default::default()
+    });
+    assert_builds_identical(|| news_site(&corpus.pages));
+}
+
+#[test]
+fn org_site_builds_identically_at_any_worker_count() {
+    let data = org::generate(&org::OrgConfig {
+        people: 40,
+        ..Default::default()
+    });
+    assert_builds_identical(|| {
+        org_site(
+            &data.people_csv,
+            &data.departments_csv,
+            &data.projects_rec,
+            &data.demos_rec,
+            &data.legacy_html,
+        )
+    });
+}
+
+#[test]
+fn auto_parallelism_matches_sequential() {
+    let corpus = news::generate(&news::NewsConfig {
+        articles: 25,
+        ..Default::default()
+    });
+    let sequential = news_site(&corpus.pages).build().unwrap();
+    let auto = news_site(&corpus.pages)
+        .parallelism(Parallelism::Auto)
+        .build()
+        .unwrap();
+    assert_eq!(
+        ddl::print(&auto.result.graph),
+        ddl::print(&sequential.result.graph)
+    );
+}

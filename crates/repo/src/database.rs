@@ -4,6 +4,7 @@ use crate::index::{ExtensionIndex, IndexSet, SchemaIndex, ValueIndex};
 use crate::stats::Stats;
 use crate::wal::{self, Wal};
 use crate::{snapshot, RepoError};
+use std::fs::OpenOptions;
 use std::path::{Path, PathBuf};
 use std::sync::{Arc, Mutex};
 use strudel_graph::{DeltaOp, Graph, GraphDelta, Label, Oid, Value};
@@ -37,6 +38,7 @@ pub struct Database {
     stats: Mutex<Option<Arc<Stats>>>,
     wal: Option<Wal>,
     dir: Option<PathBuf>,
+    wal_discarded_bytes: u64,
 }
 
 impl Default for Database {
@@ -61,6 +63,7 @@ impl Database {
             stats: Mutex::new(None),
             wal: None,
             dir: None,
+            wal_discarded_bytes: 0,
         }
     }
 
@@ -76,12 +79,20 @@ impl Database {
         } else {
             Graph::new()
         };
-        for delta in wal::replay(&wal_path)? {
+        let report = wal::replay_report(&wal_path)?;
+        for delta in report.deltas {
             delta.apply(&mut graph)?;
+        }
+        if report.discarded_bytes > 0 {
+            // Chop the torn tail off before reopening for append, or the
+            // next record would land after garbage and be unreplayable.
+            let valid = std::fs::metadata(&wal_path)?.len() - report.discarded_bytes;
+            OpenOptions::new().write(true).open(&wal_path)?.set_len(valid)?;
         }
         let mut db = Self::from_graph(graph, level);
         db.wal = Some(Wal::open_append(&wal_path)?);
         db.dir = Some(dir.to_owned());
+        db.wal_discarded_bytes = report.discarded_bytes;
         Ok(db)
     }
 
@@ -113,6 +124,13 @@ impl Database {
     /// The configured index level.
     pub fn level(&self) -> IndexLevel {
         self.level
+    }
+
+    /// Bytes of a torn trailing WAL record discarded (and truncated away)
+    /// when this database was opened; 0 for clean opens and in-memory
+    /// databases.
+    pub fn wal_discarded_bytes(&self) -> u64 {
+        self.wal_discarded_bytes
     }
 
     /// The extension of attribute `label` — all `(source, target)` pairs —
@@ -485,6 +503,37 @@ mod tests {
                 Some("Strudel")
             );
             assert_eq!(db.graph().members_str("Pubs").len(), 1);
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn open_recovers_from_torn_wal_tail_and_appends_cleanly() {
+        let dir = tmpdir("torn-tail");
+        {
+            let mut db = Database::open(&dir, IndexLevel::Full).unwrap();
+            let a = db.add_named_node("a").unwrap();
+            db.add_edge(a, "v", Value::Int(1)).unwrap();
+            db.add_edge(a, "v", Value::Int(2)).unwrap();
+        }
+        // Simulate a crash mid-append: chop bytes off the last record.
+        let wal_path = dir.join("wal.log");
+        let full = std::fs::read(&wal_path).unwrap();
+        std::fs::write(&wal_path, &full[..full.len() - 3]).unwrap();
+        {
+            let mut db = Database::open(&dir, IndexLevel::Full).unwrap();
+            assert!(db.wal_discarded_bytes() > 0, "torn tail was reported");
+            let a = db.graph().node_by_name("a").unwrap();
+            // The torn record (v=2) is gone; the committed one survives.
+            assert_eq!(db.graph().attr_str(a, "v").count(), 1);
+            // Recovery truncated the garbage, so new appends replay.
+            db.add_edge(a, "v", Value::Int(3)).unwrap();
+        }
+        {
+            let db = Database::open(&dir, IndexLevel::Full).unwrap();
+            assert_eq!(db.wal_discarded_bytes(), 0, "clean reopen");
+            let a = db.graph().node_by_name("a").unwrap();
+            assert_eq!(db.graph().attr_str(a, "v").count(), 2);
         }
         std::fs::remove_dir_all(&dir).unwrap();
     }

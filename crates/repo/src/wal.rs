@@ -151,14 +151,27 @@ fn decode_op(r: &mut impl Read, offset: &mut u64) -> Result<DeltaOp, RepoError> 
     })
 }
 
+/// What a WAL replay recovered: the committed deltas plus how much of a
+/// torn tail record (if any) was discarded.
+#[derive(Debug, Default)]
+pub struct ReplayReport {
+    /// Committed deltas, in append order.
+    pub deltas: Vec<GraphDelta>,
+    /// Bytes of a torn trailing record dropped during recovery (0 when
+    /// the log ended on a record boundary).
+    pub discarded_bytes: u64,
+}
+
 /// Replays all whole records of the WAL at `path`. A torn tail record is
-/// silently discarded; a structurally corrupt *whole* record is an error.
-/// Returns the committed deltas in order. A missing file replays to
-/// nothing.
-pub fn replay(path: &Path) -> Result<Vec<GraphDelta>, RepoError> {
+/// discarded and reported via [`ReplayReport::discarded_bytes`]; a
+/// structurally corrupt *whole* record is an error. A missing file
+/// replays to nothing.
+pub fn replay_report(path: &Path) -> Result<ReplayReport, RepoError> {
     let bytes = match std::fs::read(path) {
         Ok(b) => b,
-        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+            return Ok(ReplayReport::default())
+        }
         Err(e) => return Err(e.into()),
     };
     if bytes.len() < MAGIC.len() || &bytes[..MAGIC.len()] != MAGIC {
@@ -170,13 +183,16 @@ pub fn replay(path: &Path) -> Result<Vec<GraphDelta>, RepoError> {
     }
     let mut deltas = Vec::new();
     let mut pos = MAGIC.len();
+    let mut discarded_bytes = 0u64;
     while pos < bytes.len() {
         if pos + 4 > bytes.len() {
-            break; // torn length prefix
+            discarded_bytes = (bytes.len() - pos) as u64; // torn length prefix
+            break;
         }
         let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().unwrap()) as usize;
         if pos + 4 + len > bytes.len() {
-            break; // torn record body
+            discarded_bytes = (bytes.len() - pos) as u64; // torn record body
+            break;
         }
         let payload = &bytes[pos + 4..pos + 4 + len];
         let mut r = payload;
@@ -189,7 +205,16 @@ pub fn replay(path: &Path) -> Result<Vec<GraphDelta>, RepoError> {
         deltas.push(delta);
         pos += 4 + len;
     }
-    Ok(deltas)
+    Ok(ReplayReport {
+        deltas,
+        discarded_bytes,
+    })
+}
+
+/// [`replay_report`] without the torn-tail accounting: just the committed
+/// deltas in order.
+pub fn replay(path: &Path) -> Result<Vec<GraphDelta>, RepoError> {
+    Ok(replay_report(path)?.deltas)
 }
 
 #[cfg(test)]
@@ -257,6 +282,42 @@ mod tests {
         std::fs::write(&path, &full[..full.len() - 5]).unwrap();
         let replayed = replay(&path).unwrap();
         assert_eq!(replayed.len(), 1);
+    }
+
+    #[test]
+    fn truncation_mid_record_reports_exact_discarded_bytes() {
+        let dir = tmpdir("report");
+        let path = dir.join("wal.log");
+        {
+            let mut wal = Wal::create(&path).unwrap();
+            wal.append(&sample_delta()).unwrap();
+            wal.append(&sample_delta()).unwrap();
+            wal.sync().unwrap();
+        }
+        let full = std::fs::read(&path).unwrap();
+        let record_len = (full.len() - MAGIC.len()) / 2;
+        let first_end = MAGIC.len() + record_len;
+
+        // Truncate inside the second record's body: recovery keeps the
+        // first delta and reports exactly the surviving tail bytes.
+        let cut = first_end + 7;
+        std::fs::write(&path, &full[..cut]).unwrap();
+        let report = replay_report(&path).unwrap();
+        assert_eq!(report.deltas, vec![sample_delta()]);
+        assert_eq!(report.discarded_bytes, (cut - first_end) as u64);
+
+        // Truncate inside the second record's length prefix.
+        let cut = first_end + 2;
+        std::fs::write(&path, &full[..cut]).unwrap();
+        let report = replay_report(&path).unwrap();
+        assert_eq!(report.deltas.len(), 1);
+        assert_eq!(report.discarded_bytes, 2);
+
+        // A log ending on a record boundary discards nothing.
+        std::fs::write(&path, &full).unwrap();
+        let report = replay_report(&path).unwrap();
+        assert_eq!(report.deltas.len(), 2);
+        assert_eq!(report.discarded_bytes, 0);
     }
 
     #[test]

@@ -45,7 +45,8 @@ use std::sync::{Arc, RwLock};
 use strudel_graph::{GraphDelta, Value};
 use strudel_repo::Database;
 use strudel_struql::{
-    Condition, Evaluator, LabelTerm, Program, StruqlError, StruqlResult, Term,
+    Condition, EvalOptions, Evaluator, LabelTerm, Parallelism, Program, StruqlError,
+    StruqlResult, Term,
 };
 
 /// Evaluation strategy.
@@ -119,6 +120,7 @@ pub struct DynamicSite {
     db: RwLock<Arc<Database>>,
     schema: SiteSchema,
     mode: Mode,
+    parallelism: Parallelism,
     shards: Vec<RwLock<HashMap<PageKey, PageView>>>,
     /// Bumped by every applied delta; fences stale cache inserts.
     epoch: AtomicU64,
@@ -136,6 +138,7 @@ impl DynamicSite {
             db: RwLock::new(db),
             schema: SiteSchema::extract(program),
             mode,
+            parallelism: Parallelism::default(),
             shards: (0..SHARDS).map(|_| RwLock::new(HashMap::new())).collect(),
             epoch: AtomicU64::new(0),
             clicks: AtomicUsize::new(0),
@@ -144,6 +147,29 @@ impl DynamicSite {
             cache_hits: AtomicUsize::new(0),
             evictions: AtomicUsize::new(0),
         }
+    }
+
+    /// Sets the worker budget for guard evaluation. Served page views are
+    /// identical at any setting (see `strudel_struql::par`); only latency
+    /// on guard-heavy pages changes.
+    pub fn with_parallelism(mut self, parallelism: Parallelism) -> Self {
+        self.parallelism = parallelism;
+        self
+    }
+
+    /// The configured worker budget.
+    pub fn parallelism(&self) -> Parallelism {
+        self.parallelism
+    }
+
+    fn evaluator<'db>(&self, db: &'db Database) -> Evaluator<'db> {
+        Evaluator::with_options(
+            db,
+            EvalOptions {
+                parallelism: self.parallelism,
+                ..Default::default()
+            },
+        )
     }
 
     /// Work counters so far.
@@ -200,7 +226,7 @@ impl DynamicSite {
     /// collection name.
     pub fn roots(&self, collection: &str) -> StruqlResult<Vec<PageKey>> {
         let db = self.database();
-        let ev = Evaluator::new(&db);
+        let ev = self.evaluator(&db);
         let mut out = Vec::new();
         for (collect, guard) in &self.schema.collects {
             if collect.collection != collection {
@@ -312,7 +338,7 @@ impl DynamicSite {
                 message: format!("unknown page symbol '{}'", page.symbol),
             });
         };
-        let ev = Evaluator::new(db);
+        let ev = self.evaluator(db);
         let mut view = PageView::default();
         for edge in self.schema.out_edges(node) {
             // Seed the guard with the page's Skolem arguments (Context
@@ -747,6 +773,21 @@ mod tests {
         );
         assert!(view.edges.len() > n_before);
         assert_eq!(site.epoch(), 1);
+    }
+
+    #[test]
+    fn parallel_engine_serves_identical_views() {
+        let db = db();
+        let program = parse(QUERY).unwrap();
+        let seq = DynamicSite::new(db.clone(), &program, Mode::Context);
+        let par = DynamicSite::new(db, &program, Mode::Context)
+            .with_parallelism(Parallelism::Threads(4));
+        assert_eq!(par.parallelism(), Parallelism::Threads(4));
+        let roots = seq.roots("Roots").unwrap();
+        assert_eq!(roots, par.roots("Roots").unwrap());
+        for key in &roots {
+            assert_eq!(seq.visit(key).unwrap(), par.visit(key).unwrap());
+        }
     }
 
     #[test]

@@ -30,11 +30,14 @@
 //! strudel stats <dir>                 print the site-statistics row
 //! strudel guide <dir>                 print discovered data-graph schemas
 //!                                     (strong DataGuides per collection)
-//! strudel serve <dir> [--addr A] [--workers N] [--mode M]
+//! strudel serve <dir> [--addr A] [--workers N] [--mode M] [--warm W]
 //!                                     serve the site at click time:
 //!                                     pages computed on demand, cached,
 //!                                     metrics on /metrics
-//!                                     (M: naive|context|lookahead)
+//!                                     (M: naive|context|lookahead;
+//!                                      W: warmup workers, a number or
+//!                                      "auto" — pre-renders every page
+//!                                      before accepting requests)
 //! ```
 
 use std::path::{Path, PathBuf};
@@ -59,7 +62,8 @@ fn main() -> ExitCode {
 fn run(args: &[String]) -> Result<(), String> {
     let usage =
         "usage: strudel <build|check|schema|stats|guide|serve> <site-dir> [-o <outdir>] \
-         [--addr <ip:port>] [--workers <n>] [--mode <naive|context|lookahead>]";
+         [--addr <ip:port>] [--workers <n>] [--mode <naive|context|lookahead>] \
+         [--warm <n|auto>]";
     let command = args.first().ok_or(usage)?;
     let dir = PathBuf::from(args.get(1).ok_or(usage)?);
     let outdir = match args.iter().position(|a| a == "-o") {
@@ -196,8 +200,27 @@ fn run(args: &[String]) -> Result<(), String> {
                     return Err(format!("unknown mode '{other}' (naive|context|lookahead)"))
                 }
             };
+            let warm = match flag("--warm").as_deref() {
+                None => None,
+                Some("auto") => Some(strudel::struql::Parallelism::Auto),
+                Some(n) => Some(strudel::struql::Parallelism::Threads(
+                    n.parse().map_err(|_| "--warm needs a number or 'auto'")?,
+                )),
+            };
             let service =
                 std::sync::Arc::new(strudel_serve::SiteService::new(&built, mode));
+            if let Some(parallelism) = warm {
+                let report = service
+                    .warm(parallelism)
+                    .map_err(|e| format!("warming cache: {e}"))?;
+                println!(
+                    "warmed {} pages in {} levels across {} workers ({:.1} ms)",
+                    report.pages,
+                    report.levels,
+                    parallelism.workers(),
+                    report.elapsed_us as f64 / 1000.0
+                );
+            }
             let server = strudel_serve::serve(
                 service,
                 strudel_serve::ServerConfig {

@@ -33,6 +33,7 @@ pub mod render;
 pub mod router;
 pub mod server;
 
+use std::collections::HashSet;
 use std::fmt;
 use std::sync::Arc;
 use std::time::Instant;
@@ -45,7 +46,7 @@ pub use server::{serve, ServerConfig, ServerHandle};
 use strudel_graph::GraphDelta;
 use strudel_repo::Database;
 use strudel_schema::dynamic::{DynamicSite, InvalidationOutcome, Mode, PageKey};
-use strudel_struql::{Program, StruqlError};
+use strudel_struql::{par, Parallelism, Program, StruqlError};
 use strudel_template::{TemplateError, TemplateSet};
 
 /// Anything that can go wrong while serving.
@@ -140,6 +141,17 @@ impl Response {
     }
 }
 
+/// What [`SiteService::warm`] did.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct WarmupReport {
+    /// Pages rendered into the HTML cache.
+    pub pages: usize,
+    /// BFS levels walked from the roots.
+    pub levels: usize,
+    /// Wall-clock time spent warming, in microseconds.
+    pub elapsed_us: u64,
+}
+
 /// The result of applying a delta to a live service.
 #[derive(Clone, Debug)]
 pub struct ServiceInvalidation {
@@ -188,6 +200,13 @@ impl SiteService {
             &site.root_collection,
             mode,
         )
+    }
+
+    /// Sets the worker budget the engine may use per guard evaluation
+    /// (served content is identical at any setting).
+    pub fn with_parallelism(mut self, parallelism: Parallelism) -> Self {
+        self.engine = self.engine.with_parallelism(parallelism);
+        self
     }
 
     /// The shared click-time engine.
@@ -284,6 +303,59 @@ impl SiteService {
         }
     }
 
+    /// Pre-renders every page reachable from the root collection into the
+    /// HTML cache, level by level from the roots, rendering each level's
+    /// pages across `parallelism` workers. After warmup, first hits serve
+    /// straight from cache instead of paying click-time evaluation.
+    ///
+    /// Safe to run on a live service: inserts are epoch-fenced, so a
+    /// delta applied mid-warmup simply drops the stale renditions.
+    pub fn warm(&self, parallelism: Parallelism) -> Result<WarmupReport, ServeError> {
+        let start = Instant::now();
+        let epoch = self.engine.epoch();
+        let mut frontier: Vec<PageKey> = self.engine.roots(&self.root_collection)?;
+        let mut seen: HashSet<PageKey> = frontier.iter().cloned().collect();
+        let mut pages = 0usize;
+        let mut levels = 0usize;
+        while !frontier.is_empty() {
+            // Pages within one BFS level are independent renders; the
+            // engine and caches are `&self`-shared, so fan the level out.
+            let rendered = par::map_chunks(frontier, parallelism.workers(), |chunk| {
+                chunk
+                    .into_iter()
+                    .map(|key| {
+                        render::render_page(&self.engine, &self.templates, &key)
+                            .map(|page| (key, page))
+                    })
+                    .collect()
+            })?;
+            levels += 1;
+            let mut next = Vec::new();
+            for (key, page) in rendered {
+                for dep in page.deps.iter() {
+                    if seen.insert(dep.clone()) {
+                        next.push(dep.clone());
+                    }
+                }
+                pages += 1;
+                self.cache.insert_if(
+                    key,
+                    CachedPage {
+                        html: page.html.into(),
+                        deps: page.deps.into(),
+                    },
+                    || self.engine.epoch() == epoch,
+                );
+            }
+            frontier = next;
+        }
+        Ok(WarmupReport {
+            pages,
+            levels,
+            elapsed_us: start.elapsed().as_micros().min(u128::from(u64::MAX)) as u64,
+        })
+    }
+
     /// Applies a data-graph delta: swaps the engine's database snapshot
     /// and evicts exactly the dirtied pages from both caches (the HTML
     /// cache also follows rendition dependencies). Concurrent requests
@@ -301,6 +373,8 @@ impl SiteService {
     pub fn stats(&self) -> ServerStats {
         ServerStats {
             total: self.metrics.totals(),
+            latency_buckets: self.metrics.total_latency_buckets(),
+            latency_sum_us: self.metrics.total_latency_sum_us(),
             routes: self.metrics.snapshot(),
             html_cache: self.cache.stats(),
             engine: self.engine.metrics(),

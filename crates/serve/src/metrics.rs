@@ -24,6 +24,9 @@ pub struct Histogram {
     buckets: [AtomicU64; BOUNDS_US.len() + 1],
     count: AtomicU64,
     sum_us: AtomicU64,
+    /// Largest observation, so quantiles landing in the overflow bucket
+    /// report a real latency instead of a fictitious `u64::MAX` bound.
+    max_us: AtomicU64,
 }
 
 impl Histogram {
@@ -36,6 +39,7 @@ impl Histogram {
         self.buckets[idx].fetch_add(1, Ordering::Relaxed);
         self.count.fetch_add(1, Ordering::Relaxed);
         self.sum_us.fetch_add(us, Ordering::Relaxed);
+        self.max_us.fetch_max(us, Ordering::Relaxed);
     }
 
     /// Number of observations.
@@ -52,7 +56,10 @@ impl Histogram {
     }
 
     /// The `q`-quantile in microseconds, as the upper bound of the bucket
-    /// containing it (0 when empty). `q` is clamped to `[0, 1]`.
+    /// containing it (0 when empty). `q` is clamped to `[0, 1]`; `q = 0`
+    /// on a non-empty histogram reports the first occupied bucket's
+    /// bound. Quantiles that land in the overflow bucket report the
+    /// largest observed latency rather than an invented bound.
     pub fn quantile_us(&self, q: f64) -> u64 {
         let n = self.count();
         if n == 0 {
@@ -63,10 +70,32 @@ impl Histogram {
         for (i, bucket) in self.buckets.iter().enumerate() {
             seen += bucket.load(Ordering::Relaxed);
             if seen >= target {
-                return BOUNDS_US.get(i).copied().unwrap_or(u64::MAX);
+                return match BOUNDS_US.get(i) {
+                    Some(&bound) => bound,
+                    None => self.max_us.load(Ordering::Relaxed),
+                };
             }
         }
-        u64::MAX
+        self.max_us.load(Ordering::Relaxed)
+    }
+
+    /// Cumulative bucket counts in Prometheus exposition order: one
+    /// `(Some(bound), cumulative)` pair per finite bucket, then one
+    /// `(None, total)` pair for the `+Inf` bucket, which absorbs samples
+    /// above the last finite bound.
+    pub fn cumulative_buckets(&self) -> Vec<(Option<u64>, u64)> {
+        let mut out = Vec::with_capacity(self.buckets.len());
+        let mut seen = 0;
+        for (i, bucket) in self.buckets.iter().enumerate() {
+            seen += bucket.load(Ordering::Relaxed);
+            out.push((BOUNDS_US.get(i).copied(), seen));
+        }
+        out
+    }
+
+    /// Sum of all observations, in microseconds.
+    pub fn sum_us(&self) -> u64 {
+        self.sum_us.load(Ordering::Relaxed)
     }
 }
 
@@ -141,6 +170,17 @@ impl ServerMetrics {
             mean_us: self.total.latency.mean_us(),
         }
     }
+
+    /// Cumulative latency buckets across all routes (see
+    /// [`Histogram::cumulative_buckets`]).
+    pub fn total_latency_buckets(&self) -> Vec<(Option<u64>, u64)> {
+        self.total.latency.cumulative_buckets()
+    }
+
+    /// Total latency sum across all routes, microseconds.
+    pub fn total_latency_sum_us(&self) -> u64 {
+        self.total.latency.sum_us()
+    }
 }
 
 /// One route's counters, frozen for reporting.
@@ -188,6 +228,11 @@ impl CacheSnapshot {
 pub struct ServerStats {
     /// Totals across all routes.
     pub total: RouteSnapshot,
+    /// Cumulative latency buckets across all routes: `(bound_us,
+    /// cumulative count)`, `None` bound = the `+Inf` overflow bucket.
+    pub latency_buckets: Vec<(Option<u64>, u64)>,
+    /// Total latency sum across all routes, microseconds.
+    pub latency_sum_us: u64,
     /// Per-route breakdown, sorted by route name.
     pub routes: Vec<RouteSnapshot>,
     /// Rendered-HTML cache counters.
@@ -217,6 +262,25 @@ impl ServerStats {
         line(format!(
             "strudel_request_latency_us_mean {}",
             self.total.mean_us
+        ));
+        // Standard Prometheus histogram series: overflow samples land in
+        // the `+Inf` bucket, never under a fabricated numeric bound.
+        for (bound, cumulative) in &self.latency_buckets {
+            let le = match bound {
+                Some(b) => b.to_string(),
+                None => "+Inf".to_string(),
+            };
+            line(format!(
+                "strudel_request_latency_us_bucket{{le=\"{le}\"}} {cumulative}"
+            ));
+        }
+        line(format!(
+            "strudel_request_latency_us_sum {}",
+            self.latency_sum_us
+        ));
+        line(format!(
+            "strudel_request_latency_us_count {}",
+            self.total.requests
         ));
         for r in &self.routes {
             line(format!(
@@ -298,6 +362,54 @@ mod tests {
     }
 
     #[test]
+    fn single_sample_histogram_answers_every_quantile() {
+        let h = Histogram::default();
+        h.record(42);
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(h.quantile_us(q), 50, "q={q}: 42 µs is in (20,50]");
+        }
+    }
+
+    #[test]
+    fn quantile_zero_reports_first_occupied_bucket() {
+        let h = Histogram::default();
+        h.record(700);
+        h.record(3);
+        assert_eq!(h.quantile_us(0.0), 5, "first occupied bucket, (2,5]");
+    }
+
+    #[test]
+    fn overflow_quantiles_report_observed_max_not_a_fictitious_bound() {
+        // Regression: a 20 s request (past the 10 s ladder top) used to
+        // make every overflow-bucket quantile report u64::MAX.
+        let h = Histogram::default();
+        h.record(20_000_000);
+        assert_eq!(h.quantile_us(0.0), 20_000_000);
+        assert_eq!(h.quantile_us(0.5), 20_000_000);
+        assert_eq!(h.quantile_us(1.0), 20_000_000);
+    }
+
+    #[test]
+    fn cumulative_buckets_end_in_the_inf_bucket() {
+        let h = Histogram::default();
+        h.record(3);
+        h.record(3);
+        h.record(20_000_000); // overflow
+        let buckets = h.cumulative_buckets();
+        assert_eq!(buckets.len(), BOUNDS_US.len() + 1);
+        assert_eq!(buckets[2], (Some(5), 2), "both 3 µs samples by le=5");
+        let (last_bound, last_count) = buckets[buckets.len() - 1];
+        assert_eq!(last_bound, None, "+Inf bucket");
+        assert_eq!(last_count, 3, "+Inf is cumulative over everything");
+        assert_eq!(
+            buckets[buckets.len() - 2],
+            (Some(10_000_000), 2),
+            "overflow sample is NOT under the last finite bound"
+        );
+        assert_eq!(h.sum_us(), 20_000_006);
+    }
+
+    #[test]
     fn routes_accumulate_independently() {
         let m = ServerMetrics::new();
         m.record("front", 10);
@@ -316,6 +428,8 @@ mod tests {
         m.record("front", 42);
         let stats = ServerStats {
             total: m.totals(),
+            latency_buckets: m.total_latency_buckets(),
+            latency_sum_us: m.total_latency_sum_us(),
             routes: m.snapshot(),
             html_cache: CacheSnapshot {
                 hits: 3,
@@ -331,5 +445,31 @@ mod tests {
         assert!(text.contains("strudel_route_requests_total{route=\"front\"} 1"));
         assert!(text.contains("strudel_html_cache_hit_rate 0.7500"));
         assert!(text.contains("strudel_request_latency_us{quantile=\"0.5\"} 50"));
+        assert!(text.contains("strudel_request_latency_us_bucket{le=\"50\"} 1"));
+        assert!(text.contains("strudel_request_latency_us_bucket{le=\"+Inf\"} 1"));
+        assert!(text.contains("strudel_request_latency_us_sum 42"));
+        assert!(text.contains("strudel_request_latency_us_count 1"));
+    }
+
+    #[test]
+    fn overflow_samples_surface_as_inf_bucket_in_exposition() {
+        let m = ServerMetrics::new();
+        m.record("slow", 20_000_000); // 20 s: past the 10 s ladder top
+        let stats = ServerStats {
+            total: m.totals(),
+            latency_buckets: m.total_latency_buckets(),
+            latency_sum_us: m.total_latency_sum_us(),
+            routes: m.snapshot(),
+            html_cache: CacheSnapshot::default(),
+            engine: Default::default(),
+            epoch: 0,
+        };
+        let text = stats.to_text();
+        assert!(text.contains("strudel_request_latency_us_bucket{le=\"10000000\"} 0"));
+        assert!(text.contains("strudel_request_latency_us_bucket{le=\"+Inf\"} 1"));
+        assert!(
+            !text.contains(&u64::MAX.to_string()),
+            "no fictitious u64::MAX bound anywhere in the exposition:\n{text}"
+        );
     }
 }

@@ -11,6 +11,7 @@
 
 use crate::{Response, SiteService};
 use std::io::{BufRead, BufReader, Write};
+use strudel_struql::Parallelism;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
@@ -26,6 +27,11 @@ pub struct ServerConfig {
     pub workers: usize,
     /// Per-request socket read/write timeout.
     pub timeout: Duration,
+    /// Pre-render every reachable page into the HTML cache before
+    /// accepting requests, across this many workers
+    /// ([`SiteService::warm`]). `None` starts cold (pages render on
+    /// first hit).
+    pub warm: Option<Parallelism>,
 }
 
 impl Default for ServerConfig {
@@ -34,6 +40,7 @@ impl Default for ServerConfig {
             addr: "127.0.0.1:0".into(),
             workers: 4,
             timeout: Duration::from_secs(10),
+            warm: None,
         }
     }
 }
@@ -83,6 +90,12 @@ pub fn serve(service: Arc<SiteService>, config: ServerConfig) -> std::io::Result
     let listener = TcpListener::bind(&config.addr)?;
     let addr = listener.local_addr()?;
     let stop = Arc::new(AtomicBool::new(false));
+
+    if let Some(parallelism) = config.warm {
+        service
+            .warm(parallelism)
+            .map_err(|e| std::io::Error::other(format!("warmup failed: {e}")))?;
+    }
 
     let (tx, rx) = mpsc::channel::<TcpStream>();
     let rx = Arc::new(Mutex::new(rx));

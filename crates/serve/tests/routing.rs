@@ -150,3 +150,72 @@ fn hostile_paths_do_not_panic() {
         let _ = strudel_serve::router::parse_data_path(&format!("/data/{path}"), &graph);
     }
 }
+
+/// A random string over a hostile alphabet: embedded NULs, lone and
+/// doubled percent signs, multi-byte UTF-8, escape-looking substrings.
+fn arb_hostile_string(rng: &mut SmallRng) -> String {
+    const PIECES: [&str; 14] = [
+        "%", "%%", "%41", "%%41", "%2", "%g1", "\0", "a", "Z9", " ",
+        "é", "日本", "\u{10348}", ":",
+    ];
+    let len = rng.gen_range(0..12usize);
+    (0..len).map(|_| *choose(rng, &PIECES)).collect()
+}
+
+#[test]
+fn pct_encode_decode_round_trips_seeded_hostile_strings() {
+    use strudel_serve::router::{pct_decode, pct_encode};
+    let mut rng = SmallRng::seed_from_u64(0x5eed_9002);
+    for case in 0..2048 {
+        let s = arb_hostile_string(&mut rng);
+        let encoded = pct_encode(&s);
+        assert!(
+            encoded.bytes().all(|b| matches!(
+                b,
+                b'A'..=b'Z' | b'a'..=b'z' | b'0'..=b'9' | b'-' | b'.' | b'_' | b'~' | b'%'
+            )),
+            "case {case}: encoding emits only unreserved bytes and escapes: {encoded:?}"
+        );
+        assert_eq!(
+            pct_decode(&encoded).as_deref(),
+            Some(s.as_str()),
+            "case {case}: {encoded:?}"
+        );
+    }
+}
+
+#[test]
+fn pct_decode_never_panics_on_garbage() {
+    use strudel_serve::router::pct_decode;
+    let mut rng = SmallRng::seed_from_u64(0x5eed_9003);
+    const ALPHABET: [char; 12] =
+        ['%', '0', '4', '1', 'f', 'F', 'g', 'a', '\0', 'é', '~', '.'];
+    for _ in 0..4096 {
+        let len = rng.gen_range(0..16usize);
+        let s: String = (0..len).map(|_| *choose(&mut rng, &ALPHABET)).collect();
+        // Any outcome is fine; panicking or looping is not.
+        if let Some(decoded) = pct_decode(&s) {
+            // Decoding is only "successful" for well-formed escapes, so
+            // re-encoding the result must round-trip back to it.
+            use strudel_serve::router::pct_encode;
+            assert_eq!(pct_decode(&pct_encode(&decoded)).as_deref(), Some(decoded.as_str()));
+        }
+    }
+}
+
+#[test]
+fn pct_decode_edge_cases() {
+    use strudel_serve::router::{pct_decode, pct_encode};
+    // Lone and truncated escapes are rejected, not mis-decoded.
+    assert_eq!(pct_decode("%"), None);
+    assert_eq!(pct_decode("a%"), None);
+    assert_eq!(pct_decode("%4"), None);
+    // An overlong-looking "%%41" is a malformed first escape.
+    assert_eq!(pct_decode("%%41"), None);
+    // Embedded NUL survives a round trip (it is a valid Rust string byte).
+    assert_eq!(pct_encode("\0"), "%00");
+    assert_eq!(pct_decode("%00").as_deref(), Some("\0"));
+    // Escapes that decode to invalid UTF-8 are rejected.
+    assert_eq!(pct_decode("%c3"), None, "truncated 2-byte sequence");
+    assert_eq!(pct_decode("%ed%a0%80"), None, "surrogate half");
+}

@@ -1,10 +1,20 @@
 //! Evaluation of individual where-clause conditions over a bindings
 //! relation.
+//!
+//! Every function here maps each input row to zero or more extended rows
+//! independently of every other row, and emits row *i*'s extensions before
+//! row *i+1*'s. [`apply_partitioned`] leans on exactly that property: it
+//! splits the relation into contiguous chunks, runs [`apply`] on each
+//! chunk on its own scoped thread, and merges the chunk outputs in
+//! partition order — producing the byte-identical relation the sequential
+//! path would.
 
 use super::{var_slot, Evaluator, Row};
 use crate::ast::{Condition, PathSpec, Term};
 use crate::builtins::eval_builtin;
 use crate::error::{StruqlError, StruqlResult};
+use crate::par;
+use crate::plan::Plan;
 use crate::rpe::{Nfa, StepPred};
 use strudel_graph::{coerce, Graph, Value};
 
@@ -82,6 +92,25 @@ impl Pos {
             },
         }
     }
+}
+
+/// Applies the condition at position `pos` of `plan` to the relation,
+/// splitting the work across the evaluator's worker budget when the
+/// planner's cost-aware sizing says the relation is big enough to pay for
+/// it. Output (rows, order, and errors) is identical to [`apply`].
+pub(crate) fn apply_partitioned(
+    ev: &Evaluator<'_>,
+    cond: &Condition,
+    rows: Vec<Row>,
+    vars: &[String],
+    plan: &Plan,
+    pos: usize,
+) -> StruqlResult<Vec<Row>> {
+    let parts = plan.partitions(pos, rows.len(), ev.workers());
+    if parts <= 1 {
+        return apply(ev, cond, rows, vars);
+    }
+    par::map_chunks(rows, parts, |chunk| apply(ev, cond, chunk, vars))
 }
 
 /// Applies one condition to the relation, producing the extended relation.

@@ -23,6 +23,7 @@ mod atoms;
 
 use crate::ast::{Block, LabelTerm, Program, Term};
 use crate::error::{StruqlError, StruqlResult};
+use crate::par::Parallelism;
 use crate::plan;
 use std::collections::HashSet;
 use strudel_graph::{Graph, Oid, SkolemTable, Value};
@@ -34,11 +35,17 @@ pub struct EvalOptions {
     /// Use cost-based condition ordering (default). `false` keeps the
     /// textual order — the join-ordering ablation baseline.
     pub optimize: bool,
+    /// Worker budget for the where stage. Results are byte-identical at
+    /// any setting — see [`crate::par`].
+    pub parallelism: Parallelism,
 }
 
 impl Default for EvalOptions {
     fn default() -> Self {
-        EvalOptions { optimize: true }
+        EvalOptions {
+            optimize: true,
+            parallelism: Parallelism::default(),
+        }
     }
 }
 
@@ -152,8 +159,8 @@ impl<'db> Evaluator<'db> {
 
         let bound: HashSet<String> = vars[..base_len].iter().cloned().collect();
         let plan = plan::plan(&block.where_, &bound, self.db, self.opts.optimize);
-        for &idx in &plan.order {
-            rows = atoms::apply(self, &block.where_[idx], rows, vars)?;
+        for (step, &idx) in plan.order.iter().enumerate() {
+            rows = atoms::apply_partitioned(self, &block.where_[idx], rows, vars, &plan, step)?;
             ctx.rows_evaluated += rows.len();
             if rows.is_empty() {
                 break;
@@ -174,6 +181,11 @@ impl<'db> Evaluator<'db> {
 
     pub(crate) fn db(&self) -> &Database {
         self.db
+    }
+
+    /// The resolved worker budget for where-stage evaluation.
+    pub(crate) fn workers(&self) -> usize {
+        self.opts.parallelism.workers()
     }
 }
 
@@ -268,8 +280,8 @@ impl<'db> Evaluator<'db> {
 
         let bound: HashSet<String> = seed.iter().map(|(n, _)| n.clone()).collect();
         let plan = plan::plan(conds, &bound, self.db, self.opts.optimize);
-        for &idx in &plan.order {
-            rows = atoms::apply(self, &conds[idx], rows, &vars)?;
+        for (step, &idx) in plan.order.iter().enumerate() {
+            rows = atoms::apply_partitioned(self, &conds[idx], rows, &vars, &plan, step)?;
             if rows.is_empty() {
                 break;
             }

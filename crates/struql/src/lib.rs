@@ -61,6 +61,7 @@ mod builtins;
 mod error;
 pub mod eval;
 mod lexer;
+pub mod par;
 mod parser;
 pub mod plan;
 mod pretty;
@@ -73,6 +74,7 @@ pub use ast::{
 };
 pub use error::{StruqlError, StruqlResult};
 pub use eval::{Constructor, EvalOptions, EvalResult, Evaluator};
+pub use par::Parallelism;
 pub use parser::{parse, parse_path_regex};
 pub use pretty::pretty;
 pub use token::Span;

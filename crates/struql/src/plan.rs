@@ -27,10 +27,39 @@ pub struct Plan {
     pub estimates: Vec<f64>,
 }
 
+/// Estimated per-row work (in cost-model units) a worker chunk must carry
+/// to amortize spawning a scoped thread. Below this the evaluator stays
+/// sequential — partitioning a relation whose evaluation takes microseconds
+/// costs more than it saves.
+const MIN_CHUNK_WORK: f64 = 256.0;
+
+/// Never split a relation into chunks smaller than this many rows: row
+/// cloning is the floor cost and tiny chunks thrash the allocator.
+const MIN_CHUNK_ROWS: usize = 64;
+
 impl Plan {
     /// Overall estimated work (product of expansion factors ≥ 1).
     pub fn estimated_work(&self) -> f64 {
         self.estimates.iter().map(|c| c.max(1.0)).product()
+    }
+
+    /// Cost-aware partition count for evaluating the condition at position
+    /// `pos` of [`Plan::order`] over a relation of `rows` rows with at most
+    /// `workers` threads. The per-condition estimate (derived from the
+    /// repository's [`Stats`]) sizes the chunks: expensive conditions
+    /// (traversals, large expansions) parallelize at smaller relations than
+    /// near-free filters, and relations too small to amortize a thread
+    /// spawn return 1 (sequential).
+    pub fn partitions(&self, pos: usize, rows: usize, workers: usize) -> usize {
+        if workers <= 1 || rows < 2 * MIN_CHUNK_ROWS {
+            return 1;
+        }
+        let per_row = match self.estimates.get(pos) {
+            Some(c) if c.is_finite() => c.max(0.1),
+            _ => 1.0,
+        };
+        let min_rows = ((MIN_CHUNK_WORK / per_row).ceil() as usize).max(MIN_CHUNK_ROWS);
+        (rows / min_rows).clamp(1, workers)
     }
 }
 
@@ -62,7 +91,11 @@ pub fn plan(
                 .iter()
                 .enumerate()
                 .map(|(pos, &i)| (pos, cost(&conds[i], &bound, &eventually_bound, db, &stats)))
-                .min_by(|a, b| a.1.partial_cmp(&b.1).expect("costs are finite or inf"))
+                // `total_cmp`, not `partial_cmp`: a NaN estimate (e.g. a
+                // 0.0/0.0 selectivity from an empty-collection Stats row)
+                // must order deterministically instead of panicking — NaN
+                // sorts above +inf, so it is simply never preferred.
+                .min_by(|a, b| a.1.total_cmp(&b.1))
                 .expect("non-empty");
             pos
         } else {
@@ -296,6 +329,57 @@ mod tests {
         bound.insert("x".to_string());
         let p = plan(&prog.blocks[0].where_, &bound, &db, true);
         assert!(p.estimates[0] < 1.0, "membership check, not enumeration");
+    }
+
+    #[test]
+    fn planning_against_an_empty_database_never_panics() {
+        // Regression: the greedy pick used `partial_cmp(...).expect(...)`,
+        // which panics the moment any cost estimate is NaN. An empty
+        // database is the degenerate Stats source (every collection size,
+        // fan-out, and fan-in is a 0/0-shaped ratio), so plan a clause with
+        // every condition kind against it, at both index levels.
+        let prog = parse_unchecked(
+            r#"where Big(x), x -> "year" -> y, x -> l -> z, x -> * -> w,
+                     y >= 1995, not(Small(x)) create P(x)"#,
+        )
+        .unwrap();
+        for level in [IndexLevel::None, IndexLevel::Full] {
+            let db = Database::from_graph(Graph::new(), level);
+            for optimize in [true, false] {
+                let p = plan(&prog.blocks[0].where_, &HashSet::new(), &db, optimize);
+                let mut seen: Vec<usize> = p.order.clone();
+                seen.sort_unstable();
+                assert_eq!(seen, (0..prog.blocks[0].where_.len()).collect::<Vec<_>>());
+            }
+        }
+    }
+
+    #[test]
+    fn nan_costs_order_deterministically() {
+        // total_cmp sorts NaN above +inf, so a NaN-cost condition is the
+        // least preferred but still scheduled — document the order here.
+        let mut costs = [f64::NAN, 2.0, f64::INFINITY, 0.5];
+        costs.sort_by(|a, b| a.total_cmp(b));
+        assert_eq!(costs[0], 0.5);
+        assert_eq!(costs[1], 2.0);
+        assert_eq!(costs[2], f64::INFINITY);
+        assert!(costs[3].is_nan());
+    }
+
+    #[test]
+    fn partition_sizing_follows_cost_and_relation_size() {
+        let db = db_with_skew();
+        let prog = parse_unchecked("where Big(x), Small(x) create P(x)").unwrap();
+        let p = plan(&prog.blocks[0].where_, &HashSet::new(), &db, true);
+        // Tiny relations never partition, whatever the worker budget.
+        assert_eq!(p.partitions(0, 10, 8), 1);
+        // One worker never partitions, whatever the relation size.
+        assert_eq!(p.partitions(0, 1_000_000, 1), 1);
+        // Large relations split, capped by the worker budget.
+        assert!(p.partitions(0, 1_000_000, 4) <= 4);
+        assert!(p.partitions(0, 1_000_000, 4) >= 2);
+        // Out-of-range positions fall back to a sane default, not a panic.
+        assert!(p.partitions(99, 1_000_000, 4) >= 1);
     }
 
     #[test]
