@@ -8,7 +8,7 @@
 //!
 //! Ids: `site-stats` (T1), `suitability` (F8), `multiversion`,
 //! `site-schema`, `verify`, `dynamic`, `incremental`, `indexing`,
-//! `struql-scale`, `htmlgen`, `mediate`, `all`.
+//! `struql-scale`, `htmlgen`, `mediate`, `trace`, `all`.
 
 use strudel_bench::experiments as e;
 
@@ -33,11 +33,12 @@ fn main() {
             "struql-scale" => e::exp_struql_scale(),
             "htmlgen" => e::exp_htmlgen(),
             "mediate" => e::exp_mediate(),
+            "trace" => e::exp_trace(),
             other => {
                 eprintln!("unknown experiment '{other}'");
                 eprintln!(
                     "known: site-stats suitability multiversion site-schema verify dynamic \
-                     incremental indexing struql-scale htmlgen mediate all"
+                     incremental indexing struql-scale htmlgen mediate trace all"
                 );
                 std::process::exit(2);
             }

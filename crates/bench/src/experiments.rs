@@ -25,6 +25,7 @@ use strudel::SiteStats;
 use strudel_graph::{GraphDelta, Oid, Value};
 use strudel_mediator::{Mediator, Source, SourceFormat};
 use strudel_procgen::{news as proc_news, sweep};
+use strudel_serve::SiteService;
 use strudel_workload::{bib, org};
 
 fn time<T>(f: impl FnOnce() -> T) -> (T, Duration) {
@@ -655,6 +656,121 @@ pub fn exp_mediate() {
     );
 }
 
+/// E-trace — observability overhead and span-derived accounting: the
+/// same warm click workload with tracing disabled vs enabled, then the
+/// request/engine numbers read back out of the recorded spans and
+/// counters (this is where the EXPERIMENTS.md tracing row comes from).
+pub fn exp_trace() {
+    println!("== E-trace: tracing overhead & span-derived accounting ==");
+    let corpus = crate::paper_news_corpus(300);
+    let site = sites::news_site(&corpus).build().unwrap();
+
+    // Every URL reachable from the front page; the measured workload
+    // replays this list `PASSES` times against a warm service.
+    let scout = SiteService::new(&site, Mode::Context);
+    let mut urls = vec!["/".to_string()];
+    let mut i = 0;
+    while i < urls.len() {
+        let body = scout.handle(&urls[i]).body;
+        for part in body.split("href=\"").skip(1) {
+            if let Some(end) = part.find('"') {
+                let href = &part[..end];
+                if href.starts_with("/page/") && !urls.iter().any(|u| u == href) {
+                    urls.push(href.to_string());
+                }
+            }
+        }
+        i += 1;
+    }
+    drop(scout);
+
+    const PASSES: usize = 20;
+    let measure = |enabled: bool| {
+        strudel_trace::set_enabled(enabled);
+        let service = SiteService::new(&site, Mode::Context);
+        for u in &urls {
+            service.handle(u); // warm the caches outside the timed region
+        }
+        strudel_trace::global().reset();
+        let ((), t) = time(|| {
+            for _ in 0..PASSES {
+                for u in &urls {
+                    service.handle(u);
+                }
+            }
+        });
+        (t, strudel_trace::snapshot())
+    };
+
+    let (t_off, _) = measure(false);
+    let (t_on, snap) = measure(true);
+    strudel_trace::set_enabled(false);
+
+    let requests = (PASSES * urls.len()) as u64;
+    println!(
+        "{:>9} {:>9} {:>10} {:>9}",
+        "tracing", "requests", "time", "us/req"
+    );
+    for (label, t) in [("disabled", t_off), ("enabled", t_on)] {
+        println!(
+            "{:>9} {:>9} {:>10} {:>9.2}",
+            label,
+            requests,
+            ms(t),
+            t.as_secs_f64() * 1e6 / requests as f64
+        );
+    }
+
+    // Cross-check: the span table must account for exactly the requests
+    // the warm loop issued (all HTML-cache hits, so no engine work).
+    match snap.spans.iter().find(|(n, _)| n == "serve.request") {
+        Some((_, agg)) => println!(
+            "span-derived (warm): serve.request count={} mean={}us (loop issued {requests})",
+            agg.count,
+            agg.mean_us()
+        ),
+        None => println!("span-derived (warm): serve.request span missing!"),
+    }
+
+    // A cold crawl with tracing on, to read the engine-side accounting
+    // (warm requests never reach the engine — the HTML cache absorbs
+    // them, which is itself visible here as zero guard evaluations).
+    strudel_trace::set_enabled(true);
+    let cold = SiteService::new(&site, Mode::Context);
+    strudel_trace::global().reset();
+    for u in &urls {
+        cold.handle(u);
+    }
+    let snap = strudel_trace::snapshot();
+    strudel_trace::set_enabled(false);
+    let counter = |name: &str| {
+        snap.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map_or(0, |(_, v)| *v)
+    };
+    // Span aggregates are keyed by hierarchical path ("a/b/c"), so sum
+    // every path that ends in the leaf we care about.
+    let span_of = |leaf: &str| {
+        snap.spans
+            .iter()
+            .filter(|(n, _)| n == leaf || n.ends_with(&format!("/{leaf}")))
+            .fold((0u64, 0u64), |(c, t), (_, agg)| {
+                (c + agg.count, t + agg.total_us)
+            })
+    };
+    let (computes, compute_us) = span_of("engine.compute");
+    println!(
+        "span-derived (cold crawl, {} pages): engine.compute count={computes} total={compute_us}us; \
+         page-view cache hits={} misses={}; guard evals={}",
+        urls.len(),
+        counter("engine.cache.hits"),
+        counter("engine.cache.misses"),
+        counter("engine.guard.evals")
+    );
+    println!();
+}
+
 /// Runs every experiment in order.
 pub fn run_all() {
     exp_site_stats();
@@ -668,4 +784,5 @@ pub fn run_all() {
     exp_struql_scale();
     exp_htmlgen();
     exp_mediate();
+    exp_trace();
 }

@@ -79,10 +79,19 @@ impl Database {
         } else {
             Graph::new()
         };
+        let replay_span = strudel_trace::span("repo.wal.replay");
         let report = wal::replay_report(&wal_path)?;
+        let replayed = report.deltas.len();
         for delta in report.deltas {
             delta.apply(&mut graph)?;
         }
+        drop(replay_span);
+        strudel_trace::event_with("repo.wal.replay", || {
+            format!(
+                "deltas={replayed} discarded_bytes={}",
+                report.discarded_bytes
+            )
+        });
         if report.discarded_bytes > 0 {
             // Chop the torn tail off before reopening for append, or the
             // next record would land after garbage and be unreplayable.
@@ -136,18 +145,21 @@ impl Database {
     /// The extension of attribute `label` — all `(source, target)` pairs —
     /// when extension indexes are maintained.
     pub fn extension(&self, label: Label) -> Option<&[(Oid, Value)]> {
+        strudel_trace::count("repo.probe.extension", 1);
         self.indexes.extension.as_ref().map(|x| x.extension(label))
     }
 
     /// The sources of edges `x --label--> to`, when extension indexes are
     /// maintained.
     pub fn sources(&self, label: Label, to: &Value) -> Option<&[Oid]> {
+        strudel_trace::count("repo.probe.sources", 1);
         self.indexes.extension.as_ref().map(|x| x.sources(label, to))
     }
 
     /// Every `(node, label)` location of the atomic value `v`, when the
     /// global value index is maintained.
     pub fn value_locations(&self, v: &Value) -> Option<&[(Oid, Label)]> {
+        strudel_trace::count("repo.probe.value_locations", 1);
         self.indexes.value.as_ref().map(|x| x.locations(v))
     }
 
@@ -272,8 +284,18 @@ impl Database {
 
     /// Applies a whole delta atomically with respect to the WAL (one
     /// record) and keeps indexes in sync.
+    ///
+    /// Application is *not* atomic with respect to the in-memory graph:
+    /// a failing op (dangling node, missing edge) errors out with the
+    /// preceding ops already applied, mirroring
+    /// [`GraphDelta::apply`]. Callers that must never expose a
+    /// half-applied state — the live click-time engine — apply the delta
+    /// to a clone and swap only on success (see
+    /// `DynamicSite::apply_delta` in strudel-schema).
     pub fn apply_delta(&mut self, delta: &GraphDelta) -> Result<Vec<Oid>, RepoError> {
         if let Some(wal) = &mut self.wal {
+            let _span = strudel_trace::span("repo.wal.append");
+            strudel_trace::count("repo.wal.appends", 1);
             wal.append(delta)?;
         }
         let mut created = Vec::new();
@@ -374,6 +396,8 @@ impl Database {
 
     fn log_one(&mut self, op: DeltaOp) -> Result<(), RepoError> {
         if let Some(wal) = &mut self.wal {
+            let _span = strudel_trace::span("repo.wal.append");
+            strudel_trace::count("repo.wal.appends", 1);
             let mut d = GraphDelta::new();
             d.push(op);
             wal.append(&d)?;

@@ -36,6 +36,7 @@
 //! in between.
 
 use crate::invalidate::{self, DirtySet};
+use crate::site_schema::SchemaEdge;
 use crate::{SchemaNode, SiteSchema};
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
@@ -45,8 +46,8 @@ use std::sync::{Arc, RwLock};
 use strudel_graph::{GraphDelta, Value};
 use strudel_repo::Database;
 use strudel_struql::{
-    Condition, EvalOptions, Evaluator, LabelTerm, Parallelism, Program, StruqlError,
-    StruqlResult, Term,
+    Condition, EvalOptions, Evaluator, ExplainReport, LabelTerm, Parallelism, Program,
+    StruqlError, StruqlResult, Term,
 };
 
 /// Evaluation strategy.
@@ -254,11 +255,14 @@ impl DynamicSite {
     /// Serves one click: the out-edges of `page`, computed on demand.
     /// Safe to call concurrently from any number of threads.
     pub fn visit(&self, page: &PageKey) -> StruqlResult<PageView> {
+        let _span = strudel_trace::span("engine.visit");
         self.clicks.fetch_add(1, Ordering::Relaxed);
         if let Some(v) = self.shard_of(page).read().unwrap().get(page) {
             self.cache_hits.fetch_add(1, Ordering::Relaxed);
+            strudel_trace::count("engine.cache.hits", 1);
             return Ok(v.clone());
         }
+        strudel_trace::count("engine.cache.misses", 1);
         // Read the epoch *before* the database snapshot: if a delta lands
         // between compute and insert, the epoch check drops the insert.
         let epoch = self.epoch.load(Ordering::Acquire);
@@ -292,6 +296,11 @@ impl DynamicSite {
     /// `visit`s keep serving throughout (from the old snapshot until the
     /// swap, from the new one after).
     pub fn apply_delta(&self, delta: &GraphDelta) -> StruqlResult<InvalidationOutcome> {
+        let _span = strudel_trace::span("engine.apply_delta");
+        // Atomicity: the delta is applied to a CLONE of the current graph,
+        // and any error — a non-applicable op or a failed invalidation —
+        // returns before the swap below. A rejected delta therefore leaves
+        // the served snapshot, the epoch, and the page cache untouched.
         let old_db = self.database();
         let mut graph = old_db.graph().clone();
         delta.apply(&mut graph).map_err(|e| StruqlError::Eval {
@@ -316,6 +325,13 @@ impl DynamicSite {
             evicted += before - map.len();
         }
         self.evictions.fetch_add(evicted, Ordering::Relaxed);
+        strudel_trace::event_with("engine.invalidate", || {
+            format!(
+                "pages={} symbols={} evicted={evicted}",
+                dirty.pages.len(),
+                dirty.symbols.len()
+            )
+        });
         Ok(InvalidationOutcome { dirty, evicted })
     }
 
@@ -331,8 +347,47 @@ impl DynamicSite {
         self.evictions.fetch_add(evicted, Ordering::Relaxed);
     }
 
+    /// Builds the guard seeds for one schema edge when serving `page`.
+    /// `None` means the edge provably cannot reach this page (a constant
+    /// source argument disagrees, or one variable would need two values)
+    /// and must be skipped; nested-Skolem arguments also return `None`
+    /// since they cannot be reconstructed into seeds. In [`Mode::Naive`]
+    /// the seed list is always empty: the guard runs unseeded and rows
+    /// are filtered to the page afterwards.
+    fn seed_for_edge(
+        &self,
+        edge: &SchemaEdge,
+        page: &PageKey,
+    ) -> Option<Vec<(String, Value)>> {
+        let mut seeds: Vec<(String, Value)> = Vec::new();
+        if self.mode == Mode::Naive {
+            return Some(seeds);
+        }
+        for (term, value) in edge.src_args.iter().zip(&page.args) {
+            match term {
+                Term::Var(v) => {
+                    if let Some((_, prev)) = seeds.iter().find(|(name, _)| name == v) {
+                        if prev != value {
+                            return None;
+                        }
+                    } else {
+                        seeds.push((v.clone(), value.clone()));
+                    }
+                }
+                Term::Const(c) => {
+                    if c != value {
+                        return None;
+                    }
+                }
+                Term::Skolem { .. } => return None, // nested pages: unsupported seed
+            }
+        }
+        Some(seeds)
+    }
+
     /// Evaluates the incremental queries for one page against `db`.
     fn compute(&self, db: &Database, page: &PageKey) -> StruqlResult<PageView> {
+        let _span = strudel_trace::span("engine.compute");
         let Some(node) = self.schema.node_index(&page.symbol) else {
             return Err(StruqlError::Eval {
                 message: format!("unknown page symbol '{}'", page.symbol),
@@ -343,34 +398,10 @@ impl DynamicSite {
         for edge in self.schema.out_edges(node) {
             // Seed the guard with the page's Skolem arguments (Context
             // modes); Naive evaluates unseeded and filters afterwards.
-            let mut seeds: Vec<(String, Value)> = Vec::new();
-            let mut consts_ok = true;
-            if self.mode != Mode::Naive {
-                for (term, value) in edge.src_args.iter().zip(&page.args) {
-                    match term {
-                        Term::Var(v) => {
-                            if let Some((_, prev)) =
-                                seeds.iter().find(|(name, _)| name == v)
-                            {
-                                if prev != value {
-                                    consts_ok = false;
-                                }
-                            } else {
-                                seeds.push((v.clone(), value.clone()));
-                            }
-                        }
-                        Term::Const(c) => {
-                            if c != value {
-                                consts_ok = false;
-                            }
-                        }
-                        Term::Skolem { .. } => consts_ok = false, // nested pages: unsupported seed
-                    }
-                }
-            }
-            if !consts_ok {
+            let Some(seeds) = self.seed_for_edge(edge, page) else {
                 continue;
-            }
+            };
+            strudel_trace::count("engine.guard.evals", 1);
             let (vars, rows) = ev.eval_where_bindings(&edge.guard, &seeds)?;
             self.queries_run.fetch_add(1, Ordering::Relaxed);
             self.rows_produced.fetch_add(rows.len(), Ordering::Relaxed);
@@ -419,6 +450,54 @@ impl DynamicSite {
         }
         Ok(view)
     }
+
+    /// Explains how `page` would be served: one [`ExplainReport`] per
+    /// schema out-edge whose guard would run, with the planner's
+    /// cardinality estimates next to the measured per-step row counts and
+    /// timings. Skipped edges (see [`Self::seed_for_edge`]) are omitted.
+    /// Nothing is cached and no engine counters move.
+    pub fn explain(&self, page: &PageKey) -> StruqlResult<Vec<EdgeExplain>> {
+        let Some(node) = self.schema.node_index(&page.symbol) else {
+            return Err(StruqlError::Eval {
+                message: format!("unknown page symbol '{}'", page.symbol),
+            });
+        };
+        let db = self.database();
+        let ev = self.evaluator(&db);
+        let mut out = Vec::new();
+        for edge in self.schema.out_edges(node) {
+            let Some(seeds) = self.seed_for_edge(edge, page) else {
+                continue;
+            };
+            let (_, _, report) = ev.explain_where_bindings(&edge.guard, &seeds)?;
+            let label = match &edge.label {
+                LabelTerm::Const(s) => s.clone(),
+                LabelTerm::Var(v) => format!("?{v}"),
+            };
+            let target = match &self.schema.nodes[edge.to] {
+                SchemaNode::Skolem(sym) => sym.clone(),
+                SchemaNode::Ns => "NS".to_string(),
+            };
+            out.push(EdgeExplain {
+                label,
+                target,
+                report,
+            });
+        }
+        Ok(out)
+    }
+}
+
+/// One schema edge's guard, explained: which link it derives and how the
+/// planner's estimates compared to the measured evaluation.
+#[derive(Clone, Debug)]
+pub struct EdgeExplain {
+    /// The link label this edge derives (`?v` for an arc variable).
+    pub label: String,
+    /// Target page symbol, or `"NS"` for a data target.
+    pub target: String,
+    /// Per-step estimates vs actuals for the edge's guard.
+    pub report: ExplainReport,
 }
 
 /// Evaluates Skolem argument terms against a bindings row.

@@ -135,17 +135,11 @@ pub fn incremental_update(
         // derivation can depend on them — skip them (the paired insert is
         // evaluated against the fully-applied new database and finds the
         // edge already gone).
-        let in_old = |f: &Fact| match f {
-            Fact::Edge { from, to, .. } => {
-                old_db.graph().contains_node(*from)
-                    && to.as_node().map_or(true, |o| old_db.graph().contains_node(o))
-            }
-            Fact::Member { member, .. } => member
-                .as_node()
-                .map_or(true, |o| old_db.graph().contains_node(o)),
-        };
         for chain in &chains {
-            for fact in delete_facts.iter().filter(|f| in_old(f)) {
+            for fact in delete_facts
+                .iter()
+                .filter(|f| fact_in_graph(f, old_db.graph()))
+            {
                 for cond in &chain.conds {
                     let Some(seeds) = unify(cond, fact) else {
                         continue;
@@ -173,20 +167,63 @@ pub fn incremental_update(
         }
     }
 
-    // Apply the same delta to the site graph (it contains the data graph)
-    // and record the oid correspondence for nodes the delta created: the
-    // site graph has extra site nodes, so fresh oids differ.
+    // Apply the same delta to the site graph (it contains the data graph).
+    // Ops referencing nodes the delta itself creates carry *data-graph*
+    // oids; the site graph has extra site nodes, so the same index denotes
+    // a different node there. AddNode assigns oids in node-count order, so
+    // the site-graph counterparts are predictable: build the
+    // correspondence up front and rewrite every op through it before
+    // applying (a verbatim apply would attach such edges to whatever site
+    // node happens to own the data-graph index).
     let mut out_graph = old_result.graph;
-    let created_out = delta
+    let base = out_graph.node_count();
+    let oid_map: HashMap<Oid, Oid> = created_db
+        .iter()
+        .copied()
+        .enumerate()
+        .map(|(i, data_oid)| (data_oid, Oid::from_index(base + i)))
+        .collect();
+    let remap = |o: &Oid| *oid_map.get(o).unwrap_or(o);
+    let remap_value = |v: &Value| match v {
+        Value::Node(o) => Value::Node(remap(o)),
+        other => other.clone(),
+    };
+    let mut site_delta = GraphDelta::new();
+    for op in delta.ops() {
+        site_delta.push(match op {
+            DeltaOp::AddNode { .. } => op.clone(),
+            DeltaOp::AddEdge { from, label, to } => DeltaOp::AddEdge {
+                from: remap(from),
+                label: label.clone(),
+                to: remap_value(to),
+            },
+            DeltaOp::RemoveEdge { from, label, to } => DeltaOp::RemoveEdge {
+                from: remap(from),
+                label: label.clone(),
+                to: remap_value(to),
+            },
+            DeltaOp::Collect { collection, member } => DeltaOp::Collect {
+                collection: collection.clone(),
+                member: remap_value(member),
+            },
+            DeltaOp::Uncollect { collection, member } => DeltaOp::Uncollect {
+                collection: collection.clone(),
+                member: remap_value(member),
+            },
+        });
+    }
+    let created_out = site_delta
         .apply(&mut out_graph)
         .map_err(|e| strudel_struql::StruqlError::Eval {
             message: format!("delta failed on site graph: {e}"),
         })?;
-    let oid_map: HashMap<Oid, Oid> = created_db
-        .iter()
-        .copied()
-        .zip(created_out.iter().copied())
-        .collect();
+    debug_assert!(
+        created_db
+            .iter()
+            .zip(created_out.iter())
+            .all(|(d, s)| oid_map.get(d) == Some(s)),
+        "predicted site oids diverged from the applied delta"
+    );
 
     // ----- DRed phase 2: rederive on the NEW database, delete the rest --
     if !link_candidates.is_empty() || !collect_candidates.is_empty() {
@@ -319,6 +356,23 @@ fn flatten(program: &Program) -> Vec<Chain> {
         walk(b, &[], &mut out);
     }
     out
+}
+
+/// Whether every node a fact references was issued by `g`. A mixed delta
+/// may delete an edge it inserted itself; such delete facts reference
+/// oids the pre-delta graph has never seen, and unifying them against it
+/// would index out of bounds. Both DRed phase 1 and page invalidation
+/// filter delete facts through this guard before touching the old
+/// database.
+pub(crate) fn fact_in_graph(f: &Fact, g: &Graph) -> bool {
+    match f {
+        Fact::Edge { from, to, .. } => {
+            g.contains_node(*from) && to.as_node().map_or(true, |o| g.contains_node(o))
+        }
+        Fact::Member { member, .. } => {
+            member.as_node().map_or(true, |o| g.contains_node(o))
+        }
+    }
 }
 
 pub(crate) fn collect_facts(delta: &GraphDelta) -> Vec<Fact> {
@@ -573,9 +627,19 @@ fn translate_rows(
         .collect()
 }
 
-/// Convenience: checks that two graphs agree on node/edge/collection
-/// counts and on every collection's size — the equivalence notion used by
-/// the incremental-vs-full tests and experiments.
+/// Checks that two graphs agree on node/edge/collection counts, on the
+/// multiset of canonicalized edges, and on every collection's
+/// canonicalized membership multiset — the equivalence oracle of the
+/// incremental-vs-full tests and experiments.
+///
+/// Canonicalization renders a node as `&name` when it has one and as an
+/// anonymous placeholder otherwise: incrementally maintained site graphs
+/// mint Skolem nodes in a different order than a fresh evaluation, so an
+/// oid-sensitive comparison would reject equivalent results. Everything
+/// else — per-label edge multisets over source/target shape and value,
+/// and which members each collection holds — must match exactly. (The
+/// previous oracle compared only counts, so genuinely different graphs
+/// with the same totals passed.)
 pub fn graphs_equivalent(a: &Graph, b: &Graph) -> bool {
     if a.node_count() != b.node_count()
         || a.edge_count() != b.edge_count()
@@ -583,12 +647,49 @@ pub fn graphs_equivalent(a: &Graph, b: &Graph) -> bool {
     {
         return false;
     }
-    for (_, name) in a.collections() {
-        if a.members_str(name).len() != b.members_str(name).len() {
-            return false;
+    fn canon_value(g: &Graph, v: &Value) -> String {
+        match v {
+            Value::Node(o) => match g.node_name(*o) {
+                Some(n) => format!("&{n}"),
+                None => "&<anon>".into(),
+            },
+            other => format!("{other:?}"),
         }
     }
-    true
+    fn edge_multiset(g: &Graph) -> HashMap<(String, String, String), usize> {
+        let mut m = HashMap::new();
+        for idx in 0..g.node_count() {
+            let oid = Oid::from_index(idx);
+            let src = canon_value(g, &Value::Node(oid));
+            for e in g.edges(oid) {
+                let key = (
+                    src.clone(),
+                    g.label_name(e.label).to_string(),
+                    canon_value(g, &e.to),
+                );
+                *m.entry(key).or_insert(0) += 1;
+            }
+        }
+        m
+    }
+    fn membership(g: &Graph, name: &str) -> HashMap<String, usize> {
+        let mut m = HashMap::new();
+        for v in g.members_str(name) {
+            *m.entry(canon_value(g, v)).or_insert(0) += 1;
+        }
+        m
+    }
+    if edge_multiset(a) != edge_multiset(b) {
+        return false;
+    }
+    let names_a: std::collections::HashSet<&str> = a.collections().map(|(_, n)| n).collect();
+    let names_b: std::collections::HashSet<&str> = b.collections().map(|(_, n)| n).collect();
+    if names_a != names_b {
+        return false;
+    }
+    names_a
+        .iter()
+        .all(|name| membership(a, name) == membership(b, name))
 }
 
 #[cfg(test)]
@@ -974,3 +1075,4 @@ mod tests {
         assert_eq!(out.result.graph.members_str("Pages").len(), 7);
     }
 }
+

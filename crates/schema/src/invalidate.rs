@@ -16,7 +16,7 @@
 //! symbols' pages untouched.
 
 use crate::dynamic::{eval_args, PageKey};
-use crate::incremental::{collect_delete_facts, collect_facts, unify, Fact};
+use crate::incremental::{collect_delete_facts, collect_facts, fact_in_graph, unify, Fact};
 use crate::SiteSchema;
 use std::collections::HashSet;
 use strudel_graph::GraphDelta;
@@ -84,7 +84,16 @@ pub fn dirty_pages(
 ) -> StruqlResult<DirtySet> {
     let mut dirty = DirtySet::default();
     let inserts = collect_facts(delta);
-    let deletes = collect_delete_facts(delta);
+    // Delete facts are unified against the PRE-delta database, so a mixed
+    // delta that removes an edge it inserted itself must be filtered: its
+    // oids were never issued by the old graph, and seeding an evaluation
+    // with them would index out of bounds. No old binding can depend on
+    // such a fact, so skipping it loses nothing (the paired insert is
+    // evaluated against the new database, where the edge is already gone).
+    let deletes: Vec<Fact> = collect_delete_facts(delta)
+        .into_iter()
+        .filter(|f| fact_in_graph(f, old_db.graph()))
+        .collect();
 
     for edge in &schema.edges {
         let src_symbol = match &schema.nodes[edge.from] {
@@ -252,6 +261,66 @@ mod tests {
         let new_db = after(&db, &delta);
         let dirty = dirty_pages(&schema, &db, &new_db, &delta).unwrap();
         assert!(dirty.symbols.contains("PubPage"), "{dirty:?}");
+    }
+
+    #[test]
+    fn self_cancelling_mixed_delta_does_not_panic() {
+        // Regression: a delta that adds a node+edge and removes the edge
+        // again produces a delete fact whose oid the old graph never
+        // issued. Unifying it against the pre-delta database used to
+        // index out of bounds; the `fact_in_graph` guard now skips it.
+        let db = db();
+        let schema = SiteSchema::extract(&parse(QUERY).unwrap());
+        let base = db.graph().node_count();
+        let mut delta = GraphDelta::new();
+        delta.add_node(Some("p3"));
+        let p3 = strudel_graph::Oid::from_index(base);
+        delta.add_edge(p3, "year", Value::Int(1998));
+        delta.collect("Publications", Value::Node(p3));
+        delta.remove_edge(p3, "year", Value::Int(1998));
+        delta.uncollect("Publications", Value::Node(p3));
+        let new_db = after(&db, &delta);
+
+        let dirty = dirty_pages(&schema, &db, &new_db, &delta).unwrap();
+        // The inserts still dirty the pages they touch (evaluated against
+        // the new database, where the node exists); existing pages of
+        // other papers stay clean.
+        let p1 = db.graph().node_by_name("p1").unwrap();
+        assert!(!dirty.contains(&PageKey {
+            symbol: "PaperPage".into(),
+            args: vec![Value::Node(p1)],
+        }));
+    }
+
+    #[test]
+    fn self_cancelling_delta_with_path_only_guard_does_not_panic() {
+        // The sharpest form of the regression: when the guard is a bare
+        // path condition (no collection atom to filter the phantom row
+        // first), the seeded evaluation reaches `graph.edges(oid)` with
+        // the never-issued oid directly — without the `fact_in_graph`
+        // guard this indexes out of bounds.
+        let query = r#"
+            where x -> "title" -> t
+            create TitlePage(x)
+            link TitlePage(x) -> "title" -> t
+            collect Titles(TitlePage(x))
+        "#;
+        let db = db();
+        let schema = SiteSchema::extract(&parse(query).unwrap());
+        let base = db.graph().node_count();
+        let mut delta = GraphDelta::new();
+        delta.add_node(Some("p3"));
+        let p3 = strudel_graph::Oid::from_index(base);
+        delta.add_edge(p3, "title", Value::string("Gamma"));
+        delta.remove_edge(p3, "title", Value::string("Gamma"));
+        let new_db = after(&db, &delta);
+
+        let dirty = dirty_pages(&schema, &db, &new_db, &delta).unwrap();
+        let p1 = db.graph().node_by_name("p1").unwrap();
+        assert!(!dirty.contains(&PageKey {
+            symbol: "TitlePage".into(),
+            args: vec![Value::Node(p1)],
+        }));
     }
 
     #[test]

@@ -31,13 +31,24 @@
 //! strudel guide <dir>                 print discovered data-graph schemas
 //!                                     (strong DataGuides per collection)
 //! strudel serve <dir> [--addr A] [--workers N] [--mode M] [--warm W]
+//!                     [--slow-us T] [--trace]
 //!                                     serve the site at click time:
 //!                                     pages computed on demand, cached,
-//!                                     metrics on /metrics
+//!                                     metrics on /metrics, trace snapshot
+//!                                     on /debug/trace, plan explain on
+//!                                     /debug/explain
 //!                                     (M: naive|context|lookahead;
 //!                                      W: warmup workers, a number or
 //!                                      "auto" — pre-renders every page
-//!                                      before accepting requests)
+//!                                      before accepting requests;
+//!                                      T: slow-request threshold in µs,
+//!                                      0 disables;
+//!                                      --trace turns the strudel-trace
+//!                                      recorder on at startup)
+//! strudel explain <dir>               print, for every root page, each
+//!                                     schema edge's chosen plan with the
+//!                                     optimizer's cardinality estimates
+//!                                     next to measured rows and timings
 //! ```
 
 use std::path::{Path, PathBuf};
@@ -61,9 +72,9 @@ fn main() -> ExitCode {
 
 fn run(args: &[String]) -> Result<(), String> {
     let usage =
-        "usage: strudel <build|check|schema|stats|guide|serve> <site-dir> [-o <outdir>] \
-         [--addr <ip:port>] [--workers <n>] [--mode <naive|context|lookahead>] \
-         [--warm <n|auto>]";
+        "usage: strudel <build|check|schema|stats|guide|serve|explain> <site-dir> \
+         [-o <outdir>] [--addr <ip:port>] [--workers <n>] \
+         [--mode <naive|context|lookahead>] [--warm <n|auto>] [--slow-us <t>] [--trace]";
     let command = args.first().ok_or(usage)?;
     let dir = PathBuf::from(args.get(1).ok_or(usage)?);
     let outdir = match args.iter().position(|a| a == "-o") {
@@ -207,8 +218,16 @@ fn run(args: &[String]) -> Result<(), String> {
                     n.parse().map_err(|_| "--warm needs a number or 'auto'")?,
                 )),
             };
-            let service =
-                std::sync::Arc::new(strudel_serve::SiteService::new(&built, mode));
+            if args.iter().any(|a| a == "--trace") {
+                strudel_trace::set_enabled(true);
+            }
+            let mut service = strudel_serve::SiteService::new(&built, mode);
+            if let Some(t) = flag("--slow-us") {
+                service = service.with_slow_threshold_us(
+                    t.parse().map_err(|_| "--slow-us needs a number (µs)")?,
+                );
+            }
+            let service = std::sync::Arc::new(service);
             if let Some(parallelism) = warm {
                 let report = service
                     .warm(parallelism)
@@ -238,6 +257,25 @@ fn run(args: &[String]) -> Result<(), String> {
             loop {
                 std::thread::park();
             }
+        }
+        "explain" => {
+            let built = site.build().map_err(|e| e.to_string())?;
+            let service = strudel_serve::SiteService::new(
+                &built,
+                strudel::schema::dynamic::Mode::Context,
+            );
+            let roots = service
+                .engine()
+                .roots(service.root_collection())
+                .map_err(|e| e.to_string())?;
+            if roots.is_empty() {
+                println!("no root pages in collection '{}'", service.root_collection());
+            }
+            for key in &roots {
+                print!("{}", service.explain_page_text(key).map_err(|e| e.to_string())?);
+                println!();
+            }
+            Ok(())
         }
         other => Err(format!("unknown command '{other}'\n{usage}")),
     }

@@ -20,7 +20,16 @@
 //! /page/<Sym>/<a>…  one dynamic page (see router for segment syntax)
 //! /data/<n:…|o:…>   raw data-graph object view
 //! /metrics          Prometheus-style counters
+//! /debug/trace      strudel-trace snapshot + slow-request log
+//! /debug/explain    per-edge plan estimates vs actuals for the roots
+//! /debug/explain/<Sym>/<a>…   …for one specific page
 //! ```
+//!
+//! Every request draws a trace id and, while tracing is enabled
+//! (`STRUDEL_TRACE=1` or [`strudel_trace::set_enabled`]), logs a
+//! `serve.request` event; requests slower than the configurable
+//! threshold land in a bounded slow-request log regardless of the
+//! tracing flag.
 //!
 //! [`DynamicSite`]: strudel_schema::dynamic::DynamicSite
 
@@ -33,9 +42,10 @@ pub mod render;
 pub mod router;
 pub mod server;
 
-use std::collections::HashSet;
+use std::collections::{HashSet, VecDeque};
 use std::fmt;
-use std::sync::Arc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 pub use cache::{CachedPage, HtmlCache};
@@ -161,6 +171,25 @@ pub struct ServiceInvalidation {
     pub html_evicted: usize,
 }
 
+/// One request that took longer than the slow threshold.
+#[derive(Clone, Debug)]
+pub struct SlowRequest {
+    /// The request's trace id (issued even while tracing is disabled).
+    pub trace_id: u64,
+    /// The requested path.
+    pub path: String,
+    /// Response status code.
+    pub status: u16,
+    /// Wall-clock time spent serving, microseconds.
+    pub us: u64,
+}
+
+/// How many slow requests the log retains (oldest dropped first).
+pub const SLOW_LOG_CAPACITY: usize = 64;
+
+/// Default slow-request threshold: half a second.
+pub const DEFAULT_SLOW_THRESHOLD_US: u64 = 500_000;
+
 /// A servable site: the shared click-time engine, the site's templates,
 /// the rendered-page cache, and the metric registry. All methods take
 /// `&self`; wrap it in an [`Arc`] and hand it to any number of workers.
@@ -170,6 +199,10 @@ pub struct SiteService {
     root_collection: String,
     cache: HtmlCache,
     metrics: ServerMetrics,
+    /// Requests at or above this many microseconds are logged; 0 disables.
+    slow_threshold_us: AtomicU64,
+    slow_total: AtomicU64,
+    slow_log: Mutex<VecDeque<SlowRequest>>,
 }
 
 impl SiteService {
@@ -188,6 +221,9 @@ impl SiteService {
             root_collection: root_collection.to_owned(),
             cache: HtmlCache::new(),
             metrics: ServerMetrics::new(),
+            slow_threshold_us: AtomicU64::new(DEFAULT_SLOW_THRESHOLD_US),
+            slow_total: AtomicU64::new(0),
+            slow_log: Mutex::new(VecDeque::new()),
         }
     }
 
@@ -207,6 +243,30 @@ impl SiteService {
     pub fn with_parallelism(mut self, parallelism: Parallelism) -> Self {
         self.engine = self.engine.with_parallelism(parallelism);
         self
+    }
+
+    /// Sets the slow-request threshold in microseconds (builder form).
+    /// `0` disables the log.
+    pub fn with_slow_threshold_us(self, us: u64) -> Self {
+        self.set_slow_threshold_us(us);
+        self
+    }
+
+    /// Sets the slow-request threshold in microseconds; `0` disables the
+    /// log. Takes effect for subsequent requests.
+    pub fn set_slow_threshold_us(&self, us: u64) {
+        self.slow_threshold_us.store(us, Ordering::Relaxed);
+    }
+
+    /// The current slow-request threshold, microseconds (`0` = disabled).
+    pub fn slow_threshold_us(&self) -> u64 {
+        self.slow_threshold_us.load(Ordering::Relaxed)
+    }
+
+    /// The retained slow requests, oldest first (bounded by
+    /// [`SLOW_LOG_CAPACITY`]).
+    pub fn slow_requests(&self) -> Vec<SlowRequest> {
+        self.slow_log.lock().unwrap().iter().cloned().collect()
     }
 
     /// The shared click-time engine.
@@ -231,13 +291,37 @@ impl SiteService {
 
     /// Serves one request path, recording route metrics. Never panics on
     /// hostile paths: malformed URLs are 404s, render failures 500s.
+    ///
+    /// Every request draws a trace id; while tracing is enabled a
+    /// `serve.request` span and event are recorded, and a request at or
+    /// above the slow threshold lands in the slow-request log either way.
     pub fn handle(&self, path: &str) -> Response {
         let start = Instant::now();
+        let trace_id = strudel_trace::next_trace_id();
+        let span = strudel_trace::span("serve.request");
         // Strip any query string; routing is path-only.
-        let path = path.split('?').next().unwrap_or(path);
-        let (route, response) = self.dispatch(path);
+        let routed = path.split('?').next().unwrap_or(path);
+        let (route, response) = self.dispatch(routed);
+        drop(span);
         let us = start.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
         self.metrics.record(&route, us);
+        strudel_trace::event_with("serve.request", || {
+            format!("id={trace_id} route={route} status={} us={us}", response.status)
+        });
+        let threshold = self.slow_threshold_us.load(Ordering::Relaxed);
+        if threshold > 0 && us >= threshold {
+            self.slow_total.fetch_add(1, Ordering::Relaxed);
+            let mut log = self.slow_log.lock().unwrap();
+            if log.len() == SLOW_LOG_CAPACITY {
+                log.pop_front();
+            }
+            log.push_back(SlowRequest {
+                trace_id,
+                path: routed.to_owned(),
+                status: response.status,
+                us,
+            });
+        }
         response
     }
 
@@ -251,6 +335,17 @@ impl SiteService {
         }
         if path == "/metrics" {
             return ("metrics".into(), Response::text(self.stats().to_text()));
+        }
+        if path == "/debug/trace" {
+            return ("debug/trace".into(), Response::text(self.debug_trace_text()));
+        }
+        if path == "/debug/explain" || path.starts_with("/debug/explain/") {
+            let r = match self.debug_explain_text(path) {
+                Ok(Some(text)) => Response::text(text),
+                Ok(None) => Response::not_found(path),
+                Err(e) => Response::error(&e),
+            };
+            return ("debug/explain".into(), r);
         }
         if path.starts_with("/page/") {
             let db = self.engine.database();
@@ -369,8 +464,73 @@ impl SiteService {
         })
     }
 
+    /// The `/debug/trace` body: the global trace snapshot (spans,
+    /// counters, recent events) followed by the slow-request log.
+    pub fn debug_trace_text(&self) -> String {
+        use std::fmt::Write;
+        let mut out = strudel_trace::snapshot().render_text();
+        let slow = self.slow_requests();
+        let _ = write!(
+            out,
+            "\n# slow requests (threshold={}us, total={}, showing {})\n",
+            self.slow_threshold_us(),
+            self.slow_total.load(Ordering::Relaxed),
+            slow.len()
+        );
+        for s in &slow {
+            let _ = writeln!(out, "[{}] {} {}us {}", s.trace_id, s.status, s.us, s.path);
+        }
+        out
+    }
+
+    /// The `/debug/explain` body. With no page suffix, explains every
+    /// root page; with `/debug/explain/<Sym>/<args…>` (page-path segment
+    /// syntax), explains that one page. `Ok(None)` means the suffix did
+    /// not parse or names an unknown symbol (a 404).
+    fn debug_explain_text(&self, path: &str) -> Result<Option<String>, ServeError> {
+        let suffix = path.strip_prefix("/debug/explain").unwrap_or(path);
+        let db = self.engine.database();
+        let keys: Vec<PageKey> = if suffix.is_empty() || suffix == "/" {
+            self.engine.roots(&self.root_collection)?
+        } else {
+            let Some(key) = router::parse_page_path(&format!("/page{suffix}"), db.graph())
+            else {
+                return Ok(None);
+            };
+            if self.engine.schema().node_index(&key.symbol).is_none() {
+                return Ok(None);
+            }
+            vec![key]
+        };
+        drop(db);
+        let mut out = String::new();
+        for key in &keys {
+            out.push_str(&self.explain_page_text(key)?);
+            out.push('\n');
+        }
+        Ok(Some(out))
+    }
+
+    /// Renders one page's explain report: per out-edge, the chosen plan's
+    /// estimates against measured rows and timings.
+    pub fn explain_page_text(&self, key: &PageKey) -> Result<String, ServeError> {
+        use std::fmt::Write;
+        let edges = self.engine.explain(key)?;
+        let mut out = format!("# explain {} ({} edges)\n", self.url_of(key), edges.len());
+        for e in &edges {
+            let _ = writeln!(out, "edge -{}-> {}", e.label, e.target);
+            out.push_str(&e.report.render_text());
+        }
+        Ok(out)
+    }
+
     /// Everything `/metrics` reports, as a struct.
     pub fn stats(&self) -> ServerStats {
+        let trace_counters = if strudel_trace::enabled() {
+            strudel_trace::snapshot().counters
+        } else {
+            Vec::new()
+        };
         ServerStats {
             total: self.metrics.totals(),
             latency_buckets: self.metrics.total_latency_buckets(),
@@ -379,6 +539,8 @@ impl SiteService {
             html_cache: self.cache.stats(),
             engine: self.engine.metrics(),
             epoch: self.engine.epoch(),
+            slow_requests: self.slow_total.load(Ordering::Relaxed),
+            trace_counters,
         }
     }
 }

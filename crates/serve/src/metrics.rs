@@ -242,6 +242,11 @@ pub struct ServerStats {
     pub engine: strudel_schema::dynamic::Metrics,
     /// Number of applied data deltas.
     pub epoch: u64,
+    /// Requests that exceeded the slow-request threshold.
+    pub slow_requests: u64,
+    /// Global `strudel-trace` counters, sorted by name; empty while
+    /// tracing is disabled.
+    pub trace_counters: Vec<(String, u64)>,
 }
 
 impl ServerStats {
@@ -327,6 +332,10 @@ impl ServerStats {
             self.engine.evictions
         ));
         line(format!("strudel_delta_epoch {}", self.epoch));
+        line(format!("strudel_slow_requests_total {}", self.slow_requests));
+        for (name, v) in &self.trace_counters {
+            line(format!("strudel_trace_counter{{name=\"{name}\"}} {v}"));
+        }
         out
     }
 }
@@ -439,9 +448,13 @@ mod tests {
             },
             engine: Default::default(),
             epoch: 0,
+            slow_requests: 2,
+            trace_counters: vec![("serve.request".into(), 7)],
         };
         let text = stats.to_text();
         assert!(text.contains("strudel_requests_total 1"));
+        assert!(text.contains("strudel_slow_requests_total 2"));
+        assert!(text.contains("strudel_trace_counter{name=\"serve.request\"} 7"));
         assert!(text.contains("strudel_route_requests_total{route=\"front\"} 1"));
         assert!(text.contains("strudel_html_cache_hit_rate 0.7500"));
         assert!(text.contains("strudel_request_latency_us{quantile=\"0.5\"} 50"));
@@ -463,6 +476,8 @@ mod tests {
             html_cache: CacheSnapshot::default(),
             engine: Default::default(),
             epoch: 0,
+            slow_requests: 0,
+            trace_counters: Vec::new(),
         };
         let text = stats.to_text();
         assert!(text.contains("strudel_request_latency_us_bucket{le=\"10000000\"} 0"));

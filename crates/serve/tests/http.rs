@@ -164,6 +164,58 @@ fn bad_requests_get_errors_not_crashes() {
 }
 
 #[test]
+fn debug_endpoints_serve_real_data() {
+    let (service, server) = start(2);
+    let addr = server.addr();
+    // Make tracing live and the slow log catch everything (loopback
+    // requests still take ≥ 1 µs), then serve some traffic.
+    strudel_trace::set_enabled(true);
+    service.set_slow_threshold_us(1);
+    let urls = crawl_urls(addr, 8);
+    for u in &urls {
+        get(addr, u);
+    }
+
+    // /debug/trace: the span table has real serve.request aggregates and
+    // the slow log lists the requests we just made.
+    let trace = get(addr, "/debug/trace");
+    assert!(trace.starts_with("HTTP/1.1 200"), "{trace}");
+    let body = body_of(&trace);
+    assert!(body.contains("# strudel-trace snapshot"), "{body}");
+    assert!(body.contains("serve.request"), "span recorded: {body}");
+    assert!(body.contains("engine.compute"), "engine spans nested: {body}");
+    assert!(body.contains("# slow requests"), "{body}");
+    assert!(body.contains(" /page/"), "slow log lists page paths: {body}");
+
+    // /metrics now carries the slow counter and trace counters.
+    let metrics = body_of(&get(addr, "/metrics")).to_string();
+    assert!(metrics.contains("strudel_slow_requests_total"), "{metrics}");
+    assert!(
+        metrics.contains("strudel_trace_counter{name=\"engine.cache."),
+        "{metrics}"
+    );
+
+    // /debug/explain: per-edge plans with estimates next to actuals.
+    let explain = get(addr, "/debug/explain");
+    assert!(explain.starts_with("HTTP/1.1 200"), "{explain}");
+    let body = body_of(&explain);
+    assert!(body.contains("# explain /page/"), "{body}");
+    assert!(body.contains("est/row"), "estimate column present: {body}");
+
+    // …and for one specific page, via the same segment syntax as /page/.
+    let page = urls.iter().find(|u| u.starts_with("/page/")).unwrap();
+    let one = get(addr, &page.replace("/page/", "/debug/explain/"));
+    assert!(one.starts_with("HTTP/1.1 200"), "{one}");
+    assert!(body_of(&one).contains("edge -"), "{one}");
+
+    // Unknown pages are 404s, not crashes.
+    assert!(get(addr, "/debug/explain/NoSuchSymbol").starts_with("HTTP/1.1 404"));
+
+    strudel_trace::set_enabled(false);
+    server.shutdown();
+}
+
+#[test]
 fn shutdown_joins_all_threads() {
     let (_service, server) = start(4);
     let addr = server.addr();

@@ -152,6 +152,150 @@ fn unrelated_delta_keeps_everything_cached() {
 }
 
 #[test]
+fn self_cancelling_mixed_delta_served_live() {
+    // Regression: a delta that creates an article, links it, and then
+    // removes the link again produces delete facts whose oids the
+    // pre-delta graph never issued. `invalidate::dirty_pages` used to
+    // unify those facts against the old database and index out of
+    // bounds, crashing the live server's apply_delta path.
+    let service = service();
+    let x = article_key(&service, "a1");
+    let x_url = service.url_of(&x);
+    let before = service.handle(&x_url);
+    assert_eq!(before.status, 200);
+
+    let db = service.engine().database();
+    let a4 = strudel_graph::Oid::from_index(db.graph().node_count());
+    drop(db);
+    let mut delta = GraphDelta::new();
+    delta.add_node(Some("a4"));
+    delta.add_edge(a4, "title", Value::string("Ghost post"));
+    delta.collect("Articles", Value::Node(a4));
+    delta.remove_edge(a4, "title", Value::string("Ghost post"));
+    delta.uncollect("Articles", Value::Node(a4));
+
+    let outcome = service.apply_delta(&delta).unwrap();
+    // The net effect is an uncollected, attribute-less node: no existing
+    // article's page may be dirtied by it.
+    assert!(!outcome.engine.dirty.contains(&x), "{:?}", outcome.engine.dirty);
+
+    // The service keeps serving the same content afterwards.
+    let after = service.handle(&x_url);
+    assert_eq!(after.status, 200);
+    assert_eq!(before.body, after.body);
+}
+
+#[test]
+fn self_cancelling_delta_with_path_only_guard_served_live() {
+    // The sharpest form of the same regression, live: a site query whose
+    // guards carry no collection atom. The phantom delete fact's seeds
+    // reach `graph.edges()` with the never-issued oid directly, so the
+    // unguarded `dirty_pages` panics inside `apply_delta` instead of
+    // serving.
+    let g = ddl::parse(
+        r#"
+        object a1 in Articles { title : "First post"; }
+        object a2 in Articles { title : "Second post"; }
+    "#,
+    )
+    .unwrap();
+    let db = Arc::new(Database::from_graph(g, IndexLevel::Full));
+    let program = strudel_struql::parse(
+        r#"
+        create RootPage()
+        where x -> "title" -> t
+        create TitlePage(x)
+        link RootPage() -> "entry" -> TitlePage(x),
+             TitlePage(x) -> "title" -> t
+        collect Roots(RootPage()), TitlePages(TitlePage(x))
+    "#,
+    )
+    .unwrap();
+    let mut templates = TemplateSet::new();
+    templates
+        .add_template("entry", "<html><h1><SFMT title></h1></html>")
+        .unwrap();
+    templates
+        .add_template("root", "<html><SFMT entry UL ORDER=ascend KEY=title></html>")
+        .unwrap();
+    templates.assign_object("RootPage", "root");
+    templates.assign_collection("TitlePages", "entry");
+    let service = SiteService::from_parts(db, &program, templates, "Roots", Mode::Context);
+
+    let x_url = {
+        let db = service.engine().database();
+        let a1 = db.graph().node_by_name("a1").unwrap();
+        drop(db);
+        service.url_of(&PageKey {
+            symbol: "TitlePage".into(),
+            args: vec![Value::Node(a1)],
+        })
+    };
+    let before = service.handle(&x_url);
+    assert_eq!(before.status, 200);
+
+    let db = service.engine().database();
+    let ghost = strudel_graph::Oid::from_index(db.graph().node_count());
+    drop(db);
+    let mut delta = GraphDelta::new();
+    delta.add_node(None);
+    delta.add_edge(ghost, "title", Value::string("Ghost post"));
+    delta.remove_edge(ghost, "title", Value::string("Ghost post"));
+
+    service.apply_delta(&delta).unwrap();
+    let after = service.handle(&x_url);
+    assert_eq!(after.status, 200);
+    assert_eq!(before.body, after.body);
+}
+
+#[test]
+fn rejected_delta_leaves_service_intact() {
+    // Atomicity: a delta that fails mid-application (valid first op,
+    // impossible second op) must not swap in a half-applied snapshot —
+    // the epoch, the database, and both caches stay exactly as they were.
+    let service = service();
+    let x = article_key(&service, "a1");
+    let x_url = service.url_of(&x);
+    let before = service.handle(&x_url);
+    assert_eq!(before.status, 200);
+    let epoch_before = service.engine().epoch();
+    let db_before = service.engine().database();
+    let nodes_before = db_before.graph().node_count();
+    let edges_before = db_before.graph().edge_count();
+    drop(db_before);
+    let cached_before = service.cache().len();
+
+    let db = service.engine().database();
+    let a1 = db.graph().node_by_name("a1").unwrap();
+    drop(db);
+    let mut delta = GraphDelta::new();
+    delta.add_edge(a1, "note", Value::string("applied first"));
+    delta.remove_edge(a1, "no-such-label", Value::string("never existed"));
+    assert!(service.apply_delta(&delta).is_err(), "delta must be rejected");
+
+    assert_eq!(service.engine().epoch(), epoch_before, "no epoch bump");
+    let db_after = service.engine().database();
+    assert_eq!(db_after.graph().node_count(), nodes_before);
+    assert_eq!(
+        db_after.graph().edge_count(),
+        edges_before,
+        "the first op must not leak into the served snapshot"
+    );
+    assert!(
+        db_after.graph().attr_str(a1, "note").next().is_none(),
+        "half-applied edge absent"
+    );
+    drop(db_after);
+    assert_eq!(service.cache().len(), cached_before, "nothing evicted");
+
+    // And the page still serves byte-identical content, from cache.
+    let hits = service.cache().stats().hits;
+    let after = service.handle(&x_url);
+    assert_eq!(before.body, after.body);
+    assert_eq!(service.cache().stats().hits, hits + 1);
+}
+
+#[test]
 fn metrics_report_epoch_and_hit_rate() {
     let service = service();
     let x_url = service.url_of(&article_key(&service, "a1"));

@@ -159,8 +159,24 @@ impl<'db> Evaluator<'db> {
 
         let bound: HashSet<String> = vars[..base_len].iter().cloned().collect();
         let plan = plan::plan(&block.where_, &bound, self.db, self.opts.optimize);
+        let tracing = strudel_trace::enabled();
         for (step, &idx) in plan.order.iter().enumerate() {
+            let rows_in = rows.len();
+            let span = strudel_trace::span("struql.step");
             rows = atoms::apply_partitioned(self, &block.where_[idx], rows, vars, &plan, step)?;
+            drop(span);
+            if tracing {
+                strudel_trace::count("struql.steps", 1);
+                strudel_trace::count("struql.rows", rows.len() as u64);
+                strudel_trace::event_with("struql.step", || {
+                    format!(
+                        "cond={} est={:.2} in={rows_in} out={}",
+                        crate::pretty::pretty_condition(&block.where_[idx]),
+                        plan.estimates[step],
+                        rows.len()
+                    )
+                });
+            }
             ctx.rows_evaluated += rows.len();
             if rows.is_empty() {
                 break;
@@ -280,13 +296,79 @@ impl<'db> Evaluator<'db> {
 
         let bound: HashSet<String> = seed.iter().map(|(n, _)| n.clone()).collect();
         let plan = plan::plan(conds, &bound, self.db, self.opts.optimize);
+        let tracing = strudel_trace::enabled();
         for (step, &idx) in plan.order.iter().enumerate() {
+            let rows_in = rows.len();
+            let span = strudel_trace::span("struql.step");
             rows = atoms::apply_partitioned(self, &conds[idx], rows, &vars, &plan, step)?;
+            drop(span);
+            if tracing {
+                strudel_trace::count("struql.steps", 1);
+                strudel_trace::count("struql.rows", rows.len() as u64);
+                strudel_trace::event_with("struql.step", || {
+                    format!(
+                        "cond={} est={:.2} in={rows_in} out={}",
+                        crate::pretty::pretty_condition(&conds[idx]),
+                        plan.estimates[step],
+                        rows.len()
+                    )
+                });
+            }
             if rows.is_empty() {
                 break;
             }
         }
         Ok((vars, rows))
+    }
+
+    /// [`Evaluator::eval_where_bindings`] with the instrument panel on:
+    /// every plan step is timed and counted regardless of the global
+    /// tracing flag, and the result carries an [`ExplainReport`] pairing
+    /// the planner's estimates with the measured actuals.
+    ///
+    /// [`ExplainReport`]: crate::explain::ExplainReport
+    pub fn explain_where_bindings(
+        &self,
+        conds: &[crate::ast::Condition],
+        seed: &[(String, Value)],
+    ) -> StruqlResult<(Vec<String>, Vec<Row>, crate::explain::ExplainReport)> {
+        let mut vars: Vec<String> = seed.iter().map(|(n, _)| n.clone()).collect();
+        for cond in conds {
+            atoms::introduce_vars(cond, &mut vars);
+        }
+        let width = vars.len();
+        let mut row: Row = vec![None; width];
+        for (i, (_, v)) in seed.iter().enumerate() {
+            row[i] = Some(v.clone());
+        }
+        let mut rows = vec![row];
+
+        let bound: HashSet<String> = seed.iter().map(|(n, _)| n.clone()).collect();
+        let plan = plan::plan(conds, &bound, self.db, self.opts.optimize);
+        let mut report = crate::explain::ExplainReport {
+            optimized: self.opts.optimize,
+            ..Default::default()
+        };
+        for (step, &idx) in plan.order.iter().enumerate() {
+            let rows_in = rows.len();
+            let start = std::time::Instant::now();
+            rows = atoms::apply_partitioned(self, &conds[idx], rows, &vars, &plan, step)?;
+            let elapsed_us = start.elapsed().as_micros().min(u64::MAX as u128) as u64;
+            report.steps.push(crate::explain::ExplainStep {
+                source_index: idx,
+                condition: crate::pretty::pretty_condition(&conds[idx]),
+                estimate: plan.estimates[step],
+                rows_in,
+                rows_out: rows.len(),
+                elapsed_us,
+            });
+            report.total_us += elapsed_us;
+            if rows.is_empty() {
+                break;
+            }
+        }
+        report.total_rows = rows.len();
+        Ok((vars, rows, report))
     }
 }
 

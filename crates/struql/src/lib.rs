@@ -60,6 +60,7 @@ pub mod builder;
 mod builtins;
 mod error;
 pub mod eval;
+pub mod explain;
 mod lexer;
 pub mod par;
 mod parser;
@@ -74,7 +75,8 @@ pub use ast::{
 };
 pub use error::{StruqlError, StruqlResult};
 pub use eval::{Constructor, EvalOptions, EvalResult, Evaluator};
+pub use explain::{ExplainReport, ExplainStep};
 pub use par::Parallelism;
 pub use parser::{parse, parse_path_regex};
-pub use pretty::pretty;
+pub use pretty::{pretty, pretty_condition};
 pub use token::Span;

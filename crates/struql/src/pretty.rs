@@ -93,6 +93,14 @@ fn block(b: &Block, level: usize, out: &mut String) {
     }
 }
 
+/// Renders a single where-condition in canonical form — the label the
+/// trace/EXPLAIN machinery attaches to per-condition timings.
+pub fn pretty_condition(c: &Condition) -> String {
+    let mut out = String::new();
+    condition(c, &mut out);
+    out
+}
+
 fn condition(c: &Condition, out: &mut String) {
     match c {
         Condition::Collection { name, arg, .. } => {
