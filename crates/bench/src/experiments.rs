@@ -12,6 +12,7 @@
 //! * E-incremental — small deltas are far cheaper than re-evaluation.
 //! * E-index — the full-indexing win grows with data size.
 
+use crate::json;
 use std::time::{Duration, Instant};
 use strudel::repo::{Database, IndexLevel};
 use strudel::schema::constraint::{parse_constraint, runtime, verify};
@@ -279,6 +280,17 @@ pub fn exp_dynamic() {
                 m.rows_produced,
                 m.cache_hits,
                 ms(t)
+            );
+            let case = format!("{mode:?}-{n}").to_lowercase();
+            json::record("serve", "E-dynamic", &case, "browse_ms", t.as_secs_f64() * 1e3, "ms");
+            json::record("serve", "E-dynamic", &case, "rows", m.rows_produced as f64, "rows");
+            json::record(
+                "serve",
+                "E-dynamic",
+                &case,
+                "cache_hits",
+                m.cache_hits as f64,
+                "hits",
             );
         }
     }
@@ -712,12 +724,15 @@ pub fn exp_trace() {
         "tracing", "requests", "time", "us/req"
     );
     for (label, t) in [("disabled", t_off), ("enabled", t_on)] {
-        println!(
-            "{:>9} {:>9} {:>10} {:>9.2}",
-            label,
-            requests,
-            ms(t),
-            t.as_secs_f64() * 1e6 / requests as f64
+        let us_per_req = t.as_secs_f64() * 1e6 / requests as f64;
+        println!("{:>9} {:>9} {:>10} {:>9.2}", label, requests, ms(t), us_per_req);
+        json::record(
+            "serve",
+            "E-trace",
+            &format!("tracing-{label}"),
+            "warm_request_latency",
+            us_per_req,
+            "us",
         );
     }
 
@@ -771,6 +786,117 @@ pub fn exp_trace() {
     println!();
 }
 
+/// E-batch — batched path evaluation: the Kleene-star reachability query
+/// of the news corpus with a bound destination, per-row vs batched, and
+/// the compiled click-time query cache on the same site.
+pub fn exp_batch() {
+    println!("== E-batch: batched path evaluation (reverse adjacency + memoization) ==");
+    let n = 1000usize;
+    let corpus = crate::paper_news_corpus(n);
+
+    // Part 1 — "which articles reach the oldest one?": a Kleene-star
+    // reachability query whose *destination* is bound. Related links all
+    // point backwards, so nearly the whole corpus qualifies. The per-row
+    // engine pays a forward traversal per candidate source; the batched
+    // engine answers from one reverse-adjacency walk plus set lookups.
+    let docs = strudel::wrappers::html::HtmlDoc::from_pairs(&corpus);
+    let g = strudel::wrappers::html::wrap_documents(&docs, "Articles").unwrap();
+    let target = g.node_by_name("article0.html").unwrap();
+    let db = Database::from_graph(g, IndexLevel::Full);
+    let program =
+        strudel::struql::parse(r#"where Articles(a), a -> * -> t create R(a)"#).unwrap();
+    let conds = &program.blocks[0].where_;
+    let seed = vec![("t".to_string(), Value::Node(target))];
+
+    let run = |batch: bool| {
+        let ev = Evaluator::with_options(
+            &db,
+            EvalOptions {
+                batch,
+                ..Default::default()
+            },
+        );
+        time(|| ev.eval_where_bindings(conds, &seed).unwrap())
+    };
+    let ((_, rows_old), t_old) = run(false);
+    let ((_, rows_new), t_new) = run(true);
+    assert_eq!(rows_old, rows_new, "batched relation must be byte-identical");
+    let speedup = t_old.as_secs_f64() / t_new.as_secs_f64().max(1e-9);
+    println!(
+        "Kleene-star reachability, {n} articles, bound destination: \
+         per-row {} vs batched {} ({speedup:.1}x), {} rows",
+        ms(t_old),
+        ms(t_new),
+        rows_new.len()
+    );
+    let case = format!("kleene-reach-{n}");
+    json::record("struql", "E-batch", &case, "per_row_ms", t_old.as_secs_f64() * 1e3, "ms");
+    json::record("struql", "E-batch", &case, "batched_ms", t_new.as_secs_f64() * 1e3, "ms");
+    json::record("struql", "E-batch", &case, "speedup", speedup, "x");
+    json::record("struql", "E-batch", &case, "rows", rows_new.len() as f64, "rows");
+
+    // Part 2 — the compiled click-time query cache: first-visit (page
+    // cache miss) latency across every article page, plans recompiled per
+    // request vs prepared once per epoch.
+    let site = sites::news_site(&corpus).build().unwrap();
+    println!(
+        "{:>11} {:>8} {:>12} {:>12} {:>12} {:>12}",
+        "query-cache", "pages", "total", "us/click", "plan-hits", "plan-misses"
+    );
+    let mut click_us = [0f64; 2];
+    for (i, (label, cache)) in [("off", false), ("on", true)].into_iter().enumerate() {
+        let dynsite = DynamicSite::new(site.database.clone(), &site.program, Mode::Context)
+            .with_query_cache(cache);
+        let roots = dynsite.roots("FrontRoot").unwrap();
+        let front = dynsite.visit(&roots[0]).unwrap();
+        let pages: Vec<PageKey> = front
+            .edges
+            .iter()
+            .filter_map(|(_, t)| match t {
+                DynTarget::Page(k) => Some(k.clone()),
+                _ => None,
+            })
+            .collect();
+        let ((), t) = time(|| {
+            for k in &pages {
+                dynsite.visit(k).unwrap();
+            }
+        });
+        let m = dynsite.metrics();
+        let us = t.as_secs_f64() * 1e6 / pages.len().max(1) as f64;
+        click_us[i] = us;
+        println!(
+            "{:>11} {:>8} {:>12} {:>12.1} {:>12} {:>12}",
+            label,
+            pages.len(),
+            ms(t),
+            us,
+            m.plan_cache_hits,
+            m.plan_cache_misses
+        );
+        let case = format!("click-cache-{label}-{n}");
+        json::record("serve", "E-batch", &case, "click_latency", us, "us");
+        json::record("serve", "E-batch", &case, "plan_cache_hits", m.plan_cache_hits as f64, "hits");
+        json::record(
+            "serve",
+            "E-batch",
+            &case,
+            "plan_cache_misses",
+            m.plan_cache_misses as f64,
+            "misses",
+        );
+    }
+    json::record(
+        "serve",
+        "E-batch",
+        &format!("click-cache-{n}"),
+        "warm_click_speedup",
+        click_us[0] / click_us[1].max(1e-9),
+        "x",
+    );
+    println!();
+}
+
 /// Runs every experiment in order.
 pub fn run_all() {
     exp_site_stats();
@@ -782,6 +908,7 @@ pub fn run_all() {
     exp_incremental();
     exp_indexing();
     exp_struql_scale();
+    exp_batch();
     exp_htmlgen();
     exp_mediate();
     exp_trace();

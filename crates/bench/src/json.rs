@@ -1,0 +1,182 @@
+//! Machine-readable benchmark output.
+//!
+//! Experiments call [`record`] as they print their human-readable tables;
+//! the driver binary, when invoked with `--json`, calls [`write_files`]
+//! at the end to emit one `BENCH_<suite>.json` per suite — the
+//! perf-trajectory files tracked at the repository root. The schema is
+//! documented in EXPERIMENTS.md:
+//!
+//! ```json
+//! {
+//!   "schema_version": 1,
+//!   "suite": "struql",
+//!   "rows": [
+//!     {"experiment": "E-batch", "case": "kleene-reach-1000",
+//!      "metric": "speedup", "value": 12.5, "unit": "x"}
+//!   ]
+//! }
+//! ```
+//!
+//! No serde: the workspace is dependency-free, and the format is flat
+//! enough that a hand-rolled writer (with full string escaping) is less
+//! code than a library binding.
+
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+#[derive(Clone, Debug)]
+struct Row {
+    suite: String,
+    experiment: String,
+    case: String,
+    metric: String,
+    value: f64,
+    unit: String,
+}
+
+static SINK: Mutex<Vec<Row>> = Mutex::new(Vec::new());
+
+/// Records one benchmark measurement. `suite` selects the output file
+/// (`"struql"` → `BENCH_struql.json`); `experiment`/`case`/`metric` name
+/// the measurement; `unit` is a free-form suffix (`"ms"`, `"x"`, `"rows"`).
+pub fn record(suite: &str, experiment: &str, case: &str, metric: &str, value: f64, unit: &str) {
+    SINK.lock().unwrap().push(Row {
+        suite: suite.to_string(),
+        experiment: experiment.to_string(),
+        case: case.to_string(),
+        metric: metric.to_string(),
+        value,
+        unit: unit.to_string(),
+    });
+}
+
+/// Drops everything recorded so far (tests).
+pub fn reset() {
+    SINK.lock().unwrap().clear();
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn fmt_value(v: f64) -> String {
+    if v.is_finite() {
+        // `{}` prints integral floats as "12" — valid JSON numbers either
+        // way, and shortest-round-trip for everything else.
+        format!("{v}")
+    } else {
+        // JSON has no Infinity/NaN; null keeps the row parseable.
+        "null".to_string()
+    }
+}
+
+/// Serializes one suite's rows.
+fn render(suite: &str, rows: &[Row]) -> String {
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        "{{\n  \"schema_version\": 1,\n  \"suite\": \"{}\",\n  \"rows\": [\n",
+        escape(suite)
+    );
+    for (i, r) in rows.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "    {{\"experiment\": \"{}\", \"case\": \"{}\", \"metric\": \"{}\", \
+             \"value\": {}, \"unit\": \"{}\"}}{}",
+            escape(&r.experiment),
+            escape(&r.case),
+            escape(&r.metric),
+            fmt_value(r.value),
+            escape(&r.unit),
+            if i + 1 < rows.len() { "," } else { "" }
+        );
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Writes one `BENCH_<suite>.json` per recorded suite into `dir`,
+/// returning the paths written. Suites appear in first-recorded order;
+/// rows keep recording order.
+pub fn write_files(dir: &Path) -> std::io::Result<Vec<PathBuf>> {
+    let rows = SINK.lock().unwrap().clone();
+    let mut suites: Vec<String> = Vec::new();
+    for r in &rows {
+        if !suites.contains(&r.suite) {
+            suites.push(r.suite.clone());
+        }
+    }
+    let mut paths = Vec::new();
+    for suite in suites {
+        let suite_rows: Vec<Row> = rows.iter().filter(|r| r.suite == suite).cloned().collect();
+        let path = dir.join(format!("BENCH_{suite}.json"));
+        std::fs::write(&path, render(&suite, &suite_rows))?;
+        paths.push(path);
+    }
+    Ok(paths)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_escaped_flat_rows() {
+        let rows = vec![
+            Row {
+                suite: "struql".into(),
+                experiment: "E-batch".into(),
+                case: "kleene \"reach\"".into(),
+                metric: "speedup".into(),
+                value: 12.5,
+                unit: "x".into(),
+            },
+            Row {
+                suite: "struql".into(),
+                experiment: "E-batch".into(),
+                case: "warm".into(),
+                metric: "latency".into(),
+                value: f64::NAN,
+                unit: "ms".into(),
+            },
+        ];
+        let s = render("struql", &rows);
+        assert!(s.contains("\"schema_version\": 1"));
+        assert!(s.contains("kleene \\\"reach\\\""));
+        assert!(s.contains("\"value\": 12.5,"));
+        assert!(s.contains("\"value\": null"), "NaN maps to null: {s}");
+        // Exactly one comma-separated rows array: last row has no comma.
+        assert!(s.trim_end().ends_with("]\n}"));
+    }
+
+    #[test]
+    fn write_files_emits_one_file_per_suite() {
+        reset();
+        record("suiteA", "E-x", "c", "m", 1.0, "ms");
+        record("suiteB", "E-y", "c", "m", 2.0, "ms");
+        record("suiteA", "E-x", "c2", "m", 3.0, "ms");
+        let dir = std::env::temp_dir().join(format!("strudel-json-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let paths = write_files(&dir).unwrap();
+        assert_eq!(paths.len(), 2);
+        let a = std::fs::read_to_string(dir.join("BENCH_suiteA.json")).unwrap();
+        assert_eq!(a.matches("\"experiment\"").count(), 2);
+        std::fs::remove_dir_all(&dir).ok();
+        reset();
+    }
+}

@@ -10,6 +10,7 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod json;
 pub mod microbench;
 pub mod sites;
 

@@ -141,6 +141,7 @@ impl SiteBuilder {
             EvalOptions {
                 optimize: self.optimize,
                 parallelism: self.parallelism,
+                ..EvalOptions::default()
             },
         )
         .eval(&program)?;

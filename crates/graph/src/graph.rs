@@ -17,6 +17,20 @@ pub struct Edge {
     pub to: Value,
 }
 
+/// A directed, labeled edge into a node, as recorded by the reverse
+/// adjacency index.
+///
+/// Only edges whose target is an internal node appear in the index: atomic
+/// values are not objects and have no incoming-edge list. The source is
+/// always an [`Oid`] because only nodes carry out-edges.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct InEdge {
+    /// The node the edge leaves.
+    pub from: Oid,
+    /// The interned attribute name labeling the edge.
+    pub label: Label,
+}
+
 /// An interned collection name.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct CollectionId(pub(crate) u32);
@@ -42,6 +56,8 @@ struct NodeData {
     /// Optional symbolic name, for DDL round-trips and debugging.
     name: Option<Arc<str>>,
     edges: Vec<Edge>,
+    /// Reverse adjacency: edges targeting this node, in insertion order.
+    rev: Vec<InEdge>,
 }
 
 #[derive(Clone, Debug)]
@@ -122,6 +138,7 @@ impl Graph {
         self.nodes.push(NodeData {
             name: Some(arc.clone()),
             edges: Vec::new(),
+            rev: Vec::new(),
         });
         self.node_names.insert(arc, oid);
         oid
@@ -176,6 +193,10 @@ impl Graph {
     /// twice. Use [`Graph::has_edge`] first when set semantics are wanted.
     pub fn add_edge(&mut self, from: Oid, label: Label, to: Value) {
         debug_assert!(label.index() < self.labels.len(), "foreign label");
+        if let Value::Node(target) = &to {
+            let target = *target;
+            self.nodes[target.index()].rev.push(InEdge { from, label });
+        }
         self.nodes[from.index()].edges.push(Edge { label, to });
         self.edge_count += 1;
     }
@@ -193,6 +214,18 @@ impl Graph {
         if let Some(pos) = edges.iter().position(|e| e.label == label && &e.to == to) {
             edges.remove(pos);
             self.edge_count -= 1;
+            if let Value::Node(target) = to {
+                let rev = &mut self.nodes[target.index()].rev;
+                // Parallel in-edges are indistinguishable in the reverse
+                // index, so removing the first match keeps it exactly in
+                // step with the forward edge list.
+                if let Some(rpos) = rev
+                    .iter()
+                    .position(|ie| ie.from == from && ie.label == label)
+                {
+                    rev.remove(rpos);
+                }
+            }
             true
         } else {
             false
@@ -210,6 +243,17 @@ impl Graph {
     /// All out-edges of a node, in insertion order.
     pub fn edges(&self, oid: Oid) -> &[Edge] {
         &self.nodes[oid.index()].edges
+    }
+
+    /// All edges whose target is node `oid`, in insertion order.
+    ///
+    /// This is the reverse-adjacency mirror of [`Graph::edges`], maintained
+    /// incrementally by [`Graph::add_edge`] and [`Graph::remove_edge`] (and
+    /// therefore consistent through delta application and WAL replay, which
+    /// route through those methods). Edges targeting atomic values are not
+    /// indexed; answer those through the value index or an edge scan.
+    pub fn edges_in(&self, oid: Oid) -> &[InEdge] {
+        &self.nodes[oid.index()].rev
     }
 
     /// The values of attribute `label` on node `oid`, in insertion order.
@@ -653,5 +697,65 @@ mod tests {
         g.add_edge_str(p, "abstract", Value::file(FileKind::Text, "abs/p.txt"));
         let v = g.first_attr_str(p, "abstract").unwrap();
         assert!(v.is_file_kind(FileKind::Text));
+    }
+
+    #[test]
+    fn edges_in_mirrors_forward_edges() {
+        let mut g = Graph::new();
+        let a = g.add_node();
+        let b = g.add_node();
+        let c = g.add_node();
+        let l = g.intern_label("link");
+        let m = g.intern_label("ref");
+        g.add_edge(a, l, Value::Node(c));
+        g.add_edge(b, m, Value::Node(c));
+        g.add_edge(a, l, Value::Int(7)); // atomic target: not indexed
+        assert_eq!(
+            g.edges_in(c),
+            &[InEdge { from: a, label: l }, InEdge { from: b, label: m }]
+        );
+        assert!(g.edges_in(a).is_empty());
+        assert!(g.edges_in(b).is_empty());
+    }
+
+    #[test]
+    fn edges_in_tracks_removal_and_multi_edges() {
+        let mut g = Graph::new();
+        let a = g.add_node();
+        let b = g.add_node();
+        let l = g.intern_label("link");
+        g.add_edge(a, l, Value::Node(b));
+        g.add_edge(a, l, Value::Node(b)); // multigraph: stored twice
+        assert_eq!(g.edges_in(b).len(), 2);
+        assert!(g.remove_edge(a, l, &Value::Node(b)));
+        assert_eq!(g.edges_in(b), &[InEdge { from: a, label: l }]);
+        assert!(g.remove_edge(a, l, &Value::Node(b)));
+        assert!(g.edges_in(b).is_empty());
+        assert!(!g.remove_edge(a, l, &Value::Node(b)));
+    }
+
+    #[test]
+    fn edges_in_consistent_after_import() {
+        let g = sample();
+        // Rebuild the reverse index by brute force and compare.
+        for target in g.node_oids() {
+            let mut expect = Vec::new();
+            for from in g.node_oids() {
+                for e in g.edges(from) {
+                    if e.to == Value::Node(target) {
+                        expect.push(InEdge {
+                            from,
+                            label: e.label,
+                        });
+                    }
+                }
+            }
+            // The index stores global insertion order; compare as sorted
+            // multisets since the forward scan can't reconstruct that.
+            let mut got = g.edges_in(target).to_vec();
+            got.sort_by_key(|ie| (ie.from.index(), ie.label.index()));
+            expect.sort_by_key(|ie| (ie.from.index(), ie.label.index()));
+            assert_eq!(got, expect);
+        }
     }
 }

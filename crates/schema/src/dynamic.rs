@@ -46,8 +46,8 @@ use std::sync::{Arc, RwLock};
 use strudel_graph::{GraphDelta, Value};
 use strudel_repo::Database;
 use strudel_struql::{
-    Condition, EvalOptions, Evaluator, ExplainReport, LabelTerm, Parallelism, Program,
-    StruqlError, StruqlResult, Term,
+    Condition, EvalOptions, Evaluator, ExplainReport, LabelTerm, Parallelism, PreparedWhere,
+    Program, StruqlError, StruqlResult, Term,
 };
 
 /// Evaluation strategy.
@@ -100,6 +100,10 @@ pub struct Metrics {
     pub cache_hits: usize,
     /// Pages evicted by delta invalidation.
     pub evictions: usize,
+    /// Guard evaluations that executed a cached prepared plan.
+    pub plan_cache_hits: usize,
+    /// Guard evaluations that had to analyze/plan/compile first.
+    pub plan_cache_misses: usize,
 }
 
 /// The result of applying a data delta to a live engine.
@@ -115,6 +119,19 @@ pub struct InvalidationOutcome {
 /// is per-key and guard evaluation dominates hold times.
 const SHARDS: usize = 16;
 
+/// The compiled-query cache: per guard, the analyzed/planned/NFA-compiled
+/// [`PreparedWhere`] valid for one database epoch. A prepared plan bakes
+/// in interned label ids and cardinality statistics, so entries from
+/// before a delta are unusable — the cache self-invalidates by comparing
+/// its epoch stamp against the engine's.
+struct PreparedCache {
+    /// The epoch every entry in `map` was prepared under.
+    epoch: u64,
+    /// Keyed by schema-edge index; root collects use
+    /// `schema.edges.len() + collect index`.
+    map: HashMap<usize, Arc<PreparedWhere>>,
+}
+
 /// A dynamically evaluated site over a live database, shareable across
 /// threads (`visit` takes `&self`).
 pub struct DynamicSite {
@@ -125,11 +142,17 @@ pub struct DynamicSite {
     shards: Vec<RwLock<HashMap<PageKey, PageView>>>,
     /// Bumped by every applied delta; fences stale cache inserts.
     epoch: AtomicU64,
+    /// Compiled guard plans for the current epoch.
+    prepared: RwLock<PreparedCache>,
+    /// Whether the compiled-query cache is consulted (ablation knob).
+    query_cache: bool,
     clicks: AtomicUsize,
     queries_run: AtomicUsize,
     rows_produced: AtomicUsize,
     cache_hits: AtomicUsize,
     evictions: AtomicUsize,
+    plan_cache_hits: AtomicUsize,
+    plan_cache_misses: AtomicUsize,
 }
 
 impl DynamicSite {
@@ -142,12 +165,28 @@ impl DynamicSite {
             parallelism: Parallelism::default(),
             shards: (0..SHARDS).map(|_| RwLock::new(HashMap::new())).collect(),
             epoch: AtomicU64::new(0),
+            prepared: RwLock::new(PreparedCache {
+                epoch: 0,
+                map: HashMap::new(),
+            }),
+            query_cache: true,
             clicks: AtomicUsize::new(0),
             queries_run: AtomicUsize::new(0),
             rows_produced: AtomicUsize::new(0),
             cache_hits: AtomicUsize::new(0),
             evictions: AtomicUsize::new(0),
+            plan_cache_hits: AtomicUsize::new(0),
+            plan_cache_misses: AtomicUsize::new(0),
         }
+    }
+
+    /// Enables or disables the compiled-query cache. On by default;
+    /// disabling re-plans and recompiles every guard per request — the
+    /// ablation baseline for the click-time cache experiment. Served
+    /// content is identical either way.
+    pub fn with_query_cache(mut self, enabled: bool) -> Self {
+        self.query_cache = enabled;
+        self
     }
 
     /// Sets the worker budget for guard evaluation. Served page views are
@@ -181,6 +220,8 @@ impl DynamicSite {
             rows_produced: self.rows_produced.load(Ordering::Relaxed),
             cache_hits: self.cache_hits.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
+            plan_cache_hits: self.plan_cache_hits.load(Ordering::Relaxed),
+            plan_cache_misses: self.plan_cache_misses.load(Ordering::Relaxed),
         }
     }
 
@@ -192,6 +233,56 @@ impl DynamicSite {
     /// The current database snapshot.
     pub fn database(&self) -> Arc<Database> {
         self.db.read().unwrap().clone()
+    }
+
+    /// The current `(epoch, database)` pair, read consistently: the epoch
+    /// is bumped under the database write lock, so holding the read lock
+    /// across both reads guarantees the epoch stamps exactly this
+    /// snapshot. Prepared plans and cache inserts are keyed by it.
+    fn snapshot(&self) -> (u64, Arc<Database>) {
+        let db = self.db.read().unwrap();
+        (self.epoch.load(Ordering::Acquire), db.clone())
+    }
+
+    /// The prepared plan for guard `key` (a schema-edge index, or
+    /// `edges.len() + i` for root collect `i`) at `epoch`, compiling and
+    /// caching on miss. An entry prepared under an older epoch is never
+    /// returned; an insert races a concurrent delta safely because the
+    /// cache's epoch stamp only moves forward.
+    fn prepared_for(
+        &self,
+        epoch: u64,
+        ev: &Evaluator<'_>,
+        key: usize,
+        conds: &[Condition],
+        seed_names: &[String],
+    ) -> Arc<PreparedWhere> {
+        if self.query_cache {
+            let c = self.prepared.read().unwrap();
+            if c.epoch == epoch {
+                if let Some(p) = c.map.get(&key) {
+                    self.plan_cache_hits.fetch_add(1, Ordering::Relaxed);
+                    strudel_trace::count("engine.plan.cache.hits", 1);
+                    return Arc::clone(p);
+                }
+            }
+        }
+        self.plan_cache_misses.fetch_add(1, Ordering::Relaxed);
+        strudel_trace::count("engine.plan.cache.misses", 1);
+        let p = Arc::new(ev.prepare_where(conds, seed_names));
+        if self.query_cache {
+            let mut c = self.prepared.write().unwrap();
+            if c.epoch < epoch {
+                // First prepare after a delta: flush the stale entries.
+                c.map.clear();
+                c.epoch = epoch;
+            }
+            if c.epoch == epoch {
+                c.map.entry(key).or_insert_with(|| Arc::clone(&p));
+            }
+            // c.epoch > epoch: a delta landed mid-compute; drop the insert.
+        }
+        p
     }
 
     /// The extracted site schema.
@@ -226,23 +317,25 @@ impl DynamicSite {
     /// The site's entry points: every page collected by the query, by
     /// collection name.
     pub fn roots(&self, collection: &str) -> StruqlResult<Vec<PageKey>> {
-        let db = self.database();
+        let (epoch, db) = self.snapshot();
         let ev = self.evaluator(&db);
         let mut out = Vec::new();
-        for (collect, guard) in &self.schema.collects {
+        for (ci, (collect, guard)) in self.schema.collects.iter().enumerate() {
             if collect.collection != collection {
                 continue;
             }
             let Term::Skolem { symbol, args } = &collect.arg else {
                 continue;
             };
-            let (vars, rows) = ev.eval_where_bindings(guard, &[])?;
+            let prepared =
+                self.prepared_for(epoch, &ev, self.schema.edges.len() + ci, guard, &[]);
+            let rows = ev.eval_where_prepared(guard, &prepared, &[])?;
             self.queries_run.fetch_add(1, Ordering::Relaxed);
             self.rows_produced.fetch_add(rows.len(), Ordering::Relaxed);
             for row in &rows {
                 let key = PageKey {
                     symbol: symbol.clone(),
-                    args: eval_args(args, &vars, row)?,
+                    args: eval_args(args, prepared.vars(), row)?,
                 };
                 if !out.contains(&key) {
                     out.push(key);
@@ -263,11 +356,10 @@ impl DynamicSite {
             return Ok(v.clone());
         }
         strudel_trace::count("engine.cache.misses", 1);
-        // Read the epoch *before* the database snapshot: if a delta lands
+        // Epoch and snapshot are read consistently; if a delta lands
         // between compute and insert, the epoch check drops the insert.
-        let epoch = self.epoch.load(Ordering::Acquire);
-        let db = self.database();
-        let view = self.compute(&db, page)?;
+        let (epoch, db) = self.snapshot();
+        let view = self.compute(&db, epoch, page)?;
         self.insert_if_current(epoch, page.clone(), view.clone());
         if self.mode == Mode::ContextLookahead {
             // One level of look-ahead: materialize children now, while
@@ -284,7 +376,7 @@ impl DynamicSite {
                 if self.shard_of(&child).read().unwrap().contains_key(&child) {
                     continue;
                 }
-                let v = self.compute(&db, &child)?;
+                let v = self.compute(&db, epoch, &child)?;
                 self.insert_if_current(epoch, child, v);
             }
         }
@@ -311,11 +403,13 @@ impl DynamicSite {
 
         // Install the new snapshot; the epoch bump (under the same write
         // lock) invalidates in-flight computations against the old one.
-        {
+        let new_epoch = {
             let mut db = self.db.write().unwrap();
-            self.epoch.fetch_add(1, Ordering::AcqRel);
+            let e = self.epoch.fetch_add(1, Ordering::AcqRel) + 1;
             *db = new_db;
-        }
+            e
+        };
+        self.flush_prepared(new_epoch);
 
         let mut evicted = 0;
         for shard in &self.shards {
@@ -343,8 +437,21 @@ impl DynamicSite {
             evicted += map.len();
             map.clear();
         }
-        self.epoch.fetch_add(1, Ordering::AcqRel);
+        let new_epoch = self.epoch.fetch_add(1, Ordering::AcqRel) + 1;
+        self.flush_prepared(new_epoch);
         self.evictions.fetch_add(evicted, Ordering::Relaxed);
+    }
+
+    /// Drops prepared plans older than `new_epoch`. Entries stamped with
+    /// `new_epoch` itself are kept: a concurrent visit that already saw
+    /// the new snapshot may have repopulated the cache first, and those
+    /// plans are valid.
+    fn flush_prepared(&self, new_epoch: u64) {
+        let mut c = self.prepared.write().unwrap();
+        if c.epoch < new_epoch {
+            c.map.clear();
+            c.epoch = new_epoch;
+        }
     }
 
     /// Builds the guard seeds for one schema edge when serving `page`.
@@ -385,8 +492,9 @@ impl DynamicSite {
         Some(seeds)
     }
 
-    /// Evaluates the incremental queries for one page against `db`.
-    fn compute(&self, db: &Database, page: &PageKey) -> StruqlResult<PageView> {
+    /// Evaluates the incremental queries for one page against `db` (the
+    /// snapshot stamped by `epoch`), executing cached prepared plans.
+    fn compute(&self, db: &Database, epoch: u64, page: &PageKey) -> StruqlResult<PageView> {
         let _span = strudel_trace::span("engine.compute");
         let Some(node) = self.schema.node_index(&page.symbol) else {
             return Err(StruqlError::Eval {
@@ -395,20 +503,29 @@ impl DynamicSite {
         };
         let ev = self.evaluator(db);
         let mut view = PageView::default();
-        for edge in self.schema.out_edges(node) {
+        for (ei, edge) in self.schema.edges.iter().enumerate() {
+            if edge.from != node {
+                continue;
+            }
             // Seed the guard with the page's Skolem arguments (Context
             // modes); Naive evaluates unseeded and filters afterwards.
+            // Seed *names* depend only on the edge (they come from the
+            // symbol's argument terms), so the prepared plan is valid for
+            // every page of this symbol.
             let Some(seeds) = self.seed_for_edge(edge, page) else {
                 continue;
             };
             strudel_trace::count("engine.guard.evals", 1);
-            let (vars, rows) = ev.eval_where_bindings(&edge.guard, &seeds)?;
+            let seed_names: Vec<String> = seeds.iter().map(|(n, _)| n.clone()).collect();
+            let prepared = self.prepared_for(epoch, &ev, ei, &edge.guard, &seed_names);
+            let rows = ev.eval_where_prepared(&edge.guard, &prepared, &seeds)?;
+            let vars = prepared.vars();
             self.queries_run.fetch_add(1, Ordering::Relaxed);
             self.rows_produced.fetch_add(rows.len(), Ordering::Relaxed);
             for row in &rows {
                 // In Naive mode (or with nested-Skolem args) filter rows to
                 // the visited page.
-                let src_vals = eval_args(&edge.src_args, &vars, row)?;
+                let src_vals = eval_args(&edge.src_args, vars, row)?;
                 if src_vals != page.args {
                     continue;
                 }
@@ -435,10 +552,10 @@ impl DynamicSite {
                 let target = match &self.schema.nodes[edge.to] {
                     SchemaNode::Skolem(sym) => DynTarget::Page(PageKey {
                         symbol: sym.clone(),
-                        args: eval_args(&edge.dst_args, &vars, row)?,
+                        args: eval_args(&edge.dst_args, vars, row)?,
                     }),
                     SchemaNode::Ns => {
-                        let vals = eval_args(&edge.dst_args, &vars, row)?;
+                        let vals = eval_args(&edge.dst_args, vars, row)?;
                         DynTarget::Data(vals.into_iter().next().expect("one NS target"))
                     }
                 };
@@ -867,6 +984,77 @@ mod tests {
         for key in &roots {
             assert_eq!(seq.visit(key).unwrap(), par.visit(key).unwrap());
         }
+    }
+
+    #[test]
+    fn plan_cache_hits_on_warm_guards() {
+        let db = db();
+        let program = parse(QUERY).unwrap();
+        let site = DynamicSite::new(db, &program, Mode::Context);
+        let p = |n: &str| PageKey {
+            symbol: "PaperPage".into(),
+            args: vec![Value::Node(site.database().graph().node_by_name(n).unwrap())],
+        };
+        site.visit(&p("p1")).unwrap();
+        let m1 = site.metrics();
+        assert!(m1.plan_cache_misses > 0, "cold guards compile: {m1:?}");
+        assert_eq!(m1.plan_cache_hits, 0);
+        // A *different* page of the same symbol runs the same guards:
+        // every plan is served from the cache.
+        site.visit(&p("p2")).unwrap();
+        let m2 = site.metrics();
+        assert_eq!(m2.plan_cache_misses, m1.plan_cache_misses, "no recompiles");
+        assert!(m2.plan_cache_hits > 0, "{m2:?}");
+    }
+
+    #[test]
+    fn query_cache_off_recompiles_but_serves_identical_views() {
+        let db = db();
+        let program = parse(QUERY).unwrap();
+        let cached = DynamicSite::new(db.clone(), &program, Mode::Context);
+        let uncached =
+            DynamicSite::new(db, &program, Mode::Context).with_query_cache(false);
+        let key = PageKey {
+            symbol: "PaperPage".into(),
+            args: vec![Value::Node(
+                cached.database().graph().node_by_name("p3").unwrap(),
+            )],
+        };
+        assert_eq!(cached.visit(&key).unwrap(), uncached.visit(&key).unwrap());
+        uncached.clear_cache();
+        uncached.visit(&key).unwrap();
+        let m = uncached.metrics();
+        assert_eq!(m.plan_cache_hits, 0, "cache disabled: {m:?}");
+        assert!(m.plan_cache_misses > 0);
+    }
+
+    #[test]
+    fn delta_flushes_prepared_plans() {
+        let db = db();
+        let p1 = db.graph().node_by_name("p1").unwrap();
+        let program = parse(QUERY).unwrap();
+        let site = DynamicSite::new(db, &program, Mode::Context);
+        let p1_key = PageKey {
+            symbol: "PaperPage".into(),
+            args: vec![Value::Node(p1)],
+        };
+        site.visit(&p1_key).unwrap();
+        let misses_cold = site.metrics().plan_cache_misses;
+
+        let mut delta = GraphDelta::new();
+        delta.remove_edge(p1, "title", Value::string("Alpha"));
+        delta.add_edge(p1, "title", Value::string("Alpha II"));
+        site.apply_delta(&delta).unwrap();
+
+        // Post-delta plans are prepared against the new snapshot's stats
+        // and interner — the old entries must not be served. The delta
+        // evicted p1's page, so its guards re-run on the next visit.
+        site.visit(&p1_key).unwrap();
+        assert!(
+            site.metrics().plan_cache_misses > misses_cold,
+            "stale plans flushed: {:?}",
+            site.metrics()
+        );
     }
 
     #[test]

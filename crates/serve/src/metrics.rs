@@ -331,6 +331,14 @@ impl ServerStats {
             "strudel_engine_view_evictions_total {}",
             self.engine.evictions
         ));
+        line(format!(
+            "strudel_engine_plan_cache_hits_total {}",
+            self.engine.plan_cache_hits
+        ));
+        line(format!(
+            "strudel_engine_plan_cache_misses_total {}",
+            self.engine.plan_cache_misses
+        ));
         line(format!("strudel_delta_epoch {}", self.epoch));
         line(format!("strudel_slow_requests_total {}", self.slow_requests));
         for (name, v) in &self.trace_counters {

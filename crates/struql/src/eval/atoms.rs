@@ -8,15 +8,30 @@
 //! chunk on its own scoped thread, and merges the chunk outputs in
 //! partition order — producing the byte-identical relation the sequential
 //! path would.
+//!
+//! General path regexes are evaluated *batched*: before the relation is
+//! partitioned, [`RegexBatch::prepare`] groups the rows by their distinct
+//! bound source (or destination) value and computes each group's
+//! extensions exactly once into a read-only memo table. The per-row fan-out
+//! then only looks the memo up, so the work is proportional to distinct
+//! probe values, not row count, and the memo is shared across
+//! [`par::map_chunks`] partitions without perturbing output bytes. A bound
+//! destination is probed through the graph's reverse adjacency index with
+//! a reversed NFA instead of traversing forward from every node; the
+//! results are emitted in ascending source-oid order, which is exactly the
+//! order the forward full scan produces, so the old per-row engine (kept
+//! behind [`EvalOptions::batch`](super::EvalOptions) as the differential
+//! oracle) and the batched engine agree byte-for-byte.
 
 use super::{var_slot, Evaluator, Row};
-use crate::ast::{Condition, PathSpec, Term};
+use crate::ast::{CmpOp, Condition, PathRegex, PathSpec, Term};
 use crate::builtins::eval_builtin;
 use crate::error::{StruqlError, StruqlResult};
 use crate::par;
 use crate::plan::Plan;
 use crate::rpe::{Nfa, StepPred};
-use strudel_graph::{coerce, Graph, Value};
+use std::collections::{HashMap, HashSet};
+use strudel_graph::{coerce, CollectionId, Graph, InEdge, Label, Oid, Value};
 
 /// Appends variables this condition can bind (positive binders only) that
 /// are not yet in scope.
@@ -92,6 +107,37 @@ impl Pos {
             },
         }
     }
+
+    /// Whether unifying with `v` *would* succeed, without mutating the row.
+    fn would_unify(&self, row: &Row, v: &Value) -> bool {
+        match self {
+            Pos::Const(c) => coerce::eq(c, v),
+            Pos::Slot(i) => match &row[*i] {
+                Some(existing) => coerce::eq(existing, v),
+                None => true,
+            },
+        }
+    }
+}
+
+/// Pre-compiled NFAs for one general-regex path condition: the forward
+/// automaton and its reversal (for bound-destination probes over the
+/// reverse adjacency index). Cached per epoch by the click-time query
+/// cache so a request executes without recompilation.
+#[derive(Clone, Debug)]
+pub struct PreparedPath {
+    pub(crate) fwd: Nfa,
+    pub(crate) rev: Nfa,
+}
+
+impl PreparedPath {
+    /// Compiles both directions of `regex` against `graph`'s interner.
+    pub(crate) fn compile(regex: &PathRegex, graph: &Graph) -> Self {
+        PreparedPath {
+            fwd: Nfa::compile(regex, graph),
+            rev: Nfa::compile_reversed(regex, graph),
+        }
+    }
 }
 
 /// Applies the condition at position `pos` of `plan` to the relation,
@@ -106,7 +152,39 @@ pub(crate) fn apply_partitioned(
     plan: &Plan,
     pos: usize,
 ) -> StruqlResult<Vec<Row>> {
+    apply_partitioned_prepared(ev, cond, None, rows, vars, plan, pos)
+}
+
+/// [`apply_partitioned`] with optionally pre-compiled NFAs from a
+/// [`PreparedWhere`](super::PreparedWhere). For general regexes the memo
+/// table is built over the distinct probe values of the *whole* relation
+/// before partitioning, then shared read-only across the workers — the
+/// partitions make identical keep/extend decisions from it, so the merged
+/// output is byte-identical to the sequential one.
+pub(crate) fn apply_partitioned_prepared(
+    ev: &Evaluator<'_>,
+    cond: &Condition,
+    prepared: Option<&PreparedPath>,
+    rows: Vec<Row>,
+    vars: &[String],
+    plan: &Plan,
+    pos: usize,
+) -> StruqlResult<Vec<Row>> {
     let parts = plan.partitions(pos, rows.len(), ev.workers());
+    if let Condition::Path { src, path: PathSpec::Regex(r), dst, .. } = cond {
+        if r.as_single_step().is_none() {
+            let graph = ev.db().graph();
+            let spos = term_pos(src, vars)?;
+            let dpos = term_pos(dst, vars)?;
+            let batch = RegexBatch::prepare(ev, r, prepared, &rows, &spos, &dpos);
+            if parts <= 1 {
+                return apply_regex(graph, rows, &spos, &dpos, &batch);
+            }
+            return par::map_chunks(rows, parts, |chunk| {
+                apply_regex(graph, chunk, &spos, &dpos, &batch)
+            });
+        }
+    }
     if parts <= 1 {
         return apply(ev, cond, rows, vars);
     }
@@ -164,10 +242,10 @@ pub(crate) fn apply(
                     Some(StepPred::Label(name)) => {
                         apply_label_step(ev, graph, rows, &spos, &name, &dpos)
                     }
-                    Some(StepPred::Any) => apply_any_step(graph, rows, &spos, &dpos),
+                    Some(StepPred::Any) => apply_any_step(ev, graph, rows, &spos, &dpos),
                     None => {
-                        let nfa = Nfa::compile(r, graph);
-                        apply_regex(graph, rows, &spos, &nfa, &dpos)
+                        let batch = RegexBatch::prepare(ev, r, None, &rows, &spos, &dpos);
+                        apply_regex(graph, rows, &spos, &dpos, &batch)
                     }
                 },
             }
@@ -181,23 +259,7 @@ pub(crate) fn apply(
                 let (Some(a), Some(b)) = (lp.value(&row), rp.value(&row)) else {
                     return Err(StruqlError::eval("comparison over unbound variable"));
                 };
-                use crate::ast::CmpOp::*;
-                let keep = match op {
-                    Eq => coerce::eq(a, b),
-                    Ne => {
-                        // Comparable-and-different; incomparable values are
-                        // neither equal nor unequal.
-                        matches!(
-                            coerce::compare(a, b),
-                            Some(std::cmp::Ordering::Less | std::cmp::Ordering::Greater)
-                        )
-                    }
-                    Lt => coerce::lt(a, b),
-                    Le => coerce::le(a, b),
-                    Gt => coerce::lt(b, a),
-                    Ge => coerce::le(b, a),
-                };
-                if keep {
+                if compare_keeps(*op, a, b) {
                     out.push(row);
                 }
             }
@@ -220,11 +282,14 @@ pub(crate) fn apply(
 
         Condition::Not(inner, _) => {
             // All inner variables are bound (checked statically), so the
-            // inner condition acts as a per-row existence test.
+            // inner condition acts as a per-row existence test. The test
+            // runs against the borrowed row — no one-row relation is
+            // materialized — and anything hoistable (term positions, NFA
+            // compilation, collection lookup) is prepared once up front.
+            let check = NotCheck::prepare(graph, inner, vars)?;
             let mut out = Vec::with_capacity(rows.len());
             for row in rows {
-                let survives = apply(ev, inner, vec![row.clone()], vars)?;
-                if survives.is_empty() {
+                if !check.holds(graph, &row)? {
                     out.push(row);
                 }
             }
@@ -233,6 +298,198 @@ pub(crate) fn apply(
     }
 }
 
+fn compare_keeps(op: CmpOp, a: &Value, b: &Value) -> bool {
+    use CmpOp::*;
+    match op {
+        Eq => coerce::eq(a, b),
+        Ne => {
+            // Comparable-and-different; incomparable values are
+            // neither equal nor unequal.
+            matches!(
+                coerce::compare(a, b),
+                Some(std::cmp::Ordering::Less | std::cmp::Ordering::Greater)
+            )
+        }
+        Lt => coerce::lt(a, b),
+        Le => coerce::le(a, b),
+        Gt => coerce::lt(b, a),
+        Ge => coerce::le(b, a),
+    }
+}
+
+/// A `not(…)` inner condition compiled for repeated existence checks: term
+/// positions resolved, labels and collections looked up, and regexes
+/// NFA-compiled once per condition application instead of once per row.
+enum NotCheck {
+    Collection {
+        pos: Pos,
+        cid: Option<CollectionId>,
+        has_members: bool,
+    },
+    ArcVar {
+        spos: Pos,
+        lslot: usize,
+        dpos: Pos,
+    },
+    LabelStep {
+        spos: Pos,
+        label: Option<Label>,
+        dpos: Pos,
+    },
+    AnyStep {
+        spos: Pos,
+        dpos: Pos,
+    },
+    Regex {
+        spos: Pos,
+        dpos: Pos,
+        nfa: Nfa,
+    },
+    Compare {
+        op: CmpOp,
+        lp: Pos,
+        rp: Pos,
+    },
+    Builtin {
+        pred: crate::ast::BuiltinPred,
+        pos: Pos,
+    },
+    Not(Box<NotCheck>),
+}
+
+impl NotCheck {
+    fn prepare(graph: &Graph, cond: &Condition, vars: &[String]) -> StruqlResult<NotCheck> {
+        Ok(match cond {
+            Condition::Collection { name, arg, .. } => NotCheck::Collection {
+                pos: term_pos(arg, vars)?,
+                cid: graph.collection_id(name),
+                has_members: !graph.members_str(name).is_empty(),
+            },
+            Condition::Path { src, path, dst, .. } => {
+                let spos = term_pos(src, vars)?;
+                let dpos = term_pos(dst, vars)?;
+                match path {
+                    PathSpec::ArcVar(l) => NotCheck::ArcVar {
+                        spos,
+                        lslot: var_slot(l, vars).ok_or_else(|| {
+                            StruqlError::eval(format!("arc variable '{l}' lost"))
+                        })?,
+                        dpos,
+                    },
+                    PathSpec::Regex(r) => match r.as_single_step() {
+                        Some(StepPred::Label(name)) => NotCheck::LabelStep {
+                            spos,
+                            label: graph.label(&name),
+                            dpos,
+                        },
+                        Some(StepPred::Any) => NotCheck::AnyStep { spos, dpos },
+                        None => NotCheck::Regex {
+                            spos,
+                            dpos,
+                            nfa: Nfa::compile(r, graph),
+                        },
+                    },
+                }
+            }
+            Condition::Compare { op, lhs, rhs, .. } => NotCheck::Compare {
+                op: *op,
+                lp: term_pos(lhs, vars)?,
+                rp: term_pos(rhs, vars)?,
+            },
+            Condition::Builtin { pred, arg, .. } => NotCheck::Builtin {
+                pred: *pred,
+                pos: term_pos(arg, vars)?,
+            },
+            Condition::Not(inner, _) => {
+                NotCheck::Not(Box::new(NotCheck::prepare(graph, inner, vars)?))
+            }
+        })
+    }
+
+    /// Whether the inner condition has at least one satisfying extension
+    /// of `row` — i.e. whether `apply(cond, [row])` would be non-empty —
+    /// without cloning the row or materializing the extensions. Keep/error
+    /// decisions match [`apply`] exactly.
+    fn holds(&self, graph: &Graph, row: &Row) -> StruqlResult<bool> {
+        // The label slot check mirrors Pos::would_unify for the arc
+        // variable's string binding.
+        let label_ok = |row: &Row, lslot: usize, lname: &str| match &row[lslot] {
+            Some(existing) => coerce::eq(existing, &Value::string(lname)),
+            None => true,
+        };
+        Ok(match self {
+            NotCheck::Collection {
+                pos,
+                cid,
+                has_members,
+            } => match pos.value(row) {
+                Some(v) => match cid {
+                    Some(c) => graph.in_collection(*c, v),
+                    None => false,
+                },
+                None => *has_members,
+            },
+            NotCheck::ArcVar { spos, lslot, dpos } => {
+                let edge_ok = |e: &strudel_graph::Edge| {
+                    label_ok(row, *lslot, graph.label_name(e.label))
+                        && dpos.would_unify(row, &e.to)
+                };
+                match spos.value(row) {
+                    Some(Value::Node(o)) => graph.edges(*o).iter().any(edge_ok),
+                    Some(_) => false, // atomic source: no out-edges
+                    None => graph
+                        .node_oids()
+                        .any(|o| graph.edges(o).iter().any(edge_ok)),
+                }
+            }
+            NotCheck::LabelStep { spos, label, dpos } => {
+                let Some(l) = label else {
+                    return Ok(false); // label never interned: no such edges
+                };
+                match spos.value(row) {
+                    Some(Value::Node(o)) => graph.attr(*o, *l).any(|v| dpos.would_unify(row, v)),
+                    Some(_) => false,
+                    None => graph
+                        .node_oids()
+                        .any(|o| graph.attr(o, *l).any(|v| dpos.would_unify(row, v))),
+                }
+            }
+            NotCheck::AnyStep { spos, dpos } => match spos.value(row) {
+                Some(Value::Node(o)) => {
+                    graph.edges(*o).iter().any(|e| dpos.would_unify(row, &e.to))
+                }
+                Some(_) => false,
+                None => graph
+                    .node_oids()
+                    .any(|o| graph.edges(o).iter().any(|e| dpos.would_unify(row, &e.to))),
+            },
+            NotCheck::Regex { spos, dpos, nfa } => match spos.value(row) {
+                Some(start) => nfa
+                    .eval_from(graph, start)
+                    .iter()
+                    .any(|v| dpos.would_unify(row, v)),
+                None => graph.node_oids().any(|o| {
+                    nfa.eval_from(graph, &Value::Node(o))
+                        .iter()
+                        .any(|v| dpos.would_unify(row, v))
+                }),
+            },
+            NotCheck::Compare { op, lp, rp } => {
+                let (Some(a), Some(b)) = (lp.value(row), rp.value(row)) else {
+                    return Err(StruqlError::eval("comparison over unbound variable"));
+                };
+                compare_keeps(*op, a, b)
+            }
+            NotCheck::Builtin { pred, pos } => {
+                let Some(v) = pos.value(row) else {
+                    return Err(StruqlError::eval("builtin predicate over unbound variable"));
+                };
+                eval_builtin(*pred, v)
+            }
+            NotCheck::Not(inner) => !inner.holds(graph, row)?,
+        })
+    }
+}
 
 /// The finite set of structurally distinct values that are
 /// coercion-equal to `v` — the keys an *exact-match* index must be probed
@@ -284,6 +541,48 @@ fn coercion_candidates(v: &Value) -> Option<Vec<Value>> {
     })
 }
 
+/// The coercion-candidate key set for a destination position, computed
+/// once per condition application when the position is a constant (the
+/// common case for schema guards) instead of once per row.
+struct DstCandidates {
+    /// `Some(cands)` when the destination is `Pos::Const`; `None` means
+    /// "compute from the row's bound value".
+    hoisted: Option<Option<Vec<Value>>>,
+}
+
+impl DstCandidates {
+    fn new(dpos: &Pos) -> Self {
+        DstCandidates {
+            hoisted: match dpos {
+                Pos::Const(v) => Some(coercion_candidates(v)),
+                Pos::Slot(_) => None,
+            },
+        }
+    }
+
+    /// Candidate keys for the destination value `dv` of the current row.
+    fn get<'a>(&'a self, dv: &Value, scratch: &'a mut Option<Vec<Value>>) -> Option<&'a [Value]> {
+        match &self.hoisted {
+            Some(c) => c.as_deref(),
+            None => {
+                *scratch = coercion_candidates(dv);
+                scratch.as_deref()
+            }
+        }
+    }
+}
+
+/// In-edges of `target`, in ascending source-oid order (stable, so each
+/// source's edges keep their insertion order). This is exactly the order
+/// in which a forward full scan (`for o in node_oids { for e in edges(o) }`)
+/// visits the edges targeting `target`, which keeps the reverse-adjacency
+/// probes byte-identical to the scans they replace.
+fn sorted_edges_in(graph: &Graph, target: Oid) -> Vec<InEdge> {
+    let mut ins = graph.edges_in(target).to_vec();
+    ins.sort_by_key(|ie| ie.from.index());
+    ins
+}
+
 /// `src -> l -> dst` with `l` an arc variable: any single edge, binding the
 /// label name.
 fn apply_arc_var(
@@ -294,10 +593,17 @@ fn apply_arc_var(
     lslot: usize,
     dpos: &Pos,
 ) -> StruqlResult<Vec<Row>> {
+    let batched = ev.batched();
+    let cands = DstCandidates::new(dpos);
+    let tracing = strudel_trace::enabled();
+    let mut fwd_probes: u64 = 0;
+    let mut rev_probes: u64 = 0;
     let mut out = Vec::new();
     for row in rows {
-        match spos.value(&row).cloned() {
+        match spos.value(&row) {
             Some(Value::Node(o)) => {
+                let o = *o;
+                fwd_probes += 1;
                 for e in graph.edges(o) {
                     let lname = Value::string(graph.label_name(e.label));
                     let mut r = row.clone();
@@ -315,19 +621,47 @@ fn apply_arc_var(
             }
             Some(_) => {} // atomic source: no out-edges
             None => {
+                let dval = dpos.value(&row);
+                // Bound node destination: answer from the reverse
+                // adjacency index. Ascending-source order makes the rows
+                // byte-identical to the full scan below.
+                if batched {
+                    if let Some(dv @ Value::Node(t)) = dval {
+                        rev_probes += 1;
+                        for ie in sorted_edges_in(graph, *t) {
+                            let lname = Value::string(graph.label_name(ie.label));
+                            let mut r = row.clone();
+                            let lab_ok = match &r[lslot] {
+                                Some(existing) => coerce::eq(existing, &lname),
+                                None => {
+                                    r[lslot] = Some(lname);
+                                    true
+                                }
+                            };
+                            if lab_ok
+                                && spos.unify(&mut r, &Value::Node(ie.from))
+                                && dpos.unify(&mut r, dv)
+                            {
+                                out.push(r);
+                            }
+                        }
+                        continue;
+                    }
+                }
                 // Unbound source: enumerate all edges. With a bound atomic
                 // destination and a full value index, invert through it —
                 // probing every coercion-equal key so the indexed path
                 // agrees with the coercing scan below (numeric targets
                 // have no finite key set and take the scan).
-                let indexed = dpos.value(&row).cloned().and_then(|dv| {
-                    if !dv.is_atomic() || ev.db().value_locations(&dv).is_none() {
+                let mut scratch = None;
+                let indexed = dval.and_then(|dv| {
+                    if !dv.is_atomic() || ev.db().value_locations(dv).is_none() {
                         return None;
                     }
-                    coercion_candidates(&dv).map(|cands| (dv, cands))
+                    cands.get(dv, &mut scratch).map(|c| (dv, c))
                 });
                 if let Some((dv, cands)) = indexed {
-                    for cand in &cands {
+                    for cand in cands {
                         let locs = ev
                             .db()
                             .value_locations(cand)
@@ -344,7 +678,7 @@ fn apply_arc_var(
                             };
                             if lab_ok
                                 && spos.unify(&mut r, &Value::Node(*o))
-                                && dpos.unify(&mut r, &dv)
+                                && dpos.unify(&mut r, dv)
                             {
                                 out.push(r);
                             }
@@ -352,6 +686,7 @@ fn apply_arc_var(
                     }
                     continue;
                 }
+                fwd_probes += 1;
                 for o in graph.node_oids() {
                     for e in graph.edges(o) {
                         let mut r = row.clone();
@@ -374,6 +709,10 @@ fn apply_arc_var(
             }
         }
     }
+    if tracing {
+        strudel_trace::count("struql.probe.fwd", fwd_probes);
+        strudel_trace::count("struql.probe.rev", rev_probes);
+    }
     Ok(out)
 }
 
@@ -390,10 +729,21 @@ fn apply_label_step(
     let Some(label) = graph.label(label_name) else {
         return Ok(Vec::new()); // label never interned: no such edges
     };
+    let batched = ev.batched();
+    let cands = DstCandidates::new(dpos);
+    // The reverse-adjacency path only replaces the *graph scan* fallback:
+    // when an extension or inverted index exists, those keep precedence
+    // (and their output order).
+    let use_rev = batched && ev.db().extension(label).is_none();
+    let tracing = strudel_trace::enabled();
+    let mut fwd_probes: u64 = 0;
+    let mut rev_probes: u64 = 0;
     let mut out = Vec::new();
     for row in rows {
-        match spos.value(&row).cloned() {
+        match spos.value(&row) {
             Some(Value::Node(o)) => {
+                let o = *o;
+                fwd_probes += 1;
                 for v in graph.attr(o, label) {
                     let mut r = row.clone();
                     if dpos.unify(&mut r, v) {
@@ -408,12 +758,13 @@ fn apply_label_step(
                 // since the index is exact-match but unification coerces;
                 // numeric targets (no finite key set) fall through to the
                 // coercing extension scan.
-                let dbound = dpos.value(&row).cloned();
-                if let Some(dv) = &dbound {
+                let dbound = dpos.value(&row);
+                if let Some(dv) = dbound {
                     let usable = ev.db().sources(label, dv).is_some();
                     if usable {
-                        if let Some(cands) = coercion_candidates(dv) {
-                            for cand in &cands {
+                        let mut scratch = None;
+                        if let Some(cands) = cands.get(dv, &mut scratch) {
+                            for cand in cands {
                                 let sources = ev
                                     .db()
                                     .sources(label, cand)
@@ -430,7 +781,25 @@ fn apply_label_step(
                             continue;
                         }
                     }
+                    if use_rev {
+                        if let Value::Node(t) = dv {
+                            rev_probes += 1;
+                            for ie in sorted_edges_in(graph, *t) {
+                                if ie.label != label {
+                                    continue;
+                                }
+                                let mut r = row.clone();
+                                if spos.unify(&mut r, &Value::Node(ie.from))
+                                    && dpos.unify(&mut r, dv)
+                                {
+                                    out.push(r);
+                                }
+                            }
+                            continue;
+                        }
+                    }
                 }
+                fwd_probes += 1;
                 if let Some(ext) = ev.db().extension(label) {
                     for (o, v) in ext {
                         let mut r = row.clone();
@@ -451,20 +820,31 @@ fn apply_label_step(
             }
         }
     }
+    if tracing {
+        strudel_trace::count("struql.probe.fwd", fwd_probes);
+        strudel_trace::count("struql.probe.rev", rev_probes);
+    }
     Ok(out)
 }
 
 /// `src -> true -> dst`: one edge with any label.
 fn apply_any_step(
+    ev: &Evaluator<'_>,
     graph: &Graph,
     rows: Vec<Row>,
     spos: &Pos,
     dpos: &Pos,
 ) -> StruqlResult<Vec<Row>> {
+    let batched = ev.batched();
+    let tracing = strudel_trace::enabled();
+    let mut fwd_probes: u64 = 0;
+    let mut rev_probes: u64 = 0;
     let mut out = Vec::new();
     for row in rows {
-        match spos.value(&row).cloned() {
+        match spos.value(&row) {
             Some(Value::Node(o)) => {
+                let o = *o;
+                fwd_probes += 1;
                 for e in graph.edges(o) {
                     let mut r = row.clone();
                     if dpos.unify(&mut r, &e.to) {
@@ -474,6 +854,21 @@ fn apply_any_step(
             }
             Some(_) => {}
             None => {
+                if batched {
+                    if let Some(dv @ Value::Node(t)) = dpos.value(&row) {
+                        rev_probes += 1;
+                        for ie in sorted_edges_in(graph, *t) {
+                            let mut r = row.clone();
+                            if spos.unify(&mut r, &Value::Node(ie.from))
+                                && dpos.unify(&mut r, dv)
+                            {
+                                out.push(r);
+                            }
+                        }
+                        continue;
+                    }
+                }
+                fwd_probes += 1;
                 for o in graph.node_oids() {
                     for e in graph.edges(o) {
                         let mut r = row.clone();
@@ -485,43 +880,406 @@ fn apply_any_step(
             }
         }
     }
+    if tracing {
+        strudel_trace::count("struql.probe.fwd", fwd_probes);
+        strudel_trace::count("struql.probe.rev", rev_probes);
+    }
     Ok(out)
 }
 
-/// A general regular path expression.
+/// The batched evaluation context for one general-regex path condition.
+///
+/// [`RegexBatch::prepare`] inspects the whole relation, collects the
+/// distinct probe values per case (bound source, bound destination, both,
+/// neither), and computes each probe's answer exactly once into read-only
+/// memo tables. [`apply_regex`] then fans the memo back out per row. The
+/// memo is built *before* the relation is partitioned, so every
+/// `map_chunks` worker reads the same table and parallel output stays
+/// byte-identical to sequential.
+///
+/// Determinism rules:
+/// - memo values are pure functions of the probe value, so build order
+///   (including a parallel build) cannot change any looked-up result;
+/// - a bound-destination fan-out emits sources in ascending-oid order —
+///   exactly the forward full scan's order — so batched and per-row
+///   engines agree byte-for-byte;
+/// - a both-bound condition is a pure filter (no slot is written), so
+///   probing the destination side instead of the source side changes keep
+///   decisions for no row.
+struct RegexBatch {
+    fwd: Nfa,
+    rev: Option<Nfa>,
+    /// `EvalOptions::batch`: `false` degenerates every lookup to the old
+    /// per-row computation (the differential oracle).
+    batched: bool,
+    /// Whether the regex matches the empty path.
+    nullable: bool,
+    /// Both-bound rows check membership against the reverse-reachable set
+    /// of the destination instead of forward sets of each source.
+    use_rev_check: bool,
+    /// source value -> forward reachable values, in BFS emit order.
+    fwd_memo: HashMap<Value, Vec<Value>>,
+    /// node destination -> sources reaching it, ascending oid order.
+    rev_fan: HashMap<Value, Vec<Oid>>,
+    /// destination value -> full reverse-reachable value set.
+    rev_check: HashMap<Value, HashSet<Value>>,
+    /// Forward reachable values per node, for rows with no bound end.
+    scan: Option<Vec<(Oid, Vec<Value>)>>,
+}
+
+impl RegexBatch {
+    fn prepare(
+        ev: &Evaluator<'_>,
+        regex: &PathRegex,
+        prepared: Option<&PreparedPath>,
+        rows: &[Row],
+        spos: &Pos,
+        dpos: &Pos,
+    ) -> RegexBatch {
+        let graph = ev.db().graph();
+        let fwd = match prepared {
+            Some(p) => p.fwd.clone(),
+            None => Nfa::compile(regex, graph),
+        };
+        let nullable = fwd.matches_empty();
+        let mut batch = RegexBatch {
+            fwd,
+            rev: None,
+            batched: ev.batched(),
+            nullable,
+            use_rev_check: false,
+            fwd_memo: HashMap::new(),
+            rev_fan: HashMap::new(),
+            rev_check: HashMap::new(),
+            scan: None,
+        };
+        if !batch.batched || rows.is_empty() {
+            return batch;
+        }
+
+        // Distinct probe values per case, in first-appearance order.
+        let mut fwd_probes: Vec<Value> = Vec::new();
+        let mut fwd_seen: HashSet<Value> = HashSet::new();
+        let mut bb_src_probes: Vec<Value> = Vec::new();
+        let mut bb_src_seen: HashSet<Value> = HashSet::new();
+        let mut bb_dst_probes: Vec<Value> = Vec::new();
+        let mut bb_dst_seen: HashSet<Value> = HashSet::new();
+        let mut fan_probes: Vec<Value> = Vec::new();
+        let mut fan_seen: HashSet<Value> = HashSet::new();
+        let mut need_scan = false;
+        for row in rows {
+            match spos.value(row) {
+                Some(s) => match dpos.value(row) {
+                    Some(d) => {
+                        if bb_src_seen.insert(s.clone()) {
+                            bb_src_probes.push(s.clone());
+                        }
+                        if bb_dst_seen.insert(d.clone()) {
+                            bb_dst_probes.push(d.clone());
+                        }
+                    }
+                    None => {
+                        if fwd_seen.insert(s.clone()) {
+                            fwd_probes.push(s.clone());
+                        }
+                    }
+                },
+                None => match dpos.value(row) {
+                    Some(d @ Value::Node(_)) => {
+                        if fan_seen.insert(d.clone()) {
+                            fan_probes.push(d.clone());
+                        }
+                    }
+                    _ => need_scan = true,
+                },
+            }
+        }
+
+        // Direction choice for both-bound rows: probe the side with fewer
+        // distinct values. The condition is a pure filter there, so the
+        // direction cannot change output bytes — only traversal work.
+        batch.use_rev_check =
+            !bb_dst_probes.is_empty() && bb_dst_probes.len() < bb_src_probes.len();
+        if !batch.use_rev_check {
+            for s in bb_src_probes {
+                if fwd_seen.insert(s.clone()) {
+                    fwd_probes.push(s);
+                }
+            }
+        }
+
+        if batch.use_rev_check || !fan_probes.is_empty() {
+            batch.rev = Some(match prepared {
+                Some(p) => p.rev.clone(),
+                None => Nfa::compile_reversed(regex, graph),
+            });
+        }
+
+        let workers = ev.workers();
+        let tracing = strudel_trace::enabled();
+        let mut built: u64 = 0;
+        let mut fwd_built: u64 = 0;
+        let mut rev_built: u64 = 0;
+
+        built += fwd_probes.len() as u64;
+        fwd_built += fwd_probes.len() as u64;
+        let fwd_nfa = &batch.fwd;
+        batch.fwd_memo = memoize(fwd_probes, workers, |v| fwd_nfa.eval_from(graph, v));
+
+        if !fan_probes.is_empty() {
+            let rev = batch.rev.as_ref().expect("compiled above");
+            built += fan_probes.len() as u64;
+            rev_built += fan_probes.len() as u64;
+            batch.rev_fan = memoize(fan_probes, workers, |d| {
+                rev_fan_sources(graph, rev, d)
+            });
+        }
+        if batch.use_rev_check {
+            let rev = batch.rev.as_ref().expect("compiled above");
+            built += bb_dst_probes.len() as u64;
+            rev_built += bb_dst_probes.len() as u64;
+            batch.rev_check = memoize(bb_dst_probes, workers, |d| {
+                let seeds = if d.is_atomic() {
+                    atomic_target_seeds(graph, d)
+                } else {
+                    Vec::new()
+                };
+                rev.eval_from_reverse(graph, d, &seeds)
+                    .into_iter()
+                    .collect::<HashSet<Value>>()
+            });
+        }
+        if need_scan {
+            let oids: Vec<Oid> = graph.node_oids().collect();
+            built += oids.len() as u64;
+            fwd_built += oids.len() as u64;
+            let pairs = memoize_vec(oids, workers, |&o| {
+                fwd_nfa.eval_from(graph, &Value::Node(o))
+            });
+            batch.scan = Some(pairs);
+        }
+        if tracing {
+            strudel_trace::count("struql.memo.misses", built);
+            strudel_trace::count("struql.probe.fwd", fwd_built);
+            strudel_trace::count("struql.probe.rev", rev_built);
+        }
+        batch
+    }
+}
+
+/// Sources with a path matching the (forward) regex ending at node value
+/// `dv`, in ascending oid order — the forward full scan's emit order.
+fn rev_fan_sources(graph: &Graph, rev: &Nfa, dv: &Value) -> Vec<Oid> {
+    let mut oids: Vec<Oid> = rev
+        .eval_from_reverse(graph, dv, &[])
+        .iter()
+        .filter_map(Value::as_node)
+        .collect();
+    oids.sort_unstable_by_key(|o| o.index());
+    oids
+}
+
+/// `(source, label)` pairs of edges whose atomic target coerces equal to
+/// `dv` — the seeds a reverse NFA walk starts from when the destination
+/// has no incoming-edge index entry. A deterministic edge scan, complete
+/// for every value kind (including numerics, which have no finite
+/// coercion key set).
+fn atomic_target_seeds(graph: &Graph, dv: &Value) -> Vec<(Oid, Label)> {
+    let mut seeds = Vec::new();
+    for o in graph.node_oids() {
+        for e in graph.edges(o) {
+            if !matches!(e.to, Value::Node(_)) && coerce::eq(dv, &e.to) {
+                seeds.push((o, e.label));
+            }
+        }
+    }
+    seeds
+}
+
+/// Computes `f` once per probe, in parallel when the batch is large enough
+/// to pay for the threads. Each entry is a pure function of its key, so
+/// the resulting map is identical at any worker count.
+fn memoize<R: Send>(
+    probes: Vec<Value>,
+    workers: usize,
+    f: impl Fn(&Value) -> R + Sync,
+) -> HashMap<Value, R> {
+    memoize_vec(probes, workers, |v| f(v)).into_iter().collect()
+}
+
+fn memoize_vec<K: Send + Clone, R: Send>(
+    probes: Vec<K>,
+    workers: usize,
+    f: impl Fn(&K) -> R + Sync,
+) -> Vec<(K, R)> {
+    const MIN_PROBES_PER_WORKER: usize = 8;
+    let parts = if workers > 1 {
+        workers.min(probes.len() / MIN_PROBES_PER_WORKER)
+    } else {
+        1
+    };
+    if parts <= 1 {
+        return probes
+            .into_iter()
+            .map(|k| {
+                let r = f(&k);
+                (k, r)
+            })
+            .collect();
+    }
+    par::map_chunks(probes, parts, |chunk| {
+        Ok::<_, std::convert::Infallible>(
+            chunk
+                .into_iter()
+                .map(|k| {
+                    let r = f(&k);
+                    (k, r)
+                })
+                .collect(),
+        )
+    })
+    .unwrap_or_else(|e| match e {})
+}
+
+/// A general regular path expression, evaluated through a [`RegexBatch`].
 fn apply_regex(
     graph: &Graph,
     rows: Vec<Row>,
     spos: &Pos,
-    nfa: &Nfa,
     dpos: &Pos,
+    batch: &RegexBatch,
 ) -> StruqlResult<Vec<Row>> {
+    let tracing = strudel_trace::enabled();
+    let mut hits: u64 = 0;
+    let mut misses: u64 = 0;
     let mut out = Vec::new();
     for row in rows {
-        match spos.value(&row).cloned() {
+        match spos.value(&row) {
             Some(start) => {
-                for v in nfa.eval_from(graph, &start) {
+                if batch.use_rev_check {
+                    if let Some(dv) = dpos.value(&row) {
+                        // Pure filter: does a matching path lead from the
+                        // bound source to the bound destination? Checked
+                        // against the destination's reverse-reachable set.
+                        let survives = match start {
+                            Value::Node(_) => match batch.rev_check.get(dv) {
+                                Some(set) => {
+                                    hits += 1;
+                                    set.contains(start)
+                                }
+                                None => {
+                                    misses += 1;
+                                    batch
+                                        .fwd
+                                        .eval_from(graph, start)
+                                        .iter()
+                                        .any(|v| coerce::eq(dv, v))
+                                }
+                            },
+                            // An atomic source can only satisfy a
+                            // zero-length path, and only onto itself.
+                            _ => batch.nullable && coerce::eq(dv, start),
+                        };
+                        if survives {
+                            out.push(row);
+                        }
+                        continue;
+                    }
+                }
+                let computed: Vec<Value>;
+                let results: &[Value] = match batch.fwd_memo.get(start) {
+                    Some(r) => {
+                        hits += 1;
+                        r
+                    }
+                    None => {
+                        misses += 1;
+                        computed = batch.fwd.eval_from(graph, start);
+                        &computed
+                    }
+                };
+                for v in results {
                     let mut r = row.clone();
-                    if dpos.unify(&mut r, &v) {
+                    if dpos.unify(&mut r, v) {
                         out.push(r);
                     }
                 }
             }
             None => {
-                // Unbound source: traverse from every node. The planner
-                // prices this pessimistically, so it only runs when
-                // unavoidable.
-                for o in graph.node_oids() {
-                    let start = Value::Node(o);
-                    for v in nfa.eval_from(graph, &start) {
+                let fan = if batch.batched {
+                    dpos.value(&row).filter(|dv| dv.as_node().is_some())
+                } else {
+                    None
+                };
+                if let Some(dv) = fan {
+                    // Bound node destination: reverse probe, fanned out in
+                    // ascending source-oid order (the forward scan order).
+                    let computed: Vec<Oid>;
+                    let sources: &[Oid] = match batch.rev_fan.get(dv) {
+                        Some(s) => {
+                            hits += 1;
+                            s
+                        }
+                        None => {
+                            misses += 1;
+                            computed = match &batch.rev {
+                                Some(rev) => rev_fan_sources(graph, rev, dv),
+                                None => graph
+                                    .node_oids()
+                                    .filter(|&o| {
+                                        batch
+                                            .fwd
+                                            .eval_from(graph, &Value::Node(o))
+                                            .contains(dv)
+                                    })
+                                    .collect(),
+                            };
+                            &computed
+                        }
+                    };
+                    for &o in sources {
                         let mut r = row.clone();
-                        if spos.unify(&mut r, &start) && dpos.unify(&mut r, &v) {
+                        if spos.unify(&mut r, &Value::Node(o)) {
                             out.push(r);
+                        }
+                    }
+                    continue;
+                }
+                // No usable bound end: traverse from every node. The
+                // planner prices this pessimistically, so it only runs
+                // when unavoidable; batched mode computes the scan once.
+                match &batch.scan {
+                    Some(scan) => {
+                        hits += 1;
+                        for (o, vs) in scan {
+                            for v in vs {
+                                let mut r = row.clone();
+                                if spos.unify(&mut r, &Value::Node(*o)) && dpos.unify(&mut r, v)
+                                {
+                                    out.push(r);
+                                }
+                            }
+                        }
+                    }
+                    None => {
+                        misses += 1;
+                        for o in graph.node_oids() {
+                            let start = Value::Node(o);
+                            for v in batch.fwd.eval_from(graph, &start) {
+                                let mut r = row.clone();
+                                if spos.unify(&mut r, &start) && dpos.unify(&mut r, &v) {
+                                    out.push(r);
+                                }
+                            }
                         }
                     }
                 }
             }
         }
+    }
+    if tracing {
+        strudel_trace::count("struql.memo.hits", hits);
+        strudel_trace::count("struql.memo.misses", misses);
     }
     Ok(out)
 }

@@ -38,6 +38,12 @@ pub struct EvalOptions {
     /// Worker budget for the where stage. Results are byte-identical at
     /// any setting — see [`crate::par`].
     pub parallelism: Parallelism,
+    /// Batched path evaluation (default): group rows by distinct bound
+    /// source/destination value, compute each group's extensions once, and
+    /// answer bound-destination probes through the reverse adjacency
+    /// index. `false` restores the per-row engine — the differential
+    /// oracle; both settings produce byte-identical relations.
+    pub batch: bool,
 }
 
 impl Default for EvalOptions {
@@ -45,6 +51,7 @@ impl Default for EvalOptions {
         EvalOptions {
             optimize: true,
             parallelism: Parallelism::default(),
+            batch: true,
         }
     }
 }
@@ -203,6 +210,11 @@ impl<'db> Evaluator<'db> {
     pub(crate) fn workers(&self) -> usize {
         self.opts.parallelism.workers()
     }
+
+    /// Whether batched path evaluation is enabled.
+    pub(crate) fn batched(&self) -> bool {
+        self.opts.batch
+    }
 }
 
 /// Applies the construction stage of `block` for one row.
@@ -269,38 +281,110 @@ fn eval_term_into(term: &Term, row: &Row, vars: &[String], ctx: &mut Ctx) -> Str
     }
 }
 
+/// A condition list compiled for repeated seeded evaluation: variable
+/// slots resolved, conditions planned against the database's statistics,
+/// and every general path regex NFA-compiled in both directions. This is
+/// the unit the click-time compiled-query cache stores per schema edge —
+/// a request then executes the prepared plan instead of re-planning.
+///
+/// A `PreparedWhere` is valid only for the `(conditions, seed-name list,
+/// database snapshot)` it was prepared against: the NFAs capture interned
+/// label ids and the plan captures statistics, both of which a delta can
+/// change. Callers key caches by epoch for exactly this reason.
+#[derive(Debug)]
+pub struct PreparedWhere {
+    vars: Vec<String>,
+    seed_names: Vec<String>,
+    plan: plan::Plan,
+    /// Per source-condition compiled NFAs (general regexes only), indexed
+    /// like the condition list itself.
+    paths: Vec<Option<atoms::PreparedPath>>,
+}
+
+impl PreparedWhere {
+    /// Variable names in slot order (seed variables first) — the column
+    /// names of the rows [`Evaluator::eval_where_prepared`] produces.
+    pub fn vars(&self) -> &[String] {
+        &self.vars
+    }
+}
+
 impl<'db> Evaluator<'db> {
-    /// Evaluates a bare condition list — the building block for dynamic
-    /// (click-time) and incremental evaluation, where the schema crate
-    /// runs fragments of a site-definition query with some variables
-    /// pre-bound.
-    ///
-    /// `seed` pre-binds variables; the result is the list of variables in
-    /// slot order (seeds first) and all satisfying rows. Conditions are
-    /// planned with the same cost model as full evaluation.
-    pub fn eval_where_bindings(
+    /// Analyzes, plans, and NFA-compiles a condition list for repeated
+    /// evaluation with seeds named `seed_names` (values vary per call).
+    pub fn prepare_where(
         &self,
         conds: &[crate::ast::Condition],
-        seed: &[(String, Value)],
-    ) -> StruqlResult<(Vec<String>, Vec<Row>)> {
-        let mut vars: Vec<String> = seed.iter().map(|(n, _)| n.clone()).collect();
+        seed_names: &[String],
+    ) -> PreparedWhere {
+        use crate::ast::{Condition, PathSpec};
+        let mut vars: Vec<String> = seed_names.to_vec();
         for cond in conds {
             atoms::introduce_vars(cond, &mut vars);
         }
-        let width = vars.len();
+        let bound: HashSet<String> = seed_names.iter().cloned().collect();
+        let plan = plan::plan(conds, &bound, self.db, self.opts.optimize);
+        let graph = self.db.graph();
+        let paths = conds
+            .iter()
+            .map(|c| match c {
+                Condition::Path {
+                    path: PathSpec::Regex(r),
+                    ..
+                } if r.as_single_step().is_none() => {
+                    Some(atoms::PreparedPath::compile(r, graph))
+                }
+                _ => None,
+            })
+            .collect();
+        PreparedWhere {
+            vars,
+            seed_names: seed_names.to_vec(),
+            plan,
+            paths,
+        }
+    }
+
+    /// Runs a prepared condition list with concrete seed values. `conds`
+    /// and the seed names must match what [`Evaluator::prepare_where`]
+    /// saw, and the database must be the same snapshot.
+    pub fn eval_where_prepared(
+        &self,
+        conds: &[crate::ast::Condition],
+        prepared: &PreparedWhere,
+        seed: &[(String, Value)],
+    ) -> StruqlResult<Vec<Row>> {
+        if conds.len() != prepared.paths.len()
+            || seed.len() != prepared.seed_names.len()
+            || seed
+                .iter()
+                .zip(&prepared.seed_names)
+                .any(|((n, _), pn)| n != pn)
+        {
+            return Err(StruqlError::eval(
+                "prepared where does not match the condition list or seed names",
+            ));
+        }
+        let width = prepared.vars.len();
         let mut row: Row = vec![None; width];
         for (i, (_, v)) in seed.iter().enumerate() {
             row[i] = Some(v.clone());
         }
         let mut rows = vec![row];
 
-        let bound: HashSet<String> = seed.iter().map(|(n, _)| n.clone()).collect();
-        let plan = plan::plan(conds, &bound, self.db, self.opts.optimize);
         let tracing = strudel_trace::enabled();
-        for (step, &idx) in plan.order.iter().enumerate() {
+        for (step, &idx) in prepared.plan.order.iter().enumerate() {
             let rows_in = rows.len();
             let span = strudel_trace::span("struql.step");
-            rows = atoms::apply_partitioned(self, &conds[idx], rows, &vars, &plan, step)?;
+            rows = atoms::apply_partitioned_prepared(
+                self,
+                &conds[idx],
+                prepared.paths[idx].as_ref(),
+                rows,
+                &prepared.vars,
+                &prepared.plan,
+                step,
+            )?;
             drop(span);
             if tracing {
                 strudel_trace::count("struql.steps", 1);
@@ -309,7 +393,7 @@ impl<'db> Evaluator<'db> {
                     format!(
                         "cond={} est={:.2} in={rows_in} out={}",
                         crate::pretty::pretty_condition(&conds[idx]),
-                        plan.estimates[step],
+                        prepared.plan.estimates[step],
                         rows.len()
                     )
                 });
@@ -318,7 +402,28 @@ impl<'db> Evaluator<'db> {
                 break;
             }
         }
-        Ok((vars, rows))
+        Ok(rows)
+    }
+
+    /// Evaluates a bare condition list — the building block for dynamic
+    /// (click-time) and incremental evaluation, where the schema crate
+    /// runs fragments of a site-definition query with some variables
+    /// pre-bound.
+    ///
+    /// `seed` pre-binds variables; the result is the list of variables in
+    /// slot order (seeds first) and all satisfying rows. Conditions are
+    /// planned with the same cost model as full evaluation. Equivalent to
+    /// [`Evaluator::prepare_where`] + [`Evaluator::eval_where_prepared`];
+    /// callers that re-run the same conditions should prepare once.
+    pub fn eval_where_bindings(
+        &self,
+        conds: &[crate::ast::Condition],
+        seed: &[(String, Value)],
+    ) -> StruqlResult<(Vec<String>, Vec<Row>)> {
+        let seed_names: Vec<String> = seed.iter().map(|(n, _)| n.clone()).collect();
+        let prepared = self.prepare_where(conds, &seed_names);
+        let rows = self.eval_where_prepared(conds, &prepared, seed)?;
+        Ok((prepared.vars, rows))
     }
 
     /// [`Evaluator::eval_where_bindings`] with the instrument panel on:

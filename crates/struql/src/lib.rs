@@ -74,7 +74,7 @@ pub use ast::{
     Program, Term,
 };
 pub use error::{StruqlError, StruqlResult};
-pub use eval::{Constructor, EvalOptions, EvalResult, Evaluator};
+pub use eval::{Constructor, EvalOptions, EvalResult, Evaluator, PreparedWhere};
 pub use explain::{ExplainReport, ExplainStep};
 pub use par::Parallelism;
 pub use parser::{parse, parse_path_regex};

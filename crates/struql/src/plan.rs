@@ -164,12 +164,17 @@ fn cost(
                     }
                     Some(StepPred::Any) => unreachable!("handled above"),
                     None => {
-                        // General regex: a traversal per source node.
+                        // General regex. Bound source: one forward
+                        // traversal. Bound destination: one *reverse*
+                        // traversal over the incoming-edge index — same
+                        // price, not the node-count multiple the forward
+                        // engine would pay. Neither bound: a traversal per
+                        // source node.
                         let reach = (stats.nodes as f64 / 2.0).max(1.0);
-                        if src_bound {
-                            reach
-                        } else {
-                            (stats.nodes as f64).max(1.0) * reach
+                        match (src_bound, dst_bound) {
+                            (true, _) => reach,
+                            (false, true) => reach,
+                            (false, false) => (stats.nodes as f64).max(1.0) * reach,
                         }
                     }
                 },

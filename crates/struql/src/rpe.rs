@@ -32,6 +32,25 @@ impl PathRegex {
             _ => None,
         }
     }
+
+    /// The mirror-image regex: `r.reversed()` matches the label sequence
+    /// `l1 … lk` exactly when `r` matches `lk … l1`. Compiling the reversed
+    /// regex lets a bound *destination* be answered by a BFS over the
+    /// reverse adjacency index instead of a forward scan from every node.
+    pub fn reversed(&self) -> PathRegex {
+        match self {
+            PathRegex::Label(_) | PathRegex::Any => self.clone(),
+            PathRegex::Seq(a, b) => {
+                PathRegex::Seq(Box::new(b.reversed()), Box::new(a.reversed()))
+            }
+            PathRegex::Alt(a, b) => {
+                PathRegex::Alt(Box::new(a.reversed()), Box::new(b.reversed()))
+            }
+            PathRegex::Star(inner) => PathRegex::Star(Box::new(inner.reversed())),
+            PathRegex::Plus(inner) => PathRegex::Plus(Box::new(inner.reversed())),
+            PathRegex::Opt(inner) => PathRegex::Opt(Box::new(inner.reversed())),
+        }
+    }
 }
 
 /// An edge predicate on a compiled transition. Labels are resolved against
@@ -164,6 +183,117 @@ impl Nfa {
                             if closure_buf.contains(&self.accept) {
                                 emit(atomic.clone(), &mut results, &mut seen_results);
                             }
+                        }
+                    }
+                }
+            }
+        }
+        results
+    }
+
+    /// Compiles the reversal of `regex` (see [`PathRegex::reversed`]),
+    /// suitable for [`Nfa::eval_from_reverse`].
+    pub fn compile_reversed(regex: &PathRegex, graph: &Graph) -> Nfa {
+        Nfa::compile(&regex.reversed(), graph)
+    }
+
+    /// Whether the regex matches the empty path (the start's epsilon
+    /// closure contains the accept state).
+    pub fn matches_empty(&self) -> bool {
+        let mut mark = vec![false; self.trans.len()];
+        let mut start_states = Vec::new();
+        self.closure(self.start, &mut start_states, &mut mark);
+        start_states.contains(&self.accept)
+    }
+
+    /// All *source nodes* with a path matching the original regex ending at
+    /// `target`, found by BFS over [`Graph::edges_in`]. `self` must have
+    /// been compiled with [`Nfa::compile_reversed`].
+    ///
+    /// When `target` is an atomic value it has no incoming-edge index;
+    /// `atomic_seeds` supplies the `(source, label)` pairs of edges whose
+    /// target coerces equal to it (the caller gathers those from the value
+    /// index or an edge scan), and the zero-length match emits `target`
+    /// itself, mirroring the forward semantics for atomic starts.
+    ///
+    /// Results preserve first-discovery (BFS) order; intermediate hops are
+    /// node-to-node only, exactly as in the forward direction.
+    pub fn eval_from_reverse(
+        &self,
+        graph: &Graph,
+        target: &Value,
+        atomic_seeds: &[(Oid, Label)],
+    ) -> Vec<Value> {
+        let mut results: Vec<Value> = Vec::new();
+        let mut seen_results: HashSet<Value> = HashSet::new();
+        let emit = |v: Value, results: &mut Vec<Value>, seen: &mut HashSet<Value>| {
+            if seen.insert(v.clone()) {
+                results.push(v);
+            }
+        };
+
+        let mut mark = vec![false; self.trans.len()];
+        let mut start_states = Vec::new();
+        self.closure(self.start, &mut start_states, &mut mark);
+
+        if start_states.contains(&self.accept) {
+            // Zero-length path: the target itself is a matching source.
+            emit(target.clone(), &mut results, &mut seen_results);
+        }
+
+        let mut visited: HashSet<(Oid, usize)> = HashSet::new();
+        let mut queue: std::collections::VecDeque<(Oid, usize)> = Default::default();
+        let mut closure_buf = Vec::new();
+
+        match target.as_node() {
+            Some(o) => {
+                for &s in &start_states {
+                    if visited.insert((o, s)) {
+                        queue.push_back((o, s));
+                    }
+                }
+            }
+            None => {
+                // Consume the (forward-)final edge into the atomic value:
+                // one reverse transition from each start state per seed.
+                for &(from, label) in atomic_seeds {
+                    for &s in &start_states {
+                        for (pred, t) in &self.trans[s] {
+                            if !pred.matches(label) {
+                                continue;
+                            }
+                            closure_buf.clear();
+                            mark.iter_mut().for_each(|m| *m = false);
+                            self.closure(*t, &mut closure_buf, &mut mark);
+                            for &u in &closure_buf {
+                                if visited.insert((from, u)) {
+                                    queue.push_back((from, u));
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        while let Some((n, s)) = queue.pop_front() {
+            if s == self.accept {
+                emit(Value::Node(n), &mut results, &mut seen_results);
+            }
+            if self.trans[s].is_empty() {
+                continue;
+            }
+            for ie in graph.edges_in(n) {
+                for (pred, t) in &self.trans[s] {
+                    if !pred.matches(ie.label) {
+                        continue;
+                    }
+                    closure_buf.clear();
+                    mark.iter_mut().for_each(|m| *m = false);
+                    self.closure(*t, &mut closure_buf, &mut mark);
+                    for &u in &closure_buf {
+                        if visited.insert((ie.from, u)) {
+                            queue.push_back((ie.from, u));
                         }
                     }
                 }
@@ -372,6 +502,86 @@ mod tests {
             PathRegex::Star(Box::new(PathRegex::Any)).as_single_step(),
             None
         );
+    }
+
+    #[test]
+    fn reversed_mirrors_sequences() {
+        let r = PathRegex::Seq(
+            Box::new(PathRegex::Label("a".into())),
+            Box::new(PathRegex::Star(Box::new(PathRegex::Label("b".into())))),
+        );
+        let rev = r.reversed();
+        assert_eq!(
+            rev,
+            PathRegex::Seq(
+                Box::new(PathRegex::Star(Box::new(PathRegex::Label("b".into())))),
+                Box::new(PathRegex::Label("a".into())),
+            )
+        );
+        assert_eq!(rev.reversed(), r, "reversal is an involution");
+    }
+
+    #[test]
+    fn reverse_eval_agrees_with_forward_on_node_targets() {
+        let g = sample();
+        let regexes = vec![
+            PathRegex::Label("a".into()),
+            PathRegex::Any,
+            PathRegex::Star(Box::new(PathRegex::Any)),
+            PathRegex::Plus(Box::new(PathRegex::Label("a".into()))),
+            PathRegex::Seq(
+                Box::new(PathRegex::Label("a".into())),
+                Box::new(PathRegex::Label("b".into())),
+            ),
+            PathRegex::Opt(Box::new(PathRegex::Label("a".into()))),
+        ];
+        for r in &regexes {
+            let fwd = Nfa::compile(r, &g);
+            let rev = Nfa::compile_reversed(r, &g);
+            for target in g.node_oids() {
+                let tv = Value::Node(target);
+                let mut expect: Vec<Value> = g
+                    .node_oids()
+                    .filter(|&s| fwd.eval_from(&g, &Value::Node(s)).contains(&tv))
+                    .map(Value::Node)
+                    .collect();
+                let mut got = rev.eval_from_reverse(&g, &tv, &[]);
+                let key = |v: &Value| v.as_node().unwrap().index();
+                got.sort_by_key(key);
+                expect.sort_by_key(key);
+                assert_eq!(got, expect, "regex {r:?} target {target:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn reverse_eval_atomic_target_uses_seeds() {
+        let g = sample();
+        let star = Nfa::compile_reversed(&PathRegex::Star(Box::new(PathRegex::Any)), &g);
+        let leaf = g.node_by_name("leaf").unwrap();
+        let val = g.label("val").unwrap();
+        let out = star.eval_from_reverse(&g, &Value::string("end"), &[(leaf, val)]);
+        // Zero-length match surfaces the atomic itself, then every node
+        // that reaches it: leaf directly, mid and root transitively.
+        assert_eq!(out[0], Value::string("end"));
+        assert!(out.contains(&node(&g, "leaf")));
+        assert!(out.contains(&node(&g, "mid")));
+        assert!(out.contains(&node(&g, "root")));
+        assert_eq!(out.len(), 4);
+        // Without seeds, only the zero-length match remains.
+        assert_eq!(
+            star.eval_from_reverse(&g, &Value::string("end"), &[]),
+            vec![Value::string("end")]
+        );
+    }
+
+    #[test]
+    fn matches_empty_detects_nullable_regexes() {
+        let g = sample();
+        assert!(Nfa::compile(&PathRegex::Star(Box::new(PathRegex::Any)), &g).matches_empty());
+        assert!(Nfa::compile(&PathRegex::Opt(Box::new(PathRegex::Any)), &g).matches_empty());
+        assert!(!Nfa::compile(&PathRegex::Any, &g).matches_empty());
+        assert!(!Nfa::compile(&PathRegex::Plus(Box::new(PathRegex::Any)), &g).matches_empty());
     }
 
     #[test]
