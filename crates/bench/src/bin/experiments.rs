@@ -9,7 +9,7 @@
 //!
 //! Ids: `site-stats` (T1), `suitability` (F8), `multiversion`,
 //! `site-schema`, `verify`, `dynamic`, `incremental`, `indexing`,
-//! `struql-scale`, `batch`, `htmlgen`, `mediate`, `trace`, `all`.
+//! `struql-scale`, `batch`, `htmlgen`, `mediate`, `trace`, `crash`, `all`.
 //!
 //! `--json` additionally writes `BENCH_<suite>.json` files (machine-
 //! readable rows; schema in EXPERIMENTS.md) into the current directory.
@@ -42,11 +42,12 @@ fn main() {
             "htmlgen" => e::exp_htmlgen(),
             "mediate" => e::exp_mediate(),
             "trace" => e::exp_trace(),
+            "crash" => e::exp_crash(),
             other => {
                 eprintln!("unknown experiment '{other}'");
                 eprintln!(
                     "known: site-stats suitability multiversion site-schema verify dynamic \
-                     incremental indexing struql-scale batch htmlgen mediate trace all \
+                     incremental indexing struql-scale batch htmlgen mediate trace crash all \
                      (plus --json)"
                 );
                 std::process::exit(2);

@@ -2,12 +2,13 @@
 
 use crate::index::{ExtensionIndex, IndexSet, SchemaIndex, ValueIndex};
 use crate::stats::Stats;
+use crate::vfs::{RealVfs, Vfs};
 use crate::wal::{self, Wal};
 use crate::{snapshot, RepoError};
-use std::fs::OpenOptions;
+use std::collections::{HashMap, HashSet};
 use std::path::{Path, PathBuf};
 use std::sync::{Arc, Mutex};
-use strudel_graph::{DeltaOp, Graph, GraphDelta, Label, Oid, Value};
+use strudel_graph::{DeltaError, DeltaOp, Graph, GraphDelta, Label, Oid, Value};
 
 /// How much indexing the repository maintains.
 ///
@@ -38,7 +39,10 @@ pub struct Database {
     stats: Mutex<Option<Arc<Stats>>>,
     wal: Option<Wal>,
     dir: Option<PathBuf>,
+    vfs: Option<Arc<dyn Vfs>>,
+    generation: u64,
     wal_discarded_bytes: u64,
+    recovered_stale_wal: bool,
 }
 
 impl Default for Database {
@@ -63,7 +67,10 @@ impl Database {
             stats: Mutex::new(None),
             wal: None,
             dir: None,
+            vfs: None,
+            generation: 0,
             wal_discarded_bytes: 0,
+            recovered_stale_wal: false,
         }
     }
 
@@ -71,51 +78,119 @@ impl Database {
     /// `snapshot.bin` if present, replays `wal.log`, and keeps the WAL open
     /// for appending.
     pub fn open(dir: &Path, level: IndexLevel) -> Result<Self, RepoError> {
-        std::fs::create_dir_all(dir)?;
+        Self::open_with(dir, level, Arc::new(RealVfs))
+    }
+
+    /// [`Database::open`] through an explicit [`Vfs`] — the crash-torture
+    /// harness passes a fault-injecting one.
+    ///
+    /// Recovery decides what the WAL means by comparing its header
+    /// generation `W` against the snapshot's generation `G`:
+    ///
+    /// | state                     | meaning                            | action                    |
+    /// |---------------------------|------------------------------------|---------------------------|
+    /// | `W == G`                  | log extends this snapshot          | replay, repair torn tail  |
+    /// | `W < G` or torn header    | crash between a checkpoint's       | discard log (its frames   |
+    /// |                           | snapshot rename and WAL truncation | are already in `G`)       |
+    /// | `W > G`                   | the snapshot that truncated this   | refuse: precise corrupt   |
+    /// |                           | log is missing                     | error                     |
+    pub fn open_with(dir: &Path, level: IndexLevel, vfs: Arc<dyn Vfs>) -> Result<Self, RepoError> {
+        vfs.create_dir_all(dir)?;
         let snap_path = dir.join("snapshot.bin");
         let wal_path = dir.join("wal.log");
-        let mut graph = if snap_path.exists() {
-            snapshot::load_from_path(&snap_path)?
-        } else {
-            Graph::new()
-        };
-        let replay_span = strudel_trace::span("repo.wal.replay");
-        let report = wal::replay_report(&wal_path)?;
-        let replayed = report.deltas.len();
-        for delta in report.deltas {
-            delta.apply(&mut graph)?;
+        let snap_tmp = snap_path.with_extension("tmp");
+        if vfs.exists(&snap_tmp) {
+            // A checkpoint died before its rename; the temp file is
+            // unreferenced garbage.
+            vfs.remove_file(&snap_tmp)?;
         }
+        let (mut graph, snap_gen) = if vfs.exists(&snap_path) {
+            snapshot::load_from_path_with(vfs.as_ref(), &snap_path)?
+        } else {
+            (Graph::new(), 0)
+        };
+        let wal_existed = vfs.exists(&wal_path);
+        let replay_span = strudel_trace::span("repo.wal.replay");
+        let report = wal::replay_report_with(vfs.as_ref(), &wal_path)?;
+        let mut recovered_stale_wal = false;
+        let mut discarded = report.discarded_bytes;
+        let mut replayed = 0usize;
+        let wal = if report.torn_header || report.generation < snap_gen {
+            // Stale log: a crash landed after the checkpoint's snapshot
+            // rename but before (or during) the WAL truncation. Every
+            // frame it holds is already inside the generation-`snap_gen`
+            // snapshot — replaying would double-apply, so discard.
+            recovered_stale_wal = wal_existed && !report.torn_header;
+            discarded = 0; // nothing user-visible is lost
+            Wal::create_with(vfs.as_ref(), &wal_path, snap_gen)?
+        } else if report.generation > snap_gen {
+            return Err(RepoError::Corrupt {
+                what: "wal",
+                offset: 8,
+                message: format!(
+                    "wal generation {} is newer than snapshot generation {snap_gen}: \
+                     the snapshot that truncated this log is missing",
+                    report.generation
+                ),
+            });
+        } else {
+            replayed = report.deltas.len();
+            for delta in report.deltas {
+                delta.apply(&mut graph)?;
+            }
+            if report.discarded_bytes > 0 {
+                // Chop the torn tail off before reopening for append, or
+                // the next frame would land after garbage and be
+                // unreplayable.
+                let valid = vfs.len(&wal_path)? - report.discarded_bytes;
+                vfs.set_len(&wal_path, valid)?;
+            }
+            Wal::open_append_with(vfs.as_ref(), &wal_path, snap_gen)?
+        };
         drop(replay_span);
         strudel_trace::event_with("repo.wal.replay", || {
-            format!(
-                "deltas={replayed} discarded_bytes={}",
-                report.discarded_bytes
-            )
+            format!("deltas={replayed} discarded_bytes={discarded} stale={recovered_stale_wal}")
         });
-        if report.discarded_bytes > 0 {
-            // Chop the torn tail off before reopening for append, or the
-            // next record would land after garbage and be unreplayable.
-            let valid = std::fs::metadata(&wal_path)?.len() - report.discarded_bytes;
-            OpenOptions::new().write(true).open(&wal_path)?.set_len(valid)?;
-        }
         let mut db = Self::from_graph(graph, level);
-        db.wal = Some(Wal::open_append(&wal_path)?);
+        db.wal = Some(wal);
         db.dir = Some(dir.to_owned());
-        db.wal_discarded_bytes = report.discarded_bytes;
+        db.vfs = Some(vfs);
+        db.generation = snap_gen;
+        db.wal_discarded_bytes = discarded;
+        db.recovered_stale_wal = recovered_stale_wal;
         Ok(db)
     }
 
     /// Writes a fresh snapshot and truncates the WAL.
+    ///
+    /// The checkpoint protocol makes the generation counter do the
+    /// bookkeeping: sync the WAL, write the next-generation snapshot
+    /// durably (temp + fsync + rename + dir fsync), and only then recreate
+    /// the WAL with the new generation in its header. A crash anywhere in
+    /// between leaves either the old `(snapshot, log)` pair or a
+    /// new-generation snapshot with a stale log that
+    /// [`Database::open`] discards — never a double apply.
     pub fn checkpoint(&mut self) -> Result<(), RepoError> {
-        let Some(dir) = self.dir.clone() else {
+        let (Some(dir), Some(vfs)) = (self.dir.clone(), self.vfs.clone()) else {
             return Ok(()); // in-memory databases checkpoint trivially
         };
-        if let Some(w) = &mut self.wal {
-            w.sync()?;
+        let result = (|| {
+            if let Some(w) = &mut self.wal {
+                w.sync()?;
+            }
+            let next = self.generation + 1;
+            snapshot::save_to_path_with(vfs.as_ref(), &self.graph, next, &dir.join("snapshot.bin"))?;
+            self.generation = next;
+            self.wal = Some(Wal::create_with(vfs.as_ref(), &dir.join("wal.log"), next)?);
+            Ok(())
+        })();
+        if result.is_err() {
+            // The WAL handle may now disagree with what is on disk; drop
+            // it so further mutations fail fast instead of logging into an
+            // inconsistent file. Reopening recovers.
+            self.wal = None;
         }
-        snapshot::save_to_path(&self.graph, &dir.join("snapshot.bin"))?;
-        self.wal = Some(Wal::create(&dir.join("wal.log"))?);
-        Ok(())
+        result
     }
 
     // ----- reads ---------------------------------------------------------
@@ -140,6 +215,20 @@ impl Database {
     /// databases.
     pub fn wal_discarded_bytes(&self) -> u64 {
         self.wal_discarded_bytes
+    }
+
+    /// The checkpoint generation this database is at: 0 until the first
+    /// checkpoint, bumped by each successful one. The WAL header always
+    /// records the generation of the snapshot it extends.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Whether opening found (and discarded) a stale WAL from a crash that
+    /// landed between a checkpoint's snapshot rename and its WAL
+    /// truncation. The discarded frames were already in the snapshot.
+    pub fn recovered_stale_wal(&self) -> bool {
+        self.recovered_stale_wal
     }
 
     /// The extension of attribute `label` — all `(source, target)` pairs —
@@ -218,8 +307,18 @@ impl Database {
         Ok(self.graph.add_named_node(name))
     }
 
-    /// Adds an edge, maintaining all indexes.
+    /// Adds an edge, maintaining all indexes. Both endpoints must exist:
+    /// a dangling edge would be logged but refused by replay (and by the
+    /// snapshot loader), poisoning the database's own WAL.
     pub fn add_edge(&mut self, from: Oid, label: &str, to: Value) -> Result<(), RepoError> {
+        if !self.graph.contains_node(from) {
+            return Err(DeltaError::UnknownNode(from).into());
+        }
+        if let Some(o) = to.as_node() {
+            if !self.graph.contains_node(o) {
+                return Err(DeltaError::UnknownNode(o).into());
+            }
+        }
         self.log_one(DeltaOp::AddEdge {
             from,
             label: label.into(),
@@ -246,8 +345,15 @@ impl Database {
         Ok(true)
     }
 
-    /// Adds `member` to a named collection.
+    /// Adds `member` to a named collection. A node member must exist (see
+    /// [`Database::add_edge`] on why a dangling reference cannot be
+    /// allowed into the WAL).
     pub fn collect(&mut self, collection: &str, member: Value) -> Result<bool, RepoError> {
+        if let Some(o) = member.as_node() {
+            if !self.graph.contains_node(o) {
+                return Err(DeltaError::UnknownNode(o).into());
+            }
+        }
         let cid = self.graph.intern_collection(collection);
         if self.graph.in_collection(cid, &member) {
             return Ok(false);
@@ -282,22 +388,18 @@ impl Database {
         Ok(self.graph.uncollect(cid, member))
     }
 
-    /// Applies a whole delta atomically with respect to the WAL (one
-    /// record) and keeps indexes in sync.
+    /// Applies a whole delta as one WAL record, keeping indexes in sync.
     ///
-    /// Application is *not* atomic with respect to the in-memory graph:
-    /// a failing op (dangling node, missing edge) errors out with the
-    /// preceding ops already applied, mirroring
-    /// [`GraphDelta::apply`]. Callers that must never expose a
-    /// half-applied state — the live click-time engine — apply the delta
-    /// to a clone and swap only on success (see
-    /// `DynamicSite::apply_delta` in strudel-schema).
+    /// The delta is validated against the current graph *before* it
+    /// reaches the WAL (mirroring [`GraphDelta::apply`]'s semantics,
+    /// including intra-delta dependencies like add-node-then-edge-to-it).
+    /// A rejected delta therefore leaves graph, indexes, *and log*
+    /// untouched — logging first and validating later would durably
+    /// record a delta that replay refuses, breaking the next open. A
+    /// failed WAL append likewise leaves the in-memory state untouched.
     pub fn apply_delta(&mut self, delta: &GraphDelta) -> Result<Vec<Oid>, RepoError> {
-        if let Some(wal) = &mut self.wal {
-            let _span = strudel_trace::span("repo.wal.append");
-            strudel_trace::count("repo.wal.appends", 1);
-            wal.append(delta)?;
-        }
+        validate_delta(&self.graph, delta)?;
+        self.wal_append(delta)?;
         let mut created = Vec::new();
         for op in delta.ops() {
             match op {
@@ -395,19 +497,154 @@ impl Database {
     }
 
     fn log_one(&mut self, op: DeltaOp) -> Result<(), RepoError> {
-        if let Some(wal) = &mut self.wal {
-            let _span = strudel_trace::span("repo.wal.append");
-            strudel_trace::count("repo.wal.appends", 1);
-            let mut d = GraphDelta::new();
-            d.push(op);
-            wal.append(&d)?;
+        let mut d = GraphDelta::new();
+        d.push(op);
+        self.wal_append(&d)
+    }
+
+    /// Appends `delta` to the WAL, if there is one. A failed append
+    /// poisons the log: the frame may sit torn on disk, and appending
+    /// after it would turn a recoverable torn *tail* into mid-log
+    /// corruption. The database refuses further writes until reopened
+    /// (reopen discards the torn frame and resumes cleanly).
+    fn wal_append(&mut self, delta: &GraphDelta) -> Result<(), RepoError> {
+        let res = match self.wal_mut()? {
+            Some(wal) => {
+                let _span = strudel_trace::span("repo.wal.append");
+                strudel_trace::count("repo.wal.appends", 1);
+                wal.append(delta)
+            }
+            None => Ok(()),
+        };
+        if res.is_err() {
+            self.wal = None;
         }
-        Ok(())
+        res
+    }
+
+    /// The WAL to log into: `None` for in-memory databases, an error for
+    /// a persistent database whose WAL was dropped by a failed checkpoint
+    /// (silently skipping the log there would un-persist mutations).
+    fn wal_mut(&mut self) -> Result<Option<&mut Wal>, RepoError> {
+        if self.dir.is_some() && self.wal.is_none() {
+            return Err(RepoError::Io(std::io::Error::other(
+                "write-ahead log unavailable after a failed checkpoint; reopen the database",
+            )));
+        }
+        Ok(self.wal.as_mut())
     }
 
     fn invalidate(&mut self) {
         *self.stats.lock().unwrap() = None;
     }
+}
+
+/// Dry-runs `delta` against `graph`, reporting the error
+/// [`GraphDelta::apply`] would raise — without mutating anything.
+///
+/// The simulation tracks intra-delta effects with overlays: nodes created
+/// earlier in the delta count for later ops, edge add/remove multiplicity
+/// nets out, and collection membership follows the collect/uncollect
+/// sequence. The invariant that matters: every delta this function
+/// accepts must replay cleanly through [`GraphDelta::apply`] on the same
+/// graph state, because that is exactly what [`Database::open`] does with
+/// the WAL.
+fn validate_delta(graph: &Graph, delta: &GraphDelta) -> Result<(), DeltaError> {
+    // Virtual node count: graph nodes plus nodes this delta creates.
+    // AddNode with an already-taken name fetches the existing node
+    // instead of creating one, so names dedupe against both the graph
+    // and earlier ops of the delta.
+    let mut node_count = graph.node_count();
+    let mut new_names: HashSet<&str> = HashSet::new();
+    // Net intra-delta edge multiplicity, on top of the graph's count.
+    let mut edge_overlay: HashMap<(Oid, &str, &Value), i64> = HashMap::new();
+    // Collection membership decided by this delta (collections are sets).
+    let mut member_overlay: HashMap<(&str, &Value), bool> = HashMap::new();
+    let mut new_collections: HashSet<&str> = HashSet::new();
+    let check_node = |count: usize, v: &Value| -> Result<(), DeltaError> {
+        if let Some(o) = v.as_node() {
+            if o.index() >= count {
+                return Err(DeltaError::UnknownNode(o));
+            }
+        }
+        Ok(())
+    };
+    for op in delta.ops() {
+        match op {
+            DeltaOp::AddNode { name } => match name {
+                Some(n) => {
+                    if graph.node_by_name(n).is_none() && new_names.insert(n.as_ref()) {
+                        node_count += 1;
+                    }
+                }
+                None => node_count += 1,
+            },
+            DeltaOp::AddEdge { from, label, to } => {
+                if from.index() >= node_count {
+                    return Err(DeltaError::UnknownNode(*from));
+                }
+                check_node(node_count, to)?;
+                *edge_overlay.entry((*from, label.as_ref(), to)).or_insert(0) += 1;
+            }
+            DeltaOp::RemoveEdge { from, label, to } => {
+                if from.index() >= node_count {
+                    return Err(DeltaError::UnknownNode(*from));
+                }
+                let base = if from.index() < graph.node_count() {
+                    graph
+                        .label(label)
+                        .map(|l| {
+                            graph
+                                .edges(*from)
+                                .iter()
+                                .filter(|e| e.label == l && e.to == *to)
+                                .count() as i64
+                        })
+                        .unwrap_or(0)
+                } else {
+                    0
+                };
+                let overlay = edge_overlay.entry((*from, label.as_ref(), to)).or_insert(0);
+                if base + *overlay <= 0 {
+                    return Err(DeltaError::MissingEdge {
+                        from: *from,
+                        label: label.clone(),
+                    });
+                }
+                *overlay -= 1;
+            }
+            DeltaOp::Collect { collection, member } => {
+                check_node(node_count, member)?;
+                new_collections.insert(collection.as_ref());
+                member_overlay.insert((collection.as_ref(), member), true);
+            }
+            DeltaOp::Uncollect { collection, member } => {
+                let exists = graph.collection_id(collection).is_some()
+                    || new_collections.contains(collection.as_ref());
+                if !exists {
+                    return Err(DeltaError::MissingMember {
+                        collection: collection.clone(),
+                    });
+                }
+                let present = member_overlay
+                    .get(&(collection.as_ref(), member))
+                    .copied()
+                    .unwrap_or_else(|| {
+                        graph
+                            .collection_id(collection)
+                            .map(|cid| graph.in_collection(cid, member))
+                            .unwrap_or(false)
+                    });
+                if !present {
+                    return Err(DeltaError::MissingMember {
+                        collection: collection.clone(),
+                    });
+                }
+                member_overlay.insert((collection.as_ref(), member), false);
+            }
+        }
+    }
+    Ok(())
 }
 
 fn build_indexes(graph: &Graph, level: IndexLevel) -> IndexSet {
@@ -570,9 +807,10 @@ mod tests {
             let a = db.add_named_node("a").unwrap();
             db.add_edge(a, "v", Value::Int(1)).unwrap();
             db.checkpoint().unwrap();
-            // WAL should now be just the magic header.
+            // WAL should now be just the header (magic + generation).
             let wal_len = std::fs::metadata(dir.join("wal.log")).unwrap().len();
-            assert_eq!(wal_len, 8);
+            assert_eq!(wal_len, wal::HEADER_LEN);
+            assert_eq!(db.generation(), 1);
             db.add_edge(a, "v", Value::Int(2)).unwrap();
         }
         {
@@ -642,7 +880,7 @@ mod tests {
 
     #[test]
     fn open_discards_torn_wal_tail() {
-        let dir = tmpdir("torn-tail");
+        let dir = tmpdir("torn-tail-discard");
         {
             let mut db = Database::open(&dir, IndexLevel::Full).unwrap();
             let a = db.add_named_node("a").unwrap();
@@ -658,6 +896,171 @@ mod tests {
         // The first committed edge survives; the torn one is discarded.
         assert_eq!(db.graph().attr_str(a, "v").count(), 1);
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn missing_snapshot_with_newer_wal_is_a_precise_error() {
+        let dir = tmpdir("missing-snap");
+        {
+            let mut db = Database::open(&dir, IndexLevel::Full).unwrap();
+            let a = db.add_named_node("a").unwrap();
+            db.add_edge(a, "v", Value::Int(1)).unwrap();
+            db.checkpoint().unwrap(); // WAL is now generation 1
+        }
+        std::fs::remove_file(dir.join("snapshot.bin")).unwrap();
+        match Database::open(&dir, IndexLevel::Full) {
+            Err(RepoError::Corrupt { what, message, .. }) => {
+                assert_eq!(what, "wal");
+                assert!(message.contains("snapshot"), "message: {message}");
+            }
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn stale_wal_after_interrupted_truncation_is_not_reapplied() {
+        let dir = tmpdir("stale-wal");
+        {
+            let mut db = Database::open(&dir, IndexLevel::Full).unwrap();
+            let a = db.add_named_node("a").unwrap();
+            db.add_edge(a, "v", Value::Int(1)).unwrap();
+            let old_wal = std::fs::read(dir.join("wal.log")).unwrap();
+            db.checkpoint().unwrap();
+            drop(db);
+            // Crash window: the snapshot rename landed but the WAL reset
+            // didn't — the old generation-0 log is still on disk.
+            std::fs::write(dir.join("wal.log"), &old_wal).unwrap();
+        }
+        {
+            let mut db = Database::open(&dir, IndexLevel::Full).unwrap();
+            assert!(db.recovered_stale_wal(), "stale log was detected");
+            let a = db.graph().node_by_name("a").unwrap();
+            assert_eq!(db.graph().attr_str(a, "v").count(), 1, "no double apply");
+            db.add_edge(a, "v", Value::Int(2)).unwrap();
+        }
+        {
+            let db = Database::open(&dir, IndexLevel::Full).unwrap();
+            assert!(!db.recovered_stale_wal());
+            let a = db.graph().node_by_name("a").unwrap();
+            assert_eq!(db.graph().attr_str(a, "v").count(), 2);
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn stray_snapshot_tmp_is_cleaned_up_on_open() {
+        let dir = tmpdir("stray-tmp");
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("snapshot.tmp"), b"half-written junk").unwrap();
+        let db = Database::open(&dir, IndexLevel::Full).unwrap();
+        assert_eq!(db.graph().node_count(), 0);
+        assert!(!dir.join("snapshot.tmp").exists());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn rejected_delta_leaves_graph_and_wal_untouched() {
+        let dir = tmpdir("reject-delta");
+        {
+            let mut db = Database::open(&dir, IndexLevel::Full).unwrap();
+            let a = db.add_named_node("a").unwrap();
+            db.add_edge(a, "v", Value::Int(1)).unwrap();
+
+            let mut bad = GraphDelta::new();
+            bad.add_edge(a, "w", Value::Int(9));
+            bad.remove_edge(a, "ghost", Value::Int(0)); // will be rejected
+            assert!(db.apply_delta(&bad).is_err());
+            assert_eq!(db.graph().attr_str(a, "w").count(), 0, "no partial apply");
+        }
+        {
+            // The rejected delta never reached the log, so replay is clean.
+            let db = Database::open(&dir, IndexLevel::Full).unwrap();
+            assert_eq!(db.wal_discarded_bytes(), 0);
+            let a = db.graph().node_by_name("a").unwrap();
+            assert_eq!(db.graph().attr_str(a, "v").count(), 1);
+            assert_eq!(db.graph().attr_str(a, "w").count(), 0);
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn validate_delta_tracks_intra_delta_effects() {
+        let mut db = Database::new(IndexLevel::Full);
+        let a = db.add_named_node("a").unwrap();
+
+        // Add-then-remove within one delta is fine.
+        let mut d = GraphDelta::new();
+        d.add_edge(a, "x", Value::Int(1));
+        d.remove_edge(a, "x", Value::Int(1));
+        db.apply_delta(&d).unwrap();
+
+        // Removing twice what was added once is not.
+        let mut d = GraphDelta::new();
+        d.add_edge(a, "y", Value::Int(1));
+        d.remove_edge(a, "y", Value::Int(1));
+        d.remove_edge(a, "y", Value::Int(1));
+        assert!(db.apply_delta(&d).is_err());
+
+        // An edge from a node created earlier in the same delta is fine;
+        // an edge to a node the delta never creates is not.
+        let mut d = GraphDelta::new();
+        d.add_node(Some("b")); // will become index 1
+        d.add_edge(Oid::from_index(1), "p", Value::Int(2));
+        db.apply_delta(&d).unwrap();
+        let mut d = GraphDelta::new();
+        d.add_edge(Oid::from_index(999), "p", Value::Int(3));
+        assert!(db.apply_delta(&d).is_err());
+
+        // Collect-then-uncollect in one delta; uncollect of a member that
+        // was never collected fails.
+        let mut d = GraphDelta::new();
+        d.collect("C", Value::Node(a));
+        d.uncollect("C", Value::Node(a));
+        db.apply_delta(&d).unwrap();
+        let mut d = GraphDelta::new();
+        d.uncollect("C", Value::Int(77));
+        assert!(db.apply_delta(&d).is_err());
+    }
+
+    #[test]
+    fn failed_checkpoint_poisons_the_wal_until_reopen() {
+        use crate::vfs::{FaultMode, FaultVfs};
+        let dir = tmpdir("poison");
+        let vfs = FaultVfs::new();
+        let mut db =
+            Database::open_with(&dir, IndexLevel::Full, Arc::new(vfs.clone())).unwrap();
+        let a = db.add_named_node("a").unwrap();
+        db.add_edge(a, "v", Value::Int(1)).unwrap();
+        // Transient fault on the next operation (the checkpoint's WAL
+        // sync): the checkpoint fails but the process lives on.
+        vfs.arm_fault(vfs.op_count(), FaultMode::Fail);
+        assert!(db.checkpoint().is_err());
+        // Mutations must now refuse rather than go un-logged.
+        let err = db.add_edge(a, "v", Value::Int(2)).unwrap_err();
+        assert!(
+            err.to_string().contains("reopen"),
+            "got: {err}"
+        );
+        drop(db);
+        // Reopen recovers everything that was committed.
+        let db = Database::open(&dir, IndexLevel::Full).unwrap();
+        let a = db.graph().node_by_name("a").unwrap();
+        assert_eq!(db.graph().attr_str(a, "v").count(), 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn live_mutations_reject_dangling_references() {
+        let mut db = Database::new(IndexLevel::Full);
+        let a = db.add_node().unwrap();
+        let ghost = Oid::from_index(42);
+        assert!(db.add_edge(ghost, "p", Value::Int(1)).is_err());
+        assert!(db.add_edge(a, "p", Value::Node(ghost)).is_err());
+        assert!(db.collect("C", Value::Node(ghost)).is_err());
+        // Nothing leaked into the graph or schema index.
+        assert_eq!(db.graph().edge_count(), 0);
+        assert!(db.graph().collection_id("C").is_none());
     }
 
     #[test]

@@ -27,12 +27,14 @@
 #![warn(missing_docs)]
 
 pub(crate) mod codec;
+pub(crate) mod crc;
 pub mod dataguide;
 mod database;
 mod error;
 mod index;
 pub mod snapshot;
 mod stats;
+pub mod vfs;
 pub mod wal;
 
 pub use database::{Database, IndexLevel};

@@ -31,7 +31,7 @@
 //! strudel guide <dir>                 print discovered data-graph schemas
 //!                                     (strong DataGuides per collection)
 //! strudel serve <dir> [--addr A] [--workers N] [--mode M] [--warm W]
-//!                     [--slow-us T] [--trace]
+//!                     [--slow-us T] [--backlog B] [--trace]
 //!                                     serve the site at click time:
 //!                                     pages computed on demand, cached,
 //!                                     metrics on /metrics, trace snapshot
@@ -43,6 +43,8 @@
 //!                                      before accepting requests;
 //!                                      T: slow-request threshold in µs,
 //!                                      0 disables;
+//!                                      B: max queued connections before
+//!                                      new ones are shed with a 503;
 //!                                      --trace turns the strudel-trace
 //!                                      recorder on at startup)
 //! strudel explain <dir>               print, for every root page, each
@@ -74,7 +76,8 @@ fn run(args: &[String]) -> Result<(), String> {
     let usage =
         "usage: strudel <build|check|schema|stats|guide|serve|explain> <site-dir> \
          [-o <outdir>] [--addr <ip:port>] [--workers <n>] \
-         [--mode <naive|context|lookahead>] [--warm <n|auto>] [--slow-us <t>] [--trace]";
+         [--mode <naive|context|lookahead>] [--warm <n|auto>] [--slow-us <t>] \
+         [--backlog <n>] [--trace]";
     let command = args.first().ok_or(usage)?;
     let dir = PathBuf::from(args.get(1).ok_or(usage)?);
     let outdir = match args.iter().position(|a| a == "-o") {
@@ -240,11 +243,16 @@ fn run(args: &[String]) -> Result<(), String> {
                     report.elapsed_us as f64 / 1000.0
                 );
             }
+            let max_backlog: usize = match flag("--backlog") {
+                Some(b) => b.parse().map_err(|_| "--backlog needs a number")?,
+                None => strudel_serve::ServerConfig::default().max_backlog,
+            };
             let server = strudel_serve::serve(
                 service,
                 strudel_serve::ServerConfig {
                     addr,
                     workers,
+                    max_backlog,
                     ..Default::default()
                 },
             )

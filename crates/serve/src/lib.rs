@@ -42,11 +42,12 @@ pub mod render;
 pub mod router;
 pub mod server;
 
-use std::collections::{HashSet, VecDeque};
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::fmt;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 pub use cache::{CachedPage, HtmlCache};
 pub use metrics::{CacheSnapshot, RouteSnapshot, ServerMetrics, ServerStats};
@@ -184,6 +185,17 @@ pub struct SlowRequest {
     pub us: u64,
 }
 
+/// A fault injected at a request path, for robustness tests: the armed
+/// path panics or stalls inside dispatch, exercising the server's panic
+/// isolation and backlog shedding without touching production routes.
+#[derive(Clone, Copy, Debug)]
+pub enum FaultProbe {
+    /// The request panics mid-dispatch.
+    Panic,
+    /// The request sleeps this long before dispatching.
+    Stall(Duration),
+}
+
 /// How many slow requests the log retains (oldest dropped first).
 pub const SLOW_LOG_CAPACITY: usize = 64;
 
@@ -203,6 +215,13 @@ pub struct SiteService {
     slow_threshold_us: AtomicU64,
     slow_total: AtomicU64,
     slow_log: Mutex<VecDeque<SlowRequest>>,
+    panics: AtomicU64,
+    shed: AtomicU64,
+    timeout_config_errors: AtomicU64,
+    timeout_error_logged: AtomicBool,
+    /// Fast-path flag so unprobed services never lock the probe table.
+    probes_armed: AtomicBool,
+    probes: Mutex<HashMap<String, FaultProbe>>,
 }
 
 impl SiteService {
@@ -224,6 +243,12 @@ impl SiteService {
             slow_threshold_us: AtomicU64::new(DEFAULT_SLOW_THRESHOLD_US),
             slow_total: AtomicU64::new(0),
             slow_log: Mutex::new(VecDeque::new()),
+            panics: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+            timeout_config_errors: AtomicU64::new(0),
+            timeout_error_logged: AtomicBool::new(false),
+            probes_armed: AtomicBool::new(false),
+            probes: Mutex::new(HashMap::new()),
         }
     }
 
@@ -290,7 +315,9 @@ impl SiteService {
     }
 
     /// Serves one request path, recording route metrics. Never panics on
-    /// hostile paths: malformed URLs are 404s, render failures 500s.
+    /// hostile paths: malformed URLs are 404s, render failures 500s, and
+    /// a panic escaping a handler is caught here — the request answers
+    /// 500, `strudel_panics_total` ticks, and the worker keeps serving.
     ///
     /// Every request draws a trace id; while tracing is enabled a
     /// `serve.request` span and event are recorded, and a request at or
@@ -301,7 +328,19 @@ impl SiteService {
         let span = strudel_trace::span("serve.request");
         // Strip any query string; routing is path-only.
         let routed = path.split('?').next().unwrap_or(path);
-        let (route, response) = self.dispatch(routed);
+        let (route, response) = catch_unwind(AssertUnwindSafe(|| self.dispatch(routed)))
+            .unwrap_or_else(|_| {
+                self.note_panic();
+                (
+                    "panic".into(),
+                    Response {
+                        status: 500,
+                        content_type: "text/html; charset=utf-8",
+                        body: "<html><body><h1>500</h1><p>internal error</p></body></html>\n"
+                            .into(),
+                    },
+                )
+            });
         drop(span);
         let us = start.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
         self.metrics.record(&route, us);
@@ -325,7 +364,77 @@ impl SiteService {
         response
     }
 
+    /// Arms a [`FaultProbe`] on an exact request path. Test hook: the
+    /// next requests for `path` panic or stall inside dispatch.
+    pub fn arm_probe(&self, path: &str, probe: FaultProbe) {
+        self.probes.lock().unwrap().insert(path.to_owned(), probe);
+        self.probes_armed.store(true, Ordering::Release);
+    }
+
+    /// Removes every armed [`FaultProbe`].
+    pub fn clear_probes(&self) {
+        self.probes.lock().unwrap().clear();
+        self.probes_armed.store(false, Ordering::Release);
+    }
+
+    /// Requests that panicked mid-dispatch and were answered with a 500.
+    pub fn panics_total(&self) -> u64 {
+        self.panics.load(Ordering::Relaxed)
+    }
+
+    /// Connections shed with a 503 because the backlog was full.
+    pub fn shed_total(&self) -> u64 {
+        self.shed.load(Ordering::Relaxed)
+    }
+
+    /// Connections whose socket-timeout setup failed (served anyway).
+    pub fn timeout_config_errors_total(&self) -> u64 {
+        self.timeout_config_errors.load(Ordering::Relaxed)
+    }
+
+    /// Records one caught panic (also called by the transport's worker
+    /// backstop for panics outside [`SiteService::handle`]).
+    pub fn note_panic(&self) {
+        self.panics.fetch_add(1, Ordering::Relaxed);
+        strudel_trace::count("serve.panics", 1);
+    }
+
+    /// Records one connection shed by the transport's full backlog.
+    pub fn note_shed(&self) {
+        self.shed.fetch_add(1, Ordering::Relaxed);
+        strudel_trace::count("serve.shed", 1);
+    }
+
+    /// Records a failed socket-timeout setup. The first failure logs a
+    /// trace event; after that only the counter moves, so a flapping
+    /// socket option can't flood the trace buffer.
+    pub fn note_timeout_config_error(&self, err: &std::io::Error) {
+        self.timeout_config_errors.fetch_add(1, Ordering::Relaxed);
+        strudel_trace::count("serve.timeout_config_errors", 1);
+        if !self.timeout_error_logged.swap(true, Ordering::Relaxed) {
+            let msg = err.to_string();
+            strudel_trace::event_with("serve.timeout_config_error", || {
+                format!("socket timeout setup failed (logged once): {msg}")
+            });
+        }
+    }
+
+    /// If a probe is armed on `path`, fire it. The lock is released
+    /// before a `Panic` probe fires so the probe table never poisons.
+    fn check_probe(&self, path: &str) {
+        if !self.probes_armed.load(Ordering::Acquire) {
+            return;
+        }
+        let probe = self.probes.lock().unwrap().get(path).copied();
+        match probe {
+            Some(FaultProbe::Panic) => panic!("injected fault probe at {path}"),
+            Some(FaultProbe::Stall(d)) => std::thread::sleep(d),
+            None => {}
+        }
+    }
+
     fn dispatch(&self, path: &str) -> (String, Response) {
+        self.check_probe(path);
         if path == "/" {
             let r = match render::render_roots_index(&self.engine, &self.root_collection) {
                 Ok(html) => Response::html(html),
@@ -540,6 +649,9 @@ impl SiteService {
             engine: self.engine.metrics(),
             epoch: self.engine.epoch(),
             slow_requests: self.slow_total.load(Ordering::Relaxed),
+            panics: self.panics.load(Ordering::Relaxed),
+            shed: self.shed.load(Ordering::Relaxed),
+            timeout_config_errors: self.timeout_config_errors.load(Ordering::Relaxed),
             trace_counters,
         }
     }

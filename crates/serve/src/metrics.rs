@@ -244,6 +244,12 @@ pub struct ServerStats {
     pub epoch: u64,
     /// Requests that exceeded the slow-request threshold.
     pub slow_requests: u64,
+    /// Requests that panicked mid-dispatch and were answered with a 500.
+    pub panics: u64,
+    /// Connections shed with a 503 because the backlog was full.
+    pub shed: u64,
+    /// Connections whose socket-timeout setup failed (served anyway).
+    pub timeout_config_errors: u64,
     /// Global `strudel-trace` counters, sorted by name; empty while
     /// tracing is disabled.
     pub trace_counters: Vec<(String, u64)>,
@@ -341,6 +347,12 @@ impl ServerStats {
         ));
         line(format!("strudel_delta_epoch {}", self.epoch));
         line(format!("strudel_slow_requests_total {}", self.slow_requests));
+        line(format!("strudel_panics_total {}", self.panics));
+        line(format!("strudel_shed_total {}", self.shed));
+        line(format!(
+            "strudel_timeout_config_errors_total {}",
+            self.timeout_config_errors
+        ));
         for (name, v) in &self.trace_counters {
             line(format!("strudel_trace_counter{{name=\"{name}\"}} {v}"));
         }
@@ -457,11 +469,17 @@ mod tests {
             engine: Default::default(),
             epoch: 0,
             slow_requests: 2,
+            panics: 1,
+            shed: 4,
+            timeout_config_errors: 3,
             trace_counters: vec![("serve.request".into(), 7)],
         };
         let text = stats.to_text();
         assert!(text.contains("strudel_requests_total 1"));
         assert!(text.contains("strudel_slow_requests_total 2"));
+        assert!(text.contains("strudel_panics_total 1"));
+        assert!(text.contains("strudel_shed_total 4"));
+        assert!(text.contains("strudel_timeout_config_errors_total 3"));
         assert!(text.contains("strudel_trace_counter{name=\"serve.request\"} 7"));
         assert!(text.contains("strudel_route_requests_total{route=\"front\"} 1"));
         assert!(text.contains("strudel_html_cache_hit_rate 0.7500"));
@@ -485,6 +503,9 @@ mod tests {
             engine: Default::default(),
             epoch: 0,
             slow_requests: 0,
+            panics: 0,
+            shed: 0,
+            timeout_config_errors: 0,
             trace_counters: Vec::new(),
         };
         let text = stats.to_text();

@@ -1,16 +1,21 @@
 //! The HTTP front end: a plain-`std::net` thread pool over one shared
 //! [`SiteService`].
 //!
-//! One accept thread feeds accepted connections into an `mpsc` channel;
-//! `workers` threads drain it, each parsing a minimal `GET` request,
-//! dispatching into the service, and writing the response. Per-request
-//! socket timeouts bound how long a slow or stalled client can hold a
-//! worker. Shutdown is graceful: a flag flips, a self-connection wakes
-//! the accept loop, the channel closes, and every worker drains its
-//! in-flight request before exiting.
+//! One accept thread feeds accepted connections into a *bounded* `mpsc`
+//! channel; `workers` threads drain it, each parsing a minimal `GET`
+//! request, dispatching into the service, and writing the response.
+//! When every worker is busy and the backlog is full, the accept thread
+//! sheds the connection immediately with a `503` and a `Retry-After`
+//! header instead of queueing unbounded work ([`ServerConfig::max_backlog`]).
+//! A panic escaping a handler is caught — the request answers 500 and the
+//! worker keeps serving. Per-request socket timeouts bound how long a
+//! slow or stalled client can hold a worker. Shutdown is graceful: a flag
+//! flips, a self-connection wakes the accept loop, the channel closes,
+//! and every worker drains its in-flight request before exiting.
 
 use crate::{Response, SiteService};
 use std::io::{BufRead, BufReader, Write};
+use std::panic::AssertUnwindSafe;
 use strudel_struql::Parallelism;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -32,6 +37,12 @@ pub struct ServerConfig {
     /// ([`SiteService::warm`]). `None` starts cold (pages render on
     /// first hit).
     pub warm: Option<Parallelism>,
+    /// Accepted connections that may wait for a worker. When the backlog
+    /// is full the accept thread sheds new connections with a `503` and
+    /// a `Retry-After` header instead of queueing unbounded work.
+    pub max_backlog: usize,
+    /// The `Retry-After` value (seconds) sent on shed connections.
+    pub retry_after_secs: u64,
 }
 
 impl Default for ServerConfig {
@@ -41,6 +52,8 @@ impl Default for ServerConfig {
             workers: 4,
             timeout: Duration::from_secs(10),
             warm: None,
+            max_backlog: 1024,
+            retry_after_secs: 1,
         }
     }
 }
@@ -97,7 +110,7 @@ pub fn serve(service: Arc<SiteService>, config: ServerConfig) -> std::io::Result
             .map_err(|e| std::io::Error::other(format!("warmup failed: {e}")))?;
     }
 
-    let (tx, rx) = mpsc::channel::<TcpStream>();
+    let (tx, rx) = mpsc::sync_channel::<TcpStream>(config.max_backlog.max(1));
     let rx = Arc::new(Mutex::new(rx));
 
     let mut workers = Vec::with_capacity(config.workers.max(1));
@@ -113,7 +126,17 @@ pub fn serve(service: Arc<SiteService>, config: ServerConfig) -> std::io::Result
                     // across a request.
                     let stream = rx.lock().unwrap().recv();
                     match stream {
-                        Ok(stream) => handle_connection(stream, &service, timeout),
+                        Ok(stream) => {
+                            // Backstop for panics outside SiteService::handle
+                            // (request parsing, response writing): the
+                            // connection drops but the worker survives.
+                            let caught = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                                handle_connection(stream, &service, timeout)
+                            }));
+                            if caught.is_err() {
+                                service.note_panic();
+                            }
+                        }
                         Err(_) => break, // channel closed: shutting down
                     }
                 })?,
@@ -121,6 +144,8 @@ pub fn serve(service: Arc<SiteService>, config: ServerConfig) -> std::io::Result
     }
 
     let accept_stop = Arc::clone(&stop);
+    let accept_service = Arc::clone(&service);
+    let retry_after_secs = config.retry_after_secs;
     let accept = std::thread::Builder::new()
         .name("strudel-serve-accept".into())
         .spawn(move || {
@@ -128,10 +153,16 @@ pub fn serve(service: Arc<SiteService>, config: ServerConfig) -> std::io::Result
                 if accept_stop.load(Ordering::SeqCst) {
                     break;
                 }
-                if let Ok(stream) = stream {
-                    if tx.send(stream).is_err() {
-                        break;
+                let Ok(stream) = stream else { continue };
+                match tx.try_send(stream) {
+                    Ok(()) => {}
+                    Err(mpsc::TrySendError::Full(stream)) => {
+                        // Saturated: answer from the accept thread so the
+                        // client learns to back off instead of queueing.
+                        accept_service.note_shed();
+                        shed_connection(stream, retry_after_secs);
                     }
+                    Err(mpsc::TrySendError::Disconnected(_)) => break,
                 }
             }
             // tx drops here; workers drain the queue and exit.
@@ -149,8 +180,15 @@ pub fn serve(service: Arc<SiteService>, config: ServerConfig) -> std::io::Result
 /// answered with a 400 where possible and otherwise dropped — a broken
 /// client must never take a worker down.
 fn handle_connection(stream: TcpStream, service: &SiteService, timeout: Duration) {
-    let _ = stream.set_read_timeout(Some(timeout));
-    let _ = stream.set_write_timeout(Some(timeout));
+    // A failed timeout setup means this connection could hold its worker
+    // indefinitely. Serve it anyway, but never silently: the service logs
+    // the first failure and counts every one.
+    if let Err(e) = stream
+        .set_read_timeout(Some(timeout))
+        .and_then(|()| stream.set_write_timeout(Some(timeout)))
+    {
+        service.note_timeout_config_error(&e);
+    }
     let mut reader = BufReader::new(match stream.try_clone() {
         Ok(s) => s,
         Err(_) => return,
@@ -196,8 +234,32 @@ fn reason(status: u16) -> &'static str {
         404 => "Not Found",
         405 => "Method Not Allowed",
         500 => "Internal Server Error",
+        503 => "Service Unavailable",
         _ => "",
     }
+}
+
+/// Answers a connection the backlog has no room for: a `503` with a
+/// `Retry-After` header, written from the accept thread under short
+/// timeouts so a slow client cannot stall accepting.
+fn shed_connection(mut stream: TcpStream, retry_after_secs: u64) {
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(1)));
+    let body = "server is at capacity, retry shortly\n";
+    let _ = write!(
+        stream,
+        "HTTP/1.1 503 Service Unavailable\r\nContent-Type: text/plain; charset=utf-8\r\n\
+         Content-Length: {}\r\nRetry-After: {}\r\nConnection: close\r\n\r\n{}",
+        body.len(),
+        retry_after_secs,
+        body
+    );
+    let _ = stream.flush();
+    // Drain whatever request bytes arrived before closing. Closing with
+    // unread data makes TCP reset the connection, which would discard the
+    // 503 sitting in the client's receive buffer.
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
+    let mut scratch = [0u8; 1024];
+    let _ = std::io::Read::read(&mut stream, &mut scratch);
 }
 
 fn write_response(

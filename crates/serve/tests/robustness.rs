@@ -1,0 +1,139 @@
+//! Failure-mode regression tests: a panicking handler must cost one
+//! request (500 + counter), never a worker; a saturated backlog must shed
+//! with a `503` + `Retry-After`, never queue unbounded work; and both
+//! outcomes must be visible on `/metrics`.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+use std::time::Duration;
+
+use strudel::sites::news_site;
+use strudel_schema::dynamic::Mode;
+use strudel_serve::{serve, FaultProbe, ServerConfig, SiteService};
+use strudel_workload::news::{generate, NewsConfig};
+
+fn service() -> Arc<SiteService> {
+    let corpus = generate(&NewsConfig {
+        articles: 8,
+        ..Default::default()
+    });
+    let site = news_site(&corpus.pages).build().unwrap();
+    Arc::new(SiteService::new(&site, Mode::Context))
+}
+
+fn get(addr: SocketAddr, path: &str) -> String {
+    let mut s = TcpStream::connect(addr).unwrap();
+    // A shed connection may be answered and closed before the request is
+    // even written; tolerate the failed write and read what was sent.
+    let _ = write!(s, "GET {path} HTTP/1.1\r\nHost: localhost\r\n\r\n");
+    let mut out = String::new();
+    let _ = s.read_to_string(&mut out);
+    out
+}
+
+#[test]
+fn a_panicking_handler_costs_one_request_not_the_server() {
+    let svc = service();
+    let server = serve(
+        svc.clone(),
+        ServerConfig {
+            workers: 2,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let addr = server.addr();
+    assert!(get(addr, "/").starts_with("HTTP/1.1 200"));
+
+    svc.arm_probe("/boom", FaultProbe::Panic);
+    for _ in 0..3 {
+        let r = get(addr, "/boom");
+        assert!(r.starts_with("HTTP/1.1 500"), "panic answers 500: {r}");
+    }
+    svc.clear_probes();
+    assert_eq!(svc.panics_total(), 3, "every panic counted");
+
+    // Both workers took a panic; both must still be serving.
+    for _ in 0..4 {
+        assert!(get(addr, "/").starts_with("HTTP/1.1 200"));
+    }
+    assert!(get(addr, "/boom").starts_with("HTTP/1.1 404"), "probe cleared");
+
+    let metrics = get(addr, "/metrics");
+    assert!(
+        metrics.contains("strudel_panics_total 3"),
+        "panics exposed on /metrics: {metrics}"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn a_saturated_backlog_sheds_with_retry_after() {
+    let svc = service();
+    let server = serve(
+        svc.clone(),
+        ServerConfig {
+            workers: 1,
+            max_backlog: 1,
+            retry_after_secs: 7,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let addr = server.addr();
+    assert!(get(addr, "/").starts_with("HTTP/1.1 200"));
+
+    // Stall the single worker, fill the one backlog slot, then watch
+    // further connections bounce straight off the accept thread.
+    svc.arm_probe("/stall", FaultProbe::Stall(Duration::from_millis(900)));
+    let stalled: Vec<_> = (0..2)
+        .map(|_| {
+            let h = std::thread::spawn(move || get(addr, "/stall"));
+            std::thread::sleep(Duration::from_millis(150));
+            h
+        })
+        .collect();
+
+    let mut shed = 0;
+    for _ in 0..4 {
+        let r = get(addr, "/");
+        if r.starts_with("HTTP/1.1 503") {
+            assert!(r.contains("Retry-After: 7"), "shed names a retry delay: {r}");
+            assert!(r.contains("Connection: close"), "{r}");
+            shed += 1;
+        }
+    }
+    assert!(shed >= 1, "worker stalled + backlog full must shed");
+    assert!(svc.shed_total() >= shed, "sheds counted");
+
+    // The stalled requests still complete (the probe path is a 404),
+    // and once the stall drains the server answers normally again.
+    for h in stalled {
+        let r = h.join().unwrap();
+        assert!(r.starts_with("HTTP/1.1 404"), "stalled request served: {r}");
+    }
+    svc.clear_probes();
+    assert!(get(addr, "/").starts_with("HTTP/1.1 200"));
+    let metrics = get(addr, "/metrics");
+    assert!(
+        metrics.contains("strudel_shed_total"),
+        "sheds exposed on /metrics: {metrics}"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn timeout_config_errors_are_counted_not_swallowed() {
+    let svc = service();
+    assert_eq!(svc.timeout_config_errors_total(), 0);
+    let err = std::io::Error::other("setsockopt failed");
+    svc.note_timeout_config_error(&err);
+    svc.note_timeout_config_error(&err);
+    assert_eq!(svc.timeout_config_errors_total(), 2);
+    let text = svc.stats().to_text();
+    assert!(
+        text.contains("strudel_timeout_config_errors_total 2"),
+        "{text}"
+    );
+}
