@@ -9,7 +9,8 @@
 //!
 //! Ids: `site-stats` (T1), `suitability` (F8), `multiversion`,
 //! `site-schema`, `verify`, `dynamic`, `incremental`, `indexing`,
-//! `struql-scale`, `batch`, `htmlgen`, `mediate`, `trace`, `crash`, `all`.
+//! `struql-scale`, `batch`, `htmlgen`, `mediate`, `trace`, `crash`, `pager`,
+//! `all`.
 //!
 //! `--json` additionally writes `BENCH_<suite>.json` files (machine-
 //! readable rows; schema in EXPERIMENTS.md) into the current directory.
@@ -43,12 +44,13 @@ fn main() {
             "mediate" => e::exp_mediate(),
             "trace" => e::exp_trace(),
             "crash" => e::exp_crash(),
+            "pager" => e::exp_pager(),
             other => {
                 eprintln!("unknown experiment '{other}'");
                 eprintln!(
                     "known: site-stats suitability multiversion site-schema verify dynamic \
-                     incremental indexing struql-scale batch htmlgen mediate trace crash all \
-                     (plus --json)"
+                     incremental indexing struql-scale batch htmlgen mediate trace crash pager \
+                     all (plus --json)"
                 );
                 std::process::exit(2);
             }

@@ -1062,6 +1062,113 @@ pub fn exp_crash() {
     println!();
 }
 
+/// E-pager — the paged store serves a site much larger than its buffer
+/// pool: hit-rate and read-latency curves as the pool grows, plus a
+/// correctness check (the materialized snapshot must equal the in-memory
+/// oracle at every pool size).
+pub fn exp_pager() {
+    use strudel::repo::{PagedRepo, PagerConfig};
+    use strudel_prng::{Rng, SeedableRng, SmallRng};
+
+    println!("== E-pager: buffer-pool scaling on the paged store ==");
+
+    // An org-shaped graph big enough that, at a 256-byte page, the data
+    // vastly outsizes the smallest pools in the sweep.
+    const NODES: usize = 4000;
+    let mut oracle = Database::new(IndexLevel::None);
+    for i in 0..NODES {
+        let mut d = GraphDelta::new();
+        d.add_node(Some(&format!("n{i}")));
+        d.add_edge(Oid::from_index(i), "seq", Value::from(i as i64));
+        if i > 0 {
+            d.add_edge(
+                Oid::from_index(i),
+                "parent",
+                Value::from(Oid::from_index(i / 2)),
+            );
+        }
+        if i % 10 == 0 {
+            d.collect("Tens", Value::from(Oid::from_index(i)));
+        }
+        oracle.apply_delta(&d).unwrap();
+    }
+
+    let dir = std::env::temp_dir().join(format!("strudel-bench-pager-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let page_size = 256usize;
+    let base = PagerConfig {
+        page_size,
+        pool_pages: 64,
+        ..Default::default()
+    };
+    drop(PagedRepo::bulk_load(&dir, base, oracle.graph()).unwrap());
+    let data_pages = std::fs::metadata(dir.join("pager.pages"))
+        .map(|m| m.len() as usize / page_size)
+        .unwrap_or(0);
+    println!(
+        "site: {NODES} nodes in {data_pages} pages of {page_size} B \
+         ({}x the smallest pool in the sweep)\n",
+        data_pages / 8
+    );
+    json::record("pager", "E-pager", "site", "data_pages", data_pages as f64, "pages");
+
+    const READS: usize = 20_000;
+    println!(
+        "{:>10} {:>10} {:>10} {:>10} {:>12}",
+        "pool pages", "hit rate", "evictions", "resident", "read latency"
+    );
+    for pool_pages in [8usize, 16, 32, 64, 128, 256, 512] {
+        let cfg = PagerConfig {
+            page_size,
+            pool_pages,
+            ..Default::default()
+        };
+        let repo = PagedRepo::open(&dir, cfg).unwrap();
+        let snap = repo.snapshot();
+
+        // Correctness first: the whole site round-trips through this pool.
+        let materialized = snap.materialize().unwrap();
+        assert!(
+            graphs_equivalent(oracle.graph(), &materialized),
+            "pool of {pool_pages} pages served a divergent graph"
+        );
+
+        // A zipf-ish point-read workload: random node edge scans with a
+        // hot head, the access pattern a click-time server sees.
+        let mut rng = SmallRng::seed_from_u64(0xBEEF);
+        let (_, _, h0, m0, _, _) = repo.pool_stats();
+        let (touched, t) = time(|| {
+            let mut touched = 0usize;
+            for _ in 0..READS {
+                let oid = if rng.gen_bool(0.5) {
+                    rng.gen_range(0..NODES as u64 / 10)
+                } else {
+                    rng.gen_range(0..NODES as u64)
+                };
+                touched += snap.edges(oid).unwrap().len();
+            }
+            touched
+        });
+        assert!(touched > 0);
+        let (occ, cap, h1, m1, ev, _) = repo.pool_stats();
+        let hits = h1 - h0;
+        let misses = m1 - m0;
+        let hit_rate = hits as f64 / (hits + misses).max(1) as f64 * 100.0;
+        let per_read_us = t.as_secs_f64() * 1e6 / READS as f64;
+        println!(
+            "{:>10} {:>9.1}% {:>10} {:>7}/{:<3} {:>10.2}us",
+            pool_pages, hit_rate, ev, occ, cap, per_read_us
+        );
+        let case = format!("pool-{pool_pages}");
+        json::record("pager", "E-pager", &case, "hit_rate", hit_rate, "percent");
+        json::record("pager", "E-pager", &case, "read_latency", per_read_us, "us");
+        json::record("pager", "E-pager", &case, "evictions", ev as f64, "count");
+    }
+
+    let _ = std::fs::remove_dir_all(&dir);
+    println!();
+}
+
 /// Runs every experiment in order.
 pub fn run_all() {
     exp_site_stats();
@@ -1078,4 +1185,5 @@ pub fn run_all() {
     exp_mediate();
     exp_trace();
     exp_crash();
+    exp_pager();
 }

@@ -40,6 +40,11 @@ pub struct Database {
     wal: Option<Wal>,
     dir: Option<PathBuf>,
     vfs: Option<Arc<dyn Vfs>>,
+    // When present, persistence is the paged store: deltas commit
+    // through its WAL + buffer pool and `checkpoint` writes its
+    // manifest; `wal`/`dir` snapshot persistence is unused. The graph
+    // stays fully materialized in memory as the read fast path.
+    pager: Option<crate::pager::PagedRepo>,
     generation: u64,
     wal_discarded_bytes: u64,
     recovered_stale_wal: bool,
@@ -68,6 +73,7 @@ impl Database {
             wal: None,
             dir: None,
             vfs: None,
+            pager: None,
             generation: 0,
             wal_discarded_bytes: 0,
             recovered_stale_wal: false,
@@ -161,6 +167,45 @@ impl Database {
         Ok(db)
     }
 
+    /// Opens (or creates) a database persisted by the paged store
+    /// ([`crate::pager::PagedRepo`]) instead of the monolithic snapshot:
+    /// deltas commit through the pager's WAL and buffer pool, and
+    /// [`Database::checkpoint`] publishes a manifest generation. The
+    /// graph is materialized fully in memory at open — the in-memory
+    /// fast path for sites that fit — while the paged store remains the
+    /// durable authority (and serves out-of-core MVCC snapshots via
+    /// [`Database::pager`]).
+    pub fn open_paged(
+        dir: &Path,
+        level: IndexLevel,
+        cfg: crate::pager::PagerConfig,
+    ) -> Result<Self, RepoError> {
+        Self::open_paged_with(dir, level, Arc::new(RealVfs), cfg)
+    }
+
+    /// [`Database::open_paged`] through an explicit [`Vfs`].
+    pub fn open_paged_with(
+        dir: &Path,
+        level: IndexLevel,
+        vfs: Arc<dyn Vfs>,
+        cfg: crate::pager::PagerConfig,
+    ) -> Result<Self, RepoError> {
+        let pager = crate::pager::PagedRepo::open_with(vfs.clone(), dir, cfg)?;
+        let graph = pager.snapshot().materialize()?;
+        let mut db = Self::from_graph(graph, level);
+        db.dir = Some(dir.to_owned());
+        db.vfs = Some(vfs);
+        db.generation = pager.generation();
+        db.pager = Some(pager);
+        Ok(db)
+    }
+
+    /// The paged store backing this database, when it was opened with
+    /// [`Database::open_paged`].
+    pub fn pager(&self) -> Option<&crate::pager::PagedRepo> {
+        self.pager.as_ref()
+    }
+
     /// Writes a fresh snapshot and truncates the WAL.
     ///
     /// The checkpoint protocol makes the generation counter do the
@@ -171,6 +216,11 @@ impl Database {
     /// new-generation snapshot with a stale log that
     /// [`Database::open`] discards — never a double apply.
     pub fn checkpoint(&mut self) -> Result<(), RepoError> {
+        if let Some(pager) = &self.pager {
+            pager.checkpoint()?;
+            self.generation = pager.generation();
+            return Ok(());
+        }
         let (Some(dir), Some(vfs)) = (self.dir.clone(), self.vfs.clone()) else {
             return Ok(()); // in-memory databases checkpoint trivially
         };
@@ -508,6 +558,13 @@ impl Database {
     /// corruption. The database refuses further writes until reopened
     /// (reopen discards the torn frame and resumes cleanly).
     fn wal_append(&mut self, delta: &GraphDelta) -> Result<(), RepoError> {
+        if let Some(pager) = &self.pager {
+            let _span = strudel_trace::span("repo.wal.append");
+            strudel_trace::count("repo.wal.appends", 1);
+            // The paged store validates, WAL-appends, and commits the
+            // delta to copy-on-write pages in one atomic step.
+            return pager.apply_delta(delta);
+        }
         let res = match self.wal_mut()? {
             Some(wal) => {
                 let _span = strudel_trace::span("repo.wal.append");
@@ -526,7 +583,7 @@ impl Database {
     /// a persistent database whose WAL was dropped by a failed checkpoint
     /// (silently skipping the log there would un-persist mutations).
     fn wal_mut(&mut self) -> Result<Option<&mut Wal>, RepoError> {
-        if self.dir.is_some() && self.wal.is_none() {
+        if self.dir.is_some() && self.wal.is_none() && self.pager.is_none() {
             return Err(RepoError::Io(std::io::Error::other(
                 "write-ahead log unavailable after a failed checkpoint; reopen the database",
             )));

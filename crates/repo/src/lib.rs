@@ -32,6 +32,7 @@ pub mod dataguide;
 mod database;
 mod error;
 mod index;
+pub mod pager;
 pub mod snapshot;
 mod stats;
 pub mod vfs;
@@ -41,4 +42,5 @@ pub use database::{Database, IndexLevel};
 pub use dataguide::{AttributeFact, DataGuide, GuideNode};
 pub use error::RepoError;
 pub use index::{ExtensionIndex, IndexSet, SchemaIndex, ValueIndex};
+pub use pager::{PagedRepo, PagedSnapshot, PagerConfig, PagerStats};
 pub use stats::{LabelStats, Stats};

@@ -1,0 +1,496 @@
+//! The pinning, evicting buffer pool.
+//!
+//! A fixed number of in-memory frames cache decoded page payloads. Reads
+//! pin a frame (pinned frames are never evicted), copy what they need,
+//! and unpin; the writer inserts new copy-on-write page versions as dirty
+//! frames. Eviction runs the clock algorithm: each frame gets a reference
+//! bit that a hit sets and the sweeping hand clears, so recently touched
+//! pages survive a full revolution.
+//!
+//! The write-ahead rule lives here: evicting (or flushing) a dirty frame
+//! first forces the WAL durable up to the frame's LSN via [`WalClock`],
+//! so no page image ever reaches the file ahead of the log record that
+//! produced it. Page I/O goes through [`VfsRandomFile`], which the
+//! fault-injecting vfs wraps — torture schedules cover eviction
+//! writeback like any other durable operation.
+
+use super::page::{decode_page, encode_page, payload_capacity};
+use crate::codec::corrupt;
+use crate::vfs::VfsRandomFile;
+use crate::RepoError;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// The pager's view of WAL durability, used to enforce write-ahead: no
+/// dirty page is written to the page file before its LSN is durable.
+pub trait WalClock {
+    /// The highest LSN known durable (synced) so far.
+    fn durable_lsn(&self) -> u64;
+    /// Makes the log durable at least up to `lsn` (typically one sync).
+    fn ensure_durable(&mut self, lsn: u64) -> Result<(), RepoError>;
+}
+
+// Process-wide pager counters, aggregated across every live pool so the
+// server's /metrics endpoint has one set of rows regardless of how many
+// stores exist. Monotonic totals plus two gauges (configured pool pages
+// and currently resident frames) maintained by pool create/insert/drop.
+static G_HITS: AtomicU64 = AtomicU64::new(0);
+static G_MISSES: AtomicU64 = AtomicU64::new(0);
+static G_EVICTIONS: AtomicU64 = AtomicU64::new(0);
+static G_PINS: AtomicU64 = AtomicU64::new(0);
+static G_WRITEBACKS: AtomicU64 = AtomicU64::new(0);
+static G_POOL_PAGES: AtomicU64 = AtomicU64::new(0);
+static G_RESIDENT: AtomicU64 = AtomicU64::new(0);
+
+/// A point-in-time snapshot of the process-wide pager counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PagerStats {
+    /// Page requests served from a resident frame.
+    pub hits: u64,
+    /// Page requests that had to read the page file.
+    pub misses: u64,
+    /// Frames evicted to make room.
+    pub evictions: u64,
+    /// Total pin operations.
+    pub pins: u64,
+    /// Dirty frames written back to the page file.
+    pub writebacks: u64,
+    /// Configured frames across all live pools (gauge).
+    pub pool_pages: u64,
+    /// Currently resident frames across all live pools (gauge).
+    pub resident: u64,
+}
+
+/// The process-wide pager counters (all live buffer pools aggregated).
+pub fn global_stats() -> PagerStats {
+    PagerStats {
+        hits: G_HITS.load(Ordering::Relaxed),
+        misses: G_MISSES.load(Ordering::Relaxed),
+        evictions: G_EVICTIONS.load(Ordering::Relaxed),
+        pins: G_PINS.load(Ordering::Relaxed),
+        writebacks: G_WRITEBACKS.load(Ordering::Relaxed),
+        pool_pages: G_POOL_PAGES.load(Ordering::Relaxed),
+        resident: G_RESIDENT.load(Ordering::Relaxed),
+    }
+}
+
+#[derive(Debug)]
+struct Frame {
+    page_no: u32,
+    lsn: u64,
+    payload: Vec<u8>,
+    dirty: bool,
+    pins: u32,
+    referenced: bool,
+}
+
+/// A fixed-capacity page cache over one page file.
+#[derive(Debug)]
+pub struct BufferPool {
+    page_size: usize,
+    capacity: usize,
+    file: Box<dyn VfsRandomFile>,
+    frames: Vec<Option<Frame>>,
+    map: HashMap<u32, usize>,
+    hand: usize,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+    writebacks: u64,
+}
+
+impl BufferPool {
+    /// A pool of `capacity` frames over `file`, whose pages are
+    /// `page_size` bytes.
+    pub fn new(file: Box<dyn VfsRandomFile>, page_size: usize, capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        G_POOL_PAGES.fetch_add(capacity as u64, Ordering::Relaxed);
+        BufferPool {
+            page_size,
+            capacity,
+            file,
+            frames: (0..capacity).map(|_| None).collect(),
+            map: HashMap::new(),
+            hand: 0,
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+            writebacks: 0,
+        }
+    }
+
+    /// Usable payload bytes per page.
+    pub fn payload_capacity(&self) -> usize {
+        payload_capacity(self.page_size)
+    }
+
+    /// Configured frame count.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Frames currently resident.
+    pub fn occupancy(&self) -> usize {
+        self.map.len()
+    }
+
+    /// `(hits, misses, evictions, writebacks)` for this pool.
+    pub fn local_stats(&self) -> (u64, u64, u64, u64) {
+        (self.hits, self.misses, self.evictions, self.writebacks)
+    }
+
+    /// Pins `page_no`, reading it from the page file on a miss, and
+    /// returns its frame index. The caller must [`BufferPool::unpin`]
+    /// when done with [`BufferPool::payload`].
+    pub fn get(&mut self, page_no: u32, wal: &mut dyn WalClock) -> Result<usize, RepoError> {
+        strudel_trace::count("pager.pin", 1);
+        G_PINS.fetch_add(1, Ordering::Relaxed);
+        if let Some(&idx) = self.map.get(&page_no) {
+            strudel_trace::count("pager.hit", 1);
+            self.hits += 1;
+            G_HITS.fetch_add(1, Ordering::Relaxed);
+            let f = self.frames[idx].as_mut().expect("mapped frame exists");
+            f.pins += 1;
+            f.referenced = true;
+            return Ok(idx);
+        }
+        strudel_trace::count("pager.miss", 1);
+        self.misses += 1;
+        G_MISSES.fetch_add(1, Ordering::Relaxed);
+        let mut buf = vec![0u8; self.page_size];
+        let off = page_no as u64 * self.page_size as u64;
+        let got = self.file.read_at(&mut buf, off)?;
+        if got != self.page_size {
+            return Err(corrupt(
+                off,
+                format!("short page read: got {got} of {} bytes", self.page_size),
+            ));
+        }
+        let view = decode_page(&buf, page_no, self.page_size)?;
+        let frame = Frame {
+            page_no,
+            lsn: view.lsn,
+            payload: view.payload.to_vec(),
+            dirty: false,
+            pins: 1,
+            referenced: true,
+        };
+        let idx = self.free_slot(wal)?;
+        self.install(idx, frame);
+        Ok(idx)
+    }
+
+    /// The pinned frame's payload.
+    pub fn payload(&self, idx: usize) -> &[u8] {
+        &self.frames[idx].as_ref().expect("pinned frame exists").payload
+    }
+
+    /// Releases a pin taken by [`BufferPool::get`].
+    pub fn unpin(&mut self, idx: usize) {
+        let f = self.frames[idx].as_mut().expect("pinned frame exists");
+        debug_assert!(f.pins > 0, "unpin without pin");
+        f.pins = f.pins.saturating_sub(1);
+    }
+
+    /// Inserts a freshly written copy-on-write page version as a dirty
+    /// frame. Page numbers are allocated uniquely, so the page cannot
+    /// already be resident.
+    pub fn put(
+        &mut self,
+        page_no: u32,
+        lsn: u64,
+        payload: Vec<u8>,
+        wal: &mut dyn WalClock,
+    ) -> Result<(), RepoError> {
+        debug_assert!(payload.len() <= self.payload_capacity());
+        debug_assert!(!self.map.contains_key(&page_no), "page version rewritten");
+        let idx = self.free_slot(wal)?;
+        self.install(
+            idx,
+            Frame {
+                page_no,
+                lsn,
+                payload,
+                dirty: true,
+                pins: 0,
+                referenced: true,
+            },
+        );
+        Ok(())
+    }
+
+    /// Drops a page's frame without writeback — its version was retired
+    /// and the bytes will never be read again.
+    pub fn forget(&mut self, page_no: u32) {
+        if let Some(idx) = self.map.remove(&page_no) {
+            let f = self.frames[idx].take().expect("mapped frame exists");
+            debug_assert_eq!(f.pins, 0, "forgetting a pinned page");
+            G_RESIDENT.fetch_sub(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Writes every dirty frame back to the page file (forcing WAL
+    /// durability first, per the write-ahead rule) and syncs the file.
+    /// Frames stay resident but clean. This is the checkpoint's page step.
+    pub fn flush_all(&mut self, wal: &mut dyn WalClock) -> Result<(), RepoError> {
+        let max_lsn = self
+            .frames
+            .iter()
+            .flatten()
+            .filter(|f| f.dirty)
+            .map(|f| f.lsn)
+            .max();
+        let Some(max_lsn) = max_lsn else {
+            return Ok(()); // nothing dirty; skip the file sync too
+        };
+        wal.ensure_durable(max_lsn)?;
+        for idx in 0..self.frames.len() {
+            let (page_no, lsn, dirty) = match &self.frames[idx] {
+                Some(f) => (f.page_no, f.lsn, f.dirty),
+                None => continue,
+            };
+            if !dirty {
+                continue;
+            }
+            let img = {
+                let f = self.frames[idx].as_ref().expect("frame exists");
+                encode_page(page_no, lsn, &f.payload, self.page_size)
+            };
+            self.file
+                .write_at(&img, page_no as u64 * self.page_size as u64)?;
+            self.writebacks += 1;
+            G_WRITEBACKS.fetch_add(1, Ordering::Relaxed);
+            self.frames[idx].as_mut().expect("frame exists").dirty = false;
+        }
+        self.file.sync()?;
+        Ok(())
+    }
+
+    /// Finds an empty slot, evicting the clock's victim when full.
+    fn free_slot(&mut self, wal: &mut dyn WalClock) -> Result<usize, RepoError> {
+        if self.map.len() < self.capacity {
+            let idx = self
+                .frames
+                .iter()
+                .position(Option::is_none)
+                .expect("occupancy below capacity implies an empty slot");
+            return Ok(idx);
+        }
+        // Clock sweep: two full revolutions guarantee every unpinned
+        // frame has had its reference bit cleared and been revisited.
+        for _ in 0..2 * self.capacity {
+            let idx = self.hand;
+            self.hand = (self.hand + 1) % self.capacity;
+            let Some(f) = self.frames[idx].as_mut() else {
+                return Ok(idx);
+            };
+            if f.pins > 0 {
+                continue;
+            }
+            if f.referenced {
+                f.referenced = false;
+                continue;
+            }
+            self.evict(idx, wal)?;
+            return Ok(idx);
+        }
+        Err(RepoError::Io(std::io::Error::other(
+            "buffer pool exhausted: every frame is pinned",
+        )))
+    }
+
+    /// Evicts the frame at `idx`, writing it back first when dirty.
+    fn evict(&mut self, idx: usize, wal: &mut dyn WalClock) -> Result<(), RepoError> {
+        let f = self.frames[idx].as_ref().expect("victim frame exists");
+        let (page_no, lsn, dirty) = (f.page_no, f.lsn, f.dirty);
+        if dirty {
+            // Write-ahead: the log record that produced this page must be
+            // durable before the page image can reach the file.
+            if wal.durable_lsn() < lsn {
+                wal.ensure_durable(lsn)?;
+            }
+            debug_assert!(wal.durable_lsn() >= lsn, "flush ahead of the log");
+            let img = {
+                let f = self.frames[idx].as_ref().expect("victim frame exists");
+                encode_page(page_no, lsn, &f.payload, self.page_size)
+            };
+            self.file
+                .write_at(&img, page_no as u64 * self.page_size as u64)?;
+            self.writebacks += 1;
+            G_WRITEBACKS.fetch_add(1, Ordering::Relaxed);
+        }
+        strudel_trace::count("pager.evict", 1);
+        self.evictions += 1;
+        G_EVICTIONS.fetch_add(1, Ordering::Relaxed);
+        self.frames[idx] = None;
+        self.map.remove(&page_no);
+        G_RESIDENT.fetch_sub(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    fn install(&mut self, idx: usize, frame: Frame) {
+        debug_assert!(self.frames[idx].is_none(), "slot occupied");
+        self.map.insert(frame.page_no, idx);
+        self.frames[idx] = Some(frame);
+        G_RESIDENT.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+impl Drop for BufferPool {
+    fn drop(&mut self) {
+        G_POOL_PAGES.fetch_sub(self.capacity as u64, Ordering::Relaxed);
+        G_RESIDENT.fetch_sub(self.map.len() as u64, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vfs::{RealVfs, Vfs};
+
+    /// A WAL clock that records every `ensure_durable` call.
+    struct MockWal {
+        durable: u64,
+        syncs: Vec<u64>,
+        fail: bool,
+    }
+
+    impl MockWal {
+        fn new() -> Self {
+            MockWal {
+                durable: 0,
+                syncs: Vec::new(),
+                fail: false,
+            }
+        }
+    }
+
+    impl WalClock for MockWal {
+        fn durable_lsn(&self) -> u64 {
+            self.durable
+        }
+        fn ensure_durable(&mut self, lsn: u64) -> Result<(), RepoError> {
+            self.syncs.push(lsn);
+            if self.fail {
+                return Err(RepoError::Io(std::io::Error::other("mock sync failure")));
+            }
+            self.durable = self.durable.max(lsn);
+            Ok(())
+        }
+    }
+
+    fn pool(tag: &str, capacity: usize) -> BufferPool {
+        let dir = std::env::temp_dir().join(format!("strudel-pool-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let file = RealVfs.open_rw(&dir.join("pages")).unwrap();
+        BufferPool::new(file, 128, capacity)
+    }
+
+    #[test]
+    fn put_get_round_trips_through_eviction() {
+        let mut p = pool("rt", 2);
+        let mut wal = MockWal::new();
+        for n in 0u32..5 {
+            wal.durable = n as u64 + 1; // pretend the log is synced
+            p.put(n, n as u64 + 1, vec![n as u8; 10], &mut wal).unwrap();
+        }
+        // Pool of 2 holding 5 pages: three were evicted and written back.
+        assert!(p.occupancy() <= 2);
+        let (_, _, evictions, writebacks) = p.local_stats();
+        assert_eq!(evictions, 3);
+        assert_eq!(writebacks, 3);
+        for n in 0u32..3 {
+            let idx = p.get(n, &mut wal).unwrap();
+            assert_eq!(p.payload(idx), &vec![n as u8; 10][..]);
+            p.unpin(idx);
+        }
+    }
+
+    #[test]
+    fn dirty_eviction_forces_wal_durability_first() {
+        let mut p = pool("wa", 1);
+        let mut wal = MockWal::new();
+        p.put(0, 7, vec![1; 4], &mut wal).unwrap();
+        assert!(wal.syncs.is_empty(), "insert alone syncs nothing");
+        // Inserting page 1 evicts dirty page 0, whose LSN 7 is not yet
+        // durable: the pool must sync the log before the page write.
+        p.put(1, 8, vec![2; 4], &mut wal).unwrap();
+        assert_eq!(wal.syncs, vec![7]);
+        assert!(wal.durable >= 7);
+    }
+
+    #[test]
+    fn failed_wal_sync_blocks_the_page_write() {
+        let mut p = pool("wafail", 1);
+        let mut wal = MockWal::new();
+        p.put(0, 7, vec![1; 4], &mut wal).unwrap();
+        wal.fail = true;
+        // The eviction's sync fails, so the page write must not happen.
+        assert!(p.put(1, 8, vec![2; 4], &mut wal).is_err());
+        let (_, _, _, writebacks) = p.local_stats();
+        assert_eq!(writebacks, 0, "no page reached the file ahead of the log");
+        // The dirty frame is still resident and recoverable.
+        wal.fail = false;
+        let idx = p.get(0, &mut wal).unwrap();
+        assert_eq!(p.payload(idx), &[1; 4]);
+        p.unpin(idx);
+    }
+
+    #[test]
+    fn pinned_frames_are_never_evicted() {
+        let mut p = pool("pin", 2);
+        let mut wal = MockWal::new();
+        p.put(0, 1, vec![9; 4], &mut wal).unwrap();
+        p.put(1, 1, vec![8; 4], &mut wal).unwrap();
+        wal.durable = 1;
+        let pinned = p.get(0, &mut wal).unwrap();
+        // Fill the pool repeatedly; page 0 must survive every eviction.
+        for n in 2u32..6 {
+            p.put(n, 1, vec![n as u8; 4], &mut wal).unwrap();
+        }
+        assert_eq!(p.payload(pinned), &[9; 4]);
+        p.unpin(pinned);
+    }
+
+    #[test]
+    fn all_pinned_pool_reports_exhaustion() {
+        let mut p = pool("full", 1);
+        let mut wal = MockWal::new();
+        p.put(0, 1, vec![1; 4], &mut wal).unwrap();
+        wal.durable = 1;
+        let idx = p.get(0, &mut wal).unwrap();
+        let err = p.put(1, 2, vec![2; 4], &mut wal).unwrap_err();
+        assert!(err.to_string().contains("pinned"), "got: {err}");
+        p.unpin(idx);
+    }
+
+    #[test]
+    fn flush_all_cleans_every_dirty_frame() {
+        let mut p = pool("flush", 4);
+        let mut wal = MockWal::new();
+        for n in 0u32..3 {
+            p.put(n, n as u64 + 1, vec![n as u8; 4], &mut wal).unwrap();
+        }
+        p.flush_all(&mut wal).unwrap();
+        assert_eq!(wal.syncs, vec![3], "one sync at the max dirty LSN");
+        let (_, _, _, writebacks) = p.local_stats();
+        assert_eq!(writebacks, 3);
+        // A second flush has nothing to do.
+        p.flush_all(&mut wal).unwrap();
+        let (_, _, _, wb2) = p.local_stats();
+        assert_eq!(wb2, 3);
+    }
+
+    #[test]
+    fn forget_drops_without_writeback() {
+        let mut p = pool("forget", 2);
+        let mut wal = MockWal::new();
+        p.put(0, 1, vec![1; 4], &mut wal).unwrap();
+        p.forget(0);
+        assert_eq!(p.occupancy(), 0);
+        p.flush_all(&mut wal).unwrap();
+        let (_, _, _, writebacks) = p.local_stats();
+        assert_eq!(writebacks, 0);
+    }
+}

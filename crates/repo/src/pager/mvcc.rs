@@ -1,0 +1,210 @@
+//! Multi-version concurrency control over page chains.
+//!
+//! The store's data is partitioned into logical *segments* (the catalog,
+//! fixed-width groups of nodes, one per collection). A committed write
+//! never mutates a segment's pages in place: it allocates fresh pages,
+//! writes the new image there, and publishes a new [`VersionEntry`] at
+//! the next commit epoch — copy-on-write at segment granularity, shadow
+//! paging at page granularity.
+//!
+//! Readers open a snapshot pinned to the commit epoch current at open
+//! time and resolve every segment to the newest version at or below that
+//! epoch, so a snapshot observes one consistent graph no matter how many
+//! deltas commit after it. Superseded versions are *retired by epoch*:
+//! a version is reclaimed (frames forgotten, pages freed) only once no
+//! registered reader epoch can still reach it.
+
+use std::collections::BTreeMap;
+
+/// A logical segment of the paged store.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum SegKey {
+    /// Labels, collection names, and the node count.
+    Catalog,
+    /// The `i`-th fixed-width group of node records.
+    Nodes(u32),
+    /// The member list of the `i`-th collection.
+    Collection(u32),
+}
+
+/// One immutable version of a segment: the pages holding its record
+/// bytes, the commit epoch that published it, and the LSN of the WAL
+/// record that produced it.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct VersionEntry {
+    /// Commit epoch at which this version became current.
+    pub epoch: u64,
+    /// WAL position of the producing record (write-ahead coupling).
+    pub lsn: u64,
+    /// Total record bytes, spread across `pages` in order.
+    pub len: u64,
+    /// The page chain, in byte order.
+    pub pages: Vec<u32>,
+}
+
+/// All live versions of all segments, each list ascending by epoch.
+#[derive(Debug, Default)]
+pub struct VersionTable {
+    map: BTreeMap<SegKey, Vec<VersionEntry>>,
+}
+
+impl VersionTable {
+    /// An empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The newest version of `key` visible at `epoch`, if any.
+    pub fn resolve(&self, key: SegKey, epoch: u64) -> Option<&VersionEntry> {
+        self.map
+            .get(&key)?
+            .iter()
+            .rev()
+            .find(|v| v.epoch <= epoch)
+    }
+
+    /// Publishes a new version of `key`. Entries must arrive in ascending
+    /// epoch order (there is a single writer).
+    pub fn publish(&mut self, key: SegKey, entry: VersionEntry) {
+        let list = self.map.entry(key).or_default();
+        debug_assert!(
+            list.last().map(|v| v.epoch < entry.epoch).unwrap_or(true),
+            "versions published out of epoch order"
+        );
+        list.push(entry);
+    }
+
+    /// Drops every version that no reader at or above `min_epoch` can
+    /// reach — i.e. any version superseded by a newer one whose epoch is
+    /// still `<= min_epoch`. Calls `reclaim` with each retired entry.
+    pub fn retire(&mut self, min_epoch: u64, mut reclaim: impl FnMut(&VersionEntry)) {
+        for list in self.map.values_mut() {
+            // Index of the newest version visible at min_epoch: versions
+            // before it are unreachable by every current and future reader.
+            let Some(keep_from) = list.iter().rposition(|v| v.epoch <= min_epoch) else {
+                continue;
+            };
+            for v in &list[..keep_from] {
+                reclaim(v);
+            }
+            list.drain(..keep_from);
+        }
+    }
+
+    /// Iterates the newest version of every segment visible at `epoch`
+    /// (the checkpoint's consistent cut).
+    pub fn current(&self, epoch: u64) -> impl Iterator<Item = (SegKey, &VersionEntry)> + '_ {
+        self.map
+            .iter()
+            .filter_map(move |(k, list)| Some((*k, list.iter().rev().find(|v| v.epoch <= epoch)?)))
+    }
+
+    /// Every live version of every segment (for accounting which pages
+    /// are still referenced).
+    pub fn all(&self) -> impl Iterator<Item = &VersionEntry> + '_ {
+        self.map.values().flatten()
+    }
+}
+
+/// Registered reader epochs, counted so snapshots can overlap.
+#[derive(Debug, Default)]
+pub struct ReaderRegistry {
+    counts: BTreeMap<u64, u64>,
+}
+
+impl ReaderRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a reader at `epoch`.
+    pub fn register(&mut self, epoch: u64) {
+        *self.counts.entry(epoch).or_insert(0) += 1;
+    }
+
+    /// Deregisters a reader at `epoch`.
+    pub fn deregister(&mut self, epoch: u64) {
+        match self.counts.get_mut(&epoch) {
+            Some(n) if *n > 1 => *n -= 1,
+            Some(_) => {
+                self.counts.remove(&epoch);
+            }
+            None => debug_assert!(false, "deregister without register"),
+        }
+    }
+
+    /// The oldest epoch any reader still holds, or `current` when no
+    /// readers are registered. Retirement may reclaim anything a reader
+    /// at this epoch cannot reach.
+    pub fn min_active(&self, current: u64) -> u64 {
+        self.counts
+            .keys()
+            .next()
+            .copied()
+            .unwrap_or(current)
+            .min(current)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(epoch: u64, pages: Vec<u32>) -> VersionEntry {
+        VersionEntry {
+            epoch,
+            lsn: epoch,
+            len: 10,
+            pages,
+        }
+    }
+
+    #[test]
+    fn resolve_picks_newest_at_or_below_epoch() {
+        let mut t = VersionTable::new();
+        t.publish(SegKey::Catalog, entry(0, vec![0]));
+        t.publish(SegKey::Catalog, entry(3, vec![1]));
+        t.publish(SegKey::Catalog, entry(5, vec![2]));
+        assert_eq!(t.resolve(SegKey::Catalog, 0).unwrap().pages, vec![0]);
+        assert_eq!(t.resolve(SegKey::Catalog, 2).unwrap().pages, vec![0]);
+        assert_eq!(t.resolve(SegKey::Catalog, 3).unwrap().pages, vec![1]);
+        assert_eq!(t.resolve(SegKey::Catalog, 9).unwrap().pages, vec![2]);
+        assert!(t.resolve(SegKey::Nodes(0), 9).is_none());
+    }
+
+    #[test]
+    fn retire_respects_the_oldest_reader() {
+        let mut t = VersionTable::new();
+        t.publish(SegKey::Nodes(0), entry(0, vec![0]));
+        t.publish(SegKey::Nodes(0), entry(2, vec![1]));
+        t.publish(SegKey::Nodes(0), entry(4, vec![2]));
+        // A reader at epoch 1 still needs the epoch-0 version.
+        let mut freed = Vec::new();
+        t.retire(1, |v| freed.extend(v.pages.clone()));
+        assert!(freed.is_empty());
+        // Once the oldest reader is at 2, the epoch-0 version retires.
+        t.retire(2, |v| freed.extend(v.pages.clone()));
+        assert_eq!(freed, vec![0]);
+        // At 5, only the newest survives.
+        t.retire(5, |v| freed.extend(v.pages.clone()));
+        assert_eq!(freed, vec![0, 1]);
+        assert_eq!(t.resolve(SegKey::Nodes(0), 5).unwrap().pages, vec![2]);
+    }
+
+    #[test]
+    fn reader_registry_tracks_min_active() {
+        let mut r = ReaderRegistry::new();
+        assert_eq!(r.min_active(7), 7);
+        r.register(3);
+        r.register(3);
+        r.register(5);
+        assert_eq!(r.min_active(7), 3);
+        r.deregister(3);
+        assert_eq!(r.min_active(7), 3);
+        r.deregister(3);
+        assert_eq!(r.min_active(7), 5);
+        r.deregister(5);
+        assert_eq!(r.min_active(7), 7);
+    }
+}

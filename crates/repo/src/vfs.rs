@@ -15,7 +15,7 @@
 
 use std::fmt::Debug;
 use std::fs::{File, OpenOptions};
-use std::io::{self, Write};
+use std::io::{self, Read, Seek, SeekFrom, Write};
 use std::path::Path;
 use std::sync::{Arc, Mutex};
 
@@ -27,12 +27,30 @@ pub trait VfsFile: Send + Sync + Debug {
     fn sync(&mut self) -> io::Result<()>;
 }
 
+/// A file open for page-granular random access, as the buffer pool needs:
+/// positioned reads and writes plus an explicit sync. Offsets past the
+/// current end extend the file (the pager allocates pages by growing it).
+pub trait VfsRandomFile: Send + Sync + Debug {
+    /// Reads up to `buf.len()` bytes at `offset`, returning how many were
+    /// read (fewer only at end-of-file — or under an injected short read,
+    /// which page checksums must catch).
+    fn read_at(&mut self, buf: &mut [u8], offset: u64) -> io::Result<usize>;
+    /// Writes all of `buf` at `offset` (or fails having written a prefix).
+    fn write_at(&mut self, buf: &[u8], offset: u64) -> io::Result<()>;
+    /// Forces written data to stable storage.
+    fn sync(&mut self) -> io::Result<()>;
+}
+
 /// The filesystem operations the storage layer needs.
 pub trait Vfs: Send + Sync + Debug {
     /// Creates (truncating) `path` for writing.
     fn create(&self, path: &Path) -> io::Result<Box<dyn VfsFile>>;
     /// Opens an existing `path` for appending.
     fn open_append(&self, path: &Path) -> io::Result<Box<dyn VfsFile>>;
+    /// Opens `path` for random-access reads and writes, creating it when
+    /// missing (never truncating). All pager page I/O goes through the
+    /// returned handle so fault injection covers it.
+    fn open_rw(&self, path: &Path) -> io::Result<Box<dyn VfsRandomFile>>;
     /// Reads the whole file.
     fn read(&self, path: &Path) -> io::Result<Vec<u8>>;
     /// The file's length in bytes, from metadata (never fault-injected:
@@ -68,6 +86,31 @@ impl VfsFile for RealFile {
     }
 }
 
+#[derive(Debug)]
+struct RealRandomFile(File);
+
+impl VfsRandomFile for RealRandomFile {
+    fn read_at(&mut self, buf: &mut [u8], offset: u64) -> io::Result<usize> {
+        self.0.seek(SeekFrom::Start(offset))?;
+        let mut total = 0;
+        while total < buf.len() {
+            let n = self.0.read(&mut buf[total..])?;
+            if n == 0 {
+                break; // end of file
+            }
+            total += n;
+        }
+        Ok(total)
+    }
+    fn write_at(&mut self, buf: &[u8], offset: u64) -> io::Result<()> {
+        self.0.seek(SeekFrom::Start(offset))?;
+        self.0.write_all(buf)
+    }
+    fn sync(&mut self) -> io::Result<()> {
+        self.0.sync_data()
+    }
+}
+
 impl Vfs for RealVfs {
     fn create(&self, path: &Path) -> io::Result<Box<dyn VfsFile>> {
         Ok(Box::new(RealFile(File::create(path)?)))
@@ -75,6 +118,16 @@ impl Vfs for RealVfs {
     fn open_append(&self, path: &Path) -> io::Result<Box<dyn VfsFile>> {
         Ok(Box::new(RealFile(
             OpenOptions::new().append(true).open(path)?,
+        )))
+    }
+    fn open_rw(&self, path: &Path) -> io::Result<Box<dyn VfsRandomFile>> {
+        Ok(Box::new(RealRandomFile(
+            OpenOptions::new()
+                .read(true)
+                .write(true)
+                .create(true)
+                .truncate(false)
+                .open(path)?,
         )))
     }
     fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
@@ -204,6 +257,45 @@ impl VfsFile for FaultFile {
     }
 }
 
+#[derive(Debug)]
+struct FaultRandomFile {
+    inner: Box<dyn VfsRandomFile>,
+    state: Arc<Mutex<FaultState>>,
+}
+
+impl VfsRandomFile for FaultRandomFile {
+    fn read_at(&mut self, buf: &mut [u8], offset: u64) -> io::Result<usize> {
+        match gate(&self.state, "read")? {
+            None => self.inner.read_at(buf, offset),
+            Some(FaultMode::Fail) => unreachable!("gate returns Err for Fail"),
+            Some(FaultMode::Partial(n)) => {
+                // A silent short read, like Vfs::read: at least one byte is
+                // dropped and the caller must notice via the page checksum.
+                let got = self.inner.read_at(buf, offset)?;
+                Ok(got.saturating_sub(n.max(1)))
+            }
+        }
+    }
+    fn write_at(&mut self, buf: &[u8], offset: u64) -> io::Result<()> {
+        match gate(&self.state, "write")? {
+            None => self.inner.write_at(buf, offset),
+            Some(FaultMode::Fail) => unreachable!("gate returns Err for Fail"),
+            Some(FaultMode::Partial(n)) => {
+                // Torn page write: a strict prefix lands, then the error.
+                let keep = n.min(buf.len().saturating_sub(1));
+                self.inner.write_at(&buf[..keep], offset)?;
+                Err(injected("torn page write"))
+            }
+        }
+    }
+    fn sync(&mut self) -> io::Result<()> {
+        match gate(&self.state, "sync")? {
+            None => self.inner.sync(),
+            Some(_) => Err(injected("sync")),
+        }
+    }
+}
+
 impl FaultVfs {
     /// A fault vfs with nothing armed: counts operations, injects nothing.
     pub fn new() -> Self {
@@ -275,6 +367,15 @@ impl Vfs for FaultVfs {
         match gate(&self.state, "open_append")? {
             None => Ok(self.file(self.inner.open_append(path)?)),
             Some(_) => Err(injected("open_append")),
+        }
+    }
+    fn open_rw(&self, path: &Path) -> io::Result<Box<dyn VfsRandomFile>> {
+        match gate(&self.state, "open_rw")? {
+            None => Ok(Box::new(FaultRandomFile {
+                inner: self.inner.open_rw(path)?,
+                state: Arc::clone(&self.state),
+            })),
+            Some(_) => Err(injected("open_rw")),
         }
     }
     fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
@@ -409,6 +510,50 @@ mod tests {
         let bytes = v.read(&path).unwrap();
         assert_eq!(bytes, b"0123456");
         assert_eq!(v.len(&path).unwrap(), 10, "metadata reveals the loss");
+    }
+
+    #[test]
+    fn random_file_reads_and_writes_at_offsets() {
+        let dir = tmpdir("rand");
+        let path = dir.join("pages");
+        let v = RealVfs;
+        let mut f = v.open_rw(&path).unwrap();
+        f.write_at(b"bbbb", 4).unwrap();
+        f.write_at(b"aaaa", 0).unwrap();
+        f.sync().unwrap();
+        let mut buf = [0u8; 4];
+        assert_eq!(f.read_at(&mut buf, 4).unwrap(), 4);
+        assert_eq!(&buf, b"bbbb");
+        // Reading past the end is a short read, not an error.
+        assert_eq!(f.read_at(&mut buf, 8).unwrap(), 0);
+        // Reopening never truncates.
+        drop(f);
+        let mut f = v.open_rw(&path).unwrap();
+        assert_eq!(f.read_at(&mut buf, 0).unwrap(), 4);
+        assert_eq!(&buf, b"aaaa");
+    }
+
+    #[test]
+    fn faulted_page_write_tears_into_a_prefix() {
+        let dir = tmpdir("rand-torn");
+        let v = FaultVfs::new();
+        let mut f = v.open_rw(&dir.join("pages")).unwrap();
+        f.write_at(b"01234567", 0).unwrap();
+        v.arm_fault(v.op_count(), FaultMode::Partial(3));
+        assert!(f.write_at(b"abcdefgh", 0).is_err());
+        // Prefix of the new write landed; the old tail survives.
+        assert_eq!(std::fs::read(dir.join("pages")).unwrap(), b"abc34567");
+    }
+
+    #[test]
+    fn faulted_page_read_is_silently_short() {
+        let dir = tmpdir("rand-short");
+        let v = FaultVfs::new();
+        let mut f = v.open_rw(&dir.join("pages")).unwrap();
+        f.write_at(b"0123456789", 0).unwrap();
+        v.arm_fault(v.op_count(), FaultMode::Partial(4));
+        let mut buf = [0u8; 10];
+        assert_eq!(f.read_at(&mut buf, 0).unwrap(), 6);
     }
 
     #[test]

@@ -1,0 +1,300 @@
+//! Integration tests for the paged store: differential checks against
+//! the in-memory [`Database`], MVCC snapshot isolation under concurrent
+//! commits, and the `Database::open_paged` round trip.
+
+use std::path::PathBuf;
+
+use strudel_graph::{GraphDelta, Oid, Value};
+use strudel_prng::{choose, Rng, SeedableRng, SmallRng};
+use strudel_repo::{snapshot, Database, IndexLevel, PagedRepo, PagerConfig};
+use strudel_schema::incremental::graphs_equivalent;
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("strudel-pager-it-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    d
+}
+
+fn small_cfg() -> PagerConfig {
+    PagerConfig {
+        page_size: 128,
+        pool_pages: 8,
+        nodes_per_segment: 4,
+    }
+}
+
+/// One seeded delta against the oracle's current graph.
+fn random_delta(rng: &mut SmallRng, g: &strudel_graph::Graph) -> GraphDelta {
+    let nodes = g.node_count();
+    let mut d = GraphDelta::new();
+    match rng.gen_range(0..8u32) {
+        0 | 1 => d.add_node(Some(&format!("r{:016x}", rng.next_u64()))),
+        2..=4 if nodes > 0 => {
+            let from = Oid::from_index(rng.gen_range(0..nodes));
+            let label = *choose(rng, &["a", "b", "c"]);
+            let to = if rng.gen_bool(0.4) {
+                Value::Node(Oid::from_index(rng.gen_range(0..nodes)))
+            } else {
+                Value::string(format!("s{}", rng.gen_range(0..20u32)))
+            };
+            d.add_edge(from, label, to);
+        }
+        5 | 6 if nodes > 0 => d.collect(
+            &format!("C{}", rng.gen_range(0..3u32)),
+            Value::Node(Oid::from_index(rng.gen_range(0..nodes))),
+        ),
+        _ => d.add_node(None),
+    }
+    d
+}
+
+/// Differential: a long seeded run lands the paged store and the
+/// in-memory database on byte-identical graphs, through a pool an order
+/// of magnitude smaller than the data.
+#[test]
+fn paged_store_tracks_the_in_memory_database() {
+    for seed in [0xACE5u64, 12, 1998] {
+        let dir = tmpdir(&format!("diff-{seed}"));
+        let repo = PagedRepo::open(&dir, small_cfg()).unwrap();
+        let mut shadow = Database::new(IndexLevel::Full);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        for step in 0..120usize {
+            let d = random_delta(&mut rng, shadow.graph());
+            repo.apply_delta(&d).unwrap();
+            shadow.apply_delta(&d).unwrap();
+            if step % 40 == 39 {
+                repo.checkpoint().unwrap();
+            }
+        }
+        let g = repo.snapshot().materialize().unwrap();
+        assert!(graphs_equivalent(&g, shadow.graph()), "seed {seed}");
+        let mut a = Vec::new();
+        snapshot::save_graph(&g, &mut a).unwrap();
+        let mut b = Vec::new();
+        snapshot::save_graph(shadow.graph(), &mut b).unwrap();
+        assert_eq!(a, b, "seed {seed}: byte-level divergence");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+/// The acceptance criterion: concurrent readers each pin an MVCC
+/// snapshot and repeatedly materialize it while the writer commits
+/// deltas and checkpoints underneath them. Every materialization must
+/// equal the oracle frozen at the snapshot's epoch — no torn reads, no
+/// bleed-through from later commits.
+#[test]
+fn concurrent_readers_see_a_frozen_epoch_while_deltas_commit() {
+    let dir = tmpdir("mvcc-threads");
+    let repo = PagedRepo::open(&dir, small_cfg()).unwrap();
+    let mut shadow = Database::new(IndexLevel::None);
+    let mut rng = SmallRng::seed_from_u64(0x5EED);
+
+    // Seed some data so the first snapshot is non-trivial.
+    for _ in 0..20 {
+        let d = random_delta(&mut rng, shadow.graph());
+        repo.apply_delta(&d).unwrap();
+        shadow.apply_delta(&d).unwrap();
+    }
+
+    const ROUNDS: usize = 6;
+    const READS_PER_READER: usize = 8;
+    let mut handles = Vec::new();
+    for round in 0..ROUNDS {
+        // Freeze the oracle at this epoch as snapshot bytes.
+        let mut frozen = Vec::new();
+        snapshot::save_graph(shadow.graph(), &mut frozen).unwrap();
+        let snap = repo.snapshot();
+        let epoch = snap.epoch();
+        handles.push(std::thread::spawn(move || {
+            for read in 0..READS_PER_READER {
+                let g = snap.materialize().unwrap_or_else(|e| {
+                    panic!("round {round} read {read}: materialize failed: {e}")
+                });
+                let mut got = Vec::new();
+                snapshot::save_graph(&g, &mut got).unwrap();
+                assert_eq!(
+                    got, frozen,
+                    "round {round} read {read}: snapshot at epoch {epoch} drifted"
+                );
+                std::thread::yield_now();
+            }
+        }));
+        // Writer: keep committing (and occasionally checkpointing) while
+        // the readers above are in flight.
+        for _ in 0..10 {
+            let d = random_delta(&mut rng, shadow.graph());
+            repo.apply_delta(&d).unwrap();
+            shadow.apply_delta(&d).unwrap();
+        }
+        if round % 2 == 1 {
+            repo.checkpoint().unwrap();
+        }
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+
+    // With every reader gone, superseded versions retire: the head
+    // snapshot still equals the oracle.
+    let g = repo.snapshot().materialize().unwrap();
+    assert!(graphs_equivalent(&g, shadow.graph()));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Reopen after a mixed run (commits, checkpoint, more commits) replays
+/// the WAL tail over the manifest and lands on the oracle.
+#[test]
+fn reopen_round_trips_a_mixed_run() {
+    let dir = tmpdir("reopen");
+    let mut shadow = Database::new(IndexLevel::None);
+    let mut rng = SmallRng::seed_from_u64(42);
+    {
+        let repo = PagedRepo::open(&dir, small_cfg()).unwrap();
+        for _ in 0..30 {
+            let d = random_delta(&mut rng, shadow.graph());
+            repo.apply_delta(&d).unwrap();
+            shadow.apply_delta(&d).unwrap();
+        }
+        repo.checkpoint().unwrap();
+        for _ in 0..15 {
+            let d = random_delta(&mut rng, shadow.graph());
+            repo.apply_delta(&d).unwrap();
+            shadow.apply_delta(&d).unwrap();
+        }
+        // No checkpoint: the last 15 deltas live only in the WAL.
+    }
+    let repo = PagedRepo::open(&dir, small_cfg()).unwrap();
+    let g = repo.snapshot().materialize().unwrap();
+    let mut a = Vec::new();
+    snapshot::save_graph(&g, &mut a).unwrap();
+    let mut b = Vec::new();
+    snapshot::save_graph(shadow.graph(), &mut b).unwrap();
+    assert_eq!(a, b, "reopen diverged from oracle");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// `Database::open_paged` materializes the paged store into a fully
+/// indexed database, routes `apply_delta` through the store, and both
+/// agree after a reopen.
+#[test]
+fn database_open_paged_round_trips() {
+    let dir = tmpdir("db-open-paged");
+    {
+        let repo = PagedRepo::open(&dir, small_cfg()).unwrap();
+        let mut d = GraphDelta::new();
+        d.add_node(Some("alice"));
+        d.add_node(Some("bob"));
+        d.add_edge(Oid::from_index(0), "knows", Value::Node(Oid::from_index(1)));
+        d.collect("People", Value::Node(Oid::from_index(0)));
+        d.collect("People", Value::Node(Oid::from_index(1)));
+        repo.apply_delta(&d).unwrap();
+    }
+    let mut db =
+        Database::open_paged(&dir, IndexLevel::Full, small_cfg()).unwrap();
+    let alice = db.graph().node_by_name("alice").unwrap();
+    assert_eq!(db.graph().members_str("People").len(), 2);
+
+    // Writes route through the paged store's WAL.
+    let mut d = GraphDelta::new();
+    d.add_edge(alice, "age", Value::Int(30));
+    db.apply_delta(&d).unwrap();
+    db.checkpoint().unwrap();
+    assert!(db.pager().is_some());
+    let gen = db.pager().unwrap().generation();
+    assert!(gen >= 1, "checkpoint should bump the generation: {gen}");
+    drop(db);
+
+    let db = Database::open_paged(&dir, IndexLevel::Full, small_cfg()).unwrap();
+    let alice = db.graph().node_by_name("alice").unwrap();
+    assert_eq!(db.graph().attr_str(alice, "age").count(), 1);
+    assert_eq!(db.graph().members_str("People").len(), 2);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The in-memory fast path: a pool larger than the site keeps every page
+/// resident — zero evictions across a whole workload — while the tiny
+/// pool on the same data is forced to evict.
+#[test]
+fn whole_site_in_pool_never_evicts() {
+    let mut shadow = Database::new(IndexLevel::None);
+    let mut rng = SmallRng::seed_from_u64(7);
+    let mut deltas = Vec::new();
+    for _ in 0..40 {
+        let d = random_delta(&mut rng, shadow.graph());
+        shadow.apply_delta(&d).unwrap();
+        deltas.push(d);
+    }
+    let run = |pool_pages: usize, tag: &str| {
+        let dir = tmpdir(&format!("fastpath-{tag}"));
+        let cfg = PagerConfig {
+            pool_pages,
+            ..small_cfg()
+        };
+        let repo = PagedRepo::open(&dir, cfg).unwrap();
+        for d in &deltas {
+            repo.apply_delta(d).unwrap();
+        }
+        let g = repo.snapshot().materialize().unwrap();
+        assert!(graphs_equivalent(&g, shadow.graph()), "{tag}");
+        let (_, _, _, _, evictions, _) = repo.pool_stats();
+        std::fs::remove_dir_all(&dir).ok();
+        evictions
+    };
+    assert_eq!(run(4096, "big"), 0, "oversized pool must never evict");
+    assert!(run(4, "tiny") > 0, "4-frame pool must evict on this data");
+}
+
+/// Snapshots pin their version until dropped, across threads: versions
+/// retired while a reader is live must not be reclaimed (the reader
+/// still materializes its frozen epoch afterwards).
+#[test]
+fn late_read_on_an_old_snapshot_still_sees_its_epoch() {
+    let dir = tmpdir("late-read");
+    let repo = PagedRepo::open(&dir, small_cfg()).unwrap();
+    let mut d = GraphDelta::new();
+    d.add_node(Some("v1"));
+    repo.apply_delta(&d).unwrap();
+    let old = repo.snapshot();
+
+    // Bury the old version under commits and a checkpoint.
+    for i in 0..25usize {
+        let mut d = GraphDelta::new();
+        d.add_node(Some(&format!("extra{i}")));
+        repo.apply_delta(&d).unwrap();
+    }
+    repo.checkpoint().unwrap();
+
+    let handle = std::thread::spawn(move || {
+        let g = old.materialize().unwrap();
+        assert_eq!(g.node_count(), 1, "old snapshot grew");
+        assert!(g.node_by_name("v1").is_some());
+        assert!(g.node_by_name("extra0").is_none());
+    });
+    handle.join().unwrap();
+
+    let head = repo.snapshot().materialize().unwrap();
+    assert_eq!(head.node_count(), 26);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Pager probes fire through the trace layer: a workload that misses and
+/// evicts leaves nonzero `pager.*` counters in the global stats.
+#[test]
+fn pager_counters_reach_global_stats() {
+    let dir = tmpdir("stats");
+    let repo = PagedRepo::open(&dir, small_cfg()).unwrap();
+    let before = strudel_repo::pager::global_stats();
+    let mut shadow = Database::new(IndexLevel::None);
+    let mut rng = SmallRng::seed_from_u64(9);
+    for _ in 0..60 {
+        let d = random_delta(&mut rng, shadow.graph());
+        repo.apply_delta(&d).unwrap();
+        shadow.apply_delta(&d).unwrap();
+    }
+    drop(repo.snapshot().materialize().unwrap());
+    let after = strudel_repo::pager::global_stats();
+    assert!(after.hits > before.hits, "no pager hits recorded");
+    assert!(after.misses > before.misses, "no pager misses recorded");
+    assert!(after.pins > before.pins, "no pager pins recorded");
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -32,6 +32,7 @@
 //!                                     (strong DataGuides per collection)
 //! strudel serve <dir> [--addr A] [--workers N] [--mode M] [--warm W]
 //!                     [--slow-us T] [--backlog B] [--trace]
+//!                     [--store DIR] [--pool-pages N] [--page-size B]
 //!                                     serve the site at click time:
 //!                                     pages computed on demand, cached,
 //!                                     metrics on /metrics, trace snapshot
@@ -46,7 +47,14 @@
 //!                                      B: max queued connections before
 //!                                      new ones are shed with a 503;
 //!                                      --trace turns the strudel-trace
-//!                                      recorder on at startup)
+//!                                      recorder on at startup;
+//!                                      --store attaches a durable paged
+//!                                      store at DIR — bulk-loaded from
+//!                                      the built site on first run,
+//!                                      reopened after that; deltas
+//!                                      commit write-through; --pool-pages
+//!                                      and --page-size size its buffer
+//!                                      pool)
 //! strudel explain <dir>               print, for every root page, each
 //!                                     schema edge's chosen plan with the
 //!                                     optimizer's cardinality estimates
@@ -77,7 +85,8 @@ fn run(args: &[String]) -> Result<(), String> {
         "usage: strudel <build|check|schema|stats|guide|serve|explain> <site-dir> \
          [-o <outdir>] [--addr <ip:port>] [--workers <n>] \
          [--mode <naive|context|lookahead>] [--warm <n|auto>] [--slow-us <t>] \
-         [--backlog <n>] [--trace]";
+         [--backlog <n>] [--trace] [--store <dir>] [--pool-pages <n>] \
+         [--page-size <bytes>]";
     let command = args.first().ok_or(usage)?;
     let dir = PathBuf::from(args.get(1).ok_or(usage)?);
     let outdir = match args.iter().position(|a| a == "-o") {
@@ -225,6 +234,56 @@ fn run(args: &[String]) -> Result<(), String> {
                 strudel_trace::set_enabled(true);
             }
             let mut service = strudel_serve::SiteService::new(&built, mode);
+            if let Some(store_dir) = flag("--store") {
+                let mut cfg = strudel::repo::PagerConfig::default();
+                if let Some(n) = flag("--pool-pages") {
+                    cfg.pool_pages = n.parse().map_err(|_| "--pool-pages needs a number")?;
+                }
+                if let Some(b) = flag("--page-size") {
+                    cfg.page_size = b.parse().map_err(|_| "--page-size needs a number (bytes)")?;
+                }
+                let store_dir = PathBuf::from(store_dir);
+                let fresh = !store_dir.join("pager.manifest").exists();
+                let store = if fresh {
+                    strudel::repo::PagedRepo::bulk_load(&store_dir, cfg, built.database.graph())
+                        .map_err(|e| format!("bulk-loading paged store: {e}"))?
+                } else {
+                    strudel::repo::PagedRepo::open(&store_dir, cfg)
+                        .map_err(|e| format!("opening paged store: {e}"))?
+                };
+                // An existing store may legitimately be ahead of the
+                // sources (deltas applied through a previous serve run);
+                // flag a divergence but keep serving the built site.
+                let mut built_bytes = Vec::new();
+                strudel::repo::snapshot::save_graph(built.database.graph(), &mut built_bytes)
+                    .map_err(|e| format!("encoding site graph: {e}"))?;
+                let stored = store
+                    .snapshot()
+                    .materialize()
+                    .map_err(|e| format!("materializing paged store: {e}"))?;
+                let mut store_bytes = Vec::new();
+                strudel::repo::snapshot::save_graph(&stored, &mut store_bytes)
+                    .map_err(|e| format!("encoding stored graph: {e}"))?;
+                if store_bytes == built_bytes {
+                    println!(
+                        "paged store at {} ({} nodes, generation {}, pool {} pages{})",
+                        store_dir.display(),
+                        store.node_count(),
+                        store.generation(),
+                        cfg.pool_pages,
+                        if fresh { ", bulk-loaded" } else { "" }
+                    );
+                } else {
+                    println!(
+                        "warning: paged store at {} has diverged from the site sources \
+                         ({} stored nodes vs {} built); serving the built site",
+                        store_dir.display(),
+                        store.node_count(),
+                        built.database.graph().node_count()
+                    );
+                }
+                service = service.with_paged_store(store);
+            }
             if let Some(t) = flag("--slow-us") {
                 service = service.with_slow_threshold_us(
                     t.parse().map_err(|_| "--slow-us needs a number (µs)")?,

@@ -83,6 +83,12 @@ impl fmt::Display for ServeError {
 
 impl std::error::Error for ServeError {}
 
+impl From<strudel_repo::RepoError> for ServeError {
+    fn from(e: strudel_repo::RepoError) -> Self {
+        ServeError::Io(std::io::Error::other(e.to_string()))
+    }
+}
+
 impl From<StruqlError> for ServeError {
     fn from(e: StruqlError) -> Self {
         ServeError::Struql(e)
@@ -222,6 +228,10 @@ pub struct SiteService {
     /// Fast-path flag so unprobed services never lock the probe table.
     probes_armed: AtomicBool,
     probes: Mutex<HashMap<String, FaultProbe>>,
+    /// Optional durable paged store kept write-through consistent with
+    /// the engine: deltas commit here (WAL + copy-on-write pages) before
+    /// the engine swaps its snapshot.
+    store: Option<strudel_repo::PagedRepo>,
 }
 
 impl SiteService {
@@ -249,7 +259,23 @@ impl SiteService {
             timeout_error_logged: AtomicBool::new(false),
             probes_armed: AtomicBool::new(false),
             probes: Mutex::new(HashMap::new()),
+            store: None,
         }
+    }
+
+    /// Attaches a paged store ([`strudel_repo::PagedRepo`]) that
+    /// [`SiteService::apply_delta`] keeps write-through consistent: every
+    /// delta commits durably to the store's WAL and copy-on-write pages
+    /// before the engine's snapshot swaps. Concurrent readers of the
+    /// store's MVCC snapshots observe a consistent graph throughout.
+    pub fn with_paged_store(mut self, store: strudel_repo::PagedRepo) -> Self {
+        self.store = Some(store);
+        self
+    }
+
+    /// The attached paged store, if any.
+    pub fn paged_store(&self) -> Option<&strudel_repo::PagedRepo> {
+        self.store.as_ref()
     }
 
     /// Builds a service from a built [`strudel::Site`].
@@ -565,6 +591,14 @@ impl SiteService {
     /// cache also follows rendition dependencies). Concurrent requests
     /// keep serving throughout.
     pub fn apply_delta(&self, delta: &GraphDelta) -> Result<ServiceInvalidation, ServeError> {
+        // Durability first: the paged store validates and commits the
+        // delta (WAL append, copy-on-write pages) before the in-memory
+        // engine swaps snapshots, so a crash never loses an applied
+        // delta. MVCC snapshots taken from the store before this commit
+        // keep reading their epoch.
+        if let Some(store) = &self.store {
+            store.apply_delta(delta)?;
+        }
         let engine = self.engine.apply_delta(delta)?;
         let html_evicted = self.cache.invalidate(&engine.dirty);
         Ok(ServiceInvalidation {
@@ -653,6 +687,7 @@ impl SiteService {
             shed: self.shed.load(Ordering::Relaxed),
             timeout_config_errors: self.timeout_config_errors.load(Ordering::Relaxed),
             trace_counters,
+            pager: strudel_repo::pager::global_stats(),
         }
     }
 }

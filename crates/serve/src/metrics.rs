@@ -253,6 +253,9 @@ pub struct ServerStats {
     /// Global `strudel-trace` counters, sorted by name; empty while
     /// tracing is disabled.
     pub trace_counters: Vec<(String, u64)>,
+    /// Process-wide buffer-pool counters from the paged store; all
+    /// zeros when no paged store is in use.
+    pub pager: strudel_repo::PagerStats,
 }
 
 impl ServerStats {
@@ -352,6 +355,22 @@ impl ServerStats {
         line(format!(
             "strudel_timeout_config_errors_total {}",
             self.timeout_config_errors
+        ));
+        line(format!("strudel_pager_hits_total {}", self.pager.hits));
+        line(format!("strudel_pager_misses_total {}", self.pager.misses));
+        line(format!(
+            "strudel_pager_evictions_total {}",
+            self.pager.evictions
+        ));
+        line(format!("strudel_pager_pins_total {}", self.pager.pins));
+        line(format!(
+            "strudel_pager_writebacks_total {}",
+            self.pager.writebacks
+        ));
+        line(format!("strudel_pager_pool_pages {}", self.pager.pool_pages));
+        line(format!(
+            "strudel_pager_resident_pages {}",
+            self.pager.resident
         ));
         for (name, v) in &self.trace_counters {
             line(format!("strudel_trace_counter{{name=\"{name}\"}} {v}"));
@@ -473,6 +492,15 @@ mod tests {
             shed: 4,
             timeout_config_errors: 3,
             trace_counters: vec![("serve.request".into(), 7)],
+            pager: strudel_repo::PagerStats {
+                hits: 11,
+                misses: 5,
+                evictions: 2,
+                pins: 16,
+                writebacks: 2,
+                pool_pages: 8,
+                resident: 6,
+            },
         };
         let text = stats.to_text();
         assert!(text.contains("strudel_requests_total 1"));
@@ -488,6 +516,13 @@ mod tests {
         assert!(text.contains("strudel_request_latency_us_bucket{le=\"+Inf\"} 1"));
         assert!(text.contains("strudel_request_latency_us_sum 42"));
         assert!(text.contains("strudel_request_latency_us_count 1"));
+        assert!(text.contains("strudel_pager_hits_total 11"));
+        assert!(text.contains("strudel_pager_misses_total 5"));
+        assert!(text.contains("strudel_pager_evictions_total 2"));
+        assert!(text.contains("strudel_pager_pins_total 16"));
+        assert!(text.contains("strudel_pager_writebacks_total 2"));
+        assert!(text.contains("strudel_pager_pool_pages 8"));
+        assert!(text.contains("strudel_pager_resident_pages 6"));
     }
 
     #[test]
@@ -507,6 +542,7 @@ mod tests {
             shed: 0,
             timeout_config_errors: 0,
             trace_counters: Vec::new(),
+            pager: Default::default(),
         };
         let text = stats.to_text();
         assert!(text.contains("strudel_request_latency_us_bucket{le=\"10000000\"} 0"));
