@@ -8,7 +8,7 @@
 //! ```
 //!
 //! Ids: `site-stats` (T1), `suitability` (F8), `multiversion`,
-//! `site-schema`, `verify`, `dynamic`, `incremental`, `indexing`,
+//! `site-schema`, `verify`, `dynamic`, `diff`, `incremental`, `indexing`,
 //! `struql-scale`, `batch`, `htmlgen`, `mediate`, `trace`, `crash`, `pager`,
 //! `all`.
 //!
@@ -36,6 +36,7 @@ fn main() {
             "site-schema" => e::exp_site_schema(),
             "verify" => e::exp_verify(),
             "dynamic" => e::exp_dynamic(),
+            "diff" => e::exp_diff(),
             "incremental" => e::exp_incremental(),
             "indexing" => e::exp_indexing(),
             "struql-scale" => e::exp_struql_scale(),
@@ -48,7 +49,7 @@ fn main() {
             other => {
                 eprintln!("unknown experiment '{other}'");
                 eprintln!(
-                    "known: site-stats suitability multiversion site-schema verify dynamic \
+                    "known: site-stats suitability multiversion site-schema verify dynamic diff \
                      incremental indexing struql-scale batch htmlgen mediate trace crash pager \
                      all (plus --json)"
                 );

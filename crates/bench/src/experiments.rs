@@ -317,6 +317,195 @@ fn browse(site: &DynamicSite, clicks: usize) {
     }
 }
 
+/// E-diff — differential maintenance of cached page views: per-delta
+/// cost must track |Δ|, not site size, and beat from-scratch
+/// re-evaluation (snapshot rebuild + guard re-runs) by a wide margin.
+pub fn exp_diff() {
+    use strudel_graph::Graph;
+
+    const DIFF_QUERY: &str = r#"
+        create RootPage()
+        where Articles(x)
+        create ArticlePage(x)
+        link RootPage() -> "story" -> ArticlePage(x)
+        collect Roots(RootPage()), ArticlePages(ArticlePage(x))
+        { where x -> "title" -> t
+          link ArticlePage(x) -> "title" -> t }
+        { where x -> "rel"* -> y, Articles(y), y -> "title" -> t
+          link ArticlePage(x) -> "related" -> t }
+    "#;
+
+    /// `n` articles, each titled, chained by `rel` edges inside clusters
+    /// of 8 (so every `rel*` cone stays small at any site size).
+    fn diff_corpus(n: usize) -> Graph {
+        let mut g = Graph::new();
+        let mut prev = None;
+        for i in 0..n {
+            let node = g.add_named_node(&format!("a{i}"));
+            g.collect_str("Articles", node);
+            g.add_edge_str(node, "title", Value::string(format!("Title {i:06}").as_str()));
+            if i % 8 != 0 {
+                g.add_edge_str(node, "rel", Value::from(prev.unwrap()));
+            }
+            prev = Some(node);
+        }
+        g
+    }
+
+    /// Pre-warms every page so deltas hit a fully materialized cache.
+    fn prewarm(site: &DynamicSite) -> usize {
+        let root = site.roots("Roots").unwrap().remove(0);
+        let view = site.visit(&root).unwrap();
+        let mut pages = 1;
+        for (_, t) in &view.edges {
+            if let DynTarget::Page(k) = t {
+                site.visit(k).unwrap();
+                pages += 1;
+            }
+        }
+        pages
+    }
+
+    println!("== E-diff: differential plan maintenance vs from-scratch re-evaluation ==");
+    println!(
+        "{:>9} {:>5} | {:>12} {:>14} {:>9} | updated/fallbacks",
+        "articles", "|Δ|", "differential", "from-scratch", "speedup"
+    );
+    let program = strudel::struql::parse(DIFF_QUERY).unwrap();
+    const ROUNDS: usize = 12;
+    for &n in &[1_000usize, 4_000, 16_000] {
+        let graph = diff_corpus(n);
+        let db = std::sync::Arc::new(Database::from_graph(graph, IndexLevel::Full));
+
+        // The delta schedule is generated once and replayed on both arms
+        // so their database lineages stay identical. Every tranche
+        // retitles its own disjoint range of articles; `titles` tracks
+        // the current value so every removal is applicable.
+        let mut titles: Vec<String> = (0..n).map(|i| format!("Title {i:06}")).collect();
+        let mut cursor = 0usize;
+        let mut schedule: Vec<(usize, GraphDelta)> = Vec::new();
+        // Warmup (untimed): the first delta pays the one-time standby
+        // twin construction.
+        let mut warm = GraphDelta::new();
+        warm.add_edge(Oid::from_index(n - 1), "note", Value::string("warm"));
+        schedule.push((0, warm));
+        for &ops in &[1usize, 8, 64] {
+            for round in 0..ROUNDS {
+                let mut delta = GraphDelta::new();
+                if ops == 1 {
+                    let i = cursor;
+                    cursor += 1;
+                    delta.add_edge(
+                        Oid::from_index(i),
+                        "title",
+                        Value::string(format!("Extra {round}").as_str()),
+                    );
+                } else {
+                    for _ in 0..ops / 2 {
+                        let i = cursor;
+                        cursor += 1;
+                        let next = format!("Title {i:06} r{round}");
+                        delta.remove_edge(
+                            Oid::from_index(i),
+                            "title",
+                            Value::string(titles[i].as_str()),
+                        );
+                        delta.add_edge(
+                            Oid::from_index(i),
+                            "title",
+                            Value::string(next.as_str()),
+                        );
+                        titles[i] = next;
+                    }
+                }
+                schedule.push((ops, delta));
+            }
+        }
+        assert!(cursor < n, "schedule exhausted the corpus");
+
+        let diff_site = DynamicSite::new(db.clone(), &program, Mode::Context);
+        let scratch_site =
+            DynamicSite::new(db, &program, Mode::Context).with_differential(false);
+        let pages = prewarm(&diff_site);
+        prewarm(&scratch_site);
+
+        let mut diff_us: Vec<(usize, f64)> = Vec::new();
+        let mut scratch_us: Vec<(usize, f64)> = Vec::new();
+        for (ops, delta) in &schedule {
+            let (outcome, t) = time(|| diff_site.apply_delta(delta).unwrap());
+            assert!(
+                outcome.evicted == 0 || *ops == 0,
+                "maintenance must absorb every dirty page: {outcome:?}"
+            );
+            if *ops > 0 {
+                diff_us.push((*ops, t.as_secs_f64() * 1e6));
+            }
+            // The from-scratch arm must also re-run the evicted pages'
+            // guards to restore the same served state.
+            let (_, t) = time(|| {
+                let outcome = scratch_site.apply_delta(delta).unwrap();
+                for key in &outcome.dirty.pages {
+                    scratch_site.visit(key).unwrap();
+                }
+            });
+            if *ops > 0 {
+                scratch_us.push((*ops, t.as_secs_f64() * 1e6));
+            }
+        }
+        assert_eq!(
+            diff_site.cached_pages(),
+            pages,
+            "every page stays materialized through maintenance"
+        );
+        let m = diff_site.metrics();
+        assert_eq!(m.diff_fallbacks, 0, "no maintenance fallbacks: {m:?}");
+
+        // Correctness: the maintained cache serves exactly what a cold
+        // engine computes on the final database.
+        let fresh = DynamicSite::new(diff_site.database(), &program, Mode::Context);
+        for i in [0usize, 1, cursor.saturating_sub(1)] {
+            let key = PageKey {
+                symbol: "ArticlePage".into(),
+                args: vec![Value::from(Oid::from_index(i))],
+            };
+            let sort = |mut v: Vec<(String, DynTarget)>| {
+                v.sort_by(|a, b| format!("{a:?}").cmp(&format!("{b:?}")));
+                v
+            };
+            assert_eq!(
+                sort(diff_site.visit(&key).unwrap().edges),
+                sort(fresh.visit(&key).unwrap().edges),
+                "article a{i} diverged at n={n}"
+            );
+        }
+
+        for &ops in &[1usize, 8, 64] {
+            let mean = |v: &[(usize, f64)]| {
+                let s: Vec<f64> =
+                    v.iter().filter(|(o, _)| *o == ops).map(|(_, t)| *t).collect();
+                s.iter().sum::<f64>() / s.len() as f64
+            };
+            let d = mean(&diff_us);
+            let s = mean(&scratch_us);
+            println!(
+                "{:>9} {:>5} | {:>10.0}us {:>12.0}us {:>8.1}x | {}/{}",
+                n,
+                ops,
+                d,
+                s,
+                s / d,
+                m.diff_pages_updated,
+                m.diff_fallbacks
+            );
+            let case = format!("n{n}-d{ops}");
+            json::record("diff", "E-diff", &case, "diff_us", d, "us");
+            json::record("diff", "E-diff", &case, "scratch_us", s, "us");
+            json::record("diff", "E-diff", &case, "speedup", s / d, "x");
+        }
+    }
+    println!();
+}
+
 /// E-incremental — incremental maintenance vs full re-evaluation.
 pub fn exp_incremental() {
     println!("== E-incremental: site-graph maintenance (paper §7, built as extension) ==");
@@ -1177,6 +1366,7 @@ pub fn run_all() {
     exp_site_schema();
     exp_verify();
     exp_dynamic();
+    exp_diff();
     exp_incremental();
     exp_indexing();
     exp_struql_scale();

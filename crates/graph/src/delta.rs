@@ -176,6 +176,29 @@ impl GraphDelta {
         self.ops.extend(other.ops);
     }
 
+    /// The edge labels this delta adds or removes, in op order (with
+    /// duplicates). Differential maintenance uses these to decide which
+    /// query conditions a delta can possibly affect.
+    pub fn edge_labels(&self) -> impl Iterator<Item = &str> {
+        self.ops.iter().filter_map(|op| match op {
+            DeltaOp::AddEdge { label, .. } | DeltaOp::RemoveEdge { label, .. } => {
+                Some(label.as_ref())
+            }
+            _ => None,
+        })
+    }
+
+    /// The collection names this delta collects into or uncollects from,
+    /// in op order (with duplicates).
+    pub fn collections(&self) -> impl Iterator<Item = &str> {
+        self.ops.iter().filter_map(|op| match op {
+            DeltaOp::Collect { collection, .. } | DeltaOp::Uncollect { collection, .. } => {
+                Some(collection.as_ref())
+            }
+            _ => None,
+        })
+    }
+
     /// Applies the delta to `graph`, returning the oids of nodes it
     /// created. Application stops at the first failing op, leaving the
     /// prior ops applied (the caller owns atomicity, e.g. by applying to a

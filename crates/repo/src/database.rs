@@ -336,6 +336,21 @@ impl Database {
         s
     }
 
+    /// The cached statistics snapshot, if one is live — `None` after any
+    /// mutation. Unlike [`Database::stats`] this never computes.
+    pub fn cached_stats(&self) -> Option<Arc<Stats>> {
+        self.stats.lock().unwrap().clone()
+    }
+
+    /// Installs a statistics snapshot into the cache without scanning the
+    /// graph. The incremental engine carries slightly-stale stats across
+    /// small deltas this way: the planner only consumes relative
+    /// cardinalities, so a bounded drift changes join orders at worst —
+    /// never results. Callers own the staleness bound.
+    pub fn seed_stats(&self, stats: Arc<Stats>) {
+        *self.stats.lock().unwrap() = Some(stats);
+    }
+
     // ----- mutations -----------------------------------------------------
 
     /// Creates an anonymous node.

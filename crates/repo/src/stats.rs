@@ -54,13 +54,10 @@ pub struct Stats {
 impl Stats {
     /// Computes statistics by scanning `graph`.
     pub fn compute(graph: &Graph) -> Self {
-        let mut per_label: HashMap<Label, (usize, HashSet<u32>, HashSet<Value>)> = HashMap::new();
+        let mut per_label: PerLabelAcc = HashMap::new();
         for oid in graph.node_oids() {
             for e in graph.edges(oid) {
-                let entry = per_label.entry(e.label).or_default();
-                entry.0 += 1;
-                entry.1.insert(oid.index() as u32);
-                entry.2.insert(e.to.clone());
+                note_edge_stat(&mut per_label, e.label, oid.index(), &e.to);
             }
         }
         let labels = per_label
@@ -108,6 +105,19 @@ impl Stats {
     }
 }
 
+/// Per-label accumulator: edge count, distinct source indexes, distinct
+/// target values. Source indexes are kept at full `usize` width — a
+/// narrower set type silently collides oids past its range and skews the
+/// planner's selectivity estimates.
+type PerLabelAcc = HashMap<Label, (usize, HashSet<usize>, HashSet<Value>)>;
+
+fn note_edge_stat(per_label: &mut PerLabelAcc, label: Label, src_index: usize, to: &Value) {
+    let entry = per_label.entry(label).or_default();
+    entry.0 += 1;
+    entry.1.insert(src_index);
+    entry.2.insert(to.clone());
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -141,6 +151,26 @@ mod tests {
         assert_eq!(s.nodes, 1);
         assert_eq!(s.edges, 0);
         assert_eq!(s.avg_degree(), 0.0);
+    }
+
+    /// Regression: the accumulator used to narrow source indexes to `u32`,
+    /// so oids 2^32 apart counted as one distinct source. `Oid`
+    /// construction debug-asserts a u32-sized index, so the regression is
+    /// pinned at the accumulator level with raw indexes.
+    #[test]
+    #[cfg(target_pointer_width = "64")]
+    fn large_oid_indexes_stay_distinct() {
+        let mut g = Graph::new();
+        let label = g.intern_label("cites");
+        let mut acc = PerLabelAcc::new();
+        let low: usize = 1;
+        let high: usize = (1usize << 32) + 1; // == low as u32
+        note_edge_stat(&mut acc, label, low, &Value::Int(7));
+        note_edge_stat(&mut acc, label, high, &Value::Int(7));
+        let (edges, srcs, tgts) = &acc[&label];
+        assert_eq!(*edges, 2);
+        assert_eq!(srcs.len(), 2, "indexes colliding mod 2^32 must stay distinct");
+        assert_eq!(tgts.len(), 1);
     }
 
     #[test]

@@ -29,25 +29,42 @@
 //! engine serves a whole worker pool. The page cache lives in sharded
 //! read/write locks keyed by [`PageKey`]; the database is a swappable
 //! `Arc` snapshot so [`DynamicSite::apply_delta`] can install an updated
-//! database and evict precisely the dirtied pages while readers keep
-//! serving. An epoch counter fences the race between a visit computed
-//! against the old snapshot and a concurrent delta: cache inserts carry
-//! the epoch they were computed under and are dropped if a delta landed
-//! in between.
+//! database while readers keep serving. An epoch counter fences the race
+//! between a visit computed against the old snapshot and a concurrent
+//! delta: cache inserts carry the epoch they were computed under and are
+//! dropped if a delta landed in between.
+//!
+//! ## Differential maintenance
+//!
+//! Each cached page keeps, beside its rendered [`PageView`], the signed
+//! bindings rows of every guard that produced it. [`DynamicSite::apply_delta`]
+//! then *maintains* dirty cached pages instead of evicting them: the delta
+//! is propagated through each touched guard by
+//! [`diff_where`](strudel_struql::diff_where), the signed diff is applied
+//! to the stored rows with exact count-based retraction, and the view is
+//! re-projected — no guard re-evaluation on the next visit. Pages whose
+//! state cannot absorb the diff (no stored rows, a count underflow, a
+//! variable-layout mismatch) fall back to eviction and full re-evaluation.
+//! Two O(site) costs are engineered out of the delta path so maintenance
+//! scales with |Δ| rather than site size: a standby twin database is
+//! double-buffered across deltas (each swap applies the delta to the twin
+//! in O(|Δ|) instead of re-indexing a graph clone), and the optimizer
+//! statistics are carried forward with a bounded drift instead of being
+//! rescanned.
 
 use crate::invalidate::{self, DirtySet};
 use crate::site_schema::SchemaEdge;
 use crate::{SchemaNode, SiteSchema};
 use std::collections::hash_map::DefaultHasher;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, RwLock};
+use std::sync::{Arc, Mutex, RwLock};
 use strudel_graph::{GraphDelta, Value};
 use strudel_repo::Database;
 use strudel_struql::{
-    Condition, EvalOptions, Evaluator, ExplainReport, LabelTerm, Parallelism, PreparedWhere,
-    Program, StruqlError, StruqlResult, Term,
+    apply_diff, diff_where, Condition, DeltaTouch, EvalOptions, Evaluator, ExplainReport,
+    LabelTerm, Parallelism, PreparedWhere, Program, SignedRow, StruqlError, StruqlResult, Term,
 };
 
 /// Evaluation strategy.
@@ -104,6 +121,15 @@ pub struct Metrics {
     pub plan_cache_hits: usize,
     /// Guard evaluations that had to analyze/plan/compile first.
     pub plan_cache_misses: usize,
+    /// Cached pages updated in place by differential maintenance.
+    pub diff_pages_updated: usize,
+    /// Dirty cached pages that fell back to eviction (no stored rows,
+    /// count underflow, or a variable-layout mismatch).
+    pub diff_fallbacks: usize,
+    /// Bindings rows inserted by differential maintenance.
+    pub diff_rows_added: usize,
+    /// Bindings rows retracted by differential maintenance.
+    pub diff_rows_retracted: usize,
 }
 
 /// The result of applying a data delta to a live engine.
@@ -113,6 +139,9 @@ pub struct InvalidationOutcome {
     pub dirty: DirtySet,
     /// How many cached page views were actually evicted.
     pub evicted: usize,
+    /// How many cached page views were maintained in place instead of
+    /// being evicted.
+    pub updated: usize,
 }
 
 /// Number of cache shards; a small power of two is plenty — contention
@@ -132,6 +161,43 @@ struct PreparedCache {
     map: HashMap<usize, Arc<PreparedWhere>>,
 }
 
+/// The signed bindings rows of one schema edge's guard, seeded for one
+/// page: the delta-ready state that lets [`DynamicSite::apply_delta`]
+/// maintain the page without re-running the guard.
+#[derive(Clone, Debug)]
+struct EdgeRows {
+    /// Index into `schema.edges`.
+    ei: usize,
+    /// The prepared plan's variable layout (seed names first, then the
+    /// guard's variables in textual order); diffs must match it exactly.
+    vars: Vec<String>,
+    /// Count-annotated bindings rows (count = derivation multiplicity),
+    /// in first-derivation order.
+    rows: Vec<SignedRow>,
+}
+
+/// Everything cached for one page: the served view plus, when the engine
+/// runs differentially, the guard rows it was projected from.
+#[derive(Clone, Debug)]
+struct Cached {
+    view: PageView,
+    /// One entry per contributing out-edge (in schema order); `None` when
+    /// differential maintenance is off or the mode is [`Mode::Naive`].
+    diff: Option<Vec<EdgeRows>>,
+}
+
+/// The double-buffered twin of the served snapshot. After each swap the
+/// slot holds the *previous* live `Arc`, behind the live database by the
+/// deltas in `lag`; the next [`DynamicSite::apply_delta`] reclaims it
+/// (once the last outside reader drops it), catches it up in O(|lag|),
+/// and applies the new delta — avoiding the O(site) clone-and-reindex on
+/// every delta.
+#[derive(Default)]
+struct Standby {
+    db: Option<Arc<Database>>,
+    lag: Vec<GraphDelta>,
+}
+
 /// A dynamically evaluated site over a live database, shareable across
 /// threads (`visit` takes `&self`).
 pub struct DynamicSite {
@@ -139,13 +205,21 @@ pub struct DynamicSite {
     schema: SiteSchema,
     mode: Mode,
     parallelism: Parallelism,
-    shards: Vec<RwLock<HashMap<PageKey, PageView>>>,
+    shards: Vec<RwLock<HashMap<PageKey, Cached>>>,
     /// Bumped by every applied delta; fences stale cache inserts.
     epoch: AtomicU64,
     /// Compiled guard plans for the current epoch.
     prepared: RwLock<PreparedCache>,
     /// Whether the compiled-query cache is consulted (ablation knob).
     query_cache: bool,
+    /// Whether deltas maintain dirty cached pages differentially
+    /// (ablation knob; off = evict and re-evaluate from scratch).
+    differential: bool,
+    /// Standby twin database; the Mutex also serializes delta writers.
+    standby: Mutex<Standby>,
+    /// Delta ops absorbed since the optimizer statistics were last
+    /// recomputed from scratch; bounds stats carry-forward drift.
+    stats_drift: AtomicUsize,
     clicks: AtomicUsize,
     queries_run: AtomicUsize,
     rows_produced: AtomicUsize,
@@ -153,6 +227,10 @@ pub struct DynamicSite {
     evictions: AtomicUsize,
     plan_cache_hits: AtomicUsize,
     plan_cache_misses: AtomicUsize,
+    diff_pages_updated: AtomicUsize,
+    diff_fallbacks: AtomicUsize,
+    diff_rows_added: AtomicUsize,
+    diff_rows_retracted: AtomicUsize,
 }
 
 impl DynamicSite {
@@ -170,6 +248,9 @@ impl DynamicSite {
                 map: HashMap::new(),
             }),
             query_cache: true,
+            differential: true,
+            standby: Mutex::new(Standby::default()),
+            stats_drift: AtomicUsize::new(0),
             clicks: AtomicUsize::new(0),
             queries_run: AtomicUsize::new(0),
             rows_produced: AtomicUsize::new(0),
@@ -177,7 +258,21 @@ impl DynamicSite {
             evictions: AtomicUsize::new(0),
             plan_cache_hits: AtomicUsize::new(0),
             plan_cache_misses: AtomicUsize::new(0),
+            diff_pages_updated: AtomicUsize::new(0),
+            diff_fallbacks: AtomicUsize::new(0),
+            diff_rows_added: AtomicUsize::new(0),
+            diff_rows_retracted: AtomicUsize::new(0),
         }
+    }
+
+    /// Enables or disables differential maintenance of cached pages
+    /// across deltas. On by default; disabling restores the evict-and-
+    /// recompute delta path (a full snapshot rebuild plus guard re-runs
+    /// on the next visit) — the from-scratch baseline for the diff
+    /// experiment. Served content is identical either way.
+    pub fn with_differential(mut self, enabled: bool) -> Self {
+        self.differential = enabled;
+        self
     }
 
     /// Enables or disables the compiled-query cache. On by default;
@@ -222,6 +317,10 @@ impl DynamicSite {
             evictions: self.evictions.load(Ordering::Relaxed),
             plan_cache_hits: self.plan_cache_hits.load(Ordering::Relaxed),
             plan_cache_misses: self.plan_cache_misses.load(Ordering::Relaxed),
+            diff_pages_updated: self.diff_pages_updated.load(Ordering::Relaxed),
+            diff_fallbacks: self.diff_fallbacks.load(Ordering::Relaxed),
+            diff_rows_added: self.diff_rows_added.load(Ordering::Relaxed),
+            diff_rows_retracted: self.diff_rows_retracted.load(Ordering::Relaxed),
         }
     }
 
@@ -300,17 +399,17 @@ impl DynamicSite {
         self.epoch.load(Ordering::Acquire)
     }
 
-    fn shard_of(&self, key: &PageKey) -> &RwLock<HashMap<PageKey, PageView>> {
+    fn shard_of(&self, key: &PageKey) -> &RwLock<HashMap<PageKey, Cached>> {
         let mut h = DefaultHasher::new();
         key.hash(&mut h);
         &self.shards[(h.finish() as usize) % SHARDS]
     }
 
-    /// Inserts a computed view unless a delta landed since `epoch`.
-    fn insert_if_current(&self, epoch: u64, key: PageKey, view: PageView) {
+    /// Inserts a computed page unless a delta landed since `epoch`.
+    fn insert_if_current(&self, epoch: u64, key: PageKey, cached: Cached) {
         let mut shard = self.shard_of(&key).write().unwrap();
         if self.epoch.load(Ordering::Acquire) == epoch {
-            shard.insert(key, view);
+            shard.insert(key, cached);
         }
     }
 
@@ -350,17 +449,18 @@ impl DynamicSite {
     pub fn visit(&self, page: &PageKey) -> StruqlResult<PageView> {
         let _span = strudel_trace::span("engine.visit");
         self.clicks.fetch_add(1, Ordering::Relaxed);
-        if let Some(v) = self.shard_of(page).read().unwrap().get(page) {
+        if let Some(c) = self.shard_of(page).read().unwrap().get(page) {
             self.cache_hits.fetch_add(1, Ordering::Relaxed);
             strudel_trace::count("engine.cache.hits", 1);
-            return Ok(v.clone());
+            return Ok(c.view.clone());
         }
         strudel_trace::count("engine.cache.misses", 1);
         // Epoch and snapshot are read consistently; if a delta lands
         // between compute and insert, the epoch check drops the insert.
         let (epoch, db) = self.snapshot();
-        let view = self.compute(&db, epoch, page)?;
-        self.insert_if_current(epoch, page.clone(), view.clone());
+        let cached = self.compute(&db, epoch, page)?;
+        let view = cached.view.clone();
+        self.insert_if_current(epoch, page.clone(), cached);
         if self.mode == Mode::ContextLookahead {
             // One level of look-ahead: materialize children now, while
             // their guards' context is warm.
@@ -383,16 +483,146 @@ impl DynamicSite {
         Ok(view)
     }
 
-    /// Applies a data-graph delta: rebuilds the database snapshot, swaps
-    /// it in, and evicts exactly the pages the delta dirtied. Concurrent
-    /// `visit`s keep serving throughout (from the old snapshot until the
-    /// swap, from the new one after).
+    /// Applies a data-graph delta: brings the standby twin database up to
+    /// date in O(|Δ|), computes the dirty set, *maintains* dirty cached
+    /// pages by propagating the delta through their stored guard rows
+    /// (see the module docs), swaps the snapshot in, and evicts only the
+    /// dirty pages that could not be maintained. Concurrent `visit`s keep
+    /// serving throughout (from the old snapshot until the swap, from the
+    /// new one after).
     pub fn apply_delta(&self, delta: &GraphDelta) -> StruqlResult<InvalidationOutcome> {
         let _span = strudel_trace::span("engine.apply_delta");
-        // Atomicity: the delta is applied to a CLONE of the current graph,
-        // and any error — a non-applicable op or a failed invalidation —
-        // returns before the swap below. A rejected delta therefore leaves
-        // the served snapshot, the epoch, and the page cache untouched.
+        if !self.differential {
+            return self.apply_delta_from_scratch(delta);
+        }
+        // The standby lock serializes delta writers end to end, so the
+        // maintenance pass below races only with readers.
+        let mut standby = self.standby.lock().unwrap();
+        let old_db = self.database();
+        // Atomicity: the delta is validated and applied against the twin,
+        // and any error returns before the swap below — the twin (equal to
+        // the live snapshot at that point) is parked for the next delta. A
+        // rejected delta therefore leaves the served snapshot, the epoch,
+        // and the page cache untouched.
+        let mut twin = self.catch_up_standby(&mut standby, &old_db);
+        if let Err(e) = twin.apply_delta(delta) {
+            standby.db = Some(Arc::new(twin));
+            standby.lag.clear();
+            return Err(StruqlError::Eval {
+                message: format!("delta does not apply: {e}"),
+            });
+        }
+        self.carry_stats_forward(&old_db, &twin, delta.len());
+        let dirty = invalidate::dirty_pages(&self.schema, &old_db, &twin, delta)?;
+
+        // Maintain dirty cached pages against the pre/post databases
+        // before the swap; fallbacks are evicted below.
+        let touch = DeltaTouch::of(delta);
+        let mut maintained: Vec<(PageKey, Cached)> = Vec::new();
+        let mut fallbacks = 0usize;
+        if !dirty.pages.is_empty() || !dirty.symbols.is_empty() {
+            let old_ev = self.evaluator(&old_db);
+            let new_ev = self.evaluator(&twin);
+            // Enumerate dirty *cached* entries without scanning the whole
+            // cache when the dirty set is exact — maintenance cost must
+            // track |Δ|, not site size.
+            let candidates: Vec<(PageKey, Cached)> = if dirty.symbols.is_empty() {
+                dirty
+                    .pages
+                    .iter()
+                    .filter_map(|k| {
+                        let shard = self.shard_of(k).read().unwrap();
+                        shard.get(k).map(|c| (k.clone(), c.clone()))
+                    })
+                    .collect()
+            } else {
+                self.shards
+                    .iter()
+                    .flat_map(|s| {
+                        s.read()
+                            .unwrap()
+                            .iter()
+                            .filter(|(k, _)| dirty.contains(k))
+                            .map(|(k, c)| (k.clone(), c.clone()))
+                            .collect::<Vec<_>>()
+                    })
+                    .collect()
+            };
+            for (key, cached) in candidates {
+                match self.maintain_cached(&key, &cached, &old_ev, &new_ev, &touch) {
+                    Some(updated) => maintained.push((key, updated)),
+                    None => fallbacks += 1,
+                }
+            }
+        }
+
+        // Install the new snapshot; the epoch bump (under the same write
+        // lock) invalidates in-flight computations against the old one.
+        // The previous live Arc becomes the next standby, one delta behind.
+        let new_db = Arc::new(twin);
+        let new_epoch = {
+            let mut db = self.db.write().unwrap();
+            let e = self.epoch.fetch_add(1, Ordering::AcqRel) + 1;
+            let prev = std::mem::replace(&mut *db, new_db);
+            standby.db = Some(prev);
+            standby.lag.clear();
+            standby.lag.push(delta.clone());
+            e
+        };
+        self.flush_prepared(new_epoch);
+
+        let maintained_keys: HashSet<&PageKey> =
+            maintained.iter().map(|(k, _)| k).collect();
+        let mut evicted = 0;
+        if dirty.symbols.is_empty() {
+            for key in &dirty.pages {
+                if maintained_keys.contains(key) {
+                    continue;
+                }
+                if self.shard_of(key).write().unwrap().remove(key).is_some() {
+                    evicted += 1;
+                }
+            }
+        } else {
+            for shard in &self.shards {
+                let mut map = shard.write().unwrap();
+                let before = map.len();
+                map.retain(|key, _| !dirty.contains(key) || maintained_keys.contains(key));
+                evicted += before - map.len();
+            }
+        }
+        let updated = maintained.len();
+        for (key, cached) in maintained {
+            // Overwrites any racing fresh insert; both were computed
+            // against the new snapshot, and the maintained rows are the
+            // ones future deltas must diff against.
+            self.shard_of(&key).write().unwrap().insert(key, cached);
+        }
+        drop(standby);
+
+        self.evictions.fetch_add(evicted, Ordering::Relaxed);
+        self.diff_pages_updated.fetch_add(updated, Ordering::Relaxed);
+        self.diff_fallbacks.fetch_add(fallbacks, Ordering::Relaxed);
+        strudel_trace::count("engine.diff.pages.updated", updated as u64);
+        strudel_trace::count("engine.diff.fallbacks", fallbacks as u64);
+        strudel_trace::event_with("engine.invalidate", || {
+            format!(
+                "pages={} symbols={} evicted={evicted} updated={updated}",
+                dirty.pages.len(),
+                dirty.symbols.len()
+            )
+        });
+        Ok(InvalidationOutcome {
+            dirty,
+            evicted,
+            updated,
+        })
+    }
+
+    /// The pre-differential delta path (and the `with_differential(false)`
+    /// baseline): clone the graph, re-index it from scratch, swap, and
+    /// evict every dirty page.
+    fn apply_delta_from_scratch(&self, delta: &GraphDelta) -> StruqlResult<InvalidationOutcome> {
         let old_db = self.database();
         let mut graph = old_db.graph().clone();
         delta.apply(&mut graph).map_err(|e| StruqlError::Eval {
@@ -401,8 +631,6 @@ impl DynamicSite {
         let new_db = Arc::new(Database::from_graph(graph, old_db.level()));
         let dirty = invalidate::dirty_pages(&self.schema, &old_db, &new_db, delta)?;
 
-        // Install the new snapshot; the epoch bump (under the same write
-        // lock) invalidates in-flight computations against the old one.
         let new_epoch = {
             let mut db = self.db.write().unwrap();
             let e = self.epoch.fetch_add(1, Ordering::AcqRel) + 1;
@@ -426,7 +654,126 @@ impl DynamicSite {
                 dirty.symbols.len()
             )
         });
-        Ok(InvalidationOutcome { dirty, evicted })
+        Ok(InvalidationOutcome {
+            dirty,
+            evicted,
+            updated: 0,
+        })
+    }
+
+    /// Produces an owned database equal to the live snapshot, preferring
+    /// the parked standby twin (caught up through its lag deltas in
+    /// O(|lag|)) and falling back to a full clone-and-reindex when there
+    /// is no twin yet or an outside reader still holds it.
+    fn catch_up_standby(&self, standby: &mut Standby, live: &Arc<Database>) -> Database {
+        if let Some(arc) = standby.db.take() {
+            if let Ok(mut db) = Arc::try_unwrap(arc) {
+                let mut ok = true;
+                for lagged in &standby.lag {
+                    // Lag deltas were validated against exactly this
+                    // lineage when they were applied to the live side, so
+                    // failure here is a logic error; recover by rebuilding.
+                    if db.apply_delta(lagged).is_err() {
+                        ok = false;
+                        break;
+                    }
+                }
+                if ok {
+                    standby.lag.clear();
+                    return db;
+                }
+            }
+        }
+        standby.lag.clear();
+        strudel_trace::count("engine.diff.standby_rebuilds", 1);
+        Database::from_graph(live.graph().clone(), live.level())
+    }
+
+    /// Seeds the twin's optimizer statistics from the live snapshot's
+    /// cached ones, unless the accumulated drift since the last fresh scan
+    /// exceeds the cap (then the next `stats()` call rescans). Statistics
+    /// only steer join ordering, never results.
+    fn carry_stats_forward(&self, old_db: &Database, twin: &Database, delta_ops: usize) {
+        let drift =
+            self.stats_drift.fetch_add(delta_ops, Ordering::Relaxed) + delta_ops;
+        let cap = 256.max(twin.graph().edge_count() / 8);
+        if drift <= cap {
+            if let Some(stats) = old_db.cached_stats() {
+                twin.seed_stats(stats);
+            }
+        } else {
+            self.stats_drift.store(0, Ordering::Relaxed);
+        }
+    }
+
+    /// Maintains one dirty cached page differentially: diffs every stored
+    /// guard the delta touches, applies the signed rows with count-based
+    /// retraction, and re-projects the view. `None` means the page must
+    /// fall back to eviction (no stored rows, a diff the stored counts
+    /// cannot absorb, a variable-layout mismatch, or a projection error).
+    fn maintain_cached(
+        &self,
+        page: &PageKey,
+        cached: &Cached,
+        old_ev: &Evaluator<'_>,
+        new_ev: &Evaluator<'_>,
+        touch: &DeltaTouch,
+    ) -> Option<Cached> {
+        let edges = cached.diff.as_ref()?;
+        let mut next: Vec<EdgeRows> = Vec::with_capacity(edges.len());
+        let mut added = 0usize;
+        let mut retracted = 0usize;
+        for er in edges {
+            let edge = &self.schema.edges[er.ei];
+            if !touch.touches(&edge.guard) {
+                next.push(er.clone());
+                continue;
+            }
+            let seeds = self.seed_for_edge(edge, page)?;
+            let out = diff_where(old_ev, new_ev, &edge.guard, &seeds, touch).ok()?;
+            if out.vars != er.vars {
+                return None;
+            }
+            let mut rows = er.rows.clone();
+            if !apply_diff(&mut rows, &out.rows) {
+                return None;
+            }
+            for (_, n) in &out.rows {
+                if *n > 0 {
+                    added += *n as usize;
+                } else {
+                    retracted += (-*n) as usize;
+                }
+            }
+            next.push(EdgeRows {
+                ei: er.ei,
+                vars: er.vars.clone(),
+                rows,
+            });
+        }
+        let mut view = PageView::default();
+        for er in &next {
+            let edge = &self.schema.edges[er.ei];
+            for (row, _) in &er.rows {
+                match self.project_row(edge, &er.vars, row, page) {
+                    Ok(Some(entry)) => {
+                        if !view.edges.contains(&entry) {
+                            view.edges.push(entry);
+                        }
+                    }
+                    Ok(None) => {}
+                    Err(_) => return None,
+                }
+            }
+        }
+        self.diff_rows_added.fetch_add(added, Ordering::Relaxed);
+        self.diff_rows_retracted.fetch_add(retracted, Ordering::Relaxed);
+        strudel_trace::count("engine.diff.rows.added", added as u64);
+        strudel_trace::count("engine.diff.rows.retracted", retracted as u64);
+        Some(Cached {
+            view,
+            diff: Some(next),
+        })
     }
 
     /// Drops every cached page (e.g. after out-of-band database surgery).
@@ -492,17 +839,69 @@ impl DynamicSite {
         Some(seeds)
     }
 
+    /// Projects one bindings row of `edge`'s guard into a page link.
+    /// `Ok(None)` means the row belongs to a different page of the same
+    /// symbol (Naive mode evaluates unseeded and filters here).
+    fn project_row(
+        &self,
+        edge: &SchemaEdge,
+        vars: &[String],
+        row: &[Option<Value>],
+        page: &PageKey,
+    ) -> StruqlResult<Option<(String, DynTarget)>> {
+        let src_vals = eval_args(&edge.src_args, vars, row)?;
+        if src_vals != page.args {
+            return Ok(None);
+        }
+        let label = match &edge.label {
+            LabelTerm::Const(s) => s.clone(),
+            LabelTerm::Var(v) => {
+                let idx = vars.iter().position(|x| x == v).ok_or_else(|| {
+                    StruqlError::Eval {
+                        message: format!("arc variable '{v}' missing"),
+                    }
+                })?;
+                match &row[idx] {
+                    Some(Value::Str(s)) => s.to_string(),
+                    other => {
+                        return Err(StruqlError::Eval {
+                            message: format!(
+                                "arc variable '{v}' bound to {other:?}, not a label"
+                            ),
+                        })
+                    }
+                }
+            }
+        };
+        let target = match &self.schema.nodes[edge.to] {
+            SchemaNode::Skolem(sym) => DynTarget::Page(PageKey {
+                symbol: sym.clone(),
+                args: eval_args(&edge.dst_args, vars, row)?,
+            }),
+            SchemaNode::Ns => {
+                let vals = eval_args(&edge.dst_args, vars, row)?;
+                DynTarget::Data(vals.into_iter().next().expect("one NS target"))
+            }
+        };
+        Ok(Some((label, target)))
+    }
+
     /// Evaluates the incremental queries for one page against `db` (the
-    /// snapshot stamped by `epoch`), executing cached prepared plans.
-    fn compute(&self, db: &Database, epoch: u64, page: &PageKey) -> StruqlResult<PageView> {
+    /// snapshot stamped by `epoch`), executing cached prepared plans. In
+    /// differential Context modes the guard rows are kept (count-annotated)
+    /// beside the view so later deltas can maintain the page in place.
+    fn compute(&self, db: &Database, epoch: u64, page: &PageKey) -> StruqlResult<Cached> {
         let _span = strudel_trace::span("engine.compute");
         let Some(node) = self.schema.node_index(&page.symbol) else {
             return Err(StruqlError::Eval {
                 message: format!("unknown page symbol '{}'", page.symbol),
             });
         };
+        // Naive rows span every page of the symbol — too broad to keep.
+        let keep_rows = self.differential && self.mode != Mode::Naive;
         let ev = self.evaluator(db);
         let mut view = PageView::default();
+        let mut diff: Vec<EdgeRows> = Vec::new();
         for (ei, edge) in self.schema.edges.iter().enumerate() {
             if edge.from != node {
                 continue;
@@ -523,49 +922,24 @@ impl DynamicSite {
             self.queries_run.fetch_add(1, Ordering::Relaxed);
             self.rows_produced.fetch_add(rows.len(), Ordering::Relaxed);
             for row in &rows {
-                // In Naive mode (or with nested-Skolem args) filter rows to
-                // the visited page.
-                let src_vals = eval_args(&edge.src_args, vars, row)?;
-                if src_vals != page.args {
-                    continue;
-                }
-                let label = match &edge.label {
-                    LabelTerm::Const(s) => s.clone(),
-                    LabelTerm::Var(v) => {
-                        let idx = vars.iter().position(|x| x == v).ok_or_else(|| {
-                            StruqlError::Eval {
-                                message: format!("arc variable '{v}' missing"),
-                            }
-                        })?;
-                        match &row[idx] {
-                            Some(Value::Str(s)) => s.to_string(),
-                            other => {
-                                return Err(StruqlError::Eval {
-                                    message: format!(
-                                        "arc variable '{v}' bound to {other:?}, not a label"
-                                    ),
-                                })
-                            }
-                        }
+                if let Some(entry) = self.project_row(edge, vars, row, page)? {
+                    if !view.edges.contains(&entry) {
+                        view.edges.push(entry);
                     }
-                };
-                let target = match &self.schema.nodes[edge.to] {
-                    SchemaNode::Skolem(sym) => DynTarget::Page(PageKey {
-                        symbol: sym.clone(),
-                        args: eval_args(&edge.dst_args, vars, row)?,
-                    }),
-                    SchemaNode::Ns => {
-                        let vals = eval_args(&edge.dst_args, vars, row)?;
-                        DynTarget::Data(vals.into_iter().next().expect("one NS target"))
-                    }
-                };
-                let entry = (label, target);
-                if !view.edges.contains(&entry) {
-                    view.edges.push(entry);
                 }
             }
+            if keep_rows {
+                diff.push(EdgeRows {
+                    ei,
+                    vars: vars.to_vec(),
+                    rows: count_rows(&rows),
+                });
+            }
         }
-        Ok(view)
+        Ok(Cached {
+            view,
+            diff: keep_rows.then_some(diff),
+        })
     }
 
     /// Explains how `page` would be served: one [`ExplainReport`] per
@@ -615,6 +989,24 @@ pub struct EdgeExplain {
     pub target: String,
     /// Per-step estimates vs actuals for the edge's guard.
     pub report: ExplainReport,
+}
+
+/// Coalesces plain bindings rows into count-annotated ones (count =
+/// derivation multiplicity), preserving first-occurrence order — the form
+/// [`apply_diff`] maintains across deltas.
+fn count_rows(rows: &[Vec<Option<Value>>]) -> Vec<SignedRow> {
+    let mut index: HashMap<&[Option<Value>], usize> = HashMap::new();
+    let mut out: Vec<SignedRow> = Vec::new();
+    for row in rows {
+        match index.get(row.as_slice()) {
+            Some(&i) => out[i].1 += 1,
+            None => {
+                index.insert(row.as_slice(), out.len());
+                out.push((row.clone(), 1));
+            }
+        }
+    }
+    out
 }
 
 /// Evaluates Skolem argument terms against a bindings row.
@@ -906,7 +1298,7 @@ mod tests {
     }
 
     #[test]
-    fn apply_delta_evicts_only_dirty_pages() {
+    fn apply_delta_maintains_dirty_pages_in_place() {
         let db = db();
         let p1 = db.graph().node_by_name("p1").unwrap();
         let p2 = Value::Node(db.graph().node_by_name("p2").unwrap());
@@ -929,7 +1321,62 @@ mod tests {
         delta.remove_edge(p1, "title", Value::string("Alpha"));
         delta.add_edge(p1, "title", Value::string("Alpha (rev)"));
         let outcome = site.apply_delta(&delta).unwrap();
+        // p1 is dirty but its cached rows absorb the diff: updated in
+        // place, nothing evicted.
+        assert!(outcome.dirty.contains(&p1_key), "{:?}", outcome.dirty);
+        assert_eq!(outcome.updated, 1, "{:?}", outcome.dirty);
+        assert_eq!(outcome.evicted, 0, "{:?}", outcome.dirty);
+        assert_eq!(site.cached_pages(), 2, "both pages stay cached");
+
+        // Revisit p1: served from cache with the maintained content.
+        let hits_before = site.metrics().cache_hits;
+        let queries_before = site.metrics().queries_run;
+        let after = site.visit(&p1_key).unwrap();
+        assert_eq!(site.metrics().cache_hits, hits_before + 1, "p1 was a hit");
+        assert_eq!(site.metrics().queries_run, queries_before, "no guard re-ran");
+        assert_ne!(before, after);
+        assert!(after.edges.iter().any(|(l, t)| l == "title"
+            && *t == DynTarget::Data(Value::string("Alpha (rev)"))));
+        assert!(
+            !after.edges.iter().any(|(_, t)| *t == DynTarget::Data(Value::string("Alpha"))),
+            "old title retracted: {after:?}"
+        );
+
+        // Revisit p2: untouched and still served from cache.
+        site.visit(&p2_key).unwrap();
+        assert_eq!(site.metrics().cache_hits, hits_before + 2);
+        let m = site.metrics();
+        assert_eq!(m.diff_pages_updated, 1);
+        assert_eq!(m.diff_fallbacks, 0);
+        assert!(m.diff_rows_added >= 1 && m.diff_rows_retracted >= 1, "{m:?}");
+    }
+
+    #[test]
+    fn differential_off_evicts_dirty_pages() {
+        let db = db();
+        let p1 = db.graph().node_by_name("p1").unwrap();
+        let p2 = Value::Node(db.graph().node_by_name("p2").unwrap());
+        let program = parse(QUERY).unwrap();
+        let site = DynamicSite::new(db, &program, Mode::Context).with_differential(false);
+
+        let p1_key = PageKey {
+            symbol: "PaperPage".into(),
+            args: vec![Value::Node(p1)],
+        };
+        let p2_key = PageKey {
+            symbol: "PaperPage".into(),
+            args: vec![p2],
+        };
+        let before = site.visit(&p1_key).unwrap();
+        site.visit(&p2_key).unwrap();
+        assert_eq!(site.cached_pages(), 2);
+
+        let mut delta = GraphDelta::new();
+        delta.remove_edge(p1, "title", Value::string("Alpha"));
+        delta.add_edge(p1, "title", Value::string("Alpha (rev)"));
+        let outcome = site.apply_delta(&delta).unwrap();
         assert_eq!(outcome.evicted, 1, "{:?}", outcome.dirty);
+        assert_eq!(outcome.updated, 0);
         assert_eq!(site.cached_pages(), 1, "p2 stays cached");
 
         // Revisit p1: recomputed against the new snapshot.
@@ -943,6 +1390,162 @@ mod tests {
         // Revisit p2: still served from cache.
         site.visit(&p2_key).unwrap();
         assert_eq!(site.metrics().cache_hits, hits_before + 1);
+    }
+
+    #[test]
+    fn maintained_views_match_fresh_computation() {
+        // The maintained cache and a cold engine over the post-delta
+        // database must serve identical content for every page.
+        let db = db();
+        let p1 = db.graph().node_by_name("p1").unwrap();
+        let p3 = db.graph().node_by_name("p3").unwrap();
+        let program = parse(QUERY).unwrap();
+        let site = DynamicSite::new(db, &program, Mode::Context);
+
+        let keys: Vec<PageKey> = [p1, p3]
+            .iter()
+            .map(|n| PageKey {
+                symbol: "PaperPage".into(),
+                args: vec![Value::Node(*n)],
+            })
+            .chain([root()])
+            .collect();
+        for k in &keys {
+            site.visit(k).unwrap();
+        }
+
+        // Mixed delta: retitle p1, move p3 to a new year, add a paper.
+        let mut delta = GraphDelta::new();
+        delta.remove_edge(p1, "title", Value::string("Alpha"));
+        delta.add_edge(p1, "title", Value::string("Alpha v2"));
+        delta.remove_edge(p3, "year", Value::Int(1997));
+        delta.add_edge(p3, "year", Value::Int(1999));
+        delta.add_node(Some("p4"));
+        let oid = strudel_graph::Oid::from_index(site.database().graph().node_count());
+        delta.add_edge(oid, "title", Value::string("Delta"));
+        delta.collect("Publications", Value::Node(oid));
+        let outcome = site.apply_delta(&delta).unwrap();
+        assert!(outcome.updated >= 1, "{outcome:?}");
+
+        let fresh = DynamicSite::new(site.database(), &program, Mode::Context);
+        let sort = |mut v: PageView| {
+            v.edges.sort_by(|a, b| format!("{a:?}").cmp(&format!("{b:?}")));
+            v
+        };
+        for k in &keys {
+            assert_eq!(
+                sort(site.visit(k).unwrap()),
+                sort(fresh.visit(k).unwrap()),
+                "page {k:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn irrelevant_delta_neither_updates_nor_evicts() {
+        let db = db();
+        let p1 = db.graph().node_by_name("p1").unwrap();
+        let program = parse(QUERY).unwrap();
+        let site = DynamicSite::new(db, &program, Mode::Context);
+        site.visit(&root()).unwrap();
+        let cached = site.cached_pages();
+
+        // "abstract" appears in no guard: nothing is dirty, nothing moves.
+        let mut delta = GraphDelta::new();
+        delta.add_edge(p1, "abstract", Value::string("..."));
+        let outcome = site.apply_delta(&delta).unwrap();
+        assert!(outcome.dirty.pages.is_empty(), "{:?}", outcome.dirty);
+        assert!(outcome.dirty.symbols.is_empty(), "{:?}", outcome.dirty);
+        assert_eq!(outcome.evicted, 0);
+        assert_eq!(outcome.updated, 0);
+        assert_eq!(site.cached_pages(), cached);
+
+        let hits = site.metrics().cache_hits;
+        site.visit(&root()).unwrap();
+        assert_eq!(site.metrics().cache_hits, hits + 1, "still a cache hit");
+    }
+
+    #[test]
+    fn naive_mode_falls_back_to_eviction() {
+        // Naive pages carry no delta-ready rows; dirty ones are evicted
+        // and counted as fallbacks.
+        let db = db();
+        let p1 = db.graph().node_by_name("p1").unwrap();
+        let program = parse(QUERY).unwrap();
+        let site = DynamicSite::new(db, &program, Mode::Naive);
+        let p1_key = PageKey {
+            symbol: "PaperPage".into(),
+            args: vec![Value::Node(p1)],
+        };
+        site.visit(&p1_key).unwrap();
+
+        let mut delta = GraphDelta::new();
+        delta.remove_edge(p1, "title", Value::string("Alpha"));
+        delta.add_edge(p1, "title", Value::string("Alpha (rev)"));
+        let outcome = site.apply_delta(&delta).unwrap();
+        assert_eq!(outcome.updated, 0);
+        assert_eq!(outcome.evicted, 1);
+        assert_eq!(site.metrics().diff_fallbacks, 1);
+
+        let after = site.visit(&p1_key).unwrap();
+        assert!(after.edges.iter().any(|(l, t)| l == "title"
+            && *t == DynTarget::Data(Value::string("Alpha (rev)"))));
+    }
+
+    #[test]
+    fn standby_twin_absorbs_consecutive_deltas() {
+        // Several deltas in a row exercise the standby catch-up path
+        // (swap, reclaim, replay lag, re-apply) and must keep serving
+        // exactly what a cold engine computes.
+        let db = db();
+        let p1 = db.graph().node_by_name("p1").unwrap();
+        let program = parse(QUERY).unwrap();
+        let site = DynamicSite::new(db, &program, Mode::Context);
+        let p1_key = PageKey {
+            symbol: "PaperPage".into(),
+            args: vec![Value::Node(p1)],
+        };
+        site.visit(&p1_key).unwrap();
+
+        for (i, title) in ["Alpha", "rev 1", "rev 2", "rev 3"].windows(2).enumerate() {
+            let mut delta = GraphDelta::new();
+            delta.remove_edge(p1, "title", Value::string(title[0]));
+            delta.add_edge(p1, "title", Value::string(title[1]));
+            let outcome = site.apply_delta(&delta).unwrap();
+            assert_eq!(outcome.updated, 1, "delta #{i}");
+            assert_eq!(site.epoch(), (i + 1) as u64);
+        }
+        let view = site.visit(&p1_key).unwrap();
+        assert!(view.edges.iter().any(|(l, t)| l == "title"
+            && *t == DynTarget::Data(Value::string("rev 3"))));
+        let fresh = DynamicSite::new(site.database(), &program, Mode::Context);
+        assert_eq!(view, fresh.visit(&p1_key).unwrap());
+    }
+
+    #[test]
+    fn rejected_delta_parks_the_twin_and_changes_nothing() {
+        let db = db();
+        let p1 = db.graph().node_by_name("p1").unwrap();
+        let program = parse(QUERY).unwrap();
+        let site = DynamicSite::new(db, &program, Mode::Context);
+        site.visit(&root()).unwrap();
+        let epoch = site.epoch();
+        let cached = site.cached_pages();
+
+        // Removing an edge that does not exist must be rejected atomically.
+        let mut bad = GraphDelta::new();
+        bad.remove_edge(p1, "title", Value::string("No Such Title"));
+        let err = site.apply_delta(&bad).unwrap_err();
+        assert!(err.to_string().contains("delta does not apply"), "{err}");
+        assert_eq!(site.epoch(), epoch);
+        assert_eq!(site.cached_pages(), cached);
+
+        // And a good delta afterwards still applies cleanly.
+        let mut good = GraphDelta::new();
+        good.remove_edge(p1, "title", Value::string("Alpha"));
+        good.add_edge(p1, "title", Value::string("Alpha (rev)"));
+        site.apply_delta(&good).unwrap();
+        assert_eq!(site.epoch(), epoch + 1);
     }
 
     #[test]
@@ -1032,6 +1635,7 @@ mod tests {
     fn delta_flushes_prepared_plans() {
         let db = db();
         let p1 = db.graph().node_by_name("p1").unwrap();
+        let p2 = db.graph().node_by_name("p2").unwrap();
         let program = parse(QUERY).unwrap();
         let site = DynamicSite::new(db, &program, Mode::Context);
         let p1_key = PageKey {
@@ -1047,9 +1651,15 @@ mod tests {
         site.apply_delta(&delta).unwrap();
 
         // Post-delta plans are prepared against the new snapshot's stats
-        // and interner — the old entries must not be served. The delta
-        // evicted p1's page, so its guards re-run on the next visit.
-        site.visit(&p1_key).unwrap();
+        // and interner — the old entries must not be served. p1's page was
+        // maintained in place (no guard re-runs), so visit a *different*
+        // page of the same symbol: its guards were compiled pre-delta and
+        // must recompile now.
+        site.visit(&PageKey {
+            symbol: "PaperPage".into(),
+            args: vec![Value::Node(p2)],
+        })
+        .unwrap();
         assert!(
             site.metrics().plan_cache_misses > misses_cold,
             "stale plans flushed: {:?}",

@@ -86,18 +86,30 @@ pub fn incremental_update(
 
     let chains = flatten(program);
     // DRed needs every chain seedable from single facts and every Skolem
-    // argument invertible through the memo table.
+    // argument invertible through the memo table. A multi-step regex
+    // blocks seeding only when a *deleted edge's label* could actually be
+    // traversed by it — deletions of labels the regex can never cross
+    // cannot shrink any matched path, so such chains stay DRed-able.
+    let delete_edge_labels: Vec<&str> = delta
+        .ops()
+        .iter()
+        .filter_map(|op| match op {
+            DeltaOp::RemoveEdge { label, .. } => Some(label.as_ref()),
+            _ => None,
+        })
+        .collect();
     let deletions_supported = chains.iter().all(|c| {
-        let no_regex = !c.conds.iter().any(|cond| {
+        let regex_safe = !c.conds.iter().any(|cond| {
             matches!(
                 cond,
                 Condition::Path {
                     path: PathSpec::Regex(r),
                     ..
                 } if r.as_single_step().is_none()
+                    && delete_edge_labels.iter().any(|l| r.could_traverse(l))
             )
         });
-        no_regex
+        regex_safe
             && c.block.link.iter().all(|l| flat_term(&l.src) && flat_term(&l.dst))
             && c.block.collect.iter().all(|ce| flat_term(&ce.arg))
     });
@@ -289,7 +301,10 @@ pub fn incremental_update(
     for chain in &chains {
         // Chains containing a multi-step regex cannot be seeded soundly by
         // a single edge fact (the new edge may extend a path anywhere), so
-        // re-derive the whole chain once if any fact exists.
+        // re-derive the whole chain once — but only when some fact is
+        // actually *relevant* to it: unifiable with one of its atoms, or an
+        // edge whose label one of its regexes could traverse. Irrelevant
+        // facts cannot change the chain's bindings.
         let has_regex = chain.conds.iter().any(|c| {
             matches!(
                 c,
@@ -300,7 +315,13 @@ pub fn incremental_update(
             )
         });
         if has_regex {
-            if !facts.is_empty() {
+            let relevant = facts.iter().any(|f| {
+                chain
+                    .conds
+                    .iter()
+                    .any(|c| unify(c, f).is_some() || fact_touches_regex_fallback(c, f))
+            });
+            if relevant {
                 let (vars, rows) = ev.eval_where_bindings(&chain.conds, &[])?;
                 rows_recomputed += rows.len();
                 let translated = translate_rows(rows, &oid_map);
@@ -411,6 +432,24 @@ pub(crate) fn collect_delete_facts(delta: &GraphDelta) -> Vec<Fact> {
             _ => None,
         })
         .collect()
+}
+
+/// A path condition whose regex cannot be localized to a single edge
+/// step, yet could involve the edge label of `fact`. A multi-step regex
+/// that can never traverse the fact's label is *not* touched — inserting
+/// or retracting such an edge cannot change any path the regex matches.
+/// Shared by the wholesale-rederive gate here and by page invalidation.
+pub(crate) fn fact_touches_regex_fallback(cond: &Condition, fact: &Fact) -> bool {
+    let (Condition::Path { path, .. }, Fact::Edge { label, .. }) = (cond, fact) else {
+        return false;
+    };
+    match path {
+        PathSpec::ArcVar(_) => false,
+        PathSpec::Regex(r) => match r.as_single_step() {
+            Some(StepPred::Label(_)) | Some(StepPred::Any) => false,
+            None => r.could_traverse(label),
+        },
+    }
 }
 
 /// Whether a construction term's Skolem arguments are all variables or
@@ -1035,6 +1074,74 @@ mod tests {
         let reference = full_reference(&db, &program, &delta);
         let out = incremental_update(&program, &db, &delta, old).unwrap();
         assert!(!out.full_reeval);
+        assert!(graphs_equivalent(&out.result.graph, &reference.graph));
+    }
+
+    /// Deleting an edge whose label the chain's Kleene closure can never
+    /// traverse must stay on the incremental path: the regex is irrelevant
+    /// to the deletion, so DRed remains sound.
+    #[test]
+    fn irrelevant_label_deletion_stays_incremental_despite_kleene() {
+        let g0 = ddl::parse(
+            r#"
+            object root in Roots { child : &a; note : "draft"; }
+            object a { label : "a"; }
+        "#,
+        )
+        .unwrap();
+        let db = Database::from_graph(g0, IndexLevel::Full);
+        let program = parse(
+            r#"
+            where Roots(r), r -> "child"* -> n
+            create Copy(n)
+            collect Reach(Copy(n))
+        "#,
+        )
+        .unwrap();
+        let old = Evaluator::new(&db).eval(&program).unwrap();
+        let root = db.graph().node_by_name("root").unwrap();
+        let mut delta = GraphDelta::new();
+        delta.remove_edge(root, "note", Value::string("draft"));
+        let reference = full_reference(&db, &program, &delta);
+        let out = incremental_update(&program, &db, &delta, old).unwrap();
+        assert!(
+            !out.full_reeval,
+            "'note' cannot be traversed by \"child\"* — no fallback needed"
+        );
+        assert!(graphs_equivalent(&out.result.graph, &reference.graph));
+    }
+
+    /// Inserting an edge irrelevant to a Kleene chain must not trigger the
+    /// wholesale rederivation of that chain.
+    #[test]
+    fn irrelevant_insert_skips_wholesale_kleene_rederivation() {
+        let g0 = ddl::parse(
+            r#"
+            object root in Roots { child : &a; }
+            object a { label : "a"; }
+        "#,
+        )
+        .unwrap();
+        let db = Database::from_graph(g0, IndexLevel::Full);
+        let program = parse(
+            r#"
+            where Roots(r), r -> "child"* -> n
+            create Copy(n)
+            collect Reach(Copy(n))
+        "#,
+        )
+        .unwrap();
+        let old = Evaluator::new(&db).eval(&program).unwrap();
+        let root = db.graph().node_by_name("root").unwrap();
+        let mut delta = GraphDelta::new();
+        delta.add_edge(root, "note", Value::string("draft"));
+        let reference = full_reference(&db, &program, &delta);
+        let out = incremental_update(&program, &db, &delta, old).unwrap();
+        assert!(!out.full_reeval);
+        assert_eq!(
+            out.rows_recomputed, 0,
+            "no chain atom relates to 'note'; nothing to rederive"
+        );
         assert!(graphs_equivalent(&out.result.graph, &reference.graph));
     }
 

@@ -16,13 +16,14 @@
 //! symbols' pages untouched.
 
 use crate::dynamic::{eval_args, PageKey};
-use crate::incremental::{collect_delete_facts, collect_facts, fact_in_graph, unify, Fact};
+use crate::incremental::{
+    collect_delete_facts, collect_facts, fact_in_graph, fact_touches_regex_fallback, unify, Fact,
+};
 use crate::SiteSchema;
 use std::collections::HashSet;
 use strudel_graph::GraphDelta;
 use strudel_repo::Database;
-use strudel_struql::rpe::StepPred;
-use strudel_struql::{Condition, Evaluator, PathSpec, StruqlResult, Term};
+use strudel_struql::{Condition, Evaluator, StruqlResult, Term};
 
 /// The pages a delta dirties: exact keys plus wholesale-dirty symbols.
 #[derive(Clone, Debug, Default)]
@@ -53,24 +54,16 @@ impl DirtySet {
 fn fact_touches_negation(cond: &Condition, fact: &Fact) -> bool {
     match cond {
         Condition::Not(inner, _) => {
-            unify(inner, fact).is_some() || fact_touches_negation(inner, fact)
+            // The inner existential relates to the fact either through
+            // direct unification or — for multi-step regexes, which unify
+            // with no single fact — through the label-relevance fallback.
+            // Missing the latter under-invalidates: a retraction feeding a
+            // Kleene closure under not(…) would leave stale pages cached.
+            unify(inner, fact).is_some()
+                || fact_touches_regex_fallback(inner, fact)
+                || fact_touches_negation(inner, fact)
         }
         _ => false,
-    }
-}
-
-/// A path condition whose regex cannot be localized to a single edge
-/// step, yet could involve the edge label of `fact`.
-fn fact_touches_regex_fallback(cond: &Condition, fact: &Fact) -> bool {
-    let (Condition::Path { path, .. }, Fact::Edge { .. }) = (cond, fact) else {
-        return false;
-    };
-    match path {
-        PathSpec::ArcVar(_) => false,
-        PathSpec::Regex(r) => !matches!(
-            r.as_single_step(),
-            Some(StepPred::Label(_)) | Some(StepPred::Any)
-        ),
     }
 }
 
@@ -321,6 +314,97 @@ mod tests {
             symbol: "TitlePage".into(),
             args: vec![Value::Node(p1)],
         }));
+    }
+
+    const KLEENE_QUERY: &str = r#"
+        where Publications(x), x -> "rel"* -> y
+        create RelPage(x)
+        link RelPage(x) -> "reaches" -> y
+        collect Roots(RelPage(x))
+    "#;
+
+    /// Regression: a multi-step regex used to dirty its symbol wholesale
+    /// for *every* edge fact. A delta that only retracts facts whose label
+    /// no guard can traverse must produce an empty dirty set — zero
+    /// evictions.
+    #[test]
+    fn irrelevant_label_retraction_with_kleene_guard_dirties_nothing() {
+        let g = ddl::parse(
+            r#"
+            object p1 in Publications { rel : &p2; note : "draft"; }
+            object p2 in Publications { title : "Beta"; }
+        "#,
+        )
+        .unwrap();
+        let db = Database::from_graph(g, IndexLevel::Full);
+        let schema = SiteSchema::extract(&parse(KLEENE_QUERY).unwrap());
+        let p1 = db.graph().node_by_name("p1").unwrap();
+        let mut delta = GraphDelta::new();
+        delta.remove_edge(p1, "note", Value::string("draft"));
+        let new_db = after(&db, &delta);
+        let dirty = dirty_pages(&schema, &db, &new_db, &delta).unwrap();
+        assert!(dirty.is_empty(), "no guard references 'note': {dirty:?}");
+    }
+
+    /// The flip side: a fact whose label the Kleene closure *can* traverse
+    /// still dirties the symbol wholesale (the edge may extend paths
+    /// anywhere).
+    #[test]
+    fn traversable_label_still_dirties_kleene_symbol_wholesale() {
+        let g = ddl::parse(
+            r#"
+            object p1 in Publications { rel : &p2; }
+            object p2 in Publications { title : "Beta"; }
+        "#,
+        )
+        .unwrap();
+        let db = Database::from_graph(g, IndexLevel::Full);
+        let schema = SiteSchema::extract(&parse(KLEENE_QUERY).unwrap());
+        let p1 = db.graph().node_by_name("p1").unwrap();
+        let p2 = db.graph().node_by_name("p2").unwrap();
+        let mut delta = GraphDelta::new();
+        delta.remove_edge(p1, "rel", Value::Node(p2));
+        let new_db = after(&db, &delta);
+        let dirty = dirty_pages(&schema, &db, &new_db, &delta).unwrap();
+        assert!(dirty.symbols.contains("RelPage"), "{dirty:?}");
+    }
+
+    /// Regression: `not(…)` over a multi-step regex used to relate to *no*
+    /// edge fact (unify can't seed a multi-step regex), silently leaving
+    /// stale pages cached when a retraction changed the closure under the
+    /// negation.
+    #[test]
+    fn negation_over_kleene_dirties_on_traversable_label() {
+        let query = r#"
+            where Publications(x), not(x -> "rel"+ -> y)
+            create LeafPage(x)
+            link LeafPage(x) -> "self" -> x
+            collect Roots(LeafPage(x))
+        "#;
+        let g = ddl::parse(
+            r#"
+            object p1 in Publications { rel : &p2; }
+            object p2 in Publications { title : "Beta"; }
+        "#,
+        )
+        .unwrap();
+        let db = Database::from_graph(g, IndexLevel::Full);
+        let schema = SiteSchema::extract(&parse(query).unwrap());
+        let p1 = db.graph().node_by_name("p1").unwrap();
+        let p2 = db.graph().node_by_name("p2").unwrap();
+        // p1 loses its rel edge: it now satisfies the negation and its
+        // page gains content — the delta must dirty LeafPage.
+        let mut delta = GraphDelta::new();
+        delta.remove_edge(p1, "rel", Value::Node(p2));
+        let new_db = after(&db, &delta);
+        let dirty = dirty_pages(&schema, &db, &new_db, &delta).unwrap();
+        assert!(dirty.symbols.contains("LeafPage"), "{dirty:?}");
+        // An irrelevant label under the same guard still dirties nothing.
+        let mut irrelevant = GraphDelta::new();
+        irrelevant.add_edge(p1, "note", Value::string("draft"));
+        let new_db2 = after(&db, &irrelevant);
+        let dirty2 = dirty_pages(&schema, &db, &new_db2, &irrelevant).unwrap();
+        assert!(dirty2.is_empty(), "{dirty2:?}");
     }
 
     #[test]

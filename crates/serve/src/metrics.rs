@@ -348,6 +348,22 @@ impl ServerStats {
             "strudel_engine_plan_cache_misses_total {}",
             self.engine.plan_cache_misses
         ));
+        line(format!(
+            "strudel_diff_pages_updated_total {}",
+            self.engine.diff_pages_updated
+        ));
+        line(format!(
+            "strudel_diff_fallbacks_total {}",
+            self.engine.diff_fallbacks
+        ));
+        line(format!(
+            "strudel_diff_rows_added_total {}",
+            self.engine.diff_rows_added
+        ));
+        line(format!(
+            "strudel_diff_rows_retracted_total {}",
+            self.engine.diff_rows_retracted
+        ));
         line(format!("strudel_delta_epoch {}", self.epoch));
         line(format!("strudel_slow_requests_total {}", self.slow_requests));
         line(format!("strudel_panics_total {}", self.panics));
@@ -485,7 +501,13 @@ mod tests {
                 evictions: 0,
                 entries: 1,
             },
-            engine: Default::default(),
+            engine: strudel_schema::dynamic::Metrics {
+                diff_pages_updated: 5,
+                diff_fallbacks: 1,
+                diff_rows_added: 9,
+                diff_rows_retracted: 4,
+                ..Default::default()
+            },
             epoch: 0,
             slow_requests: 2,
             panics: 1,
@@ -523,6 +545,10 @@ mod tests {
         assert!(text.contains("strudel_pager_writebacks_total 2"));
         assert!(text.contains("strudel_pager_pool_pages 8"));
         assert!(text.contains("strudel_pager_resident_pages 6"));
+        assert!(text.contains("strudel_diff_pages_updated_total 5"));
+        assert!(text.contains("strudel_diff_fallbacks_total 1"));
+        assert!(text.contains("strudel_diff_rows_added_total 9"));
+        assert!(text.contains("strudel_diff_rows_retracted_total 4"));
     }
 
     #[test]

@@ -1,0 +1,498 @@
+//! Differential evaluation of prepared where-clauses.
+//!
+//! Instead of re-running a guard query after a graph delta, [`diff_where`]
+//! propagates the delta through the compiled plan as a stream of signed
+//! `(row, count)` diffs. Per plan step, with `R` the pre-delta relation
+//! after the steps so far and `D` the accumulated diff (so the post-delta
+//! relation is `R + D` as a multiset), applying condition `A` yields
+//!
+//! ```text
+//! D'  =  D ⋈ A_new  +  R ⋈ A_new  −  R ⋈ A_old
+//! R'  =  R ⋈ A_old
+//! ```
+//!
+//! which is exactly `ΔL⋈R + L⋈ΔR + ΔL⋈ΔR` folded into two engine calls:
+//! `R ⋈ A_new − R ⋈ A_old` is `L⋈ΔR` computed by cancellation, and
+//! `D ⋈ A_new` covers both `ΔL⋈R` and `ΔL⋈ΔR`. Every join runs the real
+//! operator implementations in [`atoms`] against the old or new database
+//! snapshot, so coercion, negation, builtin, and batched-regex semantics
+//! are identical to full evaluation by construction — including Kleene
+//! closures, whose bound-destination probes go through the reverse
+//! adjacency index and whose retractions fall out of the signed
+//! `A_new − A_old` pair with exact counts.
+//!
+//! When a condition cannot be affected by the delta (its labels and
+//! collections are disjoint from the delta's — see [`DeltaTouch`]), the
+//! two `R` terms cancel and the step degenerates to `D' = D ⋈ A` — the
+//! cheap monotone case. When additionally `D` is empty and no later step
+//! is touched, the diff is empty and evaluation stops early.
+//!
+//! Counts are signed and coalesced after every touched step, so a
+//! retraction cancels exactly the derivations the removed fact supported
+//! (count-based deletion rather than delete-and-rederive): a row whose
+//! derivations all disappear nets a negative count, one that keeps a
+//! surviving derivation nets zero and is dropped from the diff.
+
+use super::{atoms, Evaluator, Row};
+use crate::ast::{Condition, PathSpec};
+use crate::error::StruqlResult;
+use crate::plan;
+use std::collections::{HashMap, HashSet};
+use strudel_graph::{GraphDelta, Value};
+
+/// One signed bindings row: the row plus how many derivations the delta
+/// added (positive) or retracted (negative).
+pub type SignedRow = (Row, i64);
+
+/// Which edge labels and collection names a delta touches — the analysis
+/// that decides, per condition, whether the differential step needs the
+/// two-sided `A_new − A_old` form or the cheap `D ⋈ A` form.
+#[derive(Clone, Debug, Default)]
+pub struct DeltaTouch {
+    edge_labels: HashSet<String>,
+    collections: HashSet<String>,
+}
+
+impl DeltaTouch {
+    /// The touch-set of `delta`.
+    pub fn of(delta: &GraphDelta) -> Self {
+        DeltaTouch {
+            edge_labels: delta.edge_labels().map(str::to_owned).collect(),
+            collections: delta.collections().map(str::to_owned).collect(),
+        }
+    }
+
+    /// Whether the delta touches no edge labels and no collections (it may
+    /// still create nodes, which no condition can observe until an edge or
+    /// membership references them).
+    pub fn is_empty(&self) -> bool {
+        self.edge_labels.is_empty() && self.collections.is_empty()
+    }
+
+    /// Whether evaluating `cond` could produce different rows before and
+    /// after the delta. Conservative on `true`; exact on `false`.
+    pub fn touches_cond(&self, cond: &Condition) -> bool {
+        match cond {
+            Condition::Collection { name, .. } => self.collections.contains(name),
+            Condition::Path { path, .. } => match path {
+                // An arc variable matches every edge of the source node.
+                PathSpec::ArcVar(_) => !self.edge_labels.is_empty(),
+                PathSpec::Regex(r) => {
+                    self.edge_labels.iter().any(|l| r.could_traverse(l))
+                }
+            },
+            // Pure value tests — database-independent.
+            Condition::Compare { .. } | Condition::Builtin { .. } => false,
+            // Negation is a per-row filter; it changes exactly when its
+            // inner existential does. The two-sided form handles the
+            // non-monotonicity (A_new − A_old is signed either way).
+            Condition::Not(inner, _) => self.touches_cond(inner),
+        }
+    }
+
+    /// Whether any condition in the list is touched.
+    pub fn touches(&self, conds: &[Condition]) -> bool {
+        conds.iter().any(|c| self.touches_cond(c))
+    }
+}
+
+/// The result of a differential evaluation: the variable slot names (seeds
+/// first, identical to [`Evaluator::eval_where_bindings`]) and the signed
+/// rows whose application to the pre-delta relation yields the post-delta
+/// relation as a multiset. Zero-count rows are already dropped.
+#[derive(Clone, Debug)]
+pub struct DiffOutcome {
+    /// Variable names in slot order.
+    pub vars: Vec<String>,
+    /// Coalesced signed rows, in first-derivation order.
+    pub rows: Vec<SignedRow>,
+}
+
+/// Differentially evaluates a condition list: returns the signed row diff
+/// between evaluating on `new` (post-delta) and on `old` (pre-delta), with
+/// the given seed bindings. `old` and `new` must be snapshots of the same
+/// database immediately before and after the delta `touch` was built from:
+/// rows flowing through the plan reference oids that must be valid in both
+/// graphs (deltas never delete nodes, so this holds for any applied
+/// [`GraphDelta`]).
+pub fn diff_where(
+    old: &Evaluator<'_>,
+    new: &Evaluator<'_>,
+    conds: &[Condition],
+    seed: &[(String, Value)],
+    touch: &DeltaTouch,
+) -> StruqlResult<DiffOutcome> {
+    let mut vars: Vec<String> = seed.iter().map(|(n, _)| n.clone()).collect();
+    for cond in conds {
+        atoms::introduce_vars(cond, &mut vars);
+    }
+    let width = vars.len();
+    let mut seed_row: Row = vec![None; width];
+    for (i, (_, v)) in seed.iter().enumerate() {
+        seed_row[i] = Some(v.clone());
+    }
+
+    let bound: HashSet<String> = seed.iter().map(|(n, _)| n.clone()).collect();
+    // One plan drives both sides: join order does not affect the result,
+    // and planning against the pre-delta statistics keeps this O(|plan|).
+    let plan = plan::plan(conds, &bound, old.db(), old.opts.optimize);
+
+    // R: the pre-delta relation so far (unit counts — exactly the rows the
+    // plain engine would hold at this step). D: the signed diff so far.
+    let mut r_old: Vec<Row> = vec![seed_row];
+    let mut diff: Vec<SignedRow> = Vec::new();
+    let tracing = strudel_trace::enabled();
+
+    for (step, &idx) in plan.order.iter().enumerate() {
+        let cond = &conds[idx];
+        let touched = touch.touches_cond(cond);
+        if !touched && diff.is_empty() {
+            // Nothing differs yet and this step cannot introduce a
+            // difference. If no later step can either, the diff is empty.
+            let rest_touched = plan.order[step + 1..]
+                .iter()
+                .any(|&j| touch.touches_cond(&conds[j]));
+            if !rest_touched {
+                if tracing {
+                    strudel_trace::count("struql.diff.steps.skipped", 1);
+                }
+                return Ok(DiffOutcome { vars, rows: Vec::new() });
+            }
+        }
+        if touched {
+            if tracing {
+                strudel_trace::count("struql.diff.steps.touched", 1);
+            }
+            let d_new = expand_signed(new, cond, &diff, &vars, &plan, step)?;
+            let r_via_new =
+                atoms::apply_partitioned(new, cond, r_old.clone(), &vars, &plan, step)?;
+            let r_via_old = atoms::apply_partitioned(old, cond, r_old, &vars, &plan, step)?;
+            let mut next = d_new;
+            next.extend(r_via_new.into_iter().map(|r| (r, 1)));
+            next.extend(r_via_old.iter().cloned().map(|r| (r, -1)));
+            diff = coalesce(next);
+            r_old = r_via_old;
+        } else {
+            if tracing {
+                strudel_trace::count("struql.diff.steps.skipped", 1);
+            }
+            diff = expand_signed(new, cond, &diff, &vars, &plan, step)?;
+            r_old = atoms::apply_partitioned(old, cond, r_old, &vars, &plan, step)?;
+        }
+        if diff.is_empty() && r_old.is_empty() {
+            break;
+        }
+    }
+
+    if tracing {
+        let added: i64 = diff.iter().map(|(_, c)| (*c).max(0)).sum();
+        let retracted: i64 = diff.iter().map(|(_, c)| (-*c).max(0)).sum();
+        strudel_trace::count("struql.diff.rows.added", added as u64);
+        strudel_trace::count("struql.diff.rows.retracted", retracted as u64);
+    }
+    Ok(DiffOutcome { vars, rows: diff })
+}
+
+/// Applies one condition to a signed relation through the real operator
+/// implementation. Rows are batched in consecutive runs of equal count —
+/// `apply` emits row *i*'s extensions before row *i+1*'s, so every output
+/// of a run inherits the run's count.
+fn expand_signed(
+    ev: &Evaluator<'_>,
+    cond: &Condition,
+    rows: &[SignedRow],
+    vars: &[String],
+    plan: &plan::Plan,
+    step: usize,
+) -> StruqlResult<Vec<SignedRow>> {
+    let mut out: Vec<SignedRow> = Vec::new();
+    let mut i = 0;
+    while i < rows.len() {
+        let count = rows[i].1;
+        let mut j = i;
+        while j < rows.len() && rows[j].1 == count {
+            j += 1;
+        }
+        let run: Vec<Row> = rows[i..j].iter().map(|(r, _)| r.clone()).collect();
+        let expanded = atoms::apply_partitioned(ev, cond, run, vars, plan, step)?;
+        out.extend(expanded.into_iter().map(|r| (r, count)));
+        i = j;
+    }
+    Ok(out)
+}
+
+/// Merges duplicate rows by summing counts, dropping exact cancellations.
+/// Output order is each surviving row's first occurrence — deterministic
+/// given deterministic operator output.
+fn coalesce(rows: Vec<SignedRow>) -> Vec<SignedRow> {
+    let mut index: HashMap<Row, usize> = HashMap::with_capacity(rows.len());
+    let mut out: Vec<SignedRow> = Vec::with_capacity(rows.len());
+    for (row, count) in rows {
+        match index.get(&row) {
+            Some(&slot) => out[slot].1 += count,
+            None => {
+                index.insert(row.clone(), out.len());
+                out.push((row, count));
+            }
+        }
+    }
+    out.retain(|(_, c)| *c != 0);
+    out
+}
+
+/// Seed bindings a schema-edge guard is evaluated with, re-exported shape
+/// helper: `true` when every seed variable appears in `vars` at its slot.
+/// (Used by callers to sanity-check stored state before applying a diff.)
+pub fn seeds_match(vars: &[String], seed: &[(String, Value)]) -> bool {
+    seed.len() <= vars.len() && seed.iter().zip(vars).all(|((n, _), v)| n == v)
+}
+
+/// Applies a coalesced signed diff to a counted row store in place:
+/// positive counts increment (appending unseen rows in diff order),
+/// negative counts decrement and drop rows reaching zero. Returns `false`
+/// — leaving `store` in an unspecified but memory-safe state — when a
+/// retraction targets a row the store does not hold with sufficient count;
+/// callers then fall back to full re-evaluation.
+pub fn apply_diff(store: &mut Vec<SignedRow>, diff: &[SignedRow]) -> bool {
+    for (row, count) in diff {
+        match store.iter_mut().find(|(r, _)| r == row) {
+            Some(entry) => {
+                entry.1 += count;
+                if entry.1 < 0 {
+                    return false;
+                }
+            }
+            None => {
+                if *count < 0 {
+                    return false;
+                }
+                store.push((row.clone(), *count));
+            }
+        }
+    }
+    store.retain(|(_, c)| *c != 0);
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use strudel_graph::ddl;
+    use strudel_repo::{Database, IndexLevel};
+
+    fn db(src: &str) -> Database {
+        Database::from_graph(ddl::parse(src).unwrap(), IndexLevel::Full)
+    }
+
+    fn after(old: &Database, delta: &GraphDelta) -> Database {
+        let mut g = old.graph().clone();
+        delta.apply(&mut g).unwrap();
+        Database::from_graph(g, IndexLevel::Full)
+    }
+
+    /// Multiset difference of full evaluations — the oracle.
+    fn oracle_diff(
+        old: &Database,
+        new: &Database,
+        conds: &[Condition],
+        seed: &[(String, Value)],
+    ) -> HashMap<Row, i64> {
+        let (_, old_rows) = Evaluator::new(old).eval_where_bindings(conds, seed).unwrap();
+        let (_, new_rows) = Evaluator::new(new).eval_where_bindings(conds, seed).unwrap();
+        let mut m: HashMap<Row, i64> = HashMap::new();
+        for r in new_rows {
+            *m.entry(r).or_insert(0) += 1;
+        }
+        for r in old_rows {
+            *m.entry(r).or_insert(0) -= 1;
+        }
+        m.retain(|_, c| *c != 0);
+        m
+    }
+
+    fn check(old: &Database, delta: &GraphDelta, query: &str, seed: &[(String, Value)]) {
+        let conds = crate::parse(&format!("where {query} collect Out(x)"))
+            .map(|p| p.blocks[0].where_.clone())
+            .unwrap();
+        let new = after(old, delta);
+        let touch = DeltaTouch::of(delta);
+        let out = diff_where(
+            &Evaluator::new(old),
+            &Evaluator::new(&new),
+            &conds,
+            seed,
+            &touch,
+        )
+        .unwrap();
+        let got: HashMap<Row, i64> = out.rows.into_iter().collect();
+        assert_eq!(got, oracle_diff(old, &new, &conds, seed), "query: {query}");
+    }
+
+    #[test]
+    fn insert_produces_positive_rows() {
+        let old = db(r#"object p1 in Pubs { title : "Alpha"; }"#);
+        let p1 = old.graph().node_by_name("p1").unwrap();
+        let mut delta = GraphDelta::new();
+        delta.add_edge(p1, "title", Value::string("Alpha v2"));
+        check(&old, &delta, r#"Pubs(x), x -> "title" -> t"#, &[]);
+    }
+
+    #[test]
+    fn retract_produces_negative_rows() {
+        let old = db(r#"object p1 in Pubs { title : "Alpha"; year : 1997; }"#);
+        let p1 = old.graph().node_by_name("p1").unwrap();
+        let mut delta = GraphDelta::new();
+        delta.remove_edge(p1, "title", Value::string("Alpha"));
+        check(&old, &delta, r#"Pubs(x), x -> "title" -> t"#, &[]);
+    }
+
+    #[test]
+    fn irrelevant_delta_yields_empty_diff_without_expansion() {
+        let old = db(r#"object p1 in Pubs { title : "Alpha"; }"#);
+        let p1 = old.graph().node_by_name("p1").unwrap();
+        let mut delta = GraphDelta::new();
+        delta.add_edge(p1, "note", Value::string("draft"));
+        let conds = crate::parse(r#"where Pubs(x), x -> "title" -> t collect Out(x)"#)
+            .map(|p| p.blocks[0].where_.clone())
+            .unwrap();
+        let touch = DeltaTouch::of(&delta);
+        assert!(!touch.touches(&conds));
+        let new = after(&old, &delta);
+        let out = diff_where(
+            &Evaluator::new(&old),
+            &Evaluator::new(&new),
+            &conds,
+            &[],
+            &touch,
+        )
+        .unwrap();
+        assert!(out.rows.is_empty());
+    }
+
+    #[test]
+    fn kleene_retraction_cancels_exactly() {
+        // Two derivations of reachability root→b (direct rel edge and via
+        // a); removing one leaves the row derivable, so the diff nets the
+        // lost derivation count, and the *membership* row survives.
+        let old = db(
+            r#"
+            object root in Roots { rel : &a; rel : &b; }
+            object a { rel : &b; }
+            object b { label : "b"; }
+        "#,
+        );
+        let a = old.graph().node_by_name("a").unwrap();
+        let b = old.graph().node_by_name("b").unwrap();
+        let mut delta = GraphDelta::new();
+        delta.remove_edge(a, "rel", Value::Node(b));
+        check(&old, &delta, r#"Roots(x), x -> "rel"* -> y"#, &[]);
+    }
+
+    #[test]
+    fn kleene_insertion_through_middle_of_paths() {
+        let old = db(
+            r#"
+            object root in Roots { rel : &a; }
+            object a { label : "a"; }
+            object b { label : "b"; }
+        "#,
+        );
+        let a = old.graph().node_by_name("a").unwrap();
+        let b = old.graph().node_by_name("b").unwrap();
+        let mut delta = GraphDelta::new();
+        delta.add_edge(a, "rel", Value::Node(b));
+        check(&old, &delta, r#"Roots(x), x -> "rel"* -> y"#, &[]);
+    }
+
+    #[test]
+    fn negation_diffs_both_directions() {
+        let old = db(
+            r#"
+            object p1 in Pubs { title : "Alpha"; hidden : true; }
+            object p2 in Pubs { title : "Beta"; }
+        "#,
+        );
+        let p1 = old.graph().node_by_name("p1").unwrap();
+        let p2 = old.graph().node_by_name("p2").unwrap();
+        // p1 becomes visible, p2 becomes hidden: one positive and one
+        // negative row through the not() filter.
+        let mut delta = GraphDelta::new();
+        delta.remove_edge(p1, "hidden", Value::Bool(true));
+        delta.add_edge(p2, "hidden", Value::Bool(true));
+        check(&old, &delta, r#"Pubs(x), not(x -> "hidden" -> h)"#, &[]);
+    }
+
+    #[test]
+    fn seeded_diff_localizes_to_the_seed() {
+        let old = db(
+            r#"
+            object p1 in Pubs { title : "Alpha"; }
+            object p2 in Pubs { title : "Beta"; }
+        "#,
+        );
+        let p1 = old.graph().node_by_name("p1").unwrap();
+        let p2 = old.graph().node_by_name("p2").unwrap();
+        let mut delta = GraphDelta::new();
+        delta.add_edge(p1, "title", Value::string("Alpha v2"));
+        let seed = vec![("x".to_owned(), Value::Node(p2))];
+        check(&old, &delta, r#"Pubs(x), x -> "title" -> t"#, &seed);
+        let conds = crate::parse(r#"where Pubs(x), x -> "title" -> t collect Out(x)"#)
+            .map(|p| p.blocks[0].where_.clone())
+            .unwrap();
+        let new = after(&old, &delta);
+        let out = diff_where(
+            &Evaluator::new(&old),
+            &Evaluator::new(&new),
+            &conds,
+            &seed,
+            &DeltaTouch::of(&delta),
+        )
+        .unwrap();
+        assert!(out.rows.is_empty(), "p2 is unaffected by p1's edit");
+    }
+
+    #[test]
+    fn mixed_insert_retract_coalesces() {
+        let old = db(r#"object p1 in Pubs { title : "Alpha"; }"#);
+        let p1 = old.graph().node_by_name("p1").unwrap();
+        let mut delta = GraphDelta::new();
+        delta.remove_edge(p1, "title", Value::string("Alpha"));
+        delta.add_edge(p1, "title", Value::string("Alpha"));
+        // Net no-op: retraction and re-insertion of the same fact.
+        check(&old, &delta, r#"Pubs(x), x -> "title" -> t"#, &[]);
+    }
+
+    #[test]
+    fn arc_variable_conditions_are_touched_by_any_edge() {
+        let old = db(r#"object p1 in Pubs { title : "Alpha"; }"#);
+        let p1 = old.graph().node_by_name("p1").unwrap();
+        let mut delta = GraphDelta::new();
+        delta.add_edge(p1, "anything", Value::Int(7));
+        check(&old, &delta, r#"Pubs(x), x -> l -> v"#, &[]);
+    }
+
+    #[test]
+    fn new_node_with_membership_and_edges() {
+        let old = db(r#"object p1 in Pubs { title : "Alpha"; }"#);
+        let base = old.graph().node_count();
+        let mut delta = GraphDelta::new();
+        delta.add_node(Some("p2"));
+        let p2 = strudel_graph::Oid::from_index(base);
+        delta.add_edge(p2, "title", Value::string("Beta"));
+        delta.collect("Pubs", Value::Node(p2));
+        check(&old, &delta, r#"Pubs(x), x -> "title" -> t"#, &[]);
+    }
+
+    #[test]
+    fn apply_diff_tracks_counts_and_rejects_underflow() {
+        let row_a: Row = vec![Some(Value::Int(1))];
+        let row_b: Row = vec![Some(Value::Int(2))];
+        let mut store: Vec<SignedRow> = vec![(row_a.clone(), 2)];
+        assert!(apply_diff(&mut store, &[(row_a.clone(), -1), (row_b.clone(), 1)]));
+        assert_eq!(store, vec![(row_a.clone(), 1), (row_b.clone(), 1)]);
+        assert!(apply_diff(&mut store, &[(row_a.clone(), -1)]));
+        assert_eq!(store, vec![(row_b.clone(), 1)]);
+        // Retracting a row the store never held signals fallback.
+        assert!(!apply_diff(&mut store, &[(row_a, -1)]));
+    }
+}

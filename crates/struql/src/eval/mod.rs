@@ -20,6 +20,7 @@
 //! are immutable).
 
 mod atoms;
+pub mod diff;
 
 use crate::ast::{Block, LabelTerm, Program, Term};
 use crate::error::{StruqlError, StruqlResult};

@@ -387,6 +387,37 @@ mod tests {
         assert!(p.partitions(99, 1_000_000, 4) >= 1);
     }
 
+    /// Regression coverage for partition sizing under degenerate cost
+    /// estimates: `per_row == 0.0` would make `MIN_CHUNK_WORK / per_row`
+    /// infinite and NaN estimates would poison the ceil/cast chain without
+    /// the positive-floor clamp. Every degenerate shape must yield a
+    /// partition count in `[1, workers]` with no panic or saturation.
+    #[test]
+    fn partition_sizing_survives_degenerate_estimates() {
+        let degenerate = [0.0, -0.0, f64::NAN, f64::INFINITY, f64::NEG_INFINITY, -3.5];
+        for est in degenerate {
+            let p = Plan {
+                order: vec![0],
+                estimates: vec![est],
+            };
+            for (rows, workers) in [(0, 8), (10, 8), (10_000, 8), (1_000_000, 4)] {
+                let parts = p.partitions(0, rows, workers);
+                assert!(
+                    (1..=workers).contains(&parts),
+                    "estimate {est} rows {rows} workers {workers} -> {parts}"
+                );
+            }
+        }
+        // A zero estimate is clamped to the 0.1 floor, not divided through:
+        // the chunk floor stays MIN_CHUNK_ROWS-bounded, so a large relation
+        // still partitions rather than collapsing to a single huge chunk.
+        let p = Plan {
+            order: vec![0],
+            estimates: vec![0.0],
+        };
+        assert!(p.partitions(0, 1_000_000, 8) > 1);
+    }
+
     #[test]
     fn plan_covers_every_condition_exactly_once() {
         let db = db_with_skew();

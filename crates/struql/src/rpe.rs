@@ -33,6 +33,24 @@ impl PathRegex {
         }
     }
 
+    /// Whether a traversal matching this regex could ever cross an edge
+    /// labelled `label`. Conservative in one direction only: `true` may be
+    /// a false positive (the label appears but no full match uses it), but
+    /// `false` is exact — no matching path contains such an edge, so a
+    /// delta touching only that label cannot change this regex's results.
+    pub fn could_traverse(&self, label: &str) -> bool {
+        match self {
+            PathRegex::Label(l) => l == label,
+            PathRegex::Any => true,
+            PathRegex::Seq(a, b) | PathRegex::Alt(a, b) => {
+                a.could_traverse(label) || b.could_traverse(label)
+            }
+            PathRegex::Star(inner) | PathRegex::Plus(inner) | PathRegex::Opt(inner) => {
+                inner.could_traverse(label)
+            }
+        }
+    }
+
     /// The mirror-image regex: `r.reversed()` matches the label sequence
     /// `l1 … lk` exactly when `r` matches `lk … l1`. Compiling the reversed
     /// regex lets a bound *destination* be answered by a BFS over the
@@ -502,6 +520,31 @@ mod tests {
             PathRegex::Star(Box::new(PathRegex::Any)).as_single_step(),
             None
         );
+    }
+
+    #[test]
+    fn could_traverse_is_exact_on_false() {
+        let rel_star = PathRegex::Star(Box::new(PathRegex::Label("rel".into())));
+        assert!(rel_star.could_traverse("rel"));
+        assert!(!rel_star.could_traverse("title"));
+
+        let seq = PathRegex::Seq(
+            Box::new(PathRegex::Label("a".into())),
+            Box::new(PathRegex::Plus(Box::new(PathRegex::Label("b".into())))),
+        );
+        assert!(seq.could_traverse("a"));
+        assert!(seq.could_traverse("b"));
+        assert!(!seq.could_traverse("c"));
+
+        let any = PathRegex::Opt(Box::new(PathRegex::Any));
+        assert!(any.could_traverse("anything"));
+
+        let alt = PathRegex::Alt(
+            Box::new(PathRegex::Label("x".into())),
+            Box::new(PathRegex::Label("y".into())),
+        );
+        assert!(alt.could_traverse("y"));
+        assert!(!alt.could_traverse("z"));
     }
 
     #[test]

@@ -1,0 +1,274 @@
+//! Seeded randomized testing of differential plan maintenance.
+//!
+//! The property: for a random where-clause over a random corpus, holding
+//! the clause's bindings relation as count-annotated rows and applying
+//! the signed diff produced by `diff_where` for a random mixed
+//! insert/retract delta must yield exactly the relation a from-scratch
+//! evaluation computes on the post-delta database — same rows, same
+//! multiplicities. Clauses include Kleene closures (so retractions must
+//! cancel paths exactly), negation (so the diff must handle
+//! non-monotonicity), arc variables, and comparisons; deltas mix edge
+//! inserts, edge retractions, membership changes, and brand-new nodes.
+//! Everything reproduces from its seed.
+
+use std::collections::{HashMap, HashSet};
+
+use strudel_graph::{Graph, GraphDelta, Oid, Value};
+use strudel_prng::{Rng, SeedableRng, SmallRng};
+use strudel_repo::{Database, IndexLevel};
+use strudel_struql::{apply_diff, diff_where, Condition, DeltaTouch, Evaluator, SignedRow};
+
+/// A random corpus: `n` nodes in collection `Items`, each with a `cat`
+/// string, a `val` int, and 0–2 `link` edges to earlier nodes (so Kleene
+/// cones are acyclic and bounded); a `next` chain threads every node.
+fn corpus(rng: &mut SmallRng, n: usize) -> Graph {
+    let mut g = Graph::new();
+    let cats = ["catA", "catB", "catC", "catD"];
+    let mut nodes = Vec::with_capacity(n);
+    for i in 0..n {
+        let node = g.add_named_node(&format!("item{i}"));
+        g.collect_str("Items", node);
+        g.add_edge_str(
+            node,
+            "cat",
+            Value::string(cats[rng.gen_range(0..cats.len())]),
+        );
+        g.add_edge_str(node, "val", Value::Int(rng.gen_range(0..100i64)));
+        if i > 0 {
+            g.add_edge_str(nodes[i - 1], "next", Value::Node(node));
+            for _ in 0..rng.gen_range(0..=2usize) {
+                let back = rng.gen_range(0..i);
+                g.add_edge_str(node, "link", Value::Node(nodes[back]));
+            }
+        }
+        nodes.push(node);
+    }
+    g
+}
+
+/// One random where-clause as STRUQL text (see `differential.rs`); at
+/// most one general-regex expansion keeps relation sizes testable.
+fn random_clause(rng: &mut SmallRng) -> String {
+    let mut conds = vec!["Items(x0)".to_string()];
+    let mut node_vars = 1usize;
+    let mut fresh = 1usize;
+    let mut regexes = 0usize;
+    let extra = rng.gen_range(2..=4usize);
+    for _ in 0..extra {
+        let xi = rng.gen_range(0..node_vars);
+        match rng.gen_range(0..8u32) {
+            0 => {
+                conds.push(format!("x{xi} -> \"link\" -> x{node_vars}"));
+                node_vars += 1;
+            }
+            1 => {
+                conds.push(format!("x{xi} -> \"next\" -> x{node_vars}"));
+                node_vars += 1;
+            }
+            2 => {
+                conds.push(format!("x{xi} -> l{fresh} -> y{fresh}"));
+                fresh += 1;
+            }
+            3 if regexes == 0 => {
+                conds.push(format!("x{xi} -> \"link\"* -> x{node_vars}"));
+                node_vars += 1;
+                regexes += 1;
+            }
+            4 if regexes == 0 => {
+                conds.push(format!("x{xi} -> \"next\" . \"link\"? -> x{node_vars}"));
+                node_vars += 1;
+                regexes += 1;
+            }
+            5 => {
+                let k = rng.gen_range(20..80i64);
+                conds.push(format!("x{xi} -> \"val\" -> v{fresh}, v{fresh} >= {k}"));
+                fresh += 1;
+            }
+            6 => {
+                let cats = ["catA", "catB", "catC", "catD"];
+                let c = cats[rng.gen_range(0..cats.len())];
+                conds.push(format!("x{xi} -> \"cat\" -> \"{c}\""));
+            }
+            _ => {
+                let inner = if rng.gen_bool(0.5) {
+                    format!("x{xi} -> \"link\"* -> x{xi}")
+                } else {
+                    format!("x{xi} -> \"link\" -> z{fresh}")
+                };
+                fresh += 1;
+                conds.push(format!("not({inner})"));
+            }
+        }
+    }
+    format!("where {} create P(x0)", conds.join(", "))
+}
+
+/// A random, always-applicable mixed delta over the current graph:
+/// new nodes with edges and membership, new `link`/`cat`/`val` edges on
+/// existing nodes, retractions of existing edges (including `link` edges
+/// feeding Kleene closures), and membership removals.
+fn random_delta(rng: &mut SmallRng, g: &Graph) -> GraphDelta {
+    let mut delta = GraphDelta::new();
+    let mut next_oid = g.node_count();
+    let mut removed: HashSet<(Oid, String, String)> = HashSet::new();
+    let mut uncollected: HashSet<String> = HashSet::new();
+    for _ in 0..rng.gen_range(1..=4usize) {
+        match rng.gen_range(0..5u32) {
+            0 => {
+                // A brand-new item linked into the graph.
+                let oid = Oid::from_index(next_oid);
+                next_oid += 1;
+                delta.add_node(None);
+                delta.add_edge(oid, "cat", Value::string("catA"));
+                delta.add_edge(oid, "val", Value::Int(rng.gen_range(0..100i64)));
+                let back = Oid::from_index(rng.gen_range(0..g.node_count()));
+                delta.add_edge(oid, "link", Value::Node(back));
+                delta.collect("Items", Value::Node(oid));
+            }
+            1 => {
+                // A new link edge between existing nodes.
+                let from = Oid::from_index(rng.gen_range(0..g.node_count()));
+                let to = Oid::from_index(rng.gen_range(0..g.node_count()));
+                delta.add_edge(from, "link", Value::Node(to));
+            }
+            2 => {
+                // A new attribute value on an existing node.
+                let oid = Oid::from_index(rng.gen_range(0..g.node_count()));
+                delta.add_edge(oid, "val", Value::Int(rng.gen_range(0..100i64)));
+            }
+            3 => {
+                // Retract one existing edge (each at most once per delta).
+                let mut candidates = Vec::new();
+                for idx in 0..g.node_count() {
+                    let oid = Oid::from_index(idx);
+                    for e in g.edges(oid) {
+                        candidates.push((oid, g.label_name(e.label).to_string(), e.to.clone()));
+                    }
+                }
+                if candidates.is_empty() {
+                    continue;
+                }
+                let (oid, label, to) = strudel_prng::choose(rng, &candidates).clone();
+                if removed.insert((oid, label.clone(), format!("{to:?}"))) {
+                    delta.remove_edge(oid, &label, to);
+                }
+            }
+            _ => {
+                // Drop one item from the collection.
+                let members = g.members_str("Items");
+                if members.is_empty() {
+                    continue;
+                }
+                let member = strudel_prng::choose(rng, members).clone();
+                if uncollected.insert(format!("{member:?}")) {
+                    delta.uncollect("Items", member);
+                }
+            }
+        }
+    }
+    delta
+}
+
+/// Coalesces plain rows into count-annotated form.
+fn count_rows(rows: &[Vec<Option<Value>>]) -> Vec<SignedRow> {
+    let mut index: HashMap<String, usize> = HashMap::new();
+    let mut out: Vec<SignedRow> = Vec::new();
+    for row in rows {
+        let key = format!("{row:?}");
+        match index.get(&key) {
+            Some(&i) => out[i].1 += 1,
+            None => {
+                index.insert(key, out.len());
+                out.push((row.clone(), 1));
+            }
+        }
+    }
+    out
+}
+
+/// A multiset fingerprint: sorted `row → count` lines.
+fn fingerprint(rows: &[SignedRow]) -> Vec<String> {
+    let mut keys: Vec<String> = rows.iter().map(|(r, n)| format!("{r:?} x{n}")).collect();
+    keys.sort_unstable();
+    keys
+}
+
+fn full_eval(
+    db: &Database,
+    conds: &[Condition],
+    seed: &[(String, Value)],
+) -> Vec<Vec<Option<Value>>> {
+    let (_, rows) = Evaluator::new(db).eval_where_bindings(conds, seed).unwrap();
+    rows
+}
+
+/// Drives one (clause, seed, rounds) maintenance chain: stored rows are
+/// carried across every round, diffed, and compared to a from-scratch
+/// evaluation on the post-delta database.
+fn run_chain(seed: u64, seeded: bool) {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut graph = corpus(&mut rng, 60);
+
+    for case in 0..4 {
+        let text = random_clause(&mut rng);
+        let program =
+            strudel_struql::parse(&text).unwrap_or_else(|e| panic!("case {case}: {text}\n{e}"));
+        let conds = &program.blocks[0].where_;
+        let eval_seed: Vec<(String, Value)> = if seeded {
+            // Bind x0 to one item, click-time style.
+            let item = rng.gen_range(0..graph.node_count().min(60));
+            let node = graph.node_by_name(&format!("item{item}")).unwrap();
+            vec![("x0".to_string(), Value::Node(node))]
+        } else {
+            Vec::new()
+        };
+
+        let mut g = graph.clone();
+        let mut old_db = Database::from_graph(g.clone(), IndexLevel::Full);
+        let mut stored = count_rows(&full_eval(&old_db, conds, &eval_seed));
+
+        for round in 0..6 {
+            let delta = random_delta(&mut rng, &g);
+            delta.apply(&mut g).expect("generated deltas always apply");
+            let new_db = Database::from_graph(g.clone(), IndexLevel::Full);
+
+            let touch = DeltaTouch::of(&delta);
+            let old_ev = Evaluator::new(&old_db);
+            let new_ev = Evaluator::new(&new_db);
+            let out = diff_where(&old_ev, &new_ev, conds, &eval_seed, &touch)
+                .unwrap_or_else(|e| panic!("seed {seed} case {case} round {round}: {e}"));
+            assert!(
+                apply_diff(&mut stored, &out.rows),
+                "seed {seed} case {case} round {round}: count underflow\n\
+                 clause: {text}\ndelta: {:?}",
+                delta.ops()
+            );
+
+            let fresh = count_rows(&full_eval(&new_db, conds, &eval_seed));
+            assert_eq!(
+                fingerprint(&stored),
+                fingerprint(&fresh),
+                "seed {seed} case {case} round {round}: maintained relation \
+                 diverged from scratch\nclause: {text}\ndelta: {:?}",
+                delta.ops()
+            );
+            old_db = new_db;
+        }
+        // Next case starts from the graph as originally generated.
+        graph = corpus(&mut rng, 60);
+    }
+}
+
+#[test]
+fn maintained_relations_match_from_scratch_unseeded() {
+    for seed in 0..4u64 {
+        run_chain(0x_d1ff_0000 + seed, false);
+    }
+}
+
+#[test]
+fn maintained_relations_match_from_scratch_seeded() {
+    for seed in 0..4u64 {
+        run_chain(0x_5eed_0000 + seed, true);
+    }
+}
