@@ -1086,6 +1086,131 @@ pub fn exp_batch() {
     println!();
 }
 
+/// E-shard — loaded latency under sharded epoch-snapshot serving: the
+/// warm news-site click workload replayed by rising numbers of client
+/// threads against 1/2/4/8 service shards, plus an unsharded baseline
+/// at the same loads. Before anything is timed, every sharded body is
+/// asserted byte-identical to the unsharded render of the same URL.
+pub fn exp_shard() {
+    use strudel_serve::{ClickService, ShardedService};
+
+    println!("== E-shard: loaded click latency across service shards ==");
+    let corpus = crate::paper_news_corpus(300);
+    let site = sites::news_site(&corpus).build().unwrap();
+
+    // Every URL reachable from the front page, via an unsharded scout.
+    let baseline = SiteService::new(&site, Mode::Context);
+    let mut urls = vec!["/".to_string()];
+    let mut i = 0;
+    while i < urls.len() {
+        let body = baseline.handle(&urls[i]).body;
+        for part in body.split("href=\"").skip(1) {
+            if let Some(end) = part.find('"') {
+                let href = &part[..end];
+                if href.starts_with("/page/") && !urls.iter().any(|u| u == href) {
+                    urls.push(href.to_string());
+                }
+            }
+        }
+        i += 1;
+    }
+    let reference: Vec<String> = urls.iter().map(|u| baseline.handle(u).body).collect();
+
+    const PASSES: usize = 10;
+    let shard_counts = [1usize, 2, 4, 8];
+    let loads = [1usize, 2, 4, 8];
+
+    // One measured cell: `load` client threads replay the URL list
+    // PASSES times against a warm service, each click timed exactly.
+    fn drive<S: ClickService>(
+        service: &S,
+        urls: &[String],
+        load: usize,
+        passes: usize,
+    ) -> (Vec<u64>, Duration) {
+        for u in urls {
+            service.handle(u); // warm every owner shard outside the timed region
+        }
+        let start = Instant::now();
+        let mut lat: Vec<u64> = Vec::with_capacity(load * passes * urls.len());
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..load)
+                .map(|t| {
+                    s.spawn(move || {
+                        let mut mine = Vec::with_capacity(passes * urls.len());
+                        for p in 0..passes {
+                            for k in 0..urls.len() {
+                                // Offset per thread and pass so clients
+                                // never march over the URLs in lockstep.
+                                let u = &urls[(k + t * 7 + p) % urls.len()];
+                                let c = Instant::now();
+                                service.handle(u);
+                                mine.push(c.elapsed().as_nanos() as u64);
+                            }
+                        }
+                        mine
+                    })
+                })
+                .collect();
+            for h in handles {
+                lat.extend(h.join().unwrap());
+            }
+        });
+        let wall = start.elapsed();
+        lat.sort_unstable();
+        (lat, wall)
+    }
+
+    fn percentile(sorted: &[u64], q: f64) -> f64 {
+        if sorted.is_empty() {
+            return 0.0;
+        }
+        let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+        sorted[idx] as f64
+    }
+
+    println!(
+        "{:>14} {:>8} {:>9} {:>9} {:>12}",
+        "cell", "clicks", "p50(us)", "p99(us)", "clicks/s"
+    );
+    let report = |label: String, lat: Vec<u64>, wall: Duration| {
+        let p50 = percentile(&lat, 0.50) / 1e3; // collected in ns, reported in us
+        let p99 = percentile(&lat, 0.99) / 1e3;
+        let rate = lat.len() as f64 / wall.as_secs_f64().max(1e-9);
+        println!(
+            "{:>14} {:>8} {:>9.2} {:>9.2} {:>12.0}",
+            label,
+            lat.len(),
+            p50,
+            p99,
+            rate
+        );
+        json::record("serve", "E-shard", &label, "p50", p50, "us");
+        json::record("serve", "E-shard", &label, "p99", p99, "us");
+        json::record("serve", "E-shard", &label, "clicks_per_s", rate, "clicks/s");
+    };
+
+    for &load in &loads {
+        let (lat, wall) = drive(&baseline, &urls, load, PASSES);
+        report(format!("unsharded-c{load}"), lat, wall);
+    }
+    for &shards in &shard_counts {
+        let service = ShardedService::new(&site, Mode::Context, shards);
+        for (u, want) in urls.iter().zip(&reference) {
+            assert_eq!(
+                &service.handle(u).body,
+                want,
+                "sharded body diverged from unsharded at {u} with {shards} shards"
+            );
+        }
+        for &load in &loads {
+            let (lat, wall) = drive(&service, &urls, load, PASSES);
+            report(format!("s{shards}-c{load}"), lat, wall);
+        }
+    }
+    println!();
+}
+
 /// E-crash — recovery cost and crash-point coverage. Measures the four
 /// open paths a deployment actually hits (clean snapshot, replay-heavy
 /// WAL, torn-tail repair, checkpoint itself), then sweeps a seeded
@@ -1371,6 +1496,7 @@ pub fn run_all() {
     exp_indexing();
     exp_struql_scale();
     exp_batch();
+    exp_shard();
     exp_htmlgen();
     exp_mediate();
     exp_trace();

@@ -30,8 +30,8 @@
 //! strudel stats <dir>                 print the site-statistics row
 //! strudel guide <dir>                 print discovered data-graph schemas
 //!                                     (strong DataGuides per collection)
-//! strudel serve <dir> [--addr A] [--workers N] [--mode M] [--warm W]
-//!                     [--slow-us T] [--backlog B] [--trace]
+//! strudel serve <dir> [--addr A] [--workers N] [--shards S] [--mode M]
+//!                     [--warm W] [--slow-us T] [--backlog B] [--trace]
 //!                     [--store DIR] [--pool-pages N] [--page-size B]
 //!                                     serve the site at click time:
 //!                                     pages computed on demand, cached,
@@ -39,6 +39,11 @@
 //!                                     on /debug/trace, plan explain on
 //!                                     /debug/explain
 //!                                     (M: naive|context|lookahead;
+//!                                      S: per-core service shards, a
+//!                                      number or "auto" — requests route
+//!                                      by path hash, each shard owns its
+//!                                      caches, reads are lock-free
+//!                                      epoch-published snapshots;
 //!                                      W: warmup workers, a number or
 //!                                      "auto" — pre-renders every page
 //!                                      before accepting requests;
@@ -83,7 +88,7 @@ fn main() -> ExitCode {
 fn run(args: &[String]) -> Result<(), String> {
     let usage =
         "usage: strudel <build|check|schema|stats|guide|serve|explain> <site-dir> \
-         [-o <outdir>] [--addr <ip:port>] [--workers <n>] \
+         [-o <outdir>] [--addr <ip:port>] [--workers <n>] [--shards <n|auto>] \
          [--mode <naive|context|lookahead>] [--warm <n|auto>] [--slow-us <t>] \
          [--backlog <n>] [--trace] [--store <dir>] [--pool-pages <n>] \
          [--page-size <bytes>]";
@@ -233,93 +238,78 @@ fn run(args: &[String]) -> Result<(), String> {
             if args.iter().any(|a| a == "--trace") {
                 strudel_trace::set_enabled(true);
             }
-            let mut service = strudel_serve::SiteService::new(&built, mode);
-            if let Some(store_dir) = flag("--store") {
-                let mut cfg = strudel::repo::PagerConfig::default();
-                if let Some(n) = flag("--pool-pages") {
-                    cfg.pool_pages = n.parse().map_err(|_| "--pool-pages needs a number")?;
-                }
-                if let Some(b) = flag("--page-size") {
-                    cfg.page_size = b.parse().map_err(|_| "--page-size needs a number (bytes)")?;
-                }
-                let store_dir = PathBuf::from(store_dir);
-                let fresh = !store_dir.join("pager.manifest").exists();
-                let store = if fresh {
-                    strudel::repo::PagedRepo::bulk_load(&store_dir, cfg, built.database.graph())
-                        .map_err(|e| format!("bulk-loading paged store: {e}"))?
-                } else {
-                    strudel::repo::PagedRepo::open(&store_dir, cfg)
-                        .map_err(|e| format!("opening paged store: {e}"))?
-                };
-                // An existing store may legitimately be ahead of the
-                // sources (deltas applied through a previous serve run);
-                // flag a divergence but keep serving the built site.
-                let mut built_bytes = Vec::new();
-                strudel::repo::snapshot::save_graph(built.database.graph(), &mut built_bytes)
-                    .map_err(|e| format!("encoding site graph: {e}"))?;
-                let stored = store
-                    .snapshot()
-                    .materialize()
-                    .map_err(|e| format!("materializing paged store: {e}"))?;
-                let mut store_bytes = Vec::new();
-                strudel::repo::snapshot::save_graph(&stored, &mut store_bytes)
-                    .map_err(|e| format!("encoding stored graph: {e}"))?;
-                if store_bytes == built_bytes {
-                    println!(
-                        "paged store at {} ({} nodes, generation {}, pool {} pages{})",
-                        store_dir.display(),
-                        store.node_count(),
-                        store.generation(),
-                        cfg.pool_pages,
-                        if fresh { ", bulk-loaded" } else { "" }
-                    );
-                } else {
-                    println!(
-                        "warning: paged store at {} has diverged from the site sources \
-                         ({} stored nodes vs {} built); serving the built site",
-                        store_dir.display(),
-                        store.node_count(),
-                        built.database.graph().node_count()
-                    );
-                }
-                service = service.with_paged_store(store);
-            }
-            if let Some(t) = flag("--slow-us") {
-                service = service.with_slow_threshold_us(
-                    t.parse().map_err(|_| "--slow-us needs a number (µs)")?,
-                );
-            }
-            let service = std::sync::Arc::new(service);
-            if let Some(parallelism) = warm {
-                let report = service
-                    .warm(parallelism)
-                    .map_err(|e| format!("warming cache: {e}"))?;
-                println!(
-                    "warmed {} pages in {} levels across {} workers ({:.1} ms)",
-                    report.pages,
-                    report.levels,
-                    parallelism.workers(),
-                    report.elapsed_us as f64 / 1000.0
-                );
-            }
+            let shards: usize = match flag("--shards").as_deref() {
+                None => 1,
+                Some("auto") => std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1),
+                Some(n) => n.parse().map_err(|_| "--shards needs a number or 'auto'")?,
+            };
+            let slow_us: Option<u64> = match flag("--slow-us") {
+                Some(t) => Some(t.parse().map_err(|_| "--slow-us needs a number (µs)")?),
+                None => None,
+            };
+            let store = open_paged_store(args, &built)?;
             let max_backlog: usize = match flag("--backlog") {
                 Some(b) => b.parse().map_err(|_| "--backlog needs a number")?,
                 None => strudel_serve::ServerConfig::default().max_backlog,
             };
-            let server = strudel_serve::serve(
-                service,
-                strudel_serve::ServerConfig {
-                    addr,
+            let config = strudel_serve::ServerConfig {
+                addr,
+                workers,
+                max_backlog,
+                ..Default::default()
+            };
+            let report_warm = |report: strudel_serve::WarmupReport, workers: usize| {
+                println!(
+                    "warmed {} pages in {} levels across {} workers ({:.1} ms)",
+                    report.pages,
+                    report.levels,
                     workers,
-                    max_backlog,
-                    ..Default::default()
-                },
-            )
-            .map_err(|e| format!("binding server: {e}"))?;
+                    report.elapsed_us as f64 / 1000.0
+                );
+            };
+            let server = if shards > 1 {
+                let mut service = strudel_serve::ShardedService::new(&built, mode, shards);
+                if let Some(store) = store {
+                    service = service.with_paged_store(store);
+                }
+                if let Some(t) = slow_us {
+                    service = service.with_slow_threshold_us(t);
+                }
+                let service = std::sync::Arc::new(service);
+                if let Some(parallelism) = warm {
+                    let report = service
+                        .warm(parallelism)
+                        .map_err(|e| format!("warming cache: {e}"))?;
+                    report_warm(report, parallelism.workers());
+                }
+                strudel_serve::serve(service, config)
+                    .map_err(|e| format!("binding server: {e}"))?
+            } else {
+                let mut service = strudel_serve::SiteService::new(&built, mode);
+                if let Some(store) = store {
+                    service = service.with_paged_store(store);
+                }
+                if let Some(t) = slow_us {
+                    service = service.with_slow_threshold_us(t);
+                }
+                let service = std::sync::Arc::new(service);
+                if let Some(parallelism) = warm {
+                    let report = service
+                        .warm(parallelism)
+                        .map_err(|e| format!("warming cache: {e}"))?;
+                    report_warm(report, parallelism.workers());
+                }
+                strudel_serve::serve(service, config)
+                    .map_err(|e| format!("binding server: {e}"))?
+            };
             println!(
-                "serving '{}' at http://{}/ ({workers} workers, {mode:?} evaluation; ^C stops)",
+                "serving '{}' at http://{}/ ({workers} workers, {shards} shard{}, {mode:?} \
+                 evaluation; ^C stops)",
                 built.name,
-                server.addr()
+                server.addr(),
+                if shards == 1 { "" } else { "s" }
             );
             loop {
                 std::thread::park();
@@ -346,6 +336,71 @@ fn run(args: &[String]) -> Result<(), String> {
         }
         other => Err(format!("unknown command '{other}'\n{usage}")),
     }
+}
+
+/// Opens (or bulk-loads) the durable paged store named by `--store`, if
+/// any, sized by `--pool-pages`/`--page-size`. Shared by the sharded and
+/// unsharded serve paths — either way deltas commit to it exactly once.
+fn open_paged_store(
+    args: &[String],
+    built: &strudel::Site,
+) -> Result<Option<strudel::repo::PagedRepo>, String> {
+    let flag = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1).cloned())
+    };
+    let Some(store_dir) = flag("--store") else {
+        return Ok(None);
+    };
+    let mut cfg = strudel::repo::PagerConfig::default();
+    if let Some(n) = flag("--pool-pages") {
+        cfg.pool_pages = n.parse().map_err(|_| "--pool-pages needs a number")?;
+    }
+    if let Some(b) = flag("--page-size") {
+        cfg.page_size = b.parse().map_err(|_| "--page-size needs a number (bytes)")?;
+    }
+    let store_dir = PathBuf::from(store_dir);
+    let fresh = !store_dir.join("pager.manifest").exists();
+    let store = if fresh {
+        strudel::repo::PagedRepo::bulk_load(&store_dir, cfg, built.database.graph())
+            .map_err(|e| format!("bulk-loading paged store: {e}"))?
+    } else {
+        strudel::repo::PagedRepo::open(&store_dir, cfg)
+            .map_err(|e| format!("opening paged store: {e}"))?
+    };
+    // An existing store may legitimately be ahead of the sources (deltas
+    // applied through a previous serve run); flag a divergence but keep
+    // serving the built site.
+    let mut built_bytes = Vec::new();
+    strudel::repo::snapshot::save_graph(built.database.graph(), &mut built_bytes)
+        .map_err(|e| format!("encoding site graph: {e}"))?;
+    let stored = store
+        .snapshot()
+        .materialize()
+        .map_err(|e| format!("materializing paged store: {e}"))?;
+    let mut store_bytes = Vec::new();
+    strudel::repo::snapshot::save_graph(&stored, &mut store_bytes)
+        .map_err(|e| format!("encoding stored graph: {e}"))?;
+    if store_bytes == built_bytes {
+        println!(
+            "paged store at {} ({} nodes, generation {}, pool {} pages{})",
+            store_dir.display(),
+            store.node_count(),
+            store.generation(),
+            cfg.pool_pages,
+            if fresh { ", bulk-loaded" } else { "" }
+        );
+    } else {
+        println!(
+            "warning: paged store at {} has diverged from the site sources \
+             ({} stored nodes vs {} built); serving the built site",
+            store_dir.display(),
+            store.node_count(),
+            built.database.graph().node_count()
+        );
+    }
+    Ok(Some(store))
 }
 
 fn report_verifications(site: &strudel::Site) {

@@ -1,4 +1,5 @@
-//! The rendered-page cache: sharded, epoch-fenced, delta-invalidated.
+//! The rendered-page cache: sharded, epoch-fenced, delta-invalidated,
+//! with an RCU-published warm-click fast path.
 //!
 //! Keys are [`PageKey`]s; values are finished HTML plus the page's
 //! *dependency set* — the other pages whose content was read while
@@ -11,13 +12,26 @@
 //! Inserts carry the engine epoch they were rendered under and are
 //! dropped if a delta landed in between (same fencing protocol as the
 //! engine's page-view cache).
+//!
+//! ## Two tiers
+//!
+//! The authoritative tier is 16 `RwLock`-sharded maps. Above it sits an
+//! epoch-published snapshot ([`crate::rcu::Published`]) of the whole
+//! map: a *warm click* that hits the published tier takes **no lock at
+//! all** — one atomic load and a thread-local pointer. Renders insert
+//! into the locked tier; once enough inserts accumulate the owner
+//! *promotes* a fresh immutable snapshot ([`HtmlCache::promote_if`],
+//! epoch-fenced like inserts). Delta invalidation evicts from the locked
+//! tier and republishes immediately, so the published tier never serves
+//! a dirtied page once [`HtmlCache::invalidate`] returns.
 
 use crate::metrics::CacheSnapshot;
+use crate::rcu::Published;
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, RwLock};
+use std::sync::{Arc, Mutex, RwLock};
 use strudel_schema::dynamic::PageKey;
 use strudel_schema::invalidate::DirtySet;
 
@@ -33,22 +47,40 @@ pub struct CachedPage {
 
 const SHARDS: usize = 16;
 
+/// Locked-tier inserts since the last promotion that trigger one.
+pub const PROMOTE_EVERY: u64 = 16;
+
 /// A concurrent rendered-HTML cache.
 #[derive(Debug)]
 pub struct HtmlCache {
     shards: Vec<RwLock<HashMap<PageKey, CachedPage>>>,
+    /// The lock-free read tier: an immutable snapshot of the shard maps.
+    published: Published<HashMap<PageKey, CachedPage>>,
+    /// Serializes snapshot-building (promotions and invalidations), so a
+    /// promotion can never capture a half-invalidated map and publish it
+    /// after the invalidation's own republish.
+    promote_lock: Mutex<()>,
+    /// Locked-tier inserts since the last promotion.
+    pending: AtomicU64,
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
+    published_hits: AtomicU64,
+    promotions: AtomicU64,
 }
 
 impl Default for HtmlCache {
     fn default() -> Self {
         HtmlCache {
             shards: (0..SHARDS).map(|_| RwLock::new(HashMap::new())).collect(),
+            published: Published::new(Arc::new(HashMap::new())),
+            promote_lock: Mutex::new(()),
+            pending: AtomicU64::new(0),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
+            published_hits: AtomicU64::new(0),
+            promotions: AtomicU64::new(0),
         }
     }
 }
@@ -65,8 +97,14 @@ impl HtmlCache {
         &self.shards[(h.finish() as usize) % SHARDS]
     }
 
-    /// Looks `key` up, counting the hit or miss.
+    /// Looks `key` up, counting the hit or miss. The published snapshot
+    /// is consulted first — that path takes no lock.
     pub fn get(&self, key: &PageKey) -> Option<CachedPage> {
+        if let Some(p) = self.published.read().get(key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            self.published_hits.fetch_add(1, Ordering::Relaxed);
+            return Some(p.clone());
+        }
         match self.shard_of(key).read().unwrap().get(key) {
             Some(p) => {
                 self.hits.fetch_add(1, Ordering::Relaxed);
@@ -90,15 +128,51 @@ impl HtmlCache {
         let mut shard = self.shard_of(&key).write().unwrap();
         if still_current() {
             shard.insert(key, page);
+            self.pending.fetch_add(1, Ordering::Relaxed);
         }
     }
 
+    /// Whether enough inserts accumulated that the owner should
+    /// [`HtmlCache::promote_if`] a fresh snapshot.
+    pub fn needs_promotion(&self) -> bool {
+        self.pending.load(Ordering::Relaxed) >= PROMOTE_EVERY
+    }
+
+    /// Publishes an immutable snapshot of the locked tier, making every
+    /// currently cached page servable lock-free. `still_current` is the
+    /// same epoch fence as [`HtmlCache::insert_if`]: when it reports a
+    /// delta landed since the caller read its epoch, the stale snapshot
+    /// is discarded instead of published. Returns whether it published.
+    pub fn promote_if(&self, still_current: impl FnOnce() -> bool) -> bool {
+        let _serialize = self.promote_lock.lock().unwrap();
+        let snapshot = self.collect_snapshot();
+        self.pending.store(0, Ordering::Relaxed);
+        let published = self.published.publish_if(Arc::new(snapshot), still_current);
+        if published {
+            self.promotions.fetch_add(1, Ordering::Relaxed);
+        }
+        published
+    }
+
+    fn collect_snapshot(&self) -> HashMap<PageKey, CachedPage> {
+        let mut map = HashMap::with_capacity(self.len());
+        for shard in &self.shards {
+            for (k, v) in shard.read().unwrap().iter() {
+                map.insert(k.clone(), v.clone());
+            }
+        }
+        map
+    }
+
     /// Evicts every page the delta dirtied, directly or through its
-    /// dependency set. Returns the eviction count.
+    /// dependency set, then republishes the lock-free snapshot so the
+    /// published tier stops serving the dirtied pages before this
+    /// returns. Returns the eviction count.
     pub fn invalidate(&self, dirty: &DirtySet) -> usize {
         if dirty.is_empty() {
             return 0;
         }
+        let _serialize = self.promote_lock.lock().unwrap();
         let mut evicted = 0;
         for shard in &self.shards {
             let mut map = shard.write().unwrap();
@@ -109,11 +183,13 @@ impl HtmlCache {
             evicted += before - map.len();
         }
         self.evictions.fetch_add(evicted as u64, Ordering::Relaxed);
+        self.published.publish(Arc::new(self.collect_snapshot()));
         evicted
     }
 
-    /// Drops everything.
+    /// Drops everything, including the published snapshot.
     pub fn clear(&self) -> usize {
+        let _serialize = self.promote_lock.lock().unwrap();
         let mut evicted = 0;
         for shard in &self.shards {
             let mut map = shard.write().unwrap();
@@ -121,10 +197,12 @@ impl HtmlCache {
             map.clear();
         }
         self.evictions.fetch_add(evicted as u64, Ordering::Relaxed);
+        self.published.publish(Arc::new(HashMap::new()));
         evicted
     }
 
-    /// Number of cached pages.
+    /// Number of cached pages (locked tier; the published snapshot is a
+    /// subset of it).
     pub fn len(&self) -> usize {
         self.shards.iter().map(|s| s.read().unwrap().len()).sum()
     }
@@ -134,6 +212,11 @@ impl HtmlCache {
         self.len() == 0
     }
 
+    /// Pages currently servable from the lock-free published snapshot.
+    pub fn published_len(&self) -> usize {
+        self.published.read().len()
+    }
+
     /// Counter snapshot for `/metrics`.
     pub fn stats(&self) -> CacheSnapshot {
         CacheSnapshot {
@@ -141,6 +224,9 @@ impl HtmlCache {
             misses: self.misses.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
             entries: self.len() as u64,
+            published_hits: self.published_hits.load(Ordering::Relaxed),
+            published_entries: self.published_len() as u64,
+            promotions: self.promotions.load(Ordering::Relaxed),
         }
     }
 }
@@ -209,5 +295,64 @@ mod tests {
         let mut dirty = DirtySet::default();
         dirty.symbols.insert("Article".into());
         assert_eq!(c.invalidate(&dirty), 1);
+    }
+
+    #[test]
+    fn promotion_publishes_the_lock_free_tier() {
+        let c = HtmlCache::new();
+        c.insert_if(key("A"), page(vec![]), || true);
+        assert_eq!(c.published_len(), 0, "nothing published before promotion");
+        assert!(c.promote_if(|| true));
+        assert_eq!(c.published_len(), 1);
+        assert!(c.get(&key("A")).is_some());
+        let s = c.stats();
+        assert_eq!(s.published_hits, 1, "served from the published tier");
+        assert_eq!(s.promotions, 1);
+    }
+
+    #[test]
+    fn stale_promotion_is_discarded() {
+        let c = HtmlCache::new();
+        c.insert_if(key("A"), page(vec![]), || true);
+        assert!(!c.promote_if(|| false), "a delta landed: snapshot dropped");
+        assert_eq!(c.published_len(), 0);
+    }
+
+    #[test]
+    fn invalidate_republishes_without_the_dirty_page() {
+        let c = HtmlCache::new();
+        c.insert_if(key("A"), page(vec![]), || true);
+        c.insert_if(key("B"), page(vec![]), || true);
+        assert!(c.promote_if(|| true));
+        assert_eq!(c.published_len(), 2);
+        let mut dirty = DirtySet::default();
+        dirty.pages.insert(key("A"));
+        c.invalidate(&dirty);
+        assert_eq!(c.published_len(), 1, "published tier re-cut immediately");
+        assert!(c.get(&key("A")).is_none());
+        assert!(c.get(&key("B")).is_some());
+    }
+
+    #[test]
+    fn needs_promotion_after_enough_inserts() {
+        let c = HtmlCache::new();
+        for i in 0..PROMOTE_EVERY {
+            assert!(!c.needs_promotion());
+            c.insert_if(key(&format!("P{i}")), page(vec![]), || true);
+        }
+        assert!(c.needs_promotion());
+        assert!(c.promote_if(|| true));
+        assert!(!c.needs_promotion(), "promotion resets the insert counter");
+        assert_eq!(c.published_len(), PROMOTE_EVERY as usize);
+    }
+
+    #[test]
+    fn clear_empties_the_published_tier_too() {
+        let c = HtmlCache::new();
+        c.insert_if(key("A"), page(vec![]), || true);
+        c.promote_if(|| true);
+        assert_eq!(c.clear(), 1);
+        assert_eq!(c.published_len(), 0);
+        assert!(c.get(&key("A")).is_none());
     }
 }

@@ -38,9 +38,11 @@
 
 pub mod cache;
 pub mod metrics;
+pub mod rcu;
 pub mod render;
 pub mod router;
 pub mod server;
+pub mod shard;
 
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::fmt;
@@ -52,7 +54,8 @@ use std::time::{Duration, Instant};
 pub use cache::{CachedPage, HtmlCache};
 pub use metrics::{CacheSnapshot, RouteSnapshot, ServerMetrics, ServerStats};
 pub use render::RenderedPage;
-pub use server::{serve, ServerConfig, ServerHandle};
+pub use server::{serve, ClickService, ServerConfig, ServerHandle};
+pub use shard::{ShardedInvalidation, ShardedService};
 
 use strudel_graph::GraphDelta;
 use strudel_repo::Database;
@@ -228,6 +231,10 @@ pub struct SiteService {
     /// Fast-path flag so unprobed services never lock the probe table.
     probes_armed: AtomicBool,
     probes: Mutex<HashMap<String, FaultProbe>>,
+    /// Serializes delta application: one writer at a time, so cache
+    /// invalidation and snapshot republication can never interleave
+    /// between two concurrent deltas.
+    delta_writer: Mutex<()>,
     /// Optional durable paged store kept write-through consistent with
     /// the engine: deltas commit here (WAL + copy-on-write pages) before
     /// the engine swaps its snapshot.
@@ -259,6 +266,7 @@ impl SiteService {
             timeout_error_logged: AtomicBool::new(false),
             probes_armed: AtomicBool::new(false),
             probes: Mutex::new(HashMap::new()),
+            delta_writer: Mutex::new(()),
             store: None,
         }
     }
@@ -320,6 +328,12 @@ impl SiteService {
         self.slow_log.lock().unwrap().iter().cloned().collect()
     }
 
+    /// Total requests that exceeded the slow threshold (not bounded by
+    /// the log capacity).
+    pub fn slow_requests_total(&self) -> u64 {
+        self.slow_total.load(Ordering::Relaxed)
+    }
+
     /// The shared click-time engine.
     pub fn engine(&self) -> &DynamicSite {
         &self.engine
@@ -328,6 +342,11 @@ impl SiteService {
     /// The rendered-HTML cache.
     pub fn cache(&self) -> &HtmlCache {
         &self.cache
+    }
+
+    /// The site's templates.
+    pub fn templates(&self) -> &TemplateSet {
+        &self.templates
     }
 
     /// The collection naming the site's root pages.
@@ -513,23 +532,39 @@ impl SiteService {
         if let Some(cached) = self.cache.get(key) {
             return Response::html(cached.html.to_string());
         }
-        // Epoch read *before* rendering: if a delta lands mid-render the
-        // insert is dropped and the next request re-renders fresh.
-        let epoch = self.engine.epoch();
-        match render::render_page(&self.engine, &self.templates, key) {
-            Ok(page) => {
-                let body = page.html.clone();
-                self.cache.insert_if(
-                    key.clone(),
-                    CachedPage {
-                        html: page.html.into(),
-                        deps: page.deps.into(),
-                    },
-                    || self.engine.epoch() == epoch,
-                );
-                Response::html(body)
+        match self.render_into_cache(key) {
+            Ok(cached) => {
+                self.maybe_promote();
+                Response::html(cached.html.to_string())
             }
             Err(e) => Response::error(&e),
+        }
+    }
+
+    /// Renders `key` and inserts the rendition into the HTML cache,
+    /// epoch-fenced: the epoch is read *before* rendering, so if a delta
+    /// lands mid-render the insert is dropped and the next request
+    /// re-renders fresh. Returns the rendition either way.
+    pub fn render_into_cache(&self, key: &PageKey) -> Result<CachedPage, ServeError> {
+        let (epoch, _db) = self.engine.snapshot();
+        let page = render::render_page(&self.engine, &self.templates, key)?;
+        let cached = CachedPage {
+            html: page.html.into(),
+            deps: page.deps.into(),
+        };
+        self.cache.insert_if(key.clone(), cached.clone(), || {
+            self.engine.epoch() == epoch
+        });
+        Ok(cached)
+    }
+
+    /// Promotes the HTML cache's lock-free published snapshot once
+    /// enough fresh renditions accumulated, fenced against a delta
+    /// landing between the epoch read and the publication.
+    fn maybe_promote(&self) {
+        if self.cache.needs_promotion() {
+            let (epoch, _db) = self.engine.snapshot();
+            self.cache.promote_if(|| self.engine.epoch() == epoch);
         }
     }
 
@@ -579,6 +614,9 @@ impl SiteService {
             }
             frontier = next;
         }
+        // Publish everything just warmed as the lock-free snapshot, so
+        // the very first click after warmup already skips the locks.
+        self.cache.promote_if(|| self.engine.epoch() == epoch);
         Ok(WarmupReport {
             pages,
             levels,
@@ -591,6 +629,10 @@ impl SiteService {
     /// cache also follows rendition dependencies). Concurrent requests
     /// keep serving throughout.
     pub fn apply_delta(&self, delta: &GraphDelta) -> Result<ServiceInvalidation, ServeError> {
+        // Single writer: concurrent deltas serialize here, so the
+        // invalidate-and-republish below can never interleave with
+        // another delta's and resurrect an evicted rendition.
+        let _writer = self.delta_writer.lock().unwrap();
         // Durability first: the paged store validates and commits the
         // delta (WAL append, copy-on-write pages) before the in-memory
         // engine swaps snapshots, so a crash never loses an applied

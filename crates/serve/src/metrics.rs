@@ -209,6 +209,12 @@ pub struct CacheSnapshot {
     pub evictions: u64,
     /// Entries currently cached.
     pub entries: u64,
+    /// Hits served from the RCU-published snapshot (no lock taken).
+    pub published_hits: u64,
+    /// Entries currently servable from the published snapshot.
+    pub published_entries: u64,
+    /// Snapshot promotions published so far.
+    pub promotions: u64,
 }
 
 impl CacheSnapshot {
@@ -320,6 +326,18 @@ impl ServerStats {
             self.html_cache.evictions
         ));
         line(format!("strudel_html_cache_entries {}", self.html_cache.entries));
+        line(format!(
+            "strudel_html_cache_published_hits_total {}",
+            self.html_cache.published_hits
+        ));
+        line(format!(
+            "strudel_html_cache_published_entries {}",
+            self.html_cache.published_entries
+        ));
+        line(format!(
+            "strudel_html_cache_promotions_total {}",
+            self.html_cache.promotions
+        ));
         let mut rate = String::new();
         write!(rate, "{:.4}", self.html_cache.hit_rate()).unwrap();
         line(format!("strudel_html_cache_hit_rate {rate}"));
@@ -500,6 +518,9 @@ mod tests {
                 misses: 1,
                 evictions: 0,
                 entries: 1,
+                published_hits: 2,
+                published_entries: 1,
+                promotions: 1,
             },
             engine: strudel_schema::dynamic::Metrics {
                 diff_pages_updated: 5,
@@ -533,6 +554,9 @@ mod tests {
         assert!(text.contains("strudel_trace_counter{name=\"serve.request\"} 7"));
         assert!(text.contains("strudel_route_requests_total{route=\"front\"} 1"));
         assert!(text.contains("strudel_html_cache_hit_rate 0.7500"));
+        assert!(text.contains("strudel_html_cache_published_hits_total 2"));
+        assert!(text.contains("strudel_html_cache_published_entries 1"));
+        assert!(text.contains("strudel_html_cache_promotions_total 1"));
         assert!(text.contains("strudel_request_latency_us{quantile=\"0.5\"} 50"));
         assert!(text.contains("strudel_request_latency_us_bucket{le=\"50\"} 1"));
         assert!(text.contains("strudel_request_latency_us_bucket{le=\"+Inf\"} 1"));

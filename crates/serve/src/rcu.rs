@@ -1,0 +1,223 @@
+//! Epoch-published snapshot pointers: RCU-style reads in safe Rust.
+//!
+//! A [`Published<T>`] holds one immutable snapshot behind an `Arc` and a
+//! monotonically increasing *version*. Readers keep a thread-local copy
+//! of `(version, Arc<T>)` per pointer; the steady-state read is one
+//! atomic load plus a thread-local lookup — **no lock, no shared-cache
+//! write** — so any number of readers scale without contending. Only a
+//! reader that observes a newer version touches the authoritative slot
+//! (a brief `RwLock` read) to refresh its copy, and only the writer
+//! takes the slot's write lock.
+//!
+//! This is the classic read-copy-update shape with the grace period
+//! handled by `Arc`: old snapshots stay alive exactly as long as some
+//! reader still holds them, and are freed by the last drop. Within one
+//! pointer the version and value always move together (both read under
+//! the slot lock, both written under it), so a cached pair can never mix
+//! a new version with an old value.
+//!
+//! A reader that races a publication may serve the immediately previous
+//! snapshot for the duration of that read — indistinguishable from the
+//! request having arrived a moment earlier, which is exactly the
+//! consistency the serving layer wants: every read sees one snapshot,
+//! never a mix of two.
+
+use std::any::Any;
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+/// Distinguishes `Published` instances in the thread-local cache.
+static NEXT_ID: AtomicU64 = AtomicU64::new(1);
+
+/// A version-stamped, type-erased snapshot in the thread-local cache.
+type CachedEntry = (u64, Arc<dyn Any + Send + Sync>);
+
+thread_local! {
+    /// Per-thread cache: pointer id → (version, type-erased snapshot).
+    /// One small entry per `Published` instance the thread has read.
+    static CACHED: RefCell<HashMap<u64, CachedEntry>> = RefCell::new(HashMap::new());
+}
+
+/// Counter snapshot of one [`Published`] pointer.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PublishedStats {
+    /// Reads served from the thread-local copy (no lock taken).
+    pub fast_reads: u64,
+    /// Reads that refreshed from the authoritative slot (version moved,
+    /// or first read on this thread).
+    pub refreshes: u64,
+    /// Publications so far.
+    pub version: u64,
+}
+
+/// An epoch-published snapshot pointer (see module docs).
+#[derive(Debug)]
+pub struct Published<T: Send + Sync + 'static> {
+    id: u64,
+    version: AtomicU64,
+    slot: RwLock<Arc<T>>,
+    fast_reads: AtomicU64,
+    refreshes: AtomicU64,
+}
+
+impl<T: Send + Sync + 'static> Published<T> {
+    /// Publishes `initial` as version 0.
+    pub fn new(initial: Arc<T>) -> Self {
+        Published {
+            id: NEXT_ID.fetch_add(1, Ordering::Relaxed),
+            version: AtomicU64::new(0),
+            slot: RwLock::new(initial),
+            fast_reads: AtomicU64::new(0),
+            refreshes: AtomicU64::new(0),
+        }
+    }
+
+    /// The current snapshot. Lock-free whenever this thread has already
+    /// read the current version; otherwise refreshes under a brief read
+    /// lock.
+    pub fn read(&self) -> Arc<T> {
+        let version = self.version.load(Ordering::Acquire);
+        let cached = CACHED.with(|c| {
+            c.borrow()
+                .get(&self.id)
+                .and_then(|(v, arc)| (*v == version).then(|| Arc::clone(arc)))
+        });
+        if let Some(arc) = cached {
+            self.fast_reads.fetch_add(1, Ordering::Relaxed);
+            return arc
+                .downcast::<T>()
+                .expect("thread-local entry holds this pointer's type");
+        }
+        // Refresh: version and value are read together under the slot
+        // lock so the cached pair can never tear.
+        let (version, value) = {
+            let slot = self.slot.read().unwrap();
+            (self.version.load(Ordering::Acquire), Arc::clone(&slot))
+        };
+        self.refreshes.fetch_add(1, Ordering::Relaxed);
+        let erased: Arc<dyn Any + Send + Sync> = value.clone();
+        CACHED.with(|c| {
+            c.borrow_mut().insert(self.id, (version, erased));
+        });
+        value
+    }
+
+    /// Atomically replaces the snapshot and bumps the version.
+    pub fn publish(&self, value: Arc<T>) {
+        self.publish_if(value, || true);
+    }
+
+    /// Publishes `value` unless `still_current` (checked under the slot
+    /// write lock) reports that the snapshot was built against a world
+    /// that has since moved on. Returns whether the publication happened.
+    pub fn publish_if(&self, value: Arc<T>, still_current: impl FnOnce() -> bool) -> bool {
+        let mut slot = self.slot.write().unwrap();
+        if !still_current() {
+            return false;
+        }
+        *slot = value;
+        self.version.fetch_add(1, Ordering::Release);
+        true
+    }
+
+    /// The number of publications so far.
+    pub fn version(&self) -> u64 {
+        self.version.load(Ordering::Acquire)
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> PublishedStats {
+        PublishedStats {
+            fast_reads: self.fast_reads.load(Ordering::Relaxed),
+            refreshes: self.refreshes.load(Ordering::Relaxed),
+            version: self.version(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_returns_the_published_value() {
+        let p = Published::new(Arc::new(1u32));
+        assert_eq!(*p.read(), 1);
+        p.publish(Arc::new(2));
+        assert_eq!(*p.read(), 2);
+        assert_eq!(p.version(), 1);
+    }
+
+    #[test]
+    fn steady_state_reads_are_fast_path() {
+        let p = Published::new(Arc::new("hello".to_string()));
+        p.read(); // first read on this thread refreshes
+        for _ in 0..10 {
+            p.read();
+        }
+        let s = p.stats();
+        assert_eq!(s.refreshes, 1, "one refresh, then thread-local hits");
+        assert_eq!(s.fast_reads, 10);
+    }
+
+    #[test]
+    fn publication_invalidates_the_fast_path_once() {
+        let p = Published::new(Arc::new(1u32));
+        p.read();
+        p.publish(Arc::new(2));
+        assert_eq!(*p.read(), 2, "version moved: refresh");
+        assert_eq!(*p.read(), 2, "then fast path again");
+        let s = p.stats();
+        assert_eq!(s.refreshes, 2);
+        assert_eq!(s.fast_reads, 1);
+    }
+
+    #[test]
+    fn publish_if_aborts_when_stale() {
+        let p = Published::new(Arc::new(1u32));
+        assert!(!p.publish_if(Arc::new(9), || false));
+        assert_eq!(*p.read(), 1);
+        assert_eq!(p.version(), 0);
+        assert!(p.publish_if(Arc::new(2), || true));
+        assert_eq!(*p.read(), 2);
+    }
+
+    #[test]
+    fn instances_do_not_share_thread_local_entries() {
+        let a = Published::new(Arc::new(1u32));
+        let b = Published::new(Arc::new(100u32));
+        assert_eq!(*a.read(), 1);
+        assert_eq!(*b.read(), 100);
+        a.publish(Arc::new(2));
+        assert_eq!(*a.read(), 2);
+        assert_eq!(*b.read(), 100, "b's cache untouched by a's publish");
+    }
+
+    #[test]
+    fn readers_across_threads_converge_on_the_new_snapshot() {
+        let p = Arc::new(Published::new(Arc::new(0u64)));
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let p = Arc::clone(&p);
+            handles.push(std::thread::spawn(move || {
+                // Every observed value must be one of the published
+                // snapshots, and observations are monotone per thread.
+                let mut last = *p.read();
+                for _ in 0..1000 {
+                    let v = *p.read();
+                    assert!(v >= last, "snapshots never go backwards");
+                    last = v;
+                }
+            }));
+        }
+        for v in 1..=10u64 {
+            p.publish(Arc::new(v));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(*p.read(), 10);
+    }
+}

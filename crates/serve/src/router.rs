@@ -24,6 +24,25 @@
 use strudel_graph::{FileKind, Graph, Oid, Value};
 use strudel_schema::dynamic::PageKey;
 
+/// Routes a request path to one of `n` service shards by FNV-1a hash of
+/// the path bytes. FNV is specified byte-for-byte (unlike
+/// `DefaultHasher`, whose algorithm may change between Rust releases),
+/// so the page → shard assignment is stable across builds — the property
+/// the ROADMAP's cross-process consistent-hash router will inherit.
+/// Because URLs are themselves stable (see module docs), a page lands on
+/// the same shard across restarts, deltas, and redeploys.
+pub fn shard_of_path(path: &str, n: usize) -> usize {
+    if n <= 1 {
+        return 0;
+    }
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in path.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    (h % n as u64) as usize
+}
+
 /// Percent-encodes every byte outside the URL-unreserved set
 /// (ASCII alphanumerics and `-._~`).
 pub fn pct_encode(s: &str) -> String {
@@ -247,5 +266,22 @@ mod tests {
         }
         assert_eq!(parse_data_path("/data/i:3", &g), None, "not a node");
         assert_eq!(parse_data_path("/data/n:a17/extra", &g), None);
+    }
+
+    #[test]
+    fn shard_routing_is_stable_and_in_range() {
+        // Pinned values: FNV-1a is specified byte-for-byte, so these
+        // must never change across builds or platforms.
+        assert_eq!(shard_of_path("/page/ArticlePage/n:a17", 4), 3);
+        assert_eq!(shard_of_path("/", 4), 2);
+        for n in 1..=8 {
+            for path in ["/", "/page/A/n:x", "/data/o:3", "/metrics"] {
+                let s = shard_of_path(path, n);
+                assert!(s < n);
+                assert_eq!(s, shard_of_path(path, n), "deterministic");
+            }
+        }
+        assert_eq!(shard_of_path("/anything", 1), 0);
+        assert_eq!(shard_of_path("/anything", 0), 0);
     }
 }

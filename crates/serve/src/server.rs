@@ -1,5 +1,5 @@
-//! The HTTP front end: a plain-`std::net` thread pool over one shared
-//! [`SiteService`].
+//! The HTTP front end: a plain-`std::net` thread pool over a shared
+//! click service — one [`SiteService`] or a [`ShardedService`].
 //!
 //! One accept thread feeds accepted connections into a *bounded* `mpsc`
 //! channel; `workers` threads drain it, each parsing a minimal `GET`
@@ -9,19 +9,84 @@
 //! header instead of queueing unbounded work ([`ServerConfig::max_backlog`]).
 //! A panic escaping a handler is caught — the request answers 500 and the
 //! worker keeps serving. Per-request socket timeouts bound how long a
-//! slow or stalled client can hold a worker. Shutdown is graceful: a flag
-//! flips, a self-connection wakes the accept loop, the channel closes,
-//! and every worker drains its in-flight request before exiting.
+//! slow or stalled client can hold a worker, and total request bytes are
+//! capped ([`MAX_REQUEST_BYTES`]) — an endless request line or header
+//! block answers `431` instead of growing worker memory without bound.
+//! Shutdown is graceful: a flag flips, a loopback self-connection wakes
+//! the accept loop, the channel closes, and every worker drains its
+//! in-flight request before exiting.
+//!
+//! [`ShardedService`]: crate::ShardedService
 
-use crate::{Response, SiteService};
-use std::io::{BufRead, BufReader, Write};
+use crate::{Response, ServeError, SiteService, WarmupReport};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{IpAddr, Ipv4Addr, Ipv6Addr, SocketAddr, TcpListener, TcpStream};
 use std::panic::AssertUnwindSafe;
-use strudel_struql::Parallelism;
-use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
+use strudel_struql::Parallelism;
+
+/// Upper bound on total request bytes read per connection (request line
+/// plus headers). A request that exceeds it answers
+/// `431 Request Header Fields Too Large`.
+pub const MAX_REQUEST_BYTES: u64 = 16 * 1024;
+
+/// What the transport needs from a service: request dispatch, optional
+/// pre-warming, and failure-mode counters. Implemented by
+/// [`SiteService`] (one engine) and [`crate::ShardedService`] (N
+/// hash-routed engines) — the transport is identical over either.
+pub trait ClickService: Send + Sync + 'static {
+    /// Serves one request path.
+    fn handle(&self, path: &str) -> Response;
+    /// Pre-renders every reachable page before accepting traffic.
+    fn warm(&self, parallelism: Parallelism) -> Result<WarmupReport, ServeError>;
+    /// Records a panic caught by the transport's worker backstop.
+    fn note_panic(&self);
+    /// Records a connection shed by the full backlog.
+    fn note_shed(&self);
+    /// Records a failed socket-timeout setup.
+    fn note_timeout_config_error(&self, err: &std::io::Error);
+}
+
+impl ClickService for SiteService {
+    fn handle(&self, path: &str) -> Response {
+        SiteService::handle(self, path)
+    }
+    fn warm(&self, parallelism: Parallelism) -> Result<WarmupReport, ServeError> {
+        SiteService::warm(self, parallelism)
+    }
+    fn note_panic(&self) {
+        SiteService::note_panic(self)
+    }
+    fn note_shed(&self) {
+        SiteService::note_shed(self)
+    }
+    fn note_timeout_config_error(&self, err: &std::io::Error) {
+        SiteService::note_timeout_config_error(self, err)
+    }
+}
+
+impl ClickService for crate::ShardedService {
+    fn handle(&self, path: &str) -> Response {
+        crate::ShardedService::handle(self, path)
+    }
+    fn warm(&self, parallelism: Parallelism) -> Result<WarmupReport, ServeError> {
+        crate::ShardedService::warm(self, parallelism)
+    }
+    // Transport-level failures have no owning shard; account them on
+    // shard 0, whose counters the aggregated stats sum like any other.
+    fn note_panic(&self) {
+        self.shard(0).note_panic()
+    }
+    fn note_shed(&self) {
+        self.shard(0).note_shed()
+    }
+    fn note_timeout_config_error(&self, err: &std::io::Error) {
+        self.shard(0).note_timeout_config_error(err)
+    }
+}
 
 /// Server knobs.
 #[derive(Clone, Debug)]
@@ -79,8 +144,21 @@ impl ServerHandle {
 
     fn stop_and_join(&mut self) {
         if !self.stop.swap(true, Ordering::SeqCst) {
-            // Wake the blocking accept with a throwaway connection.
-            let _ = TcpStream::connect(self.addr);
+            // Wake the blocking accept with a throwaway connection. The
+            // listener may be bound to an unspecified address (0.0.0.0 /
+            // ::), which is not connectable — aim at loopback on the
+            // bound port instead, and bound the wake so a filtered
+            // loopback can't turn shutdown into a hang.
+            let ip: IpAddr = if self.addr.ip().is_unspecified() {
+                match self.addr {
+                    SocketAddr::V4(_) => Ipv4Addr::LOCALHOST.into(),
+                    SocketAddr::V6(_) => Ipv6Addr::LOCALHOST.into(),
+                }
+            } else {
+                self.addr.ip()
+            };
+            let wake = SocketAddr::new(ip, self.addr.port());
+            let _ = TcpStream::connect_timeout(&wake, Duration::from_millis(500));
         }
         if let Some(t) = self.accept.take() {
             let _ = t.join();
@@ -99,7 +177,10 @@ impl Drop for ServerHandle {
 
 /// Starts serving `service` per `config`. Returns once the socket is
 /// bound and the worker pool is up.
-pub fn serve(service: Arc<SiteService>, config: ServerConfig) -> std::io::Result<ServerHandle> {
+pub fn serve<S: ClickService>(
+    service: Arc<S>,
+    config: ServerConfig,
+) -> std::io::Result<ServerHandle> {
     let listener = TcpListener::bind(&config.addr)?;
     let addr = listener.local_addr()?;
     let stop = Arc::new(AtomicBool::new(false));
@@ -127,11 +208,11 @@ pub fn serve(service: Arc<SiteService>, config: ServerConfig) -> std::io::Result
                     let stream = rx.lock().unwrap().recv();
                     match stream {
                         Ok(stream) => {
-                            // Backstop for panics outside SiteService::handle
-                            // (request parsing, response writing): the
+                            // Backstop for panics outside the service's own
+                            // handler (request parsing, response writing): the
                             // connection drops but the worker survives.
                             let caught = std::panic::catch_unwind(AssertUnwindSafe(|| {
-                                handle_connection(stream, &service, timeout)
+                                handle_connection(stream, &*service, timeout)
                             }));
                             if caught.is_err() {
                                 service.note_panic();
@@ -179,7 +260,7 @@ pub fn serve(service: Arc<SiteService>, config: ServerConfig) -> std::io::Result
 /// Parses one `GET` request and writes the service's response. Errors are
 /// answered with a 400 where possible and otherwise dropped — a broken
 /// client must never take a worker down.
-fn handle_connection(stream: TcpStream, service: &SiteService, timeout: Duration) {
+fn handle_connection<S: ClickService>(stream: TcpStream, service: &S, timeout: Duration) {
     // A failed timeout setup means this connection could hold its worker
     // indefinitely. Serve it anyway, but never silently: the service logs
     // the first failure and counts every one.
@@ -189,27 +270,55 @@ fn handle_connection(stream: TcpStream, service: &SiteService, timeout: Duration
     {
         service.note_timeout_config_error(&e);
     }
+    // Hard cap on request bytes: a hostile client streaming an endless
+    // request line or header block hits the `Take` limit instead of
+    // growing a worker-side String without bound.
     let mut reader = BufReader::new(match stream.try_clone() {
-        Ok(s) => s,
+        Ok(s) => s.take(MAX_REQUEST_BYTES),
         Err(_) => return,
     });
     let mut request_line = String::new();
     if reader.read_line(&mut request_line).is_err() {
         return;
     }
+    // A request line that swallowed the whole byte budget without ever
+    // reaching a newline is the DoS shape, not a parse error.
+    let mut oversized = !request_line.ends_with('\n')
+        && request_line.len() as u64 >= MAX_REQUEST_BYTES;
     let mut parts = request_line.split_whitespace();
     let method = parts.next().unwrap_or("");
     let path = parts.next().unwrap_or("");
-    // Drain headers up to the blank line; bodies are not supported.
+    // Drain headers up to the blank line; bodies are not supported. Only
+    // an empty line (CRLF or bare LF) ends the block — the old `n > 2`
+    // predicate misread any 2-byte header line ("X\n") as the end of
+    // headers, leaving unread bytes to RST the response away.
     let mut line = String::new();
-    loop {
+    while !oversized {
         line.clear();
         match reader.read_line(&mut line) {
-            Ok(n) if n > 2 => continue,
-            _ => break,
+            Ok(0) => {
+                // EOF — either the client closed, or the byte budget ran
+                // out mid-headers (which would leave unread bytes).
+                oversized = reader.get_ref().limit() == 0;
+                break;
+            }
+            Ok(_) if line == "\r\n" || line == "\n" => break,
+            Ok(_) if !line.ends_with('\n') => {
+                // Budget exhausted mid-line.
+                oversized = true;
+                break;
+            }
+            Ok(_) => continue,
+            Err(_) => break,
         }
     }
-    let response = if method != "GET" && method != "HEAD" {
+    let response = if oversized {
+        Response {
+            status: 431,
+            content_type: "text/plain; charset=utf-8",
+            body: format!("request exceeds {MAX_REQUEST_BYTES} bytes\n"),
+        }
+    } else if method != "GET" && method != "HEAD" {
         Response {
             status: 405,
             content_type: "text/plain; charset=utf-8",
@@ -224,7 +333,13 @@ fn handle_connection(stream: TcpStream, service: &SiteService, timeout: Duration
     } else {
         service.handle(path)
     };
-    let _ = write_response(stream, &response, method == "HEAD");
+    let head_only = method == "HEAD" && !oversized;
+    if write_response(&stream, &response, head_only).is_ok() && oversized {
+        // The client may still be mid-send; drain briefly so closing
+        // with unread data doesn't RST the 431 away.
+        let mut stream = stream;
+        drain_before_close(&mut stream, Duration::from_millis(100));
+    }
 }
 
 fn reason(status: u16) -> &'static str {
@@ -233,6 +348,7 @@ fn reason(status: u16) -> &'static str {
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        431 => "Request Header Fields Too Large",
         500 => "Internal Server Error",
         503 => "Service Unavailable",
         _ => "",
@@ -254,16 +370,34 @@ fn shed_connection(mut stream: TcpStream, retry_after_secs: u64) {
         body
     );
     let _ = stream.flush();
-    // Drain whatever request bytes arrived before closing. Closing with
-    // unread data makes TCP reset the connection, which would discard the
-    // 503 sitting in the client's receive buffer.
-    let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
+    drain_before_close(&mut stream, Duration::from_millis(100));
+}
+
+/// Drains whatever request bytes arrived, until EOF or the deadline.
+/// Closing with unread data makes TCP reset the connection, which would
+/// discard the response sitting in the client's receive buffer — and one
+/// 1024-byte read is not enough for a request larger than 1 KiB.
+fn drain_before_close(stream: &mut TcpStream, max_wait: Duration) {
+    let deadline = Instant::now() + max_wait;
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(20)));
     let mut scratch = [0u8; 1024];
-    let _ = std::io::Read::read(&mut stream, &mut scratch);
+    loop {
+        match stream.read(&mut scratch) {
+            Ok(0) => break, // client closed its half: nothing left unread
+            Ok(_) => {}
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut => {}
+            Err(_) => break,
+        }
+        if Instant::now() >= deadline {
+            break;
+        }
+    }
 }
 
 fn write_response(
-    mut stream: TcpStream,
+    mut stream: &TcpStream,
     response: &Response,
     head_only: bool,
 ) -> std::io::Result<()> {

@@ -1,0 +1,411 @@
+//! Sharded epoch-snapshot serving: N per-core service shards behind one
+//! front.
+//!
+//! A [`ShardedService`] owns `n` independent [`SiteService`]s. Every
+//! request path is routed to one shard by a stable FNV-1a hash of the
+//! path ([`crate::router::shard_of_path`]) — the same page always lands
+//! on the same shard, across restarts and deltas. Each shard owns its
+//! *own* click-time engine (page-view cache + compiled-guard cache) and
+//! its own HTML cache with an RCU-published warm-click snapshot, so
+//! shards share **no mutable state** on the read path: a warm click
+//! touches only its shard's published pointer — no lock, no cross-core
+//! cache-line bouncing. This is the share-nothing horizontal-scaling
+//! shape the ROADMAP's cross-process consistent-hash router extends.
+//!
+//! Writes are the opposite: a single writer serializes every
+//! [`GraphDelta`] and broadcasts it to all shards, returning only after
+//! the last shard has swapped its snapshot — the *epoch barrier*. The
+//! optional paged store commits each delta once, durably, before any
+//! shard applies it. During the broadcast a shard is either entirely
+//! pre-delta or entirely post-delta (each shard's own apply is atomic
+//! with respect to its readers), so every response is a consistent
+//! rendering of one epoch — never a mix — and once `apply_delta`
+//! returns, all shards serve the new epoch.
+//!
+//! `/metrics` is answered at the front: aggregated totals in the same
+//! `strudel_*` rows an unsharded server emits, plus per-shard
+//! `strudel_shard_*` rows.
+
+use crate::metrics::{CacheSnapshot, ServerMetrics};
+use crate::{
+    router, Response, ServeError, ServiceInvalidation, SiteService, WarmupReport,
+};
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+use strudel_graph::GraphDelta;
+use strudel_repo::Database;
+use strudel_schema::dynamic::{Metrics, Mode, PageKey};
+use strudel_struql::{par, Parallelism, Program};
+use strudel_template::TemplateSet;
+
+/// The result of broadcasting one delta to every shard.
+#[derive(Clone, Debug)]
+pub struct ShardedInvalidation {
+    /// Per-shard outcomes, in shard order.
+    pub shards: Vec<ServiceInvalidation>,
+}
+
+impl ShardedInvalidation {
+    /// HTML-cache entries evicted across all shards.
+    pub fn html_evicted(&self) -> usize {
+        self.shards.iter().map(|s| s.html_evicted).sum()
+    }
+
+    /// Cached page views maintained in place across all shards.
+    pub fn updated(&self) -> usize {
+        self.shards.iter().map(|s| s.engine.updated).sum()
+    }
+
+    /// Cached page views evicted across all shards.
+    pub fn evicted(&self) -> usize {
+        self.shards.iter().map(|s| s.engine.evicted).sum()
+    }
+}
+
+/// N per-core service shards behind one hash-routing front (see module
+/// docs). All methods take `&self`; wrap it in an [`Arc`] and hand it to
+/// [`crate::serve`].
+pub struct ShardedService {
+    shards: Vec<SiteService>,
+    /// Pre-built front route labels (`shard/0`…), so routing a request
+    /// never allocates a label.
+    shard_routes: Vec<String>,
+    /// Front metrics: per-shard request counts and latency, plus the
+    /// front-answered routes.
+    metrics: ServerMetrics,
+    /// The single delta writer.
+    writer: Mutex<()>,
+    /// Deltas visible on *all* shards (bumped after the epoch barrier).
+    deltas: AtomicU64,
+    /// Optional durable paged store, committed once per delta before any
+    /// shard applies it.
+    store: Option<strudel_repo::PagedRepo>,
+}
+
+impl ShardedService {
+    /// Builds `shards` independent services from loose parts. Every
+    /// shard starts from the same database snapshot (an `Arc` clone, not
+    /// a copy) and compiles its own guard cache.
+    pub fn from_parts(
+        db: Arc<Database>,
+        program: &Program,
+        templates: TemplateSet,
+        root_collection: &str,
+        mode: Mode,
+        shards: usize,
+    ) -> Self {
+        let n = shards.max(1);
+        let shards: Vec<SiteService> = (0..n)
+            .map(|_| {
+                SiteService::from_parts(db.clone(), program, templates.clone(), root_collection, mode)
+            })
+            .collect();
+        ShardedService {
+            shard_routes: (0..n).map(|i| format!("shard/{i}")).collect(),
+            shards,
+            metrics: ServerMetrics::new(),
+            writer: Mutex::new(()),
+            deltas: AtomicU64::new(0),
+            store: None,
+        }
+    }
+
+    /// Builds a sharded service from a built [`strudel::Site`].
+    pub fn new(site: &strudel::Site, mode: Mode, shards: usize) -> Self {
+        Self::from_parts(
+            site.database.clone(),
+            &site.program,
+            site.templates.clone(),
+            &site.root_collection,
+            mode,
+            shards,
+        )
+    }
+
+    /// Attaches a paged store the delta writer keeps write-through
+    /// consistent: each delta commits durably exactly once, before any
+    /// shard's in-memory snapshot swaps.
+    pub fn with_paged_store(mut self, store: strudel_repo::PagedRepo) -> Self {
+        self.store = Some(store);
+        self
+    }
+
+    /// Sets every shard's per-guard worker budget.
+    pub fn with_parallelism(mut self, parallelism: Parallelism) -> Self {
+        self.shards = self
+            .shards
+            .into_iter()
+            .map(|s| s.with_parallelism(parallelism))
+            .collect();
+        self
+    }
+
+    /// Sets every shard's slow-request threshold (builder form).
+    pub fn with_slow_threshold_us(self, us: u64) -> Self {
+        for s in &self.shards {
+            s.set_slow_threshold_us(us);
+        }
+        self
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard a request path routes to.
+    pub fn shard_for(&self, path: &str) -> usize {
+        let routed = path.split('?').next().unwrap_or(path);
+        router::shard_of_path(routed, self.shards.len())
+    }
+
+    /// One shard, for tests and aggregation.
+    pub fn shard(&self, i: usize) -> &SiteService {
+        &self.shards[i]
+    }
+
+    /// The stable URL of a page (all shards agree; asks shard 0).
+    pub fn url_of(&self, key: &PageKey) -> String {
+        self.shards[0].url_of(key)
+    }
+
+    /// Deltas visible on every shard (the barrier epoch).
+    pub fn delta_epoch(&self) -> u64 {
+        self.deltas.load(Ordering::Acquire)
+    }
+
+    /// Serves one request path. `/metrics` and `/debug/trace` are
+    /// answered at the front (they aggregate across shards); everything
+    /// else routes to its owner shard by path hash.
+    pub fn handle(&self, path: &str) -> Response {
+        let start = Instant::now();
+        let routed = path.split('?').next().unwrap_or(path);
+        let (route, response) = match routed {
+            "/metrics" => ("metrics", Response::text(self.stats_text())),
+            "/debug/trace" => ("debug/trace", Response::text(self.debug_trace_text())),
+            _ => {
+                let idx = router::shard_of_path(routed, self.shards.len());
+                let response = self.shards[idx].handle(path);
+                (self.shard_routes[idx].as_str(), response)
+            }
+        };
+        let us = start.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
+        self.metrics.record(route, us);
+        response
+    }
+
+    /// Pre-renders every reachable page into its *owner shard's* cache —
+    /// each page is rendered once, on the shard that will serve it, then
+    /// every shard publishes its warm-click snapshot. BFS level by level
+    /// from the roots, fanned across `parallelism` workers.
+    pub fn warm(&self, parallelism: Parallelism) -> Result<WarmupReport, ServeError> {
+        let start = Instant::now();
+        let n = self.shards.len();
+        let first = &self.shards[0];
+        let mut frontier: Vec<PageKey> = first.engine().roots(first.root_collection())?;
+        let mut seen: HashSet<PageKey> = frontier.iter().cloned().collect();
+        let mut pages = 0usize;
+        let mut levels = 0usize;
+        while !frontier.is_empty() {
+            let rendered = par::map_chunks(frontier, parallelism.workers(), |chunk| {
+                chunk
+                    .into_iter()
+                    .map(|key| {
+                        let idx = router::shard_of_path(&self.url_of(&key), n);
+                        self.shards[idx]
+                            .render_into_cache(&key)
+                            .map(|page| (key, page))
+                    })
+                    .collect()
+            })?;
+            levels += 1;
+            let mut next = Vec::new();
+            for (_key, page) in &rendered {
+                for dep in page.deps.iter() {
+                    if seen.insert(dep.clone()) {
+                        next.push(dep.clone());
+                    }
+                }
+                pages += 1;
+            }
+            frontier = next;
+        }
+        for s in &self.shards {
+            let epoch = s.engine().epoch();
+            s.cache().promote_if(|| s.engine().epoch() == epoch);
+        }
+        Ok(WarmupReport {
+            pages,
+            levels,
+            elapsed_us: start.elapsed().as_micros().min(u128::from(u64::MAX)) as u64,
+        })
+    }
+
+    /// Broadcasts one delta to every shard: the single writer commits it
+    /// durably once (if a store is attached), validates it on shard 0,
+    /// then applies it to the remaining shards in parallel and returns
+    /// only after **all** shards have swapped — the epoch barrier. Any
+    /// click served during the broadcast sees one shard's snapshot,
+    /// entirely pre- or entirely post-delta; after this returns, every
+    /// shard serves the new epoch.
+    pub fn apply_delta(&self, delta: &GraphDelta) -> Result<ShardedInvalidation, ServeError> {
+        let _writer = self.writer.lock().unwrap();
+        if let Some(store) = &self.store {
+            store.apply_delta(delta)?;
+        }
+        // Shard 0 is the validation gate: deltas are deterministic over
+        // identical graphs, so a delta that applies here applies
+        // everywhere — an invalid one is rejected before any other
+        // shard (or any reader) sees it.
+        let first = self.shards[0].apply_delta(delta)?;
+        let mut outcomes = vec![first];
+        if self.shards.len() > 1 {
+            let rest: Vec<_> = std::thread::scope(|scope| {
+                let handles: Vec<_> = self.shards[1..]
+                    .iter()
+                    .map(|s| scope.spawn(move || s.apply_delta(delta)))
+                    .collect();
+                handles.into_iter().map(|h| h.join()).collect()
+            });
+            for r in rest {
+                match r {
+                    Ok(Ok(outcome)) => outcomes.push(outcome),
+                    Ok(Err(e)) => return Err(e),
+                    Err(_) => {
+                        return Err(ServeError::Io(std::io::Error::other(
+                            "shard delta application panicked",
+                        )))
+                    }
+                }
+            }
+        }
+        self.deltas.fetch_add(1, Ordering::Release);
+        Ok(ShardedInvalidation { shards: outcomes })
+    }
+
+    /// Aggregated stats in the unsharded [`crate::ServerStats`] shape:
+    /// front request totals/latency, summed cache and engine counters.
+    pub fn stats(&self) -> crate::ServerStats {
+        let trace_counters = if strudel_trace::enabled() {
+            strudel_trace::snapshot().counters
+        } else {
+            Vec::new()
+        };
+        let mut html_cache = CacheSnapshot::default();
+        let mut engine = Metrics::default();
+        let mut slow_requests = 0;
+        let mut panics = 0;
+        let mut shed = 0;
+        let mut timeout_config_errors = 0;
+        for s in &self.shards {
+            sum_cache(&mut html_cache, s.cache().stats());
+            sum_engine(&mut engine, s.engine().metrics());
+            slow_requests += s.slow_requests_total();
+            panics += s.panics_total();
+            shed += s.shed_total();
+            timeout_config_errors += s.timeout_config_errors_total();
+        }
+        crate::ServerStats {
+            total: self.metrics.totals(),
+            latency_buckets: self.metrics.total_latency_buckets(),
+            latency_sum_us: self.metrics.total_latency_sum_us(),
+            routes: self.metrics.snapshot(),
+            html_cache,
+            engine,
+            epoch: self.delta_epoch(),
+            slow_requests,
+            panics,
+            shed,
+            timeout_config_errors,
+            trace_counters,
+            pager: strudel_repo::pager::global_stats(),
+        }
+    }
+
+    /// The `/metrics` body: the aggregated `strudel_*` rows an unsharded
+    /// server emits, followed by per-shard `strudel_shard_*` rows.
+    pub fn stats_text(&self) -> String {
+        use std::fmt::Write;
+        let mut out = self.stats().to_text();
+        let routes = self.metrics.snapshot();
+        let _ = writeln!(out, "strudel_shards {}", self.shards.len());
+        for (i, s) in self.shards.iter().enumerate() {
+            let front = routes.iter().find(|r| r.route == self.shard_routes[i]);
+            let (requests, p99) = front.map_or((0, 0), |r| (r.requests, r.p99_us));
+            let cache = s.cache().stats();
+            let _ = writeln!(out, "strudel_shard_requests_total{{shard=\"{i}\"}} {requests}");
+            let _ = writeln!(
+                out,
+                "strudel_shard_latency_us{{shard=\"{i}\",quantile=\"0.99\"}} {p99}"
+            );
+            let _ = writeln!(
+                out,
+                "strudel_shard_epoch{{shard=\"{i}\"}} {}",
+                s.engine().epoch()
+            );
+            let _ = writeln!(
+                out,
+                "strudel_shard_html_cache_entries{{shard=\"{i}\"}} {}",
+                cache.entries
+            );
+            let _ = writeln!(
+                out,
+                "strudel_shard_published_entries{{shard=\"{i}\"}} {}",
+                cache.published_entries
+            );
+            let _ = writeln!(
+                out,
+                "strudel_shard_published_hits_total{{shard=\"{i}\"}} {}",
+                cache.published_hits
+            );
+        }
+        out
+    }
+
+    /// The `/debug/trace` body: the global trace snapshot once, then
+    /// every shard's slow-request log.
+    pub fn debug_trace_text(&self) -> String {
+        use std::fmt::Write;
+        let mut out = strudel_trace::snapshot().render_text();
+        for (i, s) in self.shards.iter().enumerate() {
+            let slow = s.slow_requests();
+            let _ = write!(
+                out,
+                "\n# shard {i} slow requests (threshold={}us, total={}, showing {})\n",
+                s.slow_threshold_us(),
+                s.slow_requests_total(),
+                slow.len()
+            );
+            for r in &slow {
+                let _ = writeln!(out, "[{}] {} {}us {}", r.trace_id, r.status, r.us, r.path);
+            }
+        }
+        out
+    }
+}
+
+fn sum_cache(total: &mut CacheSnapshot, s: CacheSnapshot) {
+    total.hits += s.hits;
+    total.misses += s.misses;
+    total.evictions += s.evictions;
+    total.entries += s.entries;
+    total.published_hits += s.published_hits;
+    total.published_entries += s.published_entries;
+    total.promotions += s.promotions;
+}
+
+fn sum_engine(total: &mut Metrics, s: Metrics) {
+    total.clicks += s.clicks;
+    total.queries_run += s.queries_run;
+    total.rows_produced += s.rows_produced;
+    total.cache_hits += s.cache_hits;
+    total.evictions += s.evictions;
+    total.plan_cache_hits += s.plan_cache_hits;
+    total.plan_cache_misses += s.plan_cache_misses;
+    total.diff_pages_updated += s.diff_pages_updated;
+    total.diff_fallbacks += s.diff_fallbacks;
+    total.diff_rows_added += s.diff_rows_added;
+    total.diff_rows_retracted += s.diff_rows_retracted;
+}

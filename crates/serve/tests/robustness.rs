@@ -124,6 +124,64 @@ fn a_saturated_backlog_sheds_with_retry_after() {
 }
 
 #[test]
+fn an_oversized_shed_request_still_receives_its_503() {
+    let svc = service();
+    let server = serve(
+        svc.clone(),
+        ServerConfig {
+            workers: 1,
+            max_backlog: 1,
+            retry_after_secs: 3,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let addr = server.addr();
+    assert!(get(addr, "/").starts_with("HTTP/1.1 200"));
+
+    // Stall the single worker and fill the backlog, as in the shed test
+    // above — but send >1 KiB of request. The old shed path drained at
+    // most one 1 KiB read before closing, so the unread tail made the
+    // kernel RST the connection and discard the 503 in flight.
+    svc.arm_probe("/stall", FaultProbe::Stall(Duration::from_millis(900)));
+    let stalled: Vec<_> = (0..2)
+        .map(|_| {
+            let h = std::thread::spawn(move || get(addr, "/stall"));
+            std::thread::sleep(Duration::from_millis(150));
+            h
+        })
+        .collect();
+
+    let mut shed = 0;
+    for _ in 0..4 {
+        let mut s = TcpStream::connect(addr).unwrap();
+        let _ = write!(s, "GET / HTTP/1.1\r\n");
+        let filler = format!("X-Pad: {}\r\n", "p".repeat(1015));
+        for _ in 0..4 {
+            let _ = s.write_all(filler.as_bytes());
+        }
+        let _ = s.write_all(b"\r\n");
+        let mut out = String::new();
+        let _ = s.read_to_string(&mut out);
+        // Every connection must yield a complete HTTP response — an
+        // empty read here is the RST the drain exists to prevent.
+        assert!(out.starts_with("HTTP/1.1"), "response lost to a reset: {out:?}");
+        if out.starts_with("HTTP/1.1 503") {
+            assert!(out.contains("Retry-After: 3"), "{out}");
+            shed += 1;
+        }
+    }
+    assert!(shed >= 1, "worker stalled + backlog full must shed");
+
+    for h in stalled {
+        let _ = h.join();
+    }
+    svc.clear_probes();
+    assert!(get(addr, "/").starts_with("HTTP/1.1 200"));
+    server.shutdown();
+}
+
+#[test]
 fn timeout_config_errors_are_counted_not_swallowed() {
     let svc = service();
     assert_eq!(svc.timeout_config_errors_total(), 0);
