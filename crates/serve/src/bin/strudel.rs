@@ -32,6 +32,8 @@
 //!                                     (strong DataGuides per collection)
 //! strudel serve <dir> [--addr A] [--workers N] [--shards S] [--mode M]
 //!                     [--warm W] [--slow-us T] [--backlog B] [--trace]
+//!                     [--transport threads|epoll] [--keepalive-secs S]
+//!                     [--max-connections N]
 //!                     [--store DIR] [--pool-pages N] [--page-size B]
 //!                                     serve the site at click time:
 //!                                     pages computed on demand, cached,
@@ -51,6 +53,14 @@
 //!                                      0 disables;
 //!                                      B: max queued connections before
 //!                                      new ones are shed with a 503;
+//!                                      --transport picks the front end:
+//!                                      threads (portable, one response
+//!                                      per connection) or epoll (Linux
+//!                                      event-driven HTTP/1.1 keep-alive
+//!                                      reactor); --keepalive-secs is the
+//!                                      reactor's idle-connection
+//!                                      deadline; --max-connections caps
+//!                                      its open sockets (503 beyond);
 //!                                      --trace turns the strudel-trace
 //!                                      recorder on at startup;
 //!                                      --store attaches a durable paged
@@ -90,7 +100,8 @@ fn run(args: &[String]) -> Result<(), String> {
         "usage: strudel <build|check|schema|stats|guide|serve|explain> <site-dir> \
          [-o <outdir>] [--addr <ip:port>] [--workers <n>] [--shards <n|auto>] \
          [--mode <naive|context|lookahead>] [--warm <n|auto>] [--slow-us <t>] \
-         [--backlog <n>] [--trace] [--store <dir>] [--pool-pages <n>] \
+         [--backlog <n>] [--transport <threads|epoll>] [--keepalive-secs <s>] \
+         [--max-connections <n>] [--trace] [--store <dir>] [--pool-pages <n>] \
          [--page-size <bytes>]";
     let command = args.first().ok_or(usage)?;
     let dir = PathBuf::from(args.get(1).ok_or(usage)?);
@@ -254,10 +265,30 @@ fn run(args: &[String]) -> Result<(), String> {
                 Some(b) => b.parse().map_err(|_| "--backlog needs a number")?,
                 None => strudel_serve::ServerConfig::default().max_backlog,
             };
+            let transport = match flag("--transport").as_deref() {
+                None | Some("threads") => strudel_serve::Transport::Threads,
+                Some("epoll") => strudel_serve::Transport::Epoll,
+                Some(other) => {
+                    return Err(format!("unknown transport '{other}' (threads|epoll)"))
+                }
+            };
+            let keepalive_timeout = match flag("--keepalive-secs") {
+                Some(s) => std::time::Duration::from_secs(
+                    s.parse().map_err(|_| "--keepalive-secs needs a number")?,
+                ),
+                None => strudel_serve::ServerConfig::default().keepalive_timeout,
+            };
+            let max_connections: usize = match flag("--max-connections") {
+                Some(n) => n.parse().map_err(|_| "--max-connections needs a number")?,
+                None => strudel_serve::ServerConfig::default().max_connections,
+            };
             let config = strudel_serve::ServerConfig {
                 addr,
                 workers,
                 max_backlog,
+                transport,
+                keepalive_timeout,
+                max_connections,
                 ..Default::default()
             };
             let report_warm = |report: strudel_serve::WarmupReport, workers: usize| {
@@ -306,10 +337,14 @@ fn run(args: &[String]) -> Result<(), String> {
             };
             println!(
                 "serving '{}' at http://{}/ ({workers} workers, {shards} shard{}, {mode:?} \
-                 evaluation; ^C stops)",
+                 evaluation, {} transport; ^C stops)",
                 built.name,
                 server.addr(),
-                if shards == 1 { "" } else { "s" }
+                if shards == 1 { "" } else { "s" },
+                match transport {
+                    strudel_serve::Transport::Threads => "threads",
+                    strudel_serve::Transport::Epoll => "epoll",
+                }
             );
             loop {
                 std::thread::park();

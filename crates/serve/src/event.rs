@@ -1,0 +1,737 @@
+//! The event-driven keep-alive transport: one epoll reactor thread
+//! owns every connection; a render pool runs the click handlers.
+//!
+//! The thread-pool transport ([`crate::server`]) spends a thread per
+//! in-flight connection and closes after every response, so N browsers
+//! holding connections open cost N threads and every click pays a TCP
+//! handshake. This transport inverts both costs:
+//!
+//! * **One reactor thread** multiplexes all sockets through
+//!   `epoll_wait` (via the safe [`strudel_epoll`] bindings — this crate
+//!   keeps its `forbid(unsafe_code)`). An idle keep-alive connection is
+//!   one registered fd and a couple hundred bytes of state; thousands
+//!   of them cost no threads at all.
+//! * **HTTP/1.1 keep-alive**: after a response, the connection goes
+//!   back to reading and the next request skips the handshake.
+//!   Pipelined requests already buffered are parsed immediately.
+//! * **A render pool** ([`ServerConfig::workers`] threads) runs
+//!   [`ClickService::handle`], so a slow page render never stalls the
+//!   event loop. Completions come back over a queue and an `eventfd`
+//!   wakeup. When the pool's bounded queue is full, the request sheds
+//!   with `503` + `Retry-After`, exactly like the thread transport's
+//!   backlog.
+//!
+//! Per-connection lifecycle: `Reading` (accumulate + incrementally
+//! parse a head) → `Dispatched` (render pool owns it) → `Writing`
+//! (flush the encoded response) → back to `Reading` (keep-alive) or
+//! `Draining` (sink the client's unread bytes briefly so closing
+//! doesn't RST the response away) or closed. Deadlines bound every
+//! state: an idle keep-alive connection closes after
+//! [`ServerConfig::keepalive_timeout`] (counted on `/metrics`), a
+//! partial head older than [`ServerConfig::timeout`] answers `408`
+//! (slow-loris), a stalled response write is cut off, and a failed
+//! `accept` deregisters the listener for
+//! [`crate::server::ACCEPT_ERROR_BACKOFF`] instead of spinning.
+
+use crate::server::ClickService;
+
+#[cfg(target_os = "linux")]
+mod imp {
+    use super::ClickService;
+    use crate::proto::{self, ParseOutcome};
+    use crate::server::{ServerConfig, ServerHandle, ACCEPT_ERROR_BACKOFF, MAX_REQUEST_BYTES};
+    use crate::Response;
+    use std::collections::VecDeque;
+    use std::io::{self, Read, Write};
+    use std::net::{TcpListener, TcpStream};
+    use std::os::fd::{AsRawFd, RawFd};
+    use std::panic::AssertUnwindSafe;
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::{mpsc, Arc, Mutex};
+    use std::time::{Duration, Instant};
+    use strudel_epoll::{Epoll, Event, EventFd, EPOLLERR, EPOLLHUP, EPOLLIN, EPOLLOUT, EPOLLRDHUP};
+
+    /// Reactor tick: the longest `epoll_wait` blocks before deadlines
+    /// (idle close, 408, drain, accept re-arm) are swept.
+    const TICK_MS: i32 = 50;
+    /// How long a closing connection drains unread request bytes.
+    const DRAIN_WINDOW: Duration = Duration::from_millis(100);
+    /// Token of the listening socket.
+    const LISTENER: u64 = u64::MAX;
+    /// Token of the wakeup eventfd.
+    const WAKEUP: u64 = u64::MAX - 1;
+    /// Connection tokens are `generation << 32 | slot`; the generation
+    /// keeps 31 bits so no token can collide with the two above.
+    const GEN_MASK: u32 = 0x7fff_ffff;
+
+    fn token_for(idx: usize, gen: u32) -> u64 {
+        (((gen & GEN_MASK) as u64) << 32) | idx as u64
+    }
+
+    /// A request handed to the render pool.
+    struct Job {
+        token: u64,
+        path: String,
+        head_only: bool,
+        keep_alive: bool,
+    }
+
+    /// A rendered response coming back from the pool.
+    struct Completion {
+        token: u64,
+        bytes: Vec<u8>,
+        keep_alive: bool,
+    }
+
+    enum State {
+        /// Accumulating request bytes; parse on every read.
+        Reading,
+        /// The render pool owns the request; no socket interest (errors
+        /// and hangups are still delivered and close the connection).
+        Dispatched,
+        /// Flushing `out`.
+        Writing,
+        /// Response flushed, close pending: sink the client's unread
+        /// bytes until EOF or the deadline so close doesn't RST.
+        Draining(Instant),
+    }
+
+    struct Conn {
+        stream: TcpStream,
+        fd: RawFd,
+        gen: u32,
+        state: State,
+        /// Unparsed request bytes.
+        buf: Vec<u8>,
+        /// Encoded response being written.
+        out: Vec<u8>,
+        out_pos: usize,
+        /// Whether the connection survives the current response.
+        keep_alive_after: bool,
+        /// Whether the current response is followed by a drain (the
+        /// request was cut short, so unread bytes may be in flight).
+        drain_after: bool,
+        /// Client closed its sending half.
+        eof: bool,
+        /// Requests served on this connection.
+        served: u64,
+        /// Last byte of progress in either direction.
+        last_activity: Instant,
+        /// When the first byte of the pending request arrived.
+        request_started: Option<Instant>,
+        /// Currently registered epoll interest.
+        interest: u32,
+    }
+
+    struct Reactor<S: ClickService> {
+        epoll: Epoll,
+        wakeup: Arc<EventFd>,
+        listener: TcpListener,
+        listener_fd: RawFd,
+        /// When a failed accept deregistered the listener, the instant
+        /// to re-register it.
+        accept_rearm: Option<Instant>,
+        service: Arc<S>,
+        conns: Vec<Option<Conn>>,
+        /// Free slots in `conns`.
+        free: Vec<usize>,
+        /// Per-slot generation, bumped on close so stale events and
+        /// completions for a recycled slot are ignored.
+        generations: Vec<u32>,
+        open: usize,
+        jobs: mpsc::SyncSender<Job>,
+        completions: Arc<Mutex<VecDeque<Completion>>>,
+        stop: Arc<AtomicBool>,
+        request_timeout: Duration,
+        keepalive_timeout: Duration,
+        max_connections: usize,
+        retry_after_secs: u64,
+    }
+
+    pub(crate) fn serve_epoll<S: ClickService>(
+        service: Arc<S>,
+        config: ServerConfig,
+        listener: TcpListener,
+    ) -> io::Result<ServerHandle> {
+        let addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let epoll = Epoll::new()?;
+        let wakeup = Arc::new(EventFd::new()?);
+        epoll.add(listener.as_raw_fd(), EPOLLIN, LISTENER)?;
+        epoll.add(wakeup.as_raw_fd(), EPOLLIN, WAKEUP)?;
+
+        let stop = Arc::new(AtomicBool::new(false));
+        let (tx, rx) = mpsc::sync_channel::<Job>(config.max_backlog.max(1));
+        let rx = Arc::new(Mutex::new(rx));
+        let completions = Arc::new(Mutex::new(VecDeque::new()));
+
+        let mut workers = Vec::with_capacity(config.workers.max(1));
+        for i in 0..config.workers.max(1) {
+            let rx = Arc::clone(&rx);
+            let service = Arc::clone(&service);
+            let completions = Arc::clone(&completions);
+            let wakeup = Arc::clone(&wakeup);
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("strudel-render-{i}"))
+                    .spawn(move || loop {
+                        // Hold the receiver lock only for the dequeue.
+                        let job = rx.lock().unwrap().recv();
+                        let Ok(job) = job else { break };
+                        // Backstop: the service catches its own render
+                        // panics, so anything escaping here is a bug in
+                        // the dispatch plumbing — answer 500, count it,
+                        // keep the worker.
+                        let rendered = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                            service.handle(&job.path)
+                        }));
+                        let (response, keep_alive) = match rendered {
+                            Ok(r) => (r, job.keep_alive),
+                            Err(_) => {
+                                service.note_panic();
+                                (
+                                    Response {
+                                        status: 500,
+                                        content_type: "text/plain; charset=utf-8",
+                                        body: "internal error\n".into(),
+                                    },
+                                    false,
+                                )
+                            }
+                        };
+                        let bytes =
+                            proto::encode_response(&response, job.head_only, keep_alive, None);
+                        completions.lock().unwrap().push_back(Completion {
+                            token: job.token,
+                            bytes,
+                            keep_alive,
+                        });
+                        wakeup.notify();
+                    })?,
+            );
+        }
+
+        let listener_fd = listener.as_raw_fd();
+        let mut reactor = Reactor {
+            epoll,
+            wakeup,
+            listener,
+            listener_fd,
+            accept_rearm: None,
+            service,
+            conns: Vec::new(),
+            free: Vec::new(),
+            generations: Vec::new(),
+            open: 0,
+            jobs: tx,
+            completions,
+            stop: Arc::clone(&stop),
+            request_timeout: config.timeout,
+            keepalive_timeout: config.keepalive_timeout,
+            max_connections: config.max_connections.max(1),
+            retry_after_secs: config.retry_after_secs,
+        };
+        let reactor_thread = std::thread::Builder::new()
+            .name("strudel-serve-reactor".into())
+            .spawn(move || reactor.run())?;
+
+        Ok(ServerHandle::new(addr, stop, reactor_thread, workers))
+    }
+
+    impl<S: ClickService> Reactor<S> {
+        fn run(&mut self) {
+            let mut events = vec![Event::default(); 256];
+            while !self.stop.load(Ordering::SeqCst) {
+                self.tick(&mut events);
+            }
+            self.shutdown_drain(&mut events);
+            // Dropping the reactor drops the job sender; the render
+            // workers drain the queue and exit.
+        }
+
+        fn tick(&mut self, events: &mut [Event]) {
+            let n = self.epoll.wait(events, TICK_MS).unwrap_or(0);
+            for ev in events.iter().take(n) {
+                match ev.token {
+                    LISTENER => self.accept_ready(),
+                    WAKEUP => self.wakeup.drain(),
+                    token => self.conn_event(token, ev.events),
+                }
+            }
+            self.drain_completions();
+            self.sweep();
+        }
+
+        /// After stop flips: keep ticking briefly so responses already
+        /// dispatched to the render pool still reach their clients,
+        /// then close everything.
+        fn shutdown_drain(&mut self, events: &mut [Event]) {
+            let _ = self.epoll.del(self.listener_fd);
+            self.accept_rearm = None;
+            let deadline = Instant::now() + self.request_timeout.min(Duration::from_secs(2));
+            while Instant::now() < deadline {
+                let busy = self.conns.iter().flatten().any(|c| {
+                    matches!(c.state, State::Dispatched | State::Writing)
+                });
+                if !busy {
+                    break;
+                }
+                self.tick(events);
+            }
+            for idx in 0..self.conns.len() {
+                if self.conns[idx].is_some() {
+                    self.close(idx);
+                }
+            }
+        }
+
+        // ---- accept path -------------------------------------------------
+
+        fn accept_ready(&mut self) {
+            loop {
+                match self.listener.accept() {
+                    Ok((stream, _)) => {
+                        if self.open >= self.max_connections {
+                            self.service.note_shed();
+                            self.shed(stream);
+                            continue;
+                        }
+                        if stream.set_nonblocking(true).is_err() {
+                            continue;
+                        }
+                        self.register(stream);
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                    Err(_) => {
+                        // Persistent accept failure (EMFILE and friends).
+                        // Level-triggered epoll would report the listener
+                        // ready every tick, so counting and continuing
+                        // becomes a busy spin; deregister it and re-arm
+                        // after a beat instead.
+                        self.service.note_accept_error();
+                        let _ = self.epoll.del(self.listener_fd);
+                        self.accept_rearm = Some(Instant::now() + ACCEPT_ERROR_BACKOFF);
+                        break;
+                    }
+                }
+            }
+        }
+
+        /// Best-effort `503` to a connection there is no room for,
+        /// written from the reactor under a short timeout.
+        fn shed(&self, mut stream: TcpStream) {
+            let _ = stream.set_write_timeout(Some(Duration::from_millis(200)));
+            let bytes = proto::encode_response(
+                &proto::response_503(),
+                false,
+                false,
+                Some(self.retry_after_secs),
+            );
+            let _ = stream.write_all(&bytes);
+        }
+
+        fn register(&mut self, stream: TcpStream) {
+            // Keep-alive turnarounds are small writes on both sides; with
+            // Nagle on, each click eats a delayed-ACK stall (~40ms).
+            let _ = stream.set_nodelay(true);
+            let fd = stream.as_raw_fd();
+            let idx = self.free.pop().unwrap_or_else(|| {
+                self.conns.push(None);
+                self.generations.push(0);
+                self.conns.len() - 1
+            });
+            let gen = self.generations[idx];
+            let interest = EPOLLIN | EPOLLRDHUP;
+            if self.epoll.add(fd, interest, token_for(idx, gen)).is_err() {
+                self.free.push(idx);
+                return;
+            }
+            self.service.note_conn_opened();
+            self.open += 1;
+            self.conns[idx] = Some(Conn {
+                stream,
+                fd,
+                gen,
+                state: State::Reading,
+                buf: Vec::new(),
+                out: Vec::new(),
+                out_pos: 0,
+                keep_alive_after: false,
+                drain_after: false,
+                eof: false,
+                served: 0,
+                last_activity: Instant::now(),
+                request_started: None,
+                interest,
+            });
+        }
+
+        fn close(&mut self, idx: usize) {
+            let Some(conn) = self.conns[idx].take() else {
+                return;
+            };
+            let _ = self.epoll.del(conn.fd);
+            self.generations[idx] = conn.gen.wrapping_add(1) & GEN_MASK;
+            self.free.push(idx);
+            self.open -= 1;
+            self.service.note_conn_closed();
+            // conn.stream drops here, closing the socket.
+        }
+
+        // ---- connection events -------------------------------------------
+
+        /// Looks up the live connection a token refers to, if any.
+        fn resolve(&self, token: u64) -> Option<usize> {
+            let idx = (token & 0xffff_ffff) as usize;
+            let gen = (token >> 32) as u32;
+            let conn = self.conns.get(idx)?.as_ref()?;
+            (conn.gen & GEN_MASK == gen).then_some(idx)
+        }
+
+        fn conn_event(&mut self, token: u64, bits: u32) {
+            let Some(idx) = self.resolve(token) else {
+                return; // stale event for a recycled slot
+            };
+            if bits & (EPOLLERR | EPOLLHUP) != 0 {
+                self.close(idx);
+                return;
+            }
+            if bits & (EPOLLIN | EPOLLRDHUP) != 0 {
+                self.readable(idx);
+            }
+            if self.conns[idx].is_some() && bits & EPOLLOUT != 0 {
+                self.writable(idx);
+            }
+        }
+
+        fn set_interest(&mut self, idx: usize, interest: u32) {
+            let Some(conn) = self.conns[idx].as_mut() else {
+                return;
+            };
+            if conn.interest == interest {
+                return;
+            }
+            let (fd, token) = (conn.fd, token_for(idx, conn.gen));
+            conn.interest = interest;
+            if self.epoll.modify(fd, interest, token).is_err() {
+                self.close(idx);
+            }
+        }
+
+        fn readable(&mut self, idx: usize) {
+            let mut scratch = [0u8; 4096];
+            loop {
+                let Some(conn) = self.conns[idx].as_mut() else {
+                    return;
+                };
+                match conn.state {
+                    State::Reading => {}
+                    State::Draining(_) => {
+                        match (&conn.stream).read(&mut scratch) {
+                            Ok(0) => self.close(idx), // client done: clean close
+                            Ok(_) => continue,        // discard and keep draining
+                            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {}
+                            Err(_) => self.close(idx),
+                        }
+                        return;
+                    }
+                    // Dispatched/Writing don't ask for EPOLLIN; a stray
+                    // readable event is ignored (bytes stay in the
+                    // kernel buffer until we come back to Reading).
+                    _ => return,
+                }
+                match (&conn.stream).read(&mut scratch) {
+                    Ok(0) => {
+                        conn.eof = true;
+                        break;
+                    }
+                    Ok(n) => {
+                        if conn.buf.is_empty() {
+                            conn.request_started = Some(Instant::now());
+                        }
+                        conn.last_activity = Instant::now();
+                        conn.buf.extend_from_slice(&scratch[..n]);
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                    Err(_) => {
+                        self.close(idx);
+                        return;
+                    }
+                }
+            }
+            self.process_buffer(idx);
+        }
+
+        /// Parses the read buffer and advances the state machine:
+        /// dispatch a complete request, answer protocol errors inline,
+        /// or keep reading.
+        fn process_buffer(&mut self, idx: usize) {
+            let Some(conn) = self.conns[idx].as_mut() else {
+                return;
+            };
+            if !matches!(conn.state, State::Reading) {
+                return;
+            }
+            match proto::parse_request(&conn.buf, MAX_REQUEST_BYTES as usize) {
+                ParseOutcome::Incomplete => {
+                    if conn.eof {
+                        // EOF mid-head (or a clean close between
+                        // requests): nothing to answer.
+                        self.close(idx);
+                    }
+                }
+                ParseOutcome::TooLarge => {
+                    self.queue_response(idx, &proto::response_431(MAX_REQUEST_BYTES), false, true, None);
+                }
+                ParseOutcome::Complete { request, consumed } => {
+                    conn.buf.drain(..consumed);
+                    if request.method != "GET" && request.method != "HEAD" {
+                        self.queue_response(idx, &proto::response_405(), false, false, None);
+                    } else if request.path.is_empty() {
+                        self.queue_response(idx, &proto::response_400(), false, false, None);
+                    } else {
+                        let head_only = request.head_only();
+                        let keep_alive = request.keep_alive;
+                        self.dispatch(idx, request.path, head_only, keep_alive);
+                    }
+                }
+            }
+        }
+
+        fn dispatch(&mut self, idx: usize, path: String, head_only: bool, keep_alive: bool) {
+            let token = {
+                let Some(conn) = self.conns[idx].as_mut() else {
+                    return;
+                };
+                if conn.served > 0 {
+                    self.service.note_keepalive_reuse();
+                }
+                conn.served += 1;
+                conn.state = State::Dispatched;
+                conn.request_started = None;
+                token_for(idx, conn.gen)
+            };
+            // While dispatched the socket needs no read/write interest;
+            // errors and hangups are delivered regardless.
+            self.set_interest(idx, 0);
+            match self.jobs.try_send(Job {
+                token,
+                path,
+                head_only,
+                keep_alive,
+            }) {
+                Ok(()) => {}
+                Err(mpsc::TrySendError::Full(_)) => {
+                    // Render pool saturated: shed exactly like the
+                    // thread transport's full backlog.
+                    self.service.note_shed();
+                    let retry = self.retry_after_secs;
+                    if let Some(conn) = self.conns[idx].as_mut() {
+                        conn.state = State::Reading; // let queue_response take over
+                    }
+                    self.queue_response(idx, &proto::response_503(), false, true, Some(retry));
+                }
+                Err(mpsc::TrySendError::Disconnected(_)) => self.close(idx),
+            }
+        }
+
+        /// Encodes `response` and starts writing it. `keep_alive` says
+        /// whether the connection survives the response; `drain` adds a
+        /// drain window before the close (for responses cutting off an
+        /// unfinished request).
+        fn queue_response(
+            &mut self,
+            idx: usize,
+            response: &Response,
+            keep_alive: bool,
+            drain: bool,
+            retry_after_secs: Option<u64>,
+        ) {
+            let Some(conn) = self.conns[idx].as_mut() else {
+                return;
+            };
+            conn.out = proto::encode_response(response, false, keep_alive, retry_after_secs);
+            conn.out_pos = 0;
+            conn.keep_alive_after = keep_alive;
+            conn.drain_after = drain;
+            conn.state = State::Writing;
+            self.try_write(idx);
+        }
+
+        fn writable(&mut self, idx: usize) {
+            let Some(conn) = self.conns[idx].as_ref() else {
+                return;
+            };
+            if matches!(conn.state, State::Writing) {
+                self.try_write(idx);
+            }
+        }
+
+        fn try_write(&mut self, idx: usize) {
+            loop {
+                let Some(conn) = self.conns[idx].as_mut() else {
+                    return;
+                };
+                if conn.out_pos >= conn.out.len() {
+                    break;
+                }
+                match (&conn.stream).write(&conn.out[conn.out_pos..]) {
+                    Ok(0) => {
+                        self.close(idx);
+                        return;
+                    }
+                    Ok(n) => {
+                        conn.out_pos += n;
+                        conn.last_activity = Instant::now();
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                        self.set_interest(idx, EPOLLOUT);
+                        return;
+                    }
+                    Err(_) => {
+                        self.close(idx);
+                        return;
+                    }
+                }
+            }
+            self.after_write(idx);
+        }
+
+        /// The response is fully flushed: drain, keep alive, or close.
+        fn after_write(&mut self, idx: usize) {
+            let (drain_after, survive) = {
+                let Some(conn) = self.conns[idx].as_mut() else {
+                    return;
+                };
+                conn.out = Vec::new();
+                conn.out_pos = 0;
+                (conn.drain_after, conn.keep_alive_after && !conn.eof)
+            };
+            if drain_after {
+                if let Some(conn) = self.conns[idx].as_mut() {
+                    conn.state = State::Draining(Instant::now() + DRAIN_WINDOW);
+                }
+                self.set_interest(idx, EPOLLIN | EPOLLRDHUP);
+                return;
+            }
+            if !survive {
+                self.close(idx);
+                return;
+            }
+            // Keep-alive: back to reading. Bytes of the next request may
+            // already be buffered (pipelining) — parse them right away
+            // rather than waiting for another readable event. Inline
+            // error responses close, and real requests leave through the
+            // render pool, so this cannot recurse deeply.
+            if let Some(conn) = self.conns[idx].as_mut() {
+                conn.state = State::Reading;
+                conn.last_activity = Instant::now();
+                conn.request_started =
+                    (!conn.buf.is_empty()).then(Instant::now);
+            }
+            self.set_interest(idx, EPOLLIN | EPOLLRDHUP);
+            self.process_buffer(idx);
+        }
+
+        // ---- completions and deadlines -----------------------------------
+
+        fn drain_completions(&mut self) {
+            loop {
+                let Some(done) = self.completions.lock().unwrap().pop_front() else {
+                    break;
+                };
+                let Some(idx) = self.resolve(done.token) else {
+                    continue; // connection died while rendering
+                };
+                let Some(conn) = self.conns[idx].as_mut() else {
+                    continue;
+                };
+                if !matches!(conn.state, State::Dispatched) {
+                    continue;
+                }
+                conn.out = done.bytes;
+                conn.out_pos = 0;
+                conn.keep_alive_after = done.keep_alive;
+                conn.drain_after = false;
+                conn.state = State::Writing;
+                self.try_write(idx);
+            }
+        }
+
+        /// Enforces every deadline once per tick.
+        fn sweep(&mut self) {
+            let now = Instant::now();
+            if let Some(rearm) = self.accept_rearm {
+                if now >= rearm
+                    && self
+                        .epoll
+                        .add(self.listener_fd, EPOLLIN, LISTENER)
+                        .is_ok()
+                {
+                    self.accept_rearm = None;
+                    self.accept_ready();
+                }
+            }
+            for idx in 0..self.conns.len() {
+                let Some(conn) = self.conns[idx].as_ref() else {
+                    continue;
+                };
+                match conn.state {
+                    State::Reading if conn.buf.is_empty() => {
+                        // Idle between requests: the keep-alive deadline.
+                        if now.duration_since(conn.last_activity) >= self.keepalive_timeout {
+                            self.service.note_idle_closed();
+                            self.close(idx);
+                        }
+                    }
+                    State::Reading => {
+                        // Partial head aging out: the slow-loris guard.
+                        let started = conn.request_started.unwrap_or(conn.last_activity);
+                        if now.duration_since(started) >= self.request_timeout {
+                            self.queue_response(idx, &proto::response_408(), false, true, None);
+                        }
+                    }
+                    State::Writing => {
+                        if now.duration_since(conn.last_activity) >= self.request_timeout {
+                            self.close(idx);
+                        }
+                    }
+                    State::Draining(deadline) => {
+                        if now >= deadline {
+                            self.close(idx);
+                        }
+                    }
+                    // The render pool owns dispatched requests; render
+                    // time is the service's business, not a transport
+                    // deadline.
+                    State::Dispatched => {}
+                }
+            }
+        }
+    }
+}
+
+#[cfg(not(target_os = "linux"))]
+mod imp {
+    use super::ClickService;
+    use crate::server::{ServerConfig, ServerHandle};
+    use std::net::TcpListener;
+    use std::sync::Arc;
+
+    pub(crate) fn serve_epoll<S: ClickService>(
+        _service: Arc<S>,
+        _config: ServerConfig,
+        _listener: TcpListener,
+    ) -> std::io::Result<ServerHandle> {
+        Err(std::io::Error::new(
+            std::io::ErrorKind::Unsupported,
+            "the epoll transport requires Linux; use --transport threads",
+        ))
+    }
+}
+
+pub(crate) use imp::serve_epoll;

@@ -37,7 +37,9 @@
 #![warn(missing_docs)]
 
 pub mod cache;
+mod event;
 pub mod metrics;
+pub mod proto;
 pub mod rcu;
 pub mod render;
 pub mod router;
@@ -54,7 +56,7 @@ use std::time::{Duration, Instant};
 pub use cache::{CachedPage, HtmlCache};
 pub use metrics::{CacheSnapshot, RouteSnapshot, ServerMetrics, ServerStats};
 pub use render::RenderedPage;
-pub use server::{serve, ClickService, ServerConfig, ServerHandle};
+pub use server::{serve, ClickService, ServerConfig, ServerHandle, Transport};
 pub use shard::{ShardedInvalidation, ShardedService};
 
 use strudel_graph::GraphDelta;
@@ -228,6 +230,10 @@ pub struct SiteService {
     shed: AtomicU64,
     timeout_config_errors: AtomicU64,
     timeout_error_logged: AtomicBool,
+    accept_errors: AtomicU64,
+    open_connections: AtomicU64,
+    keepalive_reuse: AtomicU64,
+    idle_closed: AtomicU64,
     /// Fast-path flag so unprobed services never lock the probe table.
     probes_armed: AtomicBool,
     probes: Mutex<HashMap<String, FaultProbe>>,
@@ -264,6 +270,10 @@ impl SiteService {
             shed: AtomicU64::new(0),
             timeout_config_errors: AtomicU64::new(0),
             timeout_error_logged: AtomicBool::new(false),
+            accept_errors: AtomicU64::new(0),
+            open_connections: AtomicU64::new(0),
+            keepalive_reuse: AtomicU64::new(0),
+            idle_closed: AtomicU64::new(0),
             probes_armed: AtomicBool::new(false),
             probes: Mutex::new(HashMap::new()),
             delta_writer: Mutex::new(()),
@@ -437,6 +447,27 @@ impl SiteService {
         self.timeout_config_errors.load(Ordering::Relaxed)
     }
 
+    /// Failed `accept` calls (the transport backed off after each).
+    pub fn accept_errors_total(&self) -> u64 {
+        self.accept_errors.load(Ordering::Relaxed)
+    }
+
+    /// Connections currently open at the transport (a gauge: opened
+    /// minus closed).
+    pub fn open_connections(&self) -> u64 {
+        self.open_connections.load(Ordering::Relaxed)
+    }
+
+    /// Requests served on an already-used keep-alive connection.
+    pub fn keepalive_reuse_total(&self) -> u64 {
+        self.keepalive_reuse.load(Ordering::Relaxed)
+    }
+
+    /// Keep-alive connections closed by the idle deadline.
+    pub fn idle_closed_total(&self) -> u64 {
+        self.idle_closed.load(Ordering::Relaxed)
+    }
+
     /// Records one caught panic (also called by the transport's worker
     /// backstop for panics outside [`SiteService::handle`]).
     pub fn note_panic(&self) {
@@ -462,6 +493,34 @@ impl SiteService {
                 format!("socket timeout setup failed (logged once): {msg}")
             });
         }
+    }
+
+    /// Records one failed `accept`.
+    pub fn note_accept_error(&self) {
+        self.accept_errors.fetch_add(1, Ordering::Relaxed);
+        strudel_trace::count("serve.accept_errors", 1);
+    }
+
+    /// Records a connection opened at the transport.
+    pub fn note_conn_opened(&self) {
+        self.open_connections.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a connection closed at the transport.
+    pub fn note_conn_closed(&self) {
+        self.open_connections.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Records a request served on an already-used keep-alive
+    /// connection.
+    pub fn note_keepalive_reuse(&self) {
+        self.keepalive_reuse.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a keep-alive connection closed by the idle deadline.
+    pub fn note_idle_closed(&self) {
+        self.idle_closed.fetch_add(1, Ordering::Relaxed);
+        strudel_trace::count("serve.idle_closed", 1);
     }
 
     /// If a probe is armed on `path`, fire it. The lock is released
@@ -728,6 +787,10 @@ impl SiteService {
             panics: self.panics.load(Ordering::Relaxed),
             shed: self.shed.load(Ordering::Relaxed),
             timeout_config_errors: self.timeout_config_errors.load(Ordering::Relaxed),
+            accept_errors: self.accept_errors.load(Ordering::Relaxed),
+            open_connections: self.open_connections.load(Ordering::Relaxed),
+            keepalive_reuse: self.keepalive_reuse.load(Ordering::Relaxed),
+            idle_closed: self.idle_closed.load(Ordering::Relaxed),
             trace_counters,
             pager: strudel_repo::pager::global_stats(),
         }

@@ -256,6 +256,14 @@ pub struct ServerStats {
     pub shed: u64,
     /// Connections whose socket-timeout setup failed (served anyway).
     pub timeout_config_errors: u64,
+    /// Failed `accept` calls (the transport backed off after each).
+    pub accept_errors: u64,
+    /// Connections currently open at the transport (a gauge).
+    pub open_connections: u64,
+    /// Requests served on an already-used keep-alive connection.
+    pub keepalive_reuse: u64,
+    /// Keep-alive connections closed by the idle deadline.
+    pub idle_closed: u64,
     /// Global `strudel-trace` counters, sorted by name; empty while
     /// tracing is disabled.
     pub trace_counters: Vec<(String, u64)>,
@@ -390,6 +398,16 @@ impl ServerStats {
             "strudel_timeout_config_errors_total {}",
             self.timeout_config_errors
         ));
+        line(format!(
+            "strudel_accept_errors_total {}",
+            self.accept_errors
+        ));
+        line(format!("strudel_open_connections {}", self.open_connections));
+        line(format!(
+            "strudel_keepalive_reuse_total {}",
+            self.keepalive_reuse
+        ));
+        line(format!("strudel_idle_closed_total {}", self.idle_closed));
         line(format!("strudel_pager_hits_total {}", self.pager.hits));
         line(format!("strudel_pager_misses_total {}", self.pager.misses));
         line(format!(
@@ -534,6 +552,10 @@ mod tests {
             panics: 1,
             shed: 4,
             timeout_config_errors: 3,
+            accept_errors: 6,
+            open_connections: 12,
+            keepalive_reuse: 9,
+            idle_closed: 8,
             trace_counters: vec![("serve.request".into(), 7)],
             pager: strudel_repo::PagerStats {
                 hits: 11,
@@ -551,6 +573,10 @@ mod tests {
         assert!(text.contains("strudel_panics_total 1"));
         assert!(text.contains("strudel_shed_total 4"));
         assert!(text.contains("strudel_timeout_config_errors_total 3"));
+        assert!(text.contains("strudel_accept_errors_total 6"));
+        assert!(text.contains("strudel_open_connections 12"));
+        assert!(text.contains("strudel_keepalive_reuse_total 9"));
+        assert!(text.contains("strudel_idle_closed_total 8"));
         assert!(text.contains("strudel_trace_counter{name=\"serve.request\"} 7"));
         assert!(text.contains("strudel_route_requests_total{route=\"front\"} 1"));
         assert!(text.contains("strudel_html_cache_hit_rate 0.7500"));
@@ -591,6 +617,10 @@ mod tests {
             panics: 0,
             shed: 0,
             timeout_config_errors: 0,
+            accept_errors: 0,
+            open_connections: 0,
+            keepalive_reuse: 0,
+            idle_closed: 0,
             trace_counters: Vec::new(),
             pager: Default::default(),
         };

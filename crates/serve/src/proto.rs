@@ -1,0 +1,393 @@
+//! The HTTP/1.1 wire protocol, shared by both transports.
+//!
+//! The thread-pool transport ([`crate::server`]) and the epoll reactor
+//! ([`crate::event`]) parse requests and encode responses through this
+//! one module, so the two transports can never drift: same request
+//! grammar, same status bodies, same header set. The only deliberate
+//! difference is the `Connection` header — the thread transport always
+//! answers `close` (one connection per request, the bench baseline),
+//! while the reactor answers `keep-alive` when the request allows it.
+//!
+//! Parsing is incremental over a byte buffer: callers append whatever
+//! arrived and ask again. A request is complete at the first blank line
+//! (CRLF or bare LF — the transports have always tolerated both);
+//! nothing past it is consumed, so pipelined requests stay in the
+//! buffer for the next round.
+
+use crate::Response;
+
+/// One parsed request head.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParsedRequest {
+    /// The request method, verbatim (`GET`, `HEAD`, …).
+    pub method: String,
+    /// The request target (path plus optional query string).
+    pub path: String,
+    /// Whether the connection may serve another request after this
+    /// response: HTTP/1.1 defaults to yes, HTTP/1.0 to no, and an
+    /// explicit `Connection: close` / `keep-alive` header overrides.
+    /// Requests carrying a body (`Content-Length`/`Transfer-Encoding`)
+    /// force `false` — this server never reads bodies, so the unread
+    /// bytes would desynchronize a reused connection.
+    pub keep_alive: bool,
+}
+
+impl ParsedRequest {
+    /// Whether the response should omit its body (`HEAD`).
+    pub fn head_only(&self) -> bool {
+        self.method == "HEAD"
+    }
+}
+
+/// What [`parse_request`] found in the buffer.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ParseOutcome {
+    /// No blank line yet — read more bytes and ask again.
+    Incomplete,
+    /// The head outgrew the byte budget without completing: answer
+    /// `431` and close.
+    TooLarge,
+    /// A complete head. `consumed` bytes belong to it (drain them);
+    /// anything after is the next pipelined request.
+    Complete {
+        /// The parsed head.
+        request: ParsedRequest,
+        /// Bytes of the buffer this head consumed, blank line included.
+        consumed: usize,
+    },
+}
+
+/// Incrementally parses one request head out of `buf` (see
+/// [`ParseOutcome`]). `max` is the byte budget for the whole head —
+/// request line plus headers ([`crate::server::MAX_REQUEST_BYTES`] in
+/// production).
+pub fn parse_request(buf: &[u8], max: usize) -> ParseOutcome {
+    let Some(end) = head_end(buf, max) else {
+        return if buf.len() >= max {
+            ParseOutcome::TooLarge
+        } else {
+            ParseOutcome::Incomplete
+        };
+    };
+    let head = &buf[..end];
+    let text = String::from_utf8_lossy(head);
+    let mut lines = text.split('\n').map(|l| l.strip_suffix('\r').unwrap_or(l));
+    let request_line = lines.next().unwrap_or("");
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().unwrap_or("").to_owned();
+    let path = parts.next().unwrap_or("").to_owned();
+    let version = parts.next().unwrap_or("HTTP/1.1");
+
+    // HTTP/1.1 defaults to keep-alive; anything else (1.0, unversioned)
+    // to close. An explicit Connection header overrides either way.
+    let mut keep_alive = version.eq_ignore_ascii_case("HTTP/1.1");
+    let mut has_body = false;
+    for line in lines {
+        let Some((name, value)) = line.split_once(':') else {
+            continue;
+        };
+        let value = value.trim();
+        if name.eq_ignore_ascii_case("connection") {
+            if value.eq_ignore_ascii_case("close") {
+                keep_alive = false;
+            } else if value.eq_ignore_ascii_case("keep-alive") {
+                keep_alive = true;
+            }
+        } else if name.eq_ignore_ascii_case("content-length") {
+            has_body = value.parse::<u64>().map(|n| n > 0).unwrap_or(true);
+        } else if name.eq_ignore_ascii_case("transfer-encoding") {
+            has_body = true;
+        }
+    }
+    if has_body {
+        keep_alive = false;
+    }
+    ParseOutcome::Complete {
+        request: ParsedRequest {
+            method,
+            path,
+            keep_alive,
+        },
+        consumed: end,
+    }
+}
+
+/// The index just past the head's terminating blank line, if present
+/// within the first `max` bytes. The blank line is an empty line —
+/// `\r\n\r\n`, `\n\n`, or the mixed forms.
+fn head_end(buf: &[u8], max: usize) -> Option<usize> {
+    let window = &buf[..buf.len().min(max)];
+    let mut i = 0;
+    while i < window.len() {
+        if window[i] != b'\n' {
+            i += 1;
+            continue;
+        }
+        // A '\n' ends a line; the next line being empty ends the head.
+        match window.get(i + 1) {
+            Some(b'\n') => return Some(i + 2),
+            Some(b'\r') if window.get(i + 2) == Some(&b'\n') => return Some(i + 3),
+            _ => i += 1,
+        }
+    }
+    None
+}
+
+/// The canonical reason phrase for every status this server emits.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        431 => "Request Header Fields Too Large",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "",
+    }
+}
+
+/// Encodes one response head + body as wire bytes. `keep_alive` selects
+/// the `Connection` header; `head_only` omits the body (HEAD) while
+/// keeping the true `Content-Length`. A `405` always carries the
+/// RFC 9110-required `Allow` header; `retry_after_secs` (used by `503`
+/// shedding) adds `Retry-After`.
+pub fn encode_response(
+    response: &Response,
+    head_only: bool,
+    keep_alive: bool,
+    retry_after_secs: Option<u64>,
+) -> Vec<u8> {
+    use std::io::Write;
+    let mut out = Vec::with_capacity(response.body.len() + 160);
+    let _ = write!(
+        out,
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\n",
+        response.status,
+        reason(response.status),
+        response.content_type,
+        response.body.len()
+    );
+    if response.status == 405 {
+        let _ = write!(out, "Allow: GET, HEAD\r\n");
+    }
+    if let Some(secs) = retry_after_secs {
+        let _ = write!(out, "Retry-After: {secs}\r\n");
+    }
+    let _ = write!(
+        out,
+        "Connection: {}\r\n\r\n",
+        if keep_alive { "keep-alive" } else { "close" }
+    );
+    if !head_only {
+        out.extend_from_slice(response.body.as_bytes());
+    }
+    out
+}
+
+/// The `431` answered when a request head outgrows `max` bytes.
+pub fn response_431(max: u64) -> Response {
+    Response {
+        status: 431,
+        content_type: "text/plain; charset=utf-8",
+        body: format!("request exceeds {max} bytes\n"),
+    }
+}
+
+/// The `405` answered for any method other than GET/HEAD.
+pub fn response_405() -> Response {
+    Response {
+        status: 405,
+        content_type: "text/plain; charset=utf-8",
+        body: "only GET is supported\n".into(),
+    }
+}
+
+/// The `400` answered for an unparsable request line.
+pub fn response_400() -> Response {
+    Response {
+        status: 400,
+        content_type: "text/plain; charset=utf-8",
+        body: "malformed request line\n".into(),
+    }
+}
+
+/// The `408` answered when a client stalls mid-request (the read timed
+/// out or the idle deadline passed with a partial head buffered).
+pub fn response_408() -> Response {
+    Response {
+        status: 408,
+        content_type: "text/plain; charset=utf-8",
+        body: "timed out reading the request\n".into(),
+    }
+}
+
+/// The `503` answered when the server sheds load (full backlog or
+/// connection cap).
+pub fn response_503() -> Response {
+    Response {
+        status: 503,
+        content_type: "text/plain; charset=utf-8",
+        body: "server is at capacity, retry shortly\n".into(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &str) -> ParseOutcome {
+        parse_request(s.as_bytes(), 16 * 1024)
+    }
+
+    #[test]
+    fn parses_a_plain_get() {
+        let ParseOutcome::Complete { request, consumed } =
+            parse("GET /page/X HTTP/1.1\r\nHost: h\r\n\r\n")
+        else {
+            panic!("complete")
+        };
+        assert_eq!(request.method, "GET");
+        assert_eq!(request.path, "/page/X");
+        assert!(request.keep_alive, "HTTP/1.1 defaults to keep-alive");
+        assert!(!request.head_only());
+        assert_eq!(consumed, "GET /page/X HTTP/1.1\r\nHost: h\r\n\r\n".len());
+    }
+
+    #[test]
+    fn connection_header_overrides_version_default() {
+        for (req, expect) in [
+            ("GET / HTTP/1.1\r\nConnection: close\r\n\r\n", false),
+            ("GET / HTTP/1.1\r\nCONNECTION: Close\r\n\r\n", false),
+            ("GET / HTTP/1.0\r\n\r\n", false),
+            ("GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n", true),
+            ("GET / HTTP/1.1\r\n\r\n", true),
+        ] {
+            let ParseOutcome::Complete { request, .. } = parse(req) else {
+                panic!("complete: {req:?}")
+            };
+            assert_eq!(request.keep_alive, expect, "{req:?}");
+        }
+    }
+
+    #[test]
+    fn bodies_force_close_so_reuse_never_desyncs() {
+        for req in [
+            "GET / HTTP/1.1\r\nContent-Length: 5\r\n\r\n",
+            "GET / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n",
+            "GET / HTTP/1.1\r\nContent-Length: nonsense\r\n\r\n",
+        ] {
+            let ParseOutcome::Complete { request, .. } = parse(req) else {
+                panic!("complete: {req:?}")
+            };
+            assert!(!request.keep_alive, "{req:?}");
+        }
+        // An explicit zero-length body is no body at all.
+        let ParseOutcome::Complete { request, .. } =
+            parse("GET / HTTP/1.1\r\nContent-Length: 0\r\n\r\n")
+        else {
+            panic!("complete")
+        };
+        assert!(request.keep_alive);
+    }
+
+    #[test]
+    fn incremental_parse_waits_for_the_blank_line() {
+        let full = "GET / HTTP/1.1\r\nHost: h\r\n\r\n";
+        for cut in 0..full.len() {
+            let outcome = parse_request(&full.as_bytes()[..cut], 16 * 1024);
+            assert_eq!(outcome, ParseOutcome::Incomplete, "cut at {cut}");
+        }
+        assert!(matches!(parse(full), ParseOutcome::Complete { .. }));
+    }
+
+    #[test]
+    fn a_two_byte_header_line_does_not_end_the_head() {
+        // "A\n" is the 2-byte header line the old `n > 2` predicate
+        // misread as end-of-headers.
+        let req = "GET / HTTP/1.1\r\nA\nX-Pad: p\r\n\r\n";
+        let ParseOutcome::Complete { consumed, .. } = parse(req) else {
+            panic!("complete")
+        };
+        assert_eq!(consumed, req.len(), "head runs past the 2-byte line");
+    }
+
+    #[test]
+    fn bare_lf_terminators_are_accepted() {
+        let req = "GET / HTTP/1.1\nHost: h\n\n";
+        let ParseOutcome::Complete { request, consumed } = parse(req) else {
+            panic!("complete")
+        };
+        assert_eq!(request.path, "/");
+        assert_eq!(consumed, req.len());
+    }
+
+    #[test]
+    fn pipelined_requests_consume_only_the_first_head() {
+        let two = "GET /a HTTP/1.1\r\n\r\nGET /b HTTP/1.1\r\n\r\n";
+        let ParseOutcome::Complete { request, consumed } = parse(two) else {
+            panic!("complete")
+        };
+        assert_eq!(request.path, "/a");
+        let rest = &two.as_bytes()[consumed..];
+        let ParseOutcome::Complete { request, .. } = parse_request(rest, 16 * 1024) else {
+            panic!("second head parses from the remainder")
+        };
+        assert_eq!(request.path, "/b");
+    }
+
+    #[test]
+    fn over_budget_heads_are_too_large() {
+        let endless = format!("GET /{} HTTP/1.1", "a".repeat(100));
+        assert_eq!(
+            parse_request(endless.as_bytes(), 64),
+            ParseOutcome::TooLarge
+        );
+        // Under budget but incomplete: keep reading.
+        assert_eq!(
+            parse_request(b"GET /abc", 64),
+            ParseOutcome::Incomplete
+        );
+        // A head that *completes* within the budget is fine even if
+        // pipelined bytes behind it push the buffer past the budget.
+        let head = "GET / HTTP/1.1\r\n\r\n";
+        let mut buf = head.as_bytes().to_vec();
+        buf.extend(std::iter::repeat(b'x').take(200));
+        assert!(matches!(
+            parse_request(&buf, 64),
+            ParseOutcome::Complete { .. }
+        ));
+    }
+
+    #[test]
+    fn encode_sets_connection_allow_and_retry_after() {
+        let ok = Response {
+            status: 200,
+            content_type: "text/html; charset=utf-8",
+            body: "<p>hi</p>".into(),
+        };
+        let bytes = encode_response(&ok, false, true, None);
+        let text = String::from_utf8(bytes).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"), "{text}");
+        assert!(text.contains("Connection: keep-alive\r\n"), "{text}");
+        assert!(text.contains("Content-Length: 9\r\n"), "{text}");
+        assert!(text.ends_with("<p>hi</p>"), "{text}");
+
+        // HEAD: full Content-Length, no body.
+        let head = String::from_utf8(encode_response(&ok, true, false, None)).unwrap();
+        assert!(head.contains("Content-Length: 9\r\n"), "{head}");
+        assert!(head.ends_with("\r\n\r\n"), "{head}");
+        assert!(head.contains("Connection: close\r\n"), "{head}");
+
+        // 405 always carries Allow (RFC 9110 §15.5.6).
+        let text =
+            String::from_utf8(encode_response(&response_405(), false, false, None)).unwrap();
+        assert!(text.contains("Allow: GET, HEAD\r\n"), "{text}");
+
+        // Shedding carries Retry-After.
+        let text =
+            String::from_utf8(encode_response(&response_503(), false, false, Some(7))).unwrap();
+        assert!(text.contains("Retry-After: 7\r\n"), "{text}");
+    }
+}

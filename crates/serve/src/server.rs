@@ -1,25 +1,40 @@
-//! The HTTP front end: a plain-`std::net` thread pool over a shared
+//! The HTTP front end: two interchangeable transports over a shared
 //! click service — one [`SiteService`] or a [`ShardedService`].
 //!
-//! One accept thread feeds accepted connections into a *bounded* `mpsc`
-//! channel; `workers` threads drain it, each parsing a minimal `GET`
-//! request, dispatching into the service, and writing the response.
-//! When every worker is busy and the backlog is full, the accept thread
-//! sheds the connection immediately with a `503` and a `Retry-After`
-//! header instead of queueing unbounded work ([`ServerConfig::max_backlog`]).
-//! A panic escaping a handler is caught — the request answers 500 and the
-//! worker keeps serving. Per-request socket timeouts bound how long a
-//! slow or stalled client can hold a worker, and total request bytes are
-//! capped ([`MAX_REQUEST_BYTES`]) — an endless request line or header
-//! block answers `431` instead of growing worker memory without bound.
+//! [`Transport::Threads`] (the default, and the portable baseline) is a
+//! plain-`std::net` thread pool: one accept thread feeds accepted
+//! connections into a *bounded* `mpsc` channel; `workers` threads drain
+//! it, each parsing a minimal `GET`/`HEAD` request through the shared
+//! [`crate::proto`] grammar, dispatching into the service, and writing
+//! exactly one response (`Connection: close`). [`Transport::Epoll`]
+//! (Linux) is the event-driven keep-alive reactor in [`crate::event`]:
+//! thousands of idle connections cost one fd each, not a thread each.
+//! Both transports serve byte-identical bodies — they share the parser,
+//! the status responses, and the response encoder.
+//!
+//! Common semantics, either transport:
+//!
+//! * When every worker is busy and the backlog is full, new work sheds
+//!   with a `503` + `Retry-After` instead of queueing unbounded
+//!   ([`ServerConfig::max_backlog`]).
+//! * A panic escaping a handler is caught — the request answers 500 and
+//!   the worker keeps serving.
+//! * Total request-head bytes are capped ([`MAX_REQUEST_BYTES`]) — an
+//!   endless request line or header block answers `431`.
+//! * A client that stalls mid-request is answered `408` (or dropped),
+//!   never dispatched with unread bytes on the socket.
+//! * Persistent `accept` failures (an EMFILE storm, say) back off and
+//!   count on `/metrics` instead of busy-spinning the accept path.
+//!
 //! Shutdown is graceful: a flag flips, a loopback self-connection wakes
-//! the accept loop, the channel closes, and every worker drains its
-//! in-flight request before exiting.
+//! the accept path, and every in-flight request drains before the
+//! threads join.
 //!
 //! [`ShardedService`]: crate::ShardedService
 
+use crate::proto::{self, ParseOutcome};
 use crate::{Response, ServeError, SiteService, WarmupReport};
-use std::io::{BufRead, BufReader, Read, Write};
+use std::io::{Read, Write};
 use std::net::{IpAddr, Ipv4Addr, Ipv6Addr, SocketAddr, TcpListener, TcpStream};
 use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -32,6 +47,11 @@ use strudel_struql::Parallelism;
 /// plus headers). A request that exceeds it answers
 /// `431 Request Header Fields Too Large`.
 pub const MAX_REQUEST_BYTES: u64 = 16 * 1024;
+
+/// How long the accept path sleeps after a failed `accept` before
+/// retrying, so a persistent error (EMFILE, ENFILE) cannot busy-spin a
+/// core while it lasts.
+pub const ACCEPT_ERROR_BACKOFF: Duration = Duration::from_millis(20);
 
 /// What the transport needs from a service: request dispatch, optional
 /// pre-warming, and failure-mode counters. Implemented by
@@ -48,6 +68,18 @@ pub trait ClickService: Send + Sync + 'static {
     fn note_shed(&self);
     /// Records a failed socket-timeout setup.
     fn note_timeout_config_error(&self, err: &std::io::Error);
+    /// Records a failed `accept`.
+    fn note_accept_error(&self);
+    /// Records a connection opened (the `strudel_open_connections`
+    /// gauge increments).
+    fn note_conn_opened(&self);
+    /// Records a connection closed (the gauge decrements).
+    fn note_conn_closed(&self);
+    /// Records a request served on an already-used connection
+    /// (keep-alive reuse; only the epoll transport reuses).
+    fn note_keepalive_reuse(&self);
+    /// Records a keep-alive connection closed by the idle deadline.
+    fn note_idle_closed(&self);
 }
 
 impl ClickService for SiteService {
@@ -65,6 +97,21 @@ impl ClickService for SiteService {
     }
     fn note_timeout_config_error(&self, err: &std::io::Error) {
         SiteService::note_timeout_config_error(self, err)
+    }
+    fn note_accept_error(&self) {
+        SiteService::note_accept_error(self)
+    }
+    fn note_conn_opened(&self) {
+        SiteService::note_conn_opened(self)
+    }
+    fn note_conn_closed(&self) {
+        SiteService::note_conn_closed(self)
+    }
+    fn note_keepalive_reuse(&self) {
+        SiteService::note_keepalive_reuse(self)
+    }
+    fn note_idle_closed(&self) {
+        SiteService::note_idle_closed(self)
     }
 }
 
@@ -86,6 +133,46 @@ impl ClickService for crate::ShardedService {
     fn note_timeout_config_error(&self, err: &std::io::Error) {
         self.shard(0).note_timeout_config_error(err)
     }
+    fn note_accept_error(&self) {
+        self.shard(0).note_accept_error()
+    }
+    fn note_conn_opened(&self) {
+        self.shard(0).note_conn_opened()
+    }
+    fn note_conn_closed(&self) {
+        self.shard(0).note_conn_closed()
+    }
+    fn note_keepalive_reuse(&self) {
+        self.shard(0).note_keepalive_reuse()
+    }
+    fn note_idle_closed(&self) {
+        self.shard(0).note_idle_closed()
+    }
+}
+
+/// Which HTTP front end carries the traffic.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Transport {
+    /// The portable blocking thread pool: one worker thread per
+    /// in-flight connection, `Connection: close` on every response.
+    /// The bench baseline.
+    #[default]
+    Threads,
+    /// The event-driven epoll reactor ([`crate::event`], Linux only):
+    /// HTTP/1.1 keep-alive, idle-connection deadlines, a render pool
+    /// for dispatch — idle connections cost an fd, not a thread.
+    Epoll,
+}
+
+impl Transport {
+    /// Whether this transport can run on the current platform
+    /// ([`Transport::Epoll`] requires Linux).
+    pub fn is_supported(self) -> bool {
+        match self {
+            Transport::Threads => true,
+            Transport::Epoll => strudel_epoll::supported(),
+        }
+    }
 }
 
 /// Server knobs.
@@ -93,9 +180,12 @@ impl ClickService for crate::ShardedService {
 pub struct ServerConfig {
     /// Bind address; use port 0 for an ephemeral port.
     pub addr: String,
-    /// Worker threads handling requests.
+    /// Worker threads handling requests (the render pool, under the
+    /// epoll transport).
     pub workers: usize,
-    /// Per-request socket read/write timeout.
+    /// Per-request socket read/write timeout (threads transport), and
+    /// the budget a reactor connection has to deliver a complete
+    /// request head before it is answered `408` (epoll transport).
     pub timeout: Duration,
     /// Pre-render every reachable page into the HTML cache before
     /// accepting requests, across this many workers
@@ -103,11 +193,19 @@ pub struct ServerConfig {
     /// first hit).
     pub warm: Option<Parallelism>,
     /// Accepted connections that may wait for a worker. When the backlog
-    /// is full the accept thread sheds new connections with a `503` and
-    /// a `Retry-After` header instead of queueing unbounded work.
+    /// is full the accept path sheds new work with a `503` and a
+    /// `Retry-After` header instead of queueing unbounded work.
     pub max_backlog: usize,
     /// The `Retry-After` value (seconds) sent on shed connections.
     pub retry_after_secs: u64,
+    /// Which front end carries the traffic.
+    pub transport: Transport,
+    /// Epoll transport: how long a keep-alive connection may sit idle
+    /// between requests before the reactor closes it.
+    pub keepalive_timeout: Duration,
+    /// Epoll transport: at this many open connections, new ones are
+    /// shed with a `503` instead of registered.
+    pub max_connections: usize,
 }
 
 impl Default for ServerConfig {
@@ -119,6 +217,9 @@ impl Default for ServerConfig {
             warm: None,
             max_backlog: 1024,
             retry_after_secs: 1,
+            transport: Transport::Threads,
+            keepalive_timeout: Duration::from_secs(5),
+            max_connections: 4096,
         }
     }
 }
@@ -132,6 +233,20 @@ pub struct ServerHandle {
 }
 
 impl ServerHandle {
+    pub(crate) fn new(
+        addr: SocketAddr,
+        stop: Arc<AtomicBool>,
+        accept: JoinHandle<()>,
+        workers: Vec<JoinHandle<()>>,
+    ) -> Self {
+        ServerHandle {
+            addr,
+            stop,
+            accept: Some(accept),
+            workers,
+        }
+    }
+
     /// The bound address (resolves ephemeral ports).
     pub fn addr(&self) -> SocketAddr {
         self.addr
@@ -144,11 +259,12 @@ impl ServerHandle {
 
     fn stop_and_join(&mut self) {
         if !self.stop.swap(true, Ordering::SeqCst) {
-            // Wake the blocking accept with a throwaway connection. The
-            // listener may be bound to an unspecified address (0.0.0.0 /
-            // ::), which is not connectable — aim at loopback on the
-            // bound port instead, and bound the wake so a filtered
-            // loopback can't turn shutdown into a hang.
+            // Wake the blocking accept (or the reactor's epoll_wait)
+            // with a throwaway connection. The listener may be bound to
+            // an unspecified address (0.0.0.0 / ::), which is not
+            // connectable — aim at loopback on the bound port instead,
+            // and bound the wake so a filtered loopback can't turn
+            // shutdown into a hang.
             let ip: IpAddr = if self.addr.ip().is_unspecified() {
                 match self.addr {
                     SocketAddr::V4(_) => Ipv4Addr::LOCALHOST.into(),
@@ -176,20 +292,32 @@ impl Drop for ServerHandle {
 }
 
 /// Starts serving `service` per `config`. Returns once the socket is
-/// bound and the worker pool is up.
+/// bound and the worker pool (or reactor) is up.
 pub fn serve<S: ClickService>(
     service: Arc<S>,
     config: ServerConfig,
 ) -> std::io::Result<ServerHandle> {
     let listener = TcpListener::bind(&config.addr)?;
-    let addr = listener.local_addr()?;
-    let stop = Arc::new(AtomicBool::new(false));
 
     if let Some(parallelism) = config.warm {
         service
             .warm(parallelism)
             .map_err(|e| std::io::Error::other(format!("warmup failed: {e}")))?;
     }
+
+    match config.transport {
+        Transport::Threads => serve_threads(service, config, listener),
+        Transport::Epoll => crate::event::serve_epoll(service, config, listener),
+    }
+}
+
+fn serve_threads<S: ClickService>(
+    service: Arc<S>,
+    config: ServerConfig,
+    listener: TcpListener,
+) -> std::io::Result<ServerHandle> {
+    let addr = listener.local_addr()?;
+    let stop = Arc::new(AtomicBool::new(false));
 
     let (tx, rx) = mpsc::sync_channel::<TcpStream>(config.max_backlog.max(1));
     let rx = Arc::new(Mutex::new(rx));
@@ -208,6 +336,7 @@ pub fn serve<S: ClickService>(
                     let stream = rx.lock().unwrap().recv();
                     match stream {
                         Ok(stream) => {
+                            service.note_conn_opened();
                             // Backstop for panics outside the service's own
                             // handler (request parsing, response writing): the
                             // connection drops but the worker survives.
@@ -217,6 +346,7 @@ pub fn serve<S: ClickService>(
                             if caught.is_err() {
                                 service.note_panic();
                             }
+                            service.note_conn_closed();
                         }
                         Err(_) => break, // channel closed: shutting down
                     }
@@ -234,7 +364,20 @@ pub fn serve<S: ClickService>(
                 if accept_stop.load(Ordering::SeqCst) {
                     break;
                 }
-                let Ok(stream) = stream else { continue };
+                let stream = match stream {
+                    Ok(s) => s,
+                    Err(_) => {
+                        // A failed accept with nothing accepted —
+                        // typically fd exhaustion. Count it and back
+                        // off briefly: the error is persistent for as
+                        // long as the cause lasts, and an instant retry
+                        // would busy-spin this thread at 100% while
+                        // delivering nothing.
+                        accept_service.note_accept_error();
+                        std::thread::sleep(ACCEPT_ERROR_BACKOFF);
+                        continue;
+                    }
+                };
                 match tx.try_send(stream) {
                     Ok(()) => {}
                     Err(mpsc::TrySendError::Full(stream)) => {
@@ -249,17 +392,58 @@ pub fn serve<S: ClickService>(
             // tx drops here; workers drain the queue and exit.
         })?;
 
-    Ok(ServerHandle {
-        addr,
-        stop,
-        accept: Some(accept),
-        workers,
-    })
+    Ok(ServerHandle::new(addr, stop, accept, workers))
 }
 
-/// Parses one `GET` request and writes the service's response. Errors are
-/// answered with a 400 where possible and otherwise dropped — a broken
-/// client must never take a worker down.
+/// What reading one request head off a blocking socket produced.
+enum HeadRead {
+    /// A complete head (possibly with pipelined bytes left unread — the
+    /// thread transport answers one request per connection and closes).
+    Request(proto::ParsedRequest),
+    /// The head outgrew [`MAX_REQUEST_BYTES`].
+    TooLarge,
+    /// The client stalled mid-head (read timeout) with bytes already
+    /// buffered: answer `408` rather than dispatching a half request.
+    TimedOut,
+    /// Nothing useful arrived (clean EOF, instant error): just close.
+    Drop,
+}
+
+fn read_request_head(stream: &TcpStream) -> HeadRead {
+    let mut buf: Vec<u8> = Vec::with_capacity(512);
+    let mut scratch = [0u8; 2048];
+    loop {
+        match proto::parse_request(&buf, MAX_REQUEST_BYTES as usize) {
+            ParseOutcome::Complete { request, .. } => return HeadRead::Request(request),
+            ParseOutcome::TooLarge => return HeadRead::TooLarge,
+            ParseOutcome::Incomplete => {}
+        }
+        match (&mut (&*stream)).read(&mut scratch) {
+            Ok(0) => return HeadRead::Drop, // EOF before a full head
+            Ok(n) => buf.extend_from_slice(&scratch[..n]),
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                // The per-request socket timeout fired mid-head. The
+                // old code dispatched whatever had parsed so far — with
+                // the rest of the head still unread on the socket, the
+                // response would race a TCP reset. Answer 408 instead.
+                return if buf.is_empty() {
+                    HeadRead::Drop
+                } else {
+                    HeadRead::TimedOut
+                };
+            }
+            Err(_) => return HeadRead::Drop,
+        }
+    }
+}
+
+/// Parses one request and writes the service's response. Errors are
+/// answered with a 400/408/431 where possible and otherwise dropped — a
+/// broken client must never take a worker down.
 fn handle_connection<S: ClickService>(stream: TcpStream, service: &S, timeout: Duration) {
     // A failed timeout setup means this connection could hold its worker
     // indefinitely. Serve it anyway, but never silently: the service logs
@@ -270,88 +454,29 @@ fn handle_connection<S: ClickService>(stream: TcpStream, service: &S, timeout: D
     {
         service.note_timeout_config_error(&e);
     }
-    // Hard cap on request bytes: a hostile client streaming an endless
-    // request line or header block hits the `Take` limit instead of
-    // growing a worker-side String without bound.
-    let mut reader = BufReader::new(match stream.try_clone() {
-        Ok(s) => s.take(MAX_REQUEST_BYTES),
-        Err(_) => return,
-    });
-    let mut request_line = String::new();
-    if reader.read_line(&mut request_line).is_err() {
-        return;
-    }
-    // A request line that swallowed the whole byte budget without ever
-    // reaching a newline is the DoS shape, not a parse error.
-    let mut oversized = !request_line.ends_with('\n')
-        && request_line.len() as u64 >= MAX_REQUEST_BYTES;
-    let mut parts = request_line.split_whitespace();
-    let method = parts.next().unwrap_or("");
-    let path = parts.next().unwrap_or("");
-    // Drain headers up to the blank line; bodies are not supported. Only
-    // an empty line (CRLF or bare LF) ends the block — the old `n > 2`
-    // predicate misread any 2-byte header line ("X\n") as the end of
-    // headers, leaving unread bytes to RST the response away.
-    let mut line = String::new();
-    while !oversized {
-        line.clear();
-        match reader.read_line(&mut line) {
-            Ok(0) => {
-                // EOF — either the client closed, or the byte budget ran
-                // out mid-headers (which would leave unread bytes).
-                oversized = reader.get_ref().limit() == 0;
-                break;
+    let (response, head_only, must_drain) = match read_request_head(&stream) {
+        HeadRead::Drop => return,
+        HeadRead::TooLarge => (proto::response_431(MAX_REQUEST_BYTES), false, true),
+        HeadRead::TimedOut => (proto::response_408(), false, true),
+        HeadRead::Request(request) => {
+            if request.method != "GET" && request.method != "HEAD" {
+                (proto::response_405(), false, false)
+            } else if request.path.is_empty() {
+                (proto::response_400(), false, false)
+            } else {
+                (service.handle(&request.path), request.head_only(), false)
             }
-            Ok(_) if line == "\r\n" || line == "\n" => break,
-            Ok(_) if !line.ends_with('\n') => {
-                // Budget exhausted mid-line.
-                oversized = true;
-                break;
-            }
-            Ok(_) => continue,
-            Err(_) => break,
         }
-    }
-    let response = if oversized {
-        Response {
-            status: 431,
-            content_type: "text/plain; charset=utf-8",
-            body: format!("request exceeds {MAX_REQUEST_BYTES} bytes\n"),
-        }
-    } else if method != "GET" && method != "HEAD" {
-        Response {
-            status: 405,
-            content_type: "text/plain; charset=utf-8",
-            body: "only GET is supported\n".into(),
-        }
-    } else if path.is_empty() {
-        Response {
-            status: 400,
-            content_type: "text/plain; charset=utf-8",
-            body: "malformed request line\n".into(),
-        }
-    } else {
-        service.handle(path)
     };
-    let head_only = method == "HEAD" && !oversized;
-    if write_response(&stream, &response, head_only).is_ok() && oversized {
+    // The thread transport is strictly one request per connection: every
+    // response closes, keeping it the clean connection-per-request
+    // baseline next to the reactor's keep-alive.
+    let bytes = proto::encode_response(&response, head_only, false, None);
+    let mut stream = stream;
+    if stream.write_all(&bytes).and_then(|()| stream.flush()).is_ok() && must_drain {
         // The client may still be mid-send; drain briefly so closing
-        // with unread data doesn't RST the 431 away.
-        let mut stream = stream;
+        // with unread data doesn't RST the response away.
         drain_before_close(&mut stream, Duration::from_millis(100));
-    }
-}
-
-fn reason(status: u16) -> &'static str {
-    match status {
-        200 => "OK",
-        400 => "Bad Request",
-        404 => "Not Found",
-        405 => "Method Not Allowed",
-        431 => "Request Header Fields Too Large",
-        500 => "Internal Server Error",
-        503 => "Service Unavailable",
-        _ => "",
     }
 }
 
@@ -360,15 +485,9 @@ fn reason(status: u16) -> &'static str {
 /// timeouts so a slow client cannot stall accepting.
 fn shed_connection(mut stream: TcpStream, retry_after_secs: u64) {
     let _ = stream.set_write_timeout(Some(Duration::from_secs(1)));
-    let body = "server is at capacity, retry shortly\n";
-    let _ = write!(
-        stream,
-        "HTTP/1.1 503 Service Unavailable\r\nContent-Type: text/plain; charset=utf-8\r\n\
-         Content-Length: {}\r\nRetry-After: {}\r\nConnection: close\r\n\r\n{}",
-        body.len(),
-        retry_after_secs,
-        body
-    );
+    let bytes =
+        proto::encode_response(&proto::response_503(), false, false, Some(retry_after_secs));
+    let _ = stream.write_all(&bytes);
     let _ = stream.flush();
     drain_before_close(&mut stream, Duration::from_millis(100));
 }
@@ -394,23 +513,4 @@ fn drain_before_close(stream: &mut TcpStream, max_wait: Duration) {
             break;
         }
     }
-}
-
-fn write_response(
-    mut stream: &TcpStream,
-    response: &Response,
-    head_only: bool,
-) -> std::io::Result<()> {
-    write!(
-        stream,
-        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
-        response.status,
-        reason(response.status),
-        response.content_type,
-        response.body.len()
-    )?;
-    if !head_only {
-        stream.write_all(response.body.as_bytes())?;
-    }
-    stream.flush()
 }

@@ -299,6 +299,10 @@ impl ShardedService {
         let mut panics = 0;
         let mut shed = 0;
         let mut timeout_config_errors = 0;
+        let mut accept_errors = 0;
+        let mut open_connections = 0;
+        let mut keepalive_reuse = 0;
+        let mut idle_closed = 0;
         for s in &self.shards {
             sum_cache(&mut html_cache, s.cache().stats());
             sum_engine(&mut engine, s.engine().metrics());
@@ -306,6 +310,10 @@ impl ShardedService {
             panics += s.panics_total();
             shed += s.shed_total();
             timeout_config_errors += s.timeout_config_errors_total();
+            accept_errors += s.accept_errors_total();
+            open_connections += s.open_connections();
+            keepalive_reuse += s.keepalive_reuse_total();
+            idle_closed += s.idle_closed_total();
         }
         crate::ServerStats {
             total: self.metrics.totals(),
@@ -319,6 +327,10 @@ impl ShardedService {
             panics,
             shed,
             timeout_config_errors,
+            accept_errors,
+            open_connections,
+            keepalive_reuse,
+            idle_closed,
             trace_counters,
             pager: strudel_repo::pager::global_stats(),
         }

@@ -1,0 +1,31 @@
+//! Shared test support: the transport matrix.
+//!
+//! Serve's end-to-end suites run against every transport the platform
+//! supports, so the thread pool and the epoll reactor are held to the
+//! same observable behavior. `STRUDEL_TEST_TRANSPORT=threads|epoll`
+//! restricts a run to one transport (CI uses this for the epoll-only
+//! matrix leg).
+
+use strudel_serve::Transport;
+
+/// The transports this test run covers.
+pub fn transports() -> Vec<Transport> {
+    match std::env::var("STRUDEL_TEST_TRANSPORT").as_deref() {
+        Ok("threads") => vec![Transport::Threads],
+        Ok("epoll") => {
+            assert!(
+                Transport::Epoll.is_supported(),
+                "STRUDEL_TEST_TRANSPORT=epoll on a platform without epoll"
+            );
+            vec![Transport::Epoll]
+        }
+        Ok(other) => panic!("unknown STRUDEL_TEST_TRANSPORT '{other}' (threads|epoll)"),
+        Err(_) => {
+            let mut all = vec![Transport::Threads];
+            if Transport::Epoll.is_supported() {
+                all.push(Transport::Epoll);
+            }
+            all
+        }
+    }
+}

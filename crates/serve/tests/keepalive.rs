@@ -1,0 +1,340 @@
+//! Keep-alive conformance for the epoll reactor: responses on a reused
+//! connection byte-equal fresh-connection responses, pipelined requests
+//! all answer, idle connections close on deadline (and count), slow-loris
+//! clients get a 408 without degrading fast clicks, and hundreds of idle
+//! connections cost file descriptors, not threads.
+//!
+//! The whole suite is epoll-specific and self-skips where the transport
+//! is unsupported (non-Linux) or excluded via `STRUDEL_TEST_TRANSPORT`.
+
+mod common;
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use strudel::sites::news_site;
+use strudel_schema::dynamic::Mode;
+use strudel_serve::{serve, ServerConfig, SiteService, Transport};
+use strudel_workload::news::{generate, NewsConfig};
+
+/// Whether this run covers the epoll transport at all.
+fn epoll_enabled() -> bool {
+    common::transports().contains(&Transport::Epoll)
+}
+
+fn start(config: ServerConfig) -> (Arc<SiteService>, strudel_serve::ServerHandle) {
+    let corpus = generate(&NewsConfig {
+        articles: 12,
+        ..Default::default()
+    });
+    let site = news_site(&corpus.pages).build().unwrap();
+    let service = Arc::new(SiteService::new(&site, Mode::Context));
+    let server = serve(service.clone(), config).unwrap();
+    (service, server)
+}
+
+fn epoll_config() -> ServerConfig {
+    ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 2,
+        transport: Transport::Epoll,
+        ..Default::default()
+    }
+}
+
+/// One complete HTTP response off a (possibly kept-alive) connection:
+/// status line + headers up to the blank line, then exactly
+/// `Content-Length` body bytes.
+fn read_response(reader: &mut BufReader<TcpStream>) -> Option<(String, String)> {
+    let mut head = String::new();
+    loop {
+        let mut line = String::new();
+        if reader.read_line(&mut line).ok()? == 0 {
+            return None; // EOF
+        }
+        if line == "\r\n" {
+            break;
+        }
+        head.push_str(&line);
+    }
+    let length: usize = head
+        .lines()
+        .find_map(|l| l.strip_prefix("Content-Length: "))
+        .and_then(|v| v.trim().parse().ok())?;
+    let mut body = vec![0u8; length];
+    reader.read_exact(&mut body).ok()?;
+    Some((head, String::from_utf8_lossy(&body).into_owned()))
+}
+
+/// One-shot fresh-connection request (`Connection: close`).
+fn get_fresh(addr: SocketAddr, path: &str) -> String {
+    let mut s = TcpStream::connect(addr).unwrap();
+    write!(s, "GET {path} HTTP/1.1\r\nHost: localhost\r\nConnection: close\r\n\r\n").unwrap();
+    let mut out = String::new();
+    s.read_to_string(&mut out).unwrap();
+    out
+}
+
+fn body_of(response: &str) -> &str {
+    response.split("\r\n\r\n").nth(1).unwrap_or("")
+}
+
+fn status_of(response: &str) -> &str {
+    response.lines().next().unwrap_or("")
+}
+
+#[test]
+fn sequential_requests_on_one_connection_byte_equal_fresh_connections() {
+    if !epoll_enabled() {
+        return;
+    }
+    let (_service, server) = start(epoll_config());
+    let addr = server.addr();
+    let paths = ["/", "/metrics", "/", "/no/such/route", "/"];
+
+    // Reference: every path over its own fresh connection.
+    let fresh: Vec<(String, String)> = paths
+        .iter()
+        .map(|p| {
+            let r = get_fresh(addr, p);
+            (status_of(&r).to_string(), body_of(&r).to_string())
+        })
+        .collect();
+
+    // Same paths over ONE kept-alive connection.
+    let stream = TcpStream::connect(addr).unwrap();
+    let mut writer = stream.try_clone().unwrap();
+    let mut reader = BufReader::new(stream);
+    for (i, p) in paths.iter().enumerate() {
+        write!(writer, "GET {p} HTTP/1.1\r\nHost: localhost\r\n\r\n").unwrap();
+        let (head, body) = read_response(&mut reader).expect("connection stayed open");
+        assert!(
+            head.contains("Connection: keep-alive"),
+            "request {i} keeps the connection: {head}"
+        );
+        assert_eq!(head.lines().next().unwrap(), fresh[i].0, "status for {p}");
+        // /metrics bodies move between requests (counters tick); the
+        // stable routes must be byte-identical to the fresh fetch.
+        if *p != "/metrics" {
+            assert_eq!(body, fresh[i].1, "reused-connection body for {p}");
+        }
+    }
+    server.shutdown();
+}
+
+#[test]
+fn pipelined_requests_all_answer_in_order() {
+    if !epoll_enabled() {
+        return;
+    }
+    let (_service, server) = start(epoll_config());
+    let addr = server.addr();
+    let reference = body_of(&get_fresh(addr, "/")).to_string();
+
+    let stream = TcpStream::connect(addr).unwrap();
+    let mut writer = stream.try_clone().unwrap();
+    let mut reader = BufReader::new(stream);
+    // Six requests in one burst, no waiting between them.
+    let mut burst = String::new();
+    for _ in 0..6 {
+        burst.push_str("GET / HTTP/1.1\r\nHost: localhost\r\n\r\n");
+    }
+    writer.write_all(burst.as_bytes()).unwrap();
+    for i in 0..6 {
+        let (head, body) = read_response(&mut reader)
+            .unwrap_or_else(|| panic!("pipelined response {i} arrived"));
+        assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+        assert_eq!(body, reference, "pipelined response {i} body");
+    }
+    server.shutdown();
+}
+
+#[test]
+fn idle_connections_close_on_deadline_and_count() {
+    if !epoll_enabled() {
+        return;
+    }
+    let (service, server) = start(ServerConfig {
+        keepalive_timeout: Duration::from_millis(200),
+        ..epoll_config()
+    });
+    let addr = server.addr();
+
+    let stream = TcpStream::connect(addr).unwrap();
+    let mut writer = stream.try_clone().unwrap();
+    let mut reader = BufReader::new(stream);
+    write!(writer, "GET / HTTP/1.1\r\nHost: localhost\r\n\r\n").unwrap();
+    let (head, _) = read_response(&mut reader).unwrap();
+    assert!(head.contains("Connection: keep-alive"), "{head}");
+
+    // Then go quiet past the idle deadline: the reactor must close us.
+    let t0 = Instant::now();
+    assert!(
+        read_response(&mut reader).is_none(),
+        "idle connection closed by the server"
+    );
+    assert!(
+        t0.elapsed() < Duration::from_secs(5),
+        "closed by the deadline, not a test timeout: {:?}",
+        t0.elapsed()
+    );
+    assert!(service.idle_closed_total() >= 1, "idle close counted");
+    let metrics = get_fresh(addr, "/metrics");
+    assert!(metrics.contains("strudel_idle_closed_total"), "{metrics}");
+    server.shutdown();
+}
+
+#[test]
+fn keepalive_reuse_is_counted_and_connection_close_is_honored() {
+    if !epoll_enabled() {
+        return;
+    }
+    let (service, server) = start(epoll_config());
+    let addr = server.addr();
+
+    let stream = TcpStream::connect(addr).unwrap();
+    let mut writer = stream.try_clone().unwrap();
+    let mut reader = BufReader::new(stream);
+    for _ in 0..3 {
+        write!(writer, "GET / HTTP/1.1\r\nHost: localhost\r\n\r\n").unwrap();
+        read_response(&mut reader).unwrap();
+    }
+    assert_eq!(service.keepalive_reuse_total(), 2, "3 requests = 2 reuses");
+
+    // An explicit `Connection: close` ends the reuse run.
+    write!(writer, "GET / HTTP/1.1\r\nHost: localhost\r\nConnection: close\r\n\r\n").unwrap();
+    let (head, _) = read_response(&mut reader).unwrap();
+    assert!(head.contains("Connection: close"), "{head}");
+    assert!(read_response(&mut reader).is_none(), "server closed after close");
+
+    // An HTTP/1.0 request (no keep-alive by default) also closes.
+    let s10 = TcpStream::connect(addr).unwrap();
+    let mut w10 = s10.try_clone().unwrap();
+    let mut r10 = BufReader::new(s10);
+    write!(w10, "GET / HTTP/1.0\r\nHost: localhost\r\n\r\n").unwrap();
+    let (head, _) = read_response(&mut r10).unwrap();
+    assert!(head.contains("Connection: close"), "{head}");
+    assert!(read_response(&mut r10).is_none(), "1.0 closes after one response");
+    server.shutdown();
+}
+
+#[test]
+fn slow_loris_clients_get_408_without_degrading_fast_clicks() {
+    if !epoll_enabled() {
+        return;
+    }
+    let (_service, server) = start(ServerConfig {
+        timeout: Duration::from_millis(400),
+        ..epoll_config()
+    });
+    let addr = server.addr();
+    assert!(get_fresh(addr, "/").starts_with("HTTP/1.1 200"));
+
+    // Eight clients drip one header byte at a time and never finish.
+    let loris: Vec<_> = (0..8)
+        .map(|_| {
+            std::thread::spawn(move || {
+                let mut s = TcpStream::connect(addr).unwrap();
+                let partial = b"GET / HTTP/1.1\r\nX-Slow: ";
+                for b in partial {
+                    if s.write_all(&[*b]).is_err() {
+                        break;
+                    }
+                    std::thread::sleep(Duration::from_millis(25));
+                }
+                // Stall entirely; the server must cut us off with a 408.
+                let mut out = String::new();
+                let _ = s.read_to_string(&mut out);
+                out
+            })
+        })
+        .collect();
+
+    // Meanwhile fast clicks keep answering promptly — the reactor is not
+    // blocked inside any loris connection.
+    for _ in 0..10 {
+        let t0 = Instant::now();
+        let r = get_fresh(addr, "/");
+        assert!(r.starts_with("HTTP/1.1 200"), "{r}");
+        assert!(
+            t0.elapsed() < Duration::from_secs(2),
+            "fast click degraded by loris: {:?}",
+            t0.elapsed()
+        );
+    }
+
+    for h in loris {
+        let out = h.join().unwrap();
+        assert!(
+            out.starts_with("HTTP/1.1 408"),
+            "loris answered with a timeout: {out:?}"
+        );
+    }
+    server.shutdown();
+}
+
+#[test]
+fn hundreds_of_idle_connections_cost_fds_not_threads() {
+    if !epoll_enabled() {
+        return;
+    }
+    const IDLE: usize = 200;
+    let (service, server) = start(ServerConfig {
+        keepalive_timeout: Duration::from_secs(60),
+        max_connections: 1024,
+        ..epoll_config()
+    });
+    let addr = server.addr();
+
+    let threads_before = os_thread_count();
+    let mut held = Vec::with_capacity(IDLE);
+    for i in 0..IDLE {
+        let stream = TcpStream::connect(addr).unwrap();
+        let mut writer = stream.try_clone().unwrap();
+        let mut reader = BufReader::new(stream);
+        write!(writer, "GET / HTTP/1.1\r\nHost: localhost\r\n\r\n").unwrap();
+        let (head, _) = read_response(&mut reader).unwrap_or_else(|| panic!("conn {i} served"));
+        assert!(head.starts_with("HTTP/1.1 200"), "conn {i}: {head}");
+        held.push((writer, reader));
+    }
+
+    assert!(
+        service.open_connections() >= IDLE as u64,
+        "gauge sees the held connections: {}",
+        service.open_connections()
+    );
+    let threads_after = os_thread_count();
+    assert!(
+        threads_after <= threads_before + 4,
+        "idle keep-alive connections must not cost threads: \
+         {threads_before} -> {threads_after} with {IDLE} held"
+    );
+
+    // The server still answers new clicks with hundreds of idle fds held.
+    assert!(get_fresh(addr, "/").starts_with("HTTP/1.1 200"));
+
+    // Every held connection is still live and serves another request.
+    for (i, (writer, reader)) in held.iter_mut().enumerate() {
+        write!(writer, "GET / HTTP/1.1\r\nHost: localhost\r\n\r\n").unwrap();
+        assert!(
+            read_response(reader).is_some(),
+            "held conn {i} serves after the idle hold"
+        );
+    }
+    drop(held);
+    server.shutdown();
+}
+
+/// This process's OS thread count (Linux: /proc/self/status).
+fn os_thread_count() -> usize {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|s| {
+            s.lines()
+                .find_map(|l| l.strip_prefix("Threads:"))
+                .and_then(|v| v.trim().parse().ok())
+        })
+        .unwrap_or(0)
+}

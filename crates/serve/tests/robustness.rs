@@ -1,7 +1,10 @@
 //! Failure-mode regression tests: a panicking handler must cost one
 //! request (500 + counter), never a worker; a saturated backlog must shed
 //! with a `503` + `Retry-After`, never queue unbounded work; and both
-//! outcomes must be visible on `/metrics`.
+//! outcomes must be visible on `/metrics`. Each scenario runs against
+//! every supported transport (thread pool and epoll reactor).
+
+mod common;
 
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream};
@@ -26,7 +29,8 @@ fn get(addr: SocketAddr, path: &str) -> String {
     let mut s = TcpStream::connect(addr).unwrap();
     // A shed connection may be answered and closed before the request is
     // even written; tolerate the failed write and read what was sent.
-    let _ = write!(s, "GET {path} HTTP/1.1\r\nHost: localhost\r\n\r\n");
+    // `Connection: close` keeps `read_to_string` prompt on the reactor.
+    let _ = write!(s, "GET {path} HTTP/1.1\r\nHost: localhost\r\nConnection: close\r\n\r\n");
     let mut out = String::new();
     let _ = s.read_to_string(&mut out);
     out
@@ -34,151 +38,161 @@ fn get(addr: SocketAddr, path: &str) -> String {
 
 #[test]
 fn a_panicking_handler_costs_one_request_not_the_server() {
-    let svc = service();
-    let server = serve(
-        svc.clone(),
-        ServerConfig {
-            workers: 2,
-            ..Default::default()
-        },
-    )
-    .unwrap();
-    let addr = server.addr();
-    assert!(get(addr, "/").starts_with("HTTP/1.1 200"));
-
-    svc.arm_probe("/boom", FaultProbe::Panic);
-    for _ in 0..3 {
-        let r = get(addr, "/boom");
-        assert!(r.starts_with("HTTP/1.1 500"), "panic answers 500: {r}");
-    }
-    svc.clear_probes();
-    assert_eq!(svc.panics_total(), 3, "every panic counted");
-
-    // Both workers took a panic; both must still be serving.
-    for _ in 0..4 {
+    for transport in common::transports() {
+        let svc = service();
+        let server = serve(
+            svc.clone(),
+            ServerConfig {
+                workers: 2,
+                transport,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let addr = server.addr();
         assert!(get(addr, "/").starts_with("HTTP/1.1 200"));
-    }
-    assert!(get(addr, "/boom").starts_with("HTTP/1.1 404"), "probe cleared");
 
-    let metrics = get(addr, "/metrics");
-    assert!(
-        metrics.contains("strudel_panics_total 3"),
-        "panics exposed on /metrics: {metrics}"
-    );
-    server.shutdown();
+        svc.arm_probe("/boom", FaultProbe::Panic);
+        for _ in 0..3 {
+            let r = get(addr, "/boom");
+            assert!(r.starts_with("HTTP/1.1 500"), "panic answers 500: {r}");
+        }
+        svc.clear_probes();
+        assert_eq!(svc.panics_total(), 3, "every panic counted ({transport:?})");
+
+        // Both workers took a panic; both must still be serving.
+        for _ in 0..4 {
+            assert!(get(addr, "/").starts_with("HTTP/1.1 200"));
+        }
+        assert!(get(addr, "/boom").starts_with("HTTP/1.1 404"), "probe cleared");
+
+        let metrics = get(addr, "/metrics");
+        assert!(
+            metrics.contains("strudel_panics_total 3"),
+            "panics exposed on /metrics: {metrics}"
+        );
+        server.shutdown();
+    }
 }
 
 #[test]
 fn a_saturated_backlog_sheds_with_retry_after() {
-    let svc = service();
-    let server = serve(
-        svc.clone(),
-        ServerConfig {
-            workers: 1,
-            max_backlog: 1,
-            retry_after_secs: 7,
-            ..Default::default()
-        },
-    )
-    .unwrap();
-    let addr = server.addr();
-    assert!(get(addr, "/").starts_with("HTTP/1.1 200"));
+    for transport in common::transports() {
+        let svc = service();
+        let server = serve(
+            svc.clone(),
+            ServerConfig {
+                workers: 1,
+                max_backlog: 1,
+                retry_after_secs: 7,
+                transport,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let addr = server.addr();
+        assert!(get(addr, "/").starts_with("HTTP/1.1 200"));
 
-    // Stall the single worker, fill the one backlog slot, then watch
-    // further connections bounce straight off the accept thread.
-    svc.arm_probe("/stall", FaultProbe::Stall(Duration::from_millis(900)));
-    let stalled: Vec<_> = (0..2)
-        .map(|_| {
-            let h = std::thread::spawn(move || get(addr, "/stall"));
-            std::thread::sleep(Duration::from_millis(150));
-            h
-        })
-        .collect();
+        // Stall the single worker, fill the one backlog slot, then watch
+        // further connections bounce straight off the accept path.
+        svc.arm_probe("/stall", FaultProbe::Stall(Duration::from_millis(900)));
+        let stalled: Vec<_> = (0..2)
+            .map(|_| {
+                let h = std::thread::spawn(move || get(addr, "/stall"));
+                std::thread::sleep(Duration::from_millis(150));
+                h
+            })
+            .collect();
 
-    let mut shed = 0;
-    for _ in 0..4 {
-        let r = get(addr, "/");
-        if r.starts_with("HTTP/1.1 503") {
-            assert!(r.contains("Retry-After: 7"), "shed names a retry delay: {r}");
-            assert!(r.contains("Connection: close"), "{r}");
-            shed += 1;
+        let mut shed = 0;
+        for _ in 0..4 {
+            let r = get(addr, "/");
+            if r.starts_with("HTTP/1.1 503") {
+                assert!(r.contains("Retry-After: 7"), "shed names a retry delay: {r}");
+                assert!(r.contains("Connection: close"), "{r}");
+                shed += 1;
+            }
         }
-    }
-    assert!(shed >= 1, "worker stalled + backlog full must shed");
-    assert!(svc.shed_total() >= shed, "sheds counted");
+        assert!(shed >= 1, "worker stalled + backlog full must shed ({transport:?})");
+        assert!(svc.shed_total() >= shed, "sheds counted");
 
-    // The stalled requests still complete (the probe path is a 404),
-    // and once the stall drains the server answers normally again.
-    for h in stalled {
-        let r = h.join().unwrap();
-        assert!(r.starts_with("HTTP/1.1 404"), "stalled request served: {r}");
+        // The stalled requests still complete (the probe path is a 404),
+        // and once the stall drains the server answers normally again.
+        for h in stalled {
+            let r = h.join().unwrap();
+            assert!(r.starts_with("HTTP/1.1 404"), "stalled request served: {r}");
+        }
+        svc.clear_probes();
+        assert!(get(addr, "/").starts_with("HTTP/1.1 200"));
+        let metrics = get(addr, "/metrics");
+        assert!(
+            metrics.contains("strudel_shed_total"),
+            "sheds exposed on /metrics: {metrics}"
+        );
+        server.shutdown();
     }
-    svc.clear_probes();
-    assert!(get(addr, "/").starts_with("HTTP/1.1 200"));
-    let metrics = get(addr, "/metrics");
-    assert!(
-        metrics.contains("strudel_shed_total"),
-        "sheds exposed on /metrics: {metrics}"
-    );
-    server.shutdown();
 }
 
 #[test]
 fn an_oversized_shed_request_still_receives_its_503() {
-    let svc = service();
-    let server = serve(
-        svc.clone(),
-        ServerConfig {
-            workers: 1,
-            max_backlog: 1,
-            retry_after_secs: 3,
-            ..Default::default()
-        },
-    )
-    .unwrap();
-    let addr = server.addr();
-    assert!(get(addr, "/").starts_with("HTTP/1.1 200"));
+    for transport in common::transports() {
+        let svc = service();
+        let server = serve(
+            svc.clone(),
+            ServerConfig {
+                workers: 1,
+                max_backlog: 1,
+                retry_after_secs: 3,
+                transport,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let addr = server.addr();
+        assert!(get(addr, "/").starts_with("HTTP/1.1 200"));
 
-    // Stall the single worker and fill the backlog, as in the shed test
-    // above — but send >1 KiB of request. The old shed path drained at
-    // most one 1 KiB read before closing, so the unread tail made the
-    // kernel RST the connection and discard the 503 in flight.
-    svc.arm_probe("/stall", FaultProbe::Stall(Duration::from_millis(900)));
-    let stalled: Vec<_> = (0..2)
-        .map(|_| {
-            let h = std::thread::spawn(move || get(addr, "/stall"));
-            std::thread::sleep(Duration::from_millis(150));
-            h
-        })
-        .collect();
+        // Stall the single worker and fill the backlog, as in the shed
+        // test above — but send >1 KiB of request. The old shed path
+        // drained at most one 1 KiB read before closing, so the unread
+        // tail made the kernel RST the connection and discard the 503 in
+        // flight.
+        svc.arm_probe("/stall", FaultProbe::Stall(Duration::from_millis(900)));
+        let stalled: Vec<_> = (0..2)
+            .map(|_| {
+                let h = std::thread::spawn(move || get(addr, "/stall"));
+                std::thread::sleep(Duration::from_millis(150));
+                h
+            })
+            .collect();
 
-    let mut shed = 0;
-    for _ in 0..4 {
-        let mut s = TcpStream::connect(addr).unwrap();
-        let _ = write!(s, "GET / HTTP/1.1\r\n");
-        let filler = format!("X-Pad: {}\r\n", "p".repeat(1015));
+        let mut shed = 0;
         for _ in 0..4 {
-            let _ = s.write_all(filler.as_bytes());
+            let mut s = TcpStream::connect(addr).unwrap();
+            let _ = write!(s, "GET / HTTP/1.1\r\nConnection: close\r\n");
+            let filler = format!("X-Pad: {}\r\n", "p".repeat(1015));
+            for _ in 0..4 {
+                let _ = s.write_all(filler.as_bytes());
+            }
+            let _ = s.write_all(b"\r\n");
+            let mut out = String::new();
+            let _ = s.read_to_string(&mut out);
+            // Every connection must yield a complete HTTP response — an
+            // empty read here is the RST the drain exists to prevent.
+            assert!(out.starts_with("HTTP/1.1"), "response lost to a reset: {out:?}");
+            if out.starts_with("HTTP/1.1 503") {
+                assert!(out.contains("Retry-After: 3"), "{out}");
+                shed += 1;
+            }
         }
-        let _ = s.write_all(b"\r\n");
-        let mut out = String::new();
-        let _ = s.read_to_string(&mut out);
-        // Every connection must yield a complete HTTP response — an
-        // empty read here is the RST the drain exists to prevent.
-        assert!(out.starts_with("HTTP/1.1"), "response lost to a reset: {out:?}");
-        if out.starts_with("HTTP/1.1 503") {
-            assert!(out.contains("Retry-After: 3"), "{out}");
-            shed += 1;
-        }
-    }
-    assert!(shed >= 1, "worker stalled + backlog full must shed");
+        assert!(shed >= 1, "worker stalled + backlog full must shed ({transport:?})");
 
-    for h in stalled {
-        let _ = h.join();
+        for h in stalled {
+            let _ = h.join();
+        }
+        svc.clear_probes();
+        assert!(get(addr, "/").starts_with("HTTP/1.1 200"));
+        server.shutdown();
     }
-    svc.clear_probes();
-    assert!(get(addr, "/").starts_with("HTTP/1.1 200"));
-    server.shutdown();
 }
 
 #[test]
@@ -194,4 +208,41 @@ fn timeout_config_errors_are_counted_not_swallowed() {
         text.contains("strudel_timeout_config_errors_total 2"),
         "{text}"
     );
+}
+
+#[test]
+fn a_stalled_header_read_answers_408_not_a_dispatch() {
+    // A client that opens a connection, sends half a request head, and
+    // then stalls past the request timeout must get a 408 — the old
+    // thread-transport reader fell through and dispatched the half
+    // request as if it were complete.
+    for transport in common::transports() {
+        let svc = service();
+        let server = serve(
+            svc.clone(),
+            ServerConfig {
+                workers: 2,
+                timeout: Duration::from_millis(300),
+                transport,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let addr = server.addr();
+
+        let mut s = TcpStream::connect(addr).unwrap();
+        // Half a head: no terminating blank line, then silence.
+        write!(s, "GET / HTTP/1.1\r\nHost: local").unwrap();
+        let mut out = String::new();
+        let _ = s.read_to_string(&mut out);
+        assert!(
+            out.starts_with("HTTP/1.1 408"),
+            "stalled head answers 408 ({transport:?}): {out:?}"
+        );
+        assert!(out.contains("Connection: close"), "{out}");
+
+        // The stalled connection cost nothing: the server still serves.
+        assert!(get(addr, "/").starts_with("HTTP/1.1 200"));
+        server.shutdown();
+    }
 }

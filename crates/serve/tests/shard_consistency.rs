@@ -13,6 +13,8 @@
 //!    concurrently must byte-equal either the pre-delta render or the
 //!    post-delta render of that URL — never a mix of the two epochs.
 
+mod common;
+
 use std::collections::HashSet;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -223,51 +225,59 @@ fn sharded_service_serves_over_http_with_shard_metrics() {
     use std::net::TcpStream;
     use strudel_serve::{serve, ServerConfig};
 
-    let sharded = Arc::new(build_sharded(base_graph(), 4));
-    let reference: Vec<(String, String)> = crawl(|u| sharded.handle(u).body)
-        .into_iter()
-        .map(|u| {
-            let body = sharded.handle(&u).body;
-            (u, body)
-        })
-        .collect();
+    for transport in common::transports() {
+        let sharded = Arc::new(build_sharded(base_graph(), 4));
+        let reference: Vec<(String, String)> = crawl(|u| sharded.handle(u).body)
+            .into_iter()
+            .map(|u| {
+                let body = sharded.handle(&u).body;
+                (u, body)
+            })
+            .collect();
 
-    let server = serve(
-        sharded,
-        ServerConfig {
-            addr: "127.0.0.1:0".into(),
-            workers: 2,
-            ..Default::default()
-        },
-    )
-    .unwrap();
-    let addr = server.addr();
-    let get = |path: &str| {
-        let mut s = TcpStream::connect(addr).unwrap();
-        write!(s, "GET {path} HTTP/1.1\r\nHost: localhost\r\n\r\n").unwrap();
-        let mut out = String::new();
-        s.read_to_string(&mut out).unwrap();
-        out
-    };
+        let server = serve(
+            Arc::clone(&sharded),
+            ServerConfig {
+                addr: "127.0.0.1:0".into(),
+                workers: 2,
+                transport,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let addr = server.addr();
+        let get = |path: &str| {
+            let mut s = TcpStream::connect(addr).unwrap();
+            write!(s, "GET {path} HTTP/1.1\r\nHost: localhost\r\nConnection: close\r\n\r\n")
+                .unwrap();
+            let mut out = String::new();
+            s.read_to_string(&mut out).unwrap();
+            out
+        };
 
-    for (url, body) in &reference {
-        let response = get(url);
-        assert!(response.starts_with("HTTP/1.1 200"), "{url}: {response}");
-        assert_eq!(response.split("\r\n\r\n").nth(1).unwrap_or(""), body, "{url}");
+        for (url, body) in &reference {
+            let response = get(url);
+            assert!(response.starts_with("HTTP/1.1 200"), "{url}: {response}");
+            assert_eq!(
+                response.split("\r\n\r\n").nth(1).unwrap_or(""),
+                body,
+                "{url} ({transport:?})"
+            );
+        }
+
+        let metrics = get("/metrics");
+        for needle in [
+            "strudel_shards 4",
+            "strudel_shard_requests_total{shard=\"0\"}",
+            "strudel_shard_requests_total{shard=\"3\"}",
+            "strudel_shard_epoch{shard=\"1\"}",
+            "strudel_shard_published_entries{shard=\"2\"}",
+            "strudel_requests_total",
+        ] {
+            assert!(metrics.contains(needle), "missing {needle} in:\n{metrics}");
+        }
+        server.shutdown();
     }
-
-    let metrics = get("/metrics");
-    for needle in [
-        "strudel_shards 4",
-        "strudel_shard_requests_total{shard=\"0\"}",
-        "strudel_shard_requests_total{shard=\"3\"}",
-        "strudel_shard_epoch{shard=\"1\"}",
-        "strudel_shard_published_entries{shard=\"2\"}",
-        "strudel_requests_total",
-    ] {
-        assert!(metrics.contains(needle), "missing {needle} in:\n{metrics}");
-    }
-    server.shutdown();
 }
 
 #[test]
