@@ -10,7 +10,7 @@
 //! Ids: `site-stats` (T1), `suitability` (F8), `multiversion`,
 //! `site-schema`, `verify`, `dynamic`, `diff`, `incremental`, `indexing`,
 //! `struql-scale`, `batch`, `shard`, `event`, `htmlgen`, `mediate`, `trace`,
-//! `crash`, `pager`, `all`.
+//! `crash`, `pager`, `cluster`, `all`.
 //!
 //! `--json` additionally writes `BENCH_<suite>.json` files (machine-
 //! readable rows; schema in EXPERIMENTS.md) into the current directory.
@@ -48,12 +48,13 @@ fn main() {
             "trace" => e::exp_trace(),
             "crash" => e::exp_crash(),
             "pager" => e::exp_pager(),
+            "cluster" => e::exp_cluster(),
             other => {
                 eprintln!("unknown experiment '{other}'");
                 eprintln!(
                     "known: site-stats suitability multiversion site-schema verify dynamic diff \
                      incremental indexing struql-scale batch shard event htmlgen mediate trace \
-                     crash pager all (plus --json)"
+                     crash pager cluster all (plus --json)"
                 );
                 std::process::exit(2);
             }

@@ -1813,6 +1813,239 @@ pub fn exp_pager() {
     println!();
 }
 
+/// Locates the `strudel` binary next to this bench binary (both land in
+/// `target/<profile>/`). E-cluster spawns real worker processes from it.
+fn cluster_binary() -> Option<std::path::PathBuf> {
+    let exe = std::env::current_exe().ok()?;
+    let dir = exe.parent()?;
+    let candidates = [dir.join("strudel"), dir.parent()?.join("strudel")];
+    candidates.into_iter().find(|c| c.is_file())
+}
+
+/// E-cluster — supervised multi-process failover under kill-torture:
+/// recovery-time distribution for SIGKILLed shard workers, degraded vs
+/// dropped request counts while traffic runs through the kills, and the
+/// cross-process delta-barrier latency.
+pub fn exp_cluster() {
+    use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+    use std::sync::Arc;
+    use strudel::repo::{PagedRepo, PagerConfig};
+    use strudel_graph::ddl;
+    use strudel_serve::{ClickService, ClusterConfig, ClusterService};
+
+    println!("== E-cluster: supervised multi-process failover ==");
+    let Some(binary) = cluster_binary() else {
+        println!(
+            "skipped: no `strudel` binary beside the bench binary \
+             (build it first: cargo build --release -p strudel-serve)\n"
+        );
+        return;
+    };
+
+    const WORKERS: usize = 3;
+    const KILL_ROUNDS: usize = 3;
+    const ARTICLES: usize = 24;
+    const DELTAS: usize = 8;
+
+    // The same article site the cluster e2e suite serves, at bench scale.
+    let query = r#"
+        create RootPage()
+        where Articles(x)
+        create ArticlePage(x)
+        link RootPage() -> "story" -> ArticlePage(x)
+        collect Roots(RootPage()), ArticlePages(ArticlePage(x))
+        { where x -> "title" -> t
+          link ArticlePage(x) -> "title" -> t }
+        { where x -> "body" -> b
+          link ArticlePage(x) -> "body" -> b }
+    "#;
+    let mut source = String::new();
+    for i in 0..ARTICLES {
+        source.push_str(&format!(
+            "object a{i} in Articles {{ title : \"Article {i:03}\"; body : \"body {i}\"; }}\n"
+        ));
+    }
+
+    let root = std::env::temp_dir().join(format!("strudel-bench-cluster-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    let site_dir = root.join("site");
+    let store_dir = root.join("store");
+    std::fs::create_dir_all(site_dir.join("templates")).unwrap();
+    std::fs::create_dir_all(site_dir.join("sources")).unwrap();
+    std::fs::write(site_dir.join("site.struql"), query).unwrap();
+    std::fs::write(
+        site_dir.join("site.conf"),
+        "root Roots\nobject RootPage root\ncollection ArticlePages article\n",
+    )
+    .unwrap();
+    std::fs::write(
+        site_dir.join("templates/root.tmpl"),
+        "<html><SFMT story UL ORDER=ascend KEY=title></html>",
+    )
+    .unwrap();
+    std::fs::write(
+        site_dir.join("templates/article.tmpl"),
+        "<html><h1><SFMT title></h1><p><SFMT body></p></html>",
+    )
+    .unwrap();
+    std::fs::write(site_dir.join("sources/articles.ddl"), &source).unwrap();
+    std::fs::create_dir_all(&store_dir).unwrap();
+    let graph = ddl::parse(&source).unwrap();
+    drop(PagedRepo::bulk_load(&store_dir, PagerConfig::default(), &graph).unwrap());
+
+    let mut config = ClusterConfig::new(
+        WORKERS,
+        binary,
+        site_dir.clone(),
+        store_dir.clone(),
+    );
+    config.backoff_base = Duration::from_millis(20);
+    config.backoff_cap = Duration::from_millis(500);
+    config.probe_interval = Duration::from_millis(100);
+    config.min_uptime = Duration::from_millis(300);
+    let store = PagedRepo::open(&store_dir, PagerConfig::default()).unwrap();
+    let cluster = ClusterService::start(store, config).expect("cluster start");
+    let report = ClickService::warm(&*cluster, strudel_struql::Parallelism::Threads(2)).unwrap();
+    println!(
+        "site: {} pages over {WORKERS} worker processes; \
+         {KILL_ROUNDS} SIGKILL rounds x {WORKERS} shards under traffic",
+        report.pages
+    );
+
+    // Collect the servable path set once, while everything is fresh.
+    let mut paths = vec!["/".to_string()];
+    let front = cluster.handle("/");
+    let mut rest = front.body.as_str();
+    while let Some(i) = rest.find("href=\"") {
+        rest = &rest[i + 6..];
+        let Some(end) = rest.find('"') else { break };
+        let href = &rest[..end];
+        if href.starts_with('/') && !href.starts_with("/metrics") && !paths.iter().any(|p| p == href)
+        {
+            paths.push(href.to_string());
+        }
+        rest = &rest[end..];
+    }
+
+    // Traffic: cycle the path set through the router while workers die.
+    // Every response must be a 200 — fresh or a degraded LKG copy, never
+    // an error. `failed` counts the contract violations (must stay 0).
+    let stop = Arc::new(AtomicBool::new(false));
+    let fresh = Arc::new(AtomicU64::new(0));
+    let degraded = Arc::new(AtomicU64::new(0));
+    let failed = Arc::new(AtomicU64::new(0));
+    let traffic = {
+        let (cluster, paths) = (cluster.clone(), paths.clone());
+        let (stop, fresh, degraded, failed) =
+            (stop.clone(), fresh.clone(), degraded.clone(), failed.clone());
+        std::thread::spawn(move || {
+            while !stop.load(Ordering::Acquire) {
+                for path in &paths {
+                    let r = cluster.handle(path);
+                    match (r.status, r.degraded) {
+                        (200, false) => fresh.fetch_add(1, Ordering::Relaxed),
+                        (200, true) => degraded.fetch_add(1, Ordering::Relaxed),
+                        _ => failed.fetch_add(1, Ordering::Relaxed),
+                    };
+                }
+            }
+        })
+    };
+
+    // Kill-torture: SIGKILL every shard in turn, measuring kill → all
+    // workers ready again. The post-recovery pause keeps each worker
+    // alive past min_uptime so deliberate kills are forgiven, not
+    // counted toward the crash-loop breaker.
+    let mut recoveries: Vec<Duration> = Vec::new();
+    for _ in 0..KILL_ROUNDS {
+        for shard in 0..WORKERS {
+            let t0 = Instant::now();
+            assert!(cluster.kill_worker(shard), "shard {shard} had a live worker");
+            while cluster.ready_workers() < WORKERS {
+                assert!(
+                    t0.elapsed() < Duration::from_secs(60),
+                    "shard {shard} never recovered"
+                );
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            recoveries.push(t0.elapsed());
+            std::thread::sleep(Duration::from_millis(350));
+        }
+    }
+
+    // Barrier latency: commit → every live worker confirmed caught up.
+    let mut barrier: Vec<Duration> = Vec::new();
+    for k in 0..DELTAS {
+        let mut delta = GraphDelta::new();
+        let oid = Oid::from_index(ARTICLES + k);
+        delta.add_node(None);
+        delta.add_edge(oid, "title", Value::string(format!("Injected {k:03}").as_str()));
+        delta.add_edge(oid, "body", Value::string(format!("payload {k}").as_str()));
+        delta.collect("Articles", Value::Node(oid));
+        let (outcome, t) = time(|| cluster.apply_delta(&delta).unwrap());
+        assert!(outcome.caught_up.iter().all(|c| *c), "delta {k} left a worker behind");
+        barrier.push(t);
+    }
+
+    stop.store(true, Ordering::Release);
+    traffic.join().unwrap();
+    let restarts: u64 = (0..WORKERS).map(|s| cluster.worker_restarts(s)).sum();
+    cluster.shutdown();
+
+    recoveries.sort();
+    barrier.sort();
+    let p50 = recoveries[recoveries.len() / 2];
+    let (lo, hi) = (recoveries[0], *recoveries.last().unwrap());
+    let bar_p50 = barrier[barrier.len() / 2];
+    let (fresh, degraded, failed) = (
+        fresh.load(Ordering::Acquire),
+        degraded.load(Ordering::Acquire),
+        failed.load(Ordering::Acquire),
+    );
+
+    println!("\n{:>28} {:>10} {:>10} {:>10}", "", "min", "p50", "max");
+    println!(
+        "{:>28} {:>10} {:>10} {:>10}",
+        "kill -> all ready",
+        ms(lo),
+        ms(p50),
+        ms(hi)
+    );
+    println!(
+        "{:>28} {:>10} {:>10} {:>10}",
+        "delta barrier (all workers)",
+        ms(barrier[0]),
+        ms(bar_p50),
+        ms(*barrier.last().unwrap())
+    );
+    println!(
+        "\ntraffic through {} kills: {fresh} fresh, {degraded} degraded (stale LKG), \
+         {failed} dropped/errored; {restarts} supervised restarts",
+        recoveries.len()
+    );
+    assert_eq!(failed, 0, "a request was dropped or errored during failover");
+
+    json::record("cluster", "E-cluster", "recovery", "samples", recoveries.len() as f64, "count");
+    json::record("cluster", "E-cluster", "recovery", "min", lo.as_secs_f64() * 1e3, "ms");
+    json::record("cluster", "E-cluster", "recovery", "p50", p50.as_secs_f64() * 1e3, "ms");
+    json::record("cluster", "E-cluster", "recovery", "max", hi.as_secs_f64() * 1e3, "ms");
+    json::record(
+        "cluster",
+        "E-cluster",
+        "barrier",
+        "p50",
+        bar_p50.as_secs_f64() * 1e3,
+        "ms",
+    );
+    json::record("cluster", "E-cluster", "traffic", "fresh", fresh as f64, "count");
+    json::record("cluster", "E-cluster", "traffic", "degraded", degraded as f64, "count");
+    json::record("cluster", "E-cluster", "traffic", "dropped", failed as f64, "count");
+    json::record("cluster", "E-cluster", "traffic", "restarts", restarts as f64, "count");
+
+    let _ = std::fs::remove_dir_all(&root);
+    println!();
+}
+
 /// Runs every experiment in order.
 pub fn run_all() {
     exp_site_stats();
@@ -1833,4 +2066,5 @@ pub fn run_all() {
     exp_trace();
     exp_crash();
     exp_pager();
+    exp_cluster();
 }

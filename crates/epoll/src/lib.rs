@@ -30,6 +30,13 @@ pub const EPOLLHUP: u32 = 0x010;
 /// Peer closed its writing half.
 pub const EPOLLRDHUP: u32 = 0x2000;
 
+/// Interrupt from the keyboard (`kill -INT`, ^C).
+pub const SIGINT: i32 = 2;
+/// Unblockable kill.
+pub const SIGKILL: i32 = 9;
+/// Polite termination request (`kill`'s default).
+pub const SIGTERM: i32 = 15;
+
 /// One ready event out of [`Epoll::wait`]: the readiness bits and the
 /// `u64` token registered with the fd.
 #[derive(Clone, Copy, Debug, Default)]
@@ -52,6 +59,11 @@ mod sys {
     const EPOLL_CLOEXEC: i32 = 0x80000;
     const EFD_CLOEXEC: i32 = 0x80000;
     const EFD_NONBLOCK: i32 = 0x800;
+    const SFD_CLOEXEC: i32 = 0x80000;
+    const SFD_NONBLOCK: i32 = 0x800;
+    const SIG_BLOCK: i32 = 0;
+    /// `sizeof(struct signalfd_siginfo)`: reads must be exact multiples.
+    const SIGINFO_LEN: usize = 128;
 
     /// The kernel's `struct epoll_event`. Packed on x86-64 (the kernel
     /// ABI there has no padding between `events` and `data`); naturally
@@ -64,6 +76,13 @@ mod sys {
         data: u64,
     }
 
+    /// The C library's `sigset_t` (glibc reserves 1024 bits). Built only
+    /// through `sigemptyset`/`sigaddset`, never by hand.
+    #[repr(C)]
+    struct SigSet {
+        bits: [u64; 16],
+    }
+
     extern "C" {
         fn epoll_create1(flags: i32) -> i32;
         fn epoll_ctl(epfd: i32, op: i32, fd: i32, event: *mut EpollEvent) -> i32;
@@ -72,6 +91,12 @@ mod sys {
         fn read(fd: i32, buf: *mut u8, count: usize) -> isize;
         fn write(fd: i32, buf: *const u8, count: usize) -> isize;
         fn close(fd: i32) -> i32;
+        fn sigemptyset(set: *mut SigSet) -> i32;
+        fn sigaddset(set: *mut SigSet, signum: i32) -> i32;
+        fn pthread_sigmask(how: i32, set: *const SigSet, oldset: *mut SigSet) -> i32;
+        fn signalfd(fd: i32, mask: *const SigSet, flags: i32) -> i32;
+        fn kill(pid: i32, sig: i32) -> i32;
+        fn raise(sig: i32) -> i32;
     }
 
     fn cvt(ret: i32) -> io::Result<i32> {
@@ -199,6 +224,76 @@ mod sys {
             unsafe { close(self.fd) };
         }
     }
+
+    /// A nonblocking signalfd: the named signals are blocked for the
+    /// whole process (so their default dispositions never fire) and
+    /// delivered through this fd instead (see crate docs).
+    #[derive(Debug)]
+    pub struct SignalFd {
+        fd: RawFd,
+    }
+
+    impl SignalFd {
+        /// Blocks `signals` process-wide and opens a nonblocking,
+        /// close-on-exec signalfd delivering them. Call on the main
+        /// thread before spawning workers: spawned threads inherit the
+        /// blocked mask, so the signals only ever surface here.
+        pub fn new(signals: &[i32]) -> io::Result<SignalFd> {
+            let mut mask = SigSet { bits: [0; 16] };
+            unsafe {
+                sigemptyset(&mut mask);
+                for &s in signals {
+                    if sigaddset(&mut mask, s) != 0 {
+                        return Err(io::Error::new(
+                            io::ErrorKind::InvalidInput,
+                            format!("invalid signal number {s}"),
+                        ));
+                    }
+                }
+                let rc = pthread_sigmask(SIG_BLOCK, &mask, std::ptr::null_mut());
+                if rc != 0 {
+                    return Err(io::Error::from_raw_os_error(rc));
+                }
+                let fd = cvt(signalfd(-1, &mask, SFD_CLOEXEC | SFD_NONBLOCK))?;
+                Ok(SignalFd { fd })
+            }
+        }
+
+        /// The raw fd, for registering with an [`Epoll`].
+        pub fn as_raw_fd(&self) -> RawFd {
+            self.fd
+        }
+
+        /// Takes one pending signal, if any: `Some(signo)` or `None`
+        /// (nothing pending — the fd is nonblocking).
+        pub fn try_take(&self) -> Option<i32> {
+            let mut buf = [0u8; SIGINFO_LEN];
+            let n = unsafe { read(self.fd, buf.as_mut_ptr(), buf.len()) };
+            if n as usize != SIGINFO_LEN {
+                return None;
+            }
+            // ssi_signo is the struct's first field, a little-endian u32.
+            Some(u32::from_ne_bytes([buf[0], buf[1], buf[2], buf[3]]) as i32)
+        }
+    }
+
+    impl Drop for SignalFd {
+        fn drop(&mut self) {
+            unsafe { close(self.fd) };
+        }
+    }
+
+    /// Sends `sig` to process `pid` (`kill(2)`).
+    pub fn kill_process(pid: u32, sig: i32) -> io::Result<()> {
+        cvt(unsafe { kill(pid as i32, sig) }).map(|_| ())
+    }
+
+    /// Sends `sig` to the calling thread (`raise(3)`). With the signal
+    /// blocked it stays pending for this thread, where a [`SignalFd`]
+    /// read from the same thread picks it up — the self-test hook.
+    pub fn raise_signal(sig: i32) -> io::Result<()> {
+        cvt(unsafe { raise(sig) }).map(|_| ())
+    }
 }
 
 #[cfg(not(target_os = "linux"))]
@@ -269,9 +364,40 @@ mod sys {
         /// Unreachable (no instance can exist).
         pub fn drain(&self) {}
     }
+
+    /// Stub signalfd for non-Linux targets.
+    #[derive(Debug)]
+    pub struct SignalFd {}
+
+    impl SignalFd {
+        /// Always fails off Linux.
+        pub fn new(_signals: &[i32]) -> io::Result<SignalFd> {
+            unsupported()
+        }
+
+        /// Unreachable (no instance can exist).
+        pub fn as_raw_fd(&self) -> RawFd {
+            -1
+        }
+
+        /// Unreachable (no instance can exist).
+        pub fn try_take(&self) -> Option<i32> {
+            None
+        }
+    }
+
+    /// Always fails off Linux.
+    pub fn kill_process(_pid: u32, _sig: i32) -> io::Result<()> {
+        unsupported()
+    }
+
+    /// Always fails off Linux.
+    pub fn raise_signal(_sig: i32) -> io::Result<()> {
+        unsupported()
+    }
 }
 
-pub use sys::{Epoll, EventFd};
+pub use sys::{kill_process, raise_signal, Epoll, EventFd, SignalFd};
 
 /// Whether the epoll transport can run on this target.
 pub fn supported() -> bool {
@@ -369,6 +495,30 @@ mod tests {
         (&client).write_all(b"x").unwrap();
         assert_eq!(ep.wait(&mut events, 2000).unwrap(), 1);
         drop(client);
+    }
+
+    #[test]
+    fn signalfd_delivers_a_self_raised_signal() {
+        // SIGUSR1, raised thread-directed at this test thread: the
+        // blocked mask makes it pend here instead of running its default
+        // disposition, and the signalfd read (same thread) takes it.
+        const SIGUSR1: i32 = 10;
+        let sfd = SignalFd::new(&[SIGUSR1]).unwrap();
+        assert_eq!(sfd.try_take(), None, "nothing pending yet");
+
+        raise_signal(SIGUSR1).unwrap();
+        let deadline = Instant::now() + Duration::from_secs(2);
+        loop {
+            match sfd.try_take() {
+                Some(s) => {
+                    assert_eq!(s, SIGUSR1);
+                    break;
+                }
+                None if Instant::now() < deadline => std::thread::yield_now(),
+                None => panic!("signal never arrived on the signalfd"),
+            }
+        }
+        assert_eq!(sfd.try_take(), None, "drained");
     }
 
     #[test]

@@ -42,5 +42,8 @@ pub use database::{Database, IndexLevel};
 pub use dataguide::{AttributeFact, DataGuide, GuideNode};
 pub use error::RepoError;
 pub use index::{ExtensionIndex, IndexSet, SchemaIndex, ValueIndex};
-pub use pager::{PagedRepo, PagedSnapshot, PagerConfig, PagerStats};
+pub use pager::{
+    committed_wal_deltas, committed_wal_deltas_with, replay_committed, replay_committed_with,
+    PagedRepo, PagedSnapshot, PagerConfig, PagerStats, ReplayedStore,
+};
 pub use stats::{LabelStats, Stats};

@@ -1025,6 +1025,14 @@ impl PagedRepo {
         let (h, m, e, w) = st.pool.local_stats();
         (st.pool.occupancy(), st.pool.capacity(), h, m, e, w)
     }
+
+    /// Whether an earlier write failure poisoned the store: reads keep
+    /// working from committed state, every write fails until the store
+    /// is reopened (which recovers from the log). Health endpoints
+    /// surface this so a supervisor can recycle the process.
+    pub fn is_poisoned(&self) -> bool {
+        self.lock().poisoned
+    }
 }
 
 /// A consistent MVCC read view of a [`PagedRepo`] at one commit epoch.
@@ -1222,6 +1230,199 @@ impl Drop for PagedSnapshot {
     }
 }
 
+// ---- read-only reopen-for-replay ------------------------------------
+//
+// A second process can rebuild the graph a paged store holds without
+// taking the store's files for writing: read the manifest's consistent
+// cut with raw page reads (never through a buffer pool, whose evictions
+// write), then apply the WAL's post-checkpoint deltas in memory. Shadow
+// paging makes the concurrent read safe — a live writer never
+// overwrites a page the durable manifest references — and the
+// generation stamps shared by manifest and WAL detect the one unsafe
+// window (a checkpoint landing mid-read), which is simply retried.
+// This is how cluster shard workers recover after a crash: full replay
+// on start, then WAL-suffix catch-up per delta.
+
+/// A read-only materialization of a paged store's committed state.
+#[derive(Debug)]
+pub struct ReplayedStore {
+    /// The store's graph: checkpoint cut plus every complete WAL delta.
+    pub graph: Graph,
+    /// The manifest generation the replay observed.
+    pub generation: u64,
+    /// WAL deltas applied on top of the checkpoint cut.
+    pub wal_deltas: u64,
+}
+
+/// Replays the committed state of the paged store in `dir` read-only on
+/// the real filesystem. See [`replay_committed_with`].
+pub fn replay_committed(dir: &Path) -> Result<ReplayedStore, RepoError> {
+    replay_committed_with(&RealVfs, dir)
+}
+
+/// Replays the committed state of the paged store in `dir` read-only:
+/// no file is created, written, or truncated, so a live [`PagedRepo`]
+/// in another process keeps committing concurrently. A torn WAL tail is
+/// ignored (its delta never committed); a checkpoint racing the read is
+/// detected by generation mismatch and retried a few times.
+pub fn replay_committed_with(vfs: &dyn Vfs, dir: &Path) -> Result<ReplayedStore, RepoError> {
+    let mut last = None;
+    for _ in 0..5 {
+        match replay_committed_once(vfs, dir) {
+            Ok(Some(r)) => return Ok(r),
+            // The manifest advanced between our manifest and WAL reads.
+            Ok(None) => continue,
+            // A checkpoint freed and reused pages under the read; the
+            // self-identifying page format caught it. Retry from the new
+            // manifest.
+            Err(e @ RepoError::Corrupt { .. }) => last = Some(e),
+            Err(e) => return Err(e),
+        }
+    }
+    Err(last.unwrap_or_else(|| {
+        corrupt(0, "replay_committed: manifest generation kept advancing")
+    }))
+}
+
+/// The WAL deltas currently committed past the checkpoint of the store
+/// in `dir`, with the generation they extend — the cheap catch-up read
+/// a replica performs per delta (the full replay only on restart). A
+/// torn trailing record is ignored, not an error: its commit never
+/// completed, and the writer will retry or truncate it.
+pub fn committed_wal_deltas(dir: &Path) -> Result<(u64, Vec<GraphDelta>), RepoError> {
+    committed_wal_deltas_with(&RealVfs, dir)
+}
+
+/// See [`committed_wal_deltas`].
+pub fn committed_wal_deltas_with(
+    vfs: &dyn Vfs,
+    dir: &Path,
+) -> Result<(u64, Vec<GraphDelta>), RepoError> {
+    let report = wal::replay_report_with(vfs, &dir.join(WAL_FILE))?;
+    if report.torn_header {
+        return Ok((0, Vec::new()));
+    }
+    Ok((report.generation, report.deltas))
+}
+
+fn replay_committed_once(vfs: &dyn Vfs, dir: &Path) -> Result<Option<ReplayedStore>, RepoError> {
+    let m = read_manifest(vfs, &dir.join(MANIFEST_FILE))?;
+    let page_size = m.page_size as usize;
+    let mut pages = vfs.open_rw(&dir.join(PAGES_FILE))?;
+    let read_segment = |file: &mut Box<dyn crate::vfs::VfsRandomFile>,
+                        entry: &(SegKey, u64, Vec<u32>)|
+     -> Result<Vec<u8>, RepoError> {
+        let (key, len, page_nos) = entry;
+        let mut bytes = Vec::with_capacity(*len as usize);
+        for &p in page_nos {
+            let mut buf = vec![0u8; page_size];
+            let mut got = 0usize;
+            while got < page_size {
+                let n = file.read_at(&mut buf[got..], p as u64 * page_size as u64 + got as u64)?;
+                if n == 0 {
+                    return Err(corrupt(
+                        p as u64 * page_size as u64,
+                        format!("page {p} of segment {key:?} truncated"),
+                    ));
+                }
+                got += n;
+            }
+            bytes.extend_from_slice(page::decode_page(&buf, p, page_size)?.payload);
+        }
+        if bytes.len() < *len as usize {
+            return Err(corrupt(
+                0,
+                format!("segment {key:?} reassembled short: {} of {len}", bytes.len()),
+            ));
+        }
+        bytes.truncate(*len as usize);
+        Ok(bytes)
+    };
+
+    // The checkpoint cut, assembled exactly as PagedSnapshot::materialize
+    // does: labels in intern order, node segments truncated to the
+    // visible count, then edges, then collections in creation order.
+    let mut catalog = Catalog::default();
+    for entry in &m.entries {
+        if entry.0 == SegKey::Catalog {
+            catalog = decode_catalog(&read_segment(&mut pages, entry)?)?;
+        }
+    }
+    let mut g = Graph::new();
+    for l in &catalog.labels {
+        g.intern_label(l);
+    }
+    let nps = m.nodes_per_segment as u64;
+    let seg_count = catalog.node_count.div_ceil(nps);
+    let mut segments: Vec<Vec<NodeRec>> = Vec::with_capacity(seg_count as usize);
+    for seg in 0..seg_count {
+        let entry = m
+            .entries
+            .iter()
+            .find(|(k, _, _)| *k == SegKey::Nodes(seg as u32))
+            .ok_or_else(|| corrupt(0, format!("missing node segment {seg}")))?;
+        let mut recs = decode_nodes(&read_segment(&mut pages, entry)?)?;
+        let visible = (catalog.node_count - seg * nps).min(nps) as usize;
+        recs.truncate(visible);
+        for rec in &recs {
+            match &rec.name {
+                Some(n) => {
+                    g.add_named_node(n);
+                }
+                None => {
+                    g.add_node();
+                }
+            }
+        }
+        segments.push(recs);
+    }
+    for (seg, recs) in segments.iter().enumerate() {
+        for (i, rec) in recs.iter().enumerate() {
+            let from = Oid::from_index(seg * nps as usize + i);
+            for (l, to) in &rec.edges {
+                g.add_edge(from, Label::from_index(*l as usize), to.clone());
+            }
+        }
+    }
+    for (cid, name) in catalog.collections.iter().enumerate() {
+        let gcid = g.intern_collection(name);
+        if let Some(entry) = m
+            .entries
+            .iter()
+            .find(|(k, _, _)| *k == SegKey::Collection(cid as u32))
+        {
+            for member in decode_members(&read_segment(&mut pages, entry)?)? {
+                g.collect(gcid, member);
+            }
+        }
+    }
+    drop(pages);
+
+    // Post-checkpoint deltas from the WAL. Older generation (or torn
+    // header): a checkpoint completed after the log was written — the
+    // cut above already holds those deltas. Newer: the manifest advanced
+    // between our two reads — retry from the fresh manifest.
+    let report = wal::replay_report_with(vfs, &dir.join(WAL_FILE))?;
+    let deltas = if report.torn_header || report.generation < m.generation {
+        Vec::new()
+    } else if report.generation > m.generation {
+        return Ok(None);
+    } else {
+        report.deltas
+    };
+    let wal_deltas = deltas.len() as u64;
+    for delta in &deltas {
+        delta.apply(&mut g).map_err(|e| {
+            corrupt(0, format!("committed wal delta does not apply: {e}"))
+        })?;
+    }
+    Ok(Some(ReplayedStore {
+        graph: g,
+        generation: m.generation,
+        wal_deltas,
+    }))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1339,6 +1540,83 @@ mod tests {
         assert_eq!(repo.generation(), 1);
         let got = repo.snapshot().materialize().unwrap();
         assert_eq!(graph_bytes(&got), graph_bytes(&shadow_of(&deltas)));
+    }
+
+    #[test]
+    fn read_only_replay_matches_live_store_while_it_stays_open() {
+        let dir = tmp_dir("ro-replay");
+        let repo = PagedRepo::open(&dir, small_cfg()).unwrap();
+        let deltas = build_deltas();
+        for d in &deltas {
+            repo.apply_delta(d).unwrap();
+        }
+        // Replay concurrently with the live writer — no close, no lock.
+        let replayed = replay_committed(&dir).unwrap();
+        assert_eq!(replayed.generation, 0);
+        assert_eq!(replayed.wal_deltas, deltas.len() as u64);
+        assert_eq!(
+            graph_bytes(&replayed.graph),
+            graph_bytes(&shadow_of(&deltas))
+        );
+        // The live store is untouched by the read-only pass.
+        let got = repo.snapshot().materialize().unwrap();
+        assert_eq!(graph_bytes(&got), graph_bytes(&shadow_of(&deltas)));
+    }
+
+    #[test]
+    fn read_only_replay_after_checkpoint_reads_the_cut_plus_wal_suffix() {
+        let dir = tmp_dir("ro-ckpt");
+        let deltas = build_deltas();
+        let repo = PagedRepo::open(&dir, small_cfg()).unwrap();
+        for d in &deltas[..2] {
+            repo.apply_delta(d).unwrap();
+        }
+        repo.checkpoint().unwrap();
+        for d in &deltas[2..] {
+            repo.apply_delta(d).unwrap();
+        }
+        let replayed = replay_committed(&dir).unwrap();
+        assert_eq!(replayed.generation, 1);
+        assert_eq!(replayed.wal_deltas, (deltas.len() - 2) as u64);
+        assert_eq!(
+            graph_bytes(&replayed.graph),
+            graph_bytes(&shadow_of(&deltas))
+        );
+    }
+
+    #[test]
+    fn read_only_replay_of_a_fresh_store_is_empty() {
+        let dir = tmp_dir("ro-empty");
+        let _repo = PagedRepo::open(&dir, small_cfg()).unwrap();
+        let replayed = replay_committed(&dir).unwrap();
+        assert_eq!(replayed.wal_deltas, 0);
+        assert_eq!(replayed.graph.node_count(), 0);
+    }
+
+    #[test]
+    fn committed_wal_deltas_exposes_the_catchup_suffix() {
+        let dir = tmp_dir("ro-catchup");
+        let deltas = build_deltas();
+        let repo = PagedRepo::open(&dir, small_cfg()).unwrap();
+        for d in &deltas[..2] {
+            repo.apply_delta(d).unwrap();
+        }
+        repo.checkpoint().unwrap();
+        let (generation, suffix) = committed_wal_deltas(&dir).unwrap();
+        assert_eq!(generation, 1);
+        assert!(suffix.is_empty());
+        for d in &deltas[2..] {
+            repo.apply_delta(d).unwrap();
+        }
+        let (generation, suffix) = committed_wal_deltas(&dir).unwrap();
+        assert_eq!(generation, 1);
+        assert_eq!(suffix.len(), deltas.len() - 2);
+        // The suffix applies on top of a replica that replayed the cut.
+        let mut g = shadow_of(&deltas[..2]);
+        for d in &suffix {
+            d.apply(&mut g).unwrap();
+        }
+        assert_eq!(graph_bytes(&g), graph_bytes(&shadow_of(&deltas)));
     }
 
     #[test]

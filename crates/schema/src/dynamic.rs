@@ -779,6 +779,43 @@ impl DynamicSite {
         })
     }
 
+    /// Replaces the live database wholesale — the recovery path when a
+    /// replica rebuilds a shard from the committed store rather than by
+    /// incremental deltas. The standby lineage is discarded (its lag no
+    /// longer describes the new snapshot), every cached page is dropped,
+    /// and the epoch bump invalidates in-flight computations. Locks are
+    /// taken poison-tolerantly: this runs precisely when a panic may
+    /// have poisoned them, and the guarded state (plain maps/Arcs) stays
+    /// structurally sound across a panic.
+    pub fn reset_to(&self, db: Arc<Database>) {
+        let mut standby = self.standby.lock().unwrap_or_else(|e| e.into_inner());
+        let new_epoch = {
+            let mut live = self.db.write().unwrap_or_else(|e| e.into_inner());
+            let e = self.epoch.fetch_add(1, Ordering::AcqRel) + 1;
+            *live = db;
+            e
+        };
+        standby.db = None;
+        standby.lag.clear();
+        drop(standby);
+        self.flush_prepared_poisoned_ok(new_epoch);
+        let mut evicted = 0;
+        for shard in &self.shards {
+            let mut map = shard.write().unwrap_or_else(|e| e.into_inner());
+            evicted += map.len();
+            map.clear();
+        }
+        self.evictions.fetch_add(evicted, Ordering::Relaxed);
+    }
+
+    fn flush_prepared_poisoned_ok(&self, new_epoch: u64) {
+        let mut c = self.prepared.write().unwrap_or_else(|e| e.into_inner());
+        if c.epoch < new_epoch {
+            c.map.clear();
+            c.epoch = new_epoch;
+        }
+    }
+
     /// Drops every cached page (e.g. after out-of-band database surgery).
     pub fn clear_cache(&self) {
         let mut evicted = 0;

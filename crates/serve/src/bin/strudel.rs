@@ -33,7 +33,7 @@
 //! strudel serve <dir> [--addr A] [--workers N] [--shards S] [--mode M]
 //!                     [--warm W] [--slow-us T] [--backlog B] [--trace]
 //!                     [--transport threads|epoll] [--keepalive-secs S]
-//!                     [--max-connections N]
+//!                     [--max-connections N] [--cluster N]
 //!                     [--store DIR] [--pool-pages N] [--page-size B]
 //!                                     serve the site at click time:
 //!                                     pages computed on demand, cached,
@@ -69,7 +69,23 @@
 //!                                      reopened after that; deltas
 //!                                      commit write-through; --pool-pages
 //!                                      and --page-size size its buffer
-//!                                      pool)
+//!                                      pool;
+//!                                      --cluster N supervises N shard
+//!                                      worker *processes* — crash-
+//!                                      isolated, restarted with backoff,
+//!                                      WAL-replay recovery from the
+//!                                      shared --store, degraded last-
+//!                                      known-good responses while a
+//!                                      worker is down — requires --store)
+//! ```
+//!
+//! There is also a hidden `shard-worker` verb — the body of one cluster
+//! worker process. The supervisor spawns it; it is not part of the
+//! user-facing surface:
+//!
+//! ```text
+//! strudel shard-worker <dir> --shard I --of N --store DIR
+//!                            --ready-file PATH [--mode M]
 //! strudel explain <dir>               print, for every root page, each
 //!                                     schema edge's chosen plan with the
 //!                                     optimizer's cardinality estimates
@@ -102,7 +118,7 @@ fn run(args: &[String]) -> Result<(), String> {
          [--mode <naive|context|lookahead>] [--warm <n|auto>] [--slow-us <t>] \
          [--backlog <n>] [--transport <threads|epoll>] [--keepalive-secs <s>] \
          [--max-connections <n>] [--trace] [--store <dir>] [--pool-pages <n>] \
-         [--page-size <bytes>]";
+         [--page-size <bytes>] [--cluster <n>]";
     let command = args.first().ok_or(usage)?;
     let dir = PathBuf::from(args.get(1).ok_or(usage)?);
     let outdir = match args.iter().position(|a| a == "-o") {
@@ -218,9 +234,37 @@ fn run(args: &[String]) -> Result<(), String> {
             );
             Ok(())
         }
+        "shard-worker" => {
+            // Hidden: one supervised cluster worker (see the module docs).
+            let built = site.build().map_err(|e| e.to_string())?;
+            let flag = |name: &str| {
+                args.iter()
+                    .position(|a| a == name)
+                    .and_then(|i| args.get(i + 1).cloned())
+            };
+            let need = |name: &str| flag(name).ok_or(format!("shard-worker needs {name}"));
+            let shard: usize = need("--shard")?
+                .parse()
+                .map_err(|_| "--shard needs a number")?;
+            let of: usize = need("--of")?.parse().map_err(|_| "--of needs a number")?;
+            let opts = strudel_serve::cluster::WorkerOptions {
+                shard,
+                of,
+                store_dir: PathBuf::from(need("--store")?),
+                ready_file: PathBuf::from(need("--ready-file")?),
+                mode: parse_mode(flag("--mode").as_deref())?,
+            };
+            strudel_serve::cluster::run_worker(&built, opts)
+        }
         "serve" => {
             let built = site.build().map_err(|e| e.to_string())?;
             report_verifications(&built);
+            // Claim SIGTERM/SIGINT on the main thread before any server
+            // thread exists, so the graceful-drain loop below is the only
+            // place they land.
+            let signals =
+                strudel_epoll::SignalFd::new(&[strudel_epoll::SIGTERM, strudel_epoll::SIGINT])
+                    .ok();
             let flag = |name: &str| {
                 args.iter()
                     .position(|a| a == name)
@@ -231,14 +275,7 @@ fn run(args: &[String]) -> Result<(), String> {
                 Some(w) => w.parse().map_err(|_| "--workers needs a number")?,
                 None => 4,
             };
-            let mode = match flag("--mode").as_deref() {
-                None | Some("context") => strudel::schema::dynamic::Mode::Context,
-                Some("naive") => strudel::schema::dynamic::Mode::Naive,
-                Some("lookahead") => strudel::schema::dynamic::Mode::ContextLookahead,
-                Some(other) => {
-                    return Err(format!("unknown mode '{other}' (naive|context|lookahead)"))
-                }
-            };
+            let mode = parse_mode(flag("--mode").as_deref())?;
             let warm = match flag("--warm").as_deref() {
                 None => None,
                 Some("auto") => Some(strudel::struql::Parallelism::Auto),
@@ -300,7 +337,36 @@ fn run(args: &[String]) -> Result<(), String> {
                     report.elapsed_us as f64 / 1000.0
                 );
             };
-            let server = if shards > 1 {
+            let cluster_workers: Option<usize> = match flag("--cluster") {
+                Some(n) => Some(n.parse().map_err(|_| "--cluster needs a number")?),
+                None => None,
+            };
+            let mut cluster: Option<std::sync::Arc<strudel_serve::ClusterService>> = None;
+            let server = if let Some(n) = cluster_workers {
+                let store = store.ok_or("--cluster requires --store <dir>")?;
+                let store_dir = PathBuf::from(flag("--store").expect("--store checked above"));
+                let binary = std::env::current_exe()
+                    .map_err(|e| format!("locating the strudel binary: {e}"))?;
+                let mut ccfg =
+                    strudel_serve::ClusterConfig::new(n, binary, dir.clone(), store_dir);
+                ccfg.mode = flag("--mode").unwrap_or_else(|| "context".into());
+                let service = strudel_serve::ClusterService::start(store, ccfg)
+                    .map_err(|e| format!("starting cluster: {e}"))?;
+                println!(
+                    "cluster: {} worker processes ready ({} broken)",
+                    service.ready_workers(),
+                    service.broken_workers()
+                );
+                if let Some(parallelism) = warm {
+                    let report = strudel_serve::ClickService::warm(&*service, parallelism)
+                        .map_err(|e| format!("warming cluster cache: {e}"))?;
+                    report_warm(report, parallelism.workers());
+                }
+                let handle = strudel_serve::serve(service.clone(), config)
+                    .map_err(|e| format!("binding server: {e}"))?;
+                cluster = Some(service);
+                handle
+            } else if shards > 1 {
                 let mut service = strudel_serve::ShardedService::new(&built, mode, shards);
                 if let Some(store) = store {
                     service = service.with_paged_store(store);
@@ -336,18 +402,41 @@ fn run(args: &[String]) -> Result<(), String> {
                     .map_err(|e| format!("binding server: {e}"))?
             };
             println!(
-                "serving '{}' at http://{}/ ({workers} workers, {shards} shard{}, {mode:?} \
+                "serving '{}' at http://{}/ ({workers} workers, {}, {mode:?} \
                  evaluation, {} transport; ^C stops)",
                 built.name,
                 server.addr(),
-                if shards == 1 { "" } else { "s" },
+                match (cluster_workers, shards) {
+                    (Some(n), _) => format!("{n} supervised worker processes"),
+                    (None, 1) => "1 shard".to_string(),
+                    (None, s) => format!("{s} shards"),
+                },
                 match transport {
                     strudel_serve::Transport::Threads => "threads",
                     strudel_serve::Transport::Epoll => "epoll",
                 }
             );
-            loop {
-                std::thread::park();
+            match signals {
+                Some(fd) => {
+                    // Graceful drain: wait for SIGTERM/SIGINT, stop
+                    // accepting, finish in-flight requests, reap workers.
+                    let signal = loop {
+                        if let Some(sig) = fd.try_take() {
+                            break sig;
+                        }
+                        std::thread::sleep(std::time::Duration::from_millis(50));
+                    };
+                    println!("signal {signal}: draining and shutting down");
+                    server.shutdown();
+                    if let Some(cluster) = cluster {
+                        cluster.shutdown();
+                    }
+                    Ok(())
+                }
+                // No signalfd on this platform: serve until killed.
+                None => loop {
+                    std::thread::park();
+                },
             }
         }
         "explain" => {
@@ -370,6 +459,16 @@ fn run(args: &[String]) -> Result<(), String> {
             Ok(())
         }
         other => Err(format!("unknown command '{other}'\n{usage}")),
+    }
+}
+
+/// Maps a `--mode` flag value onto the click-time evaluation mode.
+fn parse_mode(flag: Option<&str>) -> Result<strudel::schema::dynamic::Mode, String> {
+    match flag {
+        None | Some("context") => Ok(strudel::schema::dynamic::Mode::Context),
+        Some("naive") => Ok(strudel::schema::dynamic::Mode::Naive),
+        Some("lookahead") => Ok(strudel::schema::dynamic::Mode::ContextLookahead),
+        Some(other) => Err(format!("unknown mode '{other}' (naive|context|lookahead)")),
     }
 }
 

@@ -1,0 +1,112 @@
+//! Restart pacing for crashed workers: exponential backoff with
+//! deterministic jitter.
+//!
+//! The jitter stream is seeded per shard, so a torture run replays the
+//! same restart schedule every time — randomness would make the e2e
+//! kill tests flaky — while still de-synchronizing shards that died
+//! together (each shard's seed differs, so their delays drift apart
+//! instead of thundering back in lockstep).
+
+use std::time::Duration;
+
+/// Exponential backoff: `base * 2^attempt`, capped, with ±25%
+/// deterministic jitter from a per-instance xorshift stream.
+#[derive(Debug)]
+pub struct Backoff {
+    base: Duration,
+    cap: Duration,
+    attempt: u32,
+    rng: u64,
+}
+
+impl Backoff {
+    /// A fresh schedule. `seed` individualizes the jitter stream (use
+    /// the shard index); zero is mapped to a fixed non-zero seed since
+    /// xorshift has a zero fixed point.
+    pub fn new(base: Duration, cap: Duration, seed: u64) -> Self {
+        Backoff {
+            base,
+            cap,
+            attempt: 0,
+            rng: seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).max(1),
+        }
+    }
+
+    /// The next delay: doubles each call until the cap, jittered ±25%.
+    pub fn next_delay(&mut self) -> Duration {
+        let exp = self.attempt.min(16);
+        self.attempt = self.attempt.saturating_add(1);
+        let raw = self
+            .base
+            .saturating_mul(1u32 << exp.min(31))
+            .min(self.cap)
+            .as_micros() as u64;
+        // xorshift64: deterministic, cheap, good enough to spread
+        // restart instants.
+        let mut x = self.rng;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.rng = x;
+        // Map to [75%, 125%] of the raw delay.
+        let jittered = raw / 2 + (x % raw.max(1)) / 2 + raw / 4;
+        Duration::from_micros(jittered)
+    }
+
+    /// Resets the schedule after a worker proved stable (lived past the
+    /// supervisor's minimum uptime).
+    pub fn reset(&mut self) {
+        self.attempt = 0;
+    }
+
+    /// Restart attempts since the last reset.
+    pub fn attempt(&self) -> u32 {
+        self.attempt
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delays_double_until_the_cap_and_jitter_stays_bounded() {
+        let base = Duration::from_millis(100);
+        let cap = Duration::from_secs(3);
+        let mut b = Backoff::new(base, cap, 7);
+        let mut prev_raw = 0u128;
+        for attempt in 0..8u32 {
+            let d = b.next_delay().as_micros();
+            let raw = base
+                .saturating_mul(1 << attempt)
+                .min(cap)
+                .as_micros();
+            assert!(d >= raw * 3 / 4, "attempt {attempt}: {d} < 75% of {raw}");
+            assert!(d <= raw * 5 / 4 + 1, "attempt {attempt}: {d} > 125% of {raw}");
+            assert!(raw >= prev_raw);
+            prev_raw = raw;
+        }
+    }
+
+    #[test]
+    fn schedules_are_deterministic_per_seed_and_differ_across_seeds() {
+        let base = Duration::from_millis(50);
+        let cap = Duration::from_secs(1);
+        let run = |seed| {
+            let mut b = Backoff::new(base, cap, seed);
+            (0..6).map(|_| b.next_delay()).collect::<Vec<_>>()
+        };
+        assert_eq!(run(3), run(3));
+        assert_ne!(run(3), run(4));
+    }
+
+    #[test]
+    fn reset_restarts_the_exponential() {
+        let mut b = Backoff::new(Duration::from_millis(100), Duration::from_secs(3), 1);
+        for _ in 0..5 {
+            b.next_delay();
+        }
+        b.reset();
+        assert!(b.next_delay() <= Duration::from_millis(125 + 1));
+    }
+}

@@ -1,0 +1,636 @@
+//! Supervised multi-process serving: a router parent, N crash-isolated
+//! shard worker processes, degraded-mode failover.
+//!
+//! `strudel serve --cluster N --store DIR` runs this module's
+//! [`ClusterService`] as the front: a supervisor/router that spawns one
+//! `strudel shard-worker` process per shard, routes each request to its
+//! owner worker over loopback by the same stable path hash the
+//! in-process [`crate::ShardedService`] uses
+//! ([`crate::router::shard_of_path`]), and proxies through
+//! [`crate::proto`] with a per-request deadline. No worker holds
+//! durable state: each rebuilds its database by replaying the shared
+//! paged store read-only, which is what makes workers disposable — the
+//! supervisor's whole recovery story is "kill it and let it replay".
+//!
+//! **Failover.** A crashed, hung, or restarting worker never surfaces
+//! as a connection reset. The router keeps a last-known-good cache of
+//! every 200 it has proxied; while a shard is down its routes serve
+//! from that cache with `X-Strudel-Degraded: stale`, and only a path
+//! with no cached rendition answers 503. Kill any worker under load and
+//! every client sees either fresh bytes or a marked-stale copy.
+//!
+//! **Supervision.** Worker health is probed on `/healthz`; crashes
+//! restart with exponential backoff + deterministic jitter
+//! ([`backoff::Backoff`]); a worker that keeps dying within
+//! `min_uptime` of becoming ready trips a crash-loop circuit breaker
+//! and stays down ([`supervisor`]).
+//!
+//! **Writes.** The barrier-epoch semantics of the in-process sharded
+//! service survive the process boundary. The router is the only
+//! writer: a delta validates and commits once in the shared store
+//! (WAL + copy-on-write pages — the cross-process form of the shard-0
+//! validation gate: rejection happens before any worker sees the
+//! delta), then fans out as `GET /internal/catchup?n=<target>` —
+//! worker 0 first, the rest in parallel — and the router retries each
+//! live worker until it reports the target count. A worker that fails
+//! mid-apply is killed and replays the WAL to catch up, so a response
+//! can never mix epochs: every live worker is at the barrier, and a
+//! worker behind it is not routed to.
+//!
+//! Torture-testing hooks: [`fault::FaultPlan`] (env-driven exit / panic
+//! / stall at the Nth request, Nth delta, or startup) and
+//! [`ClusterService::kill_worker`].
+
+pub mod backoff;
+pub mod fault;
+pub mod proxy;
+mod supervisor;
+mod worker;
+
+pub use fault::{FaultAction, FaultPlan, FaultTrigger, FAULT_PLAN_ENV};
+pub use worker::{run_worker, WorkerOptions, WorkerService};
+
+use crate::metrics::ServerMetrics;
+use crate::{router, ClickService, Response, ServeError, WarmupReport};
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, Weak};
+use std::time::{Duration, Instant};
+use strudel_graph::GraphDelta;
+use strudel_struql::Parallelism;
+use supervisor::Slot;
+
+/// Everything that shapes a cluster deployment.
+#[derive(Clone, Debug)]
+pub struct ClusterConfig {
+    /// Shard worker processes.
+    pub workers: usize,
+    /// The `strudel` binary to spawn workers from.
+    pub binary: PathBuf,
+    /// The site directory workers load templates and the site query from.
+    pub site_dir: PathBuf,
+    /// The shared paged store directory (router writes, workers replay).
+    pub store_dir: PathBuf,
+    /// Evaluation mode flag passed to workers (`naive|context|lookahead`).
+    pub mode: String,
+    /// Extra environment for workers (fault plans ride here, explicitly —
+    /// the supervisor never forwards its own ambient environment hooks).
+    pub worker_env: Vec<(String, String)>,
+    /// End-to-end deadline for one proxied request.
+    pub request_deadline: Duration,
+    /// Deadline for supervision probes (`/healthz`, readiness catch-up).
+    pub probe_deadline: Duration,
+    /// How often a ready worker is liveness-probed.
+    pub probe_interval: Duration,
+    /// How long a spawned worker may take to report ready.
+    pub startup_timeout: Duration,
+    /// A death within this long of becoming ready counts a strike.
+    pub min_uptime: Duration,
+    /// Consecutive strikes that trip the crash-loop breaker.
+    pub max_strikes: u32,
+    /// First restart delay (doubles per strike, jittered).
+    pub backoff_base: Duration,
+    /// Restart delay ceiling.
+    pub backoff_cap: Duration,
+    /// How long shutdown waits for SIGTERMed workers before SIGKILL.
+    pub drain_timeout: Duration,
+}
+
+impl ClusterConfig {
+    /// A config with production defaults for the tunables.
+    pub fn new(
+        workers: usize,
+        binary: PathBuf,
+        site_dir: PathBuf,
+        store_dir: PathBuf,
+    ) -> ClusterConfig {
+        ClusterConfig {
+            workers: workers.max(1),
+            binary,
+            site_dir,
+            store_dir,
+            mode: "context".into(),
+            worker_env: Vec::new(),
+            request_deadline: Duration::from_secs(5),
+            probe_deadline: Duration::from_secs(2),
+            probe_interval: Duration::from_millis(500),
+            startup_timeout: Duration::from_secs(30),
+            min_uptime: Duration::from_secs(2),
+            max_strikes: 3,
+            backoff_base: Duration::from_millis(100),
+            backoff_cap: Duration::from_secs(3),
+            drain_timeout: Duration::from_secs(3),
+        }
+    }
+}
+
+/// The router/supervisor front (see module docs). Implements
+/// [`ClickService`], so either transport can carry it unchanged.
+pub struct ClusterService {
+    config: ClusterConfig,
+    /// The shared store; the router is its only writer.
+    store: strudel_repo::PagedRepo,
+    /// Ready files live here, under the store directory.
+    run_dir: PathBuf,
+    slots: Vec<Slot>,
+    /// Committed WAL deltas every live worker must have applied — the
+    /// cross-process barrier epoch.
+    target: AtomicU64,
+    /// Serializes delta writers.
+    writer: Mutex<()>,
+    /// Pre-built per-shard route labels.
+    shard_routes: Vec<String>,
+    metrics: ServerMetrics,
+    /// Last-known-good responses per shard: path → the latest fresh 200.
+    lkg: Vec<Mutex<HashMap<String, Response>>>,
+    degraded_total: AtomicU64,
+    unavailable_total: AtomicU64,
+    proxy_errors_total: AtomicU64,
+    // Transport counters (the ClickService note_* sinks).
+    panics: AtomicU64,
+    shed: AtomicU64,
+    timeout_config_errors: AtomicU64,
+    accept_errors: AtomicU64,
+    open_connections: AtomicU64,
+    keepalive_reuse: AtomicU64,
+    idle_closed: AtomicU64,
+    stop: AtomicBool,
+    monitor: Mutex<Option<std::thread::JoinHandle<()>>>,
+}
+
+impl ClusterService {
+    /// Starts the cluster: spawns every worker, runs the monitor
+    /// thread, and returns once each slot is ready (or its breaker
+    /// tripped). Fails only if *no* worker comes up — a cluster with
+    /// some broken shards still serves the rest, degraded.
+    pub fn start(
+        store: strudel_repo::PagedRepo,
+        config: ClusterConfig,
+    ) -> Result<Arc<ClusterService>, ServeError> {
+        let run_dir = config.store_dir.join("cluster");
+        std::fs::create_dir_all(&run_dir)?;
+        let (_, deltas) = strudel_repo::committed_wal_deltas(&config.store_dir)
+            .map_err(|e| ServeError::Io(std::io::Error::other(format!("reading WAL: {e}"))))?;
+        let n = config.workers;
+        let slots = (0..n)
+            .map(|i| {
+                Slot::new(
+                    i,
+                    backoff::Backoff::new(config.backoff_base, config.backoff_cap, i as u64 + 1),
+                )
+            })
+            .collect();
+        let service = Arc::new(ClusterService {
+            store,
+            run_dir,
+            slots,
+            target: AtomicU64::new(deltas.len() as u64),
+            writer: Mutex::new(()),
+            shard_routes: (0..n).map(|i| format!("shard/{i}")).collect(),
+            metrics: ServerMetrics::new(),
+            lkg: (0..n).map(|_| Mutex::new(HashMap::new())).collect(),
+            degraded_total: AtomicU64::new(0),
+            unavailable_total: AtomicU64::new(0),
+            proxy_errors_total: AtomicU64::new(0),
+            panics: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+            timeout_config_errors: AtomicU64::new(0),
+            accept_errors: AtomicU64::new(0),
+            open_connections: AtomicU64::new(0),
+            keepalive_reuse: AtomicU64::new(0),
+            idle_closed: AtomicU64::new(0),
+            stop: AtomicBool::new(false),
+            monitor: Mutex::new(None),
+            config,
+        });
+
+        // The monitor holds only a Weak: dropping the last user Arc ends
+        // supervision, and Drop below reaps the children.
+        let weak: Weak<ClusterService> = Arc::downgrade(&service);
+        let monitor = std::thread::Builder::new()
+            .name("cluster-monitor".into())
+            .spawn(move || loop {
+                let Some(svc) = weak.upgrade() else { break };
+                if svc.stopping() {
+                    break;
+                }
+                svc.tick();
+                drop(svc);
+                std::thread::sleep(Duration::from_millis(25));
+            })?;
+        *service.monitor.lock().unwrap() = Some(monitor);
+
+        // Wait for the fleet: every slot ready or broken.
+        let deadline = Instant::now()
+            + service.config.startup_timeout
+            + service.config.backoff_cap * service.config.max_strikes;
+        loop {
+            let ready = service.ready_workers();
+            let broken = service.broken_workers();
+            if ready + broken == service.config.workers || Instant::now() >= deadline {
+                if ready == 0 {
+                    service.shutdown();
+                    return Err(ServeError::Io(std::io::Error::other(
+                        "no cluster worker became ready",
+                    )));
+                }
+                return Ok(service);
+            }
+            std::thread::sleep(Duration::from_millis(20));
+        }
+    }
+
+    pub(super) fn stopping(&self) -> bool {
+        self.stop.load(Ordering::Acquire)
+    }
+
+    /// The barrier epoch: committed WAL deltas every live worker holds.
+    pub fn delta_target(&self) -> u64 {
+        self.target.load(Ordering::Acquire)
+    }
+
+    /// Workers currently ready.
+    pub fn ready_workers(&self) -> usize {
+        self.slots
+            .iter()
+            .filter(|s| s.up.load(Ordering::Acquire))
+            .count()
+    }
+
+    /// Workers whose crash-loop breaker is open.
+    pub fn broken_workers(&self) -> usize {
+        self.slots
+            .iter()
+            .filter(|s| s.broken.load(Ordering::Acquire))
+            .count()
+    }
+
+    /// Restarts (spawns beyond the first) of shard `i`'s worker.
+    pub fn worker_restarts(&self, shard: usize) -> u64 {
+        self.slots[shard].restarts.load(Ordering::Acquire).saturating_sub(1)
+    }
+
+    /// The address shard `i`'s worker serves on, while ready.
+    pub fn worker_addr(&self, shard: usize) -> Option<std::net::SocketAddr> {
+        self.slots.get(shard).and_then(|s| s.addr())
+    }
+
+    /// Stops supervision and drains the workers (SIGTERM, bounded wait,
+    /// SIGKILL stragglers). Idempotent.
+    pub fn shutdown(&self) {
+        if self.stop.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        if let Some(t) = self.monitor.lock().unwrap_or_else(|e| e.into_inner()).take() {
+            let _ = t.join();
+        }
+        self.shutdown_workers();
+    }
+
+    /// Applies a delta cluster-wide: commit once in the shared store
+    /// (validation and durability), bump the barrier target, then catch
+    /// every live worker up — worker 0 first, mirroring the in-process
+    /// shard-0 gate ordering, then the rest in parallel. A worker that
+    /// cannot reach the target is killed; its restart replays the WAL,
+    /// which contains the delta. Returns the workers that were caught
+    /// up synchronously.
+    pub fn apply_delta(&self, delta: &GraphDelta) -> Result<ClusterDeltaOutcome, ServeError> {
+        let _writer = self.writer.lock().unwrap_or_else(|e| e.into_inner());
+        self.store.apply_delta(delta)?;
+        let target = self.target.fetch_add(1, Ordering::AcqRel) + 1;
+        let mut caught_up = vec![false; self.slots.len()];
+        caught_up[0] = self.catch_up_worker(0, target);
+        if self.slots.len() > 1 {
+            let rest: Vec<bool> = std::thread::scope(|scope| {
+                let handles: Vec<_> = (1..self.slots.len())
+                    .map(|i| scope.spawn(move || self.catch_up_worker(i, target)))
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().unwrap_or(false))
+                    .collect()
+            });
+            caught_up[1..].copy_from_slice(&rest);
+        }
+        Ok(ClusterDeltaOutcome { target, caught_up })
+    }
+
+    /// Drives one worker to the barrier target. `false` means the
+    /// worker is down or was killed for failing — either way its routes
+    /// degrade until a replacement replays past the target.
+    fn catch_up_worker(&self, shard: usize, target: u64) -> bool {
+        const ATTEMPTS: u32 = 3;
+        for _ in 0..ATTEMPTS {
+            let Some(addr) = self.slots[shard].addr() else {
+                return false;
+            };
+            let path = format!("/internal/catchup?n={target}");
+            match proxy::fetch(addr, &path, self.config.request_deadline) {
+                Ok(resp) if resp.status == 200 => {
+                    if supervisor::parse_applied(&resp.body) >= Some(target) {
+                        return true;
+                    }
+                    // Applied but behind: the WAL read raced the commit.
+                    std::thread::sleep(Duration::from_millis(10));
+                }
+                // A non-200 (the worker's panic backstop answered 500) or
+                // a transport error (crash, stall past the deadline):
+                // this worker failed mid-apply. Kill it — the replay at
+                // restart is the one recovery that is always correct.
+                _ => {
+                    self.kill_worker(shard);
+                    return false;
+                }
+            }
+        }
+        self.kill_worker(shard);
+        false
+    }
+
+    /// Serves one request: route by path hash, proxy to the owner
+    /// worker, fall back to the last-known-good copy (marked stale)
+    /// when the worker can't answer.
+    fn dispatch(&self, path: &str) -> (&str, Response) {
+        let routed = path.split('?').next().unwrap_or(path);
+        match routed {
+            "/metrics" => ("metrics", Response::text(self.stats_text())),
+            "/healthz" => ("healthz", Response::text("ok\n".into())),
+            "/readyz" => ("readyz", self.readyz_response()),
+            _ => {
+                let shard = router::shard_of_path(routed, self.slots.len());
+                (self.shard_routes[shard].as_str(), self.proxy_to(shard, routed))
+            }
+        }
+    }
+
+    fn proxy_to(&self, shard: usize, routed: &str) -> Response {
+        if let Some(addr) = self.slots[shard].addr() {
+            match proxy::fetch(addr, routed, self.config.request_deadline) {
+                Ok(parsed) => {
+                    let response = Response {
+                        status: parsed.status,
+                        content_type: static_content_type(&parsed.content_type),
+                        body: parsed.body,
+                        degraded: parsed.degraded,
+                    };
+                    if response.status == 200 && !response.degraded {
+                        self.lkg[shard]
+                            .lock()
+                            .unwrap_or_else(|e| e.into_inner())
+                            .insert(routed.to_owned(), response.clone());
+                    }
+                    return response;
+                }
+                Err(_) => {
+                    self.proxy_errors_total.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+        // Degraded path: the worker is down or unreachable. Serve the
+        // last fresh copy, marked stale — never a reset.
+        if let Some(mut cached) = self.lkg[shard]
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .get(routed)
+            .cloned()
+        {
+            cached.degraded = true;
+            self.degraded_total.fetch_add(1, Ordering::Relaxed);
+            return cached;
+        }
+        self.unavailable_total.fetch_add(1, Ordering::Relaxed);
+        let mut r = Response::text("shard temporarily unavailable, retry shortly\n".into());
+        r.status = 503;
+        r
+    }
+
+    fn readyz_response(&self) -> Response {
+        let ready = self.ready_workers();
+        let poisoned = self.store.is_poisoned();
+        if ready == self.slots.len() && !poisoned {
+            Response::text("ready\n".into())
+        } else {
+            let mut r = Response::text(format!(
+                "workers {}/{} ready{}\n",
+                ready,
+                self.slots.len(),
+                if poisoned { ", store poisoned" } else { "" }
+            ));
+            r.status = 503;
+            r
+        }
+    }
+
+    /// Aggregated stats in the standard [`crate::ServerStats`] shape.
+    /// Engine and cache sections are zero — those live in the workers,
+    /// behind their own `/metrics`.
+    pub fn stats(&self) -> crate::ServerStats {
+        crate::ServerStats {
+            total: self.metrics.totals(),
+            latency_buckets: self.metrics.total_latency_buckets(),
+            latency_sum_us: self.metrics.total_latency_sum_us(),
+            routes: self.metrics.snapshot(),
+            html_cache: Default::default(),
+            engine: Default::default(),
+            epoch: self.delta_target(),
+            slow_requests: 0,
+            panics: self.panics.load(Ordering::Relaxed),
+            shed: self.shed.load(Ordering::Relaxed),
+            timeout_config_errors: self.timeout_config_errors.load(Ordering::Relaxed),
+            accept_errors: self.accept_errors.load(Ordering::Relaxed),
+            open_connections: self.open_connections.load(Ordering::Relaxed),
+            keepalive_reuse: self.keepalive_reuse.load(Ordering::Relaxed),
+            idle_closed: self.idle_closed.load(Ordering::Relaxed),
+            store_poisoned: self.store.is_poisoned(),
+            trace_counters: Vec::new(),
+            pager: strudel_repo::pager::global_stats(),
+        }
+    }
+
+    /// The `/metrics` body: the standard rows plus the cluster rows.
+    pub fn stats_text(&self) -> String {
+        use std::fmt::Write;
+        let mut out = self.stats().to_text();
+        let _ = writeln!(out, "strudel_cluster_workers {}", self.slots.len());
+        let _ = writeln!(out, "strudel_cluster_delta_epoch {}", self.delta_target());
+        let _ = writeln!(
+            out,
+            "strudel_cluster_degraded_total {}",
+            self.degraded_total.load(Ordering::Relaxed)
+        );
+        let _ = writeln!(
+            out,
+            "strudel_cluster_unavailable_total {}",
+            self.unavailable_total.load(Ordering::Relaxed)
+        );
+        let _ = writeln!(
+            out,
+            "strudel_cluster_proxy_errors_total {}",
+            self.proxy_errors_total.load(Ordering::Relaxed)
+        );
+        for (i, slot) in self.slots.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "strudel_cluster_worker_up{{shard=\"{i}\"}} {}",
+                u64::from(slot.up.load(Ordering::Acquire))
+            );
+            let _ = writeln!(
+                out,
+                "strudel_cluster_worker_restarts_total{{shard=\"{i}\"}} {}",
+                self.worker_restarts(i)
+            );
+            let _ = writeln!(
+                out,
+                "strudel_cluster_worker_broken{{shard=\"{i}\"}} {}",
+                u64::from(slot.broken.load(Ordering::Acquire))
+            );
+        }
+        out
+    }
+
+    /// Crawls the site through the workers to prime the router's
+    /// last-known-good cache: BFS over intra-site links from `/`. After
+    /// this, degraded mode can serve every reachable page.
+    fn crawl_warm(&self) -> Result<WarmupReport, ServeError> {
+        const MAX_PAGES: usize = 10_000;
+        let start = Instant::now();
+        let mut seen: HashSet<String> = HashSet::new();
+        let mut queue: VecDeque<(String, usize)> = VecDeque::new();
+        let mut pages = 0usize;
+        let mut levels = 0usize;
+        seen.insert("/".into());
+        queue.push_back(("/".into(), 0));
+        while let Some((path, level)) = queue.pop_front() {
+            if pages >= MAX_PAGES {
+                break;
+            }
+            let shard = router::shard_of_path(&path, self.slots.len());
+            let response = self.proxy_to(shard, &path);
+            if response.status != 200 {
+                continue;
+            }
+            pages += 1;
+            levels = levels.max(level + 1);
+            for href in extract_hrefs(&response.body) {
+                if seen.insert(href.clone()) {
+                    queue.push_back((href, level + 1));
+                }
+            }
+        }
+        Ok(WarmupReport {
+            pages,
+            levels,
+            elapsed_us: start.elapsed().as_micros().min(u128::from(u64::MAX)) as u64,
+        })
+    }
+}
+
+impl Drop for ClusterService {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// What [`ClusterService::apply_delta`] did.
+#[derive(Clone, Debug)]
+pub struct ClusterDeltaOutcome {
+    /// The barrier target after this delta.
+    pub target: u64,
+    /// Per shard: whether the worker confirmed the target synchronously
+    /// (`false` = down or killed; it replays on restart).
+    pub caught_up: Vec<bool>,
+}
+
+impl ClickService for ClusterService {
+    fn handle(&self, path: &str) -> Response {
+        let start = Instant::now();
+        let (route, response) = self.dispatch(path);
+        let us = start.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
+        self.metrics.record(route, us);
+        response
+    }
+    fn warm(&self, _parallelism: Parallelism) -> Result<WarmupReport, ServeError> {
+        self.crawl_warm()
+    }
+    fn note_panic(&self) {
+        self.panics.fetch_add(1, Ordering::Relaxed);
+    }
+    fn note_shed(&self) {
+        self.shed.fetch_add(1, Ordering::Relaxed);
+    }
+    fn note_timeout_config_error(&self, _err: &std::io::Error) {
+        self.timeout_config_errors.fetch_add(1, Ordering::Relaxed);
+    }
+    fn note_accept_error(&self) {
+        self.accept_errors.fetch_add(1, Ordering::Relaxed);
+    }
+    fn note_conn_opened(&self) {
+        self.open_connections.fetch_add(1, Ordering::Relaxed);
+    }
+    fn note_conn_closed(&self) {
+        let _ = self.open_connections.fetch_update(
+            Ordering::Relaxed,
+            Ordering::Relaxed,
+            |v| Some(v.saturating_sub(1)),
+        );
+    }
+    fn note_keepalive_reuse(&self) {
+        self.keepalive_reuse.fetch_add(1, Ordering::Relaxed);
+    }
+    fn note_idle_closed(&self) {
+        self.idle_closed.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// Maps a proxied `Content-Type` back onto the static strings
+/// [`Response`] carries (this server only ever emits these two).
+fn static_content_type(ct: &str) -> &'static str {
+    match ct {
+        "text/html; charset=utf-8" => "text/html; charset=utf-8",
+        _ => "text/plain; charset=utf-8",
+    }
+}
+
+/// Intra-site links (`href="/..."`) in a rendered page body. Router-
+/// reserved endpoints (`/metrics`, health, debug) are not pages and are
+/// never worth a last-known-good copy.
+fn extract_hrefs(body: &str) -> Vec<String> {
+    const RESERVED: [&str; 4] = ["/metrics", "/healthz", "/readyz", "/debug"];
+    let mut out = Vec::new();
+    let mut rest = body;
+    while let Some(i) = rest.find("href=\"") {
+        rest = &rest[i + 6..];
+        let Some(end) = rest.find('"') else { break };
+        let href = &rest[..end];
+        if href.starts_with('/') && !RESERVED.iter().any(|r| href.starts_with(r)) {
+            out.push(href.split('#').next().unwrap_or(href).to_owned());
+        }
+        rest = &rest[end..];
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hrefs_are_extracted_intra_site_only() {
+        let body = r##"<a href="/page/A">a</a> <a href="http://x/">x</a>
+                       <a href="/data/n1#frag">n</a>"##;
+        assert_eq!(extract_hrefs(body), vec!["/page/A", "/data/n1"]);
+    }
+
+    #[test]
+    fn content_types_map_onto_the_static_set() {
+        assert_eq!(
+            static_content_type("text/html; charset=utf-8"),
+            "text/html; charset=utf-8"
+        );
+        assert_eq!(
+            static_content_type("application/json"),
+            "text/plain; charset=utf-8"
+        );
+    }
+}

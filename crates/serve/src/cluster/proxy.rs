@@ -1,0 +1,141 @@
+//! The router's loopback HTTP client: one request, one connection, one
+//! deadline.
+//!
+//! Connection pooling is deliberately absent. The router ↔ worker hop is
+//! loopback (connect cost is a couple of syscalls), and per-request
+//! connections mean a worker crash can never poison a pooled socket —
+//! the next request simply connects to the restarted worker. Every
+//! stage (connect, write, read) charges against one overall deadline,
+//! so a stalled worker costs the router a bounded wait, not a thread.
+
+use crate::proto::{self, ParsedResponse, ResponseOutcome};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+
+/// Fetches `path` from the worker at `addr` with GET, within `deadline`
+/// end to end. Any error — connect refused, timeout, a torn or
+/// malformed response — comes back as `io::Error`; the caller decides
+/// between degraded service and a kill.
+pub fn fetch(
+    addr: SocketAddr,
+    path: &str,
+    deadline: Duration,
+) -> std::io::Result<ParsedResponse> {
+    let start = Instant::now();
+    let remaining = |start: Instant| -> std::io::Result<Duration> {
+        let left = deadline.saturating_sub(start.elapsed());
+        if left.is_zero() {
+            Err(std::io::Error::new(
+                std::io::ErrorKind::TimedOut,
+                "proxy deadline exhausted",
+            ))
+        } else {
+            Ok(left)
+        }
+    };
+
+    let mut stream = TcpStream::connect_timeout(&addr, remaining(start)?)?;
+    stream.set_nodelay(true)?;
+    stream.set_write_timeout(Some(remaining(start)?))?;
+    stream.write_all(&proto::encode_request("GET", path, false))?;
+
+    let mut buf = Vec::with_capacity(4096);
+    let mut chunk = [0u8; 4096];
+    loop {
+        stream.set_read_timeout(Some(remaining(start)?))?;
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            // Peer closed without completing the response.
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "worker closed mid-response",
+            ));
+        }
+        buf.extend_from_slice(&chunk[..n]);
+        match proto::parse_response(&buf, false) {
+            ResponseOutcome::Complete { response, .. } => return Ok(response),
+            ResponseOutcome::Incomplete => continue,
+            ResponseOutcome::Malformed => {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    "malformed response from worker",
+                ))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    #[test]
+    fn fetch_round_trips_against_a_scripted_peer() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let peer = std::thread::spawn(move || {
+            let (mut s, _) = listener.accept().unwrap();
+            let mut req = Vec::new();
+            let mut chunk = [0u8; 1024];
+            loop {
+                let n = s.read(&mut chunk).unwrap();
+                req.extend_from_slice(&chunk[..n]);
+                if req.windows(4).any(|w| w == b"\r\n\r\n") {
+                    break;
+                }
+            }
+            let body = "<p>w</p>";
+            let head = format!(
+                "HTTP/1.1 200 OK\r\nContent-Type: text/html; charset=utf-8\r\n\
+                 Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+                body.len()
+            );
+            s.write_all(head.as_bytes()).unwrap();
+            String::from_utf8_lossy(&req).into_owned()
+        });
+        let resp = fetch(addr, "/page/X", Duration::from_secs(2)).unwrap();
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.body, "<p>w</p>");
+        let seen = peer.join().unwrap();
+        assert!(seen.starts_with("GET /page/X HTTP/1.1\r\n"), "{seen}");
+        assert!(seen.contains("Connection: close"), "{seen}");
+    }
+
+    #[test]
+    fn a_stalled_peer_times_out_instead_of_hanging() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let peer = std::thread::spawn(move || {
+            // Accept, then say nothing until the client gives up.
+            let (s, _) = listener.accept().unwrap();
+            std::thread::sleep(Duration::from_millis(600));
+            drop(s);
+        });
+        let start = Instant::now();
+        let err = fetch(addr, "/", Duration::from_millis(150)).unwrap_err();
+        assert!(
+            start.elapsed() < Duration::from_millis(500),
+            "deadline respected"
+        );
+        assert!(
+            matches!(
+                err.kind(),
+                std::io::ErrorKind::TimedOut | std::io::ErrorKind::WouldBlock
+            ),
+            "{err:?}"
+        );
+        peer.join().unwrap();
+    }
+
+    #[test]
+    fn refused_connections_error_immediately() {
+        // Bind then drop to find a port with nothing listening.
+        let addr = {
+            let l = TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap()
+        };
+        assert!(fetch(addr, "/", Duration::from_millis(500)).is_err());
+    }
+}

@@ -194,6 +194,7 @@ mod imp {
                                         status: 500,
                                         content_type: "text/plain; charset=utf-8",
                                         body: "internal error\n".into(),
+                                        degraded: false,
                                     },
                                     false,
                                 )

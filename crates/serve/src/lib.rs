@@ -37,6 +37,7 @@
 #![warn(missing_docs)]
 
 pub mod cache;
+pub mod cluster;
 mod event;
 pub mod metrics;
 pub mod proto;
@@ -54,6 +55,7 @@ use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 pub use cache::{CachedPage, HtmlCache};
+pub use cluster::{ClusterConfig, ClusterDeltaOutcome, ClusterService};
 pub use metrics::{CacheSnapshot, RouteSnapshot, ServerMetrics, ServerStats};
 pub use render::RenderedPage;
 pub use server::{serve, ClickService, ServerConfig, ServerHandle, Transport};
@@ -121,6 +123,9 @@ pub struct Response {
     pub content_type: &'static str,
     /// Response body.
     pub body: String,
+    /// Served from a last-known-good cache while the owning worker is
+    /// down; emitted on the wire as `X-Strudel-Degraded: stale`.
+    pub degraded: bool,
 }
 
 impl Response {
@@ -129,6 +134,7 @@ impl Response {
             status: 200,
             content_type: "text/html; charset=utf-8",
             body,
+            degraded: false,
         }
     }
 
@@ -137,6 +143,7 @@ impl Response {
             status: 200,
             content_type: "text/plain; charset=utf-8",
             body,
+            degraded: false,
         }
     }
 
@@ -148,6 +155,7 @@ impl Response {
                 "<html><body><h1>404</h1><p>no page at {}</p></body></html>\n",
                 strudel_template::escape_html(path)
             ),
+            degraded: false,
         }
     }
 
@@ -159,6 +167,7 @@ impl Response {
                 "<html><body><h1>500</h1><pre>{}</pre></body></html>\n",
                 strudel_template::escape_html(&e.to_string())
             ),
+            degraded: false,
         }
     }
 }
@@ -237,6 +246,10 @@ pub struct SiteService {
     /// Fast-path flag so unprobed services never lock the probe table.
     probes_armed: AtomicBool,
     probes: Mutex<HashMap<String, FaultProbe>>,
+    /// Test hook: the next `apply_delta` panics after the store commit,
+    /// modeling an engine-side failure that leaves this replica behind
+    /// its committed store.
+    fail_next_delta: AtomicBool,
     /// Serializes delta application: one writer at a time, so cache
     /// invalidation and snapshot republication can never interleave
     /// between two concurrent deltas.
@@ -276,6 +289,7 @@ impl SiteService {
             idle_closed: AtomicU64::new(0),
             probes_armed: AtomicBool::new(false),
             probes: Mutex::new(HashMap::new()),
+            fail_next_delta: AtomicBool::new(false),
             delta_writer: Mutex::new(()),
             store: None,
         }
@@ -393,6 +407,7 @@ impl SiteService {
                         content_type: "text/html; charset=utf-8",
                         body: "<html><body><h1>500</h1><p>internal error</p></body></html>\n"
                             .into(),
+                        degraded: false,
                     },
                 )
             });
@@ -549,6 +564,14 @@ impl SiteService {
         if path == "/metrics" {
             return ("metrics".into(), Response::text(self.stats().to_text()));
         }
+        if path == "/healthz" {
+            // Liveness: the process answers requests at all. Readiness
+            // below is the one that degrades.
+            return ("healthz".into(), Response::text("ok\n".into()));
+        }
+        if path == "/readyz" {
+            return ("readyz".into(), self.readyz_response());
+        }
         if path == "/debug/trace" {
             return ("debug/trace".into(), Response::text(self.debug_trace_text()));
         }
@@ -690,8 +713,13 @@ impl SiteService {
     pub fn apply_delta(&self, delta: &GraphDelta) -> Result<ServiceInvalidation, ServeError> {
         // Single writer: concurrent deltas serialize here, so the
         // invalidate-and-republish below can never interleave with
-        // another delta's and resurrect an evicted rendition.
-        let _writer = self.delta_writer.lock().unwrap();
+        // another delta's and resurrect an evicted rendition. A poisoned
+        // lock is taken anyway — the guard carries no state, and a
+        // panicked predecessor must not wedge every later delta.
+        let _writer = self
+            .delta_writer
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
         // Durability first: the paged store validates and commits the
         // delta (WAL append, copy-on-write pages) before the in-memory
         // engine swaps snapshots, so a crash never loses an applied
@@ -700,12 +728,50 @@ impl SiteService {
         if let Some(store) = &self.store {
             store.apply_delta(delta)?;
         }
+        if self.fail_next_delta.swap(false, Ordering::AcqRel) {
+            panic!("injected delta fault after store commit");
+        }
         let engine = self.engine.apply_delta(delta)?;
         let html_evicted = self.cache.invalidate(&engine.dirty);
         Ok(ServiceInvalidation {
             engine,
             html_evicted,
         })
+    }
+
+    /// Arms the injected delta fault: the next [`SiteService::apply_delta`]
+    /// panics after the store commit (test hook for the recovery paths).
+    pub fn arm_delta_fault(&self) {
+        self.fail_next_delta.store(true, Ordering::Release);
+    }
+
+    /// Whether an earlier write failure poisoned the attached store.
+    /// Reads keep serving committed state; readiness reports 503 so a
+    /// supervisor can recycle this process.
+    pub fn store_poisoned(&self) -> bool {
+        self.store.as_ref().is_some_and(|s| s.is_poisoned())
+    }
+
+    /// The `/readyz` response: `200` while this replica can both serve
+    /// and accept writes, `503` once its store is poisoned (still
+    /// serving reads — the supervisor decides when to recycle).
+    fn readyz_response(&self) -> Response {
+        if self.store_poisoned() {
+            let mut r = Response::text("store poisoned\n".into());
+            r.status = 503;
+            r
+        } else {
+            Response::text("ready\n".into())
+        }
+    }
+
+    /// Rebuilds this replica's engine from `source`'s live database and
+    /// drops every cached rendition — the recovery path after this
+    /// replica failed mid-delta while its siblings (and the store)
+    /// committed. `source` must hold the target epoch's snapshot.
+    pub fn resync_from(&self, source: &SiteService) {
+        self.engine.reset_to(source.engine.database());
+        self.cache.clear();
     }
 
     /// The `/debug/trace` body: the global trace snapshot (spans,
@@ -791,6 +857,7 @@ impl SiteService {
             open_connections: self.open_connections.load(Ordering::Relaxed),
             keepalive_reuse: self.keepalive_reuse.load(Ordering::Relaxed),
             idle_closed: self.idle_closed.load(Ordering::Relaxed),
+            store_poisoned: self.store_poisoned(),
             trace_counters,
             pager: strudel_repo::pager::global_stats(),
         }

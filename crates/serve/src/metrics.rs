@@ -264,6 +264,9 @@ pub struct ServerStats {
     pub keepalive_reuse: u64,
     /// Keep-alive connections closed by the idle deadline.
     pub idle_closed: u64,
+    /// Whether an earlier write failure poisoned the attached paged
+    /// store (reads keep serving; `/readyz` answers 503).
+    pub store_poisoned: bool,
     /// Global `strudel-trace` counters, sorted by name; empty while
     /// tracing is disabled.
     pub trace_counters: Vec<(String, u64)>,
@@ -408,6 +411,10 @@ impl ServerStats {
             self.keepalive_reuse
         ));
         line(format!("strudel_idle_closed_total {}", self.idle_closed));
+        line(format!(
+            "strudel_store_poisoned {}",
+            u64::from(self.store_poisoned)
+        ));
         line(format!("strudel_pager_hits_total {}", self.pager.hits));
         line(format!("strudel_pager_misses_total {}", self.pager.misses));
         line(format!(
@@ -556,6 +563,7 @@ mod tests {
             open_connections: 12,
             keepalive_reuse: 9,
             idle_closed: 8,
+            store_poisoned: false,
             trace_counters: vec![("serve.request".into(), 7)],
             pager: strudel_repo::PagerStats {
                 hits: 11,
@@ -577,6 +585,7 @@ mod tests {
         assert!(text.contains("strudel_open_connections 12"));
         assert!(text.contains("strudel_keepalive_reuse_total 9"));
         assert!(text.contains("strudel_idle_closed_total 8"));
+        assert!(text.contains("strudel_store_poisoned 0"));
         assert!(text.contains("strudel_trace_counter{name=\"serve.request\"} 7"));
         assert!(text.contains("strudel_route_requests_total{route=\"front\"} 1"));
         assert!(text.contains("strudel_html_cache_hit_rate 0.7500"));
@@ -621,6 +630,7 @@ mod tests {
             open_connections: 0,
             keepalive_reuse: 0,
             idle_closed: 0,
+            store_poisoned: false,
             trace_counters: Vec::new(),
             pager: Default::default(),
         };

@@ -175,6 +175,9 @@ pub fn encode_response(
     if let Some(secs) = retry_after_secs {
         let _ = write!(out, "Retry-After: {secs}\r\n");
     }
+    if response.degraded {
+        let _ = write!(out, "X-Strudel-Degraded: stale\r\n");
+    }
     let _ = write!(
         out,
         "Connection: {}\r\n\r\n",
@@ -186,12 +189,117 @@ pub fn encode_response(
     out
 }
 
+/// Encodes one request head as wire bytes — the client half of the
+/// protocol, used by the cluster router to proxy clicks to its shard
+/// workers over loopback.
+pub fn encode_request(method: &str, path: &str, keep_alive: bool) -> Vec<u8> {
+    format!(
+        "{method} {path} HTTP/1.1\r\nHost: strudel-cluster\r\nConnection: {}\r\n\r\n",
+        if keep_alive { "keep-alive" } else { "close" }
+    )
+    .into_bytes()
+}
+
+/// One response head + body parsed off the wire (the proxy side).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParsedResponse {
+    /// HTTP status code.
+    pub status: u16,
+    /// The `Content-Type` header value, verbatim.
+    pub content_type: String,
+    /// The response body (empty for HEAD).
+    pub body: String,
+    /// Whether the peer marked the response `X-Strudel-Degraded`.
+    pub degraded: bool,
+    /// Whether the peer will serve another request on this connection.
+    pub keep_alive: bool,
+}
+
+/// What [`parse_response`] found in the buffer.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ResponseOutcome {
+    /// Head or declared body still in flight — read more and ask again.
+    Incomplete,
+    /// Not an HTTP/1.x response this module understands.
+    Malformed,
+    /// A complete response; `consumed` bytes belong to it.
+    Complete {
+        /// The parsed response.
+        response: ParsedResponse,
+        /// Bytes of the buffer this response consumed.
+        consumed: usize,
+    },
+}
+
+/// Incrementally parses one response out of `buf`. `head_only` skips
+/// the body wait (a HEAD exchange: `Content-Length` describes the body
+/// that is *not* coming). Responses from this server always carry
+/// `Content-Length`, so a missing one is [`ResponseOutcome::Malformed`].
+pub fn parse_response(buf: &[u8], head_only: bool) -> ResponseOutcome {
+    const MAX_RESPONSE_HEAD: usize = 16 * 1024;
+    let Some(end) = head_end(buf, MAX_RESPONSE_HEAD) else {
+        return if buf.len() >= MAX_RESPONSE_HEAD {
+            ResponseOutcome::Malformed
+        } else {
+            ResponseOutcome::Incomplete
+        };
+    };
+    let text = String::from_utf8_lossy(&buf[..end]);
+    let mut lines = text.split('\n').map(|l| l.strip_suffix('\r').unwrap_or(l));
+    let status_line = lines.next().unwrap_or("");
+    let mut parts = status_line.split_whitespace();
+    let version = parts.next().unwrap_or("");
+    if !version.starts_with("HTTP/1.") {
+        return ResponseOutcome::Malformed;
+    }
+    let Some(status) = parts.next().and_then(|s| s.parse::<u16>().ok()) else {
+        return ResponseOutcome::Malformed;
+    };
+    let mut content_type = String::new();
+    let mut content_length: Option<usize> = None;
+    let mut degraded = false;
+    let mut keep_alive = version == "HTTP/1.1";
+    for line in lines {
+        let Some((name, value)) = line.split_once(':') else {
+            continue;
+        };
+        let value = value.trim();
+        if name.eq_ignore_ascii_case("content-type") {
+            content_type = value.to_owned();
+        } else if name.eq_ignore_ascii_case("content-length") {
+            content_length = value.parse().ok();
+        } else if name.eq_ignore_ascii_case("x-strudel-degraded") {
+            degraded = true;
+        } else if name.eq_ignore_ascii_case("connection") {
+            keep_alive = value.eq_ignore_ascii_case("keep-alive");
+        }
+    }
+    let Some(len) = content_length else {
+        return ResponseOutcome::Malformed;
+    };
+    let body_len = if head_only { 0 } else { len };
+    if buf.len() < end + body_len {
+        return ResponseOutcome::Incomplete;
+    }
+    ResponseOutcome::Complete {
+        response: ParsedResponse {
+            status,
+            content_type,
+            body: String::from_utf8_lossy(&buf[end..end + body_len]).into_owned(),
+            degraded,
+            keep_alive,
+        },
+        consumed: end + body_len,
+    }
+}
+
 /// The `431` answered when a request head outgrows `max` bytes.
 pub fn response_431(max: u64) -> Response {
     Response {
         status: 431,
         content_type: "text/plain; charset=utf-8",
         body: format!("request exceeds {max} bytes\n"),
+        degraded: false,
     }
 }
 
@@ -201,6 +309,7 @@ pub fn response_405() -> Response {
         status: 405,
         content_type: "text/plain; charset=utf-8",
         body: "only GET is supported\n".into(),
+        degraded: false,
     }
 }
 
@@ -210,6 +319,7 @@ pub fn response_400() -> Response {
         status: 400,
         content_type: "text/plain; charset=utf-8",
         body: "malformed request line\n".into(),
+        degraded: false,
     }
 }
 
@@ -220,6 +330,7 @@ pub fn response_408() -> Response {
         status: 408,
         content_type: "text/plain; charset=utf-8",
         body: "timed out reading the request\n".into(),
+        degraded: false,
     }
 }
 
@@ -230,6 +341,7 @@ pub fn response_503() -> Response {
         status: 503,
         content_type: "text/plain; charset=utf-8",
         body: "server is at capacity, retry shortly\n".into(),
+        degraded: false,
     }
 }
 
@@ -366,6 +478,7 @@ mod tests {
             status: 200,
             content_type: "text/html; charset=utf-8",
             body: "<p>hi</p>".into(),
+            degraded: false,
         };
         let bytes = encode_response(&ok, false, true, None);
         let text = String::from_utf8(bytes).unwrap();
@@ -389,5 +502,88 @@ mod tests {
         let text =
             String::from_utf8(encode_response(&response_503(), false, false, Some(7))).unwrap();
         assert!(text.contains("Retry-After: 7\r\n"), "{text}");
+    }
+
+    #[test]
+    fn degraded_responses_carry_the_stale_marker() {
+        let stale = Response {
+            status: 200,
+            content_type: "text/html; charset=utf-8",
+            body: "<p>old</p>".into(),
+            degraded: true,
+        };
+        let text = String::from_utf8(encode_response(&stale, false, false, None)).unwrap();
+        assert!(text.contains("X-Strudel-Degraded: stale\r\n"), "{text}");
+    }
+
+    #[test]
+    fn response_round_trips_through_the_client_side() {
+        let sent = Response {
+            status: 200,
+            content_type: "text/html; charset=utf-8",
+            body: "<p>hi</p>".into(),
+            degraded: true,
+        };
+        let wire = encode_response(&sent, false, true, None);
+        // Incremental: every prefix is Incomplete, the whole is Complete.
+        for cut in 0..wire.len() {
+            assert_eq!(
+                parse_response(&wire[..cut], false),
+                ResponseOutcome::Incomplete,
+                "cut at {cut}"
+            );
+        }
+        let ResponseOutcome::Complete { response, consumed } = parse_response(&wire, false)
+        else {
+            panic!("complete")
+        };
+        assert_eq!(consumed, wire.len());
+        assert_eq!(response.status, 200);
+        assert_eq!(response.content_type, "text/html; charset=utf-8");
+        assert_eq!(response.body, "<p>hi</p>");
+        assert!(response.degraded);
+        assert!(response.keep_alive);
+
+        // HEAD: the head alone completes despite the Content-Length.
+        let head_wire = encode_response(&sent, true, false, None);
+        let ResponseOutcome::Complete { response, consumed } =
+            parse_response(&head_wire, true)
+        else {
+            panic!("complete")
+        };
+        assert_eq!(consumed, head_wire.len());
+        assert!(response.body.is_empty());
+        assert!(!response.keep_alive);
+    }
+
+    #[test]
+    fn malformed_responses_are_rejected_not_misread() {
+        assert_eq!(
+            parse_response(b"SMTP ready\r\n\r\n", false),
+            ResponseOutcome::Malformed
+        );
+        // No Content-Length: this server never emits that.
+        assert_eq!(
+            parse_response(b"HTTP/1.1 200 OK\r\n\r\n", false),
+            ResponseOutcome::Malformed
+        );
+    }
+
+    #[test]
+    fn encoded_requests_parse_back_through_the_server_side() {
+        let wire = encode_request("GET", "/page/X", true);
+        let ParseOutcome::Complete { request, consumed } = parse_request(&wire, 16 * 1024)
+        else {
+            panic!("complete")
+        };
+        assert_eq!(consumed, wire.len());
+        assert_eq!(request.method, "GET");
+        assert_eq!(request.path, "/page/X");
+        assert!(request.keep_alive);
+        let wire = encode_request("GET", "/", false);
+        let ParseOutcome::Complete { request, .. } = parse_request(&wire, 16 * 1024) else {
+            panic!("complete")
+        };
+        assert!(!request.keep_alive);
     }
 }

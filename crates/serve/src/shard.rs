@@ -43,8 +43,13 @@ use strudel_template::TemplateSet;
 /// The result of broadcasting one delta to every shard.
 #[derive(Clone, Debug)]
 pub struct ShardedInvalidation {
-    /// Per-shard outcomes, in shard order.
+    /// Per-shard outcomes, in shard order. A shard that failed mid-apply
+    /// and was rebuilt contributes a default (empty) outcome.
     pub shards: Vec<ServiceInvalidation>,
+    /// Shards that failed (error or panic) after the store and the
+    /// shard-0 gate committed, and were rebuilt wholesale from shard 0's
+    /// post-delta snapshot instead of diverging an epoch behind.
+    pub rebuilt_shards: Vec<usize>,
 }
 
 impl ShardedInvalidation {
@@ -184,6 +189,10 @@ impl ShardedService {
         let routed = path.split('?').next().unwrap_or(path);
         let (route, response) = match routed {
             "/metrics" => ("metrics", Response::text(self.stats_text())),
+            "/healthz" => ("healthz", Response::text("ok\n".into())),
+            // Readiness is answered at the front: the store lives here,
+            // not on the shards, so only the front sees its poisoning.
+            "/readyz" => ("readyz", self.readyz_response()),
             "/debug/trace" => ("debug/trace", Response::text(self.debug_trace_text())),
             _ => {
                 let idx = router::shard_of_path(routed, self.shards.len());
@@ -251,7 +260,10 @@ impl ShardedService {
     /// entirely pre- or entirely post-delta; after this returns, every
     /// shard serves the new epoch.
     pub fn apply_delta(&self, delta: &GraphDelta) -> Result<ShardedInvalidation, ServeError> {
-        let _writer = self.writer.lock().unwrap();
+        // The poisoned-lock guard carries no state; a predecessor that
+        // panicked mid-broadcast was already repaired below, so later
+        // deltas must proceed.
+        let _writer = self.writer.lock().unwrap_or_else(|e| e.into_inner());
         if let Some(store) = &self.store {
             store.apply_delta(delta)?;
         }
@@ -261,6 +273,7 @@ impl ShardedService {
         // shard (or any reader) sees it.
         let first = self.shards[0].apply_delta(delta)?;
         let mut outcomes = vec![first];
+        let mut rebuilt_shards = Vec::new();
         if self.shards.len() > 1 {
             let rest: Vec<_> = std::thread::scope(|scope| {
                 let handles: Vec<_> = self.shards[1..]
@@ -269,20 +282,47 @@ impl ShardedService {
                     .collect();
                 handles.into_iter().map(|h| h.join()).collect()
             });
-            for r in rest {
+            for (i, r) in rest.into_iter().enumerate() {
                 match r {
                     Ok(Ok(outcome)) => outcomes.push(outcome),
-                    Ok(Err(e)) => return Err(e),
-                    Err(_) => {
-                        return Err(ServeError::Io(std::io::Error::other(
-                            "shard delta application panicked",
-                        )))
+                    // Past the gate the delta is committed — the store
+                    // and shard 0 already advanced, so a shard that
+                    // errors or panics here must not strand the barrier
+                    // an epoch behind (its replies would mix epochs with
+                    // its siblings'). Rebuild it wholesale from shard
+                    // 0's post-delta snapshot and carry on.
+                    Ok(Err(_)) | Err(_) => {
+                        let idx = i + 1;
+                        self.shards[idx].resync_from(&self.shards[0]);
+                        outcomes.push(ServiceInvalidation {
+                            engine: Default::default(),
+                            html_evicted: 0,
+                        });
+                        rebuilt_shards.push(idx);
                     }
                 }
             }
         }
         self.deltas.fetch_add(1, Ordering::Release);
-        Ok(ShardedInvalidation { shards: outcomes })
+        Ok(ShardedInvalidation {
+            shards: outcomes,
+            rebuilt_shards,
+        })
+    }
+
+    /// Whether an earlier write failure poisoned the attached store.
+    pub fn store_poisoned(&self) -> bool {
+        self.store.as_ref().is_some_and(|s| s.is_poisoned())
+    }
+
+    fn readyz_response(&self) -> Response {
+        if self.store_poisoned() {
+            let mut r = Response::text("store poisoned\n".into());
+            r.status = 503;
+            r
+        } else {
+            Response::text("ready\n".into())
+        }
     }
 
     /// Aggregated stats in the unsharded [`crate::ServerStats`] shape:
@@ -331,6 +371,7 @@ impl ShardedService {
             open_connections,
             keepalive_reuse,
             idle_closed,
+            store_poisoned: self.store_poisoned(),
             trace_counters,
             pager: strudel_repo::pager::global_stats(),
         }

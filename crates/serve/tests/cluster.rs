@@ -1,0 +1,497 @@
+//! End-to-end supervised-recovery suite for `--cluster` serving: a
+//! router parent, N crash-isolated `shard-worker` processes, WAL-replay
+//! recovery, degraded-mode failover.
+//!
+//! The contract under test, end to end through real processes and real
+//! sockets: SIGKILLing any worker under concurrent keep-alive traffic
+//! drops **zero** client connections — every response is either fresh
+//! or a byte-identical last-known-good copy marked
+//! `X-Strudel-Degraded: stale` — and a recovered worker replays the
+//! shared store's WAL to byte-equality with an oracle that was never
+//! killed.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use strudel_graph::{ddl, Graph, GraphDelta, Oid, Value};
+use strudel_repo::{Database, IndexLevel, PagedRepo, PagerConfig};
+use strudel_schema::dynamic::Mode;
+use strudel_serve::cluster::FAULT_PLAN_ENV;
+use strudel_serve::{
+    proto, serve, ClickService, ClusterConfig, ClusterService, Response, ServerConfig,
+    SiteService, Transport,
+};
+use strudel_template::TemplateSet;
+
+const QUERY: &str = r#"
+    create RootPage()
+    where Articles(x)
+    create ArticlePage(x)
+    link RootPage() -> "story" -> ArticlePage(x)
+    collect Roots(RootPage()), ArticlePages(ArticlePage(x))
+    { where x -> "title" -> t
+      link ArticlePage(x) -> "title" -> t }
+    { where x -> "body" -> b
+      link ArticlePage(x) -> "body" -> b }
+"#;
+
+const ROOT_TMPL: &str = "<html><SFMT story UL ORDER=ascend KEY=title></html>";
+const ARTICLE_TMPL: &str = "<html><h1><SFMT title></h1><p><SFMT body></p></html>";
+
+const SOURCE_DDL: &str = r#"
+    object a1 in Articles { title : "First"; body : "alpha"; }
+    object a2 in Articles { title : "Second"; body : "beta"; }
+    object a3 in Articles { title : "Third"; body : "gamma"; }
+    object a4 in Articles { title : "Fourth"; body : "delta"; }
+    object a5 in Articles { title : "Fifth"; body : "epsilon"; }
+    object a6 in Articles { title : "Sixth"; body : "zeta"; }
+"#;
+
+fn base_graph() -> Graph {
+    ddl::parse(SOURCE_DDL).unwrap()
+}
+
+fn templates() -> TemplateSet {
+    let mut t = TemplateSet::new();
+    t.add_template("article", ARTICLE_TMPL).unwrap();
+    t.add_template("root", ROOT_TMPL).unwrap();
+    t.assign_object("RootPage", "root");
+    t.assign_collection("ArticlePages", "article");
+    t
+}
+
+/// An in-process service over the same site, for byte-equality oracles.
+fn oracle(graph: Graph) -> SiteService {
+    let db = Arc::new(Database::from_graph(graph, IndexLevel::Full));
+    let program = strudel_struql::parse(QUERY).unwrap();
+    SiteService::from_parts(db, &program, templates(), "Roots", Mode::Context)
+}
+
+/// Writes the same site as a directory the `strudel` binary can load —
+/// what each worker process builds its program and templates from. (The
+/// worker's *database* comes from replaying the shared store, so the DDL
+/// here only has to parse; the store is the source of truth.)
+fn write_site_dir(dir: &Path) {
+    std::fs::create_dir_all(dir.join("templates")).unwrap();
+    std::fs::create_dir_all(dir.join("sources")).unwrap();
+    std::fs::write(dir.join("site.struql"), QUERY).unwrap();
+    std::fs::write(
+        dir.join("site.conf"),
+        "root Roots\nobject RootPage root\ncollection ArticlePages article\n",
+    )
+    .unwrap();
+    std::fs::write(dir.join("templates/root.tmpl"), ROOT_TMPL).unwrap();
+    std::fs::write(dir.join("templates/article.tmpl"), ARTICLE_TMPL).unwrap();
+    std::fs::write(dir.join("sources/articles.ddl"), SOURCE_DDL).unwrap();
+}
+
+/// A fresh scratch area: `(site_dir, store_dir)` with the store
+/// bulk-loaded from [`base_graph`].
+fn scratch(tag: &str) -> (PathBuf, PathBuf) {
+    let root = std::env::temp_dir().join(format!(
+        "strudel-cluster-{tag}-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&root);
+    let site_dir = root.join("site");
+    let store_dir = root.join("store");
+    write_site_dir(&site_dir);
+    std::fs::create_dir_all(&store_dir).unwrap();
+    let store = PagedRepo::bulk_load(&store_dir, PagerConfig::default(), &base_graph()).unwrap();
+    drop(store);
+    (site_dir, store_dir)
+}
+
+/// A cluster config tuned for test turnaround: fast restarts, short
+/// probes, the real binary under test.
+fn test_config(workers: usize, site_dir: &Path, store_dir: &Path) -> ClusterConfig {
+    let mut c = ClusterConfig::new(
+        workers,
+        PathBuf::from(env!("CARGO_BIN_EXE_strudel")),
+        site_dir.to_path_buf(),
+        store_dir.to_path_buf(),
+    );
+    c.backoff_base = Duration::from_millis(20);
+    c.backoff_cap = Duration::from_millis(500);
+    c.probe_interval = Duration::from_millis(100);
+    c.min_uptime = Duration::from_millis(300);
+    c
+}
+
+/// Opens the store read-write for the router role.
+fn open_store(store_dir: &Path) -> PagedRepo {
+    PagedRepo::open(store_dir, PagerConfig::default()).unwrap()
+}
+
+/// BFS-crawls every page reachable from `/` through `get`.
+fn crawl(get: &dyn Fn(&str) -> Response) -> Vec<String> {
+    let mut seen = vec!["/".to_string()];
+    let mut queue = vec!["/".to_string()];
+    while let Some(path) = queue.pop() {
+        let response = get(&path);
+        assert_eq!(response.status, 200, "crawl of {path}");
+        let mut rest = response.body.as_str();
+        while let Some(i) = rest.find("href=\"") {
+            rest = &rest[i + 6..];
+            let Some(end) = rest.find('"') else { break };
+            let href = rest[..end].to_string();
+            rest = &rest[end..];
+            let reserved = ["/metrics", "/healthz", "/readyz", "/debug"]
+                .iter()
+                .any(|r| href.starts_with(r));
+            if href.starts_with('/') && !reserved && !seen.contains(&href) {
+                seen.push(href.clone());
+                queue.push(href);
+            }
+        }
+    }
+    seen.sort();
+    seen
+}
+
+/// A deterministic always-applicable delta: one new article per call.
+fn make_delta(k: usize, next_oid: usize) -> GraphDelta {
+    let mut delta = GraphDelta::new();
+    let oid = Oid::from_index(next_oid);
+    delta.add_node(None);
+    delta.add_edge(oid, "title", Value::string(format!("Injected {k:03}").as_str()));
+    delta.add_edge(oid, "body", Value::string(format!("payload {k}").as_str()));
+    delta.collect("Articles", Value::Node(oid));
+    delta
+}
+
+/// Waits until every worker is ready (or panics after `deadline`).
+fn wait_all_ready(cluster: &ClusterService, workers: usize, deadline: Duration) {
+    let start = Instant::now();
+    while cluster.ready_workers() < workers {
+        assert!(
+            start.elapsed() < deadline,
+            "workers never recovered: {}/{} ready",
+            cluster.ready_workers(),
+            workers
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+#[test]
+fn a_cluster_serves_byte_identically_and_degrades_through_a_kill() {
+    let (site_dir, store_dir) = scratch("oracle");
+    let cluster =
+        ClusterService::start(open_store(&store_dir), test_config(2, &site_dir, &store_dir))
+            .unwrap();
+    assert_eq!(cluster.ready_workers(), 2);
+
+    // Warm primes the router's last-known-good cache for every page.
+    let report = ClickService::warm(&*cluster, strudel_struql::Parallelism::Threads(2)).unwrap();
+    assert!(report.pages >= 7, "root + six articles, got {}", report.pages);
+
+    let oracle = oracle(base_graph());
+    let paths = crawl(&|p| cluster.handle(p));
+    assert!(paths.len() >= 7, "crawl found {paths:?}");
+    for path in &paths {
+        let ours = cluster.handle(path);
+        let theirs = oracle.handle(path);
+        assert_eq!(ours.status, theirs.status, "{path}");
+        assert_eq!(ours.body, theirs.body, "{path}");
+        assert!(!ours.degraded, "{path} fresh while both workers live");
+    }
+
+    // Kill the worker that owns "/": the very next response must be the
+    // degraded last-known-good copy — same bytes, marked stale — because
+    // the replacement cannot possibly be ready yet.
+    let shard = strudel_serve::router::shard_of_path("/", 2);
+    assert!(cluster.kill_worker(shard), "a live worker to kill");
+    let degraded = cluster.handle("/");
+    assert_eq!(degraded.status, 200, "degraded, never a reset or 5xx");
+    assert!(degraded.degraded, "stale marker set while the worker is down");
+    assert_eq!(degraded.body, oracle.handle("/").body, "stale bytes are the last good bytes");
+
+    // The supervisor restarts it; service returns to fresh.
+    wait_all_ready(&cluster, 2, Duration::from_secs(60));
+    assert!(cluster.worker_restarts(shard) >= 1, "the kill was supervised");
+    let fresh = cluster.handle("/");
+    assert!(!fresh.degraded, "recovered worker serves fresh again");
+    assert_eq!(fresh.body, oracle.handle("/").body);
+
+    let metrics = cluster.stats_text();
+    assert!(metrics.contains("strudel_cluster_workers 2"), "{metrics}");
+    assert!(metrics.contains("strudel_cluster_degraded_total"), "{metrics}");
+    cluster.shutdown();
+}
+
+#[test]
+fn sigkill_under_keepalive_traffic_drops_zero_connections() {
+    let (site_dir, store_dir) = scratch("torture");
+    let workers = 4;
+    let cluster = ClusterService::start(
+        open_store(&store_dir),
+        test_config(workers, &site_dir, &store_dir),
+    )
+    .unwrap();
+    ClickService::warm(&*cluster, strudel_struql::Parallelism::Threads(2)).unwrap();
+
+    // The cluster router itself behind the epoll keep-alive front.
+    let server = serve(
+        cluster.clone(),
+        ServerConfig {
+            workers: 4,
+            transport: if Transport::Epoll.is_supported() {
+                Transport::Epoll
+            } else {
+                Transport::Threads
+            },
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let addr = server.addr();
+
+    let oracle = oracle(base_graph());
+    let paths = Arc::new(crawl(&|p| cluster.handle(p)));
+    let expected: Arc<Vec<(String, String)>> = Arc::new(
+        paths.iter().map(|p| (p.clone(), oracle.handle(p).body.clone())).collect(),
+    );
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let degraded_seen = Arc::new(AtomicU64::new(0));
+    let fresh_seen = Arc::new(AtomicU64::new(0));
+    let mut clients = Vec::new();
+    for t in 0..4 {
+        let expected = expected.clone();
+        let stop = stop.clone();
+        let degraded_seen = degraded_seen.clone();
+        let fresh_seen = fresh_seen.clone();
+        clients.push(std::thread::spawn(move || -> Result<(), String> {
+            // One keep-alive connection per loop, many requests on it.
+            while !stop.load(Ordering::Acquire) {
+                let mut stream = std::net::TcpStream::connect(addr)
+                    .map_err(|e| format!("connect: {e}"))?;
+                stream
+                    .set_read_timeout(Some(Duration::from_secs(20)))
+                    .unwrap();
+                for (i, (path, want)) in expected.iter().enumerate() {
+                    if stop.load(Ordering::Acquire) {
+                        break;
+                    }
+                    let keep_alive = i + 1 < expected.len();
+                    stream
+                        .write_all(&proto::encode_request("GET", path, keep_alive))
+                        .map_err(|e| format!("client {t} write {path}: {e} (dropped!)"))?;
+                    let mut buf = Vec::new();
+                    let mut chunk = [0u8; 4096];
+                    let response = loop {
+                        let n = stream
+                            .read(&mut chunk)
+                            .map_err(|e| format!("client {t} read {path}: {e} (dropped!)"))?;
+                        if n == 0 {
+                            return Err(format!("client {t} reset mid-response on {path}"));
+                        }
+                        buf.extend_from_slice(&chunk[..n]);
+                        match proto::parse_response(&buf, false) {
+                            proto::ResponseOutcome::Complete { response, .. } => break response,
+                            proto::ResponseOutcome::Incomplete => continue,
+                            proto::ResponseOutcome::Malformed => {
+                                return Err(format!("client {t} malformed response on {path}"))
+                            }
+                        }
+                    };
+                    if response.status != 200 {
+                        return Err(format!(
+                            "client {t} got {} on {path} (want fresh or degraded 200)",
+                            response.status
+                        ));
+                    }
+                    if response.body != *want {
+                        return Err(format!("client {t} got wrong bytes on {path}"));
+                    }
+                    if response.degraded {
+                        degraded_seen.fetch_add(1, Ordering::Relaxed);
+                    } else {
+                        fresh_seen.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }
+            Ok(())
+        }));
+    }
+
+    // The torture: SIGKILL every worker in turn, under full traffic,
+    // waiting for recovery between kills so each kill hits a live fleet.
+    for shard in 0..workers {
+        wait_all_ready(&cluster, workers, Duration::from_secs(60));
+        assert!(cluster.kill_worker(shard), "worker {shard} was alive to kill");
+        std::thread::sleep(Duration::from_millis(300));
+    }
+    wait_all_ready(&cluster, workers, Duration::from_secs(60));
+
+    stop.store(true, Ordering::Release);
+    for client in clients {
+        client.join().unwrap().expect("no client ever saw a drop, reset, or wrong bytes");
+    }
+    assert!(
+        fresh_seen.load(Ordering::Relaxed) > 0,
+        "traffic actually flowed"
+    );
+    assert!(
+        degraded_seen.load(Ordering::Relaxed) > 0,
+        "at least one response was served from the last-known-good cache \
+         while a worker was down"
+    );
+    for shard in 0..workers {
+        assert!(cluster.worker_restarts(shard) >= 1, "worker {shard} was restarted");
+    }
+    server.shutdown();
+    cluster.shutdown();
+}
+
+#[test]
+fn a_worker_killed_mid_delta_replays_the_wal_to_byte_equality() {
+    let (site_dir, store_dir) = scratch("middelta");
+    let mut config = test_config(2, &site_dir, &store_dir);
+    // Worker 1 exits while applying its second catch-up delta — after
+    // the store committed, before its in-memory state swapped.
+    config
+        .worker_env
+        .push((FAULT_PLAN_ENV.to_string(), "shard=1;exit;at=delta:2".to_string()));
+    let cluster = ClusterService::start(open_store(&store_dir), config).unwrap();
+
+    let oracle = oracle(base_graph());
+    let base_nodes = base_graph().node_count();
+    let mut outcomes = Vec::new();
+    for k in 0..3 {
+        let delta = make_delta(k, base_nodes + k);
+        outcomes.push(cluster.apply_delta(&delta).unwrap());
+        oracle.apply_delta(&delta).unwrap();
+    }
+    assert!(outcomes[0].caught_up.iter().all(|c| *c), "delta 1 lands everywhere");
+    assert!(
+        !outcomes[1].caught_up[1],
+        "delta 2 found worker 1 dead mid-apply: {outcomes:?}"
+    );
+
+    // The reborn worker replays the full WAL — all three deltas — and
+    // must byte-equal the oracle that was never killed.
+    wait_all_ready(&cluster, 2, Duration::from_secs(60));
+    assert!(cluster.worker_restarts(1) >= 1);
+    assert_eq!(cluster.delta_target(), 3);
+    let paths = crawl(&|p| oracle.handle(p));
+    assert!(
+        paths.iter().any(|p| oracle.handle(p).body.contains("Injected 002")),
+        "the oracle saw every delta"
+    );
+    for path in &paths {
+        let ours = cluster.handle(path);
+        assert!(!ours.degraded, "{path} served fresh after recovery");
+        assert_eq!(ours.body, oracle.handle(path).body, "{path}");
+    }
+    cluster.shutdown();
+}
+
+#[test]
+fn a_worker_crash_looping_at_startup_trips_the_breaker() {
+    let (site_dir, store_dir) = scratch("breaker");
+    let mut config = test_config(2, &site_dir, &store_dir);
+    config.max_strikes = 2;
+    config
+        .worker_env
+        .push((FAULT_PLAN_ENV.to_string(), "shard=1;exit;at=start".to_string()));
+    let cluster = ClusterService::start(open_store(&store_dir), config).unwrap();
+
+    // Worker 0 serves; worker 1 died at boot twice and the breaker
+    // opened instead of burning restarts forever.
+    assert_eq!(cluster.ready_workers(), 1);
+    assert_eq!(cluster.broken_workers(), 1);
+    assert!(cluster.worker_addr(1).is_none());
+    let restarts_at_break = cluster.worker_restarts(1);
+    std::thread::sleep(Duration::from_millis(300));
+    assert_eq!(
+        cluster.worker_restarts(1),
+        restarts_at_break,
+        "an open breaker spawns nothing"
+    );
+
+    // Routes owned by the broken shard answer 503 (no cached rendition
+    // was ever taken); the healthy shard's routes still serve; overall
+    // readiness reports the outage.
+    let on_broken = (0..100)
+        .map(|i| format!("/nope/{i}"))
+        .find(|p| strudel_serve::router::shard_of_path(p, 2) == 1)
+        .unwrap();
+    assert_eq!(cluster.handle(&on_broken).status, 503);
+    assert_eq!(cluster.handle("/readyz").status, 503);
+    let metrics = cluster.stats_text();
+    assert!(
+        metrics.contains("strudel_cluster_worker_broken{shard=\"1\"} 1"),
+        "{metrics}"
+    );
+    assert!(
+        metrics.contains("strudel_cluster_worker_broken{shard=\"0\"} 0"),
+        "{metrics}"
+    );
+    if strudel_serve::router::shard_of_path("/", 2) == 0 {
+        assert_eq!(cluster.handle("/").status, 200, "healthy shard unaffected");
+    }
+    cluster.shutdown();
+}
+
+#[test]
+fn serve_drains_gracefully_on_sigterm() {
+    let (site_dir, _store) = scratch("drain");
+    let mut child = std::process::Command::new(env!("CARGO_BIN_EXE_strudel"))
+        .arg("serve")
+        .arg(&site_dir)
+        .args(["--addr", "127.0.0.1:0", "--workers", "2"])
+        .stdout(std::process::Stdio::piped())
+        .spawn()
+        .unwrap();
+    let stdout = child.stdout.take().unwrap();
+    let (tx, rx) = std::sync::mpsc::channel();
+    std::thread::spawn(move || {
+        for line in BufReader::new(stdout).lines().map_while(Result::ok) {
+            let _ = tx.send(line);
+        }
+    });
+    let deadline = Instant::now() + Duration::from_secs(60);
+    let mut lines = Vec::new();
+    let addr = loop {
+        assert!(Instant::now() < deadline, "server never came up: {lines:?}");
+        match rx.recv_timeout(Duration::from_secs(1)) {
+            Ok(line) => {
+                if let Some(rest) = line.split("http://").nth(1) {
+                    break rest.split('/').next().unwrap().to_string();
+                }
+                lines.push(line);
+            }
+            Err(_) => continue,
+        }
+    };
+    let addr: std::net::SocketAddr = addr.parse().unwrap();
+
+    // Serving; then SIGTERM must drain and exit 0 — not abort.
+    let mut s = std::net::TcpStream::connect(addr).unwrap();
+    s.write_all(b"GET / HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n").unwrap();
+    let mut out = String::new();
+    s.read_to_string(&mut out).unwrap();
+    assert!(out.starts_with("HTTP/1.1 200"), "{out}");
+
+    strudel_epoll::kill_process(child.id(), strudel_epoll::SIGTERM).unwrap();
+    let exit_deadline = Instant::now() + Duration::from_secs(30);
+    let status = loop {
+        if let Some(status) = child.try_wait().unwrap() {
+            break status;
+        }
+        assert!(Instant::now() < exit_deadline, "serve never drained after SIGTERM");
+        std::thread::sleep(Duration::from_millis(25));
+    };
+    assert!(status.success(), "graceful drain exits 0, got {status:?}");
+    let drained: Vec<String> = rx.try_iter().collect();
+    assert!(
+        drained.iter().any(|l| l.contains("draining")),
+        "drain announced: {drained:?}"
+    );
+}

@@ -246,3 +246,88 @@ fn a_stalled_header_read_answers_408_not_a_dispatch() {
         server.shutdown();
     }
 }
+
+#[test]
+fn a_poisoned_store_degrades_readiness_but_keeps_serving_reads() {
+    use strudel_graph::{GraphDelta, Oid, Value};
+    use strudel_repo::vfs::{FaultMode, FaultVfs};
+    use strudel_repo::{PagedRepo, PagerConfig};
+
+    for transport in common::transports() {
+        let dir = std::env::temp_dir().join(format!(
+            "strudel-poison-{}-{:?}-{transport:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+
+        let corpus = generate(&NewsConfig {
+            articles: 8,
+            ..Default::default()
+        });
+        let site = news_site(&corpus.pages).build().unwrap();
+        let vfs = Arc::new(FaultVfs::new());
+        let store = PagedRepo::bulk_load_with(
+            vfs.clone(),
+            &dir,
+            PagerConfig::default(),
+            site.database.graph(),
+        )
+        .unwrap();
+        let svc =
+            Arc::new(SiteService::new(&site, Mode::Context).with_paged_store(store));
+        let server = serve(
+            svc.clone(),
+            ServerConfig {
+                workers: 2,
+                transport,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let addr = server.addr();
+
+        assert!(get(addr, "/").starts_with("HTTP/1.1 200"));
+        assert!(get(addr, "/readyz").starts_with("HTTP/1.1 200"), "healthy at first");
+
+        // The next store write fails mid-commit: the WAL/page write that
+        // a checkpoint-shaped delta needs dies under live traffic.
+        let mut delta = GraphDelta::new();
+        delta.add_edge(Oid::from_index(0), "note", Value::string("poison probe"));
+        vfs.arm_fault(vfs.op_count(), FaultMode::Fail);
+        let err = svc.apply_delta(&delta);
+        assert!(err.is_err(), "the failed commit surfaces as an error");
+        assert!(svc.store_poisoned(), "the store is poisoned, not limping");
+
+        // Contract: reads keep serving — a poisoned store must never
+        // become a 500 loop — while readiness flips so a supervisor can
+        // recycle this replica at leisure.
+        for _ in 0..5 {
+            assert!(
+                get(addr, "/").starts_with("HTTP/1.1 200"),
+                "reads keep serving ({transport:?})"
+            );
+        }
+        let readyz = get(addr, "/readyz");
+        assert!(
+            readyz.starts_with("HTTP/1.1 503"),
+            "poisoned readiness is 503 ({transport:?}): {readyz}"
+        );
+        let metrics = get(addr, "/metrics");
+        assert!(
+            metrics.contains("strudel_store_poisoned 1"),
+            "poison visible on /metrics: {metrics}"
+        );
+
+        // Later writes refuse cleanly (no panic, no partial commit) and
+        // reads still serve after each refusal.
+        let mut delta = GraphDelta::new();
+        delta.add_edge(Oid::from_index(1), "note", Value::string("after poison"));
+        assert!(svc.apply_delta(&delta).is_err(), "writes stay refused");
+        assert!(get(addr, "/").starts_with("HTTP/1.1 200"));
+
+        server.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -351,3 +351,44 @@ fn concurrent_clicks_see_pre_or_post_delta_never_a_mix() {
         }
     }
 }
+
+#[test]
+fn a_shard_panicking_mid_apply_is_rebuilt_not_left_an_epoch_behind() {
+    let mut rng = SmallRng::seed_from_u64(7);
+    let graph = base_graph();
+    let single = build_single(graph.clone());
+    let sharded = build_sharded(graph.clone(), 3);
+
+    // Shard 2 panics applying the delta — after the store would have
+    // committed and after shard 0 (the validation gate) swapped. Before
+    // the rebuild path existed this stranded shard 2 an epoch behind its
+    // siblings, serving mixed-epoch responses forever.
+    let delta = mutation_delta(&mut rng, &graph);
+    sharded.shard(2).arm_delta_fault();
+    let outcome = sharded.apply_delta(&delta).expect("the broadcast survives");
+    assert_eq!(outcome.rebuilt_shards, vec![2], "the panicked shard was rebuilt");
+    single.apply_delta(&delta).unwrap();
+
+    // Every shard — including the rebuilt one, asked directly — now
+    // byte-equals the never-faulted oracle.
+    for url in crawl(|u| single.handle(u).body) {
+        let want = single.handle(&url);
+        for i in 0..3 {
+            let got = sharded.shard(i).handle(&url);
+            assert_eq!(
+                (got.status, &got.body),
+                (want.status, &want.body),
+                "shard {i} on {url}"
+            );
+        }
+    }
+
+    // The repaired fleet takes later deltas cleanly.
+    let delta = mutation_delta(&mut rng, &graph);
+    let outcome = sharded.apply_delta(&delta).unwrap();
+    assert!(outcome.rebuilt_shards.is_empty(), "no faults, no rebuilds");
+    single.apply_delta(&delta).unwrap();
+    for url in crawl(|u| single.handle(u).body) {
+        assert_eq!(sharded.handle(&url).body, single.handle(&url).body, "{url}");
+    }
+}
